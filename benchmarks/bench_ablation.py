@@ -1,0 +1,108 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+A1 — cache-key composition: the causal cache key hashes (module type,
+version, parameters, input hashes).  Ablating the parameter component would
+silently serve stale results on parameter sweeps; this bench quantifies how
+often (wrong-hit rate) and what the honest key costs.
+
+A2 — similarity-flooding iterations: Figure 2's matching seeds on local
+evidence and refines by propagation.  Ablating iterations (0 = seed only)
+degrades the match on ambiguous workflows; measured as correct-match rate on
+structure-only disambiguation tasks.
+
+A3 — nearest-ancestor materialization cache in the vistrail: ablated =
+replay from root every time.
+"""
+
+import pytest
+
+from benchmarks.conftest import report_row
+from repro.evolution import match_workflows
+from repro.workflow import Module, Workflow
+from repro.workflow.cache import module_cache_key
+from repro.workloads import random_edit_session
+
+
+class TestCacheKeyAblation:
+    def test_honest_key_cost(self, benchmark):
+        params = {"level": 90.0, "bins": 16}
+        inputs = {"volume": "a" * 64, "header": "b" * 64}
+        benchmark(lambda: module_cache_key("IsosurfaceExtract", "1.0",
+                                           params, inputs))
+        report_row("A1", variant="full-key")
+
+    def test_parameter_ablation_wrong_hits(self):
+        """Dropping parameters from the key makes sweep points collide."""
+        inputs = {"volume": "a" * 64}
+        sweep_levels = [50.0 + i for i in range(20)]
+        full_keys = {module_cache_key("Iso", "1.0", {"level": level},
+                                      inputs)
+                     for level in sweep_levels}
+        ablated_keys = {module_cache_key("Iso", "1.0", {}, inputs)
+                        for _level in sweep_levels}
+        wrong_hit_rate = 1.0 - len(ablated_keys) / len(sweep_levels)
+        report_row("A1", variant="no-params",
+                   distinct_full=len(full_keys),
+                   distinct_ablated=len(ablated_keys),
+                   wrong_hit_rate=f"{wrong_hit_rate:.2f}")
+        assert len(full_keys) == 20      # honest key separates all points
+        assert len(ablated_keys) == 1    # ablated key collides completely
+
+
+def deceptive_pair():
+    """Chains whose *names* cross-match while only structure is truthful.
+
+    The seed similarity prefers the (wrong) name-matched pairing; only
+    neighbourhood propagation can recover the structural correspondence.
+    """
+    first = Workflow("first")
+    a = first.add_module(Module("Constant", name="src"))
+    b = first.add_module(Module("Identity", name="alpha"))
+    c = first.add_module(Module("Identity", name="omega"))
+    first.connect(a.id, "value", b.id, "value")
+    first.connect(b.id, "value", c.id, "value")
+    second = Workflow("second")
+    x = second.add_module(Module("Constant", name="src"))
+    y = second.add_module(Module("Identity", name="omega"))  # early!
+    z = second.add_module(Module("Identity", name="alpha"))  # late!
+    second.connect(x.id, "value", y.id, "value")
+    second.connect(y.id, "value", z.id, "value")
+    return first, second, {a.id: x.id, b.id: y.id, c.id: z.id}
+
+
+class TestMatchingIterationAblation:
+    @pytest.mark.parametrize("iterations", [0, 2, 8])
+    def test_iterations_vs_correctness(self, benchmark, iterations):
+        first, second, truth = deceptive_pair()
+        result = benchmark(lambda: match_workflows(
+            first, second, iterations=iterations))
+        correct = sum(1 for a_id, b_id in result.mapping.items()
+                      if truth.get(a_id) == b_id)
+        report_row("A2", iterations=iterations,
+                   correct=f"{correct}/{len(truth)}")
+        if iterations == 0:
+            assert correct < len(truth)   # seed falls for the names
+        else:
+            assert correct == len(truth)  # propagation recovers truth
+
+
+class TestMaterializationCacheAblation:
+    @pytest.fixture(scope="class")
+    def session(self):
+        return random_edit_session(actions=120, seed=11)
+
+    def test_with_ancestor_cache(self, benchmark, session):
+        leaf = max(session.leaves(), key=session.depth)
+        session.materialize(leaf)  # warm
+        benchmark(lambda: session.materialize(leaf))
+        report_row("A3", variant="cached", depth=session.depth(leaf))
+
+    def test_without_ancestor_cache(self, benchmark, session):
+        leaf = max(session.leaves(), key=session.depth)
+
+        def cold():
+            session._cache.clear()
+            return session.materialize(leaf)
+
+        benchmark(cold)
+        report_row("A3", variant="ablated", depth=session.depth(leaf))

@@ -1,0 +1,64 @@
+"""E1 — provenance capture overhead vs. workflow size and module cost.
+
+Regenerates: the §2.2 claim that engine-level instrumentation is cheap.
+Shape: overhead percentage falls as per-module compute grows (capture cost
+is per-event, compute cost is per-work-unit).
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import report_row
+from repro.core import ProvenanceCapture
+from repro.workflow import Executor
+from repro.workloads import chain_workflow, random_workflow
+
+
+@pytest.mark.parametrize("length", [10, 40])
+def test_chain_no_capture(benchmark, registry, length):
+    workflow = chain_workflow(length, work=200)
+    executor = Executor(registry)
+    benchmark(lambda: executor.execute(workflow))
+    report_row("E1", variant="no-capture", modules=length + 1)
+
+
+@pytest.mark.parametrize("length", [10, 40])
+def test_chain_with_capture(benchmark, registry, length):
+    workflow = chain_workflow(length, work=200)
+    capture = ProvenanceCapture(registry=registry, keep_values=False)
+    executor = Executor(registry, listeners=[capture])
+    benchmark(lambda: executor.execute(workflow))
+    report_row("E1", variant="with-capture", modules=length + 1)
+
+
+@pytest.mark.parametrize("work", [0, 500, 5000])
+def test_overhead_shrinks_with_module_cost(registry, work):
+    workflow = random_workflow(modules=20, seed=1, work=work)
+    plain = Executor(registry)
+    capture = ProvenanceCapture(registry=registry, keep_values=False)
+    captured = Executor(registry, listeners=[capture])
+
+    def timed(executor, repeats=3):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            executor.execute(workflow)
+        return (time.perf_counter() - start) / repeats
+
+    baseline = timed(plain)
+    instrumented = timed(captured)
+    overhead = (instrumented - baseline) / baseline * 100.0
+    report_row("E1", work_units=work,
+               baseline_ms=f"{baseline * 1000:.2f}",
+               capture_ms=f"{instrumented * 1000:.2f}",
+               overhead_pct=f"{overhead:.1f}")
+
+
+def test_value_retention_cost(benchmark, registry):
+    """keep_values=True must only add copying, not change asymptotics."""
+    workflow = random_workflow(modules=20, seed=2, work=50)
+    capture = ProvenanceCapture(registry=registry, keep_values=True)
+    executor = Executor(registry, listeners=[capture])
+    benchmark(lambda: executor.execute(workflow))
+    report_row("E1", variant="keep-values",
+               values=len(capture.last_run().values))

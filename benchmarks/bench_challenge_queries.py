@@ -1,0 +1,35 @@
+"""E5 — the First Provenance Challenge's nine queries.
+
+Regenerates: the challenge workload the paper's community used to compare
+systems ([32]).  Shape: pure-traversal queries (q1-q3, q6) cost more than
+metadata filters (q4, q9); all stay interactive.
+"""
+
+import pytest
+
+from benchmarks.conftest import report_row
+from repro.workloads import CHALLENGE_QUERIES, ChallengeSession
+
+
+@pytest.fixture(scope="module")
+def session():
+    return ChallengeSession.create(size=12)
+
+
+def test_challenge_run(benchmark, registry):
+    from repro.core import ProvenanceManager
+    from repro.workloads import build_fmri_workflow
+    manager = ProvenanceManager(use_cache=False)
+    workflow = build_fmri_workflow(size=12)
+    run = benchmark(lambda: manager.run(workflow))
+    assert run.status == "ok"
+    report_row("E5", stage="execute",
+               executions=len(run.executions))
+
+
+@pytest.mark.parametrize("query_name", sorted(CHALLENGE_QUERIES))
+def test_challenge_query(benchmark, session, query_name):
+    query = getattr(session, query_name)
+    result = benchmark(query)
+    size = (len(result) if isinstance(result, (list, dict)) else 1)
+    report_row("E5", query=query_name, result_size=size)

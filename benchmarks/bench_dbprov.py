@@ -1,0 +1,66 @@
+"""E8 — semiring provenance overhead on relational operators.
+
+Regenerates: the fine-grained side of the DB/workflow connection.  Shape:
+boolean (no real provenance) is the baseline; lineage and counting add a
+constant factor; why and polynomial grow with derivation multiplicity —
+the classic expressiveness/cost ladder of the semiring framework.
+"""
+
+import pytest
+
+from benchmarks.conftest import report_row
+from repro.dbprov import (Join, Project, Scan, base_relation,
+                          cross_layer_lineage, expr_to_dict, get_semiring,
+                          join, project, register_db_modules)
+
+SEMIRING_NAMES = ["boolean", "counting", "lineage", "why", "polynomial"]
+
+
+def make_relations(semiring, rows: int):
+    left = base_relation(
+        "L", ["k", "a"],
+        [(index % (rows // 4 or 1), index) for index in range(rows)],
+        semiring)
+    right = base_relation(
+        "R", ["k", "b"],
+        [(index % (rows // 4 or 1), -index) for index in range(rows)],
+        semiring)
+    return left, right
+
+
+@pytest.mark.parametrize("semiring_name", SEMIRING_NAMES)
+def test_join_project(benchmark, semiring_name):
+    ring = get_semiring(semiring_name)
+    left, right = make_relations(ring, rows=100)
+
+    def pipeline():
+        joined = join(left, right, semiring=ring)
+        return project(joined, ["k"], semiring=ring)
+
+    result = benchmark(pipeline)
+    report_row("E8", semiring=semiring_name, output_rows=len(result))
+
+
+def test_cross_layer_query(benchmark):
+    from repro.core import ProvenanceManager
+    manager = ProvenanceManager()
+    register_db_modules(manager.registry)
+    workflow = manager.new_workflow("bench-db")
+    left = manager.add_module(workflow, "BuildTable", parameters={
+        "columns": {"k": list(range(30)) * 2,
+                    "a": list(range(60))}})
+    right = manager.add_module(workflow, "BuildTable", parameters={
+        "columns": {"k": list(range(30)),
+                    "b": list(range(30))}})
+    query = manager.add_module(workflow, "RelationalQuery", parameters={
+        "expression": expr_to_dict(
+            Project(Join(Scan("l"), Scan("r")), ("k",))),
+        "semiring": "lineage", "names": ["l", "r"]})
+    workflow.connect(left.id, "table", query.id, "rel1")
+    workflow.connect(right.id, "table", query.id, "rel2")
+    run = manager.run(workflow)
+
+    lineage = benchmark(lambda: cross_layer_lineage(run, query.id, 5))
+    report_row("E8", op="cross-layer",
+               base_tuples=len(lineage.base_tuples),
+               upstream=len(lineage.upstream_artifacts))

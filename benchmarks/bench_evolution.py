@@ -1,0 +1,73 @@
+"""E7 — version-tree scalability: actions, materialization, diff.
+
+Regenerates: the VisTrails change-based model's cost profile.  Shape:
+appending an action is O(1)-ish; cold materialization is linear in depth;
+the ancestor cache makes warm materialization near-constant; diff is
+linear in workflow size.
+"""
+
+import pytest
+
+from benchmarks.conftest import report_row
+from repro.evolution import SetParameter, Vistrail, diff_workflows
+from repro.workloads import random_edit_session
+
+
+@pytest.fixture(scope="module")
+def deep_session():
+    return random_edit_session(actions=150, seed=7)
+
+
+def test_add_action(benchmark):
+    vistrail = random_edit_session(actions=20, seed=1)
+    module_id = next(iter(
+        vistrail.materialize(vistrail.current).modules))
+
+    def append():
+        vistrail.add_action(SetParameter(
+            module_id=module_id, name="value", value=1.0))
+
+    benchmark(append)
+    report_row("E7", op="add-action", versions=len(vistrail))
+
+
+@pytest.mark.parametrize("depth_fraction", [0.5, 1.0])
+def test_cold_materialize(benchmark, deep_session, depth_fraction):
+    leaves = deep_session.leaves()
+    deepest = max(leaves, key=deep_session.depth)
+    path = deep_session.path_to_root(deepest)
+    version = path[int((len(path) - 1) * (1 - depth_fraction))]
+
+    def cold():
+        deep_session._cache.clear()
+        return deep_session.materialize(version)
+
+    workflow = benchmark(cold)
+    report_row("E7", op="materialize-cold",
+               depth=deep_session.depth(version),
+               modules=len(workflow.modules))
+
+
+def test_warm_materialize(benchmark, deep_session):
+    leaves = deep_session.leaves()
+    deepest = max(leaves, key=deep_session.depth)
+    deep_session.materialize(deepest)  # prime the cache
+    benchmark(lambda: deep_session.materialize(deepest))
+    report_row("E7", op="materialize-warm",
+               depth=deep_session.depth(deepest))
+
+
+def test_version_diff(benchmark, deep_session):
+    leaves = deep_session.leaves()
+    first = deep_session.materialize(leaves[0])
+    second = deep_session.materialize(leaves[-1])
+    diff = benchmark(lambda: diff_workflows(first, second))
+    report_row("E7", op="diff",
+               changes=sum(diff.summary().values()))
+
+
+def test_serialization_roundtrip(benchmark, deep_session):
+    data = deep_session.to_dict()
+    restored = benchmark(lambda: Vistrail.from_dict(data))
+    assert len(restored) == len(deep_session)
+    report_row("E7", op="deserialize", versions=len(deep_session))

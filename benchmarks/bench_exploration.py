@@ -1,0 +1,76 @@
+"""E10 — parameter sweeps with cross-run caching.
+
+Regenerates: §2.3 "scalable exploration of large parameter spaces".  Shape:
+with the causal cache, sweep cost grows with the *changed* part of the
+pipeline only; hit rate rises with sweep size; cached sweeps beat uncached
+sweeps by roughly the shared-prefix fraction.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import report_row
+from repro.apps import parameter_sweep
+from repro.core import ProvenanceManager
+from repro.workloads import build_vis_workflow
+
+
+def iso_module(workflow):
+    return next(m for m in workflow.modules.values() if m.name == "iso")
+
+
+@pytest.mark.parametrize("points", [3, 6])
+def test_sweep_with_cache(benchmark, points):
+    levels = [50.0 + 10.0 * index for index in range(points)]
+
+    def sweep():
+        manager = ProvenanceManager(use_cache=True, keep_values=False)
+        workflow = build_vis_workflow(size=14)
+        return parameter_sweep(manager, workflow,
+                               {(iso_module(workflow).id, "level"):
+                                levels})
+
+    result = benchmark(sweep)
+    report_row("E10", variant="cached", points=points,
+               hit_rate=f"{result.cache_hit_rate:.2f}")
+
+
+@pytest.mark.parametrize("points", [3, 6])
+def test_sweep_without_cache(benchmark, points):
+    levels = [50.0 + 10.0 * index for index in range(points)]
+
+    def sweep():
+        manager = ProvenanceManager(use_cache=False, keep_values=False)
+        workflow = build_vis_workflow(size=14)
+        return parameter_sweep(manager, workflow,
+                               {(iso_module(workflow).id, "level"):
+                                levels})
+
+    result = benchmark(sweep)
+    report_row("E10", variant="uncached", points=points,
+               hit_rate=f"{result.cache_hit_rate:.2f}")
+
+
+def test_cache_speedup_ratio():
+    levels = [40.0 + 5.0 * index for index in range(8)]
+
+    def run_sweep(use_cache):
+        manager = ProvenanceManager(use_cache=use_cache,
+                                    keep_values=False)
+        workflow = build_vis_workflow(size=16)
+        start = time.perf_counter()
+        result = parameter_sweep(
+            manager, workflow,
+            {(iso_module(workflow).id, "level"): levels})
+        return time.perf_counter() - start, result
+
+    uncached_time, _ = run_sweep(False)
+    cached_time, cached_result = run_sweep(True)
+    speedup = uncached_time / cached_time
+    report_row("E10", points=len(levels),
+               uncached_s=f"{uncached_time:.3f}",
+               cached_s=f"{cached_time:.3f}",
+               speedup=f"{speedup:.2f}x",
+               hit_rate=f"{cached_result.cache_hit_rate:.2f}")
+    assert speedup > 1.0

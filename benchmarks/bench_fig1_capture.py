@@ -1,0 +1,59 @@
+"""FIG1 — the Figure 1 pipeline with and without provenance capture.
+
+Regenerates: the paper's core claim that workflow systems "can be easily
+instrumented to automatically capture provenance"; the measured shape is
+that capture adds only a small relative overhead to a real pipeline.
+"""
+
+import pytest
+
+from benchmarks.conftest import report_row
+from repro.core import ProvenanceCapture
+from repro.workflow import Executor
+from repro.workloads import build_vis_workflow
+
+
+@pytest.mark.parametrize("size", [12, 20])
+def test_fig1_without_capture(benchmark, registry, size):
+    workflow = build_vis_workflow(size=size)
+    executor = Executor(registry)
+    result = benchmark(lambda: executor.execute(workflow))
+    assert result.status == "ok"
+    report_row("FIG1", variant="no-capture", size=size)
+
+
+@pytest.mark.parametrize("size", [12, 20])
+def test_fig1_with_capture(benchmark, registry, size):
+    workflow = build_vis_workflow(size=size)
+    capture = ProvenanceCapture(registry=registry, keep_values=False)
+    executor = Executor(registry, listeners=[capture])
+    result = benchmark(lambda: executor.execute(workflow))
+    assert result.status == "ok"
+    run = capture.last_run()
+    report_row("FIG1", variant="with-capture", size=size,
+               executions=len(run.executions),
+               artifacts=len(run.artifacts))
+
+
+def test_fig1_capture_overhead_ratio(registry):
+    """Direct ratio measurement (not a pytest-benchmark timing)."""
+    import time
+    workflow = build_vis_workflow(size=16)
+    plain = Executor(registry)
+    capture = ProvenanceCapture(registry=registry, keep_values=False)
+    captured = Executor(registry, listeners=[capture])
+
+    def timed(executor, repeats=5):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            executor.execute(workflow)
+        return (time.perf_counter() - start) / repeats
+
+    baseline = timed(plain)
+    with_capture = timed(captured)
+    overhead = (with_capture - baseline) / baseline * 100.0
+    report_row("FIG1", baseline_s=f"{baseline:.4f}",
+               with_capture_s=f"{with_capture:.4f}",
+               overhead_pct=f"{overhead:.1f}")
+    # capture must not dominate a real pipeline
+    assert with_capture < baseline * 2.0

@@ -1,0 +1,59 @@
+"""FIG2 — refinement by analogy: diff, match, translate, apply.
+
+Regenerates: Figure 2's computation at increasing target-workflow sizes;
+the shape is that matching dominates and stays interactive (well under a
+second) at realistic workflow sizes.
+"""
+
+import pytest
+
+from benchmarks.conftest import report_row
+from repro.evolution import apply_by_analogy, diff_workflows, match_workflows
+from repro.workflow import Module, Workflow
+from repro.workloads import build_fig2_pair
+
+
+def target_with_branches(branches: int) -> Workflow:
+    """A visualization workflow with extra histogram branches as noise."""
+    workflow = Workflow(f"target-{branches}")
+    load = workflow.add_module(Module("LoadVolume", name="load",
+                                      parameters={"size": 8}))
+    iso = workflow.add_module(Module("IsosurfaceExtract", name="iso"))
+    render = workflow.add_module(Module("RenderMesh", name="render"))
+    workflow.connect(load.id, "volume", iso.id, "volume")
+    workflow.connect(iso.id, "mesh", render.id, "mesh")
+    for index in range(branches):
+        hist = workflow.add_module(Module("ComputeHistogram",
+                                          name=f"hist{index}"))
+        draw = workflow.add_module(Module("RenderHistogram",
+                                          name=f"draw{index}"))
+        workflow.connect(load.id, "volume", hist.id, "volume")
+        workflow.connect(hist.id, "histogram", draw.id, "histogram")
+    return workflow
+
+
+def test_diff_of_example_pair(benchmark):
+    before, after = build_fig2_pair()
+    diff = benchmark(lambda: diff_workflows(before, after))
+    assert diff.summary()["added_modules"] == 1
+
+
+@pytest.mark.parametrize("branches", [0, 4, 12])
+def test_similarity_matching(benchmark, branches):
+    before, _ = build_fig2_pair()
+    target = target_with_branches(branches)
+    result = benchmark(lambda: match_workflows(before, target))
+    report_row("FIG2", stage="match", target_modules=len(target.modules),
+               matched=len(result.mapping))
+
+
+@pytest.mark.parametrize("branches", [0, 4, 12])
+def test_full_analogy(benchmark, branches):
+    before, after = build_fig2_pair()
+    target = target_with_branches(branches)
+    result = benchmark(lambda: apply_by_analogy(before, after, target))
+    assert any(m.type_name == "SmoothMesh"
+               for m in result.workflow.modules.values())
+    report_row("FIG2", stage="apply", target_modules=len(target.modules),
+               changes=result.change_count(),
+               skipped=len(result.skipped))

@@ -1,0 +1,59 @@
+"""E6 — Second Provenance Challenge: translation and integration cost.
+
+Regenerates: [33] — multi-system provenance integration.  Shape:
+translation is linear in dialect size; integration is linear in total
+graph size; cross-system lineage works on the merged graph.
+"""
+
+import pytest
+
+from benchmarks.conftest import report_row
+from repro.interop import (chimera_to_opm, cross_system_lineage,
+                           integrate_graphs, karma_to_opm, run_challenge2,
+                           taverna_to_opm)
+
+
+@pytest.fixture(scope="module")
+def challenge():
+    return run_challenge2(size=12)
+
+
+def test_full_challenge(benchmark):
+    result = benchmark(lambda: run_challenge2(size=10))
+    assert result.report.systems == 3
+    report_row("E6", stage="end-to-end",
+               crossings=result.report.crossings())
+
+
+@pytest.mark.parametrize("system,translator", [
+    ("chimera", chimera_to_opm),
+    ("karma", karma_to_opm),
+    ("taverna", taverna_to_opm),
+])
+def test_translation(benchmark, challenge, system, translator):
+    source = getattr(challenge, system)
+    graph = benchmark(lambda: translator(source))
+    summary = graph.summary()
+    report_row("E6", stage="translate", system=system,
+               processes=summary["processes"],
+               artifacts=summary["artifacts"])
+
+
+def test_integration(benchmark, challenge):
+    report = benchmark(
+        lambda: integrate_graphs(challenge.opm_graphs))
+    assert not report.conflicts
+    report_row("E6", stage="integrate",
+               artifacts=len(report.graph.artifacts),
+               crossings=report.crossings())
+
+
+def test_cross_system_lineage(benchmark, challenge):
+    lineage = benchmark(
+        lambda: cross_system_lineage(challenge, "atlas-x.graphic"))
+    systems = {process.split(":")[0]
+               for process in lineage["processes"]}
+    assert systems == {"chimera", "karma", "taverna"}
+    report_row("E6", stage="lineage",
+               artifacts=len(lineage["artifacts"]),
+               systems=len(systems))

@@ -1,0 +1,67 @@
+"""E9 — mining provenance: frequent fragments and recommendation.
+
+Regenerates: §2.4 "provenance analytics" — patterns mined from a workflow
+corpus drive completion recommendation.  Shape: mining is linear-ish in
+corpus size; recommendation accuracy (does the held-out next module appear
+in the top suggestions?) beats a uniform-random baseline by a wide margin.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import report_row
+from repro.analytics import Recommender, frequent_paths, successor_model
+from repro.workloads import domain_corpus
+
+
+@pytest.mark.parametrize("variants", [2, 5])
+def test_frequent_paths(benchmark, variants):
+    corpus = list(domain_corpus(variants=variants).values())
+    paths = benchmark(lambda: frequent_paths(corpus, min_support=2))
+    report_row("E9", op="frequent-paths", corpus=len(corpus),
+               patterns=len(paths))
+
+
+@pytest.mark.parametrize("variants", [2, 5])
+def test_successor_model(benchmark, variants):
+    corpus = list(domain_corpus(variants=variants).values())
+    model = benchmark(lambda: successor_model(corpus))
+    report_row("E9", op="successor-model", corpus=len(corpus),
+               source_types=len(model))
+
+
+def test_recommendation_accuracy(registry):
+    """Leave-one-edge-out: hide one dataflow edge, ask the recommender."""
+    corpus = list(domain_corpus(variants=4).values())
+    recommender = Recommender(corpus, registry)
+    rng = random.Random(17)
+    hits = trials = 0
+    for workflow in corpus:
+        connections = sorted(workflow.connections.values(),
+                             key=lambda c: c.id)
+        if not connections:
+            continue
+        hidden = rng.choice(connections)
+        target_type = workflow.modules[hidden.target_module].type_name
+        probe = workflow.copy()
+        # hide the target module entirely
+        probe.remove_module_cascade(hidden.target_module)
+        suggestions = recommender.suggest(probe, top_k=3)
+        suggested = {s.module_type for s in suggestions
+                     if s.after_module == hidden.source_module}
+        trials += 1
+        if target_type in suggested:
+            hits += 1
+    accuracy = hits / trials if trials else 0.0
+    baseline = 3.0 / len(registry.type_names())
+    report_row("E9", op="top3-accuracy", trials=trials,
+               accuracy=f"{accuracy:.2f}",
+               random_baseline=f"{baseline:.3f}")
+    assert accuracy > baseline * 3
+
+
+def test_recommender_training(benchmark, registry):
+    corpus = list(domain_corpus(variants=5).values())
+    benchmark(lambda: Recommender(corpus, registry))
+    report_row("E9", op="train", corpus=len(corpus))

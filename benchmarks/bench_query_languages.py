@@ -1,0 +1,118 @@
+"""E3 — the same lineage question in four query languages.
+
+Regenerates: §2.2's observation that general-purpose languages make
+provenance queries "awkward and complex" while a purpose-built language
+keeps them short.  Measured: latency per language AND query-text length
+(the awkwardness proxy).  Shape: ProvQL is the shortest; Datalog pays the
+fixpoint; SQL recursion (sqlite WITH RECURSIVE) sits between; the
+SPARQL-like engine pays per-pattern joins.
+"""
+
+import pytest
+
+from benchmarks.conftest import report_row
+from repro.core import ProvenanceCapture
+from repro.query import (execute, execute_sparql, parse_atom,
+                         provenance_program, run_to_facts)
+from repro.query.datalog import query as datalog_query
+from repro.storage import RelationalStore, TripleStore, run_to_triples
+from repro.workflow import Executor
+from repro.workloads import build_vis_workflow
+
+
+@pytest.fixture(scope="module")
+def setting(registry):
+    workflow = build_vis_workflow(size=10)
+    capture = ProvenanceCapture(registry=registry, keep_values=False)
+    Executor(registry, listeners=[capture]).execute(workflow)
+    run = capture.last_run()
+    render = next(m for m in workflow.modules.values()
+                  if m.name == "render_mesh")
+    target = run.artifacts_for_module(render.id, "image")
+    return workflow, run, target
+
+
+def test_provql_upstream(benchmark, setting):
+    _, run, target = setting
+    text = f"UPSTREAM OF '{target.id}'"
+    rows = benchmark(lambda: execute(text, run))
+    assert len(rows) == 2
+    report_row("E3", language="provql", query_chars=len(text),
+               results=len(rows))
+
+
+def test_datalog_upstream(benchmark, setting):
+    _, run, target = setting
+    program = provenance_program()
+    rule_text = ("derived(X,Y) :- generated(E,X,_), used(E,Y,_). "
+                 "upstream(X,Y) :- derived(X,Y). "
+                 "upstream(X,Y) :- derived(X,Z), upstream(Z,Y).")
+    goal = parse_atom(f"upstream('{target.id}', Y)")
+
+    def run_query():
+        db = run_to_facts(run)
+        derived = program.evaluate(db)
+        return datalog_query(derived, goal)
+
+    rows = benchmark(run_query)
+    assert len(rows) == 2
+    report_row("E3", language="datalog",
+               query_chars=len(rule_text) + len(str(goal)),
+               results=len(rows))
+
+
+def test_sql_upstream(benchmark, setting):
+    _, run, target = setting
+    store = RelationalStore()
+    store.save_run(run)
+    sql = """
+WITH RECURSIVE upstream(artifact_id) AS (
+    SELECT b_in.artifact_id
+    FROM bindings b_out
+    JOIN bindings b_in ON b_in.execution_id = b_out.execution_id
+                      AND b_in.direction = 'in'
+    WHERE b_out.direction = 'out' AND b_out.artifact_id = ?
+    UNION
+    SELECT b_in.artifact_id
+    FROM upstream u
+    JOIN bindings b_out ON b_out.artifact_id = u.artifact_id
+                       AND b_out.direction = 'out'
+    JOIN bindings b_in ON b_in.execution_id = b_out.execution_id
+                      AND b_in.direction = 'in'
+)
+SELECT DISTINCT artifact_id FROM upstream
+"""
+    rows = benchmark(lambda: store.sql(sql, (target.id,)))
+    assert len(rows) == 2
+    report_row("E3", language="sql", query_chars=len(sql),
+               results=len(rows))
+
+
+def test_sparql_one_step(benchmark, setting):
+    """SPARQL-like pattern joins have no recursion: each derivation step
+    is one query — the benchmark measures the two-hop expansion that the
+    other languages express in one statement."""
+    _, run, target = setting
+    store = TripleStore()
+    store.add_all(iter(run_to_triples(run)))
+    hop = """
+SELECT ?src WHERE {
+    '%s' prov:wasGeneratedBy ?e .
+    ?e prov:used ?src .
+}"""
+
+    def two_hops():
+        found = set()
+        frontier = {target.id}
+        while frontier:
+            artifact = frontier.pop()
+            for row in execute_sparql(store, hop % artifact):
+                if row["src"] not in found:
+                    found.add(row["src"])
+                    frontier.add(row["src"])
+        return found
+
+    rows = benchmark(two_hops)
+    assert len(rows) == 2
+    report_row("E3", language="sparql-like",
+               query_chars=len(hop) + 40, results=len(rows))

@@ -1,0 +1,52 @@
+"""E12 — re-execution fidelity and invalidation propagation.
+
+Regenerates: §2.3 reproducibility and the §2.2 defective-scanner scenario.
+Shape: rerun+validate costs about one execution plus hashing; store-wide
+invalidation is linear in stored provenance; deterministic pipelines always
+report REPRODUCED.
+"""
+
+import pytest
+
+from benchmarks.conftest import report_row
+from repro.apps import invalidate_by_hash, rerun, validate_reproduction
+from repro.core import ProvenanceManager
+from repro.workloads import build_vis_workflow, synthetic_corpus
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    manager = ProvenanceManager(use_cache=False)
+    workflow = build_vis_workflow(size=12)
+    run = manager.run(workflow)
+    return manager, workflow, run
+
+
+def test_rerun(benchmark, recorded):
+    manager, _, run = recorded
+    reproduction = benchmark(lambda: rerun(run, manager.registry))
+    report = validate_reproduction(run, reproduction)
+    assert report.reproducible
+    report_row("E12", op="rerun", outputs=len(report.matching),
+               verdict="REPRODUCED")
+
+
+def test_validate(benchmark, recorded):
+    manager, _, run = recorded
+    reproduction = rerun(run, manager.registry)
+    report = benchmark(
+        lambda: validate_reproduction(run, reproduction))
+    assert report.reproducible
+    report_row("E12", op="validate", outputs=len(report.matching))
+
+
+@pytest.mark.parametrize("corpus_runs", [10, 30])
+def test_invalidation_scale(benchmark, corpus_runs):
+    manager, runs = synthetic_corpus(runs=corpus_runs, modules=12,
+                                     work=1)
+    target = next(iter(runs[0].artifacts.values())).value_hash
+    report = benchmark(
+        lambda: invalidate_by_hash(manager.store, target))
+    report_row("E12", op="invalidate", stored_runs=corpus_runs,
+               affected_runs=len(report.affected_runs),
+               invalidated=report.total_invalidated)

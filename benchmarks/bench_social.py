@@ -1,0 +1,68 @@
+"""E11 — the collaboratory at population scale.
+
+Regenerates: §2.3 "social data analysis".  Shape: keyword search is linear
+in repository size; structural (pattern) search costs more but stays
+usable; recommendation retrains in milliseconds at community scale.
+"""
+
+import pytest
+
+from benchmarks.conftest import report_row
+from repro.apps import Collaboratory
+from repro.workflow import Module, Workflow
+from repro.workloads import domain_corpus
+
+
+def build_community(registry, variants: int) -> Collaboratory:
+    collab = Collaboratory(registry)
+    corpus = domain_corpus(variants=variants)
+    users = [collab.join(f"user{i}") for i in range(max(3, variants))]
+    for index, workflow in enumerate(corpus.values()):
+        owner = users[index % len(users)]
+        collab.publish(owner.id, workflow, workflow.name,
+                       description=f"shared pipeline {workflow.name}",
+                       tags={workflow.name.split("-")[0]})
+    return collab
+
+
+@pytest.mark.parametrize("variants", [3, 10])
+def test_keyword_search(benchmark, registry, variants):
+    collab = build_community(registry, variants)
+    found = benchmark(lambda: collab.search("vis"))
+    report_row("E11", op="search", workflows=len(collab.published),
+               hits=len(found))
+
+
+@pytest.mark.parametrize("variants", [3, 10])
+def test_pattern_search(benchmark, registry, variants):
+    collab = build_community(registry, variants)
+    pattern = Workflow("pattern")
+    iso = pattern.add_module(Module("IsosurfaceExtract"))
+    render = pattern.add_module(Module("RenderMesh"))
+    pattern.connect(iso.id, "mesh", render.id, "mesh")
+    found = benchmark(lambda: collab.search_by_pattern(pattern))
+    report_row("E11", op="pattern-search",
+               workflows=len(collab.published), hits=len(found))
+
+
+@pytest.mark.parametrize("variants", [3, 10])
+def test_recommendation(benchmark, registry, variants):
+    collab = build_community(registry, variants)
+    draft = Workflow("draft")
+    draft.add_module(Module("LoadVolume"))
+    suggestions = benchmark(lambda: collab.suggest_completion(draft))
+    report_row("E11", op="recommend",
+               workflows=len(collab.published),
+               suggestions=len(suggestions))
+
+
+def test_publish_throughput(benchmark, registry):
+    collab = build_community(registry, 2)
+    user = collab.join("prolific")
+    corpus = list(domain_corpus(variants=1).values())
+
+    def publish():
+        collab.publish(user.id, corpus[0].copy(), "another one")
+
+    benchmark(publish)
+    report_row("E11", op="publish", workflows=len(collab.published))

@@ -1,0 +1,79 @@
+"""E2 — storage backend comparison: save, load, and finder queries.
+
+Regenerates: the paper's storage design space ("RDF/XML files vs. tuples in
+an RDBMS").  Shape: memory < sqlite < documents < triples for save/load;
+the relational backend wins the hash-finder query through its index.
+"""
+
+import pytest
+
+from benchmarks.conftest import report_row
+from repro.core import ProvenanceCapture
+from repro.storage import (DocumentStore, MemoryStore, RelationalStore,
+                           TripleProvenanceStore)
+from repro.workflow import Executor
+from repro.workloads import random_workflow
+
+
+def make_store(name, tmp_path):
+    return {
+        "memory": lambda: MemoryStore(),
+        "relational": lambda: RelationalStore(),
+        "triples": lambda: TripleProvenanceStore(),
+        "documents": lambda: DocumentStore(tmp_path / "docs"),
+    }[name]()
+
+
+@pytest.fixture(scope="module")
+def captured_runs(registry):
+    capture = ProvenanceCapture(registry=registry, keep_values=False)
+    executor = Executor(registry, listeners=[capture])
+    for index in range(10):
+        executor.execute(random_workflow(modules=15, seed=index, work=2))
+    return capture.runs
+
+
+BACKENDS = ["memory", "relational", "triples", "documents"]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_save_run(benchmark, backend, tmp_path, captured_runs):
+    store = make_store(backend, tmp_path)
+    run = captured_runs[0]
+    benchmark(lambda: store.save_run(run))
+    report_row("E2", op="save", backend=backend,
+               executions=len(run.executions))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_load_run(benchmark, backend, tmp_path, captured_runs):
+    store = make_store(backend, tmp_path)
+    for run in captured_runs:
+        store.save_run(run)
+    run_id = captured_runs[3].id
+    loaded = benchmark(lambda: store.load_run(run_id))
+    assert loaded.id == run_id
+    report_row("E2", op="load", backend=backend)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_find_by_hash(benchmark, backend, tmp_path, captured_runs):
+    store = make_store(backend, tmp_path)
+    for run in captured_runs:
+        store.save_run(run)
+    target_hash = next(iter(
+        captured_runs[5].artifacts.values())).value_hash
+    found = benchmark(lambda: store.find_artifacts_by_hash(target_hash))
+    assert found
+    report_row("E2", op="find-hash", backend=backend, hits=len(found))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_find_executions_by_type(benchmark, backend, tmp_path,
+                                 captured_runs):
+    store = make_store(backend, tmp_path)
+    for run in captured_runs:
+        store.save_run(run)
+    found = benchmark(
+        lambda: store.find_executions(module_type="Scale"))
+    report_row("E2", op="find-exec", backend=backend, hits=len(found))

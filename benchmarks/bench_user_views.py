@@ -1,0 +1,55 @@
+"""E4 — ZOOM user views: construction cost and provenance reduction.
+
+Regenerates: refs [5, 13] — provenance collapsed to user-relevant
+granularity.  Shape: reduction factor grows as the relevant fraction
+shrinks; construction stays polynomial and fast.
+"""
+
+import pytest
+
+from benchmarks.conftest import report_row
+from repro.core import ProvenanceCapture, causality_graph
+from repro.query import build_user_view
+from repro.workflow import Executor
+from repro.workloads import random_workflow
+
+
+@pytest.mark.parametrize("relevant_fraction", [0.1, 0.3, 0.6])
+def test_view_construction(benchmark, registry, relevant_fraction):
+    workflow = random_workflow(modules=40, width=5, seed=3, work=1)
+    module_ids = sorted(workflow.modules)
+    keep = max(1, int(len(module_ids) * relevant_fraction))
+    relevant = set(module_ids[::max(1, len(module_ids) // keep)][:keep])
+    view = benchmark(lambda: build_user_view(workflow, relevant))
+    report_row("E4", relevant_fraction=relevant_fraction,
+               composites=view.composite_count(),
+               reduction=f"{view.reduction_factor():.2f}")
+
+
+def test_collapse_run_reduction(registry):
+    workflow = random_workflow(modules=40, width=5, seed=3, work=1)
+    capture = ProvenanceCapture(registry=registry, keep_values=False)
+    Executor(registry, listeners=[capture]).execute(workflow)
+    run = capture.last_run()
+    full = causality_graph(run, include_derivations=False)
+    module_ids = sorted(workflow.modules)
+    for fraction in (0.1, 0.3, 0.6):
+        keep = max(1, int(len(module_ids) * fraction))
+        relevant = set(module_ids[:keep])
+        view = build_user_view(workflow, relevant)
+        collapsed = view.collapse_run(run)
+        report_row("E4", relevant_fraction=fraction,
+                   full_nodes=full.node_count,
+                   view_nodes=collapsed.node_count,
+                   node_reduction=f"{full.node_count / max(1, collapsed.node_count):.2f}x")
+        assert collapsed.node_count <= full.node_count
+
+
+def test_collapse_run_speed(benchmark, registry):
+    workflow = random_workflow(modules=40, width=5, seed=4, work=1)
+    capture = ProvenanceCapture(registry=registry, keep_values=False)
+    Executor(registry, listeners=[capture]).execute(workflow)
+    run = capture.last_run()
+    module_ids = sorted(workflow.modules)
+    view = build_user_view(workflow, set(module_ids[:4]))
+    benchmark(lambda: view.collapse_run(run))

@@ -1,0 +1,30 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Every benchmark prints a small "paper row" via :func:`report_row` so that
+running ``pytest benchmarks/ --benchmark-only -s`` regenerates the
+comparison tables recorded in EXPERIMENTS.md, in addition to the
+pytest-benchmark timing statistics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workflow.modules import standard_registry
+
+_rows = []
+
+
+def report_row(experiment: str, **fields) -> None:
+    """Record and print one comparison row for EXPERIMENTS.md."""
+    rendered = "  ".join(f"{key}={value}" for key, value
+                         in fields.items())
+    line = f"[{experiment}] {rendered}"
+    _rows.append(line)
+    print(f"\n{line}")
+
+
+@pytest.fixture(scope="session")
+def registry():
+    """One standard registry for the whole benchmark session."""
+    return standard_registry()

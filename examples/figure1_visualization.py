@@ -1,0 +1,69 @@
+"""Figure 1 of the paper, end to end.
+
+The workflow loads a (synthetic) CT head scan and derives two data products:
+a histogram rendering of the scalar values and an isosurface visualization.
+The example shows both provenance kinds from the figure — the prospective
+recipe and the retrospective log — plus the annotations drawn as yellow
+boxes, and finishes with the paper's defective-scanner invalidation story.
+
+Run with:  python examples/figure1_visualization.py
+"""
+
+from repro.apps import invalidate_by_hash
+from repro.core import ProvenanceManager, causality_graph
+from repro.analytics import run_report
+from repro.workloads import build_vis_workflow
+
+manager = ProvenanceManager()
+workflow = build_vis_workflow(size=24, level=100.0)
+
+
+def module_id(name):
+    return next(m.id for m in workflow.modules.values() if m.name == name)
+
+
+print("=== Prospective provenance: the recipe of Figure 1 ===")
+print(manager.prospective(workflow).describe())
+
+run = manager.run(workflow, tags={"dataset": "head.120 (synthetic)"})
+
+print("\n=== Retrospective provenance: what actually happened ===")
+print(run_report(run))
+
+# The yellow annotation boxes of Figure 1: user-defined provenance at
+# different granularities.
+volume = run.artifacts_for_module(module_id("load"), "volume")
+mesh = run.artifacts_for_module(module_id("iso"), "mesh")
+manager.annotate("artifact", volume.id, "acquisition",
+                 "CT scanner unit 5, 2008-02-11", author="tech")
+manager.annotate("artifact", mesh.id, "note",
+                 "skull surface at level=100", author="davidson")
+manager.annotate("module", module_id("iso"), "rationale",
+                 "level chosen to isolate bone density", author="freire")
+print("\n=== Annotations (the yellow boxes) ===")
+for target_kind, target_id in (("artifact", volume.id),
+                               ("artifact", mesh.id),
+                               ("module", module_id("iso"))):
+    for annotation in manager.annotations_for(target_kind, target_id):
+        print(f"  [{target_kind}] {annotation.key}: {annotation.value} "
+              f"(by {annotation.author})")
+
+# Causality: data-process dependencies and inferred data dependencies.
+graph = causality_graph(run)
+print("\n=== Causality graph ===")
+print(f"  {graph.node_count} nodes, {graph.edge_count} edges "
+      f"(incl. inferred wasDerivedFrom)")
+image = run.artifacts_for_module(module_id("render_mesh"), "image")
+paths = graph.paths(image.id, volume.id,
+                    labels={"used", "wasGeneratedBy"})
+print(f"  derivation path mesh-image -> volume: {len(paths[0])} hops")
+
+# The defective CT scanner scenario from §2.2 of the paper.
+print("\n=== 'The CT scanner was defective' ===")
+report = invalidate_by_hash(manager.store, volume.value_hash)
+print(" ", report.summary())
+for run_id, products in report.affected_products.items():
+    print(f"  run {run_id[-8:]}: {len(products)} final products must be "
+          "re-derived")
+print("  (the volume *header* branch is unaffected — data dependencies "
+      "are precise)")

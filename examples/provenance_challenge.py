@@ -1,0 +1,47 @@
+"""The First Provenance Challenge: the fMRI workflow and its nine queries.
+
+Run with:  python examples/provenance_challenge.py
+"""
+
+from repro.analytics import ascii_table
+from repro.workloads import CHALLENGE_QUERIES, ChallengeSession
+
+session = ChallengeSession.create(size=16)
+print(f"challenge run: {session.run.status}, "
+      f"{len(session.run.executions)} executions, "
+      f"{len(session.run.artifacts)} artifacts\n")
+
+results = session.all_queries()
+for name in sorted(CHALLENGE_QUERIES):
+    print(f"=== {name.upper()}: {CHALLENGE_QUERIES[name]} ===")
+    result = results[name]
+    if name == "q1":
+        print(f"  {len(result['executions'])} executions and "
+              f"{len(result['artifacts'])} artifacts in the history")
+    elif name == "q2":
+        names = sorted(session.run.execution(e).module_name
+                       for e in result["executions"])
+        print(f"  stages after softmean: {names}")
+    elif name == "q3":
+        print(ascii_table(result, columns=["module", "type",
+                                           "parameters"]))
+    elif name == "q4":
+        print(f"  {len(result)} align_warp invocations with model=12")
+    elif name == "q5":
+        print(f"  {len(result)} atlas graphics depend on a header with "
+              "global maximum above threshold")
+    elif name == "q6":
+        print(f"  softmean outputs preceded by align_warp -m 12: "
+              f"{len(result)}")
+    elif name == "q7":
+        print(f"  spec identical: {result['spec_identical']}; "
+              f"{len(result['parameter_differences'])} modules with "
+              f"changed parameters; "
+              f"{len(result['differing_outputs'])} outputs differ")
+    elif name == "q8":
+        print(f"  align_warp outputs with center=UChicago inputs: "
+              f"{len(result)}")
+    elif name == "q9":
+        for artifact_id, value in result:
+            print(f"  {artifact_id[-12:]}: studyModality={value}")
+    print()

@@ -1,0 +1,52 @@
+"""Quickstart: build a workflow, run it, and look at its provenance.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.analytics import run_report
+from repro.core import ProvenanceManager
+
+manager = ProvenanceManager()
+
+# 1. Build a small genomics workflow (prospective provenance).
+workflow = manager.new_workflow("my-first-workflow")
+reads = manager.add_module(workflow, "SyntheticReads", name="sequencer",
+                           parameters={"count": 10, "length": 50,
+                                       "seed": 7})
+qc = manager.add_module(workflow, "QualityFilter", name="qc")
+consensus = manager.add_module(workflow, "ConsensusCall",
+                               name="consensus")
+workflow.connect(reads.id, "reads", qc.id, "reads")
+workflow.connect(qc.id, "reads", consensus.id, "reads")
+
+print("=== Prospective provenance (the recipe) ===")
+print(manager.prospective(workflow).describe())
+
+# 2. Run it — retrospective provenance is captured automatically.
+run = manager.run(workflow, tags={"user": "quickstart"})
+print("\n=== Retrospective provenance (the log) ===")
+print(run_report(run))
+
+# 3. Ask questions in ProvQL.
+print("\n=== Queries ===")
+print("executions:", manager.query("COUNT EXECUTIONS", run))
+consensus_value = run.value(
+    run.artifacts_for_module(consensus.id, "consensus").id)
+print("consensus sequence:", consensus_value[:40], "...")
+upstream = manager.query("UPSTREAM OF consensus.consensus", run)
+print("the consensus depends on",
+      [row["type"] for row in upstream], "artifacts")
+
+# 4. Annotate (user-defined provenance) and read it back.
+artifact = run.artifacts_for_module(consensus.id, "consensus")
+manager.annotate("artifact", artifact.id, "note",
+                 "first consensus call — looks clean", author="you")
+print("\nannotations:",
+      [(a.key, a.value) for a in
+       manager.annotations_for("artifact", artifact.id)])
+
+# 5. Run again: the cache answers, provenance still records every step.
+second = manager.run(workflow)
+print("\nsecond run statuses:",
+      sorted({execution.status for execution in second.executions}))
+print("cache stats:", manager.cache_stats())

@@ -1,0 +1,14 @@
+"""Setuptools entry point (kept for legacy editable installs without wheel)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=("Provenance-enabled scientific workflow system "
+                 "(reproduction of Davidson & Freire, SIGMOD 2008)"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

@@ -1,0 +1,21 @@
+"""repro — a provenance-enabled scientific workflow system.
+
+Reproduction of the system described in Davidson & Freire, "Provenance and
+Scientific Workflows: Challenges and Opportunities" (SIGMOD 2008).
+
+Subpackages
+-----------
+``repro.workflow``   dataflow workflow substrate (specs, engine, modules)
+``repro.core``       provenance capture and models (prospective/retrospective)
+``repro.storage``    storage backends (memory, sqlite, triples, documents)
+``repro.query``      query engines (Datalog, triple patterns, ProvQL, QBE, views)
+``repro.opm``        Open Provenance Model and converters
+``repro.evolution``  change-based workflow evolution, diff, analogy
+``repro.dbprov``     database provenance (semirings) and the DB/workflow bridge
+``repro.interop``    multi-system provenance integration (Provenance Challenge)
+``repro.analytics``  provenance statistics, mining, recommendation, rendering
+``repro.apps``       applications: reproducibility, exploration, social, education
+``repro.workloads``  workload and trace generators
+"""
+
+__version__ = "1.0.0"

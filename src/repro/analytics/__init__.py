@@ -1,0 +1,20 @@
+"""Provenance analytics (paper §2.4): statistics, summarization, mining,
+recommendation, and rendering."""
+
+from repro.analytics.mining import (cooccurrence, frequent_paths,
+                                    mine_vistrail, successor_model)
+from repro.analytics.recommend import Recommender, Suggestion
+from repro.analytics.stats import (corpus_statistics, graph_statistics,
+                                   run_statistics)
+from repro.analytics.summarize import collapse_chains, type_summary
+from repro.analytics.visualize import (ascii_table, run_report, run_to_dot,
+                                       vistrail_to_dot, workflow_to_dot)
+
+__all__ = [
+    "cooccurrence", "frequent_paths", "mine_vistrail", "successor_model",
+    "Recommender", "Suggestion",
+    "corpus_statistics", "graph_statistics", "run_statistics",
+    "collapse_chains", "type_summary",
+    "ascii_table", "run_report", "run_to_dot", "vistrail_to_dot",
+    "workflow_to_dot",
+]

@@ -1,0 +1,127 @@
+"""Mining provenance: frequent fragments and co-occurrence patterns.
+
+"The problem of mining and extracting knowledge from provenance data has
+been largely unexplored. ... Mining this data may also lead to the discovery
+of patterns that can potentially simplify the notoriously hard,
+time-consuming process of designing and refining scientific workflows"
+(§2.4).  Implemented miners:
+
+* :func:`frequent_paths` — frequent module-type *paths* (downstream chains)
+  across a workflow corpus, apriori-style by length;
+* :func:`cooccurrence` — module-type co-occurrence counts;
+* :func:`successor_model` — conditional next-module-type distribution,
+  the statistical core of workflow-completion recommendation;
+* :func:`mine_vistrail` — action-kind statistics of an editing session
+  (which change patterns dominate exploratory work).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, List, Tuple
+
+from repro.evolution.vistrail import Vistrail
+from repro.workflow.spec import Workflow
+
+__all__ = ["frequent_paths", "cooccurrence", "successor_model",
+           "mine_vistrail"]
+
+
+def _type_edges(workflow: Workflow) -> List[Tuple[str, str]]:
+    edges = set()
+    for connection in workflow.connections.values():
+        source = workflow.modules[connection.source_module].type_name
+        target = workflow.modules[connection.target_module].type_name
+        edges.add((connection.source_module, connection.target_module,
+                   source, target))
+    return [(s_type, t_type) for _, _, s_type, t_type in sorted(edges)]
+
+
+def frequent_paths(corpus: Iterable[Workflow], *, max_length: int = 4,
+                   min_support: int = 2
+                   ) -> Dict[Tuple[str, ...], int]:
+    """Module-type paths appearing in at least ``min_support`` workflows.
+
+    A path is a chain of module types connected by dataflow edges; support
+    counts distinct workflows containing it (not occurrences), apriori
+    pruning extends only frequent prefixes.
+    """
+    corpus = list(corpus)
+    path_support: Dict[Tuple[str, ...], set] = defaultdict(set)
+    per_workflow_paths: List[Dict[Tuple[str, ...], bool]] = []
+
+    for workflow in corpus:
+        adjacency: Dict[str, List[str]] = defaultdict(list)
+        for connection in workflow.connections.values():
+            adjacency[connection.source_module].append(
+                connection.target_module)
+        found: set = set()
+        for start in workflow.modules:
+            stack = [(start, (workflow.modules[start].type_name,))]
+            while stack:
+                node, path = stack.pop()
+                found.add(path)
+                if len(path) >= max_length:
+                    continue
+                for successor in adjacency.get(node, ()):
+                    stack.append((successor, path + (
+                        workflow.modules[successor].type_name,)))
+        for path in found:
+            path_support[path].add(workflow.id)
+
+    return {path: len(workflow_ids)
+            for path, workflow_ids in sorted(path_support.items())
+            if len(workflow_ids) >= min_support and len(path) >= 2}
+
+
+def cooccurrence(corpus: Iterable[Workflow]
+                 ) -> Dict[Tuple[str, str], int]:
+    """How many workflows contain both types (unordered pairs)."""
+    counts: Counter = Counter()
+    for workflow in corpus:
+        types = sorted({module.type_name
+                        for module in workflow.modules.values()})
+        for index, first in enumerate(types):
+            for second in types[index + 1:]:
+                counts[(first, second)] += 1
+    return dict(counts)
+
+
+def successor_model(corpus: Iterable[Workflow]
+                    ) -> Dict[str, Dict[str, float]]:
+    """P(next module type | current module type) from corpus dataflow."""
+    transitions: Dict[str, Counter] = defaultdict(Counter)
+    for workflow in corpus:
+        for source_type, target_type in _type_edges(workflow):
+            transitions[source_type][target_type] += 1
+    model: Dict[str, Dict[str, float]] = {}
+    for source_type, counter in transitions.items():
+        total = sum(counter.values())
+        model[source_type] = {target: count / total
+                              for target, count in counter.items()}
+    return model
+
+
+def mine_vistrail(vistrail: Vistrail) -> Dict[str, object]:
+    """Editing-session statistics: action mix, branching, dead ends."""
+    action_kinds: Counter = Counter()
+    users: Counter = Counter()
+    for node in vistrail.nodes.values():
+        if node.action is None:
+            continue
+        action_kinds[type(node.action).__name__] += 1
+        if node.user:
+            users[node.user] += 1
+    leaves = vistrail.leaves()
+    depths = [vistrail.depth(leaf) for leaf in leaves]
+    branch_points = sum(1 for version in vistrail.nodes
+                        if len(vistrail.children(version)) > 1)
+    return {
+        "versions": len(vistrail),
+        "action_kinds": dict(action_kinds),
+        "branches": len(leaves),
+        "branch_points": branch_points,
+        "max_depth": max(depths, default=0),
+        "mean_depth": (sum(depths) / len(depths)) if depths else 0.0,
+        "users": dict(users),
+    }

@@ -1,0 +1,110 @@
+"""Workflow-completion recommendation from mined provenance.
+
+"Useful knowledge is embedded in provenance which can be re-used to simplify
+the construction of workflows" (§2.3, [34]).  The recommender learns a
+successor model from a corpus and, given a workflow under construction,
+suggests what to connect next — per open output port, ranked by conditional
+probability, with type-compatibility checked against the registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analytics.mining import successor_model
+from repro.workflow.registry import ModuleRegistry
+from repro.workflow.spec import Workflow
+
+__all__ = ["Suggestion", "Recommender"]
+
+
+@dataclass(frozen=True)
+class Suggestion:
+    """One completion suggestion.
+
+    Attributes:
+        after_module: module id whose output the suggestion extends.
+        module_type: suggested module type to append.
+        score: conditional probability from the corpus.
+        via_ports: (source output port, target input port) to connect.
+    """
+
+    after_module: str
+    module_type: str
+    score: float
+    via_ports: Tuple[str, str]
+
+
+class Recommender:
+    """Suggests next modules for a partially built workflow."""
+
+    def __init__(self, corpus: Iterable[Workflow],
+                 registry: ModuleRegistry) -> None:
+        self.registry = registry
+        self.model = successor_model(corpus)
+
+    def frontier(self, workflow: Workflow) -> List[str]:
+        """Module ids with at least one unconsumed output port."""
+        consumed: Dict[str, set] = {}
+        for connection in workflow.connections.values():
+            consumed.setdefault(connection.source_module,
+                                set()).add(connection.source_port)
+        open_modules = []
+        for module in workflow.modules.values():
+            if module.type_name not in self.registry:
+                continue
+            definition = self.registry.get(module.type_name)
+            declared = {port.name for port in definition.output_ports}
+            if declared - consumed.get(module.id, set()):
+                open_modules.append(module.id)
+        return sorted(open_modules)
+
+    def suggest(self, workflow: Workflow, *, top_k: int = 3,
+                min_score: float = 0.05) -> List[Suggestion]:
+        """Ranked suggestions for every frontier module."""
+        suggestions: List[Suggestion] = []
+        for module_id in self.frontier(workflow):
+            module = workflow.modules[module_id]
+            distribution = self.model.get(module.type_name, {})
+            ranked = sorted(distribution.items(),
+                            key=lambda item: (-item[1], item[0]))
+            added = 0
+            for candidate_type, score in ranked:
+                if score < min_score or added >= top_k:
+                    break
+                ports = self._connectable(module.type_name,
+                                          candidate_type)
+                if ports is None:
+                    continue
+                suggestions.append(Suggestion(
+                    after_module=module_id, module_type=candidate_type,
+                    score=round(score, 4), via_ports=ports))
+                added += 1
+        suggestions.sort(key=lambda s: (-s.score, s.after_module,
+                                        s.module_type))
+        return suggestions
+
+    def _connectable(self, source_type: str, target_type: str
+                     ) -> Optional[Tuple[str, str]]:
+        """First type-compatible (output, input) port pair, if any."""
+        if (source_type not in self.registry
+                or target_type not in self.registry):
+            return None
+        source_def = self.registry.get(source_type)
+        target_def = self.registry.get(target_type)
+        for out_port in source_def.output_ports:
+            for in_port in target_def.input_ports:
+                if self.registry.types.is_subtype(out_port.type_name,
+                                                  in_port.type_name):
+                    return (out_port.name, in_port.name)
+        return None
+
+    def apply_suggestion(self, workflow: Workflow,
+                         suggestion: Suggestion) -> str:
+        """Materialize a suggestion into the workflow; returns module id."""
+        from repro.workflow.spec import Module
+        module = workflow.add_module(Module(suggestion.module_type))
+        workflow.connect(suggestion.after_module, suggestion.via_ports[0],
+                         module.id, suggestion.via_ports[1])
+        return module.id

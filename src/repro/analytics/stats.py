@@ -1,0 +1,96 @@
+"""Provenance statistics: quantifying runs, graphs and overload.
+
+"The growth in the volume of provenance data also calls for techniques that
+deal with information overload" (§2.4).  Before reducing overload one must
+measure it: this module computes the size/shape statistics of runs and
+causality graphs that the summarization and user-view subsystems act on.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, Iterable, List
+
+from repro.core.causality import causality_graph
+from repro.core.graph import ProvGraph
+from repro.core.retrospective import WorkflowRun
+
+__all__ = ["run_statistics", "graph_statistics", "corpus_statistics"]
+
+
+def run_statistics(run: WorkflowRun) -> Dict[str, Any]:
+    """Size, timing and status breakdown of one run."""
+    status_counts = Counter(execution.status
+                            for execution in run.executions)
+    type_counts = Counter(execution.module_type
+                          for execution in run.executions)
+    durations = [execution.duration for execution in run.executions
+                 if execution.succeeded()]
+    artifact_bytes = sum(artifact.size_hint
+                         for artifact in run.artifacts.values())
+    return {
+        "run_id": run.id,
+        "executions": len(run.executions),
+        "artifacts": len(run.artifacts),
+        "external_artifacts": len(run.external_artifacts()),
+        "final_artifacts": len(run.final_artifacts()),
+        "status_counts": dict(status_counts),
+        "module_type_counts": dict(type_counts),
+        "total_duration": run.duration,
+        "compute_duration": sum(durations),
+        "max_module_duration": max(durations, default=0.0),
+        "artifact_bytes_hint": artifact_bytes,
+        "cached_fraction": (status_counts.get("cached", 0)
+                            / max(1, len(run.executions))),
+    }
+
+
+def graph_statistics(graph: ProvGraph) -> Dict[str, Any]:
+    """Shape statistics of a provenance graph (depth, fan-in/out)."""
+    kind_counts = Counter(attrs["kind"] for _, attrs in graph.nodes())
+    out_degrees = [len(graph.out_edges(node))
+                   for node, _ in graph.nodes()]
+    in_degrees = [len(graph.in_edges(node)) for node, _ in graph.nodes()]
+    try:
+        order = graph.topological_order()
+        depth: Dict[str, int] = {}
+        longest = 0
+        # edges point toward dependencies, so dependencies appear later in
+        # topological order — fill depths from the end backwards
+        for node in reversed(order):
+            depth[node] = 1 + max(
+                (depth[e.dst] for e in graph.out_edges(node)), default=0)
+            longest = max(longest, depth[node])
+    except ValueError:
+        longest = -1  # cyclic graph (should not happen for causality)
+    return {
+        "nodes": graph.node_count,
+        "edges": graph.edge_count,
+        "kind_counts": dict(kind_counts),
+        "max_out_degree": max(out_degrees, default=0),
+        "max_in_degree": max(in_degrees, default=0),
+        "mean_out_degree": (sum(out_degrees) / len(out_degrees)
+                            if out_degrees else 0.0),
+        "longest_path": longest,
+    }
+
+
+def corpus_statistics(runs: Iterable[WorkflowRun]) -> Dict[str, Any]:
+    """Aggregate statistics over a collection of runs (overload view)."""
+    runs = list(runs)
+    per_run = [run_statistics(run) for run in runs]
+    total_exec = sum(stats["executions"] for stats in per_run)
+    total_art = sum(stats["artifacts"] for stats in per_run)
+    module_types: Counter = Counter()
+    for stats in per_run:
+        module_types.update(stats["module_type_counts"])
+    return {
+        "runs": len(runs),
+        "total_executions": total_exec,
+        "total_artifacts": total_art,
+        "mean_executions_per_run": total_exec / max(1, len(runs)),
+        "distinct_module_types": len(module_types),
+        "most_common_module_types": module_types.most_common(5),
+        "failed_runs": sum(1 for run in runs if run.status == "failed"),
+        "provenance_records": total_exec + total_art,
+    }

@@ -1,0 +1,127 @@
+"""Provenance-graph summarization: fighting information overload.
+
+Two reductions, composable with ZOOM user views:
+
+* :func:`collapse_chains` — replace every maximal linear chain of
+  executions (single producer feeding a single consumer) with one
+  summary node; preserves branching structure exactly;
+* :func:`type_summary` — quotient the causality graph by module type /
+  artifact type, giving the "what kinds of things happened" overview whose
+  size is independent of run length.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Set, Tuple
+
+from repro.core.graph import ProvGraph
+from repro.core.retrospective import WorkflowRun
+
+__all__ = ["collapse_chains", "type_summary"]
+
+
+def collapse_chains(graph: ProvGraph) -> ProvGraph:
+    """Collapse maximal linear chains into summary nodes.
+
+    Works on any provenance graph; a node is chain-internal when it has
+    exactly one predecessor and one successor.  Summary nodes carry a
+    ``members`` attribute listing what they absorbed.
+    """
+    chain_next: Dict[str, str] = {}
+    chain_prev: Dict[str, str] = {}
+    for node, _ in graph.nodes():
+        successors = graph.successors(node)
+        predecessors = graph.predecessors(node)
+        if len(successors) == 1 and len(predecessors) <= 1:
+            chain_next[node] = successors[0]
+        if len(predecessors) == 1 and len(successors) <= 1:
+            chain_prev[node] = predecessors[0]
+
+    assigned: Dict[str, str] = {}
+    chains: Dict[str, List[str]] = {}
+    for node in graph.node_ids():
+        if node in assigned:
+            continue
+        # walk to the head of this node's chain
+        head = node
+        while (head in chain_prev
+               and chain_prev[head] in chain_next
+               and chain_next[chain_prev[head]] == head):
+            head = chain_prev[head]
+        members = [head]
+        cursor = head
+        while (cursor in chain_next
+               and chain_next[cursor] in chain_prev
+               and chain_prev[chain_next[cursor]] == cursor):
+            cursor = chain_next[cursor]
+            members.append(cursor)
+        chain_id = members[0] if len(members) == 1 \
+            else f"chain:{members[0]}"
+        for member in members:
+            assigned[member] = chain_id
+        chains[chain_id] = members
+
+    summary = ProvGraph()
+    for chain_id, members in chains.items():
+        if len(members) == 1:
+            attrs = dict(graph.node(members[0]))
+            kind = attrs.pop("kind")
+            summary.add_node(chain_id, kind, **attrs)
+        else:
+            kinds = Counter(graph.kind(member) for member in members)
+            summary.add_node(chain_id, "composite",
+                             label=f"chain[{len(members)}]",
+                             members=list(members),
+                             kind_counts=dict(kinds))
+    seen: Set[Tuple[str, str, str]] = set()
+    for edge in graph.edges():
+        source = assigned[edge.src]
+        target = assigned[edge.dst]
+        if source == target:
+            continue
+        key = (source, target, edge.label)
+        if key in seen:
+            continue
+        seen.add(key)
+        summary.add_edge(source, target, edge.label)
+    return summary
+
+
+def type_summary(run: WorkflowRun) -> ProvGraph:
+    """Quotient a run's causality by module type and artifact type.
+
+    Nodes are ``exec:<ModuleType>`` and ``art:<TypeName>`` with counts;
+    edges carry how many concrete edges they summarize.
+    """
+    graph = ProvGraph()
+    edge_counts: Counter = Counter()
+    for execution in run.executions:
+        if execution.status == "skipped":
+            continue
+        node = f"exec:{execution.module_type}"
+        if not graph.has_node(node):
+            graph.add_node(node, "execution", label=execution.module_type,
+                           count=0)
+        graph.node(node)["count"] += 1
+        for binding in execution.inputs:
+            artifact = run.artifacts[binding.artifact_id]
+            art_node = f"art:{artifact.type_name}"
+            if not graph.has_node(art_node):
+                graph.add_node(art_node, "artifact",
+                               label=artifact.type_name, count=0)
+            edge_counts[(node, art_node, "used")] += 1
+        for binding in execution.outputs:
+            artifact = run.artifacts[binding.artifact_id]
+            art_node = f"art:{artifact.type_name}"
+            if not graph.has_node(art_node):
+                graph.add_node(art_node, "artifact",
+                               label=artifact.type_name, count=0)
+            edge_counts[(art_node, node, "wasGeneratedBy")] += 1
+    for artifact in run.artifacts.values():
+        art_node = f"art:{artifact.type_name}"
+        if graph.has_node(art_node):
+            graph.node(art_node)["count"] += 1
+    for (source, target, label), count in sorted(edge_counts.items()):
+        graph.add_edge(source, target, label, count=count)
+    return graph

@@ -1,0 +1,124 @@
+"""Rendering provenance for people: DOT and ASCII views.
+
+"By analyzing and creating insightful visualizations of provenance data,
+scientists can debug their tasks and obtain a better understanding of their
+results" (§2.4).  GUI rendering is out of scope; DOT output drives any
+Graphviz toolchain and the ASCII renderers make examples and terminals
+self-sufficient.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.causality import causality_graph
+from repro.core.retrospective import WorkflowRun
+from repro.evolution.vistrail import Vistrail
+from repro.workflow.spec import Workflow
+
+__all__ = ["workflow_to_dot", "run_to_dot", "vistrail_to_dot",
+           "ascii_table", "run_report"]
+
+
+def workflow_to_dot(workflow: Workflow) -> str:
+    """Graphviz DOT of a workflow specification."""
+    lines = [f'digraph "{workflow.name}" {{', "  rankdir=TB;"]
+    for module in sorted(workflow.modules.values(), key=lambda m: m.id):
+        params = ", ".join(f"{k}={v!r}" for k, v
+                           in sorted(module.parameters.items()))
+        label = module.name if not params else f"{module.name}\\n{params}"
+        lines.append(f'  "{module.id}" [shape=box, label="{label}"];')
+    for connection in sorted(workflow.connections.values(),
+                             key=lambda c: c.id):
+        lines.append(
+            f'  "{connection.source_module}" -> '
+            f'"{connection.target_module}" '
+            f'[label="{connection.source_port}->'
+            f'{connection.target_port}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def run_to_dot(run: WorkflowRun) -> str:
+    """Graphviz DOT of a run's causality graph."""
+    return causality_graph(run,
+                           include_derivations=False).to_dot(
+        title=f"run {run.id[-8:]}")
+
+
+def vistrail_to_dot(vistrail: Vistrail) -> str:
+    """Graphviz DOT of a version tree (tags as labels)."""
+    lines = [f'digraph "{vistrail.name}" {{', "  rankdir=TB;"]
+    for node in vistrail.nodes.values():
+        label = node.tag or (node.action.describe()[:30]
+                             if node.action else "root")
+        shape = "doubleoctagon" if node.id == vistrail.current else \
+            ("box" if node.tag else "ellipse")
+        lines.append(f'  "{node.id}" [shape={shape}, label="{label}"];')
+    for node in vistrail.nodes.values():
+        if node.parent is not None:
+            lines.append(f'  "{node.parent}" -> "{node.id}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def ascii_table(rows: List[Dict[str, Any]],
+                columns: Optional[List[str]] = None,
+                limit: int = 30) -> str:
+    """Render dict rows as a fixed-width ASCII table."""
+    if not rows:
+        return "(empty)"
+    columns = columns or sorted({key for row in rows for key in row})
+    widths = {column: len(column) for column in columns}
+    rendered_rows = []
+    for row in rows[:limit]:
+        rendered = {column: _cell(row.get(column)) for column in columns}
+        for column, text in rendered.items():
+            widths[column] = max(widths[column], len(text))
+        rendered_rows.append(rendered)
+    header = " | ".join(column.ljust(widths[column])
+                        for column in columns)
+    separator = "-+-".join("-" * widths[column] for column in columns)
+    lines = [header, separator]
+    for rendered in rendered_rows:
+        lines.append(" | ".join(rendered[column].ljust(widths[column])
+                                for column in columns))
+    if len(rows) > limit:
+        lines.append(f"... ({len(rows) - limit} more rows)")
+    return "\n".join(lines)
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    text = str(value)
+    return text if len(text) <= 40 else text[:37] + "..."
+
+
+def run_report(run: WorkflowRun) -> str:
+    """Multi-line execution report of one run (the 'detailed log' view)."""
+    lines = [
+        f"Run {run.id}",
+        f"  workflow: {run.workflow_name} "
+        f"(signature {run.workflow_signature[:12]}...)",
+        f"  status: {run.status}   duration: {run.duration:.4f}s",
+        f"  environment: python {run.environment.get('python_version')} "
+        f"on {run.environment.get('platform')}",
+        "  executions:",
+    ]
+    for execution in run.executions:
+        marker = {"ok": " ", "cached": "=", "failed": "!",
+                  "skipped": "-"}.get(execution.status, "?")
+        lines.append(
+            f"   [{marker}] {execution.module_name:24s} "
+            f"{execution.module_type:22s} {execution.status:8s} "
+            f"{execution.duration:8.4f}s")
+        if execution.error:
+            first_line = execution.error.splitlines()[0]
+            lines.append(f"        error: {first_line}")
+    finals = run.final_artifacts()
+    lines.append(f"  data products ({len(finals)}):")
+    for artifact in finals:
+        lines.append(f"    {artifact.type_name:14s} "
+                     f"{artifact.value_hash[:16]}  via {artifact.role}")
+    return "\n".join(lines)

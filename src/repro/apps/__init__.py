@@ -1,0 +1,21 @@
+"""Applications enabled by provenance (paper §2.3): reproducibility,
+invalidation, exploration, social data analysis, and education."""
+
+from repro.apps.education import (Assignment, ClassSession, GradeReport,
+                                  detect_similar_submissions)
+from repro.apps.exploration import (SweepPoint, SweepResult,
+                                    compare_products, parameter_sweep)
+from repro.apps.invalidation import (InvalidationReport, invalidate_by_hash,
+                                     invalidate_in_run)
+from repro.apps.reproduce import (ReproductionReport, rerun,
+                                  validate_reproduction)
+from repro.apps.social import Collaboratory, PublishedWorkflow, User
+
+__all__ = [
+    "Assignment", "ClassSession", "GradeReport",
+    "detect_similar_submissions",
+    "SweepPoint", "SweepResult", "compare_products", "parameter_sweep",
+    "InvalidationReport", "invalidate_by_hash", "invalidate_in_run",
+    "ReproductionReport", "rerun", "validate_reproduction",
+    "Collaboratory", "PublishedWorkflow", "User",
+]

@@ -1,0 +1,184 @@
+"""Provenance in education: classroom capture, assignments, grading.
+
+"Teaching is one of the killer applications of provenance-enabled workflow
+systems ... an instructor can keep a detailed record of all the steps she
+tried while responding to students' questions; ... students can turn in the
+detailed provenance of their work, showing all the steps they followed to
+solve a problem" (§2.3).
+
+* :class:`ClassSession` — the instructor's live demo as a vistrail plus
+  run log, replayable step by step after class;
+* :class:`Assignment` — declarative requirements (module types that must
+  appear, a product that must be produced, minimum step count) graded
+  directly against a student's submitted provenance;
+* :func:`detect_similar_submissions` — provenance fingerprinting that
+  flags suspiciously identical solution processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.retrospective import WorkflowRun
+from repro.evolution.vistrail import Vistrail
+from repro.workflow.serialization import workflow_from_dict
+
+__all__ = ["ClassSession", "Assignment", "GradeReport",
+           "detect_similar_submissions"]
+
+
+@dataclass
+class ClassSession:
+    """One lecture's exploration, captured for later replay."""
+
+    topic: str
+    instructor: str
+    vistrail: Vistrail
+    runs: List[WorkflowRun] = field(default_factory=list)
+    notes: List[Tuple[str, str]] = field(default_factory=list)
+
+    def note(self, version_id: str, text: str) -> None:
+        """Attach an instructor note to a version (the teaching narrative)."""
+        self.notes.append((version_id, text))
+
+    def record_run(self, run: WorkflowRun) -> None:
+        """Attach a run executed during the session."""
+        self.runs.append(run)
+
+    def replay(self) -> List[str]:
+        """The full lecture as a list of steps with notes interleaved."""
+        notes_by_version: Dict[str, List[str]] = {}
+        for version_id, text in self.notes:
+            notes_by_version.setdefault(version_id, []).append(text)
+        lines: List[str] = [f"Session: {self.topic} "
+                            f"(instructor: {self.instructor})"]
+        for version_id in reversed(
+                self.vistrail.path_to_root(self.vistrail.current)):
+            node = self.vistrail.nodes[version_id]
+            if node.action is not None:
+                lines.append(f"  step: {node.action.describe()}")
+            for text in notes_by_version.get(version_id, ()):
+                lines.append(f"    note: {text}")
+        lines.append(f"  runs recorded: {len(self.runs)}")
+        return lines
+
+
+@dataclass
+class GradeReport:
+    """Outcome of grading one submission."""
+
+    student: str
+    passed: bool
+    points: int
+    max_points: int
+    findings: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """One-line verdict."""
+        verdict = "PASS" if self.passed else "FAIL"
+        return (f"{self.student}: {verdict} "
+                f"({self.points}/{self.max_points})")
+
+
+@dataclass
+class Assignment:
+    """Requirements graded against submitted provenance.
+
+    Attributes:
+        title: assignment name.
+        required_module_types: types that must appear as successful steps.
+        required_product_type: a final artifact of this type must exist.
+        min_steps: minimum number of successful executions.
+        forbidden_module_types: e.g. the module that computes the answer
+            directly.
+    """
+
+    title: str
+    required_module_types: Set[str] = field(default_factory=set)
+    required_product_type: str = ""
+    min_steps: int = 1
+    forbidden_module_types: Set[str] = field(default_factory=set)
+
+    def grade(self, student: str, run: WorkflowRun) -> GradeReport:
+        """Grade a student's submitted run provenance."""
+        findings: List[str] = []
+        points = 0
+        max_points = (len(self.required_module_types)
+                      + (1 if self.required_product_type else 0) + 1)
+
+        executed_types = {execution.module_type
+                          for execution in run.executions
+                          if execution.succeeded()}
+        for required in sorted(self.required_module_types):
+            if required in executed_types:
+                points += 1
+                findings.append(f"used required step {required}")
+            else:
+                findings.append(f"MISSING required step {required}")
+
+        if self.required_product_type:
+            product_types = {artifact.type_name
+                             for artifact in run.final_artifacts()}
+            if self.required_product_type in product_types:
+                points += 1
+                findings.append("produced required "
+                                f"{self.required_product_type}")
+            else:
+                findings.append("MISSING final product of type "
+                                f"{self.required_product_type}")
+
+        successful = sum(1 for execution in run.executions
+                         if execution.succeeded())
+        if successful >= self.min_steps:
+            points += 1
+            findings.append(f"showed {successful} steps "
+                            f"(needed {self.min_steps})")
+        else:
+            findings.append(f"only {successful} steps shown "
+                            f"(needed {self.min_steps})")
+
+        used_forbidden = executed_types & self.forbidden_module_types
+        if used_forbidden:
+            findings.append("used forbidden modules: "
+                            f"{sorted(used_forbidden)}")
+
+        passed = (points == max_points and not used_forbidden
+                  and run.status == "ok")
+        return GradeReport(student=student, passed=passed, points=points,
+                           max_points=max_points, findings=findings)
+
+
+def detect_similar_submissions(submissions: Dict[str, WorkflowRun], *,
+                               threshold: float = 0.9
+                               ) -> List[Tuple[str, str, float]]:
+    """Flag pairs of students whose solution processes nearly coincide.
+
+    Similarity combines workflow-structure identity (signature of the
+    embedded spec) with artifact-hash overlap (identical intermediate
+    data); pairs at or above ``threshold`` are reported.
+    """
+    names = sorted(submissions)
+    fingerprints: Dict[str, Tuple[str, Set[str]]] = {}
+    for name in names:
+        run = submissions[name]
+        signature = run.workflow_signature
+        if not signature and run.workflow_spec:
+            signature = workflow_from_dict(run.workflow_spec).signature()
+        hashes = {artifact.value_hash
+                  for artifact in run.artifacts.values()
+                  if not artifact.is_external()}
+        fingerprints[name] = (signature, hashes)
+
+    flagged: List[Tuple[str, str, float]] = []
+    for index, first in enumerate(names):
+        for second in names[index + 1:]:
+            sig_a, hashes_a = fingerprints[first]
+            sig_b, hashes_b = fingerprints[second]
+            structure = 1.0 if sig_a and sig_a == sig_b else 0.0
+            union = hashes_a | hashes_b
+            data = len(hashes_a & hashes_b) / len(union) if union else 0.0
+            score = 0.5 * structure + 0.5 * data
+            if score >= threshold:
+                flagged.append((first, second, round(score, 4)))
+    return sorted(flagged, key=lambda item: (-item[2], item[0]))

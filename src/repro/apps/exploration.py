@@ -1,0 +1,141 @@
+"""Data exploration: parameter sweeps and data-product comparison.
+
+"Provenance can also be used to simplify exploratory processes.  In
+particular ... flexible re-use of workflows; scalable exploration of large
+parameter spaces; and comparison of data products as well as their
+corresponding workflows" (§2.3).
+
+The sweep runner executes a workflow over a parameter grid through the
+caching engine — runs sharing upstream work reuse it automatically, which
+is precisely what makes large parameter spaces tractable — and the
+comparator diffs the resulting data products by content hash and value.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.manager import ProvenanceManager
+from repro.core.retrospective import WorkflowRun
+from repro.workflow.spec import Workflow
+
+__all__ = ["SweepPoint", "SweepResult", "parameter_sweep",
+           "compare_products"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point: {module_id: {parameter: value}} plus its run id."""
+
+    overrides: Tuple[Tuple[str, Tuple[Tuple[str, Any], ...]], ...]
+    run_id: str
+
+    def as_dict(self) -> Dict[str, Dict[str, Any]]:
+        """Overrides as a nested dict."""
+        return {module_id: dict(parameters)
+                for module_id, parameters in self.overrides}
+
+
+@dataclass
+class SweepResult:
+    """All runs of a parameter sweep plus cache behaviour."""
+
+    workflow_id: str
+    points: List[SweepPoint] = field(default_factory=list)
+    runs: List[WorkflowRun] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_lookups: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of module lookups served from cache over the sweep."""
+        return (self.cache_hits / self.cache_lookups
+                if self.cache_lookups else 0.0)
+
+    def run_for(self, **flat_overrides: Any) -> Optional[WorkflowRun]:
+        """Find a run whose overrides contain all given (param: value)."""
+        for point, run in zip(self.points, self.runs):
+            values = {name: value
+                      for _, parameters in point.overrides
+                      for name, value in parameters}
+            if all(values.get(name) == value
+                   for name, value in flat_overrides.items()):
+                return run
+        return None
+
+
+def parameter_sweep(manager: ProvenanceManager, workflow: Workflow,
+                    grid: Mapping[Tuple[str, str], Iterable[Any]], *,
+                    tags: Optional[Dict[str, Any]] = None) -> SweepResult:
+    """Run ``workflow`` over the cartesian product of the grid.
+
+    Args:
+        grid: maps (module_id, parameter_name) to the values to try.
+
+    The manager's cache persists across grid points, so modules untouched
+    by a changing parameter execute once for the whole sweep.
+    """
+    keys = sorted(grid, key=lambda key: (key[0], key[1]))
+    value_lists = [list(grid[key]) for key in keys]
+    result = SweepResult(workflow_id=workflow.id)
+    stats_before = manager.cache_stats()
+
+    for combination in itertools.product(*value_lists):
+        overrides: Dict[str, Dict[str, Any]] = {}
+        for (module_id, parameter), value in zip(keys, combination):
+            overrides.setdefault(module_id, {})[parameter] = value
+        run = manager.run(workflow, parameter_overrides=overrides,
+                          tags={**(tags or {}), "sweep": True})
+        result.points.append(SweepPoint(
+            overrides=tuple(sorted(
+                (module_id, tuple(sorted(parameters.items())))
+                for module_id, parameters in overrides.items())),
+            run_id=run.id))
+        result.runs.append(run)
+
+    stats_after = manager.cache_stats()
+    result.cache_hits = stats_after["hits"] - stats_before["hits"]
+    result.cache_lookups = (
+        stats_after["hits"] + stats_after["misses"]
+        - stats_before["hits"] - stats_before["misses"])
+    return result
+
+
+def compare_products(first: WorkflowRun, second: WorkflowRun,
+                     module_id: str, port: str) -> Dict[str, Any]:
+    """Compare one data product across two runs.
+
+    Returns identity (hash equality) plus a numeric difference summary when
+    both values are arrays or numbers.
+    """
+    artifact_a = first.artifacts_for_module(module_id, port)
+    artifact_b = second.artifacts_for_module(module_id, port)
+    if artifact_a is None or artifact_b is None:
+        raise KeyError(f"both runs must produce {module_id}.{port}")
+    comparison: Dict[str, Any] = {
+        "identical": artifact_a.value_hash == artifact_b.value_hash,
+        "hash_a": artifact_a.value_hash,
+        "hash_b": artifact_b.value_hash,
+    }
+    value_a = first.values.get(artifact_a.id)
+    value_b = second.values.get(artifact_b.id)
+    if value_a is not None and value_b is not None:
+        try:
+            array_a = np.asarray(value_a, dtype=np.float64)
+            array_b = np.asarray(value_b, dtype=np.float64)
+            if array_a.shape == array_b.shape:
+                difference = array_a - array_b
+                comparison["max_abs_diff"] = float(
+                    np.abs(difference).max())
+                comparison["mean_abs_diff"] = float(
+                    np.abs(difference).mean())
+            else:
+                comparison["shape_a"] = list(array_a.shape)
+                comparison["shape_b"] = list(array_b.shape)
+        except (TypeError, ValueError):
+            pass  # non-numeric products compare by hash only
+    return comparison

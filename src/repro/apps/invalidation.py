@@ -1,0 +1,77 @@
+"""Invalidation propagation: the defective-CT-scanner scenario.
+
+"In the event that the CT scanner used to generate the input file
+head.120.vtk is found to be defective, results that depend on the scan can
+be invalidated by examining data dependencies" (§2.2).
+
+Given a bad artifact (identified by content hash, so the same bad bytes are
+found in *every* run that used them), the propagator walks data dependencies
+across a whole provenance store and reports every affected artifact, run and
+data product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.core.causality import causality_graph, downstream_artifacts
+from repro.core.retrospective import WorkflowRun
+from repro.storage.base import ProvenanceStore
+
+__all__ = ["InvalidationReport", "invalidate_by_hash", "invalidate_in_run"]
+
+
+@dataclass
+class InvalidationReport:
+    """Everything tainted by one defective artifact.
+
+    Attributes:
+        bad_hash: content hash of the defective data.
+        affected_runs: run id -> artifact ids invalidated in that run.
+        affected_products: run id -> invalidated *final* data products.
+        clean_runs: runs that never touched the bad data.
+    """
+
+    bad_hash: str
+    affected_runs: Dict[str, List[str]] = field(default_factory=dict)
+    affected_products: Dict[str, List[str]] = field(default_factory=dict)
+    clean_runs: List[str] = field(default_factory=list)
+
+    @property
+    def total_invalidated(self) -> int:
+        """Total artifacts invalidated across all runs."""
+        return sum(len(ids) for ids in self.affected_runs.values())
+
+    def summary(self) -> str:
+        """One-line report."""
+        return (f"hash {self.bad_hash[:12]}...: "
+                f"{len(self.affected_runs)} runs affected, "
+                f"{self.total_invalidated} artifacts invalidated, "
+                f"{len(self.clean_runs)} runs clean")
+
+
+def invalidate_in_run(run: WorkflowRun, artifact_id: str) -> Set[str]:
+    """Artifacts in ``run`` downstream of (depending on) ``artifact_id``."""
+    graph = causality_graph(run, include_derivations=False)
+    return downstream_artifacts(graph, artifact_id)
+
+
+def invalidate_by_hash(store: ProvenanceStore,
+                       bad_hash: str) -> InvalidationReport:
+    """Propagate invalidation of a content hash across every stored run."""
+    report = InvalidationReport(bad_hash=bad_hash)
+    for summary in store.list_runs():
+        run = store.load_run(summary.run_id)
+        seeds = [artifact.id for artifact in run.artifacts.values()
+                 if artifact.value_hash == bad_hash]
+        if not seeds:
+            report.clean_runs.append(run.id)
+            continue
+        tainted: Set[str] = set(seeds)
+        for seed in seeds:
+            tainted |= invalidate_in_run(run, seed)
+        report.affected_runs[run.id] = sorted(tainted)
+        final_ids = {artifact.id for artifact in run.final_artifacts()}
+        report.affected_products[run.id] = sorted(tainted & final_ids)
+    return report

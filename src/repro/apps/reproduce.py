@@ -1,0 +1,107 @@
+"""Reproducibility: re-executing recorded runs and validating results.
+
+"A key benefit for maintaining provenance of computational results is
+reproducibility: a detailed record of the steps followed to produce a result
+allows others to reproduce and validate these results" (§2.3 — the paper
+points at SIGMOD 2008's own experimental repeatability requirement).
+
+A run's retrospective provenance embeds the prospective snapshot (workflow
+spec), every parameter, and the content hash of every artifact — everything
+needed to re-execute and to *decide* whether the reproduction succeeded:
+matching output hashes mean bitwise-identical results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.capture import ProvenanceCapture, run_from_result
+from repro.core.retrospective import WorkflowRun
+from repro.workflow.engine import Executor
+from repro.workflow.environment import environment_diff
+from repro.workflow.registry import ModuleRegistry
+from repro.workflow.serialization import workflow_from_dict
+
+__all__ = ["ReproductionReport", "rerun", "validate_reproduction"]
+
+
+@dataclass
+class ReproductionReport:
+    """Comparison between an original run and its reproduction.
+
+    Attributes:
+        original_run / new_run: the two run ids.
+        reproducible: True when every comparable final output hash matched.
+        matching / mismatched: per "module.port" output comparisons.
+        missing: outputs present originally but absent in the reproduction.
+        environment_changes: environment keys that differ between runs.
+    """
+
+    original_run: str
+    new_run: str
+    reproducible: bool
+    matching: List[str] = field(default_factory=list)
+    mismatched: List[str] = field(default_factory=list)
+    missing: List[str] = field(default_factory=list)
+    environment_changes: Dict[str, Any] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """One-line verdict."""
+        verdict = "REPRODUCED" if self.reproducible else "DIVERGED"
+        return (f"{verdict}: {len(self.matching)} outputs match, "
+                f"{len(self.mismatched)} differ, "
+                f"{len(self.missing)} missing; "
+                f"{len(self.environment_changes)} environment changes")
+
+
+def rerun(run: WorkflowRun, registry: ModuleRegistry, *,
+          store: Optional[Any] = None) -> WorkflowRun:
+    """Re-execute a recorded run from its embedded prospective snapshot.
+
+    The workflow is rebuilt from ``run.workflow_spec``; no cache is used so
+    every module actually re-executes.
+    """
+    workflow = workflow_from_dict(run.workflow_spec)
+    capture = ProvenanceCapture(registry=registry, store=store)
+    executor = Executor(registry, listeners=[capture])
+    executor.execute(workflow, tags={"reproduction_of": run.id})
+    return capture.last_run()
+
+
+def validate_reproduction(original: WorkflowRun,
+                          reproduction: WorkflowRun) -> ReproductionReport:
+    """Compare output hashes module-by-module between two runs."""
+    module_names = {execution.module_id: execution.module_name
+                    for execution in original.executions}
+    original_hashes = _output_hashes(original)
+    new_hashes = _output_hashes(reproduction)
+    matching, mismatched, missing = [], [], []
+    for key, value_hash in sorted(original_hashes.items()):
+        module_id, port = key
+        label = f"{module_names.get(module_id, module_id)}.{port}"
+        if key not in new_hashes:
+            missing.append(label)
+        elif new_hashes[key] == value_hash:
+            matching.append(label)
+        else:
+            mismatched.append(label)
+    return ReproductionReport(
+        original_run=original.id,
+        new_run=reproduction.id,
+        reproducible=not mismatched and not missing,
+        matching=matching, mismatched=mismatched, missing=missing,
+        environment_changes=environment_diff(original.environment,
+                                             reproduction.environment))
+
+
+def _output_hashes(run: WorkflowRun) -> Dict[Tuple[str, str], str]:
+    hashes: Dict[Tuple[str, str], str] = {}
+    for execution in run.executions:
+        if not execution.succeeded():
+            continue
+        for binding in execution.outputs:
+            artifact = run.artifacts[binding.artifact_id]
+            hashes[(execution.module_id, binding.port)] = \
+                artifact.value_hash
+    return hashes

@@ -1,0 +1,186 @@
+"""Social data analysis: a science collaboratory.
+
+"Science collaboratories aim to bridge this gap by allowing scientists to
+share, re-use and refine their workflows" (§2.3, [19]).  The collaboratory
+holds users, published workflows with their provenance, tagging, keyword and
+structural search, usage statistics ("wisdom of the crowds") and a
+corpus-trained completion recommender.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.analytics.mining import frequent_paths
+from repro.analytics.recommend import Recommender, Suggestion
+from repro.core.retrospective import WorkflowRun
+from repro.identity import new_id
+from repro.query.qbe import contains_pattern
+from repro.workflow.registry import ModuleRegistry
+from repro.workflow.spec import Workflow
+
+__all__ = ["User", "PublishedWorkflow", "Collaboratory"]
+
+
+@dataclass
+class User:
+    """A collaboratory member."""
+
+    name: str
+    affiliation: str = ""
+    id: str = field(default_factory=lambda: new_id("user"))
+
+
+@dataclass
+class PublishedWorkflow:
+    """A shared workflow with its provenance and community metadata."""
+
+    workflow: Workflow
+    owner: str
+    title: str
+    description: str = ""
+    tags: Set[str] = field(default_factory=set)
+    runs: List[WorkflowRun] = field(default_factory=list)
+    downloads: int = 0
+    stars: Set[str] = field(default_factory=set)
+    published: float = 0.0
+    forked_from: str = ""
+
+    @property
+    def star_count(self) -> int:
+        """Number of distinct users who starred this workflow."""
+        return len(self.stars)
+
+
+class Collaboratory:
+    """A multi-user repository of workflows and their provenance."""
+
+    def __init__(self, registry: ModuleRegistry,
+                 name: str = "collaboratory") -> None:
+        self.name = name
+        self.registry = registry
+        self.users: Dict[str, User] = {}
+        self.published: Dict[str, PublishedWorkflow] = {}
+
+    # -- membership -------------------------------------------------------
+    def join(self, name: str, affiliation: str = "") -> User:
+        """Register a user; returns the member record."""
+        user = User(name=name, affiliation=affiliation)
+        self.users[user.id] = user
+        return user
+
+    def _require_user(self, user_id: str) -> User:
+        if user_id not in self.users:
+            raise KeyError(f"unknown user: {user_id}")
+        return self.users[user_id]
+
+    # -- publishing -----------------------------------------------------------
+    def publish(self, user_id: str, workflow: Workflow, title: str, *,
+                description: str = "", tags: Optional[Set[str]] = None,
+                runs: Optional[List[WorkflowRun]] = None,
+                forked_from: str = "") -> PublishedWorkflow:
+        """Share a workflow (optionally with recorded runs)."""
+        self._require_user(user_id)
+        entry = PublishedWorkflow(
+            workflow=workflow.copy(), owner=user_id, title=title,
+            description=description, tags=set(tags or ()),
+            runs=list(runs or ()), published=time.time(),
+            forked_from=forked_from)
+        self.published[entry.workflow.id] = entry
+        return entry
+
+    def fork(self, user_id: str, workflow_id: str,
+             title: str = "") -> PublishedWorkflow:
+        """Copy someone's workflow into a new entry (re-use + refine)."""
+        self._require_user(user_id)
+        original = self.published[workflow_id]
+        original.downloads += 1
+        from repro.identity import new_id as fresh
+        copy = original.workflow.copy(new_id_=fresh("wf"))
+        return self.publish(
+            user_id, copy, title or f"fork of {original.title}",
+            description=f"forked from {original.title}",
+            tags=set(original.tags), forked_from=workflow_id)
+
+    def star(self, user_id: str, workflow_id: str) -> None:
+        """Star a workflow (idempotent per user)."""
+        self._require_user(user_id)
+        self.published[workflow_id].stars.add(user_id)
+
+    def record_run(self, workflow_id: str, run: WorkflowRun) -> None:
+        """Attach a new run's provenance to a published workflow."""
+        self.published[workflow_id].runs.append(run)
+
+    # -- search -----------------------------------------------------------
+    def search(self, text: str) -> List[PublishedWorkflow]:
+        """Keyword search over titles, descriptions and tags."""
+        needle = text.lower()
+        found = [
+            entry for entry in self.published.values()
+            if needle in entry.title.lower()
+            or needle in entry.description.lower()
+            or any(needle in tag.lower() for tag in entry.tags)
+        ]
+        return sorted(found, key=lambda e: (-e.star_count, e.title))
+
+    def search_by_module_type(self, type_name: str
+                              ) -> List[PublishedWorkflow]:
+        """Workflows using a given module type."""
+        found = [entry for entry in self.published.values()
+                 if any(module.type_name == type_name
+                        for module in entry.workflow.modules.values())]
+        return sorted(found, key=lambda e: (-e.star_count, e.title))
+
+    def search_by_pattern(self, pattern: Workflow
+                          ) -> List[PublishedWorkflow]:
+        """Structural search: workflows containing the pattern fragment."""
+        found = [entry for entry in self.published.values()
+                 if contains_pattern(pattern, entry.workflow)]
+        return sorted(found, key=lambda e: (-e.star_count, e.title))
+
+    # -- community knowledge ----------------------------------------------
+    def popular(self, top_k: int = 5) -> List[PublishedWorkflow]:
+        """Most starred-and-downloaded workflows."""
+        return sorted(self.published.values(),
+                      key=lambda e: (-(e.star_count + e.downloads),
+                                     e.title))[:top_k]
+
+    def trending_fragments(self, *, min_support: int = 2,
+                           max_length: int = 3
+                           ) -> Dict[Tuple[str, ...], int]:
+        """Frequently shared pipeline fragments across the community."""
+        return frequent_paths(
+            [entry.workflow for entry in self.published.values()],
+            min_support=min_support, max_length=max_length)
+
+    def recommender(self) -> Recommender:
+        """A completion recommender trained on the community corpus."""
+        return Recommender(
+            [entry.workflow for entry in self.published.values()],
+            self.registry)
+
+    def suggest_completion(self, workflow: Workflow,
+                           top_k: int = 3) -> List[Suggestion]:
+        """Crowd-sourced next-module suggestions for a draft workflow."""
+        return self.recommender().suggest(workflow, top_k=top_k)
+
+    def statistics(self) -> Dict[str, Any]:
+        """Community-level statistics."""
+        tag_counts: Counter = Counter()
+        for entry in self.published.values():
+            tag_counts.update(entry.tags)
+        runs = sum(len(entry.runs) for entry in self.published.values())
+        forks = sum(1 for entry in self.published.values()
+                    if entry.forked_from)
+        return {
+            "users": len(self.users),
+            "workflows": len(self.published),
+            "runs_shared": runs,
+            "forks": forks,
+            "top_tags": tag_counts.most_common(5),
+            "total_stars": sum(entry.star_count
+                               for entry in self.published.values()),
+        }

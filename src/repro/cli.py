@@ -1,0 +1,141 @@
+"""Command-line interface: inspect and demonstrate the system.
+
+Usage (after ``pip install -e .`` / ``python setup.py develop``)::
+
+    python -m repro demo            # run the Figure 1 pipeline, print report
+    python -m repro recipe          # print the Figure 1 prospective recipe
+    python -m repro challenge       # run the First Provenance Challenge
+    python -m repro challenge2      # run the Second (multi-system) Challenge
+    python -m repro modules         # list every registered module type
+    python -m repro query "COUNT EXECUTIONS"   # ProvQL against a demo run
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main"]
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.analytics import run_report
+    from repro.core import ProvenanceManager
+    from repro.workloads import build_vis_workflow
+    manager = ProvenanceManager()
+    run = manager.run(build_vis_workflow(size=args.size))
+    print(run_report(run))
+    return 0 if run.status == "ok" else 1
+
+
+def _cmd_recipe(args: argparse.Namespace) -> int:
+    from repro.core import ProvenanceManager
+    from repro.workloads import build_vis_workflow
+    manager = ProvenanceManager()
+    print(manager.prospective(build_vis_workflow(size=args.size))
+          .describe())
+    return 0
+
+
+def _cmd_challenge(args: argparse.Namespace) -> int:
+    from repro.workloads import CHALLENGE_QUERIES, ChallengeSession
+    session = ChallengeSession.create(size=args.size)
+    results = session.all_queries()
+    for name in sorted(CHALLENGE_QUERIES):
+        result = results[name]
+        size = len(result) if isinstance(result, (list, dict)) else result
+        print(f"{name}: {CHALLENGE_QUERIES[name][:60]}... -> {size}")
+    return 0
+
+
+def _cmd_challenge2(args: argparse.Namespace) -> int:
+    from repro.interop import cross_system_lineage, run_challenge2
+    result = run_challenge2(size=args.size)
+    print(f"integrated {result.report.systems} systems, "
+          f"{result.report.crossings()} cross-system artifacts, "
+          f"{len(result.report.conflicts)} conflicts")
+    lineage = cross_system_lineage(result, "atlas-x.graphic")
+    systems = sorted({process.split(':')[0]
+                      for process in lineage['processes']})
+    print(f"lineage of atlas-x.graphic spans: {', '.join(systems)}")
+    return 0
+
+
+def _cmd_modules(args: argparse.Namespace) -> int:
+    from repro.workflow.modules import standard_registry
+    registry = standard_registry()
+    for type_name in registry.type_names():
+        definition = registry.get(type_name)
+        inputs = ",".join(p.name for p in definition.input_ports)
+        outputs = ",".join(p.name for p in definition.output_ports)
+        print(f"{type_name:22s} [{definition.category:9s}] "
+              f"({inputs}) -> ({outputs})")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.core import ProvenanceManager
+    from repro.analytics import ascii_table
+    from repro.workloads import build_vis_workflow
+    manager = ProvenanceManager()
+    run = manager.run(build_vis_workflow(size=10))
+    result = manager.query(args.text, run)
+    if isinstance(result, list) and result \
+            and isinstance(result[0], dict):
+        print(ascii_table(result))
+    else:
+        print(result)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="provenance-enabled scientific workflow system "
+                    "(Davidson & Freire, SIGMOD 2008)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo = subparsers.add_parser(
+        "demo", help="run the Figure 1 pipeline and print its "
+                     "retrospective provenance")
+    demo.add_argument("--size", type=int, default=16,
+                      help="volume edge length")
+    demo.set_defaults(handler=_cmd_demo)
+
+    recipe = subparsers.add_parser(
+        "recipe", help="print the Figure 1 prospective recipe")
+    recipe.add_argument("--size", type=int, default=16)
+    recipe.set_defaults(handler=_cmd_recipe)
+
+    challenge = subparsers.add_parser(
+        "challenge", help="run the First Provenance Challenge queries")
+    challenge.add_argument("--size", type=int, default=12)
+    challenge.set_defaults(handler=_cmd_challenge)
+
+    challenge2 = subparsers.add_parser(
+        "challenge2", help="run the multi-system integration challenge")
+    challenge2.add_argument("--size", type=int, default=12)
+    challenge2.set_defaults(handler=_cmd_challenge2)
+
+    modules = subparsers.add_parser(
+        "modules", help="list registered module types")
+    modules.set_defaults(handler=_cmd_modules)
+
+    query = subparsers.add_parser(
+        "query", help="evaluate a ProvQL query against a demo run")
+    query.add_argument("text", help="ProvQL query text")
+    query.set_defaults(handler=_cmd_query)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

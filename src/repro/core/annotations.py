@@ -1,0 +1,150 @@
+"""User-defined provenance: annotations.
+
+The paper: "Another key component of provenance is user-defined information
+... often captured in the form of annotations ... added at different levels
+of granularity and associated with different components of both prospective
+and retrospective provenance (e.g., for modules, data products, execution log
+records)."
+
+An :class:`Annotation` attaches a (key, value) pair plus authorship to any
+entity in the system; :class:`AnnotationStore` indexes annotations by target,
+key and author, and supports free-text search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.identity import new_id
+
+__all__ = ["Annotation", "AnnotationStore", "ANNOTATABLE_KINDS"]
+
+#: Entity kinds that may carry annotations (every provenance granularity).
+ANNOTATABLE_KINDS = (
+    "workflow", "module", "connection", "run", "execution", "artifact",
+    "version", "view",
+)
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """One user-defined note attached to a provenance entity."""
+
+    target_kind: str
+    target_id: str
+    key: str
+    value: Any
+    author: str = ""
+    created: float = 0.0
+    id: str = field(default_factory=lambda: new_id("ann"))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form."""
+        return {
+            "id": self.id,
+            "target_kind": self.target_kind,
+            "target_id": self.target_id,
+            "key": self.key,
+            "value": self.value,
+            "author": self.author,
+            "created": self.created,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Annotation":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(id=data["id"], target_kind=data["target_kind"],
+                   target_id=data["target_id"], key=data["key"],
+                   value=data["value"], author=data.get("author", ""),
+                   created=data.get("created", 0.0))
+
+
+class AnnotationStore:
+    """Indexed collection of annotations."""
+
+    def __init__(self) -> None:
+        self._by_id: Dict[str, Annotation] = {}
+        self._by_target: Dict[tuple, List[str]] = {}
+
+    def add(self, annotation: Annotation) -> Annotation:
+        """Insert one annotation (target kind must be annotatable)."""
+        if annotation.target_kind not in ANNOTATABLE_KINDS:
+            raise ValueError(
+                f"cannot annotate entities of kind "
+                f"{annotation.target_kind!r}")
+        self._by_id[annotation.id] = annotation
+        key = (annotation.target_kind, annotation.target_id)
+        self._by_target.setdefault(key, []).append(annotation.id)
+        return annotation
+
+    def annotate(self, target_kind: str, target_id: str, key: str,
+                 value: Any, author: str = "",
+                 created: float = 0.0) -> Annotation:
+        """Build and insert an annotation in one call."""
+        return self.add(Annotation(target_kind=target_kind,
+                                   target_id=target_id, key=key,
+                                   value=value, author=author,
+                                   created=created))
+
+    def remove(self, annotation_id: str) -> bool:
+        """Delete an annotation; return True when it existed."""
+        annotation = self._by_id.pop(annotation_id, None)
+        if annotation is None:
+            return False
+        key = (annotation.target_kind, annotation.target_id)
+        self._by_target[key].remove(annotation_id)
+        if not self._by_target[key]:
+            del self._by_target[key]
+        return True
+
+    def get(self, annotation_id: str) -> Annotation:
+        """Annotation by id (KeyError when absent)."""
+        return self._by_id[annotation_id]
+
+    def for_target(self, target_kind: str,
+                   target_id: str) -> List[Annotation]:
+        """All annotations on one entity, in insertion order."""
+        ids = self._by_target.get((target_kind, target_id), ())
+        return [self._by_id[annotation_id] for annotation_id in ids]
+
+    def by_key(self, key: str) -> List[Annotation]:
+        """All annotations with the given key, sorted by id."""
+        return sorted((a for a in self._by_id.values() if a.key == key),
+                      key=lambda a: a.id)
+
+    def by_author(self, author: str) -> List[Annotation]:
+        """All annotations by the given author, sorted by id."""
+        return sorted((a for a in self._by_id.values()
+                       if a.author == author), key=lambda a: a.id)
+
+    def search(self, text: str) -> List[Annotation]:
+        """Case-insensitive substring search over keys and string values."""
+        needle = text.lower()
+        found = []
+        for annotation in self._by_id.values():
+            haystacks = [annotation.key.lower()]
+            if isinstance(annotation.value, str):
+                haystacks.append(annotation.value.lower())
+            if any(needle in haystack for haystack in haystacks):
+                found.append(annotation)
+        return sorted(found, key=lambda a: a.id)
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self):
+        return iter(sorted(self._by_id.values(), key=lambda a: a.id))
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """All annotations as plain dicts (sorted by id)."""
+        return [a.to_dict() for a in self]
+
+    @classmethod
+    def from_dicts(cls, dicts: Iterable[Dict[str, Any]]
+                   ) -> "AnnotationStore":
+        """Rebuild a store from :meth:`to_dicts` output."""
+        store = cls()
+        for data in dicts:
+            store.add(Annotation.from_dict(data))
+        return store

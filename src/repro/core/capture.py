@@ -1,0 +1,306 @@
+"""Provenance capture mechanisms.
+
+The paper: "One of the major advantages to using workflow systems is that
+they can be easily instrumented to automatically capture provenance — this
+information can be accessed directly through system APIs."
+
+Two mechanisms are implemented:
+
+* :class:`ProvenanceCapture` — engine instrumentation.  It is an
+  :class:`~repro.workflow.engine.ExecutionListener`; attached to an
+  :class:`~repro.workflow.engine.Executor` it converts every run into a
+  :class:`~repro.core.retrospective.WorkflowRun`, keeping a streaming event
+  journal along the way (the "detailed log").
+* :class:`ScriptCapture` — API capture for ad-hoc code (the paper's Perl
+  scripts).  Wrapping a plain Python function records each call as a
+  one-execution run, so script-based and workflow-based derivations share
+  one provenance representation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.prospective import ProspectiveProvenance
+from repro.core.retrospective import (DataArtifact, ModuleExecution,
+                                      PortBinding, WorkflowRun)
+from repro.identity import hash_value, new_id
+from repro.workflow.engine import (ExecutionListener, ModuleResult,
+                                   RunResult)
+from repro.workflow.environment import capture_environment
+from repro.workflow.registry import ModuleRegistry
+from repro.workflow.spec import Module, Workflow
+
+__all__ = ["CaptureEvent", "ProvenanceCapture", "ScriptCapture",
+           "run_from_result"]
+
+
+@dataclass(frozen=True)
+class CaptureEvent:
+    """One entry in the streaming capture journal."""
+
+    at: float
+    event: str
+    run_id: str
+    subject: str = ""
+    detail: str = ""
+
+
+def run_from_result(result: RunResult, *,
+                    registry: Optional[ModuleRegistry] = None,
+                    keep_values: bool = True) -> WorkflowRun:
+    """Convert an engine :class:`RunResult` into retrospective provenance.
+
+    Artifact identity: within a run, all port values with equal content hash
+    collapse to a single artifact; its creator is the first producing
+    execution (in topological order), later producers are recorded in
+    ``also_produced_by``.  External inputs become external artifacts.
+    """
+    artifacts: Dict[str, DataArtifact] = {}
+    values: Dict[str, Any] = {}
+    by_hash: Dict[str, str] = {}
+
+    def artifact_for(value_hash: str, value: Any, type_name: str,
+                     created_by: str, role: str) -> str:
+        existing_id = by_hash.get(value_hash)
+        if existing_id is not None:
+            existing = artifacts[existing_id]
+            if (created_by and created_by != existing.created_by
+                    and created_by not in existing.also_produced_by):
+                existing.also_produced_by.append(created_by)
+            return existing_id
+        artifact_id = new_id("art")
+        artifacts[artifact_id] = DataArtifact(
+            id=artifact_id, value_hash=value_hash, type_name=type_name,
+            created_by=created_by, role=role,
+            size_hint=len(repr(value)) if value is not None else 0)
+        by_hash[value_hash] = artifact_id
+        if keep_values:
+            values[artifact_id] = value
+        return artifact_id
+
+    output_port_types = _port_type_lookup(result.workflow, registry)
+    executions: List[ModuleExecution] = []
+    for module_id in result.order:
+        module_result = result.results[module_id]
+        module = result.workflow.modules[module_id]
+        out_bindings: List[PortBinding] = []
+        for port, record in sorted(module_result.outputs.items()):
+            type_name = output_port_types.get(
+                (module.type_name, port, "out"), "Any")
+            artifact_id = artifact_for(record.value_hash, record.value,
+                                       type_name, module_result.execution_id,
+                                       port)
+            out_bindings.append(PortBinding(port=port,
+                                            artifact_id=artifact_id))
+        in_bindings: List[PortBinding] = []
+        for port, record in sorted(module_result.inputs.items()):
+            type_name = output_port_types.get(
+                (module.type_name, port, "in"), "Any")
+            artifact_id = artifact_for(record.value_hash, record.value,
+                                       type_name, "", "")
+            in_bindings.append(PortBinding(port=port,
+                                           artifact_id=artifact_id))
+        executions.append(ModuleExecution(
+            id=module_result.execution_id,
+            module_id=module_id,
+            module_type=module.type_name,
+            module_name=module.name,
+            status=module_result.status,
+            parameters=dict(module_result.parameters),
+            inputs=in_bindings,
+            outputs=out_bindings,
+            started=module_result.started,
+            finished=module_result.finished,
+            error=module_result.error,
+            cache_key=module_result.cache_key,
+            cached_from=module_result.cached_from))
+
+    prospective = ProspectiveProvenance.from_workflow(result.workflow,
+                                                      registry)
+    return WorkflowRun(
+        id=result.run_id,
+        workflow_id=result.workflow.id,
+        workflow_name=result.workflow.name,
+        workflow_signature=prospective.signature,
+        status=result.status,
+        started=result.started,
+        finished=result.finished,
+        environment=dict(result.environment),
+        workflow_spec=prospective.spec,
+        executions=executions,
+        artifacts=artifacts,
+        tags=dict(result.tags),
+        values=values)
+
+
+def _port_type_lookup(workflow: Workflow,
+                      registry: Optional[ModuleRegistry]
+                      ) -> Dict[Tuple[str, str, str], str]:
+    lookup: Dict[Tuple[str, str, str], str] = {}
+    if registry is None:
+        return lookup
+    for type_name in {m.type_name for m in workflow.modules.values()}:
+        if type_name not in registry:
+            continue
+        definition = registry.get(type_name)
+        for port in definition.output_ports:
+            lookup[(type_name, port.name, "out")] = port.type_name
+        for port in definition.input_ports:
+            lookup[(type_name, port.name, "in")] = port.type_name
+    return lookup
+
+
+class ProvenanceCapture(ExecutionListener):
+    """Engine instrumentation that records every run it observes.
+
+    Attach to an :class:`~repro.workflow.engine.Executor`; finished runs are
+    appended to :attr:`runs` and optionally saved to a provenance store (any
+    object with a ``save_run(run)`` method).
+    """
+
+    def __init__(self, *, registry: Optional[ModuleRegistry] = None,
+                 store: Optional[Any] = None, keep_values: bool = True,
+                 journal_limit: int = 10_000) -> None:
+        self.registry = registry
+        self.store = store
+        self.keep_values = keep_values
+        self.runs: List[WorkflowRun] = []
+        self.journal: List[CaptureEvent] = []
+        self.journal_limit = journal_limit
+
+    # -- ExecutionListener ------------------------------------------------
+    def on_run_start(self, run_id: str, workflow: Workflow,
+                     environment: Dict[str, Any],
+                     tags: Dict[str, Any]) -> None:
+        self._journal(CaptureEvent(time.time(), "run-start", run_id,
+                                   subject=workflow.id,
+                                   detail=workflow.name))
+
+    def on_module_start(self, run_id: str, module: Module,
+                        parameters: Dict[str, Any]) -> None:
+        self._journal(CaptureEvent(time.time(), "module-start", run_id,
+                                   subject=module.id, detail=module.name))
+
+    def on_module_finish(self, run_id: str, module: Module,
+                         result: ModuleResult) -> None:
+        self._journal(CaptureEvent(time.time(), "module-finish", run_id,
+                                   subject=module.id, detail=result.status))
+
+    def on_run_finish(self, result: RunResult) -> None:
+        run = run_from_result(result, registry=self.registry,
+                              keep_values=self.keep_values)
+        self.runs.append(run)
+        if self.store is not None:
+            self.store.save_run(run)
+        self._journal(CaptureEvent(time.time(), "run-finish", result.run_id,
+                                   detail=result.status))
+
+    # -- access ------------------------------------------------------------
+    def last_run(self) -> WorkflowRun:
+        """The most recently captured run (IndexError when none)."""
+        return self.runs[-1]
+
+    def run_by_id(self, run_id: str) -> Optional[WorkflowRun]:
+        """A captured run by id, or None."""
+        return next((r for r in self.runs if r.id == run_id), None)
+
+    def _journal(self, event: CaptureEvent) -> None:
+        self.journal.append(event)
+        if len(self.journal) > self.journal_limit:
+            del self.journal[:len(self.journal) - self.journal_limit]
+
+
+class ScriptCapture:
+    """API-level capture for ad-hoc (non-workflow) computations.
+
+    Each recorded call becomes a one-execution :class:`WorkflowRun` whose
+    inputs are the call arguments and whose output is the return value, so
+    script-derived data enters the same provenance infrastructure as
+    workflow-derived data.
+
+    >>> capture = ScriptCapture(author="alice")
+    >>> result, run = capture.record(sorted, [3, 1, 2])
+    >>> result
+    [1, 2, 3]
+    >>> run.executions[0].module_type
+    'script:sorted'
+    """
+
+    def __init__(self, author: str = "",
+                 store: Optional[Any] = None) -> None:
+        self.author = author
+        self.store = store
+        self.runs: List[WorkflowRun] = []
+
+    def record(self, fn: Callable[..., Any], *args: Any,
+               **kwargs: Any) -> Tuple[Any, WorkflowRun]:
+        """Call ``fn(*args, **kwargs)`` and record the call as provenance."""
+        name = getattr(fn, "__name__", "anonymous")
+        started = time.time()
+        error = ""
+        status = "ok"
+        try:
+            output = fn(*args, **kwargs)
+        except Exception as exc:
+            output = None
+            status = "failed"
+            error = f"{type(exc).__name__}: {exc}"
+        finished = time.time()
+
+        artifacts: Dict[str, DataArtifact] = {}
+        values: Dict[str, Any] = {}
+        in_bindings: List[PortBinding] = []
+        execution_id = new_id("exec")
+
+        def add_artifact(value: Any, created_by: str, role: str) -> str:
+            artifact_id = new_id("art")
+            artifacts[artifact_id] = DataArtifact(
+                id=artifact_id, value_hash=hash_value(value),
+                type_name="Any", created_by=created_by, role=role,
+                size_hint=len(repr(value)))
+            values[artifact_id] = value
+            return artifact_id
+
+        for index, argument in enumerate(args):
+            in_bindings.append(PortBinding(
+                port=f"arg{index}",
+                artifact_id=add_artifact(argument, "", "")))
+        for key in sorted(kwargs):
+            in_bindings.append(PortBinding(
+                port=f"kwarg:{key}",
+                artifact_id=add_artifact(kwargs[key], "", "")))
+        out_bindings: List[PortBinding] = []
+        if status == "ok":
+            out_bindings.append(PortBinding(
+                port="return",
+                artifact_id=add_artifact(output, execution_id, "return")))
+
+        execution = ModuleExecution(
+            id=execution_id, module_id=new_id("mod"),
+            module_type=f"script:{name}", module_name=name, status=status,
+            parameters={}, inputs=in_bindings, outputs=out_bindings,
+            started=started, finished=finished, error=error)
+        run = WorkflowRun(
+            id=new_id("run"), workflow_id=new_id("wf"),
+            workflow_name=f"script:{name}", workflow_signature="",
+            status=status, started=started, finished=finished,
+            environment=capture_environment(),
+            executions=[execution], artifacts=artifacts,
+            tags={"capture": "script", "author": self.author},
+            values=values)
+        self.runs.append(run)
+        if self.store is not None:
+            self.store.save_run(run)
+        return output, run
+
+    def wrap(self, fn: Callable[..., Any]) -> Callable[..., Any]:
+        """Return a function that records provenance on every call."""
+        def recorded(*args: Any, **kwargs: Any) -> Any:
+            output, _ = self.record(fn, *args, **kwargs)
+            return output
+        recorded.__name__ = getattr(fn, "__name__", "anonymous")
+        recorded.__doc__ = fn.__doc__
+        return recorded

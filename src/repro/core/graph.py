@@ -1,0 +1,262 @@
+"""A typed directed multigraph used for all provenance graphs.
+
+Provenance graphs mix node kinds (artifacts, executions, agents, composites)
+and edge labels (used, generated-by, derived-from, ...).  This class keeps
+adjacency indexed in both directions and by label so that the closure
+operations that dominate provenance querying (upstream/downstream reachability,
+path enumeration) are linear in the visited region.
+
+The structure is deliberately independent of networkx so the core has no
+optional behaviour; :meth:`ProvGraph.to_networkx` converts when the analytics
+layer wants library algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (Any, Callable, Dict, Iterable, Iterator, List, Optional,
+                    Set, Tuple)
+
+__all__ = ["ProvGraph", "Edge"]
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One labelled edge.  ``attrs`` holds label-specific data (port names)."""
+
+    src: str
+    dst: str
+    label: str
+    attrs: Tuple[Tuple[str, Any], ...] = ()
+
+    def attr(self, key: str, default: Any = None) -> Any:
+        """Look up one edge attribute."""
+        for name, value in self.attrs:
+            if name == key:
+                return value
+        return default
+
+
+class ProvGraph:
+    """Directed multigraph with typed nodes and labelled edges."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, Dict[str, Any]] = {}
+        self._out: Dict[str, List[Edge]] = {}
+        self._in: Dict[str, List[Edge]] = {}
+        self._edge_count = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node_id: str, kind: str, **attrs: Any) -> None:
+        """Add (or update) a node.  ``kind`` is stored as attribute 'kind'."""
+        existing = self._nodes.get(node_id)
+        if existing is None:
+            self._nodes[node_id] = {"kind": kind, **attrs}
+            self._out.setdefault(node_id, [])
+            self._in.setdefault(node_id, [])
+        else:
+            existing.update(attrs)
+            existing["kind"] = kind
+
+    def add_edge(self, src: str, dst: str, label: str,
+                 **attrs: Any) -> Edge:
+        """Add a labelled edge; endpoints must already be nodes."""
+        if src not in self._nodes:
+            raise KeyError(f"unknown source node: {src}")
+        if dst not in self._nodes:
+            raise KeyError(f"unknown target node: {dst}")
+        edge = Edge(src=src, dst=dst, label=label,
+                    attrs=tuple(sorted(attrs.items())))
+        self._out[src].append(edge)
+        self._in[dst].append(edge)
+        self._edge_count += 1
+        return edge
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def has_node(self, node_id: str) -> bool:
+        """True when ``node_id`` exists."""
+        return node_id in self._nodes
+
+    def node(self, node_id: str) -> Dict[str, Any]:
+        """Attribute dict of a node (KeyError when absent)."""
+        return self._nodes[node_id]
+
+    def kind(self, node_id: str) -> str:
+        """The node's kind attribute."""
+        return self._nodes[node_id]["kind"]
+
+    def nodes(self, kind: Optional[str] = None
+              ) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        """Iterate (id, attrs), optionally restricted to one kind."""
+        for node_id, attrs in self._nodes.items():
+            if kind is None or attrs["kind"] == kind:
+                yield node_id, attrs
+
+    def node_ids(self, kind: Optional[str] = None) -> List[str]:
+        """Sorted node ids, optionally restricted to one kind."""
+        return sorted(node_id for node_id, _ in self.nodes(kind))
+
+    def edges(self, label: Optional[str] = None) -> Iterator[Edge]:
+        """Iterate all edges, optionally restricted to one label."""
+        for edge_list in self._out.values():
+            for edge in edge_list:
+                if label is None or edge.label == label:
+                    yield edge
+
+    def out_edges(self, node_id: str,
+                  label: Optional[str] = None) -> List[Edge]:
+        """Edges leaving ``node_id`` (optionally only ``label``)."""
+        return [e for e in self._out.get(node_id, ())
+                if label is None or e.label == label]
+
+    def in_edges(self, node_id: str,
+                 label: Optional[str] = None) -> List[Edge]:
+        """Edges entering ``node_id`` (optionally only ``label``)."""
+        return [e for e in self._in.get(node_id, ())
+                if label is None or e.label == label]
+
+    def successors(self, node_id: str,
+                   label: Optional[str] = None) -> List[str]:
+        """Distinct targets of out-edges (sorted)."""
+        return sorted({e.dst for e in self.out_edges(node_id, label)})
+
+    def predecessors(self, node_id: str,
+                     label: Optional[str] = None) -> List[str]:
+        """Distinct sources of in-edges (sorted)."""
+        return sorted({e.src for e in self.in_edges(node_id, label)})
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes."""
+        return len(self._nodes)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of edges."""
+        return self._edge_count
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def reachable(self, start: str, *, direction: str = "out",
+                  labels: Optional[Set[str]] = None,
+                  node_filter: Optional[Callable[[str], bool]] = None
+                  ) -> Set[str]:
+        """Transitive closure from ``start`` (start itself excluded).
+
+        Args:
+            direction: ``"out"`` follows edges forward, ``"in"`` backward.
+            labels: restrict traversal to these edge labels.
+            node_filter: when given, nodes failing the filter are not
+                expanded (but are included when reached).
+        """
+        if start not in self._nodes:
+            raise KeyError(f"unknown node: {start}")
+        step = self._out if direction == "out" else self._in
+        seen: Set[str] = set()
+        frontier = [start]
+        while frontier:
+            current = frontier.pop()
+            for edge in step.get(current, ()):
+                neighbour = edge.dst if direction == "out" else edge.src
+                if labels is not None and edge.label not in labels:
+                    continue
+                if neighbour in seen:
+                    continue
+                seen.add(neighbour)
+                if node_filter is None or node_filter(neighbour):
+                    frontier.append(neighbour)
+        seen.discard(start)
+        return seen
+
+    def paths(self, src: str, dst: str, *,
+              labels: Optional[Set[str]] = None,
+              max_paths: int = 100) -> List[List[str]]:
+        """Enumerate simple paths from ``src`` to ``dst`` (bounded)."""
+        if src not in self._nodes or dst not in self._nodes:
+            raise KeyError("both endpoints must be graph nodes")
+        found: List[List[str]] = []
+        stack: List[Tuple[str, List[str]]] = [(src, [src])]
+        while stack and len(found) < max_paths:
+            current, path = stack.pop()
+            if current == dst:
+                found.append(path)
+                continue
+            for edge in self._out.get(current, ()):
+                if labels is not None and edge.label not in labels:
+                    continue
+                if edge.dst in path:
+                    continue
+                stack.append((edge.dst, path + [edge.dst]))
+        return sorted(found)
+
+    def subgraph(self, node_ids: Iterable[str]) -> "ProvGraph":
+        """Induced subgraph on ``node_ids``."""
+        keep = set(node_ids)
+        result = ProvGraph()
+        for node_id in keep:
+            if node_id in self._nodes:
+                attrs = dict(self._nodes[node_id])
+                kind = attrs.pop("kind")
+                result.add_node(node_id, kind, **attrs)
+        for edge in self.edges():
+            if edge.src in keep and edge.dst in keep:
+                result.add_edge(edge.src, edge.dst, edge.label,
+                                **dict(edge.attrs))
+        return result
+
+    def topological_order(self) -> List[str]:
+        """Topological order of all nodes (raises ValueError on cycles)."""
+        in_degree = {node_id: 0 for node_id in self._nodes}
+        for edge in self.edges():
+            in_degree[edge.dst] += 1
+        ready = sorted(n for n, d in in_degree.items() if d == 0)
+        order: List[str] = []
+        while ready:
+            current = ready.pop(0)
+            order.append(current)
+            for edge in self._out.get(current, ()):
+                in_degree[edge.dst] -= 1
+                if in_degree[edge.dst] == 0:
+                    index = 0
+                    while index < len(ready) and ready[index] < edge.dst:
+                        index += 1
+                    ready.insert(index, edge.dst)
+        if len(order) != len(self._nodes):
+            raise ValueError("graph contains a cycle")
+        return order
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Convert to a ``networkx.MultiDiGraph`` (attributes preserved)."""
+        import networkx
+        graph = networkx.MultiDiGraph()
+        for node_id, attrs in self._nodes.items():
+            graph.add_node(node_id, **attrs)
+        for edge in self.edges():
+            graph.add_edge(edge.src, edge.dst, label=edge.label,
+                           **dict(edge.attrs))
+        return graph
+
+    def to_dot(self, *, title: str = "provenance") -> str:
+        """Render as Graphviz DOT (shapes by node kind)."""
+        shapes = {"artifact": "ellipse", "execution": "box",
+                  "process": "box", "agent": "octagon",
+                  "composite": "folder"}
+        lines = [f'digraph "{title}" {{', "  rankdir=BT;"]
+        for node_id, attrs in sorted(self._nodes.items()):
+            label = attrs.get("label", node_id)
+            shape = shapes.get(attrs["kind"], "ellipse")
+            lines.append(f'  "{node_id}" [label="{label}", shape={shape}];')
+        for edge in sorted(self.edges(),
+                           key=lambda e: (e.src, e.dst, e.label)):
+            lines.append(f'  "{edge.src}" -> "{edge.dst}" '
+                         f'[label="{edge.label}"];')
+        lines.append("}")
+        return "\n".join(lines)

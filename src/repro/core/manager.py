@@ -1,0 +1,155 @@
+"""ProvenanceManager — the one-object facade over the whole system.
+
+A manager wires together the module registry, the execution engine with
+provenance capture, a storage backend, and the annotation store; and exposes
+the high-level operations a user of a provenance-enabled workflow system
+performs: build and run workflows, inspect prospective/retrospective
+provenance, traverse causality, annotate anything, and hand off to the query,
+OPM and evolution subsystems.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.annotations import Annotation, AnnotationStore
+from repro.core.capture import ProvenanceCapture
+from repro.core.causality import causality_graph
+from repro.core.graph import ProvGraph
+from repro.core.prospective import ProspectiveProvenance
+from repro.core.retrospective import WorkflowRun
+from repro.workflow.cache import ResultCache
+from repro.workflow.engine import Executor, RunResult
+from repro.workflow.registry import ModuleRegistry
+from repro.workflow.spec import Module, Workflow
+
+__all__ = ["ProvenanceManager"]
+
+
+class ProvenanceManager:
+    """Facade tying engine, capture, storage and annotations together.
+
+    Args:
+        registry: module registry (defaults to the standard libraries).
+        store: provenance storage backend (defaults to an in-memory store).
+        use_cache: enable intermediate-result caching in the engine.
+        keep_values: retain artifact values on captured runs.
+    """
+
+    def __init__(self, *, registry: Optional[ModuleRegistry] = None,
+                 store: Optional[Any] = None, use_cache: bool = True,
+                 keep_values: bool = True) -> None:
+        if registry is None:
+            from repro.workflow.modules import standard_registry
+            registry = standard_registry()
+        if store is None:
+            from repro.storage.memory import MemoryStore
+            store = MemoryStore()
+        self.registry = registry
+        self.store = store
+        self.annotations = AnnotationStore()
+        self.cache = ResultCache() if use_cache else None
+        self.capture = ProvenanceCapture(registry=registry, store=store,
+                                         keep_values=keep_values)
+        self.executor = Executor(registry, cache=self.cache,
+                                 listeners=[self.capture])
+
+    # -- building ---------------------------------------------------------
+    def new_workflow(self, name: str) -> Workflow:
+        """Create an empty workflow specification."""
+        return Workflow(name=name)
+
+    def add_module(self, workflow: Workflow, type_name: str,
+                   name: str = "",
+                   parameters: Optional[Dict[str, Any]] = None) -> Module:
+        """Add a module instance of a registered type to ``workflow``."""
+        self.registry.get(type_name)  # raises early on unknown types
+        return workflow.add_module(Module(
+            type_name=type_name, name=name or type_name,
+            parameters=dict(parameters or {})))
+
+    # -- running ------------------------------------------------------------
+    def run(self, workflow: Workflow, *,
+            inputs: Optional[Mapping[Tuple[str, str], Any]] = None,
+            parameter_overrides: Optional[
+                Mapping[str, Mapping[str, Any]]] = None,
+            tags: Optional[Mapping[str, Any]] = None) -> WorkflowRun:
+        """Execute ``workflow``, capture and store its provenance.
+
+        Returns the captured :class:`WorkflowRun`; the raw engine result is
+        available as :attr:`last_engine_result`.
+        """
+        self.store.save_workflow(
+            ProspectiveProvenance.from_workflow(workflow, self.registry))
+        result = self.executor.execute(workflow, inputs=inputs,
+                                       parameter_overrides=parameter_overrides,
+                                       tags=tags)
+        self.last_engine_result: RunResult = result
+        return self.capture.last_run()
+
+    # -- provenance access ----------------------------------------------
+    def prospective(self, workflow: Workflow) -> ProspectiveProvenance:
+        """Prospective-provenance snapshot of ``workflow``."""
+        return ProspectiveProvenance.from_workflow(workflow, self.registry)
+
+    def get_run(self, run_id: str) -> WorkflowRun:
+        """A stored run by id."""
+        return self.store.load_run(run_id)
+
+    def runs(self) -> List[WorkflowRun]:
+        """Every stored run, ordered by start time."""
+        return [self.store.load_run(summary.run_id)
+                for summary in self.store.list_runs()]
+
+    def causality(self, run_or_id: Any, *,
+                  include_derivations: bool = True) -> ProvGraph:
+        """Causality graph of a run (accepts a run object or an id)."""
+        run = (run_or_id if isinstance(run_or_id, WorkflowRun)
+               else self.get_run(run_or_id))
+        return causality_graph(run,
+                               include_derivations=include_derivations)
+
+    # -- annotations -------------------------------------------------------
+    def annotate(self, target_kind: str, target_id: str, key: str,
+                 value: Any, author: str = "") -> Annotation:
+        """Attach a user-defined annotation to any provenance entity."""
+        annotation = self.annotations.annotate(
+            target_kind, target_id, key, value, author=author,
+            created=time.time())
+        self.store.save_annotation(annotation)
+        return annotation
+
+    def annotations_for(self, target_kind: str,
+                        target_id: str) -> List[Annotation]:
+        """Annotations attached to one entity."""
+        return self.annotations.for_target(target_kind, target_id)
+
+    # -- subsystem handoffs -------------------------------------------------
+    def to_opm(self, run_or_id: Any):
+        """Export a run as an Open Provenance Model graph."""
+        from repro.opm.convert import run_to_opm
+        run = (run_or_id if isinstance(run_or_id, WorkflowRun)
+               else self.get_run(run_or_id))
+        return run_to_opm(run)
+
+    def query(self, text: str, run_or_id: Any):
+        """Evaluate a ProvQL query against one run's provenance."""
+        from repro.query.provql import execute
+        run = (run_or_id if isinstance(run_or_id, WorkflowRun)
+               else self.get_run(run_or_id))
+        return execute(text, run)
+
+    def vistrail(self, name: str = "workflow"):
+        """Start a new evolution (version-tree) session."""
+        from repro.evolution.vistrail import Vistrail
+        return Vistrail(name=name)
+
+    # -- statistics ---------------------------------------------------------
+    def cache_stats(self) -> Dict[str, Any]:
+        """Cache hit/miss counters (zeros when caching is disabled)."""
+        if self.cache is None:
+            return {"hits": 0, "misses": 0, "hit_rate": 0.0}
+        return {"hits": self.cache.stats.hits,
+                "misses": self.cache.stats.misses,
+                "hit_rate": self.cache.stats.hit_rate}

@@ -1,0 +1,159 @@
+"""XML serialization of retrospective provenance.
+
+The paper lists "XML dialects that are stored as files" among the storage
+formats systems use.  This module provides a complete XML dialect for runs —
+round-trippable, schema'd by convention, and usable for exchange with tools
+that do not speak this library's JSON.
+
+Layout::
+
+    <run id="..." workflowId="..." status="ok" ...>
+      <environment><entry key="python_version" value='"3.11"'/></environment>
+      <spec>...canonical JSON of the workflow spec...</spec>
+      <tags><entry .../></tags>
+      <executions>
+        <execution id="..." moduleId="..." moduleType="..." status="ok" ...>
+          <parameters><entry key="level" value="90.0"/></parameters>
+          <inputs><binding port="volume" artifact="art-..."/></inputs>
+          <outputs><binding port="mesh" artifact="art-..."/></outputs>
+        </execution>
+      </executions>
+      <artifacts>
+        <artifact id="art-..." hash="..." type="Mesh" createdBy="exec-..."
+                  role="mesh" sizeHint="123"/>
+      </artifacts>
+    </run>
+"""
+
+from __future__ import annotations
+
+import json
+import xml.etree.ElementTree as ET
+from typing import Any, Dict
+
+from repro.core.retrospective import (DataArtifact, ModuleExecution,
+                                      PortBinding, WorkflowRun)
+
+__all__ = ["run_to_xml", "run_from_xml"]
+
+
+def _entries(parent: ET.Element, tag: str, mapping: Dict[str, Any]) -> None:
+    container = ET.SubElement(parent, tag)
+    for key in sorted(mapping):
+        ET.SubElement(container, "entry", key=key,
+                      value=json.dumps(mapping[key]))
+
+
+def _read_entries(parent: ET.Element, tag: str) -> Dict[str, Any]:
+    container = parent.find(tag)
+    if container is None:
+        return {}
+    return {entry.get("key"): json.loads(entry.get("value"))
+            for entry in container.iterfind("entry")}
+
+
+def run_to_xml(run: WorkflowRun) -> str:
+    """Serialize one run (metadata; values are not embedded) to XML."""
+    root = ET.Element(
+        "run", id=run.id, workflowId=run.workflow_id,
+        workflowName=run.workflow_name,
+        signature=run.workflow_signature, status=run.status,
+        started=repr(run.started), finished=repr(run.finished))
+    _entries(root, "environment", run.environment)
+    spec = ET.SubElement(root, "spec")
+    spec.text = json.dumps(run.workflow_spec, sort_keys=True)
+    _entries(root, "tags", run.tags)
+
+    executions = ET.SubElement(root, "executions")
+    for execution in run.executions:
+        element = ET.SubElement(
+            executions, "execution", id=execution.id,
+            moduleId=execution.module_id,
+            moduleType=execution.module_type,
+            moduleName=execution.module_name, status=execution.status,
+            started=repr(execution.started),
+            finished=repr(execution.finished),
+            cacheKey=execution.cache_key,
+            cachedFrom=execution.cached_from)
+        if execution.error:
+            error = ET.SubElement(element, "error")
+            error.text = execution.error
+        _entries(element, "parameters", execution.parameters)
+        inputs = ET.SubElement(element, "inputs")
+        for binding in execution.inputs:
+            ET.SubElement(inputs, "binding", port=binding.port,
+                          artifact=binding.artifact_id)
+        outputs = ET.SubElement(element, "outputs")
+        for binding in execution.outputs:
+            ET.SubElement(outputs, "binding", port=binding.port,
+                          artifact=binding.artifact_id)
+
+    artifacts = ET.SubElement(root, "artifacts")
+    for artifact in sorted(run.artifacts.values(), key=lambda a: a.id):
+        element = ET.SubElement(
+            artifacts, "artifact", id=artifact.id,
+            hash=artifact.value_hash, type=artifact.type_name,
+            createdBy=artifact.created_by, role=artifact.role,
+            sizeHint=str(artifact.size_hint))
+        for producer in artifact.also_produced_by:
+            ET.SubElement(element, "alsoProducedBy", ref=producer)
+    return ET.tostring(root, encoding="unicode")
+
+
+def run_from_xml(text: str) -> WorkflowRun:
+    """Rebuild a :class:`WorkflowRun` from :func:`run_to_xml` output."""
+    root = ET.fromstring(text)
+    if root.tag != "run":
+        raise ValueError(f"expected <run> document, found <{root.tag}>")
+
+    executions = []
+    for element in root.iterfind("./executions/execution"):
+        error_element = element.find("error")
+        executions.append(ModuleExecution(
+            id=element.get("id"),
+            module_id=element.get("moduleId"),
+            module_type=element.get("moduleType"),
+            module_name=element.get("moduleName"),
+            status=element.get("status"),
+            parameters=_read_entries(element, "parameters"),
+            inputs=[PortBinding(port=b.get("port"),
+                                artifact_id=b.get("artifact"))
+                    for b in element.iterfind("./inputs/binding")],
+            outputs=[PortBinding(port=b.get("port"),
+                                 artifact_id=b.get("artifact"))
+                     for b in element.iterfind("./outputs/binding")],
+            started=float(element.get("started", "0")),
+            finished=float(element.get("finished", "0")),
+            error=(error_element.text or ""
+                   if error_element is not None else ""),
+            cache_key=element.get("cacheKey", ""),
+            cached_from=element.get("cachedFrom", "")))
+
+    artifacts = {}
+    for element in root.iterfind("./artifacts/artifact"):
+        artifacts[element.get("id")] = DataArtifact(
+            id=element.get("id"),
+            value_hash=element.get("hash"),
+            type_name=element.get("type", "Any"),
+            created_by=element.get("createdBy", ""),
+            role=element.get("role", ""),
+            also_produced_by=[ref.get("ref") for ref
+                              in element.iterfind("alsoProducedBy")],
+            size_hint=int(element.get("sizeHint", "0")))
+
+    spec_element = root.find("spec")
+    return WorkflowRun(
+        id=root.get("id"),
+        workflow_id=root.get("workflowId"),
+        workflow_name=root.get("workflowName", ""),
+        workflow_signature=root.get("signature", ""),
+        status=root.get("status"),
+        started=float(root.get("started", "0")),
+        finished=float(root.get("finished", "0")),
+        environment=_read_entries(root, "environment"),
+        workflow_spec=(json.loads(spec_element.text)
+                       if spec_element is not None and spec_element.text
+                       else {}),
+        executions=executions,
+        artifacts=artifacts,
+        tags=_read_entries(root, "tags"))

@@ -1,0 +1,31 @@
+"""Database provenance and the DB/workflow bridge (paper §2.4).
+
+Semiring-annotated relations and relational algebra (fine-grained,
+tuple-level provenance) plus the bridge that makes database operators
+first-class workflow modules, enabling cross-layer lineage queries.
+"""
+
+from repro.dbprov.algebra import (AlgebraError, Expr, Join, Project, Rename,
+                                  Scan, Select, Union, aggregate,
+                                  expr_from_dict, expr_to_dict, join,
+                                  project, rename, select, union)
+from repro.dbprov.bridge import (CrossLayerLineage, cross_layer_lineage,
+                                 register_db_modules, table_to_relation)
+from repro.dbprov.relations import Relation, base_relation
+from repro.dbprov.semirings import (SEMIRINGS, BooleanSemiring,
+                                    CountingSemiring, LineageSemiring,
+                                    PolynomialSemiring, Semiring,
+                                    TropicalSemiring, WhySemiring,
+                                    get_semiring)
+
+__all__ = [
+    "AlgebraError", "Expr", "Join", "Project", "Rename", "Scan", "Select",
+    "Union", "aggregate", "expr_from_dict", "expr_to_dict", "join",
+    "project", "rename", "select", "union",
+    "CrossLayerLineage", "cross_layer_lineage", "register_db_modules",
+    "table_to_relation",
+    "Relation", "base_relation",
+    "SEMIRINGS", "BooleanSemiring", "CountingSemiring", "LineageSemiring",
+    "PolynomialSemiring", "Semiring", "TropicalSemiring", "WhySemiring",
+    "get_semiring",
+]

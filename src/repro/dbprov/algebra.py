@@ -1,0 +1,308 @@
+"""Semiring-annotated relational algebra.
+
+Operators follow the provenance-semiring semantics: selection keeps
+annotations, projection ⊕-merges collapsed duplicates, join ⊗-combines,
+union ⊕-combines, and every operator works for every semiring.
+
+Two interfaces are provided: direct functions (``select``, ``project``,
+``join``, ``union``, ``rename``, ``aggregate``) and a serializable
+expression tree (:class:`Expr` and friends) that the workflow bridge embeds
+as module parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.dbprov.relations import Relation
+from repro.dbprov.semirings import Semiring
+
+__all__ = [
+    "select", "project", "join", "union", "rename", "aggregate",
+    "Expr", "Scan", "Select", "Project", "Join", "Union", "Rename",
+    "expr_to_dict", "expr_from_dict", "AlgebraError",
+]
+
+
+class AlgebraError(Exception):
+    """Raised for schema mismatches and malformed expressions."""
+
+
+RowPredicate = Callable[[Dict[str, Any]], bool]
+
+
+def select(relation: Relation, predicate: RowPredicate, *,
+           semiring: Semiring, name: str = "") -> Relation:
+    """Rows satisfying ``predicate``; annotations pass through."""
+    kept = [
+        (row, annotation)
+        for row, annotation in zip(relation.rows, relation.annotations)
+        if predicate(dict(zip(relation.columns, row)))
+    ]
+    return relation.with_rows(name or f"select({relation.name})", kept)
+
+
+def project(relation: Relation, columns: Sequence[str], *,
+            semiring: Semiring, name: str = "") -> Relation:
+    """Keep only ``columns``; duplicates collapse with ⊕."""
+    indexes = [relation.column_index(column) for column in columns]
+    projected = Relation(
+        name=name or f"project({relation.name})",
+        columns=tuple(columns),
+        rows=[tuple(row[i] for i in indexes) for row in relation.rows],
+        annotations=list(relation.annotations))
+    return projected.combined(semiring)
+
+
+def join(left: Relation, right: Relation, *, semiring: Semiring,
+         on: Optional[Sequence[str]] = None, name: str = "") -> Relation:
+    """Natural join (on shared columns, or an explicit ``on`` list);
+    annotations combine with ⊗."""
+    shared = list(on) if on is not None else [
+        column for column in left.columns if column in right.columns]
+    for column in shared:
+        left.column_index(column)
+        right.column_index(column)
+    right_extra = [column for column in right.columns
+                   if column not in shared]
+    out_columns = tuple(left.columns) + tuple(right_extra)
+
+    right_index: Dict[Tuple[Any, ...], List[int]] = {}
+    for index, row in enumerate(right.rows):
+        key = tuple(row[right.column_index(c)] for c in shared)
+        right_index.setdefault(key, []).append(index)
+
+    rows: List[Tuple[Tuple[Any, ...], Any]] = []
+    for left_index, left_row in enumerate(left.rows):
+        key = tuple(left_row[left.column_index(c)] for c in shared)
+        for right_row_index in right_index.get(key, ()):
+            right_row = right.rows[right_row_index]
+            extra = tuple(right_row[right.column_index(c)]
+                          for c in right_extra)
+            annotation = semiring.times(
+                left.annotations[left_index],
+                right.annotations[right_row_index])
+            rows.append((left_row + extra, annotation))
+    joined = Relation(name=name or f"join({left.name},{right.name})",
+                      columns=out_columns,
+                      rows=[row for row, _ in rows],
+                      annotations=[a for _, a in rows])
+    return joined.combined(semiring)
+
+
+def union(left: Relation, right: Relation, *, semiring: Semiring,
+          name: str = "") -> Relation:
+    """Schema-aligned union; duplicate rows combine with ⊕."""
+    if left.columns != right.columns:
+        raise AlgebraError(
+            f"union schema mismatch: {left.columns} vs {right.columns}")
+    combined = Relation(
+        name=name or f"union({left.name},{right.name})",
+        columns=left.columns,
+        rows=list(left.rows) + list(right.rows),
+        annotations=list(left.annotations) + list(right.annotations))
+    return combined.combined(semiring)
+
+
+def rename(relation: Relation, mapping: Mapping[str, str], *,
+           name: str = "") -> Relation:
+    """Rename columns (mapping old -> new)."""
+    columns = tuple(mapping.get(column, column)
+                    for column in relation.columns)
+    return Relation(name=name or f"rename({relation.name})",
+                    columns=columns, rows=list(relation.rows),
+                    annotations=list(relation.annotations))
+
+
+_AGGREGATES: Dict[str, Callable[[List[Any]], Any]] = {
+    "sum": lambda values: sum(values),
+    "count": lambda values: len(values),
+    "min": lambda values: min(values),
+    "max": lambda values: max(values),
+    "mean": lambda values: sum(values) / len(values),
+}
+
+
+def aggregate(relation: Relation, group_by: Sequence[str], column: str,
+              func: str, *, semiring: Semiring,
+              name: str = "") -> Relation:
+    """Group-by aggregation.
+
+    The output annotation of each group is the ⊕ of member annotations —
+    the standard (coarse) extension of semiring provenance to aggregates:
+    it records which base tuples *influenced* the group.
+    """
+    if func not in _AGGREGATES:
+        raise AlgebraError(f"unknown aggregate {func!r}")
+    group_indexes = [relation.column_index(c) for c in group_by]
+    value_index = relation.column_index(column)
+    groups: Dict[Tuple[Any, ...], Tuple[List[Any], Any]] = {}
+    order: List[Tuple[Any, ...]] = []
+    for row, annotation in zip(relation.rows, relation.annotations):
+        key = tuple(row[i] for i in group_indexes)
+        if key not in groups:
+            groups[key] = ([], annotation)
+            order.append(key)
+        else:
+            values, existing = groups[key]
+            groups[key] = (values, semiring.plus(existing, annotation))
+        groups[key][0].append(row[value_index])
+    out_columns = tuple(group_by) + (f"{func}_{column}",)
+    rows, annotations = [], []
+    for key in order:
+        values, annotation = groups[key]
+        rows.append(key + (_AGGREGATES[func](values),))
+        annotations.append(annotation)
+    return Relation(name=name or f"agg({relation.name})",
+                    columns=out_columns, rows=rows,
+                    annotations=annotations)
+
+
+# ----------------------------------------------------------------------
+# serializable expression tree
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Expr:
+    """Base expression node."""
+
+    def evaluate(self, env: Mapping[str, Relation],
+                 semiring: Semiring) -> Relation:
+        """Evaluate against named input relations."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Scan(Expr):
+    """Reference an input relation by name."""
+
+    relation: str
+
+    def evaluate(self, env, semiring):
+        if self.relation not in env:
+            raise AlgebraError(f"unknown input relation {self.relation!r}")
+        return env[self.relation]
+
+
+@dataclass(frozen=True)
+class Select(Expr):
+    """Selection with a simple ``column op value`` predicate."""
+
+    source: Expr
+    column: str
+    op: str
+    value: Any
+
+    _OPS = {"=": lambda a, b: a == b, "!=": lambda a, b: a != b,
+            "<": lambda a, b: a < b, "<=": lambda a, b: a <= b,
+            ">": lambda a, b: a > b, ">=": lambda a, b: a >= b}
+
+    def evaluate(self, env, semiring):
+        source = self.source.evaluate(env, semiring)
+        if self.op not in self._OPS:
+            raise AlgebraError(f"unknown comparator {self.op!r}")
+        comparator = self._OPS[self.op]
+        return select(source,
+                      lambda row: comparator(row[self.column], self.value),
+                      semiring=semiring)
+
+
+@dataclass(frozen=True)
+class Project(Expr):
+    """Projection onto columns."""
+
+    source: Expr
+    columns: Tuple[str, ...]
+
+    def evaluate(self, env, semiring):
+        return project(self.source.evaluate(env, semiring),
+                       list(self.columns), semiring=semiring)
+
+
+@dataclass(frozen=True)
+class Join(Expr):
+    """Natural join of two sub-expressions."""
+
+    left: Expr
+    right: Expr
+    on: Tuple[str, ...] = ()
+
+    def evaluate(self, env, semiring):
+        return join(self.left.evaluate(env, semiring),
+                    self.right.evaluate(env, semiring),
+                    semiring=semiring,
+                    on=list(self.on) if self.on else None)
+
+
+@dataclass(frozen=True)
+class Union(Expr):
+    """Union of two sub-expressions."""
+
+    left: Expr
+    right: Expr
+
+    def evaluate(self, env, semiring):
+        return union(self.left.evaluate(env, semiring),
+                     self.right.evaluate(env, semiring),
+                     semiring=semiring)
+
+
+@dataclass(frozen=True)
+class Rename(Expr):
+    """Column renaming."""
+
+    source: Expr
+    mapping: Tuple[Tuple[str, str], ...]
+
+    def evaluate(self, env, semiring):
+        return rename(self.source.evaluate(env, semiring),
+                      dict(self.mapping))
+
+
+def expr_to_dict(expr: Expr) -> Dict[str, Any]:
+    """Serialize an expression tree to JSON-compatible dicts."""
+    if isinstance(expr, Scan):
+        return {"op": "scan", "relation": expr.relation}
+    if isinstance(expr, Select):
+        return {"op": "select", "source": expr_to_dict(expr.source),
+                "column": expr.column, "cmp": expr.op,
+                "value": expr.value}
+    if isinstance(expr, Project):
+        return {"op": "project", "source": expr_to_dict(expr.source),
+                "columns": list(expr.columns)}
+    if isinstance(expr, Join):
+        return {"op": "join", "left": expr_to_dict(expr.left),
+                "right": expr_to_dict(expr.right), "on": list(expr.on)}
+    if isinstance(expr, Union):
+        return {"op": "union", "left": expr_to_dict(expr.left),
+                "right": expr_to_dict(expr.right)}
+    if isinstance(expr, Rename):
+        return {"op": "rename", "source": expr_to_dict(expr.source),
+                "mapping": [list(pair) for pair in expr.mapping]}
+    raise AlgebraError(f"cannot serialize {type(expr).__name__}")
+
+
+def expr_from_dict(data: Mapping[str, Any]) -> Expr:
+    """Rebuild an expression tree from :func:`expr_to_dict` output."""
+    op = data.get("op")
+    if op == "scan":
+        return Scan(relation=data["relation"])
+    if op == "select":
+        return Select(source=expr_from_dict(data["source"]),
+                      column=data["column"], op=data["cmp"],
+                      value=data["value"])
+    if op == "project":
+        return Project(source=expr_from_dict(data["source"]),
+                       columns=tuple(data["columns"]))
+    if op == "join":
+        return Join(left=expr_from_dict(data["left"]),
+                    right=expr_from_dict(data["right"]),
+                    on=tuple(data.get("on", ())))
+    if op == "union":
+        return Union(left=expr_from_dict(data["left"]),
+                     right=expr_from_dict(data["right"]))
+    if op == "rename":
+        return Rename(source=expr_from_dict(data["source"]),
+                      mapping=tuple(tuple(pair)
+                                    for pair in data["mapping"]))
+    raise AlgebraError(f"unknown expression op {op!r}")

@@ -1,0 +1,189 @@
+"""The database/workflow provenance bridge.
+
+The paper's open problem: "Combining these disparate forms of provenance
+information will require a framework in which database operators and workflow
+modules can be treated uniformly."
+
+The bridge does exactly that:
+
+* :func:`register_db_modules` adds a ``RelationalQuery`` module type whose
+  parameters carry a serialized algebra expression and a semiring name; the
+  module consumes workflow ``Table`` values, evaluates the expression with
+  tuple-level annotations, and emits both the result table *and* the
+  per-row provenance — so a database query is just another workflow module,
+  and its coarse-grained provenance (artifact level) is captured by the
+  engine like any other module's.
+* :func:`cross_layer_lineage` answers the combined question: for one output
+  *row* of a run's relational artifact, which upstream workflow artifacts
+  AND which base tuples inside them does it depend on — fine-grained
+  provenance threaded through coarse-grained provenance.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.causality import causality_graph, upstream_artifacts
+from repro.core.retrospective import WorkflowRun
+from repro.dbprov.algebra import expr_from_dict
+from repro.dbprov.relations import Relation, base_relation
+from repro.dbprov.semirings import (LineageSemiring, PolynomialSemiring,
+                                    get_semiring)
+from repro.workflow.registry import ModuleRegistry
+
+__all__ = ["register_db_modules", "table_to_relation",
+           "cross_layer_lineage", "CrossLayerLineage"]
+
+
+def table_to_relation(name: str, table: Dict[str, Any],
+                      semiring, *, id_prefix: str = "") -> Relation:
+    """Convert a workflow ``Table`` value into an annotated base relation.
+
+    Tuple ids are ``{prefix or name}:{row_index}`` so that fine-grained
+    annotations can be traced back to row positions in the artifact.
+    """
+    columns = sorted(table["columns"])
+    if not columns:
+        return Relation(name=name, columns=(), rows=[], annotations=[])
+    length = len(table["columns"][columns[0]])
+    rows = [tuple(table["columns"][column][index] for column in columns)
+            for index in range(length)]
+    prefix = id_prefix or name
+    return base_relation(name, columns, rows, semiring,
+                         tuple_ids=[f"{prefix}:{index}"
+                                    for index in range(length)])
+
+
+def register_db_modules(registry: ModuleRegistry) -> None:
+    """Register the RelationalQuery module type into ``registry``."""
+
+    @registry.define(
+        "RelationalQuery",
+        inputs=[("rel1", "Table"), ("rel2", "Table"),
+                ("rel3", "Table"), ("rel4", "Table")],
+        outputs=[("table", "Table"), ("lineage", "Mapping")],
+        params=[("expression", {}), ("semiring", "lineage"),
+                ("names", ["rel1", "rel2", "rel3", "rel4"])],
+        category="database",
+        doc="Evaluate a relational-algebra expression with semiring "
+            "provenance over up to four input tables.")
+    def relational_query(ctx):
+        semiring = get_semiring(ctx.param("semiring"))
+        names = list(ctx.param("names"))
+        env: Dict[str, Relation] = {}
+        for port, name in zip(("rel1", "rel2", "rel3", "rel4"), names):
+            table = ctx.input(port)
+            if table is not None:
+                env[name] = table_to_relation(name, table, semiring)
+        expression = expr_from_dict(ctx.param("expression"))
+        result = expression.evaluate(env, semiring)
+        lineage = {
+            str(index): _annotation_to_jsonable(annotation)
+            for index, annotation in enumerate(result.annotations)}
+        return {"table": result.to_table(), "lineage": lineage}
+
+    # the four table inputs are optional: a query may use fewer relations
+    from dataclasses import replace
+    definition = registry.get("RelationalQuery")
+    definition.input_ports = tuple(
+        replace(port, optional=True) for port in definition.input_ports)
+
+
+def _annotation_to_jsonable(annotation: Any) -> Any:
+    """Render a semiring annotation as JSON-safe data."""
+    if annotation is None:
+        return None
+    if isinstance(annotation, frozenset):
+        rendered = []
+        for member in annotation:
+            if isinstance(member, frozenset):
+                rendered.append(sorted(member))
+            else:
+                rendered.append(member)
+        return sorted(rendered, key=str)
+    if isinstance(annotation, dict):  # polynomial
+        return {PolynomialSemiring.render({monomial: coefficient}):
+                coefficient
+                for monomial, coefficient in annotation.items()}
+    return annotation
+
+
+class CrossLayerLineage:
+    """Fine-grained + coarse-grained lineage of one relational output row.
+
+    Attributes:
+        artifact_id: the table artifact the row belongs to.
+        row_index: which output row was asked about.
+        base_tuples: base tuple ids (``relation:row``) the row derives from.
+        upstream_artifacts: workflow artifacts the table depends on.
+        source_rows: per input relation name, the set of row indexes used.
+    """
+
+    def __init__(self, artifact_id: str, row_index: int,
+                 base_tuples: Set[str],
+                 upstream: Set[str]) -> None:
+        self.artifact_id = artifact_id
+        self.row_index = row_index
+        self.base_tuples = set(base_tuples)
+        self.upstream_artifacts = set(upstream)
+        self.source_rows: Dict[str, Set[int]] = {}
+        for tuple_id in base_tuples:
+            name, _, index = tuple_id.rpartition(":")
+            if index.isdigit():
+                self.source_rows.setdefault(name, set()).add(int(index))
+
+    def describe(self) -> str:
+        """One-paragraph summary."""
+        rows = ", ".join(
+            f"{name}[{','.join(str(i) for i in sorted(indexes))}]"
+            for name, indexes in sorted(self.source_rows.items()))
+        return (f"row {self.row_index} of {self.artifact_id} derives from "
+                f"rows {rows or '(none)'} across "
+                f"{len(self.upstream_artifacts)} upstream artifacts")
+
+
+def cross_layer_lineage(run: WorkflowRun, module_id: str,
+                        row_index: int) -> CrossLayerLineage:
+    """Lineage of one output row of a RelationalQuery execution in ``run``.
+
+    Combines the module's fine-grained ``lineage`` output (base tuple ids)
+    with the run's coarse-grained causality (upstream artifacts of the
+    table artifact).
+    """
+    execution = run.execution_for_module(module_id)
+    if execution is None or execution.module_type != "RelationalQuery":
+        raise ValueError(
+            f"module {module_id} is not a RelationalQuery execution")
+    table_binding = next(b for b in execution.outputs
+                         if b.port == "table")
+    lineage_binding = next(b for b in execution.outputs
+                           if b.port == "lineage")
+    lineage_value = run.value(lineage_binding.artifact_id)
+    annotation = lineage_value.get(str(row_index))
+    base_tuples = _annotation_base_tuples(annotation)
+    graph = causality_graph(run, include_derivations=False)
+    upstream = upstream_artifacts(graph, table_binding.artifact_id)
+    return CrossLayerLineage(
+        artifact_id=table_binding.artifact_id, row_index=row_index,
+        base_tuples=base_tuples, upstream=upstream)
+
+
+def _annotation_base_tuples(annotation: Any) -> Set[str]:
+    if annotation is None:
+        return set()
+    found: Set[str] = set()
+    if isinstance(annotation, list):
+        for member in annotation:
+            if isinstance(member, list):
+                found.update(str(item) for item in member)
+            else:
+                found.add(str(member))
+    elif isinstance(annotation, dict):  # rendered polynomial terms
+        for term in annotation:
+            for factor in str(term).split("*"):
+                factor = factor.split("^")[0].strip()
+                if ":" in factor:
+                    found.add(factor)
+    elif isinstance(annotation, str):
+        found.add(annotation)
+    return found

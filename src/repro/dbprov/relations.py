@@ -1,0 +1,132 @@
+"""Annotated relations: the data model for database provenance.
+
+A :class:`Relation` is a named set of rows over named columns where every
+row carries a semiring annotation.  Base relations tag each row with a fresh
+tuple identifier (``rel:name:index`` by default) so downstream annotations
+refer back to concrete input rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.dbprov.semirings import Semiring
+
+__all__ = ["Relation", "base_relation"]
+
+
+@dataclass
+class Relation:
+    """A set of annotated rows.
+
+    Attributes:
+        name: relation name (used in derived tuple ids and rendering).
+        columns: ordered column names.
+        rows: row tuples, parallel to ``annotations``.
+        annotations: semiring annotation per row.
+    """
+
+    name: str
+    columns: Tuple[str, ...]
+    rows: List[Tuple[Any, ...]] = field(default_factory=list)
+    annotations: List[Any] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.rows) != len(self.annotations):
+            raise ValueError("rows and annotations must align")
+        for row in self.rows:
+            if len(row) != len(self.columns):
+                raise ValueError(
+                    f"row arity {len(row)} != {len(self.columns)} "
+                    f"columns in relation {self.name!r}")
+
+    def row_dict(self, index: int) -> Dict[str, Any]:
+        """Row ``index`` as a column->value dict."""
+        return dict(zip(self.columns, self.rows[index]))
+
+    def row_dicts(self) -> List[Dict[str, Any]]:
+        """All rows as dicts, in order."""
+        return [self.row_dict(i) for i in range(len(self.rows))]
+
+    def annotation_of(self, row: Tuple[Any, ...]) -> Any:
+        """Annotation of the first row equal to ``row`` (KeyError absent)."""
+        for candidate, annotation in zip(self.rows, self.annotations):
+            if candidate == tuple(row):
+                return annotation
+        raise KeyError(f"row not in relation {self.name!r}: {row!r}")
+
+    def column_index(self, column: str) -> int:
+        """Position of ``column`` (ValueError when unknown)."""
+        try:
+            return self.columns.index(column)
+        except ValueError:
+            raise ValueError(
+                f"relation {self.name!r} has no column {column!r}")
+
+    def with_rows(self, name: str,
+                  rows: Iterable[Tuple[Tuple[Any, ...], Any]],
+                  columns: Optional[Tuple[str, ...]] = None) -> "Relation":
+        """New relation with the same (or given) schema and new rows."""
+        materialized = list(rows)
+        return Relation(
+            name=name,
+            columns=columns if columns is not None else self.columns,
+            rows=[row for row, _ in materialized],
+            annotations=[annotation for _, annotation in materialized])
+
+    def combined(self, semiring: Semiring) -> "Relation":
+        """Set-collapse: merge duplicate rows by summing annotations."""
+        merged: Dict[Tuple[Any, ...], Any] = {}
+        order: List[Tuple[Any, ...]] = []
+        for row, annotation in zip(self.rows, self.annotations):
+            if row in merged:
+                merged[row] = semiring.plus(merged[row], annotation)
+            else:
+                merged[row] = annotation
+                order.append(row)
+        kept = [(row, merged[row]) for row in order
+                if not semiring.is_zero(merged[row])]
+        return self.with_rows(self.name, kept)
+
+    def to_table(self) -> Dict[str, Any]:
+        """Convert to the workflow ``Table`` value format (columnar)."""
+        return {"columns": {
+            column: [row[index] for row in self.rows]
+            for index, column in enumerate(self.columns)}}
+
+    def render(self, limit: int = 20) -> str:
+        """ASCII table with annotations, for examples and debugging."""
+        header = " | ".join(self.columns) + " | @annotation"
+        lines = [f"{self.name}:", header, "-" * len(header)]
+        for row, annotation in list(zip(self.rows,
+                                        self.annotations))[:limit]:
+            rendered = " | ".join(str(value) for value in row)
+            lines.append(f"{rendered} | {annotation!r}")
+        if len(self.rows) > limit:
+            lines.append(f"... ({len(self.rows) - limit} more rows)")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def base_relation(name: str, columns: Sequence[str],
+                  rows: Iterable[Sequence[Any]], semiring: Semiring, *,
+                  tuple_ids: Optional[Sequence[str]] = None) -> Relation:
+    """Build a base relation tagging every row as a named base tuple.
+
+    Tuple ids default to ``{name}:{index}``; pass explicit ids to join
+    against externally known identifiers (e.g. workflow artifact rows).
+    """
+    materialized = [tuple(row) for row in rows]
+    if tuple_ids is None:
+        tuple_ids = [f"{name}:{index}" for index
+                     in range(len(materialized))]
+    else:
+        tuple_ids = list(tuple_ids)
+        if len(tuple_ids) != len(materialized):
+            raise ValueError("tuple_ids must align with rows")
+    return Relation(
+        name=name, columns=tuple(columns), rows=materialized,
+        annotations=[semiring.tag(tuple_id) for tuple_id in tuple_ids])

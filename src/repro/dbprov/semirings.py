@@ -1,0 +1,246 @@
+"""Provenance semirings for fine-grained (tuple-level) database provenance.
+
+The paper's final open problem is *connecting database and workflow
+provenance*: "a framework in which database operators and workflow modules
+can be treated uniformly."  On the database side, the standard formalism is
+the provenance-semiring framework (Green, Karvounarakis & Tannen, PODS'07):
+every tuple carries an annotation from a commutative semiring; relational
+operators combine annotations with ⊕ (alternative derivations: union,
+projection collapse) and ⊗ (joint derivations: join).
+
+Implemented semirings, from coarsest to finest:
+
+* :class:`BooleanSemiring` — does the tuple exist?
+* :class:`CountingSemiring` — bag semantics / number of derivations;
+* :class:`LineageSemiring` — which base tuples contributed (flat set);
+* :class:`WhySemiring` — witness sets (which *combinations* suffice);
+* :class:`PolynomialSemiring` — N[X], the most general: full derivation
+  polynomials, specializable to every other semiring;
+* :class:`TropicalSemiring` — (min, +) cost of the cheapest derivation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Tuple
+
+__all__ = [
+    "Semiring", "BooleanSemiring", "CountingSemiring", "LineageSemiring",
+    "WhySemiring", "PolynomialSemiring", "TropicalSemiring", "SEMIRINGS",
+    "get_semiring",
+]
+
+
+class Semiring:
+    """Interface: zero/one constants, plus/times, and base-tuple tagging."""
+
+    name = "abstract"
+
+    @property
+    def zero(self) -> Any:
+        """Additive identity (annihilates times)."""
+        raise NotImplementedError
+
+    @property
+    def one(self) -> Any:
+        """Multiplicative identity."""
+        raise NotImplementedError
+
+    def plus(self, left: Any, right: Any) -> Any:
+        """Combine alternative derivations."""
+        raise NotImplementedError
+
+    def times(self, left: Any, right: Any) -> Any:
+        """Combine joint derivations."""
+        raise NotImplementedError
+
+    def tag(self, tuple_id: str) -> Any:
+        """Annotation of a base tuple with identifier ``tuple_id``."""
+        raise NotImplementedError
+
+    def is_zero(self, value: Any) -> bool:
+        """True when ``value`` equals the additive identity."""
+        return value == self.zero
+
+
+class BooleanSemiring(Semiring):
+    """Set semantics: tuples exist or not."""
+
+    name = "boolean"
+    zero = False
+    one = True
+
+    def plus(self, left: bool, right: bool) -> bool:
+        return left or right
+
+    def times(self, left: bool, right: bool) -> bool:
+        return left and right
+
+    def tag(self, tuple_id: str) -> bool:
+        return True
+
+
+class CountingSemiring(Semiring):
+    """Bag semantics: how many distinct derivations produce the tuple."""
+
+    name = "counting"
+    zero = 0
+    one = 1
+
+    def plus(self, left: int, right: int) -> int:
+        return left + right
+
+    def times(self, left: int, right: int) -> int:
+        return left * right
+
+    def tag(self, tuple_id: str) -> int:
+        return 1
+
+
+class LineageSemiring(Semiring):
+    """Which base tuples contributed at all.  Zero is the absent marker
+    ``None`` (a flat union cannot annihilate, so ⊥ is explicit)."""
+
+    name = "lineage"
+    zero = None
+    one: FrozenSet[str] = frozenset()
+
+    def plus(self, left, right):
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return left | right
+
+    def times(self, left, right):
+        if left is None or right is None:
+            return None
+        return left | right
+
+    def tag(self, tuple_id: str) -> FrozenSet[str]:
+        return frozenset([tuple_id])
+
+
+class WhySemiring(Semiring):
+    """Witness sets: each witness is a set of base tuples that jointly
+    suffice to derive the output tuple."""
+
+    name = "why"
+    zero: FrozenSet[FrozenSet[str]] = frozenset()
+    one: FrozenSet[FrozenSet[str]] = frozenset([frozenset()])
+
+    def plus(self, left, right):
+        return left | right
+
+    def times(self, left, right):
+        return frozenset(a | b for a in left for b in right)
+
+    def tag(self, tuple_id: str) -> FrozenSet[FrozenSet[str]]:
+        return frozenset([frozenset([tuple_id])])
+
+
+Monomial = Tuple[Tuple[str, int], ...]
+
+
+class PolynomialSemiring(Semiring):
+    """N[X]: polynomials with variable = base-tuple id, as
+    ``{monomial: coefficient}`` with monomials sorted (var, exponent)
+    tuples.  This is the universal provenance semiring."""
+
+    name = "polynomial"
+    zero: Dict[Monomial, int] = {}
+
+    @property
+    def one(self) -> Dict[Monomial, int]:
+        return {(): 1}
+
+    def plus(self, left: Dict[Monomial, int],
+             right: Dict[Monomial, int]) -> Dict[Monomial, int]:
+        result = dict(left)
+        for monomial, coefficient in right.items():
+            result[monomial] = result.get(monomial, 0) + coefficient
+            if result[monomial] == 0:
+                del result[monomial]
+        return result
+
+    def times(self, left: Dict[Monomial, int],
+              right: Dict[Monomial, int]) -> Dict[Monomial, int]:
+        result: Dict[Monomial, int] = {}
+        for mono_a, coeff_a in left.items():
+            for mono_b, coeff_b in right.items():
+                merged: Dict[str, int] = {}
+                for variable, exponent in mono_a + mono_b:
+                    merged[variable] = merged.get(variable, 0) + exponent
+                monomial = tuple(sorted(merged.items()))
+                result[monomial] = (result.get(monomial, 0)
+                                    + coeff_a * coeff_b)
+        return result
+
+    def tag(self, tuple_id: str) -> Dict[Monomial, int]:
+        return {((tuple_id, 1),): 1}
+
+    def is_zero(self, value: Dict[Monomial, int]) -> bool:
+        return not value
+
+    @staticmethod
+    def variables(value: Dict[Monomial, int]) -> FrozenSet[str]:
+        """All base-tuple ids appearing in the polynomial."""
+        return frozenset(variable for monomial in value
+                         for variable, _ in monomial)
+
+    @staticmethod
+    def render(value: Dict[Monomial, int]) -> str:
+        """Human-readable polynomial, deterministically ordered."""
+        if not value:
+            return "0"
+        terms = []
+        for monomial in sorted(value):
+            coefficient = value[monomial]
+            factors = [f"{var}^{exp}" if exp > 1 else var
+                       for var, exp in monomial]
+            body = "*".join(factors) if factors else "1"
+            terms.append(body if coefficient == 1
+                         else f"{coefficient}*{body}")
+        return " + ".join(terms)
+
+
+class TropicalSemiring(Semiring):
+    """(min, +): cost of the cheapest derivation.  Base tuples are tagged
+    with the cost registered via :meth:`set_cost` (default 1.0)."""
+
+    name = "tropical"
+    zero = float("inf")
+    one = 0.0
+
+    def __init__(self) -> None:
+        self._costs: Dict[str, float] = {}
+
+    def set_cost(self, tuple_id: str, cost: float) -> None:
+        """Assign the access cost of a base tuple."""
+        self._costs[tuple_id] = cost
+
+    def plus(self, left: float, right: float) -> float:
+        return min(left, right)
+
+    def times(self, left: float, right: float) -> float:
+        return left + right
+
+    def tag(self, tuple_id: str) -> float:
+        return self._costs.get(tuple_id, 1.0)
+
+
+SEMIRINGS = {
+    "boolean": BooleanSemiring,
+    "counting": CountingSemiring,
+    "lineage": LineageSemiring,
+    "why": WhySemiring,
+    "polynomial": PolynomialSemiring,
+    "tropical": TropicalSemiring,
+}
+
+
+def get_semiring(name: str) -> Semiring:
+    """Instantiate a semiring by name (KeyError listing options)."""
+    if name not in SEMIRINGS:
+        raise KeyError(f"unknown semiring {name!r}; "
+                       f"options: {sorted(SEMIRINGS)}")
+    return SEMIRINGS[name]()

@@ -1,0 +1,30 @@
+"""Workflow-evolution provenance (the VisTrails change-based model).
+
+Change actions, the version tree (:class:`~repro.evolution.vistrail.Vistrail`),
+structural diff, similarity matching, and refinement by analogy (Figure 2 of
+the paper).
+"""
+
+from repro.evolution.actions import (Action, AddConnection, AddModule,
+                                     DeleteConnection, DeleteModule,
+                                     MoveModule, RenameModule, SetParameter,
+                                     UnsetParameter, action_from_dict,
+                                     action_to_dict)
+from repro.evolution.analogy import AnalogyResult, apply_by_analogy
+from repro.evolution.diff import (ParameterChange, WorkflowDiff,
+                                  diff_workflows)
+from repro.evolution.matching import (MatchResult, match_workflows,
+                                      seed_similarity)
+from repro.evolution.patch import diff_to_actions, record_as_version
+from repro.evolution.vistrail import VersionNode, Vistrail
+
+__all__ = [
+    "Action", "AddConnection", "AddModule", "DeleteConnection",
+    "DeleteModule", "MoveModule", "RenameModule", "SetParameter",
+    "UnsetParameter", "action_from_dict", "action_to_dict",
+    "AnalogyResult", "apply_by_analogy",
+    "ParameterChange", "WorkflowDiff", "diff_workflows",
+    "MatchResult", "match_workflows", "seed_similarity",
+    "diff_to_actions", "record_as_version",
+    "VersionNode", "Vistrail",
+]

@@ -1,0 +1,272 @@
+"""Change actions: the atoms of workflow-evolution provenance.
+
+VisTrails' insight (refs [20, 35] in the paper) is to treat the *history of
+changes to a workflow* as provenance in its own right.  A workflow version is
+never stored whole; it is the composition of change actions along a path in a
+version tree.  This module defines the action algebra:
+
+``AddModule``, ``DeleteModule``, ``AddConnection``, ``DeleteConnection``,
+``SetParameter``, ``UnsetParameter``, ``RenameModule``, ``MoveModule``.
+
+Every action knows how to ``apply`` itself to a workflow and how to produce
+its ``inverse`` *given the workflow state it was applied to* — which makes
+arbitrary version-tree navigation (up and down) possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.identity import new_id
+from repro.workflow.spec import Connection, Module, Workflow
+
+__all__ = [
+    "Action", "AddModule", "DeleteModule", "AddConnection",
+    "DeleteConnection", "SetParameter", "UnsetParameter", "RenameModule",
+    "MoveModule", "action_to_dict", "action_from_dict",
+]
+
+
+@dataclass(frozen=True)
+class Action:
+    """Base class; subclasses implement apply/inverse/describe."""
+
+    def apply(self, workflow: Workflow) -> None:
+        """Mutate ``workflow`` by this action."""
+        raise NotImplementedError
+
+    def inverse(self, workflow_before: Workflow) -> "Action":
+        """The action undoing this one, given the pre-application state."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class AddModule(Action):
+    """Insert a module instance."""
+
+    module_id: str
+    type_name: str
+    name: str = ""
+    parameters: Tuple[Tuple[str, Any], ...] = ()
+    position: Tuple[float, float] = (0.0, 0.0)
+
+    @classmethod
+    def of(cls, type_name: str, name: str = "",
+           parameters: Optional[Dict[str, Any]] = None,
+           position: Tuple[float, float] = (0.0, 0.0),
+           module_id: Optional[str] = None) -> "AddModule":
+        """Build with a fresh module id unless one is supplied."""
+        return cls(module_id=module_id or new_id("mod"),
+                   type_name=type_name, name=name or type_name,
+                   parameters=tuple(sorted((parameters or {}).items())),
+                   position=position)
+
+    def apply(self, workflow: Workflow) -> None:
+        workflow.add_module(Module(
+            id=self.module_id, type_name=self.type_name, name=self.name,
+            parameters=dict(self.parameters), position=self.position))
+
+    def inverse(self, workflow_before: Workflow) -> "Action":
+        return DeleteModule(module_id=self.module_id)
+
+    def describe(self) -> str:
+        return f"add module {self.name} [{self.type_name}]"
+
+
+@dataclass(frozen=True)
+class DeleteModule(Action):
+    """Remove a module (must have no connections at apply time)."""
+
+    module_id: str
+
+    def apply(self, workflow: Workflow) -> None:
+        workflow.remove_module(self.module_id)
+
+    def inverse(self, workflow_before: Workflow) -> "Action":
+        module = workflow_before.modules[self.module_id]
+        return AddModule(module_id=module.id, type_name=module.type_name,
+                         name=module.name,
+                         parameters=tuple(sorted(
+                             module.parameters.items())),
+                         position=module.position)
+
+    def describe(self) -> str:
+        return f"delete module {self.module_id}"
+
+
+@dataclass(frozen=True)
+class AddConnection(Action):
+    """Insert a connection between two ports."""
+
+    connection_id: str
+    source_module: str
+    source_port: str
+    target_module: str
+    target_port: str
+
+    @classmethod
+    def of(cls, source_module: str, source_port: str, target_module: str,
+           target_port: str,
+           connection_id: Optional[str] = None) -> "AddConnection":
+        """Build with a fresh connection id unless one is supplied."""
+        return cls(connection_id=connection_id or new_id("conn"),
+                   source_module=source_module, source_port=source_port,
+                   target_module=target_module, target_port=target_port)
+
+    def apply(self, workflow: Workflow) -> None:
+        workflow.add_connection(Connection(
+            id=self.connection_id, source_module=self.source_module,
+            source_port=self.source_port,
+            target_module=self.target_module,
+            target_port=self.target_port))
+
+    def inverse(self, workflow_before: Workflow) -> "Action":
+        return DeleteConnection(connection_id=self.connection_id)
+
+    def describe(self) -> str:
+        return (f"connect {self.source_module}.{self.source_port} -> "
+                f"{self.target_module}.{self.target_port}")
+
+
+@dataclass(frozen=True)
+class DeleteConnection(Action):
+    """Remove a connection."""
+
+    connection_id: str
+
+    def apply(self, workflow: Workflow) -> None:
+        workflow.remove_connection(self.connection_id)
+
+    def inverse(self, workflow_before: Workflow) -> "Action":
+        connection = workflow_before.connections[self.connection_id]
+        return AddConnection(connection_id=connection.id,
+                             source_module=connection.source_module,
+                             source_port=connection.source_port,
+                             target_module=connection.target_module,
+                             target_port=connection.target_port)
+
+    def describe(self) -> str:
+        return f"disconnect {self.connection_id}"
+
+
+@dataclass(frozen=True)
+class SetParameter(Action):
+    """Set a parameter override on a module."""
+
+    module_id: str
+    name: str
+    value: Any
+
+    def apply(self, workflow: Workflow) -> None:
+        workflow.set_parameter(self.module_id, self.name, self.value)
+
+    def inverse(self, workflow_before: Workflow) -> "Action":
+        module = workflow_before.modules[self.module_id]
+        if self.name in module.parameters:
+            return SetParameter(module_id=self.module_id, name=self.name,
+                                value=module.parameters[self.name])
+        return UnsetParameter(module_id=self.module_id, name=self.name)
+
+    def describe(self) -> str:
+        return f"set {self.module_id}.{self.name} = {self.value!r}"
+
+
+@dataclass(frozen=True)
+class UnsetParameter(Action):
+    """Remove a parameter override from a module."""
+
+    module_id: str
+    name: str
+
+    def apply(self, workflow: Workflow) -> None:
+        workflow.unset_parameter(self.module_id, self.name)
+
+    def inverse(self, workflow_before: Workflow) -> "Action":
+        module = workflow_before.modules[self.module_id]
+        return SetParameter(module_id=self.module_id, name=self.name,
+                            value=module.parameters[self.name])
+
+    def describe(self) -> str:
+        return f"unset {self.module_id}.{self.name}"
+
+
+@dataclass(frozen=True)
+class RenameModule(Action):
+    """Change a module's user-facing label."""
+
+    module_id: str
+    name: str
+
+    def apply(self, workflow: Workflow) -> None:
+        workflow.rename_module(self.module_id, self.name)
+
+    def inverse(self, workflow_before: Workflow) -> "Action":
+        return RenameModule(module_id=self.module_id,
+                            name=workflow_before.modules[
+                                self.module_id].name)
+
+    def describe(self) -> str:
+        return f"rename {self.module_id} to {self.name!r}"
+
+
+@dataclass(frozen=True)
+class MoveModule(Action):
+    """Change a module's layout position."""
+
+    module_id: str
+    position: Tuple[float, float]
+
+    def apply(self, workflow: Workflow) -> None:
+        module = workflow.modules[self.module_id]
+        module.position = tuple(self.position)
+
+    def inverse(self, workflow_before: Workflow) -> "Action":
+        return MoveModule(module_id=self.module_id,
+                          position=workflow_before.modules[
+                              self.module_id].position)
+
+    def describe(self) -> str:
+        return f"move {self.module_id} to {self.position}"
+
+
+_ACTION_TYPES = {
+    "AddModule": AddModule,
+    "DeleteModule": DeleteModule,
+    "AddConnection": AddConnection,
+    "DeleteConnection": DeleteConnection,
+    "SetParameter": SetParameter,
+    "UnsetParameter": UnsetParameter,
+    "RenameModule": RenameModule,
+    "MoveModule": MoveModule,
+}
+
+
+def action_to_dict(action: Action) -> Dict[str, Any]:
+    """Serialize an action to a plain dictionary."""
+    data = {"action": type(action).__name__}
+    for key, value in action.__dict__.items():
+        if isinstance(value, tuple):
+            value = list(list(item) if isinstance(item, tuple) else item
+                         for item in value)
+        data[key] = value
+    return data
+
+
+def action_from_dict(data: Dict[str, Any]) -> Action:
+    """Rebuild an action from :func:`action_to_dict` output."""
+    kind = data["action"]
+    if kind not in _ACTION_TYPES:
+        raise ValueError(f"unknown action type: {kind!r}")
+    kwargs = {key: value for key, value in data.items() if key != "action"}
+    if kind == "AddModule":
+        kwargs["parameters"] = tuple(
+            (name, value) for name, value in kwargs.get("parameters", []))
+        kwargs["position"] = tuple(kwargs.get("position", (0.0, 0.0)))
+    if kind == "MoveModule":
+        kwargs["position"] = tuple(kwargs["position"])
+    return _ACTION_TYPES[kind](**kwargs)

@@ -1,0 +1,175 @@
+"""Refining workflows by analogy — the Figure 2 computation.
+
+Figure 2 of the paper: "The user chooses a pair of data products to serve as
+an analogy template.  In this case, the pair represents a change to a
+workflow that downloads a file from the Web and creates a simple
+visualization, into a new workflow where the resulting visualization is
+smoothed.  Then, the user chooses a set of other workflows to apply the same
+change automatically."
+
+:func:`apply_by_analogy` implements exactly that (following [34]):
+
+1. diff the example pair (``example_before`` → ``example_after``);
+2. match ``example_before`` onto the ``other`` workflow with similarity
+   flooding — "the system identifies the most likely match";
+3. translate the diff through the match and apply it to ``other``.
+
+The result reports the removed components (Figure 2's orange set), the added
+components (blue set), and any diff operations that could not be translated
+because their context had no counterpart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.evolution.diff import WorkflowDiff, diff_workflows
+from repro.evolution.matching import MatchResult, match_workflows
+from repro.identity import new_id
+from repro.workflow.spec import Connection, Module, Workflow
+
+__all__ = ["AnalogyResult", "apply_by_analogy"]
+
+
+@dataclass
+class AnalogyResult:
+    """Outcome of applying an analogy template to a workflow.
+
+    Attributes:
+        workflow: the refined workflow (a copy; the input is untouched).
+        removed_modules: module ids removed from the target (orange).
+        added_modules: module ids newly added to the target (blue).
+        removed_connections / added_connections: edge-level changes.
+        parameter_changes: (module id, name, new value) applied.
+        skipped: diff operations that could not be translated, with reasons.
+        match: the similarity match used for translation.
+    """
+
+    workflow: Workflow
+    removed_modules: List[str] = field(default_factory=list)
+    added_modules: List[str] = field(default_factory=list)
+    removed_connections: List[str] = field(default_factory=list)
+    added_connections: List[str] = field(default_factory=list)
+    parameter_changes: List[Tuple[str, str, object]] = field(
+        default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+    match: Optional[MatchResult] = None
+
+    def succeeded(self) -> bool:
+        """True when every diff operation translated cleanly."""
+        return not self.skipped
+
+    def change_count(self) -> int:
+        """Total number of applied changes."""
+        return (len(self.removed_modules) + len(self.added_modules)
+                + len(self.removed_connections)
+                + len(self.added_connections)
+                + len(self.parameter_changes))
+
+
+def apply_by_analogy(example_before: Workflow, example_after: Workflow,
+                     other: Workflow, *,
+                     diff: Optional[WorkflowDiff] = None,
+                     threshold: float = 0.3) -> AnalogyResult:
+    """Apply the change (example_before → example_after) to ``other``.
+
+    Args:
+        diff: precomputed diff of the example pair (derived when omitted).
+        threshold: minimum similarity for context-module matching.
+    """
+    if diff is None:
+        diff = diff_workflows(example_before, example_after)
+    match = match_workflows(example_before, other, threshold=threshold)
+    translate = match.mapping
+
+    refined = other.copy(new_id_=new_id("wf"))
+    refined.name = f"{other.name}*"
+    result = AnalogyResult(workflow=refined, match=match)
+
+    # modules deleted in the example are deleted from the counterpart
+    for source_module in diff.deleted_modules:
+        counterpart = translate.get(source_module)
+        if counterpart is None:
+            result.skipped.append(
+                f"delete {source_module}: no counterpart in target")
+            continue
+        _, removed = refined.remove_module_cascade(counterpart)
+        result.removed_modules.append(counterpart)
+        result.removed_connections.extend(c.id for c in removed)
+
+    # modules added in the example are recreated with fresh ids
+    new_ids: Dict[str, str] = {}
+    for added_module in diff.added_modules:
+        template = example_after.modules[added_module]
+        clone = Module(type_name=template.type_name, name=template.name,
+                       parameters=dict(template.parameters),
+                       position=template.position)
+        refined.add_module(clone)
+        new_ids[added_module] = clone.id
+        result.added_modules.append(clone.id)
+
+    def resolve_endpoint(module_id: str, side: str) -> Optional[str]:
+        """Map an example-after module id into the refined workflow."""
+        if module_id in new_ids:
+            return new_ids[module_id]
+        # the connection context is an example_before module seen through
+        # the example pair's own matching, then through the analogy match
+        for before_id, after_id in diff.matching.items():
+            if after_id == module_id:
+                counterpart = translate.get(before_id)
+                if counterpart in refined.modules:
+                    return counterpart
+                return None
+        return None
+
+    for connection in diff.deleted_connections:
+        source = translate.get(connection.source_module)
+        target = translate.get(connection.target_module)
+        if source is None or target is None:
+            result.skipped.append(
+                f"disconnect {connection.id}: endpoint has no counterpart")
+            continue
+        existing = [
+            c for c in refined.connections.values()
+            if c.source_module == source
+            and c.source_port == connection.source_port
+            and c.target_module == target
+            and c.target_port == connection.target_port]
+        if not existing:
+            result.skipped.append(
+                f"disconnect {connection.id}: edge absent in target")
+            continue
+        for edge in existing:
+            refined.remove_connection(edge.id)
+            result.removed_connections.append(edge.id)
+
+    for connection in diff.added_connections:
+        source = resolve_endpoint(connection.source_module, "source")
+        target = resolve_endpoint(connection.target_module, "target")
+        if source is None or target is None:
+            result.skipped.append(
+                f"connect {connection.source_port}->"
+                f"{connection.target_port}: endpoint has no counterpart")
+            continue
+        bound = [c for c in refined.connections.values()
+                 if c.target_module == target
+                 and c.target_port == connection.target_port]
+        for edge in bound:  # rebinding an input port displaces the old edge
+            refined.remove_connection(edge.id)
+            result.removed_connections.append(edge.id)
+        created = refined.connect(source, connection.source_port,
+                                  target, connection.target_port)
+        result.added_connections.append(created.id)
+
+    for change in diff.parameter_changes:
+        counterpart = translate.get(change.source_module)
+        if counterpart is None or counterpart not in refined.modules:
+            result.skipped.append(
+                f"set {change.name}: module has no counterpart")
+            continue
+        refined.set_parameter(counterpart, change.name, change.new_value)
+        result.parameter_changes.append(
+            (counterpart, change.name, change.new_value))
+
+    return result

@@ -1,0 +1,189 @@
+"""Structural diff between two workflow versions.
+
+The paper lists "compare and understand differences between workflows" among
+the queries provenance enables.  A diff is computed relative to a module
+*correspondence*: for versions from the same vistrail, module ids persist
+across versions and the correspondence is identity on shared ids; for
+unrelated workflows, similarity matching supplies it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.evolution.matching import MatchResult, match_workflows
+from repro.workflow.spec import Connection, Workflow
+
+__all__ = ["ParameterChange", "WorkflowDiff", "diff_workflows"]
+
+
+@dataclass(frozen=True)
+class ParameterChange:
+    """One parameter whose value differs between matched modules."""
+
+    source_module: str
+    target_module: str
+    name: str
+    old_value: Any
+    new_value: Any
+
+
+@dataclass
+class WorkflowDiff:
+    """The difference taking ``source`` to ``target``.
+
+    Attributes:
+        matching: source module id -> target module id correspondence.
+        added_modules: target module ids with no source counterpart.
+        deleted_modules: source module ids with no target counterpart.
+        parameter_changes: value changes on matched modules.
+        renamed_modules: (source id, old name, new name) triples.
+        added_connections: target connections absent from source.
+        deleted_connections: source connections absent from target.
+    """
+
+    source_id: str
+    target_id: str
+    matching: Dict[str, str]
+    added_modules: List[str] = field(default_factory=list)
+    deleted_modules: List[str] = field(default_factory=list)
+    parameter_changes: List[ParameterChange] = field(default_factory=list)
+    renamed_modules: List[Tuple[str, str, str]] = field(
+        default_factory=list)
+    added_connections: List[Connection] = field(default_factory=list)
+    deleted_connections: List[Connection] = field(default_factory=list)
+
+    def is_empty(self) -> bool:
+        """True when the workflows are structurally identical."""
+        return not (self.added_modules or self.deleted_modules
+                    or self.parameter_changes or self.renamed_modules
+                    or self.added_connections or self.deleted_connections)
+
+    def summary(self) -> Dict[str, int]:
+        """Counts of each change kind."""
+        return {
+            "added_modules": len(self.added_modules),
+            "deleted_modules": len(self.deleted_modules),
+            "parameter_changes": len(self.parameter_changes),
+            "renamed_modules": len(self.renamed_modules),
+            "added_connections": len(self.added_connections),
+            "deleted_connections": len(self.deleted_connections),
+        }
+
+    def describe(self, source: Workflow, target: Workflow) -> List[str]:
+        """Human-readable change list."""
+        lines = []
+        for module_id in self.deleted_modules:
+            module = source.modules[module_id]
+            lines.append(f"- delete {module.name} [{module.type_name}]")
+        for module_id in self.added_modules:
+            module = target.modules[module_id]
+            lines.append(f"+ add {module.name} [{module.type_name}]")
+        for change in self.parameter_changes:
+            module = source.modules[change.source_module]
+            lines.append(f"~ {module.name}.{change.name}: "
+                         f"{change.old_value!r} -> {change.new_value!r}")
+        for module_id, old_name, new_name in self.renamed_modules:
+            lines.append(f"~ rename {old_name!r} -> {new_name!r}")
+        for connection in self.deleted_connections:
+            lines.append(f"- disconnect {connection.source_module}"
+                         f".{connection.source_port} -> "
+                         f"{connection.target_module}"
+                         f".{connection.target_port}")
+        for connection in self.added_connections:
+            lines.append(f"+ connect {connection.source_module}"
+                         f".{connection.source_port} -> "
+                         f"{connection.target_module}"
+                         f".{connection.target_port}")
+        return lines
+
+
+def diff_workflows(source: Workflow, target: Workflow, *,
+                   matching: Optional[Dict[str, str]] = None,
+                   strategy: str = "hybrid") -> WorkflowDiff:
+    """Compute the diff from ``source`` to ``target``.
+
+    Args:
+        matching: explicit correspondence; when omitted it is derived per
+            ``strategy``.
+        strategy: ``"ids"`` (identity on shared module ids — right for two
+            versions of the same vistrail), ``"similarity"`` (graph
+            matching — right for unrelated workflows), or ``"hybrid"``
+            (ids first, similarity for the remainder; the default).
+    """
+    if matching is None:
+        matching = _derive_matching(source, target, strategy)
+
+    diff = WorkflowDiff(source_id=source.id, target_id=target.id,
+                        matching=dict(matching))
+    matched_targets = set(matching.values())
+    diff.deleted_modules = sorted(m for m in source.modules
+                                  if m not in matching)
+    diff.added_modules = sorted(m for m in target.modules
+                                if m not in matched_targets)
+
+    for source_id, target_id in sorted(matching.items()):
+        source_module = source.modules[source_id]
+        target_module = target.modules[target_id]
+        if source_module.name != target_module.name:
+            diff.renamed_modules.append((source_id, source_module.name,
+                                         target_module.name))
+        keys = set(source_module.parameters) | set(target_module.parameters)
+        for key in sorted(keys):
+            old = source_module.parameters.get(key)
+            new = target_module.parameters.get(key)
+            if old != new:
+                diff.parameter_changes.append(ParameterChange(
+                    source_module=source_id, target_module=target_id,
+                    name=key, old_value=old, new_value=new))
+
+    source_edges = {
+        (c.source_module, c.source_port, c.target_module, c.target_port): c
+        for c in source.connections.values()}
+    target_edges = {
+        (c.source_module, c.source_port, c.target_module, c.target_port): c
+        for c in target.connections.values()}
+    translated = {}
+    for (a, ap, b, bp), connection in source_edges.items():
+        if a in matching and b in matching:
+            translated[(matching[a], ap, matching[b], bp)] = connection
+    for key, connection in sorted(target_edges.items()):
+        if key not in translated:
+            diff.added_connections.append(connection)
+    for key, connection in sorted(translated.items()):
+        if key not in target_edges:
+            diff.deleted_connections.append(connection)
+    for (a, ap, b, bp), connection in sorted(source_edges.items()):
+        if a not in matching or b not in matching:
+            diff.deleted_connections.append(connection)
+    return diff
+
+
+def _derive_matching(source: Workflow, target: Workflow,
+                     strategy: str) -> Dict[str, str]:
+    if strategy not in ("ids", "similarity", "hybrid"):
+        raise ValueError(f"unknown matching strategy: {strategy!r}")
+    matching: Dict[str, str] = {}
+    if strategy in ("ids", "hybrid"):
+        shared = set(source.modules) & set(target.modules)
+        matching.update({module_id: module_id for module_id in shared})
+        if strategy == "ids" or (shared
+                                 and len(shared) == len(source.modules)):
+            return matching
+    remaining_source = Workflow(name="src-rest")
+    for module in source.modules.values():
+        if module.id not in matching:
+            remaining_source.modules[module.id] = module
+    remaining_target = Workflow(name="dst-rest")
+    matched_targets = set(matching.values())
+    for module in target.modules.values():
+        if module.id not in matched_targets:
+            remaining_target.modules[module.id] = module
+    if strategy == "similarity":
+        result = match_workflows(source, target)
+        return result.mapping
+    if remaining_source.modules and remaining_target.modules:
+        result = match_workflows(remaining_source, remaining_target)
+        matching.update(result.mapping)
+    return matching

@@ -1,0 +1,142 @@
+"""Structural matching between workflows by similarity flooding.
+
+Figure 2's caption: "the surrounding modules do not match exactly: the system
+identifies the most likely match."  Matching two workflows that do not share
+module ids is an inexact graph-matching problem.  The algorithm here follows
+the similarity-flooding idea used by the analogy work ([34]):
+
+1. seed a similarity score for every module pair from local evidence
+   (same type, name similarity, parameter agreement);
+2. iteratively propagate scores through the graphs — a pair grows more
+   similar when its neighbours are similar;
+3. extract a one-to-one assignment greedily by final score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.workflow.spec import Module, Workflow
+
+__all__ = ["MatchResult", "match_workflows", "seed_similarity"]
+
+
+@dataclass
+class MatchResult:
+    """Outcome of matching workflow A onto workflow B.
+
+    Attributes:
+        mapping: module id in A -> module id in B.
+        scores: final similarity per matched pair.
+        unmatched_a / unmatched_b: modules with no counterpart.
+    """
+
+    mapping: Dict[str, str]
+    scores: Dict[Tuple[str, str], float]
+    unmatched_a: List[str]
+    unmatched_b: List[str]
+
+    def score_of(self, a_id: str) -> float:
+        """Similarity score of a matched A-module (0.0 when unmatched)."""
+        b_id = self.mapping.get(a_id)
+        if b_id is None:
+            return 0.0
+        return self.scores.get((a_id, b_id), 0.0)
+
+
+def seed_similarity(first: Module, second: Module) -> float:
+    """Local similarity of two module instances in [0, 1].
+
+    Type identity is mandatory (different types score 0); names and
+    parameter overlap refine the score.
+    """
+    if first.type_name != second.type_name:
+        return 0.0
+    score = 0.6
+    if first.name == second.name:
+        score += 0.2
+    keys = set(first.parameters) | set(second.parameters)
+    if keys:
+        agreeing = sum(1 for key in keys
+                       if first.parameters.get(key)
+                       == second.parameters.get(key))
+        score += 0.2 * agreeing / len(keys)
+    else:
+        score += 0.2
+    return min(score, 1.0)
+
+
+def match_workflows(workflow_a: Workflow, workflow_b: Workflow, *,
+                    iterations: int = 8, damping: float = 0.5,
+                    threshold: float = 0.3) -> MatchResult:
+    """Find the most likely module correspondence from A to B.
+
+    Args:
+        iterations: similarity-flooding rounds.
+        damping: weight of propagated (neighbour) similarity vs. the seed.
+        threshold: minimum final score for a pair to be matched.
+    """
+    a_modules = list(workflow_a.modules.values())
+    b_modules = list(workflow_b.modules.values())
+    seed: Dict[Tuple[str, str], float] = {}
+    for module_a in a_modules:
+        for module_b in b_modules:
+            base = seed_similarity(module_a, module_b)
+            if base > 0.0:
+                seed[(module_a.id, module_b.id)] = base
+    scores = dict(seed)
+
+    for _ in range(iterations):
+        updated: Dict[Tuple[str, str], float] = {}
+        for (a_id, b_id), base in seed.items():
+            neighbour_score = _neighbour_support(
+                workflow_a, workflow_b, a_id, b_id, scores)
+            updated[(a_id, b_id)] = ((1.0 - damping) * base
+                                     + damping * neighbour_score)
+        scores = updated
+
+    pairs = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+    mapping: Dict[str, str] = {}
+    taken_b: set = set()
+    for (a_id, b_id), score in pairs:
+        if score < threshold:
+            break
+        if a_id in mapping or b_id in taken_b:
+            continue
+        mapping[a_id] = b_id
+        taken_b.add(b_id)
+    return MatchResult(
+        mapping=mapping,
+        scores=scores,
+        unmatched_a=sorted(m.id for m in a_modules
+                           if m.id not in mapping),
+        unmatched_b=sorted(m.id for m in b_modules
+                           if m.id not in taken_b))
+
+
+def _neighbour_support(workflow_a: Workflow, workflow_b: Workflow,
+                       a_id: str, b_id: str,
+                       scores: Dict[Tuple[str, str], float]) -> float:
+    """How well the neighbourhoods of (a, b) line up under current scores."""
+    total, count = 0.0, 0
+    for direction in ("pred", "succ"):
+        if direction == "pred":
+            a_neighbours = workflow_a.predecessors(a_id)
+            b_neighbours = workflow_b.predecessors(b_id)
+        else:
+            a_neighbours = workflow_a.successors(a_id)
+            b_neighbours = workflow_b.successors(b_id)
+        if not a_neighbours and not b_neighbours:
+            total += 1.0
+            count += 1
+            continue
+        if not a_neighbours or not b_neighbours:
+            count += 1
+            continue
+        for a_neighbour in a_neighbours:
+            best = max((scores.get((a_neighbour, b_neighbour), 0.0)
+                        for b_neighbour in b_neighbours), default=0.0)
+            total += best
+            count += 1
+    return total / count if count else 0.0

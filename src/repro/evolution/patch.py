@@ -1,0 +1,93 @@
+"""Turning a structural diff into replayable change actions.
+
+A :class:`~repro.evolution.diff.WorkflowDiff` describes *what* differs; this
+module converts it into the action algebra — an executable patch.  Applying
+the actions to (a copy of) the source workflow yields a workflow structurally
+identical to the target.  This is how an editing session can be synchronized
+into a vistrail after the fact ("I edited the spec by hand; record it as
+history"), and it doubles as a consistency check between the diff and action
+layers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.evolution.actions import (Action, AddConnection, AddModule,
+                                     DeleteConnection, DeleteModule,
+                                     RenameModule, SetParameter,
+                                     UnsetParameter)
+from repro.evolution.diff import WorkflowDiff, diff_workflows
+from repro.evolution.vistrail import Vistrail
+from repro.workflow.spec import Workflow
+
+__all__ = ["diff_to_actions", "record_as_version"]
+
+
+def diff_to_actions(diff: WorkflowDiff, source: Workflow,
+                    target: Workflow) -> List[Action]:
+    """Actions that transform ``source`` into (a copy of) ``target``.
+
+    Added modules keep the *target's* module ids so that ids remain stable
+    when the patch is replayed into a vistrail.  Order: disconnect, delete,
+    add modules, reconnect, parameters, renames — which is always valid for
+    a DAG-to-DAG transformation.
+    """
+    actions: List[Action] = []
+
+    for connection in diff.deleted_connections:
+        actions.append(DeleteConnection(connection_id=connection.id))
+    for module_id in diff.deleted_modules:
+        actions.append(DeleteModule(module_id=module_id))
+    for module_id in diff.added_modules:
+        module = target.modules[module_id]
+        actions.append(AddModule(
+            module_id=module.id, type_name=module.type_name,
+            name=module.name,
+            parameters=tuple(sorted(module.parameters.items())),
+            position=module.position))
+    reverse = {target_id: source_id
+               for source_id, target_id in diff.matching.items()}
+    for connection in diff.added_connections:
+        source_module = reverse.get(connection.source_module,
+                                    connection.source_module)
+        target_module = reverse.get(connection.target_module,
+                                    connection.target_module)
+        actions.append(AddConnection(
+            connection_id=connection.id,
+            source_module=source_module,
+            source_port=connection.source_port,
+            target_module=target_module,
+            target_port=connection.target_port))
+    for change in diff.parameter_changes:
+        if change.new_value is None and change.name not in \
+                target.modules[change.target_module].parameters:
+            actions.append(UnsetParameter(
+                module_id=change.source_module, name=change.name))
+        else:
+            actions.append(SetParameter(
+                module_id=change.source_module, name=change.name,
+                value=change.new_value))
+    for module_id, _old_name, new_name in diff.renamed_modules:
+        actions.append(RenameModule(module_id=module_id, name=new_name))
+    return actions
+
+
+def record_as_version(vistrail: Vistrail, target: Workflow, *,
+                      parent: str = "", tag: str = "",
+                      user: str = "") -> str:
+    """Record the difference between a vistrail version and ``target``.
+
+    Computes the diff from the (parent or current) version's workflow to
+    ``target`` and appends the corresponding action chain; returns the new
+    version id.  The resulting version materializes structurally identical
+    to ``target``.
+    """
+    base_version = parent or vistrail.current
+    source = vistrail.materialize(base_version)
+    diff = diff_workflows(source, target)
+    if diff.is_empty():
+        return base_version
+    actions = diff_to_actions(diff, source, target)
+    return vistrail.add_actions(actions, parent=base_version, tag=tag,
+                                user=user)

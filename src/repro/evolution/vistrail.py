@@ -1,0 +1,286 @@
+"""The version tree: change-based workflow-evolution provenance.
+
+A :class:`Vistrail` (named after the system that introduced the model,
+co-created by one of the paper's authors) stores every version of a workflow
+as a node in a tree; each node carries the single change action that derives
+it from its parent.  Materializing a version means composing the actions on
+its root path.  Branching is free — adding a child to *any* version — which
+is exactly how exploratory "what if" work proceeds.
+
+Materialization uses nearest-ancestor caching so that navigating around a
+deep tree does not replay full histories.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.evolution.actions import (Action, action_from_dict,
+                                     action_to_dict)
+from repro.identity import new_id
+from repro.workflow.spec import Workflow
+
+__all__ = ["VersionNode", "Vistrail"]
+
+
+@dataclass
+class VersionNode:
+    """One version in the tree.
+
+    The root has ``parent is None`` and no action; every other node holds
+    the action transforming its parent's workflow into its own.
+    """
+
+    id: str
+    parent: Optional[str]
+    action: Optional[Action]
+    tag: str = ""
+    user: str = ""
+    created: float = 0.0
+
+
+class Vistrail:
+    """A tree of workflow versions linked by change actions."""
+
+    ROOT = "ROOT"
+
+    def __init__(self, name: str = "workflow",
+                 workflow_id: Optional[str] = None) -> None:
+        self.name = name
+        self.workflow_id = workflow_id or new_id("wf")
+        self.nodes: Dict[str, VersionNode] = {
+            self.ROOT: VersionNode(id=self.ROOT, parent=None, action=None,
+                                   tag="empty", created=time.time())
+        }
+        self._children: Dict[str, List[str]] = {self.ROOT: []}
+        self.current = self.ROOT
+        self._cache: Dict[str, Workflow] = {}
+        self._cache_limit = 64
+
+    # -- building -----------------------------------------------------------
+    def add_action(self, action: Action, *, parent: Optional[str] = None,
+                   tag: str = "", user: str = "") -> str:
+        """Append ``action`` as a child of ``parent`` (default: current).
+
+        The action is validated by applying it to the materialized parent;
+        the resulting version becomes current.  Returns the version id.
+        """
+        parent_id = parent if parent is not None else self.current
+        if parent_id not in self.nodes:
+            raise KeyError(f"no such version: {parent_id}")
+        workflow = self.materialize(parent_id).copy(
+            new_id_=self.workflow_id)
+        action.apply(workflow)  # raises if inconsistent
+
+        version_id = new_id("ver")
+        self.nodes[version_id] = VersionNode(
+            id=version_id, parent=parent_id, action=action, tag=tag,
+            user=user, created=time.time())
+        self._children.setdefault(parent_id, []).append(version_id)
+        self._children.setdefault(version_id, [])
+        self.current = version_id
+        self._remember(version_id, workflow)
+        return version_id
+
+    def add_actions(self, actions: Iterable[Action], *,
+                    parent: Optional[str] = None, tag: str = "",
+                    user: str = "") -> str:
+        """Append a chain of actions; the tag lands on the final version."""
+        version = parent if parent is not None else self.current
+        actions = list(actions)
+        for index, action in enumerate(actions):
+            final = index == len(actions) - 1
+            version = self.add_action(action, parent=version,
+                                      tag=tag if final else "", user=user)
+        return version
+
+    # -- navigation -----------------------------------------------------------
+    def checkout(self, version_id: str) -> Workflow:
+        """Make ``version_id`` current and return its workflow."""
+        if version_id not in self.nodes:
+            raise KeyError(f"no such version: {version_id}")
+        self.current = version_id
+        return self.materialize(version_id)
+
+    def materialize(self, version_id: str) -> Workflow:
+        """The workflow at ``version_id`` (fresh copy, safe to mutate)."""
+        if version_id not in self.nodes:
+            raise KeyError(f"no such version: {version_id}")
+        path: List[str] = []
+        cursor: Optional[str] = version_id
+        base: Optional[Workflow] = None
+        while cursor is not None:
+            if cursor in self._cache:
+                base = self._cache[cursor]
+                break
+            path.append(cursor)
+            cursor = self.nodes[cursor].parent
+        workflow = (base.copy(new_id_=self.workflow_id) if base is not None
+                    else Workflow(name=self.name,
+                                  workflow_id=self.workflow_id))
+        for node_id in reversed(path):
+            action = self.nodes[node_id].action
+            if action is not None:
+                action.apply(workflow)
+        self._remember(version_id, workflow)
+        return workflow.copy(new_id_=self.workflow_id)
+
+    def _remember(self, version_id: str, workflow: Workflow) -> None:
+        self._cache[version_id] = workflow.copy(new_id_=self.workflow_id)
+        while len(self._cache) > self._cache_limit:
+            self._cache.pop(next(iter(self._cache)))
+
+    # -- structure ------------------------------------------------------------
+    def children(self, version_id: str) -> List[str]:
+        """Child version ids, in creation order."""
+        return list(self._children.get(version_id, ()))
+
+    def leaves(self) -> List[str]:
+        """Versions with no children (sorted)."""
+        return sorted(v for v in self.nodes if not self._children.get(v))
+
+    def path_to_root(self, version_id: str) -> List[str]:
+        """Version ids from ``version_id`` up to and including the root."""
+        if version_id not in self.nodes:
+            raise KeyError(f"no such version: {version_id}")
+        path = []
+        cursor: Optional[str] = version_id
+        while cursor is not None:
+            path.append(cursor)
+            cursor = self.nodes[cursor].parent
+        return path
+
+    def depth(self, version_id: str) -> int:
+        """Number of actions composing this version."""
+        return len(self.path_to_root(version_id)) - 1
+
+    def common_ancestor(self, first: str, second: str) -> str:
+        """The deepest version on both root paths."""
+        first_path = self.path_to_root(first)
+        second_set = set(self.path_to_root(second))
+        for version in first_path:
+            if version in second_set:
+                return version
+        return self.ROOT
+
+    def actions_between(self, ancestor: str,
+                        descendant: str) -> List[Action]:
+        """The actions turning ``ancestor`` into ``descendant``.
+
+        ``ancestor`` must lie on the descendant's root path.
+        """
+        path = self.path_to_root(descendant)
+        if ancestor not in path:
+            raise ValueError(
+                f"{ancestor} is not an ancestor of {descendant}")
+        actions: List[Action] = []
+        for version in path[:path.index(ancestor)]:
+            action = self.nodes[version].action
+            if action is not None:
+                actions.append(action)
+        return list(reversed(actions))
+
+    def undo_actions(self, from_version: str,
+                     to_ancestor: str) -> List[Action]:
+        """Inverse actions walking ``from_version`` up to ``to_ancestor``."""
+        path = self.path_to_root(from_version)
+        if to_ancestor not in path:
+            raise ValueError(
+                f"{to_ancestor} is not an ancestor of {from_version}")
+        inverses: List[Action] = []
+        for version in path[:path.index(to_ancestor)]:
+            node = self.nodes[version]
+            before = self.materialize(node.parent)
+            inverses.append(node.action.inverse(before))
+        return inverses
+
+    # -- tags -----------------------------------------------------------------
+    def tag(self, version_id: str, tag: str) -> None:
+        """Name a version (tags need not be unique, latest wins lookup)."""
+        self.nodes[version_id].tag = tag
+
+    def find_tag(self, tag: str) -> Optional[str]:
+        """The most recently created version carrying ``tag``."""
+        tagged = [node for node in self.nodes.values() if node.tag == tag]
+        if not tagged:
+            return None
+        return max(tagged, key=lambda node: node.created).id
+
+    # -- rendering ---------------------------------------------------------
+    def log(self, version_id: Optional[str] = None) -> List[str]:
+        """Action descriptions from root to the given (default current)."""
+        version = version_id or self.current
+        lines = []
+        for node_id in reversed(self.path_to_root(version)):
+            node = self.nodes[node_id]
+            if node.action is None:
+                lines.append("(root)")
+            else:
+                suffix = f"  [{node.tag}]" if node.tag else ""
+                lines.append(node.action.describe() + suffix)
+        return lines
+
+    def tree_ascii(self) -> str:
+        """Render the version tree as indented ASCII."""
+        lines: List[str] = []
+
+        def walk(version_id: str, depth: int) -> None:
+            node = self.nodes[version_id]
+            label = node.tag or (node.action.describe()
+                                 if node.action else "root")
+            marker = " *" if version_id == self.current else ""
+            lines.append("  " * depth + f"- {label}{marker}")
+            for child in self._children.get(version_id, ()):
+                walk(child, depth + 1)
+
+        walk(self.ROOT, 0)
+        return "\n".join(lines)
+
+    # -- persistence -------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize the whole tree to a plain dictionary."""
+        return {
+            "name": self.name,
+            "workflow_id": self.workflow_id,
+            "current": self.current,
+            "nodes": [
+                {
+                    "id": node.id,
+                    "parent": node.parent,
+                    "action": (action_to_dict(node.action)
+                               if node.action else None),
+                    "tag": node.tag,
+                    "user": node.user,
+                    "created": node.created,
+                }
+                for node in self.nodes.values()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Vistrail":
+        """Rebuild a vistrail from :meth:`to_dict` output."""
+        vistrail = cls(name=data["name"],
+                       workflow_id=data["workflow_id"])
+        vistrail.nodes.clear()
+        vistrail._children.clear()
+        for node_data in data["nodes"]:
+            node = VersionNode(
+                id=node_data["id"], parent=node_data["parent"],
+                action=(action_from_dict(node_data["action"])
+                        if node_data["action"] else None),
+                tag=node_data.get("tag", ""),
+                user=node_data.get("user", ""),
+                created=node_data.get("created", 0.0))
+            vistrail.nodes[node.id] = node
+            vistrail._children.setdefault(node.id, [])
+            if node.parent is not None:
+                vistrail._children.setdefault(node.parent,
+                                              []).append(node.id)
+        vistrail.current = data.get("current", cls.ROOT)
+        return vistrail
+
+    def __len__(self) -> int:
+        return len(self.nodes)

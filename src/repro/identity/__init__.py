@@ -1,0 +1,115 @@
+"""Identity primitives: stable identifiers, content hashing, canonical JSON.
+
+Every entity in the system (workflows, modules, connections, runs, executions,
+artifacts, annotations, versions) carries a globally unique identifier.  Data
+artifacts are additionally identified by a *content hash* so that
+reproducibility checks ("did rerunning produce the same bytes?") and caching
+("have we computed this before?") can be answered by hash equality.
+
+Identifiers are prefixed strings (``art-3f2a...``) rather than bare UUIDs so
+that a provenance log remains human-readable and so that malformed cross-kind
+references can be caught early (see :func:`kind_of`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import uuid
+from typing import Any
+
+__all__ = [
+    "new_id",
+    "kind_of",
+    "is_id",
+    "canonical_json",
+    "content_hash",
+    "hash_value",
+    "IdentityError",
+]
+
+#: Identifier prefixes for every entity kind in the system.
+KNOWN_KINDS = (
+    "wf",       # workflow specification
+    "mod",      # module instance inside a workflow
+    "conn",     # connection between module ports
+    "run",      # one execution of a workflow
+    "exec",     # one execution of a module within a run
+    "art",      # data artifact (a value that flowed through a port)
+    "ann",      # annotation
+    "ver",      # version in an evolution (vistrail) tree
+    "act",      # change action in an evolution tree
+    "user",     # collaboratory user
+    "view",     # ZOOM user view
+    "acct",     # OPM account
+    "rel",      # database relation
+    "tup",      # database tuple
+)
+
+
+class IdentityError(ValueError):
+    """Raised when an identifier is malformed or of an unexpected kind."""
+
+
+def new_id(kind: str) -> str:
+    """Return a fresh unique identifier for an entity of ``kind``.
+
+    >>> ident = new_id("art")
+    >>> ident.startswith("art-")
+    True
+    """
+    if kind not in KNOWN_KINDS:
+        raise IdentityError(f"unknown identifier kind: {kind!r}")
+    return f"{kind}-{uuid.uuid4().hex}"
+
+
+def is_id(value: Any) -> bool:
+    """Return True if ``value`` looks like an identifier produced by new_id."""
+    if not isinstance(value, str) or "-" not in value:
+        return False
+    kind, _, rest = value.partition("-")
+    return kind in KNOWN_KINDS and len(rest) > 0
+
+
+def kind_of(identifier: str) -> str:
+    """Return the entity kind encoded in ``identifier``.
+
+    Raises :class:`IdentityError` when the identifier is malformed.
+    """
+    if not is_id(identifier):
+        raise IdentityError(f"malformed identifier: {identifier!r}")
+    return identifier.partition("-")[0]
+
+
+def canonical_json(value: Any) -> str:
+    """Serialize ``value`` to deterministic JSON (sorted keys, no whitespace).
+
+    Canonical JSON underlies content hashing: two structurally equal values
+    always produce identical byte strings.  Non-JSON scalars are converted via
+    ``str`` as a last resort so arbitrary parameter values can be hashed.
+    """
+    return json.dumps(value, sort_keys=True, separators=(",", ":"),
+                      default=_json_fallback)
+
+
+def _json_fallback(value: Any) -> Any:
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):  # numpy arrays and scalars
+        return tolist()
+    return str(value)
+
+
+def content_hash(data: bytes) -> str:
+    """Return the hex SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def hash_value(value: Any) -> str:
+    """Hash an arbitrary Python value by way of its canonical encoding.
+
+    Bytes hash directly; everything else goes through canonical JSON. This is
+    the hash used for artifact identity and cache keys.
+    """
+    if isinstance(value, bytes):
+        return content_hash(b"bytes:" + value)
+    return content_hash(("json:" + canonical_json(value)).encode("utf-8"))

@@ -1,0 +1,21 @@
+"""Provenance interoperability (paper §2.4 and the Provenance Challenges).
+
+Simulated foreign systems with native provenance dialects, dialect→OPM
+translators, identity-reconciling integration, and the Second Provenance
+Challenge scenario end to end.
+"""
+
+from repro.interop.challenge2 import (Challenge2Result, cross_system_lineage,
+                                      run_challenge2)
+from repro.interop.dialects import (ChimeraSim, ForeignData, KarmaSim,
+                                    TavernaSim)
+from repro.interop.integrate import IntegrationReport, integrate_graphs
+from repro.interop.translators import (chimera_to_opm, karma_to_opm,
+                                       taverna_to_opm)
+
+__all__ = [
+    "Challenge2Result", "cross_system_lineage", "run_challenge2",
+    "ChimeraSim", "ForeignData", "KarmaSim", "TavernaSim",
+    "IntegrationReport", "integrate_graphs",
+    "chimera_to_opm", "karma_to_opm", "taverna_to_opm",
+]

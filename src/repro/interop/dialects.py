@@ -1,0 +1,193 @@
+"""Simulated foreign workflow systems with native provenance dialects.
+
+The Second Provenance Challenge ([33] in the paper) had teams run *parts* of
+the fMRI workflow on different systems and then integrate the resulting
+provenance.  We reproduce that setting with three simulated systems, each
+computing for real (via the imaging module implementations) but recording
+provenance in its own native representation:
+
+* :class:`TavernaSim` — RDF-style triples in a ``scufl:`` vocabulary
+  (Taverna publishes provenance as a Semantic-Web graph [46]);
+* :class:`KarmaSim` — a timestamped activity *event log* (Karma collects
+  provenance as notification events [37, 38]);
+* :class:`ChimeraSim` — a virtual-data catalog of transformations and
+  derivations with logical file names (Chimera/VDS [17]).
+
+Each system's ``invoke`` executes one processing step on real arrays and
+appends native provenance records; data passes between systems by logical
+name, which is what the integrator later reconciles.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.identity import hash_value
+
+__all__ = ["TavernaSim", "KarmaSim", "ChimeraSim", "ForeignData"]
+
+
+@dataclass
+class ForeignData:
+    """A datum exchanged between foreign systems by logical name."""
+
+    name: str
+    value: Any
+
+    @property
+    def value_hash(self) -> str:
+        """Content hash (used for identity reconciliation checks)."""
+        return hash_value(self.value)
+
+
+class _SimBase:
+    """Shared bookkeeping: a value namespace keyed by logical name."""
+
+    def __init__(self, system_id: str) -> None:
+        self.system_id = system_id
+        self.data: Dict[str, ForeignData] = {}
+        self._counter = itertools.count(1)
+
+    def put(self, name: str, value: Any) -> ForeignData:
+        """Register a datum under its logical name."""
+        datum = ForeignData(name=name, value=value)
+        self.data[name] = datum
+        return datum
+
+    def get(self, name: str) -> ForeignData:
+        """Look up a datum by logical name."""
+        return self.data[name]
+
+    def fresh_id(self, prefix: str) -> str:
+        return f"{self.system_id}:{prefix}{next(self._counter)}"
+
+
+class TavernaSim(_SimBase):
+    """Taverna-like system: provenance as ``scufl:`` RDF triples."""
+
+    def __init__(self) -> None:
+        super().__init__("taverna")
+        self.triples: List[Tuple[str, str, Any]] = []
+
+    def invoke(self, processor: str, fn: Callable[..., Dict[str, Any]],
+               inputs: Dict[str, str],
+               output_names: Dict[str, str]) -> List[str]:
+        """Run ``fn`` on named inputs; record provenance triples.
+
+        Args:
+            processor: the processor (module) name.
+            fn: callable taking input values by port, returning outputs.
+            inputs: input port -> logical data name.
+            output_names: output port -> logical name for the result.
+
+        Returns the logical names of the outputs.
+        """
+        invocation = self.fresh_id("proc")
+        self.triples.append((invocation, "rdf:type", "scufl:ProcessorRun"))
+        self.triples.append((invocation, "scufl:processorName", processor))
+        values = {}
+        for port, name in inputs.items():
+            datum = self.get(name)
+            values[port] = datum.value
+            self.triples.append((invocation, "scufl:readInput", name))
+            self.triples.append((name, "scufl:inputPort", port))
+            self.triples.append((name, "rdf:type", "scufl:DataItem"))
+            self.triples.append((name, "scufl:dataHash", datum.value_hash))
+        outputs = fn(**values)
+        produced = []
+        for port, value in outputs.items():
+            name = output_names[port]
+            datum = self.put(name, value)
+            produced.append(name)
+            self.triples.append((invocation, "scufl:wroteOutput", name))
+            self.triples.append((name, "scufl:outputPort", port))
+            self.triples.append((name, "rdf:type", "scufl:DataItem"))
+            self.triples.append((name, "scufl:dataHash", datum.value_hash))
+        return produced
+
+
+class KarmaSim(_SimBase):
+    """Karma-like system: provenance as a timestamped activity log."""
+
+    def __init__(self) -> None:
+        super().__init__("karma")
+        self.events: List[Dict[str, Any]] = []
+        self._clock = itertools.count(1)
+
+    def _emit(self, event_type: str, **payload: Any) -> None:
+        self.events.append({"seq": next(self._clock),
+                            "type": event_type, **payload})
+
+    def invoke(self, service: str, fn: Callable[..., Dict[str, Any]],
+               inputs: Dict[str, str],
+               output_names: Dict[str, str]) -> List[str]:
+        """Run ``fn`` as a service invocation; emit Karma-style events."""
+        invocation = self.fresh_id("invoke")
+        self._emit("serviceInvoked", invocation=invocation,
+                   service=service)
+        values = {}
+        for port, name in inputs.items():
+            datum = self.get(name)
+            values[port] = datum.value
+            self._emit("dataConsumed", invocation=invocation,
+                       data=name, port=port, hash=datum.value_hash)
+        outputs = fn(**values)
+        produced = []
+        for port, value in outputs.items():
+            name = output_names[port]
+            datum = self.put(name, value)
+            produced.append(name)
+            self._emit("dataProduced", invocation=invocation,
+                       data=name, port=port, hash=datum.value_hash)
+        self._emit("serviceCompleted", invocation=invocation,
+                   service=service)
+        return produced
+
+
+class ChimeraSim(_SimBase):
+    """Chimera/VDS-like system: a virtual-data catalog of derivations."""
+
+    def __init__(self) -> None:
+        super().__init__("chimera")
+        self.transformations: Dict[str, Dict[str, Any]] = {}
+        self.derivations: List[Dict[str, Any]] = []
+
+    def declare_transformation(self, name: str,
+                               description: str = "") -> None:
+        """Register a transformation (the catalog's executable template)."""
+        self.transformations[name] = {"name": name,
+                                      "description": description}
+
+    def invoke(self, transformation: str,
+               fn: Callable[..., Dict[str, Any]],
+               inputs: Dict[str, str], output_names: Dict[str, str],
+               parameters: Optional[Dict[str, Any]] = None) -> List[str]:
+        """Run a derivation of ``transformation``; record it in the catalog."""
+        if transformation not in self.transformations:
+            self.declare_transformation(transformation)
+        values = {port: self.get(name).value
+                  for port, name in inputs.items()}
+        outputs = fn(**values)
+        produced = []
+        output_lfns = {}
+        for port, value in outputs.items():
+            name = output_names[port]
+            self.put(name, value)
+            produced.append(name)
+            output_lfns[port] = name
+        self.derivations.append({
+            "id": self.fresh_id("deriv"),
+            "transformation": transformation,
+            "parameters": dict(parameters or {}),
+            "inputs": {port: name for port, name in inputs.items()},
+            "outputs": output_lfns,
+            "input_hashes": {name: self.get(name).value_hash
+                             for name in inputs.values()},
+            "output_hashes": {name: self.get(name).value_hash
+                              for name in output_lfns.values()},
+        })
+        return produced

@@ -1,0 +1,99 @@
+"""Multi-system provenance integration (the Second Provenance Challenge).
+
+Given OPM graphs translated from different systems, integration must decide
+which artifacts are *the same data* across system boundaries and merge the
+graphs on those identities.  Two reconciliation signals are used, in order:
+
+1. equal logical names (the ``name`` artifact attribute) — the systems
+   exchanged files by name;
+2. equal content hashes — catches renamed-but-identical data and guards
+   against accidental name collisions (a name match with conflicting
+   hashes is reported, not merged).
+
+The result is a single OPM graph in which cross-system lineage queries
+(e.g. "trace the atlas graphic back to the anatomy images") just work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.opm.model import OPMGraph
+
+__all__ = ["IntegrationReport", "integrate_graphs"]
+
+
+@dataclass
+class IntegrationReport:
+    """Outcome of integrating several OPM graphs.
+
+    Attributes:
+        graph: the merged OPM graph (canonical artifact ids).
+        merged_artifacts: canonical id -> the original ids unified into it.
+        conflicts: identity candidates rejected because hashes disagreed.
+        systems: number of input graphs.
+    """
+
+    graph: OPMGraph
+    merged_artifacts: Dict[str, List[str]] = field(default_factory=dict)
+    conflicts: List[str] = field(default_factory=list)
+    systems: int = 0
+
+    def crossings(self) -> int:
+        """How many artifacts were unified across more than one graph."""
+        return sum(1 for originals in self.merged_artifacts.values()
+                   if len(originals) > 1)
+
+
+def integrate_graphs(graphs: Iterable[OPMGraph]) -> IntegrationReport:
+    """Merge OPM graphs with name/hash identity reconciliation."""
+    graphs = list(graphs)
+    canonical: Dict[str, str] = {}        # original id -> canonical id
+    by_name: Dict[str, Tuple[str, str]] = {}  # name -> (canonical, hash)
+    merged_from: Dict[str, List[str]] = {}
+    conflicts: List[str] = []
+
+    for graph in graphs:
+        for artifact in graph.artifacts.values():
+            name = str(artifact.attributes.get("name", "")) or artifact.id
+            value_hash = artifact.value_hash
+            if name in by_name:
+                canonical_id, known_hash = by_name[name]
+                if known_hash and value_hash and known_hash != value_hash:
+                    conflicts.append(
+                        f"name {name!r} has conflicting hashes "
+                        f"({known_hash[:8]} vs {value_hash[:8]}); "
+                        f"kept separate")
+                    canonical[artifact.id] = artifact.id
+                    merged_from.setdefault(artifact.id,
+                                           []).append(artifact.id)
+                    continue
+                canonical[artifact.id] = canonical_id
+                merged_from[canonical_id].append(artifact.id)
+            else:
+                by_name[name] = (name, value_hash)
+                canonical[artifact.id] = name
+                merged_from[name] = [artifact.id]
+
+    merged = OPMGraph(graph_id="opm:integrated")
+    for graph in graphs:
+        merged.accounts |= graph.accounts
+        for artifact in graph.artifacts.values():
+            canonical_id = canonical[artifact.id]
+            merged.add_artifact(canonical_id, label=artifact.label,
+                                value_hash=artifact.value_hash,
+                                **artifact.attributes)
+        for process in graph.processes.values():
+            merged.add_process(process.id, label=process.label,
+                               **process.attributes)
+        for agent in graph.agents.values():
+            merged.add_agent(agent.id, label=agent.label,
+                             **agent.attributes)
+        for edge in graph.edges:
+            effect = canonical.get(edge.effect, edge.effect)
+            cause = canonical.get(edge.cause, edge.cause)
+            merged._add_edge(edge.kind, effect, cause, edge.role,
+                             edge.accounts)
+    return IntegrationReport(graph=merged, merged_artifacts=merged_from,
+                             conflicts=conflicts, systems=len(graphs))

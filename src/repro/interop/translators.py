@@ -1,0 +1,106 @@
+"""Dialect → OPM translators.
+
+One translator per foreign system; each produces an :class:`OPMGraph` whose
+artifact nodes carry the *logical data name* and *content hash* as
+attributes — the handles the integrator reconciles identities with.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.interop.dialects import ChimeraSim, KarmaSim, TavernaSim
+from repro.opm.model import OPMGraph
+
+__all__ = ["taverna_to_opm", "karma_to_opm", "chimera_to_opm"]
+
+
+def taverna_to_opm(system: TavernaSim) -> OPMGraph:
+    """Translate Taverna-style triples into OPM."""
+    graph = OPMGraph(graph_id="opm:taverna")
+    graph.add_account("taverna")
+    processor_names: Dict[str, str] = {}
+    hashes: Dict[str, str] = {}
+    ports: Dict[str, str] = {}
+    reads: List[Tuple[str, str]] = []
+    writes: List[Tuple[str, str]] = []
+    for subject, predicate, obj in system.triples:
+        if predicate == "scufl:processorName":
+            processor_names[subject] = obj
+        elif predicate == "scufl:dataHash":
+            hashes[subject] = obj
+        elif predicate in ("scufl:inputPort", "scufl:outputPort"):
+            ports[subject] = obj
+        elif predicate == "scufl:readInput":
+            reads.append((subject, obj))
+        elif predicate == "scufl:wroteOutput":
+            writes.append((subject, obj))
+    for subject, predicate, obj in system.triples:
+        if predicate == "rdf:type" and obj == "scufl:ProcessorRun":
+            graph.add_process(subject,
+                              label=processor_names.get(subject, subject),
+                              system="taverna")
+        elif predicate == "rdf:type" and obj == "scufl:DataItem":
+            graph.add_artifact(subject, label=subject,
+                               value_hash=hashes.get(subject, ""),
+                               name=subject, system="taverna")
+    for invocation, name in reads:
+        graph.used(invocation, name, role=ports.get(name, ""),
+                   accounts=("taverna",))
+    for invocation, name in writes:
+        graph.was_generated_by(name, invocation,
+                               role=ports.get(name, ""),
+                               accounts=("taverna",))
+    return graph
+
+
+def karma_to_opm(system: KarmaSim) -> OPMGraph:
+    """Translate a Karma-style event log into OPM."""
+    graph = OPMGraph(graph_id="opm:karma")
+    graph.add_account("karma")
+    for event in system.events:
+        if event["type"] == "serviceInvoked":
+            graph.add_process(event["invocation"],
+                              label=event["service"], system="karma")
+    for event in system.events:
+        if event["type"] == "dataConsumed":
+            graph.add_artifact(event["data"], label=event["data"],
+                               value_hash=event.get("hash", ""),
+                               name=event["data"], system="karma")
+            graph.used(event["invocation"], event["data"],
+                       role=event.get("port", ""), accounts=("karma",))
+        elif event["type"] == "dataProduced":
+            graph.add_artifact(event["data"], label=event["data"],
+                               value_hash=event.get("hash", ""),
+                               name=event["data"], system="karma")
+            graph.was_generated_by(event["data"], event["invocation"],
+                                   role=event.get("port", ""),
+                                   accounts=("karma",))
+    return graph
+
+
+def chimera_to_opm(system: ChimeraSim) -> OPMGraph:
+    """Translate a Chimera-style virtual-data catalog into OPM."""
+    graph = OPMGraph(graph_id="opm:chimera")
+    graph.add_account("chimera")
+    for derivation in system.derivations:
+        process_id = derivation["id"]
+        graph.add_process(process_id,
+                          label=derivation["transformation"],
+                          system="chimera",
+                          parameters=dict(derivation["parameters"]))
+        for port, name in derivation["inputs"].items():
+            graph.add_artifact(
+                name, label=name,
+                value_hash=derivation["input_hashes"].get(name, ""),
+                name=name, system="chimera")
+            graph.used(process_id, name, role=port,
+                       accounts=("chimera",))
+        for port, name in derivation["outputs"].items():
+            graph.add_artifact(
+                name, label=name,
+                value_hash=derivation["output_hashes"].get(name, ""),
+                name=name, system="chimera")
+            graph.was_generated_by(name, process_id, role=port,
+                                   accounts=("chimera",))
+    return graph

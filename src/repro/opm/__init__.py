@@ -1,0 +1,27 @@
+"""Open Provenance Model: the interoperability standard the paper anticipates.
+
+OPM node/edge/account model, completion-rule inference, JSON and XML
+serialization, and converters from native provenance (see [30] in the paper:
+Moreau et al., "The open provenance model", 2007).
+"""
+
+from repro.opm.convert import opm_lineage, run_to_opm
+from repro.opm.inference import (complete, infer_derivations, infer_triggers,
+                                 transitive_derivations)
+from repro.opm.model import (EDGE_KINDS, OPMAgent, OPMArtifact, OPMEdge,
+                             OPMGraph, OPMProcess, USED, WAS_CONTROLLED_BY,
+                             WAS_DERIVED_FROM, WAS_GENERATED_BY,
+                             WAS_TRIGGERED_BY)
+from repro.opm.serialize import (opm_from_dict, opm_from_json, opm_from_xml,
+                                 opm_to_dict, opm_to_json, opm_to_xml)
+
+__all__ = [
+    "opm_lineage", "run_to_opm",
+    "complete", "infer_derivations", "infer_triggers",
+    "transitive_derivations",
+    "EDGE_KINDS", "OPMAgent", "OPMArtifact", "OPMEdge", "OPMGraph",
+    "OPMProcess", "USED", "WAS_CONTROLLED_BY", "WAS_DERIVED_FROM",
+    "WAS_GENERATED_BY", "WAS_TRIGGERED_BY",
+    "opm_from_dict", "opm_from_json", "opm_from_xml", "opm_to_dict",
+    "opm_to_json", "opm_to_xml",
+]

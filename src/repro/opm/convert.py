@@ -1,0 +1,77 @@
+"""Converters between native retrospective provenance and OPM graphs."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.retrospective import WorkflowRun
+from repro.opm.model import OPMGraph
+
+__all__ = ["run_to_opm", "opm_lineage"]
+
+
+def run_to_opm(run: WorkflowRun, *, account: str = "",
+               agent: Optional[str] = None) -> OPMGraph:
+    """Export one run's retrospective provenance as an OPM graph.
+
+    * executions become processes (skipped executions are omitted);
+    * artifacts become artifacts, keeping the content hash;
+    * input bindings become ``used`` edges with the port as role;
+    * output bindings become ``wasGeneratedBy`` edges with the port as role;
+    * when ``agent`` (or a ``"user"`` run tag) is present, every process
+      gets a ``wasControlledBy`` edge to that agent.
+
+    Args:
+        account: optional account name to place all exported edges in.
+        agent: optional agent identifier; defaults to the run's ``user`` tag.
+    """
+    graph = OPMGraph(graph_id=f"opm:{run.id}")
+    accounts = (account,) if account else ()
+    if account:
+        graph.add_account(account)
+
+    agent_id = agent or run.tags.get("user")
+    if agent_id:
+        graph.add_agent(str(agent_id), label=str(agent_id))
+
+    for artifact in run.artifacts.values():
+        graph.add_artifact(artifact.id,
+                           label=f"{artifact.type_name}"
+                                 f"[{artifact.value_hash[:8]}]",
+                           value_hash=artifact.value_hash,
+                           type_name=artifact.type_name,
+                           external=artifact.is_external())
+    for execution in run.executions:
+        if execution.status == "skipped":
+            continue
+        graph.add_process(execution.id, label=execution.module_name,
+                          module_type=execution.module_type,
+                          status=execution.status,
+                          parameters=dict(execution.parameters),
+                          started=execution.started,
+                          finished=execution.finished)
+        for binding in execution.inputs:
+            graph.used(execution.id, binding.artifact_id,
+                       role=binding.port, accounts=accounts)
+        for binding in execution.outputs:
+            graph.was_generated_by(binding.artifact_id, execution.id,
+                                   role=binding.port, accounts=accounts)
+        if agent_id:
+            graph.was_controlled_by(execution.id, str(agent_id),
+                                    role="operator", accounts=accounts)
+    return graph
+
+
+def opm_lineage(graph: OPMGraph, artifact_id: str) -> Dict[str, set]:
+    """Upstream closure of one artifact in an OPM graph.
+
+    Returns ``{"artifacts": {...}, "processes": {...}}`` — everything the
+    artifact causally depends on, following used/wasGeneratedBy edges.
+    """
+    prov = graph.to_prov_graph()
+    reached = prov.reachable(artifact_id,
+                             labels={"used", "wasGeneratedBy"})
+    return {
+        "artifacts": {n for n in reached if prov.kind(n) == "artifact"},
+        "processes": {n for n in reached if prov.kind(n) == "process"},
+    }

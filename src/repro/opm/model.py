@@ -1,0 +1,282 @@
+"""The Open Provenance Model (OPM) core.
+
+The paper cites the OPM effort ([30], Moreau et al. 2007) as the emerging
+standard for representing provenance so that independently produced provenance
+can be integrated.  This module implements the OPM data model:
+
+* three node kinds — **artifacts** (immutable pieces of state), **processes**
+  (actions), **agents** (entities controlling processes);
+* five causal edge kinds, each pointing from *effect* to *cause*:
+  ``used`` (process → artifact, with role), ``wasGeneratedBy`` (artifact →
+  process, with role), ``wasTriggeredBy`` (process → process),
+  ``wasDerivedFrom`` (artifact → artifact), ``wasControlledBy``
+  (process → agent, with role);
+* **accounts** — named overlapping sub-graphs giving alternative descriptions
+  of the same execution at different granularities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.graph import ProvGraph
+
+__all__ = [
+    "OPMArtifact", "OPMProcess", "OPMAgent", "OPMEdge", "OPMGraph",
+    "USED", "WAS_GENERATED_BY", "WAS_TRIGGERED_BY", "WAS_DERIVED_FROM",
+    "WAS_CONTROLLED_BY", "EDGE_KINDS",
+]
+
+USED = "used"
+WAS_GENERATED_BY = "wasGeneratedBy"
+WAS_TRIGGERED_BY = "wasTriggeredBy"
+WAS_DERIVED_FROM = "wasDerivedFrom"
+WAS_CONTROLLED_BY = "wasControlledBy"
+
+EDGE_KINDS = (USED, WAS_GENERATED_BY, WAS_TRIGGERED_BY, WAS_DERIVED_FROM,
+              WAS_CONTROLLED_BY)
+
+#: Which node kinds each edge kind connects: kind -> (effect kind, cause kind)
+_ENDPOINT_KINDS = {
+    USED: ("process", "artifact"),
+    WAS_GENERATED_BY: ("artifact", "process"),
+    WAS_TRIGGERED_BY: ("process", "process"),
+    WAS_DERIVED_FROM: ("artifact", "artifact"),
+    WAS_CONTROLLED_BY: ("process", "agent"),
+}
+
+
+@dataclass
+class OPMArtifact:
+    """An immutable piece of state (OPM artifact)."""
+
+    id: str
+    label: str = ""
+    value_hash: str = ""
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class OPMProcess:
+    """An action or series of actions (OPM process)."""
+
+    id: str
+    label: str = ""
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class OPMAgent:
+    """A contextual entity controlling a process (OPM agent)."""
+
+    id: str
+    label: str = ""
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class OPMEdge:
+    """One causal dependency, pointing from effect to cause."""
+
+    kind: str
+    effect: str
+    cause: str
+    role: str = ""
+    accounts: Tuple[str, ...] = ()
+
+    def in_account(self, account: str) -> bool:
+        """True when the edge belongs to ``account`` (or has no accounts)."""
+        return not self.accounts or account in self.accounts
+
+
+class OPMGraph:
+    """An OPM provenance graph with account overlays."""
+
+    def __init__(self, graph_id: str = "opm") -> None:
+        self.id = graph_id
+        self.artifacts: Dict[str, OPMArtifact] = {}
+        self.processes: Dict[str, OPMProcess] = {}
+        self.agents: Dict[str, OPMAgent] = {}
+        self.edges: List[OPMEdge] = []
+        self.accounts: Set[str] = set()
+
+    # -- nodes -----------------------------------------------------------
+    def add_artifact(self, artifact_id: str, label: str = "",
+                     value_hash: str = "",
+                     **attributes: Any) -> OPMArtifact:
+        """Add (or fetch) an artifact node."""
+        if artifact_id not in self.artifacts:
+            self.artifacts[artifact_id] = OPMArtifact(
+                id=artifact_id, label=label or artifact_id,
+                value_hash=value_hash, attributes=dict(attributes))
+        return self.artifacts[artifact_id]
+
+    def add_process(self, process_id: str, label: str = "",
+                    **attributes: Any) -> OPMProcess:
+        """Add (or fetch) a process node."""
+        if process_id not in self.processes:
+            self.processes[process_id] = OPMProcess(
+                id=process_id, label=label or process_id,
+                attributes=dict(attributes))
+        return self.processes[process_id]
+
+    def add_agent(self, agent_id: str, label: str = "",
+                  **attributes: Any) -> OPMAgent:
+        """Add (or fetch) an agent node."""
+        if agent_id not in self.agents:
+            self.agents[agent_id] = OPMAgent(
+                id=agent_id, label=label or agent_id,
+                attributes=dict(attributes))
+        return self.agents[agent_id]
+
+    def add_account(self, account: str) -> None:
+        """Declare an account name."""
+        self.accounts.add(account)
+
+    def node_kind(self, node_id: str) -> Optional[str]:
+        """'artifact', 'process', 'agent', or None when unknown."""
+        if node_id in self.artifacts:
+            return "artifact"
+        if node_id in self.processes:
+            return "process"
+        if node_id in self.agents:
+            return "agent"
+        return None
+
+    # -- edges ------------------------------------------------------------
+    def _add_edge(self, kind: str, effect: str, cause: str, role: str,
+                  accounts: Iterable[str]) -> OPMEdge:
+        effect_kind, cause_kind = _ENDPOINT_KINDS[kind]
+        if self.node_kind(effect) != effect_kind:
+            raise ValueError(
+                f"{kind} effect must be a {effect_kind}: {effect!r}")
+        if self.node_kind(cause) != cause_kind:
+            raise ValueError(
+                f"{kind} cause must be a {cause_kind}: {cause!r}")
+        accounts = tuple(sorted(accounts))
+        for account in accounts:
+            self.accounts.add(account)
+        edge = OPMEdge(kind=kind, effect=effect, cause=cause, role=role,
+                       accounts=accounts)
+        if edge not in self.edges:
+            self.edges.append(edge)
+        return edge
+
+    def used(self, process: str, artifact: str, role: str = "",
+             accounts: Iterable[str] = ()) -> OPMEdge:
+        """Record that ``process`` used ``artifact`` (in ``role``)."""
+        return self._add_edge(USED, process, artifact, role, accounts)
+
+    def was_generated_by(self, artifact: str, process: str, role: str = "",
+                         accounts: Iterable[str] = ()) -> OPMEdge:
+        """Record that ``artifact`` was generated by ``process``."""
+        return self._add_edge(WAS_GENERATED_BY, artifact, process, role,
+                              accounts)
+
+    def was_triggered_by(self, later: str, earlier: str,
+                         accounts: Iterable[str] = ()) -> OPMEdge:
+        """Record that process ``later`` was triggered by ``earlier``."""
+        return self._add_edge(WAS_TRIGGERED_BY, later, earlier, "",
+                              accounts)
+
+    def was_derived_from(self, derived: str, source: str,
+                         accounts: Iterable[str] = ()) -> OPMEdge:
+        """Record that artifact ``derived`` was derived from ``source``."""
+        return self._add_edge(WAS_DERIVED_FROM, derived, source, "",
+                              accounts)
+
+    def was_controlled_by(self, process: str, agent: str, role: str = "",
+                          accounts: Iterable[str] = ()) -> OPMEdge:
+        """Record that ``process`` was controlled by ``agent``."""
+        return self._add_edge(WAS_CONTROLLED_BY, process, agent, role,
+                              accounts)
+
+    # -- queries ------------------------------------------------------------
+    def edges_of_kind(self, kind: str) -> List[OPMEdge]:
+        """All edges of one kind, in insertion order."""
+        return [edge for edge in self.edges if edge.kind == kind]
+
+    def account_view(self, account: str) -> "OPMGraph":
+        """The sub-graph visible in ``account`` (nodes touched by edges)."""
+        view = OPMGraph(graph_id=f"{self.id}:{account}")
+        view.add_account(account)
+        for edge in self.edges:
+            if not edge.in_account(account):
+                continue
+            for node_id in (edge.effect, edge.cause):
+                kind = self.node_kind(node_id)
+                if kind == "artifact":
+                    original = self.artifacts[node_id]
+                    view.add_artifact(node_id, original.label,
+                                      original.value_hash,
+                                      **original.attributes)
+                elif kind == "process":
+                    original = self.processes[node_id]
+                    view.add_process(node_id, original.label,
+                                     **original.attributes)
+                else:
+                    original = self.agents[node_id]
+                    view.add_agent(node_id, original.label,
+                                   **original.attributes)
+            view._add_edge(edge.kind, edge.effect, edge.cause, edge.role,
+                           edge.accounts)
+        return view
+
+    def to_prov_graph(self) -> ProvGraph:
+        """Convert to a generic :class:`ProvGraph` for traversal queries."""
+        graph = ProvGraph()
+        for artifact in self.artifacts.values():
+            graph.add_node(artifact.id, "artifact", label=artifact.label,
+                           value_hash=artifact.value_hash)
+        for process in self.processes.values():
+            graph.add_node(process.id, "process", label=process.label)
+        for agent in self.agents.values():
+            graph.add_node(agent.id, "agent", label=agent.label)
+        for edge in self.edges:
+            graph.add_edge(edge.effect, edge.cause, edge.kind,
+                           role=edge.role,
+                           accounts=",".join(edge.accounts))
+        return graph
+
+    def merge(self, other: "OPMGraph") -> "OPMGraph":
+        """Union this graph with ``other`` into a new graph.
+
+        Nodes with equal ids unify; edge sets union.  This is the primitive
+        the interoperability layer uses to stitch multi-system provenance.
+        """
+        merged = OPMGraph(graph_id=f"{self.id}+{other.id}")
+        for source in (self, other):
+            for artifact in source.artifacts.values():
+                merged.add_artifact(artifact.id, artifact.label,
+                                    artifact.value_hash,
+                                    **artifact.attributes)
+            for process in source.processes.values():
+                merged.add_process(process.id, process.label,
+                                   **process.attributes)
+            for agent in source.agents.values():
+                merged.add_agent(agent.id, agent.label, **agent.attributes)
+            for edge in source.edges:
+                merged._add_edge(edge.kind, edge.effect, edge.cause,
+                                 edge.role, edge.accounts)
+            merged.accounts |= source.accounts
+        return merged
+
+    def validate(self) -> List[str]:
+        """Structural problems (dangling endpoints), empty when clean."""
+        problems = []
+        for edge in self.edges:
+            if self.node_kind(edge.effect) is None:
+                problems.append(f"dangling effect: {edge.effect}")
+            if self.node_kind(edge.cause) is None:
+                problems.append(f"dangling cause: {edge.cause}")
+        return problems
+
+    def summary(self) -> Dict[str, int]:
+        """Node/edge counts by kind."""
+        counts = {"artifacts": len(self.artifacts),
+                  "processes": len(self.processes),
+                  "agents": len(self.agents)}
+        for kind in EDGE_KINDS:
+            counts[kind] = len(self.edges_of_kind(kind))
+        return counts

@@ -1,0 +1,143 @@
+"""OPM graph serialization: JSON dictionaries and an OPM-style XML dialect."""
+
+from __future__ import annotations
+
+import json
+import xml.etree.ElementTree as ET
+from typing import Any, Dict
+
+from repro.opm.model import OPMEdge, OPMGraph
+
+__all__ = ["opm_to_dict", "opm_from_dict", "opm_to_json", "opm_from_json",
+           "opm_to_xml", "opm_from_xml"]
+
+
+def opm_to_dict(graph: OPMGraph) -> Dict[str, Any]:
+    """Convert an OPM graph to a JSON-serializable dictionary."""
+    return {
+        "id": graph.id,
+        "accounts": sorted(graph.accounts),
+        "artifacts": [
+            {"id": a.id, "label": a.label, "value_hash": a.value_hash,
+             "attributes": a.attributes}
+            for a in sorted(graph.artifacts.values(), key=lambda n: n.id)
+        ],
+        "processes": [
+            {"id": p.id, "label": p.label, "attributes": p.attributes}
+            for p in sorted(graph.processes.values(), key=lambda n: n.id)
+        ],
+        "agents": [
+            {"id": g.id, "label": g.label, "attributes": g.attributes}
+            for g in sorted(graph.agents.values(), key=lambda n: n.id)
+        ],
+        "edges": [
+            {"kind": e.kind, "effect": e.effect, "cause": e.cause,
+             "role": e.role, "accounts": list(e.accounts)}
+            for e in graph.edges
+        ],
+    }
+
+
+def opm_from_dict(data: Dict[str, Any]) -> OPMGraph:
+    """Rebuild an OPM graph from :func:`opm_to_dict` output."""
+    graph = OPMGraph(graph_id=data.get("id", "opm"))
+    for account in data.get("accounts", []):
+        graph.add_account(account)
+    for artifact in data.get("artifacts", []):
+        graph.add_artifact(artifact["id"], artifact.get("label", ""),
+                           artifact.get("value_hash", ""),
+                           **artifact.get("attributes", {}))
+    for process in data.get("processes", []):
+        graph.add_process(process["id"], process.get("label", ""),
+                          **process.get("attributes", {}))
+    for agent in data.get("agents", []):
+        graph.add_agent(agent["id"], agent.get("label", ""),
+                        **agent.get("attributes", {}))
+    for edge in data.get("edges", []):
+        graph._add_edge(edge["kind"], edge["effect"], edge["cause"],
+                        edge.get("role", ""), edge.get("accounts", ()))
+    return graph
+
+
+def opm_to_json(graph: OPMGraph, indent: int = 2) -> str:
+    """Serialize an OPM graph to a JSON string."""
+    return json.dumps(opm_to_dict(graph), indent=indent, sort_keys=True)
+
+
+def opm_from_json(text: str) -> OPMGraph:
+    """Deserialize an OPM graph from a JSON string."""
+    return opm_from_dict(json.loads(text))
+
+
+def opm_to_xml(graph: OPMGraph) -> str:
+    """Serialize an OPM graph to the OPM-style XML dialect."""
+    root = ET.Element("opmGraph", id=graph.id)
+    accounts_el = ET.SubElement(root, "accounts")
+    for account in sorted(graph.accounts):
+        ET.SubElement(accounts_el, "account", id=account)
+    artifacts_el = ET.SubElement(root, "artifacts")
+    for artifact in sorted(graph.artifacts.values(), key=lambda a: a.id):
+        element = ET.SubElement(artifacts_el, "artifact", id=artifact.id,
+                                label=artifact.label)
+        if artifact.value_hash:
+            element.set("valueHash", artifact.value_hash)
+        _write_attributes(element, artifact.attributes)
+    processes_el = ET.SubElement(root, "processes")
+    for process in sorted(graph.processes.values(), key=lambda p: p.id):
+        element = ET.SubElement(processes_el, "process", id=process.id,
+                                label=process.label)
+        _write_attributes(element, process.attributes)
+    agents_el = ET.SubElement(root, "agents")
+    for agent in sorted(graph.agents.values(), key=lambda a: a.id):
+        element = ET.SubElement(agents_el, "agent", id=agent.id,
+                                label=agent.label)
+        _write_attributes(element, agent.attributes)
+    edges_el = ET.SubElement(root, "causalDependencies")
+    for edge in graph.edges:
+        element = ET.SubElement(edges_el, edge.kind)
+        ET.SubElement(element, "effect", ref=edge.effect)
+        ET.SubElement(element, "cause", ref=edge.cause)
+        if edge.role:
+            ET.SubElement(element, "role", value=edge.role)
+        for account in edge.accounts:
+            ET.SubElement(element, "account", ref=account)
+    return ET.tostring(root, encoding="unicode")
+
+
+def opm_from_xml(text: str) -> OPMGraph:
+    """Deserialize an OPM graph from :func:`opm_to_xml` output."""
+    root = ET.fromstring(text)
+    graph = OPMGraph(graph_id=root.get("id", "opm"))
+    for account in root.iterfind("./accounts/account"):
+        graph.add_account(account.get("id"))
+    for artifact in root.iterfind("./artifacts/artifact"):
+        graph.add_artifact(artifact.get("id"), artifact.get("label", ""),
+                           artifact.get("valueHash", ""),
+                           **_read_attributes(artifact))
+    for process in root.iterfind("./processes/process"):
+        graph.add_process(process.get("id"), process.get("label", ""),
+                          **_read_attributes(process))
+    for agent in root.iterfind("./agents/agent"):
+        graph.add_agent(agent.get("id"), agent.get("label", ""),
+                        **_read_attributes(agent))
+    for edges_el in root.iterfind("./causalDependencies"):
+        for element in edges_el:
+            effect = element.find("effect").get("ref")
+            cause = element.find("cause").get("ref")
+            role_el = element.find("role")
+            role = role_el.get("value") if role_el is not None else ""
+            accounts = [a.get("ref") for a in element.iterfind("account")]
+            graph._add_edge(element.tag, effect, cause, role, accounts)
+    return graph
+
+
+def _write_attributes(element: ET.Element,
+                      attributes: Dict[str, Any]) -> None:
+    for key in sorted(attributes):
+        ET.SubElement(element, "attribute", key=key,
+                      value=json.dumps(attributes[key]))
+
+
+def _read_attributes(element: ET.Element) -> Dict[str, Any]:
+    return {attr.get("key"): json.loads(attr.get("value"))
+            for attr in element.iterfind("attribute")}

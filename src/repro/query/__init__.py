@@ -1,0 +1,40 @@
+"""Query infrastructure for provenance (paper §2.2, "querying provenance").
+
+Four query surfaces over the same provenance, mirroring the design space the
+paper surveys:
+
+* :mod:`repro.query.datalog` + :mod:`repro.query.facts` — recursive
+  Prolog-style queries (semi-naive Datalog with stratified negation);
+* :mod:`repro.query.triplequery` — SPARQL-like basic graph patterns over
+  the triple store;
+* SQL — via :meth:`repro.storage.relational.RelationalStore.sql`;
+* :mod:`repro.query.provql` — a purpose-built language where lineage is
+  first-class syntax;
+* :mod:`repro.query.qbe` — visual-style query-by-example (workflow
+  subgraph matching);
+* :mod:`repro.query.views` — ZOOM user views against provenance overload.
+"""
+
+from repro.query.datalog import (Atom, Comparison, Database, DatalogError,
+                                 Program, Rule, Var, parse_atom,
+                                 parse_program, query)
+from repro.query.facts import (PROVENANCE_RULES, provenance_program,
+                               run_to_facts, runs_to_facts)
+from repro.query.provql import (Condition, ProvQLError, Query, execute,
+                                parse)
+from repro.query.qbe import contains_pattern, find_in_corpus, find_matches
+from repro.query.triplequery import (Filter, SelectQuery, SparqlError, V,
+                                     execute_sparql, parse_sparql, select)
+from repro.query.views import UserView, build_user_view
+
+__all__ = [
+    "Atom", "Comparison", "Database", "DatalogError", "Program", "Rule",
+    "Var", "parse_atom", "parse_program", "query",
+    "PROVENANCE_RULES", "provenance_program", "run_to_facts",
+    "runs_to_facts",
+    "Condition", "ProvQLError", "Query", "execute", "parse",
+    "contains_pattern", "find_in_corpus", "find_matches",
+    "Filter", "SelectQuery", "SparqlError", "V", "execute_sparql",
+    "parse_sparql", "select",
+    "UserView", "build_user_view",
+]

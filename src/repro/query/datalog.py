@@ -1,0 +1,486 @@
+"""A Datalog engine for provenance queries.
+
+The paper notes that some systems expose provenance through Prolog-style
+queries ([8]: a collection-oriented provenance model queried in Prolog).
+Recursive rules are the natural language for lineage ("everything upstream"),
+so this module implements a complete Datalog evaluator:
+
+* terms: variables (capitalized or ``_``), string/number/bool constants;
+* rules with positive and negated body atoms plus comparison built-ins;
+* safety checking (head and negated/compared variables must be bound by
+  positive atoms);
+* stratified negation;
+* bottom-up, semi-naive fixpoint evaluation per stratum;
+* a small text syntax: ``upstream(X, Y) :- derived(X, Z), upstream(Z, Y).``
+
+:mod:`repro.query.facts` exports runs as Datalog databases and ships the
+standard provenance rule library.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import (Any, Dict, FrozenSet, Iterable, List, Optional, Sequence,
+                    Set, Tuple, Union)
+
+__all__ = ["Var", "Atom", "Comparison", "Rule", "Database", "Program",
+           "DatalogError", "parse_program", "parse_atom", "query"]
+
+
+class DatalogError(Exception):
+    """Raised for malformed programs, unsafe rules or negation cycles."""
+
+
+@dataclass(frozen=True)
+class Var:
+    """A Datalog variable."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+Term = Union[Var, str, int, float, bool]
+Bindings = Dict[Var, Any]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """``predicate(arg1, ..., argN)``, possibly negated in a rule body."""
+
+    predicate: str
+    args: Tuple[Term, ...]
+    negated: bool = False
+
+    def variables(self) -> Set[Var]:
+        """The set of variables appearing in this atom."""
+        return {term for term in self.args if isinstance(term, Var)}
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(repr(a) for a in self.args)
+        prefix = "not " if self.negated else ""
+        return f"{prefix}{self.predicate}({rendered})"
+
+
+_COMPARATORS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A built-in comparison between two terms, e.g. ``X < 5``."""
+
+    op: str
+    left: Term
+    right: Term
+
+    def variables(self) -> Set[Var]:
+        """Variables appearing on either side."""
+        return {t for t in (self.left, self.right) if isinstance(t, Var)}
+
+    def holds(self, bindings: Bindings) -> bool:
+        """Evaluate under ``bindings`` (all variables must be bound)."""
+        left = bindings[self.left] if isinstance(self.left, Var) \
+            else self.left
+        right = bindings[self.right] if isinstance(self.right, Var) \
+            else self.right
+        try:
+            return _COMPARATORS[self.op](left, right)
+        except TypeError:
+            return False
+
+
+Literal = Union[Atom, Comparison]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head :- body.``  A rule with an empty body asserts a fact."""
+
+    head: Atom
+    body: Tuple[Literal, ...] = ()
+
+    def check_safety(self) -> None:
+        """Raise :class:`DatalogError` when the rule is unsafe."""
+        positive_vars: Set[Var] = set()
+        for literal in self.body:
+            if isinstance(literal, Atom) and not literal.negated:
+                positive_vars |= literal.variables()
+        unsafe_head = self.head.variables() - positive_vars
+        if unsafe_head:
+            raise DatalogError(
+                f"unsafe rule: head variables {unsafe_head} not bound "
+                f"by a positive body atom in {self}")
+        for literal in self.body:
+            if isinstance(literal, Comparison) or (
+                    isinstance(literal, Atom) and literal.negated):
+                unbound = literal.variables() - positive_vars
+                if unbound:
+                    raise DatalogError(
+                        f"unsafe rule: variables {unbound} in "
+                        f"{literal!r} not bound by a positive atom")
+
+    def __repr__(self) -> str:
+        if not self.body:
+            return f"{self.head!r}."
+        rendered = ", ".join(repr(l) for l in self.body)
+        return f"{self.head!r} :- {rendered}."
+
+
+class Database:
+    """A set of ground facts indexed by predicate."""
+
+    def __init__(self) -> None:
+        self._facts: Dict[str, Set[Tuple[Any, ...]]] = {}
+
+    def add(self, predicate: str, *args: Any) -> bool:
+        """Insert one fact; returns False when already present."""
+        rows = self._facts.setdefault(predicate, set())
+        row = tuple(args)
+        if row in rows:
+            return False
+        rows.add(row)
+        return True
+
+    def add_all(self, predicate: str,
+                rows: Iterable[Tuple[Any, ...]]) -> int:
+        """Insert many facts for one predicate; returns how many were new."""
+        return sum(1 for row in rows if self.add(predicate, *row))
+
+    def rows(self, predicate: str) -> Set[Tuple[Any, ...]]:
+        """All facts of one predicate (empty set when unknown)."""
+        return self._facts.get(predicate, set())
+
+    def predicates(self) -> List[str]:
+        """All predicates with at least one fact, sorted."""
+        return sorted(self._facts)
+
+    def contains(self, predicate: str, row: Tuple[Any, ...]) -> bool:
+        """Membership test for a ground fact."""
+        return row in self._facts.get(predicate, set())
+
+    def merge(self, other: "Database") -> "Database":
+        """Union of two databases (new object)."""
+        merged = Database()
+        for source in (self, other):
+            for predicate in source.predicates():
+                merged.add_all(predicate, source.rows(predicate))
+        return merged
+
+    def __len__(self) -> int:
+        return sum(len(rows) for rows in self._facts.values())
+
+
+def _match_atom(atom: Atom, row: Tuple[Any, ...],
+                bindings: Bindings) -> Optional[Bindings]:
+    """Try to extend ``bindings`` so that atom(args) equals ``row``."""
+    if len(atom.args) != len(row):
+        return None
+    extended = dict(bindings)
+    for term, value in zip(atom.args, row):
+        if isinstance(term, Var):
+            if term in extended:
+                if extended[term] != value:
+                    return None
+            else:
+                extended[term] = value
+        elif term != value:
+            return None
+    return extended
+
+
+def _ground(atom: Atom, bindings: Bindings) -> Tuple[Any, ...]:
+    return tuple(bindings[t] if isinstance(t, Var) else t
+                 for t in atom.args)
+
+
+class Program:
+    """A set of rules evaluated bottom-up with stratified negation."""
+
+    def __init__(self, rules: Sequence[Rule] = ()) -> None:
+        self.rules: List[Rule] = []
+        for rule in rules:
+            self.add_rule(rule)
+
+    def add_rule(self, rule: Rule) -> None:
+        """Add a rule after safety checking."""
+        rule.check_safety()
+        self.rules.append(rule)
+
+    # -- stratification ---------------------------------------------------
+    def stratify(self) -> List[List[Rule]]:
+        """Partition rules into strata; negation may not cross a cycle."""
+        idb = {rule.head.predicate for rule in self.rules}
+        stratum: Dict[str, int] = {pred: 0 for pred in idb}
+        for _ in range(len(idb) + 1):
+            changed = False
+            for rule in self.rules:
+                head = rule.head.predicate
+                for literal in rule.body:
+                    if not isinstance(literal, Atom):
+                        continue
+                    if literal.predicate not in idb:
+                        continue
+                    needed = stratum[literal.predicate] + (
+                        1 if literal.negated else 0)
+                    if stratum[head] < needed:
+                        stratum[head] = needed
+                        changed = True
+                        if stratum[head] > len(idb):
+                            raise DatalogError(
+                                "negation cycle detected (program is "
+                                "not stratifiable)")
+            if not changed:
+                break
+        else:
+            raise DatalogError("negation cycle detected (program is "
+                               "not stratifiable)")
+        layers: Dict[int, List[Rule]] = {}
+        for rule in self.rules:
+            layers.setdefault(stratum[rule.head.predicate],
+                              []).append(rule)
+        return [layers[level] for level in sorted(layers)]
+
+    # -- evaluation ---------------------------------------------------------
+    def evaluate(self, database: Database) -> Database:
+        """Fixpoint-evaluate the program; returns EDB ∪ derived facts."""
+        total = Database()
+        for predicate in database.predicates():
+            total.add_all(predicate, database.rows(predicate))
+        for layer in self.stratify():
+            self._evaluate_stratum(layer, total)
+        return total
+
+    @staticmethod
+    def _evaluate_stratum(rules: List[Rule], total: Database) -> None:
+        idb_here = {rule.head.predicate for rule in rules}
+        delta: Dict[str, Set[Tuple[Any, ...]]] = {p: set()
+                                                  for p in idb_here}
+        # naive first round seeds the deltas
+        for rule in rules:
+            for row in _apply_rule(rule, total, None, None):
+                if total.add(rule.head.predicate, *row):
+                    delta[rule.head.predicate].add(row)
+        # semi-naive iteration: each round only joins through last deltas
+        while any(delta.values()):
+            previous_delta = delta
+            delta = {p: set() for p in idb_here}
+            for rule in rules:
+                positive = [l for l in rule.body
+                            if isinstance(l, Atom) and not l.negated
+                            and l.predicate in idb_here]
+                if not positive:
+                    continue  # EDB-only rule: already saturated
+                for pivot_index, pivot in enumerate(rule.body):
+                    if (not isinstance(pivot, Atom) or pivot.negated
+                            or pivot.predicate not in idb_here):
+                        continue
+                    rows = _apply_rule(rule, total, pivot_index,
+                                       previous_delta.get(pivot.predicate,
+                                                          set()))
+                    for row in rows:
+                        if total.add(rule.head.predicate, *row):
+                            delta[rule.head.predicate].add(row)
+
+
+def _apply_rule(rule: Rule, total: Database,
+                pivot_index: Optional[int],
+                pivot_rows: Optional[Set[Tuple[Any, ...]]]
+                ) -> List[Tuple[Any, ...]]:
+    """All head rows derivable from ``total`` (optionally pivoting one atom
+    through a restricted delta set for semi-naive evaluation)."""
+    bindings_list: List[Bindings] = [{}]
+    for index, literal in enumerate(rule.body):
+        if isinstance(literal, Comparison):
+            bindings_list = [b for b in bindings_list if literal.holds(b)]
+        elif literal.negated:
+            bindings_list = [
+                b for b in bindings_list
+                if not total.contains(literal.predicate,
+                                      _ground(literal, b))]
+        else:
+            source_rows = (pivot_rows
+                           if pivot_index is not None
+                           and index == pivot_index
+                           else total.rows(literal.predicate))
+            extended: List[Bindings] = []
+            for bindings in bindings_list:
+                for row in source_rows:
+                    candidate = _match_atom(literal, row, bindings)
+                    if candidate is not None:
+                        extended.append(candidate)
+            bindings_list = extended
+        if not bindings_list:
+            return []
+    return [_ground(rule.head, b) for b in bindings_list]
+
+
+def query(database: Database, atom: Atom) -> List[Bindings]:
+    """All variable bindings satisfying ``atom`` against ``database``."""
+    results = []
+    for row in sorted(database.rows(atom.predicate), key=_row_key):
+        bindings = _match_atom(atom, row, {})
+        if bindings is not None:
+            results.append(bindings)
+    return results
+
+
+def _row_key(row: Tuple[Any, ...]) -> Tuple[str, ...]:
+    return tuple(str(value) for value in row)
+
+
+# ----------------------------------------------------------------------
+# text syntax
+# ----------------------------------------------------------------------
+_TOKEN = re.compile(r"""
+    (?P<string>'[^']*'|"[^"]*") |
+    (?P<number>-?\d+\.\d+|-?\d+) |
+    (?P<name>[A-Za-z_][A-Za-z0-9_]*) |
+    (?P<punct>:-|!=|==|<=|>=|[(),.<>]) |
+    (?P<space>\s+)
+""", re.VERBOSE)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if match is None:
+            raise DatalogError(
+                f"cannot tokenize near: {text[position:position+20]!r}")
+        position = match.end()
+        kind = match.lastgroup
+        if kind != "space":
+            tokens.append((kind, match.group()))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str]]):
+        self.tokens = tokens
+        self.position = 0
+        self.fresh = 0
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def next(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise DatalogError("unexpected end of input")
+        self.position += 1
+        return token
+
+    def expect(self, value: str) -> None:
+        kind, text = self.next()
+        if text != value:
+            raise DatalogError(f"expected {value!r}, found {text!r}")
+
+    def term(self) -> Term:
+        kind, text = self.next()
+        if kind == "string":
+            return text[1:-1]
+        if kind == "number":
+            return float(text) if "." in text else int(text)
+        if kind == "name":
+            if text == "true":
+                return True
+            if text == "false":
+                return False
+            if text == "_":
+                self.fresh += 1
+                return Var(f"_G{self.fresh}")
+            if text[0].isupper() or text[0] == "_":
+                return Var(text)
+            return text
+        raise DatalogError(f"unexpected term token: {text!r}")
+
+    def atom(self) -> Atom:
+        negated = False
+        kind, text = self.next()
+        if kind == "name" and text == "not":
+            negated = True
+            kind, text = self.next()
+        if kind != "name":
+            raise DatalogError(f"expected predicate name, found {text!r}")
+        predicate = text
+        self.expect("(")
+        args: List[Term] = []
+        if self.peek() and self.peek()[1] != ")":
+            args.append(self.term())
+            while self.peek() and self.peek()[1] == ",":
+                self.next()
+                args.append(self.term())
+        self.expect(")")
+        return Atom(predicate=predicate, args=tuple(args), negated=negated)
+
+    def literal(self) -> Literal:
+        # lookahead: comparison literals start with a term then an operator
+        start = self.position
+        first = self.peek()
+        if first and (first[0] in ("string", "number")
+                      or (first[0] == "name"
+                          and (first[1][0].isupper() or first[1] == "_")
+                          and self.position + 1 < len(self.tokens)
+                          and self.tokens[self.position + 1][1]
+                          in _COMPARATORS)):
+            left = self.term()
+            _, op = self.next()
+            if op not in _COMPARATORS:
+                raise DatalogError(f"expected comparator, found {op!r}")
+            right = self.term()
+            return Comparison(op=op, left=left, right=right)
+        self.position = start
+        return self.atom()
+
+    def rule(self) -> Rule:
+        head = self.atom()
+        token = self.peek()
+        if token and token[1] == ":-":
+            self.next()
+            body: List[Literal] = [self.literal()]
+            while self.peek() and self.peek()[1] == ",":
+                self.next()
+                body.append(self.literal())
+            self.expect(".")
+            return Rule(head=head, body=tuple(body))
+        self.expect(".")
+        return Rule(head=head)
+
+
+def parse_program(text: str) -> Program:
+    """Parse Datalog rules (facts allowed) from text into a Program.
+
+    >>> program = parse_program('''
+    ...     derived(X, Y) :- generated(E, X, _), used(E, Y, _).
+    ...     upstream(X, Y) :- derived(X, Y).
+    ...     upstream(X, Y) :- derived(X, Z), upstream(Z, Y).
+    ... ''')
+    >>> len(program.rules)
+    3
+    """
+    parser = _Parser(_tokenize(text))
+    rules: List[Rule] = []
+    while parser.peek() is not None:
+        rules.append(parser.rule())
+    return Program(rules)
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse one query atom like ``upstream(X, 'art-1')``."""
+    parser = _Parser(_tokenize(text))
+    atom = parser.atom()
+    if parser.peek() is not None:
+        raise DatalogError("trailing input after atom")
+    return atom

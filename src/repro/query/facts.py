@@ -1,0 +1,97 @@
+"""Export retrospective provenance as Datalog facts + the standard rules.
+
+Predicates emitted for a run:
+
+========================  =====================================================
+``execution(E)``          E is an execution id
+``artifact(A)``           A is an artifact id
+``used(E, A, Port)``      execution E read artifact A through Port
+``generated(E, A, Port)`` execution E wrote artifact A through Port
+``module_type(E, T)``     E executed a module of type T
+``module_name(E, N)``     instance name of E's module
+``module_of(E, M)``       E executed workflow module M
+``status(E, S)``          execution status (ok/cached/failed/skipped)
+``param(E, K, V)``        parameter K had value V (stringified)
+``duration(E, D)``        wall-clock seconds
+``external(A)``           A was supplied from outside the run
+``type_name(A, T)``       A's port type
+``value_hash(A, H)``      A's content hash
+``in_run(X, R)``          execution/artifact X belongs to run R
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.retrospective import WorkflowRun
+from repro.query.datalog import Database, Program, parse_program
+
+__all__ = ["run_to_facts", "runs_to_facts", "PROVENANCE_RULES",
+           "provenance_program"]
+
+#: The standard provenance rule library (recursive lineage queries).
+PROVENANCE_RULES = """
+derived(X, Y) :- generated(E, X, _), used(E, Y, _).
+upstream(X, Y) :- derived(X, Y).
+upstream(X, Y) :- derived(X, Z), upstream(Z, Y).
+downstream(X, Y) :- upstream(Y, X).
+produced_by_type(A, T) :- generated(E, A, _), module_type(E, T).
+depends_on_type(A, T) :- upstream(A, B), produced_by_type(B, T).
+depends_on_external(A, B) :- upstream(A, B), external(B).
+sibling(X, Y) :- generated(E, X, _), generated(E, Y, _), X != Y.
+same_content(X, Y) :- value_hash(X, H), value_hash(Y, H), X != Y.
+exec_upstream(E, F) :- used(E, A, _), generated(F, A, _).
+exec_upstream(E, F) :- exec_upstream(E, G), exec_upstream(G, F).
+"""
+
+
+def provenance_program() -> Program:
+    """The parsed standard rule library."""
+    return parse_program(PROVENANCE_RULES)
+
+
+def run_to_facts(run: WorkflowRun,
+                 database: Database = None) -> Database:
+    """Encode one run as Datalog facts (into ``database`` when given)."""
+    db = database if database is not None else Database()
+    for execution in run.executions:
+        if execution.status == "skipped":
+            continue
+        db.add("execution", execution.id)
+        db.add("in_run", execution.id, run.id)
+        db.add("module_type", execution.id, execution.module_type)
+        db.add("module_name", execution.id, execution.module_name)
+        db.add("module_of", execution.id, execution.module_id)
+        db.add("status", execution.id, execution.status)
+        db.add("duration", execution.id, execution.duration)
+        for key, value in execution.parameters.items():
+            db.add("param", execution.id, key, _fact_value(value))
+        for binding in execution.inputs:
+            db.add("used", execution.id, binding.artifact_id, binding.port)
+        for binding in execution.outputs:
+            db.add("generated", execution.id, binding.artifact_id,
+                   binding.port)
+    for artifact in run.artifacts.values():
+        db.add("artifact", artifact.id)
+        db.add("in_run", artifact.id, run.id)
+        db.add("type_name", artifact.id, artifact.type_name)
+        db.add("value_hash", artifact.id, artifact.value_hash)
+        if artifact.is_external():
+            db.add("external", artifact.id)
+    return db
+
+
+def runs_to_facts(runs: Iterable[WorkflowRun]) -> Database:
+    """Encode many runs into one fact database (cross-run queries)."""
+    db = Database()
+    for run in runs:
+        run_to_facts(run, db)
+    return db
+
+
+def _fact_value(value) -> object:
+    """Parameters become scalars when possible, else canonical strings."""
+    if isinstance(value, (str, int, float, bool)):
+        return value
+    return repr(value)

@@ -1,0 +1,340 @@
+"""ProvQL — a purpose-built provenance query language.
+
+The paper's complaint about reusing SQL/Prolog/SPARQL for provenance is that
+"none of them have been designed for provenance.  For that reason, simple
+queries can be awkward and complex."  ProvQL is the counterpoint: lineage
+traversals are first-class syntax.
+
+Grammar (case-insensitive keywords)::
+
+    query    := COUNT? command
+    command  := EXECUTIONS where?
+              | ARTIFACTS where?
+              | PRODUCTS where?                       (never-consumed outputs)
+              | INPUTS where?                         (external artifacts)
+              | UPSTREAM OF <id> where?
+              | DOWNSTREAM OF <id> where?
+              | LINEAGE OF <id>
+              | PATHS FROM <id> TO <id>
+    where    := WHERE cond (AND cond)*
+    cond     := field op value
+    op       := = | != | < | <= | > | >= | CONTAINS
+
+Execution fields: ``id``, ``module.type``, ``module.name``, ``module.id``,
+``status``, ``duration``, ``cached``, ``param.<name>``.
+Artifact fields: ``id``, ``type``, ``hash``, ``role``, ``external``,
+``size``, ``creator.type``, ``creator.name``.
+
+Results are lists of plain dict rows (LINEAGE returns one dict; COUNT an
+int), so they print and serialize cleanly.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.causality import (causality_graph, downstream_artifacts,
+                                  upstream_artifacts)
+from repro.core.retrospective import DataArtifact, ModuleExecution, WorkflowRun
+
+__all__ = ["execute", "parse", "ProvQLError", "Query", "Condition"]
+
+
+class ProvQLError(Exception):
+    """Raised for syntax errors or unknown fields."""
+
+
+_OPS: Dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: _numeric(a) < _numeric(b),
+    "<=": lambda a, b: _numeric(a) <= _numeric(b),
+    ">": lambda a, b: _numeric(a) > _numeric(b),
+    ">=": lambda a, b: _numeric(a) >= _numeric(b),
+    "CONTAINS": lambda a, b: str(b) in str(a),
+}
+
+
+def _numeric(value: Any) -> float:
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    return float(value)
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One WHERE condition: ``field op value``."""
+
+    field_path: str
+    op: str
+    value: Any
+
+    def holds(self, row: Dict[str, Any]) -> bool:
+        """Evaluate against a row dict (missing field = False)."""
+        if self.field_path not in row:
+            return False
+        actual = row[self.field_path]
+        if actual is None:
+            return False
+        try:
+            return _OPS[self.op](actual, self.value)
+        except (TypeError, ValueError):
+            return False
+
+
+@dataclass
+class Query:
+    """A parsed ProvQL query."""
+
+    command: str
+    subject: str = ""
+    target: str = ""
+    conditions: Tuple[Condition, ...] = ()
+    count: bool = False
+
+
+_TOKEN = re.compile(r"""
+    (?P<string>'[^']*'|"[^"]*") |
+    (?P<number>-?\d+\.\d+|-?\d+) |
+    (?P<word>[A-Za-z_][A-Za-z0-9_.\-]*) |
+    (?P<op><=|>=|!=|=|<|>) |
+    (?P<space>\s+)
+""", re.VERBOSE)
+
+_KEYWORDS = {"COUNT", "EXECUTIONS", "ARTIFACTS", "PRODUCTS", "INPUTS",
+             "UPSTREAM", "DOWNSTREAM", "LINEAGE", "OF", "PATHS", "FROM",
+             "TO", "WHERE", "AND", "CONTAINS"}
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens, position = [], 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if match is None:
+            raise ProvQLError(
+                f"cannot tokenize near {text[position:position+20]!r}")
+        position = match.end()
+        if match.lastgroup != "space":
+            tokens.append((match.lastgroup, match.group()))
+    return tokens
+
+
+def parse(text: str) -> Query:
+    """Parse ProvQL text into a :class:`Query`."""
+    tokens = _tokenize(text)
+    position = 0
+
+    def peek() -> Optional[Tuple[str, str]]:
+        return tokens[position] if position < len(tokens) else None
+
+    def advance() -> Tuple[str, str]:
+        nonlocal position
+        token = peek()
+        if token is None:
+            raise ProvQLError("unexpected end of query")
+        position += 1
+        return token
+
+    def keyword(expected: str) -> None:
+        kind, value = advance()
+        if kind != "word" or value.upper() != expected:
+            raise ProvQLError(f"expected {expected}, found {value!r}")
+
+    def identifier() -> str:
+        kind, value = advance()
+        if kind == "string":
+            return value[1:-1]
+        if kind == "word":
+            return value
+        raise ProvQLError(f"expected identifier, found {value!r}")
+
+    def literal() -> Any:
+        kind, value = advance()
+        if kind == "string":
+            return value[1:-1]
+        if kind == "number":
+            return float(value) if "." in value else int(value)
+        if kind == "word":
+            if value.lower() == "true":
+                return True
+            if value.lower() == "false":
+                return False
+            return value
+        raise ProvQLError(f"expected literal, found {value!r}")
+
+    def conditions() -> Tuple[Condition, ...]:
+        found: List[Condition] = []
+        if peek() and peek()[1].upper() == "WHERE":
+            advance()
+            while True:
+                kind, field_path = advance()
+                if kind != "word":
+                    raise ProvQLError(
+                        f"expected field name, found {field_path!r}")
+                kind, op = advance()
+                if kind == "word" and op.upper() == "CONTAINS":
+                    op = "CONTAINS"
+                elif kind != "op":
+                    raise ProvQLError(f"expected operator, found {op!r}")
+                found.append(Condition(field_path=field_path, op=op,
+                                       value=literal()))
+                if peek() and peek()[1].upper() == "AND":
+                    advance()
+                    continue
+                break
+        return tuple(found)
+
+    count = False
+    token = peek()
+    if token and token[1].upper() == "COUNT":
+        advance()
+        count = True
+    kind, command_word = advance()
+    command = command_word.upper()
+    if command in ("EXECUTIONS", "ARTIFACTS", "PRODUCTS", "INPUTS"):
+        query = Query(command=command, conditions=conditions(),
+                      count=count)
+    elif command in ("UPSTREAM", "DOWNSTREAM", "LINEAGE"):
+        keyword("OF")
+        subject = identifier()
+        query = Query(command=command, subject=subject,
+                      conditions=conditions(), count=count)
+    elif command == "PATHS":
+        keyword("FROM")
+        subject = identifier()
+        keyword("TO")
+        target = identifier()
+        query = Query(command=command, subject=subject, target=target,
+                      count=count)
+    else:
+        raise ProvQLError(f"unknown command: {command_word!r}")
+    if peek() is not None:
+        raise ProvQLError(f"trailing input: {peek()[1]!r}")
+    return query
+
+
+# ----------------------------------------------------------------------
+# evaluation
+# ----------------------------------------------------------------------
+def _execution_row(run: WorkflowRun,
+                   execution: ModuleExecution) -> Dict[str, Any]:
+    row = {
+        "id": execution.id,
+        "module.type": execution.module_type,
+        "module.name": execution.module_name,
+        "module.id": execution.module_id,
+        "status": execution.status,
+        "duration": execution.duration,
+        "cached": execution.status == "cached",
+        "run": run.id,
+    }
+    for key, value in execution.parameters.items():
+        row[f"param.{key}"] = value
+    return row
+
+
+def _artifact_row(run: WorkflowRun,
+                  artifact: DataArtifact) -> Dict[str, Any]:
+    creator_type = creator_name = None
+    if artifact.created_by:
+        try:
+            creator = run.execution(artifact.created_by)
+            creator_type, creator_name = (creator.module_type,
+                                          creator.module_name)
+        except KeyError:
+            pass
+    return {
+        "id": artifact.id,
+        "type": artifact.type_name,
+        "hash": artifact.value_hash,
+        "role": artifact.role,
+        "external": artifact.is_external(),
+        "size": artifact.size_hint,
+        "creator.type": creator_type,
+        "creator.name": creator_name,
+        "run": run.id,
+    }
+
+
+def _apply_conditions(rows: List[Dict[str, Any]],
+                      conditions: Tuple[Condition, ...]
+                      ) -> List[Dict[str, Any]]:
+    for condition in conditions:
+        rows = [row for row in rows if condition.holds(row)]
+    return rows
+
+
+def _resolve_artifact(run: WorkflowRun, token: str) -> str:
+    """Accept an artifact id, a content hash, or ``module_name.port``."""
+    if token in run.artifacts:
+        return token
+    by_hash = run.artifact_by_hash(token)
+    if by_hash is not None:
+        return by_hash.id
+    if "." in token:
+        module_name, _, port = token.rpartition(".")
+        for execution in run.executions:
+            if execution.module_name == module_name:
+                for binding in execution.outputs:
+                    if binding.port == port:
+                        return binding.artifact_id
+    raise ProvQLError(f"cannot resolve artifact reference: {token!r}")
+
+
+def evaluate(query: Query, run: WorkflowRun) -> Any:
+    """Evaluate a parsed query against one run."""
+    if query.command == "EXECUTIONS":
+        rows = [_execution_row(run, e) for e in run.executions]
+        result: Any = _apply_conditions(rows, query.conditions)
+    elif query.command == "ARTIFACTS":
+        rows = [_artifact_row(run, a)
+                for a in sorted(run.artifacts.values(),
+                                key=lambda a: a.id)]
+        result = _apply_conditions(rows, query.conditions)
+    elif query.command == "PRODUCTS":
+        rows = [_artifact_row(run, a) for a in run.final_artifacts()]
+        result = _apply_conditions(rows, query.conditions)
+    elif query.command == "INPUTS":
+        rows = [_artifact_row(run, a) for a in run.external_artifacts()]
+        result = _apply_conditions(rows, query.conditions)
+    elif query.command in ("UPSTREAM", "DOWNSTREAM"):
+        artifact_id = _resolve_artifact(run, query.subject)
+        graph = causality_graph(run, include_derivations=False)
+        closure = (upstream_artifacts(graph, artifact_id)
+                   if query.command == "UPSTREAM"
+                   else downstream_artifacts(graph, artifact_id))
+        rows = [_artifact_row(run, run.artifacts[a])
+                for a in sorted(closure)]
+        result = _apply_conditions(rows, query.conditions)
+    elif query.command == "LINEAGE":
+        artifact_id = _resolve_artifact(run, query.subject)
+        graph = causality_graph(run, include_derivations=False)
+        reached = graph.reachable(artifact_id,
+                                  labels={"used", "wasGeneratedBy"})
+        result = {
+            "artifact": artifact_id,
+            "artifacts": sorted(n for n in reached
+                                if graph.kind(n) == "artifact"),
+            "executions": sorted(n for n in reached
+                                 if graph.kind(n) == "execution"),
+        }
+    elif query.command == "PATHS":
+        source = _resolve_artifact(run, query.subject)
+        target = _resolve_artifact(run, query.target)
+        graph = causality_graph(run, include_derivations=False)
+        result = graph.paths(source, target,
+                             labels={"used", "wasGeneratedBy"})
+    else:  # pragma: no cover - parser prevents this
+        raise ProvQLError(f"unknown command {query.command!r}")
+
+    if query.count:
+        return len(result) if not isinstance(result, dict) \
+            else len(result["artifacts"]) + len(result["executions"])
+    return result
+
+
+def execute(text: str, run: WorkflowRun) -> Any:
+    """Parse and evaluate ProvQL ``text`` against ``run``."""
+    return evaluate(parse(text), run)

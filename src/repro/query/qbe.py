@@ -1,0 +1,115 @@
+"""Query-by-example: find structural patterns inside workflows.
+
+The paper contrasts textual query languages with "intuitive visual interfaces
+to query workflows" [4, 34] where the user draws a small workflow fragment
+and asks "which workflows contain this?".  The computational core of such an
+interface is subgraph matching: this module finds all embeddings of a
+*pattern* workflow inside a *target* workflow.
+
+A match maps every pattern module to a distinct target module with the same
+module type (and, when ``match_parameters`` is on, compatible parameter
+overrides), such that every pattern connection exists between the mapped
+targets with the same ports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.workflow.spec import Workflow
+
+__all__ = ["find_matches", "contains_pattern", "find_in_corpus"]
+
+
+def find_matches(pattern: Workflow, target: Workflow, *,
+                 match_parameters: bool = False,
+                 max_matches: int = 1000) -> List[Dict[str, str]]:
+    """All embeddings of ``pattern`` in ``target``.
+
+    Returns a list of dicts mapping pattern module id → target module id,
+    sorted for determinism.  Uses backtracking ordered by candidate-set
+    size (rarest module type first).
+    """
+    candidates: Dict[str, List[str]] = {}
+    for pattern_module in pattern.modules.values():
+        options = [
+            target_module.id
+            for target_module in target.modules.values()
+            if target_module.type_name == pattern_module.type_name
+            and (not match_parameters
+                 or _parameters_compatible(pattern_module.parameters,
+                                           target_module.parameters))
+        ]
+        if not options:
+            return []
+        candidates[pattern_module.id] = sorted(options)
+
+    order = sorted(candidates, key=lambda mid: len(candidates[mid]))
+    pattern_edges = [
+        (c.source_module, c.source_port, c.target_module, c.target_port)
+        for c in pattern.connections.values()
+    ]
+    target_edge_set = {
+        (c.source_module, c.source_port, c.target_module, c.target_port)
+        for c in target.connections.values()
+    }
+
+    matches: List[Dict[str, str]] = []
+
+    def backtrack(index: int, assignment: Dict[str, str]) -> None:
+        if len(matches) >= max_matches:
+            return
+        if index == len(order):
+            matches.append(dict(assignment))
+            return
+        pattern_id = order[index]
+        used = set(assignment.values())
+        for target_id in candidates[pattern_id]:
+            if target_id in used:
+                continue
+            assignment[pattern_id] = target_id
+            if _edges_consistent(pattern_edges, assignment,
+                                 target_edge_set):
+                backtrack(index + 1, assignment)
+            del assignment[pattern_id]
+
+    backtrack(0, {})
+    matches.sort(key=lambda m: sorted(m.items()))
+    return matches
+
+
+def _edges_consistent(pattern_edges, assignment: Dict[str, str],
+                      target_edge_set) -> bool:
+    for source, source_port, destination, destination_port in pattern_edges:
+        if source in assignment and destination in assignment:
+            mapped = (assignment[source], source_port,
+                      assignment[destination], destination_port)
+            if mapped not in target_edge_set:
+                return False
+    return True
+
+
+def _parameters_compatible(pattern_params: Dict, target_params: Dict
+                           ) -> bool:
+    """Every parameter the pattern pins must match in the target."""
+    return all(target_params.get(key) == value
+               for key, value in pattern_params.items())
+
+
+def contains_pattern(pattern: Workflow, target: Workflow, *,
+                     match_parameters: bool = False) -> bool:
+    """True when at least one embedding exists."""
+    return bool(find_matches(pattern, target,
+                             match_parameters=match_parameters,
+                             max_matches=1))
+
+
+def find_in_corpus(pattern: Workflow, corpus, *,
+                   match_parameters: bool = False
+                   ) -> List[str]:
+    """Ids of workflows in ``corpus`` (iterable of Workflow) that contain
+    the pattern — the "which of my colleagues' workflows smooth a mesh?"
+    query of a collaboratory."""
+    return sorted(workflow.id for workflow in corpus
+                  if contains_pattern(pattern, workflow,
+                                      match_parameters=match_parameters))

@@ -1,0 +1,294 @@
+"""SPARQL-like query engine over the RDF-style triple store.
+
+The paper lists SPARQL as one of the languages systems force on their users
+([46, 26, 22]).  This module implements the useful core: basic graph patterns
+(joins over triple patterns with shared variables), FILTER comparisons,
+DISTINCT and LIMIT, plus a small text syntax:
+
+    SELECT ?e ?t WHERE {
+        ?e prov:moduleType ?t .
+        ?e prov:status "ok" .
+        FILTER ?t != "Constant"
+    }
+
+Pattern evaluation is greedy-ordered: at each step the engine picks the most
+selective remaining pattern (fewest wildcards given current bindings), the
+standard join strategy for triple stores.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.storage.triples import TripleStore
+
+__all__ = ["V", "TriplePattern", "Filter", "select", "parse_sparql",
+           "SparqlError", "SelectQuery"]
+
+
+class SparqlError(Exception):
+    """Raised for malformed query text."""
+
+
+@dataclass(frozen=True)
+class V:
+    """A query variable (``?name`` in the text syntax)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+PatternTerm = Union[V, str, int, float, bool]
+TriplePattern = Tuple[PatternTerm, PatternTerm, PatternTerm]
+
+_FILTER_OPS = {
+    "=": lambda a, b: a == b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "CONTAINS": lambda a, b: isinstance(a, str) and str(b) in a,
+}
+
+
+@dataclass(frozen=True)
+class Filter:
+    """A FILTER constraint ``left op right`` over bound values."""
+
+    op: str
+    left: PatternTerm
+    right: PatternTerm
+
+    def holds(self, bindings: Dict[str, Any]) -> bool:
+        """Evaluate under bindings; unbound variables fail the filter."""
+        left = self._resolve(self.left, bindings)
+        right = self._resolve(self.right, bindings)
+        if left is _UNBOUND or right is _UNBOUND:
+            return False
+        try:
+            return _FILTER_OPS[self.op](left, right)
+        except TypeError:
+            return False
+
+    @staticmethod
+    def _resolve(term: PatternTerm, bindings: Dict[str, Any]) -> Any:
+        if isinstance(term, V):
+            return bindings.get(term.name, _UNBOUND)
+        return term
+
+
+_UNBOUND = object()
+
+
+@dataclass
+class SelectQuery:
+    """A parsed SELECT query."""
+
+    variables: List[str]
+    patterns: List[TriplePattern]
+    filters: List[Filter]
+    distinct: bool = False
+    limit: Optional[int] = None
+
+
+def select(store: TripleStore, patterns: Sequence[TriplePattern],
+           filters: Sequence[Filter] = (),
+           variables: Optional[Sequence[str]] = None,
+           distinct: bool = False,
+           limit: Optional[int] = None) -> List[Dict[str, Any]]:
+    """Evaluate a basic graph pattern against ``store``.
+
+    Returns one binding dict per solution, projected onto ``variables``
+    (all variables when omitted), sorted for determinism.
+    """
+    solutions: List[Dict[str, Any]] = [{}]
+    remaining = list(patterns)
+    while remaining:
+        remaining.sort(key=lambda pattern: _selectivity(pattern,
+                                                        solutions[0]
+                                                        if solutions else {}))
+        pattern = remaining.pop(0)
+        next_solutions: List[Dict[str, Any]] = []
+        for bindings in solutions:
+            subject, predicate, obj = (_resolve(t, bindings)
+                                       for t in pattern)
+            matches = store.match(
+                None if isinstance(subject, V) else subject,
+                None if isinstance(predicate, V) else predicate,
+                None if isinstance(obj, V) else obj)
+            for triple in matches:
+                extended = _extend(pattern, triple, bindings)
+                if extended is not None:
+                    next_solutions.append(extended)
+        solutions = next_solutions
+        if not solutions:
+            break
+    for constraint in filters:
+        solutions = [b for b in solutions if constraint.holds(b)]
+    if variables:
+        solutions = [{name: b.get(name) for name in variables}
+                     for b in solutions]
+    solutions.sort(key=lambda b: tuple(str(b.get(k)) for k
+                                       in sorted(b)))
+    if distinct:
+        seen, unique = set(), []
+        for bindings in solutions:
+            key = tuple(sorted((k, str(v)) for k, v in bindings.items()))
+            if key not in seen:
+                seen.add(key)
+                unique.append(bindings)
+        solutions = unique
+    if limit is not None:
+        solutions = solutions[:limit]
+    return solutions
+
+
+def _selectivity(pattern: TriplePattern, bindings: Dict[str, Any]) -> int:
+    """Fewer unbound positions = more selective = lower sort key."""
+    return sum(1 for term in pattern
+               if isinstance(term, V) and term.name not in bindings)
+
+
+def _resolve(term: PatternTerm, bindings: Dict[str, Any]) -> Any:
+    if isinstance(term, V) and term.name in bindings:
+        return bindings[term.name]
+    return term
+
+
+def _extend(pattern: TriplePattern, triple: Tuple[Any, Any, Any],
+            bindings: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    extended = dict(bindings)
+    for term, value in zip(pattern, triple):
+        if isinstance(term, V):
+            if term.name in extended:
+                if extended[term.name] != value:
+                    return None
+            else:
+                extended[term.name] = value
+        elif term != value:
+            return None
+    return extended
+
+
+def run_query(store: TripleStore, query: SelectQuery
+              ) -> List[Dict[str, Any]]:
+    """Evaluate a parsed :class:`SelectQuery`."""
+    return select(store, query.patterns, query.filters,
+                  variables=query.variables, distinct=query.distinct,
+                  limit=query.limit)
+
+
+# ----------------------------------------------------------------------
+# text syntax
+# ----------------------------------------------------------------------
+_SPARQL_TOKEN = re.compile(r"""
+    (?P<string>'[^']*'|"[^"]*") |
+    (?P<number>-?\d+\.\d+|-?\d+) |
+    (?P<var>\?[A-Za-z_][A-Za-z0-9_]*) |
+    (?P<name>[A-Za-z_][A-Za-z0-9_:]*) |
+    (?P<punct>\{|\}|\.|!=|==|<=|>=|=|<|>) |
+    (?P<space>\s+)
+""", re.VERBOSE)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens, position = [], 0
+    while position < len(text):
+        match = _SPARQL_TOKEN.match(text, position)
+        if match is None:
+            raise SparqlError(
+                f"cannot tokenize near {text[position:position+20]!r}")
+        position = match.end()
+        if match.lastgroup != "space":
+            tokens.append((match.lastgroup, match.group()))
+    return tokens
+
+
+def parse_sparql(text: str) -> SelectQuery:
+    """Parse the SPARQL-like text syntax into a :class:`SelectQuery`."""
+    tokens = _tokenize(text)
+    position = 0
+
+    def peek() -> Optional[Tuple[str, str]]:
+        return tokens[position] if position < len(tokens) else None
+
+    def advance() -> Tuple[str, str]:
+        nonlocal position
+        token = peek()
+        if token is None:
+            raise SparqlError("unexpected end of query")
+        position += 1
+        return token
+
+    def term() -> PatternTerm:
+        kind, value = advance()
+        if kind == "var":
+            return V(value[1:])
+        if kind == "string":
+            return value[1:-1]
+        if kind == "number":
+            return float(value) if "." in value else int(value)
+        if kind == "name":
+            if value == "true":
+                return True
+            if value == "false":
+                return False
+            return value
+        raise SparqlError(f"unexpected term: {value!r}")
+
+    kind, value = advance()
+    if value.upper() != "SELECT":
+        raise SparqlError("query must start with SELECT")
+    distinct = False
+    if peek() and peek()[1].upper() == "DISTINCT":
+        advance()
+        distinct = True
+    variables: List[str] = []
+    while peek() and peek()[0] == "var":
+        variables.append(advance()[1][1:])
+    kind, value = advance()
+    if value.upper() != "WHERE":
+        raise SparqlError("expected WHERE")
+    kind, value = advance()
+    if value != "{":
+        raise SparqlError("expected '{'")
+    patterns: List[TriplePattern] = []
+    filters: List[Filter] = []
+    while peek() and peek()[1] != "}":
+        if peek()[0] == "name" and peek()[1].upper() == "FILTER":
+            advance()
+            left = term()
+            _, op = advance()
+            if op.upper() == "CONTAINS":
+                op = "CONTAINS"
+            elif op not in _FILTER_OPS:
+                raise SparqlError(f"unknown filter operator {op!r}")
+            right = term()
+            filters.append(Filter(op=op, left=left, right=right))
+        else:
+            subject = term()
+            predicate = term()
+            obj = term()
+            patterns.append((subject, predicate, obj))
+        if peek() and peek()[1] == ".":
+            advance()
+    if peek() is None:
+        raise SparqlError("expected '}'")
+    advance()  # consume }
+    limit = None
+    if peek() and peek()[1].upper() == "LIMIT":
+        advance()
+        limit = int(advance()[1])
+    return SelectQuery(variables=variables, patterns=patterns,
+                       filters=filters, distinct=distinct, limit=limit)
+
+
+def execute_sparql(store: TripleStore, text: str) -> List[Dict[str, Any]]:
+    """Parse and evaluate a SPARQL-like query in one call."""
+    return run_query(store, parse_sparql(text))

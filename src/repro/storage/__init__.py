@@ -1,0 +1,23 @@
+"""Provenance storage backends (paper §2.2, "storing... provenance").
+
+Four interchangeable backends implement :class:`ProvenanceStore`:
+in-memory dictionaries, sqlite3 relations, RDF-style triples, and JSON
+documents — the three storage families the paper surveys plus the default.
+Artifact values can additionally live in a content-addressed store.
+"""
+
+from repro.storage.artifacts import ArtifactValueStore, FileArtifactValueStore
+from repro.storage.base import ProvenanceStore, RunSummary, StoreError
+from repro.storage.documents import DocumentStore
+from repro.storage.memory import MemoryStore
+from repro.storage.relational import RelationalStore
+from repro.storage.triples import (PROV, TripleProvenanceStore, TripleStore,
+                                   run_from_triples, run_to_triples)
+
+__all__ = [
+    "ArtifactValueStore", "FileArtifactValueStore",
+    "ProvenanceStore", "RunSummary", "StoreError",
+    "DocumentStore", "MemoryStore", "RelationalStore",
+    "PROV", "TripleProvenanceStore", "TripleStore",
+    "run_from_triples", "run_to_triples",
+]

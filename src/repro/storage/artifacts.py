@@ -1,0 +1,96 @@
+"""Content-addressed artifact value store.
+
+Artifact *metadata* lives in provenance stores; large artifact *values* are
+better kept once, keyed by content hash, shared across every run that
+produced or consumed the same bytes.  Two backends: in-memory and a pickle
+directory on disk.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+from repro.identity import hash_value
+
+__all__ = ["ArtifactValueStore", "FileArtifactValueStore"]
+
+
+class ArtifactValueStore:
+    """In-memory content-addressed value store."""
+
+    def __init__(self) -> None:
+        self._values: Dict[str, Any] = {}
+
+    def put(self, value: Any) -> str:
+        """Store ``value``; returns its content hash (idempotent)."""
+        value_hash = hash_value(value)
+        self._values.setdefault(value_hash, value)
+        return value_hash
+
+    def get(self, value_hash: str) -> Any:
+        """Value for ``value_hash`` (KeyError when absent)."""
+        return self._values[value_hash]
+
+    def has(self, value_hash: str) -> bool:
+        """True when a value with this hash is stored."""
+        return value_hash in self._values
+
+    def discard(self, value_hash: str) -> bool:
+        """Remove a value; returns True when it existed."""
+        return self._values.pop(value_hash, None) is not None
+
+    def hashes(self) -> Iterator[str]:
+        """All stored hashes (sorted)."""
+        return iter(sorted(self._values))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+class FileArtifactValueStore:
+    """Content-addressed value store as pickle files in a directory.
+
+    Files are sharded by the first two hash characters to keep directories
+    small (``root/ab/abcdef....pkl``).
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, value_hash: str) -> Path:
+        shard = self.root / value_hash[:2]
+        return shard / f"{value_hash}.pkl"
+
+    def put(self, value: Any) -> str:
+        """Store ``value``; returns its content hash (idempotent)."""
+        value_hash = hash_value(value)
+        path = self._path(value_hash)
+        if not path.exists():
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_bytes(pickle.dumps(value))
+        return value_hash
+
+    def get(self, value_hash: str) -> Any:
+        """Value for ``value_hash`` (KeyError when absent)."""
+        path = self._path(value_hash)
+        if not path.exists():
+            raise KeyError(f"no stored value for hash {value_hash}")
+        return pickle.loads(path.read_bytes())
+
+    def has(self, value_hash: str) -> bool:
+        """True when a value with this hash is stored."""
+        return self._path(value_hash).exists()
+
+    def discard(self, value_hash: str) -> bool:
+        """Remove a value; returns True when it existed."""
+        path = self._path(value_hash)
+        if not path.exists():
+            return False
+        path.unlink()
+        return True
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.pkl"))

@@ -1,0 +1,170 @@
+"""Storage backend interface for provenance.
+
+The paper observes that systems store provenance in wildly different ways —
+"ranging from specialized Semantic Web languages (RDF/OWL) and XML dialects
+stored as files to tuples stored in relational database tables."  This module
+defines the backend-neutral interface; four backends implement it:
+
+* :class:`~repro.storage.memory.MemoryStore` — process-local dictionaries.
+* :class:`~repro.storage.relational.RelationalStore` — sqlite3 tables
+  (the "tuples in an RDBMS" point in the design space; supports raw SQL).
+* :class:`~repro.storage.triples.TripleStore` backend — RDF-style triples
+  (the Semantic Web point; supports SPARQL-like pattern queries).
+* :class:`~repro.storage.documents.DocumentStore` — JSON files on disk
+  (the XML-dialect/file point).
+
+The base class implements the cross-cutting *finder* queries generically so a
+backend only needs the primitive load/save/list operations; backends override
+finders when they can answer faster (the relational store pushes them to SQL).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.annotations import Annotation
+from repro.core.prospective import ProspectiveProvenance
+from repro.core.retrospective import DataArtifact, ModuleExecution, WorkflowRun
+
+__all__ = ["ProvenanceStore", "StoreError", "RunSummary"]
+
+
+class StoreError(Exception):
+    """Raised on backend failures or missing entities."""
+
+
+class RunSummary:
+    """Lightweight listing entry for a stored run."""
+
+    __slots__ = ("run_id", "workflow_id", "workflow_name", "status",
+                 "started", "finished")
+
+    def __init__(self, run_id: str, workflow_id: str, workflow_name: str,
+                 status: str, started: float, finished: float) -> None:
+        self.run_id = run_id
+        self.workflow_id = workflow_id
+        self.workflow_name = workflow_name
+        self.status = status
+        self.started = started
+        self.finished = finished
+
+    def __repr__(self) -> str:
+        return (f"RunSummary({self.run_id!r}, workflow="
+                f"{self.workflow_name!r}, status={self.status!r})")
+
+
+class ProvenanceStore(ABC):
+    """Abstract persistent home for runs, workflows and annotations."""
+
+    # -- runs -----------------------------------------------------------
+    @abstractmethod
+    def save_run(self, run: WorkflowRun) -> None:
+        """Persist one run (overwrites an existing run with the same id)."""
+
+    @abstractmethod
+    def load_run(self, run_id: str) -> WorkflowRun:
+        """Load a run by id (StoreError when absent)."""
+
+    @abstractmethod
+    def list_runs(self) -> List[RunSummary]:
+        """Summaries of every stored run, sorted by start time then id."""
+
+    @abstractmethod
+    def delete_run(self, run_id: str) -> bool:
+        """Remove a run; return True when it existed."""
+
+    def has_run(self, run_id: str) -> bool:
+        """True when a run with this id is stored."""
+        try:
+            self.load_run(run_id)
+            return True
+        except StoreError:
+            return False
+
+    # -- workflows -------------------------------------------------------
+    @abstractmethod
+    def save_workflow(self, prospective: ProspectiveProvenance) -> None:
+        """Persist one prospective-provenance snapshot."""
+
+    @abstractmethod
+    def load_workflow(self, workflow_id: str) -> ProspectiveProvenance:
+        """Load a snapshot by workflow id (StoreError when absent)."""
+
+    @abstractmethod
+    def list_workflows(self) -> List[str]:
+        """Ids of stored workflow snapshots, sorted."""
+
+    # -- annotations -------------------------------------------------------
+    @abstractmethod
+    def save_annotation(self, annotation: Annotation) -> None:
+        """Persist one annotation."""
+
+    @abstractmethod
+    def annotations_for(self, target_kind: str,
+                        target_id: str) -> List[Annotation]:
+        """Annotations attached to one entity, in insertion order."""
+
+    @abstractmethod
+    def all_annotations(self) -> List[Annotation]:
+        """Every stored annotation, sorted by id."""
+
+    # -- finders (generic implementations) -------------------------------
+    def find_runs(self, *, workflow_id: Optional[str] = None,
+                  signature: Optional[str] = None,
+                  status: Optional[str] = None) -> List[str]:
+        """Ids of runs matching every given criterion."""
+        matches = []
+        for summary in self.list_runs():
+            run = self.load_run(summary.run_id)
+            if workflow_id is not None and run.workflow_id != workflow_id:
+                continue
+            if (signature is not None
+                    and run.workflow_signature != signature):
+                continue
+            if status is not None and run.status != status:
+                continue
+            matches.append(run.id)
+        return matches
+
+    def find_artifacts_by_hash(self, value_hash: str
+                               ) -> List[Tuple[str, DataArtifact]]:
+        """(run_id, artifact) for every artifact with this content hash."""
+        found = []
+        for summary in self.list_runs():
+            run = self.load_run(summary.run_id)
+            for artifact in run.artifacts.values():
+                if artifact.value_hash == value_hash:
+                    found.append((run.id, artifact))
+        return found
+
+    def find_executions(self, *, module_type: Optional[str] = None,
+                        status: Optional[str] = None,
+                        parameter: Optional[Tuple[str, Any]] = None
+                        ) -> List[Tuple[str, ModuleExecution]]:
+        """(run_id, execution) pairs matching every given criterion."""
+        found = []
+        for summary in self.list_runs():
+            run = self.load_run(summary.run_id)
+            for execution in run.executions:
+                if (module_type is not None
+                        and execution.module_type != module_type):
+                    continue
+                if status is not None and execution.status != status:
+                    continue
+                if parameter is not None:
+                    key, value = parameter
+                    if execution.parameters.get(key) != value:
+                        continue
+                found.append((run.id, execution))
+        return found
+
+    # -- lifecycle --------------------------------------------------------
+    def close(self) -> None:
+        """Release backend resources (no-op by default)."""
+
+    def __enter__(self) -> "ProvenanceStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

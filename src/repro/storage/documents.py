@@ -1,0 +1,127 @@
+"""Document (JSON-file) provenance store.
+
+Realizes the "XML dialects that are stored as files" point of the paper's
+storage design space, using JSON documents in a directory tree:
+
+```
+root/
+  runs/<run-id>.json
+  workflows/<workflow-id>.json
+  annotations/<annotation-id>.json
+  values/<run-id>/<artifact-id>.pkl     (optional pickled values)
+```
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.core.annotations import Annotation
+from repro.core.prospective import ProspectiveProvenance
+from repro.core.retrospective import WorkflowRun
+from repro.storage.base import ProvenanceStore, RunSummary, StoreError
+
+__all__ = ["DocumentStore"]
+
+
+class DocumentStore(ProvenanceStore):
+    """One JSON file per entity under a root directory.
+
+    Args:
+        root: directory that will hold the store (created if missing).
+        store_values: when True, picklable artifact values are saved
+            alongside run metadata and restored on load.
+    """
+
+    def __init__(self, root: Union[str, Path],
+                 store_values: bool = False) -> None:
+        self.root = Path(root)
+        self.store_values = store_values
+        for subdir in ("runs", "workflows", "annotations", "values"):
+            (self.root / subdir).mkdir(parents=True, exist_ok=True)
+
+    # -- runs -----------------------------------------------------------
+    def save_run(self, run: WorkflowRun) -> None:
+        path = self.root / "runs" / f"{run.id}.json"
+        path.write_text(json.dumps(run.to_dict(), sort_keys=True, indent=1))
+        if self.store_values and run.values:
+            value_dir = self.root / "values" / run.id
+            value_dir.mkdir(parents=True, exist_ok=True)
+            for artifact_id, value in run.values.items():
+                try:
+                    blob = pickle.dumps(value)
+                except Exception:
+                    continue
+                (value_dir / f"{artifact_id}.pkl").write_bytes(blob)
+
+    def load_run(self, run_id: str) -> WorkflowRun:
+        path = self.root / "runs" / f"{run_id}.json"
+        if not path.exists():
+            raise StoreError(f"no such run: {run_id}")
+        run = WorkflowRun.from_dict(json.loads(path.read_text()))
+        if self.store_values:
+            value_dir = self.root / "values" / run_id
+            if value_dir.exists():
+                for value_path in value_dir.glob("*.pkl"):
+                    run.values[value_path.stem] = pickle.loads(
+                        value_path.read_bytes())
+        return run
+
+    def list_runs(self) -> List[RunSummary]:
+        summaries = []
+        for path in (self.root / "runs").glob("*.json"):
+            data = json.loads(path.read_text())
+            summaries.append(RunSummary(
+                data["id"], data["workflow_id"],
+                data.get("workflow_name", ""), data["status"],
+                data.get("started", 0.0), data.get("finished", 0.0)))
+        return sorted(summaries, key=lambda s: (s.started, s.run_id))
+
+    def delete_run(self, run_id: str) -> bool:
+        path = self.root / "runs" / f"{run_id}.json"
+        if not path.exists():
+            return False
+        path.unlink()
+        value_dir = self.root / "values" / run_id
+        if value_dir.exists():
+            for value_path in value_dir.glob("*.pkl"):
+                value_path.unlink()
+            value_dir.rmdir()
+        return True
+
+    # -- workflows -------------------------------------------------------
+    def save_workflow(self, prospective: ProspectiveProvenance) -> None:
+        path = self.root / "workflows" / f"{prospective.workflow_id}.json"
+        path.write_text(json.dumps(prospective.to_dict(), sort_keys=True,
+                                   indent=1))
+
+    def load_workflow(self, workflow_id: str) -> ProspectiveProvenance:
+        path = self.root / "workflows" / f"{workflow_id}.json"
+        if not path.exists():
+            raise StoreError(f"no such workflow: {workflow_id}")
+        return ProspectiveProvenance.from_dict(json.loads(path.read_text()))
+
+    def list_workflows(self) -> List[str]:
+        return sorted(path.stem for path
+                      in (self.root / "workflows").glob("*.json"))
+
+    # -- annotations -------------------------------------------------------
+    def save_annotation(self, annotation: Annotation) -> None:
+        path = self.root / "annotations" / f"{annotation.id}.json"
+        path.write_text(json.dumps(annotation.to_dict(), sort_keys=True))
+
+    def annotations_for(self, target_kind: str,
+                        target_id: str) -> List[Annotation]:
+        return [a for a in self.all_annotations()
+                if a.target_kind == target_kind
+                and a.target_id == target_id]
+
+    def all_annotations(self) -> List[Annotation]:
+        annotations = []
+        for path in (self.root / "annotations").glob("*.json"):
+            annotations.append(Annotation.from_dict(
+                json.loads(path.read_text())))
+        return sorted(annotations, key=lambda a: a.id)

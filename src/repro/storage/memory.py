@@ -1,0 +1,71 @@
+"""In-memory provenance store — the zero-configuration default backend."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.annotations import Annotation
+from repro.core.prospective import ProspectiveProvenance
+from repro.core.retrospective import WorkflowRun
+from repro.storage.base import ProvenanceStore, RunSummary, StoreError
+
+__all__ = ["MemoryStore"]
+
+
+class MemoryStore(ProvenanceStore):
+    """Keeps everything in process-local dictionaries.
+
+    Runs are stored by reference (no copying), which makes this backend the
+    fastest and also the only one that retains arbitrary non-serializable
+    artifact values automatically.
+    """
+
+    def __init__(self) -> None:
+        self._runs: Dict[str, WorkflowRun] = {}
+        self._workflows: Dict[str, ProspectiveProvenance] = {}
+        self._annotations: List[Annotation] = []
+
+    # -- runs -----------------------------------------------------------
+    def save_run(self, run: WorkflowRun) -> None:
+        self._runs[run.id] = run
+
+    def load_run(self, run_id: str) -> WorkflowRun:
+        if run_id not in self._runs:
+            raise StoreError(f"no such run: {run_id}")
+        return self._runs[run_id]
+
+    def list_runs(self) -> List[RunSummary]:
+        summaries = [
+            RunSummary(run.id, run.workflow_id, run.workflow_name,
+                       run.status, run.started, run.finished)
+            for run in self._runs.values()
+        ]
+        return sorted(summaries, key=lambda s: (s.started, s.run_id))
+
+    def delete_run(self, run_id: str) -> bool:
+        return self._runs.pop(run_id, None) is not None
+
+    # -- workflows -------------------------------------------------------
+    def save_workflow(self, prospective: ProspectiveProvenance) -> None:
+        self._workflows[prospective.workflow_id] = prospective
+
+    def load_workflow(self, workflow_id: str) -> ProspectiveProvenance:
+        if workflow_id not in self._workflows:
+            raise StoreError(f"no such workflow: {workflow_id}")
+        return self._workflows[workflow_id]
+
+    def list_workflows(self) -> List[str]:
+        return sorted(self._workflows)
+
+    # -- annotations -------------------------------------------------------
+    def save_annotation(self, annotation: Annotation) -> None:
+        self._annotations.append(annotation)
+
+    def annotations_for(self, target_kind: str,
+                        target_id: str) -> List[Annotation]:
+        return [a for a in self._annotations
+                if a.target_kind == target_kind
+                and a.target_id == target_id]
+
+    def all_annotations(self) -> List[Annotation]:
+        return sorted(self._annotations, key=lambda a: a.id)

@@ -1,0 +1,379 @@
+"""Relational provenance store backed by sqlite3.
+
+This backend realizes the "tuples stored in relational database tables" point
+in the paper's storage design space.  Provenance is normalized over six
+tables (runs, executions, bindings, artifacts, workflows, annotations), all
+finder queries are pushed down to SQL with indexes, and :meth:`sql` exposes
+read-only raw SQL so the paper's "users write queries in languages like SQL"
+observation can be reproduced (and benchmarked) directly.
+
+Artifact *values* are optionally persisted as pickled blobs; metadata always
+persists regardless of value picklability.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import sqlite3
+from typing import Any, List, Optional, Tuple
+
+from repro.core.annotations import Annotation
+from repro.core.prospective import ProspectiveProvenance
+from repro.core.retrospective import (DataArtifact, ModuleExecution,
+                                      PortBinding, WorkflowRun)
+from repro.storage.base import ProvenanceStore, RunSummary, StoreError
+
+__all__ = ["RelationalStore"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    id TEXT PRIMARY KEY,
+    workflow_id TEXT NOT NULL,
+    workflow_name TEXT NOT NULL,
+    signature TEXT NOT NULL,
+    status TEXT NOT NULL,
+    started REAL NOT NULL,
+    finished REAL NOT NULL,
+    environment TEXT NOT NULL,
+    spec TEXT NOT NULL,
+    tags TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS executions (
+    id TEXT PRIMARY KEY,
+    run_id TEXT NOT NULL REFERENCES runs(id) ON DELETE CASCADE,
+    module_id TEXT NOT NULL,
+    module_type TEXT NOT NULL,
+    module_name TEXT NOT NULL,
+    status TEXT NOT NULL,
+    parameters TEXT NOT NULL,
+    started REAL NOT NULL,
+    finished REAL NOT NULL,
+    error TEXT NOT NULL,
+    cache_key TEXT NOT NULL,
+    cached_from TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS bindings (
+    execution_id TEXT NOT NULL REFERENCES executions(id) ON DELETE CASCADE,
+    run_id TEXT NOT NULL,
+    direction TEXT NOT NULL CHECK (direction IN ('in', 'out')),
+    port TEXT NOT NULL,
+    artifact_id TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS artifacts (
+    id TEXT NOT NULL,
+    run_id TEXT NOT NULL REFERENCES runs(id) ON DELETE CASCADE,
+    value_hash TEXT NOT NULL,
+    type_name TEXT NOT NULL,
+    created_by TEXT NOT NULL,
+    role TEXT NOT NULL,
+    also_produced_by TEXT NOT NULL,
+    size_hint INTEGER NOT NULL,
+    PRIMARY KEY (id, run_id)
+);
+CREATE TABLE IF NOT EXISTS artifact_values (
+    artifact_id TEXT NOT NULL,
+    run_id TEXT NOT NULL,
+    blob BLOB NOT NULL,
+    PRIMARY KEY (artifact_id, run_id)
+);
+CREATE TABLE IF NOT EXISTS workflows (
+    id TEXT PRIMARY KEY,
+    name TEXT NOT NULL,
+    signature TEXT NOT NULL,
+    spec TEXT NOT NULL,
+    interfaces TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS annotations (
+    id TEXT PRIMARY KEY,
+    target_kind TEXT NOT NULL,
+    target_id TEXT NOT NULL,
+    key TEXT NOT NULL,
+    value TEXT NOT NULL,
+    author TEXT NOT NULL,
+    created REAL NOT NULL,
+    seq INTEGER
+);
+CREATE INDEX IF NOT EXISTS idx_exec_run ON executions(run_id);
+CREATE INDEX IF NOT EXISTS idx_exec_type ON executions(module_type);
+CREATE INDEX IF NOT EXISTS idx_art_hash ON artifacts(value_hash);
+CREATE INDEX IF NOT EXISTS idx_art_run ON artifacts(run_id);
+CREATE INDEX IF NOT EXISTS idx_bind_exec ON bindings(execution_id);
+CREATE INDEX IF NOT EXISTS idx_bind_artifact ON bindings(artifact_id);
+CREATE INDEX IF NOT EXISTS idx_ann_target ON annotations(target_kind,
+                                                         target_id);
+"""
+
+_WRITE_WORDS = ("insert", "update", "delete", "drop", "alter", "create",
+                "replace", "pragma", "attach", "vacuum")
+
+
+class RelationalStore(ProvenanceStore):
+    """sqlite3-backed provenance store.
+
+    Args:
+        path: database file path, or ``":memory:"`` (default) for an
+            in-process database.
+        store_values: when True, picklable artifact values are persisted
+            and restored with their runs.
+    """
+
+    def __init__(self, path: str = ":memory:",
+                 store_values: bool = False) -> None:
+        self.path = path
+        self.store_values = store_values
+        self._connection = sqlite3.connect(path)
+        self._connection.execute("PRAGMA foreign_keys = ON")
+        self._connection.executescript(_SCHEMA)
+        self._annotation_seq = self._current_annotation_seq()
+
+    # -- runs -----------------------------------------------------------
+    def save_run(self, run: WorkflowRun) -> None:
+        cursor = self._connection.cursor()
+        cursor.execute("DELETE FROM runs WHERE id = ?", (run.id,))
+        cursor.execute(
+            "INSERT INTO runs (id, workflow_id, workflow_name, signature,"
+            " status, started, finished, environment, spec, tags)"
+            " VALUES (?,?,?,?,?,?,?,?,?,?)",
+            (run.id, run.workflow_id, run.workflow_name,
+             run.workflow_signature, run.status, run.started, run.finished,
+             json.dumps(run.environment), json.dumps(run.workflow_spec),
+             json.dumps(run.tags)))
+        for execution in run.executions:
+            cursor.execute(
+                "INSERT INTO executions (id, run_id, module_id, module_type,"
+                " module_name, status, parameters, started, finished, error,"
+                " cache_key, cached_from) VALUES (?,?,?,?,?,?,?,?,?,?,?,?)",
+                (execution.id, run.id, execution.module_id,
+                 execution.module_type, execution.module_name,
+                 execution.status, json.dumps(execution.parameters),
+                 execution.started, execution.finished, execution.error,
+                 execution.cache_key, execution.cached_from))
+            for binding in execution.inputs:
+                cursor.execute(
+                    "INSERT INTO bindings VALUES (?,?,?,?,?)",
+                    (execution.id, run.id, "in", binding.port,
+                     binding.artifact_id))
+            for binding in execution.outputs:
+                cursor.execute(
+                    "INSERT INTO bindings VALUES (?,?,?,?,?)",
+                    (execution.id, run.id, "out", binding.port,
+                     binding.artifact_id))
+        for artifact in run.artifacts.values():
+            cursor.execute(
+                "INSERT INTO artifacts VALUES (?,?,?,?,?,?,?,?)",
+                (artifact.id, run.id, artifact.value_hash,
+                 artifact.type_name, artifact.created_by, artifact.role,
+                 json.dumps(artifact.also_produced_by),
+                 artifact.size_hint))
+            if self.store_values and artifact.id in run.values:
+                try:
+                    blob = pickle.dumps(run.values[artifact.id])
+                except Exception:
+                    continue
+                cursor.execute(
+                    "INSERT INTO artifact_values VALUES (?,?,?)",
+                    (artifact.id, run.id, blob))
+        self._connection.commit()
+
+    def load_run(self, run_id: str) -> WorkflowRun:
+        cursor = self._connection.cursor()
+        row = cursor.execute(
+            "SELECT id, workflow_id, workflow_name, signature, status,"
+            " started, finished, environment, spec, tags FROM runs"
+            " WHERE id = ?", (run_id,)).fetchone()
+        if row is None:
+            raise StoreError(f"no such run: {run_id}")
+        executions = []
+        exec_rows = cursor.execute(
+            "SELECT id, module_id, module_type, module_name, status,"
+            " parameters, started, finished, error, cache_key,"
+            " cached_from FROM executions WHERE run_id = ?"
+            " ORDER BY started, id", (run_id,)).fetchall()
+        for exec_row in exec_rows:
+            inputs, outputs = [], []
+            for direction, port, artifact_id in cursor.execute(
+                    "SELECT direction, port, artifact_id FROM bindings"
+                    " WHERE execution_id = ? ORDER BY port",
+                    (exec_row[0],)).fetchall():
+                binding = PortBinding(port=port, artifact_id=artifact_id)
+                (inputs if direction == "in" else outputs).append(binding)
+            executions.append(ModuleExecution(
+                id=exec_row[0], module_id=exec_row[1],
+                module_type=exec_row[2], module_name=exec_row[3],
+                status=exec_row[4], parameters=json.loads(exec_row[5]),
+                inputs=inputs, outputs=outputs, started=exec_row[6],
+                finished=exec_row[7], error=exec_row[8],
+                cache_key=exec_row[9], cached_from=exec_row[10]))
+        artifacts = {}
+        art_rows = cursor.execute(
+            "SELECT id, value_hash, type_name, created_by, role,"
+            " also_produced_by, size_hint FROM artifacts"
+            " WHERE run_id = ?", (run_id,)).fetchall()
+        for art_row in art_rows:
+            artifacts[art_row[0]] = DataArtifact(
+                id=art_row[0], value_hash=art_row[1], type_name=art_row[2],
+                created_by=art_row[3], role=art_row[4],
+                also_produced_by=json.loads(art_row[5]),
+                size_hint=art_row[6])
+        values = {}
+        if self.store_values:
+            value_rows = cursor.execute(
+                "SELECT artifact_id, blob FROM artifact_values"
+                " WHERE run_id = ?", (run_id,)).fetchall()
+            for artifact_id, blob in value_rows:
+                values[artifact_id] = pickle.loads(blob)
+        return WorkflowRun(
+            id=row[0], workflow_id=row[1], workflow_name=row[2],
+            workflow_signature=row[3], status=row[4], started=row[5],
+            finished=row[6], environment=json.loads(row[7]),
+            workflow_spec=json.loads(row[8]), executions=executions,
+            artifacts=artifacts, tags=json.loads(row[9]), values=values)
+
+    def list_runs(self) -> List[RunSummary]:
+        rows = self._connection.execute(
+            "SELECT id, workflow_id, workflow_name, status, started,"
+            " finished FROM runs ORDER BY started, id").fetchall()
+        return [RunSummary(*row) for row in rows]
+
+    def delete_run(self, run_id: str) -> bool:
+        cursor = self._connection.cursor()
+        cursor.execute("DELETE FROM artifact_values WHERE run_id = ?",
+                       (run_id,))
+        cursor.execute("DELETE FROM bindings WHERE run_id = ?", (run_id,))
+        cursor.execute("DELETE FROM runs WHERE id = ?", (run_id,))
+        self._connection.commit()
+        return cursor.rowcount > 0
+
+    # -- workflows -------------------------------------------------------
+    def save_workflow(self, prospective: ProspectiveProvenance) -> None:
+        self._connection.execute(
+            "INSERT OR REPLACE INTO workflows VALUES (?,?,?,?,?)",
+            (prospective.workflow_id, prospective.workflow_name,
+             prospective.signature, json.dumps(prospective.spec),
+             json.dumps(prospective.interfaces)))
+        self._connection.commit()
+
+    def load_workflow(self, workflow_id: str) -> ProspectiveProvenance:
+        row = self._connection.execute(
+            "SELECT id, name, signature, spec, interfaces FROM workflows"
+            " WHERE id = ?", (workflow_id,)).fetchone()
+        if row is None:
+            raise StoreError(f"no such workflow: {workflow_id}")
+        return ProspectiveProvenance(
+            workflow_id=row[0], workflow_name=row[1], signature=row[2],
+            spec=json.loads(row[3]), interfaces=json.loads(row[4]))
+
+    def list_workflows(self) -> List[str]:
+        rows = self._connection.execute(
+            "SELECT id FROM workflows ORDER BY id").fetchall()
+        return [row[0] for row in rows]
+
+    # -- annotations -------------------------------------------------------
+    def save_annotation(self, annotation: Annotation) -> None:
+        self._annotation_seq += 1
+        self._connection.execute(
+            "INSERT OR REPLACE INTO annotations VALUES (?,?,?,?,?,?,?,?)",
+            (annotation.id, annotation.target_kind, annotation.target_id,
+             annotation.key, json.dumps(annotation.value),
+             annotation.author, annotation.created, self._annotation_seq))
+        self._connection.commit()
+
+    def annotations_for(self, target_kind: str,
+                        target_id: str) -> List[Annotation]:
+        rows = self._connection.execute(
+            "SELECT id, target_kind, target_id, key, value, author, created"
+            " FROM annotations WHERE target_kind = ? AND target_id = ?"
+            " ORDER BY seq", (target_kind, target_id)).fetchall()
+        return [self._annotation_from_row(row) for row in rows]
+
+    def all_annotations(self) -> List[Annotation]:
+        rows = self._connection.execute(
+            "SELECT id, target_kind, target_id, key, value, author, created"
+            " FROM annotations ORDER BY id").fetchall()
+        return [self._annotation_from_row(row) for row in rows]
+
+    @staticmethod
+    def _annotation_from_row(row: Tuple) -> Annotation:
+        return Annotation(id=row[0], target_kind=row[1], target_id=row[2],
+                          key=row[3], value=json.loads(row[4]),
+                          author=row[5], created=row[6])
+
+    def _current_annotation_seq(self) -> int:
+        row = self._connection.execute(
+            "SELECT COALESCE(MAX(seq), 0) FROM annotations").fetchone()
+        return int(row[0])
+
+    # -- pushed-down finders ----------------------------------------------
+    def find_runs(self, *, workflow_id: Optional[str] = None,
+                  signature: Optional[str] = None,
+                  status: Optional[str] = None) -> List[str]:
+        clauses, params = [], []
+        if workflow_id is not None:
+            clauses.append("workflow_id = ?")
+            params.append(workflow_id)
+        if signature is not None:
+            clauses.append("signature = ?")
+            params.append(signature)
+        if status is not None:
+            clauses.append("status = ?")
+            params.append(status)
+        where = (" WHERE " + " AND ".join(clauses)) if clauses else ""
+        rows = self._connection.execute(
+            f"SELECT id FROM runs{where} ORDER BY started, id",
+            params).fetchall()
+        return [row[0] for row in rows]
+
+    def find_artifacts_by_hash(self, value_hash: str
+                               ) -> List[Tuple[str, DataArtifact]]:
+        rows = self._connection.execute(
+            "SELECT run_id, id, value_hash, type_name, created_by, role,"
+            " also_produced_by, size_hint FROM artifacts"
+            " WHERE value_hash = ? ORDER BY run_id, id",
+            (value_hash,)).fetchall()
+        return [(row[0], DataArtifact(
+            id=row[1], value_hash=row[2], type_name=row[3],
+            created_by=row[4], role=row[5],
+            also_produced_by=json.loads(row[6]), size_hint=row[7]))
+            for row in rows]
+
+    def find_executions(self, *, module_type: Optional[str] = None,
+                        status: Optional[str] = None,
+                        parameter: Optional[Tuple[str, Any]] = None
+                        ) -> List[Tuple[str, ModuleExecution]]:
+        clauses, params = [], []
+        if module_type is not None:
+            clauses.append("module_type = ?")
+            params.append(module_type)
+        if status is not None:
+            clauses.append("status = ?")
+            params.append(status)
+        where = (" WHERE " + " AND ".join(clauses)) if clauses else ""
+        rows = self._connection.execute(
+            f"SELECT run_id, id FROM executions{where}"
+            " ORDER BY run_id, started, id", params).fetchall()
+        found = []
+        for run_id, execution_id in rows:
+            run = self.load_run(run_id)
+            execution = run.execution(execution_id)
+            if parameter is not None:
+                key, value = parameter
+                if execution.parameters.get(key) != value:
+                    continue
+            found.append((run_id, execution))
+        return found
+
+    # -- raw SQL ----------------------------------------------------------
+    def sql(self, query: str, params: Tuple = ()) -> List[Tuple]:
+        """Run a read-only SQL query against the provenance schema.
+
+        Raises :class:`StoreError` for statements that would write.
+        """
+        lowered = query.strip().lower()
+        if any(lowered.startswith(word) or f" {word} " in lowered
+               for word in _WRITE_WORDS):
+            raise StoreError("sql() only accepts read-only queries")
+        return self._connection.execute(query, params).fetchall()
+
+    def close(self) -> None:
+        self._connection.close()

@@ -1,0 +1,425 @@
+"""RDF-style triple store backend.
+
+Several systems surveyed by the paper (Taverna, WINGS/Pegasus, mindswap)
+represent provenance in Semantic Web languages and query it with SPARQL.
+This module provides:
+
+* :class:`TripleStore` — a subject/predicate/object store with all three
+  access-pattern indexes (SPO/POS/OSP) and wildcard matching, the substrate
+  for the SPARQL-like query engine in :mod:`repro.query.triplequery`;
+* the ``prov:`` vocabulary used to encode runs as triples;
+* :class:`TripleProvenanceStore` — a full provenance backend that maps runs
+  to and from triples (metadata only; artifact values are not triples).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.core.annotations import Annotation
+from repro.core.prospective import ProspectiveProvenance
+from repro.core.retrospective import (DataArtifact, ModuleExecution,
+                                      PortBinding, WorkflowRun)
+from repro.storage.base import ProvenanceStore, RunSummary, StoreError
+
+__all__ = ["Triple", "TripleStore", "TripleProvenanceStore",
+           "run_to_triples", "run_from_triples", "PROV"]
+
+Triple = Tuple[str, str, Any]
+
+
+class PROV:
+    """Predicate vocabulary for provenance triples."""
+
+    TYPE = "rdf:type"
+    RUN = "prov:Run"
+    EXECUTION = "prov:Execution"
+    ARTIFACT = "prov:Artifact"
+    USAGE = "prov:Usage"
+    WORKFLOW = "prov:workflow"
+    WORKFLOW_NAME = "prov:workflowName"
+    SIGNATURE = "prov:signature"
+    STATUS = "prov:status"
+    STARTED = "prov:started"
+    FINISHED = "prov:finished"
+    ENVIRONMENT = "prov:environment"
+    SPEC = "prov:spec"
+    TAGS = "prov:tags"
+    IN_RUN = "prov:inRun"
+    MODULE = "prov:module"
+    MODULE_TYPE = "prov:moduleType"
+    MODULE_NAME = "prov:moduleName"
+    PARAMETERS = "prov:parameters"
+    ERROR = "prov:error"
+    CACHE_KEY = "prov:cacheKey"
+    CACHED_FROM = "prov:cachedFrom"
+    USED = "prov:used"
+    GENERATED_BY = "prov:wasGeneratedBy"
+    EXEC_REF = "prov:execution"
+    ART_REF = "prov:artifact"
+    PORT = "prov:port"
+    DIRECTION = "prov:direction"
+    VALUE_HASH = "prov:valueHash"
+    TYPE_NAME = "prov:typeName"
+    CREATED_BY = "prov:createdBy"
+    ROLE = "prov:role"
+    SIZE_HINT = "prov:sizeHint"
+    ALSO_PRODUCED_BY = "prov:alsoProducedBy"
+    TARGET_KIND = "prov:targetKind"
+    TARGET_ID = "prov:targetId"
+    KEY = "prov:key"
+    VALUE = "prov:value"
+    AUTHOR = "prov:author"
+    CREATED = "prov:created"
+    ANNOTATION = "prov:Annotation"
+    PROSPECTIVE = "prov:Prospective"
+    INTERFACES = "prov:interfaces"
+    NAME = "prov:name"
+
+
+class TripleStore:
+    """Indexed (subject, predicate, object) store with wildcard matching."""
+
+    def __init__(self) -> None:
+        self._spo: Dict[str, Dict[str, Set[Any]]] = {}
+        self._pos: Dict[str, Dict[Any, Set[str]]] = {}
+        self._osp: Dict[Any, Dict[str, Set[str]]] = {}
+        self._count = 0
+
+    def add(self, subject: str, predicate: str, obj: Any) -> bool:
+        """Insert one triple; returns False when it already existed."""
+        obj = _freeze(obj)
+        existing = self._spo.get(subject, {}).get(predicate, set())
+        if obj in existing:
+            return False
+        self._spo.setdefault(subject, {}).setdefault(predicate,
+                                                     set()).add(obj)
+        self._pos.setdefault(predicate, {}).setdefault(obj,
+                                                       set()).add(subject)
+        self._osp.setdefault(obj, {}).setdefault(subject,
+                                                 set()).add(predicate)
+        self._count += 1
+        return True
+
+    def add_all(self, triples: Iterator[Triple]) -> int:
+        """Insert many triples; returns how many were new."""
+        return sum(1 for s, p, o in triples if self.add(s, p, o))
+
+    def discard(self, subject: str, predicate: str, obj: Any) -> bool:
+        """Remove one triple; returns True when it existed."""
+        obj = _freeze(obj)
+        try:
+            self._spo[subject][predicate].remove(obj)
+        except KeyError:
+            return False
+        self._pos[predicate][obj].discard(subject)
+        self._osp[obj][subject].discard(predicate)
+        self._count -= 1
+        return True
+
+    def remove_subject(self, subject: str) -> int:
+        """Remove every triple with the given subject."""
+        removed = 0
+        for predicate, objects in list(self._spo.get(subject, {}).items()):
+            for obj in list(objects):
+                if self.discard(subject, predicate, obj):
+                    removed += 1
+        return removed
+
+    def match(self, subject: Optional[str] = None,
+              predicate: Optional[str] = None,
+              obj: Any = None) -> List[Triple]:
+        """All triples matching a pattern (None positions are wildcards).
+
+        ``obj`` uses the sentinel ``None`` as wildcard, which is safe
+        because None is never stored as an object.
+        """
+        if obj is not None:
+            obj = _freeze(obj)
+        results: List[Triple] = []
+        if subject is not None:
+            predicates = self._spo.get(subject, {})
+            candidates = ([predicate] if predicate is not None
+                          else list(predicates))
+            for pred in candidates:
+                for candidate_obj in predicates.get(pred, ()):
+                    if obj is None or candidate_obj == obj:
+                        results.append((subject, pred, candidate_obj))
+        elif predicate is not None:
+            objects = self._pos.get(predicate, {})
+            candidates = [obj] if obj is not None else list(objects)
+            for candidate_obj in candidates:
+                for subj in objects.get(candidate_obj, ()):
+                    results.append((subj, predicate, candidate_obj))
+        elif obj is not None:
+            for subj, predicates in self._osp.get(obj, {}).items():
+                for pred in predicates:
+                    results.append((subj, pred, obj))
+        else:
+            for subj, predicates in self._spo.items():
+                for pred, objects in predicates.items():
+                    for candidate_obj in objects:
+                        results.append((subj, pred, candidate_obj))
+        return sorted(results, key=lambda t: (t[0], t[1], str(t[2])))
+
+    def objects(self, subject: str, predicate: str) -> List[Any]:
+        """Objects of (subject, predicate, ?) sorted by string form."""
+        return sorted(self._spo.get(subject, {}).get(predicate, ()),
+                      key=str)
+
+    def one(self, subject: str, predicate: str, default: Any = None) -> Any:
+        """The single object of (subject, predicate, ?), or default."""
+        objects = self.objects(subject, predicate)
+        return objects[0] if objects else default
+
+    def subjects(self, predicate: str, obj: Any) -> List[str]:
+        """Subjects of (?, predicate, obj), sorted."""
+        return sorted(self._pos.get(predicate, {}).get(_freeze(obj), ()))
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, triple: Triple) -> bool:
+        subject, predicate, obj = triple
+        return _freeze(obj) in self._spo.get(subject, {}).get(predicate,
+                                                              set())
+
+
+def _freeze(obj: Any) -> Any:
+    """Make an object hashable for set storage (lists become tuples)."""
+    if isinstance(obj, list):
+        return tuple(_freeze(item) for item in obj)
+    if isinstance(obj, dict):
+        return json.dumps(obj, sort_keys=True)
+    return obj
+
+
+def run_to_triples(run: WorkflowRun) -> List[Triple]:
+    """Encode one run's retrospective provenance as triples."""
+    triples: List[Triple] = [
+        (run.id, PROV.TYPE, PROV.RUN),
+        (run.id, PROV.WORKFLOW, run.workflow_id),
+        (run.id, PROV.WORKFLOW_NAME, run.workflow_name),
+        (run.id, PROV.SIGNATURE, run.workflow_signature),
+        (run.id, PROV.STATUS, run.status),
+        (run.id, PROV.STARTED, run.started),
+        (run.id, PROV.FINISHED, run.finished),
+        (run.id, PROV.ENVIRONMENT, json.dumps(run.environment,
+                                              sort_keys=True)),
+        (run.id, PROV.SPEC, json.dumps(run.workflow_spec, sort_keys=True)),
+        (run.id, PROV.TAGS, json.dumps(run.tags, sort_keys=True)),
+    ]
+    for execution in run.executions:
+        triples.extend([
+            (execution.id, PROV.TYPE, PROV.EXECUTION),
+            (execution.id, PROV.IN_RUN, run.id),
+            (execution.id, PROV.MODULE, execution.module_id),
+            (execution.id, PROV.MODULE_TYPE, execution.module_type),
+            (execution.id, PROV.MODULE_NAME, execution.module_name),
+            (execution.id, PROV.STATUS, execution.status),
+            (execution.id, PROV.PARAMETERS,
+             json.dumps(execution.parameters, sort_keys=True)),
+            (execution.id, PROV.STARTED, execution.started),
+            (execution.id, PROV.FINISHED, execution.finished),
+            (execution.id, PROV.ERROR, execution.error),
+            (execution.id, PROV.CACHE_KEY, execution.cache_key),
+            (execution.id, PROV.CACHED_FROM, execution.cached_from),
+        ])
+        for direction, bindings in (("in", execution.inputs),
+                                    ("out", execution.outputs)):
+            for binding in bindings:
+                usage = f"{execution.id}:{direction}:{binding.port}"
+                triples.extend([
+                    (usage, PROV.TYPE, PROV.USAGE),
+                    (usage, PROV.EXEC_REF, execution.id),
+                    (usage, PROV.ART_REF, binding.artifact_id),
+                    (usage, PROV.PORT, binding.port),
+                    (usage, PROV.DIRECTION, direction),
+                ])
+                if direction == "in":
+                    triples.append((execution.id, PROV.USED,
+                                    binding.artifact_id))
+                else:
+                    triples.append((binding.artifact_id, PROV.GENERATED_BY,
+                                    execution.id))
+    for artifact in run.artifacts.values():
+        triples.extend([
+            (artifact.id, PROV.TYPE, PROV.ARTIFACT),
+            (artifact.id, PROV.IN_RUN, run.id),
+            (artifact.id, PROV.VALUE_HASH, artifact.value_hash),
+            (artifact.id, PROV.TYPE_NAME, artifact.type_name),
+            (artifact.id, PROV.CREATED_BY, artifact.created_by),
+            (artifact.id, PROV.ROLE, artifact.role),
+            (artifact.id, PROV.SIZE_HINT, artifact.size_hint),
+        ])
+        for producer in artifact.also_produced_by:
+            triples.append((artifact.id, PROV.ALSO_PRODUCED_BY, producer))
+    return triples
+
+
+def run_from_triples(store: TripleStore, run_id: str) -> WorkflowRun:
+    """Decode one run back out of a triple store."""
+    if (run_id, PROV.TYPE, PROV.RUN) not in store:
+        raise StoreError(f"no such run in triple store: {run_id}")
+    executions: List[ModuleExecution] = []
+    for execution_id in store.subjects(PROV.IN_RUN, run_id):
+        if store.one(execution_id, PROV.TYPE) != PROV.EXECUTION:
+            continue
+        inputs, outputs = [], []
+        for usage in store.subjects(PROV.EXEC_REF, execution_id):
+            binding = PortBinding(
+                port=store.one(usage, PROV.PORT),
+                artifact_id=store.one(usage, PROV.ART_REF))
+            if store.one(usage, PROV.DIRECTION) == "in":
+                inputs.append(binding)
+            else:
+                outputs.append(binding)
+        executions.append(ModuleExecution(
+            id=execution_id,
+            module_id=store.one(execution_id, PROV.MODULE),
+            module_type=store.one(execution_id, PROV.MODULE_TYPE),
+            module_name=store.one(execution_id, PROV.MODULE_NAME),
+            status=store.one(execution_id, PROV.STATUS),
+            parameters=json.loads(store.one(execution_id,
+                                            PROV.PARAMETERS, "{}")),
+            inputs=sorted(inputs, key=lambda b: b.port),
+            outputs=sorted(outputs, key=lambda b: b.port),
+            started=store.one(execution_id, PROV.STARTED, 0.0),
+            finished=store.one(execution_id, PROV.FINISHED, 0.0),
+            error=store.one(execution_id, PROV.ERROR, ""),
+            cache_key=store.one(execution_id, PROV.CACHE_KEY, ""),
+            cached_from=store.one(execution_id, PROV.CACHED_FROM, "")))
+    executions.sort(key=lambda e: (e.started, e.id))
+    artifacts: Dict[str, DataArtifact] = {}
+    for artifact_id in store.subjects(PROV.IN_RUN, run_id):
+        if store.one(artifact_id, PROV.TYPE) != PROV.ARTIFACT:
+            continue
+        artifacts[artifact_id] = DataArtifact(
+            id=artifact_id,
+            value_hash=store.one(artifact_id, PROV.VALUE_HASH, ""),
+            type_name=store.one(artifact_id, PROV.TYPE_NAME, "Any"),
+            created_by=store.one(artifact_id, PROV.CREATED_BY, ""),
+            role=store.one(artifact_id, PROV.ROLE, ""),
+            also_produced_by=list(store.objects(artifact_id,
+                                                PROV.ALSO_PRODUCED_BY)),
+            size_hint=store.one(artifact_id, PROV.SIZE_HINT, 0))
+    return WorkflowRun(
+        id=run_id,
+        workflow_id=store.one(run_id, PROV.WORKFLOW, ""),
+        workflow_name=store.one(run_id, PROV.WORKFLOW_NAME, ""),
+        workflow_signature=store.one(run_id, PROV.SIGNATURE, ""),
+        status=store.one(run_id, PROV.STATUS, ""),
+        started=store.one(run_id, PROV.STARTED, 0.0),
+        finished=store.one(run_id, PROV.FINISHED, 0.0),
+        environment=json.loads(store.one(run_id, PROV.ENVIRONMENT, "{}")),
+        workflow_spec=json.loads(store.one(run_id, PROV.SPEC, "{}")),
+        executions=executions, artifacts=artifacts,
+        tags=json.loads(store.one(run_id, PROV.TAGS, "{}")))
+
+
+class TripleProvenanceStore(ProvenanceStore):
+    """Provenance backend persisting everything as triples.
+
+    Artifact *values* are not stored (triples hold metadata only); loaded
+    runs therefore carry empty ``values``.
+    """
+
+    def __init__(self, triples: Optional[TripleStore] = None) -> None:
+        self.triples = triples if triples is not None else TripleStore()
+
+    # -- runs -----------------------------------------------------------
+    def save_run(self, run: WorkflowRun) -> None:
+        if (run.id, PROV.TYPE, PROV.RUN) in self.triples:
+            self._remove_run_triples(run.id)
+        self.triples.add_all(iter(run_to_triples(run)))
+
+    def load_run(self, run_id: str) -> WorkflowRun:
+        return run_from_triples(self.triples, run_id)
+
+    def list_runs(self) -> List[RunSummary]:
+        summaries = []
+        for run_id in self.triples.subjects(PROV.TYPE, PROV.RUN):
+            summaries.append(RunSummary(
+                run_id,
+                self.triples.one(run_id, PROV.WORKFLOW, ""),
+                self.triples.one(run_id, PROV.WORKFLOW_NAME, ""),
+                self.triples.one(run_id, PROV.STATUS, ""),
+                self.triples.one(run_id, PROV.STARTED, 0.0),
+                self.triples.one(run_id, PROV.FINISHED, 0.0)))
+        return sorted(summaries, key=lambda s: (s.started, s.run_id))
+
+    def delete_run(self, run_id: str) -> bool:
+        if (run_id, PROV.TYPE, PROV.RUN) not in self.triples:
+            return False
+        self._remove_run_triples(run_id)
+        return True
+
+    def _remove_run_triples(self, run_id: str) -> None:
+        for subject in self.triples.subjects(PROV.IN_RUN, run_id):
+            for usage_subject in self.triples.subjects(PROV.EXEC_REF,
+                                                       subject):
+                self.triples.remove_subject(usage_subject)
+            self.triples.remove_subject(subject)
+        self.triples.remove_subject(run_id)
+
+    # -- workflows -------------------------------------------------------
+    def save_workflow(self, prospective: ProspectiveProvenance) -> None:
+        subject = prospective.workflow_id
+        self.triples.remove_subject(subject)
+        self.triples.add(subject, PROV.TYPE, PROV.PROSPECTIVE)
+        self.triples.add(subject, PROV.NAME, prospective.workflow_name)
+        self.triples.add(subject, PROV.SIGNATURE, prospective.signature)
+        self.triples.add(subject, PROV.SPEC,
+                         json.dumps(prospective.spec, sort_keys=True))
+        self.triples.add(subject, PROV.INTERFACES,
+                         json.dumps(prospective.interfaces, sort_keys=True))
+
+    def load_workflow(self, workflow_id: str) -> ProspectiveProvenance:
+        if (workflow_id, PROV.TYPE, PROV.PROSPECTIVE) not in self.triples:
+            raise StoreError(f"no such workflow: {workflow_id}")
+        return ProspectiveProvenance(
+            workflow_id=workflow_id,
+            workflow_name=self.triples.one(workflow_id, PROV.NAME, ""),
+            signature=self.triples.one(workflow_id, PROV.SIGNATURE, ""),
+            spec=json.loads(self.triples.one(workflow_id, PROV.SPEC, "{}")),
+            interfaces=json.loads(self.triples.one(workflow_id,
+                                                   PROV.INTERFACES, "{}")))
+
+    def list_workflows(self) -> List[str]:
+        return self.triples.subjects(PROV.TYPE, PROV.PROSPECTIVE)
+
+    # -- annotations -------------------------------------------------------
+    def save_annotation(self, annotation: Annotation) -> None:
+        subject = annotation.id
+        self.triples.add(subject, PROV.TYPE, PROV.ANNOTATION)
+        self.triples.add(subject, PROV.TARGET_KIND, annotation.target_kind)
+        self.triples.add(subject, PROV.TARGET_ID, annotation.target_id)
+        self.triples.add(subject, PROV.KEY, annotation.key)
+        self.triples.add(subject, PROV.VALUE,
+                         json.dumps(annotation.value, sort_keys=True))
+        self.triples.add(subject, PROV.AUTHOR, annotation.author)
+        self.triples.add(subject, PROV.CREATED, annotation.created)
+
+    def annotations_for(self, target_kind: str,
+                        target_id: str) -> List[Annotation]:
+        found = []
+        for subject in self.triples.subjects(PROV.TARGET_ID, target_id):
+            if self.triples.one(subject, PROV.TARGET_KIND) != target_kind:
+                continue
+            found.append(self._annotation(subject))
+        return sorted(found, key=lambda a: a.id)
+
+    def all_annotations(self) -> List[Annotation]:
+        return [self._annotation(subject) for subject
+                in self.triples.subjects(PROV.TYPE, PROV.ANNOTATION)]
+
+    def _annotation(self, subject: str) -> Annotation:
+        return Annotation(
+            id=subject,
+            target_kind=self.triples.one(subject, PROV.TARGET_KIND, ""),
+            target_id=self.triples.one(subject, PROV.TARGET_ID, ""),
+            key=self.triples.one(subject, PROV.KEY, ""),
+            value=json.loads(self.triples.one(subject, PROV.VALUE, "null")),
+            author=self.triples.one(subject, PROV.AUTHOR, ""),
+            created=self.triples.one(subject, PROV.CREATED, 0.0))

@@ -1,0 +1,43 @@
+"""Dataflow scientific-workflow substrate.
+
+This package implements the workflow model described in §2.1 of the paper:
+workflows are DAGs of typed module instances connected port-to-port, executed
+under a dataflow model, with static validation, intermediate-result caching,
+and an observer API through which provenance is captured.
+"""
+
+from repro.workflow.cache import CacheEntry, CacheStats, ResultCache
+from repro.workflow.engine import (ExecutionListener, Executor, ModuleResult,
+                                   RunResult, ValueRecord)
+from repro.workflow.environment import capture_environment, environment_diff
+from repro.workflow.errors import (CycleError, ExecutionError, ModuleFailure,
+                                   RegistryError, SpecError,
+                                   TypeMismatchError, ValidationError,
+                                   WorkflowError)
+from repro.workflow.registry import (ModuleContext, ModuleDefinition,
+                                     ModuleRegistry, ParameterSpec, PortSpec)
+from repro.workflow.serialization import (dump_workflow, dumps_workflow,
+                                          load_workflow, loads_workflow,
+                                          workflow_from_dict,
+                                          workflow_to_dict)
+from repro.workflow.spec import Connection, Module, Workflow
+from repro.workflow.types import (BUILTIN_TYPES, PortType, TypeRegistry,
+                                  default_type_registry)
+from repro.workflow.validation import (ValidationIssue, check_workflow,
+                                       validate_workflow)
+
+__all__ = [
+    "CacheEntry", "CacheStats", "ResultCache",
+    "ExecutionListener", "Executor", "ModuleResult", "RunResult",
+    "ValueRecord",
+    "capture_environment", "environment_diff",
+    "CycleError", "ExecutionError", "ModuleFailure", "RegistryError",
+    "SpecError", "TypeMismatchError", "ValidationError", "WorkflowError",
+    "ModuleContext", "ModuleDefinition", "ModuleRegistry", "ParameterSpec",
+    "PortSpec",
+    "dump_workflow", "dumps_workflow", "load_workflow", "loads_workflow",
+    "workflow_from_dict", "workflow_to_dict",
+    "Connection", "Module", "Workflow",
+    "BUILTIN_TYPES", "PortType", "TypeRegistry", "default_type_registry",
+    "ValidationIssue", "check_workflow", "validate_workflow",
+]

@@ -1,0 +1,116 @@
+"""Intermediate-result caching for workflow execution.
+
+Scientific workflow runs are dominated by repeated executions of mostly
+unchanged pipelines (parameter sweeps, exploratory tweaking).  The engine
+therefore memoizes module executions on a *cache key* derived from the module
+type and version, its resolved parameters, and the content hashes of every
+input value — exactly the causal signature of the computation.  A cache hit
+is recorded in retrospective provenance as a cached execution, preserving the
+derivation record while skipping the work.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.identity import canonical_json, content_hash
+
+__all__ = ["CacheKey", "CacheEntry", "CacheStats", "ResultCache",
+           "module_cache_key"]
+
+CacheKey = str
+
+
+@dataclass
+class CacheEntry:
+    """Cached outputs of one module execution.
+
+    Attributes:
+        outputs: mapping of output-port name to the computed value.
+        output_hashes: mapping of output-port name to the value's hash.
+        source_execution: id of the execution that originally produced it.
+    """
+
+    outputs: Dict[str, Any]
+    output_hashes: Dict[str, str]
+    source_execution: str = ""
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for a cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of get() calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit (0.0 when never consulted)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+def module_cache_key(type_name: str, version: str,
+                     parameters: Mapping[str, Any],
+                     input_hashes: Mapping[str, str]) -> CacheKey:
+    """Build the causal cache key for one module execution."""
+    payload = canonical_json({
+        "type": type_name,
+        "version": version,
+        "parameters": dict(parameters),
+        "inputs": dict(input_hashes),
+    })
+    return content_hash(payload.encode("utf-8"))
+
+
+class ResultCache:
+    """LRU cache of module results keyed by causal signature.
+
+    Args:
+        max_entries: maximum number of entries kept (None = unbounded).
+    """
+
+    def __init__(self, max_entries: Optional[int] = 1024) -> None:
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
+
+    def get(self, key: CacheKey) -> Optional[CacheEntry]:
+        """Return the entry for ``key`` (refreshing LRU order) or None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: CacheKey, entry: CacheEntry) -> None:
+        """Store ``entry`` under ``key``, evicting the LRU entry if full."""
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        if self.max_entries is not None:
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def invalidate(self, key: CacheKey) -> bool:
+        """Drop ``key``; return True when it was present."""
+        return self._entries.pop(key, None) is not None
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are retained)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries

@@ -1,0 +1,376 @@
+"""The dataflow execution engine.
+
+The engine materializes a workflow specification: modules run in topological
+order, values flow along connections, results are optionally memoized, and
+every step is reported to registered listeners.  Listeners are the paper's
+"capture mechanism" — the provenance subsystem observes execution through this
+API without the engine depending on it.
+
+Failure semantics: a failing module marks itself ``failed`` and everything
+downstream of it ``skipped``; independent branches still run.  The run as a
+whole is ``failed`` when any module failed, else ``ok``.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.identity import hash_value, new_id
+from repro.workflow.cache import (CacheEntry, ResultCache, module_cache_key)
+from repro.workflow.environment import capture_environment
+from repro.workflow.errors import ExecutionError
+from repro.workflow.registry import ModuleContext, ModuleRegistry
+from repro.workflow.spec import Module, Workflow
+from repro.workflow.validation import check_workflow
+
+__all__ = [
+    "ValueRecord",
+    "ModuleResult",
+    "RunResult",
+    "ExecutionListener",
+    "Executor",
+    "InputKey",
+]
+
+#: External input bindings are keyed by (module_id, port_name).
+InputKey = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class ValueRecord:
+    """A value paired with its content hash (artifact identity)."""
+
+    value: Any
+    value_hash: str
+
+    @classmethod
+    def of(cls, value: Any) -> "ValueRecord":
+        """Wrap ``value``, computing its hash."""
+        return cls(value=value, value_hash=hash_value(value))
+
+
+@dataclass
+class ModuleResult:
+    """Outcome of one module execution within a run.
+
+    ``status`` is one of ``"ok"``, ``"cached"``, ``"failed"``, ``"skipped"``.
+    Cached results carry ``cached_from``: the execution id that originally
+    computed the outputs.
+    """
+
+    module_id: str
+    execution_id: str
+    status: str
+    parameters: Dict[str, Any] = field(default_factory=dict)
+    inputs: Dict[str, ValueRecord] = field(default_factory=dict)
+    outputs: Dict[str, ValueRecord] = field(default_factory=dict)
+    started: float = 0.0
+    finished: float = 0.0
+    error: str = ""
+    cache_key: str = ""
+    cached_from: str = ""
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds spent (0 for skipped modules)."""
+        return max(0.0, self.finished - self.started)
+
+    def succeeded(self) -> bool:
+        """True for ok or cached executions."""
+        return self.status in ("ok", "cached")
+
+
+@dataclass
+class RunResult:
+    """Complete record of one workflow run, as seen by the engine."""
+
+    run_id: str
+    workflow: Workflow
+    status: str
+    results: Dict[str, ModuleResult]
+    order: List[str]
+    environment: Dict[str, Any]
+    started: float
+    finished: float
+    tags: Dict[str, Any] = field(default_factory=dict)
+
+    def result(self, module_id: str) -> ModuleResult:
+        """The :class:`ModuleResult` for ``module_id`` (KeyError if absent)."""
+        return self.results[module_id]
+
+    def output(self, module_id: str, port: str) -> Any:
+        """The value produced on ``module_id.port`` in this run."""
+        return self.results[module_id].outputs[port].value
+
+    def output_hash(self, module_id: str, port: str) -> str:
+        """Content hash of the value produced on ``module_id.port``."""
+        return self.results[module_id].outputs[port].value_hash
+
+    def sink_outputs(self) -> Dict[Tuple[str, str], Any]:
+        """Values of every output port on every sink module."""
+        values: Dict[Tuple[str, str], Any] = {}
+        for module_id in self.workflow.sinks():
+            module_result = self.results.get(module_id)
+            if module_result is None or not module_result.succeeded():
+                continue
+            for port, record in module_result.outputs.items():
+                values[(module_id, port)] = record.value
+        return values
+
+    def failed_modules(self) -> List[str]:
+        """Ids of modules whose status is ``failed`` (sorted)."""
+        return sorted(m for m, r in self.results.items()
+                      if r.status == "failed")
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds for the whole run."""
+        return max(0.0, self.finished - self.started)
+
+
+class ExecutionListener:
+    """Observer interface for execution events (all methods optional)."""
+
+    def on_run_start(self, run_id: str, workflow: Workflow,
+                     environment: Dict[str, Any],
+                     tags: Dict[str, Any]) -> None:
+        """Called once before any module executes."""
+
+    def on_module_start(self, run_id: str, module: Module,
+                        parameters: Dict[str, Any]) -> None:
+        """Called before a module's compute function runs."""
+
+    def on_module_finish(self, run_id: str, module: Module,
+                         result: ModuleResult) -> None:
+        """Called after a module finishes (ok, cached, failed or skipped)."""
+
+    def on_run_finish(self, result: RunResult) -> None:
+        """Called once after the run completes."""
+
+
+class Executor:
+    """Runs workflows against a module registry.
+
+    Args:
+        registry: module definitions and the type registry.
+        cache: optional :class:`ResultCache`; when present, deterministic
+            modules are memoized across runs.
+        listeners: observers notified of every execution event.
+        clock: callable returning the current wall time (injectable for
+            deterministic tests).
+        validate: when True (default), specifications are statically checked
+            before running; unbound ports satisfied by external inputs are
+            allowed.
+    """
+
+    def __init__(self, registry: ModuleRegistry, *,
+                 cache: Optional[ResultCache] = None,
+                 listeners: Iterable[ExecutionListener] = (),
+                 clock: Callable[[], float] = time.time,
+                 validate: bool = True) -> None:
+        self.registry = registry
+        self.cache = cache
+        self.listeners: List[ExecutionListener] = list(listeners)
+        self.clock = clock
+        self.validate = validate
+
+    def add_listener(self, listener: ExecutionListener) -> None:
+        """Attach an additional execution listener."""
+        self.listeners.append(listener)
+
+    def execute(self, workflow: Workflow, *,
+                inputs: Optional[Mapping[InputKey, Any]] = None,
+                parameter_overrides: Optional[
+                    Mapping[str, Mapping[str, Any]]] = None,
+                tags: Optional[Mapping[str, Any]] = None) -> RunResult:
+        """Run ``workflow`` and return the complete :class:`RunResult`.
+
+        Args:
+            inputs: values injected into otherwise-unconnected input ports,
+                keyed by ``(module_id, port_name)``.
+            parameter_overrides: per-module parameter values layered on top
+                of the instance's own overrides (used by parameter sweeps).
+            tags: free-form metadata attached to the run record.
+        """
+        external = {key: ValueRecord.of(value)
+                    for key, value in (inputs or {}).items()}
+        overrides = {module_id: dict(values) for module_id, values
+                     in (parameter_overrides or {}).items()}
+        if self.validate:
+            self._validate(workflow, external)
+
+        run_id = new_id("run")
+        environment = capture_environment()
+        run_tags = dict(tags or {})
+        started = self.clock()
+        for listener in self.listeners:
+            listener.on_run_start(run_id, workflow, environment, run_tags)
+
+        order = workflow.topological_order()
+        results: Dict[str, ModuleResult] = {}
+        for module_id in order:
+            module = workflow.modules[module_id]
+            results[module_id] = self._run_module(
+                run_id, workflow, module, results, external,
+                overrides.get(module_id, {}))
+
+        finished = self.clock()
+        status = ("failed" if any(r.status == "failed"
+                                  for r in results.values()) else "ok")
+        run = RunResult(run_id=run_id, workflow=workflow, status=status,
+                        results=results, order=order,
+                        environment=environment, started=started,
+                        finished=finished, tags=run_tags)
+        for listener in self.listeners:
+            listener.on_run_finish(run)
+        return run
+
+    # ------------------------------------------------------------------
+    def _validate(self, workflow: Workflow,
+                  external: Mapping[InputKey, ValueRecord]) -> None:
+        issues = check_workflow(workflow, self.registry)
+        errors = []
+        for issue in issues:
+            if not issue.is_error():
+                continue
+            if issue.code == "unbound-input":
+                bound_here = any(key[0] == issue.subject for key in external)
+                if bound_here and self._unbound_satisfied(
+                        workflow, issue.subject, external):
+                    continue
+            errors.append(issue)
+        if errors:
+            summary = "; ".join(f"[{i.code}] {i.message}" for i in errors)
+            raise ExecutionError(f"cannot execute workflow: {summary}")
+
+    def _unbound_satisfied(self, workflow: Workflow, module_id: str,
+                           external: Mapping[InputKey, ValueRecord]) -> bool:
+        definition = self.registry.get(
+            workflow.modules[module_id].type_name)
+        connected = {c.target_port for c in workflow.incoming(module_id)}
+        for port in definition.input_ports:
+            if port.optional or port.name in connected:
+                continue
+            if (module_id, port.name) not in external:
+                return False
+        return True
+
+    def _run_module(self, run_id: str, workflow: Workflow, module: Module,
+                    results: Dict[str, ModuleResult],
+                    external: Mapping[InputKey, ValueRecord],
+                    extra_params: Mapping[str, Any]) -> ModuleResult:
+        definition = self.registry.get(module.type_name)
+        parameters = definition.resolve_parameters(module.parameters)
+        parameters.update(extra_params)
+
+        input_records, blocked = self._gather_inputs(
+            workflow, module, results, external)
+        if blocked:
+            result = ModuleResult(
+                module_id=module.id, execution_id=new_id("exec"),
+                status="skipped", parameters=parameters,
+                error=f"upstream failure in {blocked}")
+            self._notify_finish(run_id, module, result)
+            return result
+
+        for listener in self.listeners:
+            listener.on_module_start(run_id, module, parameters)
+
+        input_hashes = {port: record.value_hash
+                        for port, record in input_records.items()}
+        cache_key = module_cache_key(definition.type_name,
+                                     definition.version, parameters,
+                                     input_hashes)
+        if self.cache is not None and definition.deterministic:
+            entry = self.cache.get(cache_key)
+            if entry is not None:
+                now = self.clock()
+                result = ModuleResult(
+                    module_id=module.id, execution_id=new_id("exec"),
+                    status="cached", parameters=parameters,
+                    inputs=input_records,
+                    outputs={port: ValueRecord(entry.outputs[port],
+                                               entry.output_hashes[port])
+                             for port in entry.outputs},
+                    started=now, finished=now, cache_key=cache_key,
+                    cached_from=entry.source_execution)
+                self._notify_finish(run_id, module, result)
+                return result
+
+        started = self.clock()
+        execution_id = new_id("exec")
+        context = ModuleContext(
+            inputs={port: record.value
+                    for port, record in input_records.items()},
+            parameters=parameters, module_name=module.name)
+        try:
+            raw_outputs = definition.compute(context)
+            outputs = self._check_outputs(definition, raw_outputs)
+        except Exception as exc:
+            result = ModuleResult(
+                module_id=module.id, execution_id=execution_id,
+                status="failed", parameters=parameters,
+                inputs=input_records, started=started,
+                finished=self.clock(), cache_key=cache_key,
+                error=f"{type(exc).__name__}: {exc}\n"
+                      f"{traceback.format_exc(limit=3)}")
+            self._notify_finish(run_id, module, result)
+            return result
+
+        records = {port: ValueRecord.of(value)
+                   for port, value in outputs.items()}
+        result = ModuleResult(
+            module_id=module.id, execution_id=execution_id, status="ok",
+            parameters=parameters, inputs=input_records, outputs=records,
+            started=started, finished=self.clock(), cache_key=cache_key)
+        if self.cache is not None and definition.deterministic:
+            self.cache.put(cache_key, CacheEntry(
+                outputs=dict(outputs),
+                output_hashes={p: r.value_hash for p, r in records.items()},
+                source_execution=execution_id))
+        self._notify_finish(run_id, module, result)
+        return result
+
+    def _gather_inputs(self, workflow: Workflow, module: Module,
+                       results: Dict[str, ModuleResult],
+                       external: Mapping[InputKey, ValueRecord]
+                       ) -> Tuple[Dict[str, ValueRecord], str]:
+        """Resolve input port values; return (records, blocking_module_id)."""
+        records: Dict[str, ValueRecord] = {}
+        for connection in workflow.incoming(module.id):
+            upstream = results[connection.source_module]
+            if not upstream.succeeded():
+                return {}, connection.source_module
+            if connection.source_port not in upstream.outputs:
+                return {}, connection.source_module
+            records[connection.target_port] = (
+                upstream.outputs[connection.source_port])
+        for (module_id, port), record in external.items():
+            if module_id == module.id and port not in records:
+                records[port] = record
+        return records, ""
+
+    @staticmethod
+    def _check_outputs(definition, raw_outputs: Mapping[str, Any]
+                       ) -> Dict[str, Any]:
+        declared = {p.name for p in definition.output_ports}
+        produced = set(raw_outputs)
+        missing = declared - produced
+        extra = produced - declared
+        if missing:
+            raise ExecutionError(
+                f"{definition.type_name} did not produce declared "
+                f"outputs: {sorted(missing)}")
+        if extra:
+            raise ExecutionError(
+                f"{definition.type_name} produced undeclared "
+                f"outputs: {sorted(extra)}")
+        return dict(raw_outputs)
+
+    def _notify_finish(self, run_id: str, module: Module,
+                       result: ModuleResult) -> None:
+        for listener in self.listeners:
+            listener.on_module_finish(run_id, module, result)

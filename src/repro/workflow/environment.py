@@ -1,0 +1,56 @@
+"""Execution-environment capture.
+
+Retrospective provenance must record *where and with what* a run happened:
+interpreter, platform, library versions, host.  This is the stand-in for the
+distributed execution context (grid/web services) of production systems — the
+record has the same role in reproducibility checking even though execution is
+in-process here.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+from typing import Any, Dict
+
+__all__ = ["capture_environment", "environment_diff"]
+
+
+def capture_environment() -> Dict[str, Any]:
+    """Snapshot the current execution environment as a flat dict."""
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = "unavailable"
+    return {
+        "python_version": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "hostname": platform.node(),
+        "pid": os.getpid(),
+        "numpy_version": numpy_version,
+        "repro_version": "1.0.0",
+    }
+
+
+def environment_diff(first: Dict[str, Any],
+                     second: Dict[str, Any]) -> Dict[str, Any]:
+    """Return the keys whose values differ between two environment records.
+
+    The result maps each differing key to ``{"before": ..., "after": ...}``.
+    Volatile keys (``pid``) are ignored because they differ between any two
+    processes without affecting reproducibility.
+    """
+    volatile = {"pid"}
+    differences: Dict[str, Any] = {}
+    for key in sorted(set(first) | set(second)):
+        if key in volatile:
+            continue
+        before, after = first.get(key), second.get(key)
+        if before != after:
+            differences[key] = {"before": before, "after": after}
+    return differences

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the workflow substrate."""
+
+from __future__ import annotations
+
+__all__ = [
+    "WorkflowError",
+    "SpecError",
+    "TypeMismatchError",
+    "ValidationError",
+    "CycleError",
+    "RegistryError",
+    "ExecutionError",
+    "ModuleFailure",
+]
+
+
+class WorkflowError(Exception):
+    """Base class for all workflow-substrate errors."""
+
+
+class SpecError(WorkflowError):
+    """A workflow specification was manipulated inconsistently."""
+
+
+class RegistryError(WorkflowError):
+    """A module type is unknown, duplicated, or malformed."""
+
+
+class ValidationError(WorkflowError):
+    """A workflow specification failed static validation."""
+
+
+class TypeMismatchError(ValidationError):
+    """A connection links ports with incompatible types."""
+
+
+class CycleError(ValidationError):
+    """The workflow graph contains a cycle (dataflow must be a DAG)."""
+
+
+class ExecutionError(WorkflowError):
+    """The engine could not run a workflow."""
+
+
+class ModuleFailure(ExecutionError):
+    """A module's compute function raised during execution.
+
+    Attributes:
+        module_id: identifier of the failing module instance.
+        cause: the original exception raised by the compute function.
+    """
+
+    def __init__(self, module_id: str, cause: BaseException):
+        super().__init__(f"module {module_id} failed: {cause!r}")
+        self.module_id = module_id
+        self.cause = cause

@@ -1,0 +1,34 @@
+"""Standard module libraries for the motivating domains of the paper.
+
+The tutorial motivates scientific workflows with genomics, medical imaging,
+environmental observatories/forecasting, and visualization examples.  Each
+library here registers a coherent set of module definitions:
+
+* :mod:`repro.workflow.modules.basic` — constants, arithmetic, strings,
+  lists, tables, and synthetic-load modules.
+* :mod:`repro.workflow.modules.vis` — the Figure 1 pipeline (volume data,
+  histogram, isosurface, rendering) plus the Figure 2 scenario modules.
+* :mod:`repro.workflow.modules.imaging` — the First Provenance Challenge
+  fMRI modules (align_warp, reslice, softmean, slicer, convert).
+* :mod:`repro.workflow.modules.genomics` — synthetic reads, filtering,
+  alignment, consensus.
+* :mod:`repro.workflow.modules.enviro` — sensor ingest, cleaning,
+  interpolation, AR(1) forecasting.
+"""
+
+from repro.workflow.modules import (basic, enviro, genomics, imaging, vis)
+from repro.workflow.registry import ModuleRegistry
+
+__all__ = ["standard_registry", "basic", "vis", "imaging", "genomics",
+           "enviro"]
+
+
+def standard_registry() -> ModuleRegistry:
+    """Return a registry preloaded with every standard module library."""
+    registry = ModuleRegistry()
+    basic.register(registry)
+    vis.register(registry)
+    imaging.register(registry)
+    genomics.register(registry)
+    enviro.register(registry)
+    return registry

@@ -1,0 +1,265 @@
+"""Basic module library: constants, arithmetic, strings, lists, tables.
+
+These are the plumbing modules every workflow system ships.  They are also
+used heavily by the workload generators to build large synthetic workflows
+whose execution cost is controllable (see ``SpinCompute``).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Dict, List
+
+from repro.identity import hash_value
+from repro.workflow.registry import ModuleRegistry
+
+__all__ = ["register"]
+
+
+def register(registry: ModuleRegistry) -> None:
+    """Register the basic library into ``registry``."""
+
+    @registry.define("Constant", outputs=[("value", "Any")],
+                     params=[("value", None)], category="basic")
+    def constant(ctx):
+        """Emit the configured constant value."""
+        return {"value": ctx.param("value")}
+
+    @registry.define("StringConstant", outputs=[("value", "String")],
+                     params=[("value", "")], category="basic")
+    def string_constant(ctx):
+        """Emit the configured string."""
+        return {"value": str(ctx.param("value"))}
+
+    @registry.define("NumberConstant", outputs=[("value", "Number")],
+                     params=[("value", 0.0)], category="basic")
+    def number_constant(ctx):
+        """Emit the configured number."""
+        return {"value": ctx.param("value")}
+
+    @registry.define("Identity", inputs=[("value", "Any")],
+                     outputs=[("value", "Any")], category="basic")
+    def identity(ctx):
+        """Pass the input through unchanged."""
+        return {"value": ctx.input("value")}
+
+    @registry.define("Add",
+                     inputs=[("a", "Number"), ("b", "Number")],
+                     outputs=[("result", "Number")], category="math")
+    def add(ctx):
+        """result = a + b."""
+        return {"result": ctx.require_input("a") + ctx.require_input("b")}
+
+    @registry.define("Subtract",
+                     inputs=[("a", "Number"), ("b", "Number")],
+                     outputs=[("result", "Number")], category="math")
+    def subtract(ctx):
+        """result = a - b."""
+        return {"result": ctx.require_input("a") - ctx.require_input("b")}
+
+    @registry.define("Multiply",
+                     inputs=[("a", "Number"), ("b", "Number")],
+                     outputs=[("result", "Number")], category="math")
+    def multiply(ctx):
+        """result = a * b."""
+        return {"result": ctx.require_input("a") * ctx.require_input("b")}
+
+    @registry.define("Divide",
+                     inputs=[("a", "Number"), ("b", "Number")],
+                     outputs=[("result", "Number")], category="math")
+    def divide(ctx):
+        """result = a / b (raises on division by zero)."""
+        return {"result": ctx.require_input("a") / ctx.require_input("b")}
+
+    @registry.define("Scale", inputs=[("value", "Number")],
+                     outputs=[("result", "Number")],
+                     params=[("factor", 1.0)], category="math")
+    def scale(ctx):
+        """result = value * factor."""
+        return {"result": ctx.require_input("value") * ctx.param("factor")}
+
+    @registry.define("Power", inputs=[("value", "Number")],
+                     outputs=[("result", "Number")],
+                     params=[("exponent", 2.0)], category="math")
+    def power(ctx):
+        """result = value ** exponent."""
+        return {"result": math.pow(ctx.require_input("value"),
+                                   ctx.param("exponent"))}
+
+    @registry.define("Concat",
+                     inputs=[("left", "String"), ("right", "String")],
+                     outputs=[("result", "String")],
+                     params=[("separator", "")], category="string")
+    def concat(ctx):
+        """Join two strings with a separator."""
+        separator = ctx.param("separator")
+        return {"result": f"{ctx.input('left', '')}{separator}"
+                          f"{ctx.input('right', '')}"}
+
+    @registry.define("Format", inputs=[("value", "Any")],
+                     outputs=[("text", "String")],
+                     params=[("template", "{value}")], category="string")
+    def format_value(ctx):
+        """Render the input into a template with a ``{value}`` slot."""
+        return {"text": ctx.param("template").format(
+            value=ctx.input("value"))}
+
+    @registry.define("ToString", inputs=[("value", "Any")],
+                     outputs=[("text", "String")], category="string")
+    def to_string(ctx):
+        """str() of the input value."""
+        return {"text": str(ctx.input("value"))}
+
+    @registry.define("HashValue", inputs=[("value", "Any")],
+                     outputs=[("digest", "String")], category="string")
+    def hash_module(ctx):
+        """Content hash of the input value (hex SHA-256)."""
+        return {"digest": hash_value(ctx.input("value"))}
+
+    @registry.define("MakeList",
+                     inputs=[("a", "Any"), ("b", "Any"),
+                             ("c", "Any"), ("d", "Any")],
+                     outputs=[("items", "List")], category="list")
+    def make_list(ctx):
+        """Collect up to four inputs into a list (None values dropped)."""
+        items = [ctx.input(name) for name in ("a", "b", "c", "d")]
+        return {"items": [item for item in items if item is not None]}
+
+    # mark the collection inputs optional: rebuild portspec tuples
+    _make_optional(registry, "MakeList", ("a", "b", "c", "d"))
+    _make_optional(registry, "Concat", ("left", "right"))
+    _make_optional(registry, "Identity", ("value",))
+    _make_optional(registry, "Format", ("value",))
+    _make_optional(registry, "ToString", ("value",))
+    _make_optional(registry, "HashValue", ("value",))
+
+    @registry.define("ListLength", inputs=[("items", "List")],
+                     outputs=[("length", "Integer")], category="list")
+    def list_length(ctx):
+        """Number of items in the input list."""
+        return {"length": len(ctx.require_input("items"))}
+
+    @registry.define("ListGet", inputs=[("items", "List")],
+                     outputs=[("item", "Any")],
+                     params=[("index", 0)], category="list")
+    def list_get(ctx):
+        """The item at the configured index."""
+        return {"item": ctx.require_input("items")[ctx.param("index")]}
+
+    @registry.define("ListSum", inputs=[("items", "List")],
+                     outputs=[("total", "Number")], category="list")
+    def list_sum(ctx):
+        """Sum of a numeric list."""
+        return {"total": float(sum(ctx.require_input("items")))}
+
+    @registry.define("BuildTable", outputs=[("table", "Table")],
+                     params=[("columns", {})], category="table")
+    def build_table(ctx):
+        """Emit a table from the configured {column: [values]} mapping."""
+        columns = {str(k): list(v) for k, v in ctx.param("columns").items()}
+        return {"table": {"columns": columns}}
+
+    @registry.define("SelectColumns", inputs=[("table", "Table")],
+                     outputs=[("table", "Table")],
+                     params=[("names", [])], category="table")
+    def select_columns(ctx):
+        """Keep only the named columns."""
+        table = ctx.require_input("table")
+        names = ctx.param("names")
+        return {"table": {"columns": {
+            name: values for name, values in table["columns"].items()
+            if name in names}}}
+
+    @registry.define("FilterRows", inputs=[("table", "Table")],
+                     outputs=[("table", "Table")],
+                     params=[("column", ""), ("op", ">"), ("value", 0)],
+                     category="table")
+    def filter_rows(ctx):
+        """Keep rows where ``column <op> value`` holds."""
+        table = ctx.require_input("table")
+        column, op, bound = (ctx.param("column"), ctx.param("op"),
+                             ctx.param("value"))
+        ops = {">": lambda x: x > bound, "<": lambda x: x < bound,
+               ">=": lambda x: x >= bound, "<=": lambda x: x <= bound,
+               "==": lambda x: x == bound, "!=": lambda x: x != bound}
+        predicate = ops[op]
+        keep = [i for i, cell in enumerate(table["columns"][column])
+                if predicate(cell)]
+        return {"table": {"columns": {
+            name: [values[i] for i in keep]
+            for name, values in table["columns"].items()}}}
+
+    @registry.define("AggregateColumn", inputs=[("table", "Table")],
+                     outputs=[("value", "Number")],
+                     params=[("column", ""), ("func", "mean")],
+                     category="table")
+    def aggregate_column(ctx):
+        """Aggregate one column with sum/mean/min/max/count."""
+        values = ctx.require_input("table")["columns"][ctx.param("column")]
+        func = ctx.param("func")
+        if func == "sum":
+            return {"value": float(sum(values))}
+        if func == "mean":
+            return {"value": float(sum(values)) / len(values)}
+        if func == "min":
+            return {"value": float(min(values))}
+        if func == "max":
+            return {"value": float(max(values))}
+        if func == "count":
+            return {"value": float(len(values))}
+        raise ValueError(f"unknown aggregate: {func}")
+
+    @registry.define("SpinCompute", inputs=[("value", "Any")],
+                     outputs=[("value", "Any")],
+                     params=[("work", 1000)], category="synthetic")
+    def spin_compute(ctx):
+        """Burn a controllable amount of CPU, then pass the input through.
+
+        Used by the capture-overhead benchmark so module cost dominates.
+        """
+        accumulator = 0.0
+        for i in range(int(ctx.param("work"))):
+            accumulator += math.sqrt(float(i) + 1.0)
+        value = ctx.input("value")
+        return {"value": value if value is not None else accumulator}
+
+    _make_optional(registry, "SpinCompute", ("value",))
+
+    @registry.define("RandomNumber", outputs=[("value", "Float")],
+                     params=[("low", 0.0), ("high", 1.0)],
+                     category="synthetic", deterministic=False)
+    def random_number(ctx):
+        """A fresh random float each run (never cached)."""
+        return {"value": random.uniform(ctx.param("low"),
+                                        ctx.param("high"))}
+
+    @registry.define("SeededRandom", outputs=[("value", "Float")],
+                     params=[("seed", 0), ("low", 0.0), ("high", 1.0)],
+                     category="synthetic")
+    def seeded_random(ctx):
+        """A reproducible pseudo-random float derived from the seed."""
+        rng = random.Random(ctx.param("seed"))
+        return {"value": rng.uniform(ctx.param("low"), ctx.param("high"))}
+
+    @registry.define("FailIf", inputs=[("value", "Any")],
+                     outputs=[("value", "Any")],
+                     params=[("fail", False), ("message", "injected")],
+                     category="synthetic")
+    def fail_if(ctx):
+        """Fail on demand — used by failure-injection tests."""
+        if ctx.param("fail"):
+            raise RuntimeError(ctx.param("message"))
+        return {"value": ctx.input("value")}
+
+    _make_optional(registry, "FailIf", ("value",))
+
+
+def _make_optional(registry: ModuleRegistry, type_name: str,
+                   port_names: tuple) -> None:
+    """Flip the named input ports of a registered definition to optional."""
+    from dataclasses import replace
+    definition = registry.get(type_name)
+    definition.input_ports = tuple(
+        replace(port, optional=True) if port.name in port_names else port
+        for port in definition.input_ports)

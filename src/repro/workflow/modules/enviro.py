@@ -1,0 +1,166 @@
+"""Environmental-observatory module library: sensor series and forecasting.
+
+Environmental observatories and forecasting systems are among the paper's
+motivating applications.  The library models the standard chain: ingest a
+sensor time series (synthetic AR(1) signal with seasonality, gaps and
+outliers), clean it, fill gaps, fit an autoregressive model, and forecast —
+with a comparison module for sweep-style evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro.workflow.registry import ModuleRegistry
+
+__all__ = ["register", "synthetic_series"]
+
+
+def synthetic_series(days: int, seed: int, phi: float = 0.8,
+                     missing_rate: float = 0.05,
+                     outlier_rate: float = 0.02) -> Dict[str, List[float]]:
+    """AR(1)-plus-seasonality sensor series with injected gaps and outliers."""
+    rng = np.random.default_rng(seed)
+    steps = days * 24
+    values = np.zeros(steps)
+    level = 15.0
+    for t in range(1, steps):
+        season = 5.0 * np.sin(2 * np.pi * (t % 24) / 24.0)
+        values[t] = (level + phi * (values[t - 1] - level) + season * 0.1
+                     + rng.normal(0.0, 0.5))
+    outliers = rng.random(steps) < outlier_rate
+    values[outliers] += rng.normal(0.0, 25.0, size=int(outliers.sum()))
+    missing = rng.random(steps) < missing_rate
+    values[missing] = np.nan
+    return {
+        "t": [float(t) for t in range(steps)],
+        "v": [float(v) for v in values],
+    }
+
+
+def _series_array(series: Dict[str, List[float]]) -> np.ndarray:
+    return np.asarray(series["v"], dtype=np.float64)
+
+
+def register(registry: ModuleRegistry) -> None:
+    """Register the environmental library into ``registry``."""
+
+    @registry.define("SensorIngest",
+                     outputs=[("series", "TimeSeries")],
+                     params=[("station", "ST-01"), ("days", 7),
+                             ("seed", 3), ("phi", 0.8)],
+                     category="enviro")
+    def sensor_ingest(ctx):
+        """Pull a station's hourly series (synthetic, deterministic)."""
+        series = synthetic_series(int(ctx.param("days")),
+                                  int(ctx.param("seed")),
+                                  phi=float(ctx.param("phi")))
+        series["station"] = ctx.param("station")
+        return {"series": series}
+
+    @registry.define("CleanSeries", inputs=[("series", "TimeSeries")],
+                     outputs=[("series", "TimeSeries")],
+                     params=[("zmax", 4.0)], category="enviro")
+    def clean_series(ctx):
+        """Replace |z| > zmax outliers with NaN (robust z-score)."""
+        series = dict(ctx.require_input("series"))
+        values = _series_array(series)
+        finite = values[np.isfinite(values)]
+        median = float(np.median(finite))
+        mad = float(np.median(np.abs(finite - median))) or 1.0
+        z = np.abs(values - median) / (1.4826 * mad)
+        cleaned = values.copy()
+        cleaned[z > float(ctx.param("zmax"))] = np.nan
+        series["v"] = [float(v) for v in cleaned]
+        return {"series": series}
+
+    @registry.define("InterpolateGaps", inputs=[("series", "TimeSeries")],
+                     outputs=[("series", "TimeSeries")], category="enviro")
+    def interpolate_gaps(ctx):
+        """Linearly interpolate NaN gaps (edge gaps take nearest value)."""
+        series = dict(ctx.require_input("series"))
+        values = _series_array(series)
+        t = np.arange(len(values), dtype=np.float64)
+        good = np.isfinite(values)
+        if not good.any():
+            raise ValueError("series has no finite values to interpolate")
+        filled = np.interp(t, t[good], values[good])
+        series["v"] = [float(v) for v in filled]
+        return {"series": series}
+
+    @registry.define("FitAR", inputs=[("series", "TimeSeries")],
+                     outputs=[("model", "Model")], category="enviro")
+    def fit_ar(ctx):
+        """Fit an AR(1) model by lag-1 Yule-Walker."""
+        values = _series_array(ctx.require_input("series"))
+        if not np.isfinite(values).all():
+            raise ValueError("FitAR requires a gap-free series")
+        mu = float(values.mean())
+        centered = values - mu
+        denominator = float((centered[:-1] ** 2).sum()) or 1.0
+        phi = float((centered[1:] * centered[:-1]).sum()) / denominator
+        residuals = centered[1:] - phi * centered[:-1]
+        return {"model": {"kind": "AR1", "mu": mu, "phi": phi,
+                          "sigma": float(residuals.std())}}
+
+    @registry.define("Forecast",
+                     inputs=[("series", "TimeSeries"), ("model", "Model")],
+                     outputs=[("forecast", "TimeSeries")],
+                     params=[("horizon", 24)], category="enviro")
+    def forecast(ctx):
+        """Roll the fitted AR(1) model forward ``horizon`` steps."""
+        series = ctx.require_input("series")
+        model = ctx.require_input("model")
+        values = _series_array(series)
+        last = float(values[-1])
+        mu, phi = model["mu"], model["phi"]
+        horizon = int(ctx.param("horizon"))
+        predictions = []
+        current = last
+        for _ in range(horizon):
+            current = mu + phi * (current - mu)
+            predictions.append(float(current))
+        start = series["t"][-1] + 1 if series["t"] else 0.0
+        return {"forecast": {
+            "t": [float(start + i) for i in range(horizon)],
+            "v": predictions,
+            "station": series.get("station"),
+        }}
+
+    @registry.define("CompareSeries",
+                     inputs=[("actual", "TimeSeries"),
+                             ("predicted", "TimeSeries")],
+                     outputs=[("metrics", "Table")], category="enviro")
+    def compare_series(ctx):
+        """RMSE and MAE between two series over their common length."""
+        actual = _series_array(ctx.require_input("actual"))
+        predicted = _series_array(ctx.require_input("predicted"))
+        length = min(len(actual), len(predicted))
+        if length == 0:
+            raise ValueError("cannot compare empty series")
+        error = actual[:length] - predicted[:length]
+        finite = np.isfinite(error)
+        error = error[finite]
+        return {"metrics": {"columns": {
+            "metric": ["rmse", "mae", "n"],
+            "value": [float(np.sqrt((error ** 2).mean())),
+                      float(np.abs(error).mean()), float(error.size)],
+        }}}
+
+    @registry.define("SeasonalSummary", inputs=[("series", "TimeSeries")],
+                     outputs=[("table", "Table")], category="enviro")
+    def seasonal_summary(ctx):
+        """Mean value by hour-of-day."""
+        series = ctx.require_input("series")
+        values = _series_array(series)
+        hours = np.asarray(series["t"], dtype=np.float64) % 24
+        means = []
+        for hour in range(24):
+            bucket = values[(hours == hour) & np.isfinite(values)]
+            means.append(float(bucket.mean()) if bucket.size else 0.0)
+        return {"table": {"columns": {
+            "hour": list(range(24)),
+            "mean": means,
+        }}}

@@ -1,0 +1,184 @@
+"""Genomics module library: synthetic reads, filtering, alignment, consensus.
+
+Genomics is the paper's first motivating domain.  The library provides a
+realistic small pipeline: generate reads around a (synthetic) reference
+haplotype, quality-filter them, align pairs with Needleman–Wunsch, call a
+consensus, and compute summary tables.  All stages are deterministic given
+their seed parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.workflow.registry import ModuleRegistry
+
+__all__ = ["register", "needleman_wunsch", "synthetic_reads"]
+
+_BASES = "ACGT"
+
+
+def synthetic_reads(count: int, length: int, seed: int,
+                    mutation_rate: float = 0.02) -> Tuple[str, List[str]]:
+    """Generate a reference string and ``count`` mutated reads of it."""
+    rng = np.random.default_rng(seed)
+    reference = "".join(_BASES[i] for i in rng.integers(0, 4, size=length))
+    reads: List[str] = []
+    for _ in range(count):
+        bases = list(reference)
+        for position in range(length):
+            if rng.random() < mutation_rate:
+                bases[position] = _BASES[int(rng.integers(0, 4))]
+        reads.append("".join(bases))
+    return reference, reads
+
+
+def needleman_wunsch(query: str, target: str, match: float = 1.0,
+                     mismatch: float = -1.0, gap: float = -2.0
+                     ) -> Dict[str, object]:
+    """Global pairwise alignment; returns score and aligned strings."""
+    rows, cols = len(query) + 1, len(target) + 1
+    score = np.zeros((rows, cols), dtype=np.float64)
+    score[:, 0] = np.arange(rows) * gap
+    score[0, :] = np.arange(cols) * gap
+    for i in range(1, rows):
+        for j in range(1, cols):
+            diagonal = score[i - 1, j - 1] + (
+                match if query[i - 1] == target[j - 1] else mismatch)
+            score[i, j] = max(diagonal, score[i - 1, j] + gap,
+                              score[i, j - 1] + gap)
+    aligned_query: List[str] = []
+    aligned_target: List[str] = []
+    i, j = len(query), len(target)
+    while i > 0 or j > 0:
+        if i > 0 and j > 0 and np.isclose(
+                score[i, j], score[i - 1, j - 1]
+                + (match if query[i - 1] == target[j - 1] else mismatch)):
+            aligned_query.append(query[i - 1])
+            aligned_target.append(target[j - 1])
+            i, j = i - 1, j - 1
+        elif i > 0 and np.isclose(score[i, j], score[i - 1, j] + gap):
+            aligned_query.append(query[i - 1])
+            aligned_target.append("-")
+            i -= 1
+        else:
+            aligned_query.append("-")
+            aligned_target.append(target[j - 1])
+            j -= 1
+    return {
+        "score": float(score[len(query), len(target)]),
+        "aligned_query": "".join(reversed(aligned_query)),
+        "aligned_target": "".join(reversed(aligned_target)),
+    }
+
+
+def register(registry: ModuleRegistry) -> None:
+    """Register the genomics library into ``registry``."""
+
+    @registry.define("SyntheticReads",
+                     outputs=[("reads", "SequenceSet"),
+                              ("reference", "Sequence")],
+                     params=[("count", 8), ("length", 60), ("seed", 11),
+                             ("mutation_rate", 0.02)],
+                     category="genomics")
+    def synthetic_reads_module(ctx):
+        """Generate a reference haplotype and mutated reads around it."""
+        reference, reads = synthetic_reads(
+            int(ctx.param("count")), int(ctx.param("length")),
+            int(ctx.param("seed")), float(ctx.param("mutation_rate")))
+        return {"reads": reads, "reference": reference}
+
+    @registry.define("QualityFilter", inputs=[("reads", "SequenceSet")],
+                     outputs=[("reads", "SequenceSet")],
+                     params=[("min_complexity", 0.4)], category="genomics")
+    def quality_filter(ctx):
+        """Drop low-complexity reads (few distinct 3-mers)."""
+        threshold = float(ctx.param("min_complexity"))
+        kept = []
+        for read in ctx.require_input("reads"):
+            kmers = {read[i:i + 3] for i in range(max(1, len(read) - 2))}
+            possible = max(1, len(read) - 2)
+            if len(kmers) / possible >= threshold:
+                kept.append(read)
+        return {"reads": kept}
+
+    @registry.define("PairwiseAlign",
+                     inputs=[("query", "Sequence"), ("target", "Sequence")],
+                     outputs=[("alignment", "Alignment")],
+                     params=[("match", 1.0), ("mismatch", -1.0),
+                             ("gap", -2.0)],
+                     category="genomics")
+    def pairwise_align(ctx):
+        """Needleman–Wunsch global alignment of two sequences."""
+        result = needleman_wunsch(
+            ctx.require_input("query"), ctx.require_input("target"),
+            match=float(ctx.param("match")),
+            mismatch=float(ctx.param("mismatch")),
+            gap=float(ctx.param("gap")))
+        return {"alignment": {"columns": {
+            "field": ["score", "aligned_query", "aligned_target"],
+            "value": [result["score"], result["aligned_query"],
+                      result["aligned_target"]],
+        }}}
+
+    @registry.define("ConsensusCall", inputs=[("reads", "SequenceSet")],
+                     outputs=[("consensus", "Sequence")],
+                     category="genomics")
+    def consensus_call(ctx):
+        """Majority-vote consensus across equal-length reads."""
+        reads = ctx.require_input("reads")
+        if not reads:
+            return {"consensus": ""}
+        length = min(len(read) for read in reads)
+        consensus = []
+        for position in range(length):
+            counts: Dict[str, int] = {}
+            for read in reads:
+                base = read[position]
+                counts[base] = counts.get(base, 0) + 1
+            consensus.append(max(sorted(counts), key=counts.get))
+        return {"consensus": "".join(consensus)}
+
+    @registry.define("GCContent", inputs=[("reads", "SequenceSet")],
+                     outputs=[("table", "Table")], category="genomics")
+    def gc_content(ctx):
+        """Per-read GC fraction as a table."""
+        reads = ctx.require_input("reads")
+        fractions = [
+            (read.count("G") + read.count("C")) / len(read) if read else 0.0
+            for read in reads]
+        return {"table": {"columns": {
+            "read_index": list(range(len(reads))),
+            "gc_fraction": [float(f) for f in fractions],
+        }}}
+
+    @registry.define("MotifScan", inputs=[("reads", "SequenceSet")],
+                     outputs=[("table", "Table")],
+                     params=[("motif", "ACG")], category="genomics")
+    def motif_scan(ctx):
+        """Count motif occurrences in each read."""
+        motif = str(ctx.param("motif"))
+        reads = ctx.require_input("reads")
+        return {"table": {"columns": {
+            "read_index": list(range(len(reads))),
+            "hits": [read.count(motif) for read in reads],
+        }}}
+
+    @registry.define("VariantTable",
+                     inputs=[("consensus", "Sequence"),
+                             ("reference", "Sequence")],
+                     outputs=[("table", "Table")], category="genomics")
+    def variant_table(ctx):
+        """Positions where consensus differs from the reference."""
+        consensus = ctx.require_input("consensus")
+        reference = ctx.require_input("reference")
+        length = min(len(consensus), len(reference))
+        positions = [i for i in range(length)
+                     if consensus[i] != reference[i]]
+        return {"table": {"columns": {
+            "position": positions,
+            "reference": [reference[i] for i in positions],
+            "call": [consensus[i] for i in positions],
+        }}}

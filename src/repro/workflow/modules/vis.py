@@ -1,0 +1,294 @@
+"""Visualization module library — the Figure 1 and Figure 2 pipelines.
+
+Figure 1 of the paper shows a workflow over a CT head scan
+(``head.120.vtk``): one branch computes a histogram of the scalar values and
+renders it (``head-hist.png``); the other extracts an isosurface and renders
+a visualization.  The paper's real dataset is replaced by a deterministic
+procedural volume (ellipsoidal "head" with a denser "skull" shell); every
+downstream algorithm — histogramming, isosurface extraction, mesh smoothing,
+depth rendering, image encoding — is implemented for real, so the provenance
+the pipeline generates has the same shape as the paper's.
+
+Figure 2's scenario (download a file from the Web, visualize it, then refine
+the result by smoothing) is covered by ``DownloadFile`` (simulated,
+deterministic per URL), ``ParseVolumeFile`` and ``SmoothMesh``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from repro.identity import content_hash
+from repro.workflow.registry import ModuleRegistry
+
+__all__ = ["register", "synthetic_head_volume", "encode_pgm", "decode_pgm"]
+
+
+def synthetic_head_volume(size: int = 32, seed: int = 7) -> np.ndarray:
+    """Deterministic head-like scalar volume (ellipsoid + skull shell)."""
+    rng = np.random.default_rng(seed)
+    axis = np.linspace(-1.0, 1.0, size)
+    x, y, z = np.meshgrid(axis, axis, axis, indexing="ij")
+    radius = np.sqrt((x / 0.9) ** 2 + (y / 0.75) ** 2 + (z / 0.8) ** 2)
+    tissue = np.clip(1.0 - radius, 0.0, None) * 80.0
+    skull = np.exp(-((radius - 0.85) ** 2) / 0.002) * 160.0
+    noise = rng.normal(0.0, 1.5, size=(size, size, size))
+    return (tissue + skull + noise).astype(np.float64)
+
+
+def encode_pgm(image: np.ndarray) -> bytes:
+    """Encode a 2-D array as a binary PGM (P5) image file."""
+    data = np.asarray(image, dtype=np.float64)
+    low, high = float(data.min()), float(data.max())
+    span = (high - low) or 1.0
+    pixels = ((data - low) / span * 255.0).astype(np.uint8)
+    header = f"P5\n{pixels.shape[1]} {pixels.shape[0]}\n255\n"
+    return header.encode("ascii") + pixels.tobytes()
+
+
+def decode_pgm(data: bytes) -> np.ndarray:
+    """Decode a binary PGM (P5) produced by :func:`encode_pgm`."""
+    parts = data.split(b"\n", 3)
+    if parts[0] != b"P5":
+        raise ValueError("not a P5 PGM file")
+    width, height = (int(v) for v in parts[1].split())
+    pixels = np.frombuffer(parts[3], dtype=np.uint8, count=width * height)
+    return pixels.reshape(height, width)
+
+
+def _mesh_adjacency(faces: List[Tuple[int, int, int]]) -> Dict[int, set]:
+    adjacency: Dict[int, set] = {}
+    for a, b, c in faces:
+        for u, v in ((a, b), (b, c), (c, a)):
+            adjacency.setdefault(u, set()).add(v)
+            adjacency.setdefault(v, set()).add(u)
+    return adjacency
+
+
+def register(registry: ModuleRegistry) -> None:
+    """Register the visualization library into ``registry``."""
+
+    @registry.define("LoadVolume",
+                     outputs=[("volume", "VolumeData"),
+                              ("header", "Mapping")],
+                     params=[("dataset", "head.120"), ("size", 32),
+                             ("seed", 7)],
+                     category="vis")
+    def load_volume(ctx):
+        """Load (synthesize) a structured-grid scalar volume with header."""
+        size, seed = int(ctx.param("size")), int(ctx.param("seed"))
+        volume = synthetic_head_volume(size=size, seed=seed)
+        header = {
+            "dataset": ctx.param("dataset"),
+            "dims": [size, size, size],
+            "spacing": [1.0, 1.0, 1.0],
+            "modality": "CT",
+            "scalar_range": [float(volume.min()), float(volume.max())],
+        }
+        return {"volume": volume, "header": header}
+
+    @registry.define("VolumeResample", inputs=[("volume", "VolumeData")],
+                     outputs=[("volume", "VolumeData")],
+                     params=[("factor", 2)], category="vis")
+    def volume_resample(ctx):
+        """Downsample a volume by integer striding."""
+        factor = max(1, int(ctx.param("factor")))
+        volume = ctx.require_input("volume")
+        return {"volume": volume[::factor, ::factor, ::factor].copy()}
+
+    @registry.define("ComputeHistogram", inputs=[("volume", "VolumeData")],
+                     outputs=[("histogram", "Histogram")],
+                     params=[("bins", 16)], category="vis")
+    def compute_histogram(ctx):
+        """Bin the scalar values of a volume into a frequency table."""
+        volume = np.asarray(ctx.require_input("volume"))
+        counts, edges = np.histogram(volume, bins=int(ctx.param("bins")))
+        return {"histogram": {
+            "columns": {
+                "bin_low": [float(v) for v in edges[:-1]],
+                "bin_high": [float(v) for v in edges[1:]],
+                "count": [int(v) for v in counts],
+            }}}
+
+    @registry.define("RenderHistogram", inputs=[("histogram", "Histogram")],
+                     outputs=[("image", "Image")],
+                     params=[("height", 64)], category="vis")
+    def render_histogram(ctx):
+        """Render a histogram as a bar-chart raster image."""
+        histogram = ctx.require_input("histogram")
+        counts = histogram["columns"]["count"]
+        height = int(ctx.param("height"))
+        bar_width = 4
+        width = bar_width * len(counts)
+        peak = max(counts) or 1
+        image = np.zeros((height, width), dtype=np.float64)
+        for index, count in enumerate(counts):
+            bar = int(round(count / peak * (height - 1)))
+            if bar:
+                image[height - bar:, index * bar_width:
+                      (index + 1) * bar_width] = 255.0
+        return {"image": image}
+
+    @registry.define("IsosurfaceExtract", inputs=[("volume", "VolumeData")],
+                     outputs=[("mesh", "Mesh")],
+                     params=[("level", 100.0)], category="vis")
+    def isosurface_extract(ctx):
+        """Extract the level-set boundary surface of a volume.
+
+        Emits one quad (two triangles) per voxel face separating an
+        above-level voxel from a below-level neighbour — a simplified
+        (but genuine, watertight) surface extraction.
+        """
+        volume = np.asarray(ctx.require_input("volume"))
+        level = float(ctx.param("level"))
+        inside = volume >= level
+        vertices: List[Tuple[float, float, float]] = []
+        vertex_index: Dict[Tuple[float, float, float], int] = {}
+        faces: List[Tuple[int, int, int]] = []
+
+        def vertex(point: Tuple[float, float, float]) -> int:
+            if point not in vertex_index:
+                vertex_index[point] = len(vertices)
+                vertices.append(point)
+            return vertex_index[point]
+
+        offsets = ((1, 0, 0), (-1, 0, 0), (0, 1, 0),
+                   (0, -1, 0), (0, 0, 1), (0, 0, -1))
+        shape = volume.shape
+        for i, j, k in zip(*np.nonzero(inside)):
+            for di, dj, dk in offsets:
+                ni, nj, nk = i + di, j + dj, k + dk
+                outside = (not (0 <= ni < shape[0] and 0 <= nj < shape[1]
+                                and 0 <= nk < shape[2])
+                           or not inside[ni, nj, nk])
+                if not outside:
+                    continue
+                corners = _face_corners((float(i), float(j), float(k)),
+                                        (di, dj, dk))
+                ids = [vertex(corner) for corner in corners]
+                faces.append((ids[0], ids[1], ids[2]))
+                faces.append((ids[0], ids[2], ids[3]))
+        return {"mesh": {
+            "vertices": [list(v) for v in vertices],
+            "faces": [list(f) for f in faces],
+            "level": level,
+        }}
+
+    @registry.define("SmoothMesh", inputs=[("mesh", "Mesh")],
+                     outputs=[("mesh", "Mesh")],
+                     params=[("iterations", 3), ("factor", 0.5)],
+                     category="vis")
+    def smooth_mesh(ctx):
+        """Laplacian-smooth mesh vertices toward their neighbour centroid."""
+        mesh = ctx.require_input("mesh")
+        vertices = np.array(mesh["vertices"], dtype=np.float64)
+        faces = [tuple(face) for face in mesh["faces"]]
+        adjacency = _mesh_adjacency(faces)
+        factor = float(ctx.param("factor"))
+        for _ in range(int(ctx.param("iterations"))):
+            updated = vertices.copy()
+            for index, neighbours in adjacency.items():
+                centroid = vertices[sorted(neighbours)].mean(axis=0)
+                updated[index] = (1 - factor) * vertices[index] \
+                    + factor * centroid
+            vertices = updated
+        return {"mesh": {
+            "vertices": [list(map(float, v)) for v in vertices],
+            "faces": [list(f) for f in faces],
+            "level": mesh.get("level"),
+            "smoothed": True,
+        }}
+
+    @registry.define("RenderMesh", inputs=[("mesh", "Mesh")],
+                     outputs=[("image", "Image")],
+                     params=[("size", 64), ("axis", 2)], category="vis")
+    def render_mesh(ctx):
+        """Depth-project mesh vertices along an axis into a raster image."""
+        mesh = ctx.require_input("mesh")
+        size = int(ctx.param("size"))
+        axis = int(ctx.param("axis")) % 3
+        image = np.zeros((size, size), dtype=np.float64)
+        vertices = np.array(mesh["vertices"], dtype=np.float64)
+        if len(vertices) == 0:
+            return {"image": image}
+        planar = [i for i in range(3) if i != axis]
+        coords = vertices[:, planar]
+        depth = vertices[:, axis]
+        low = coords.min(axis=0)
+        span = coords.max(axis=0) - low
+        span[span == 0] = 1.0
+        pixels = ((coords - low) / span * (size - 1)).astype(int)
+        for (u, v), d in zip(pixels, depth):
+            image[u, v] = max(image[u, v], d + 1.0)
+        return {"image": image}
+
+    @registry.define("EncodeImage", inputs=[("image", "Image")],
+                     outputs=[("data", "Bytes")],
+                     params=[("format", "pgm")], category="vis")
+    def encode_image(ctx):
+        """Encode a raster image to an on-disk byte format (PGM)."""
+        if ctx.param("format") != "pgm":
+            raise ValueError("only 'pgm' encoding is supported")
+        return {"data": encode_pgm(np.asarray(ctx.require_input("image")))}
+
+    @registry.define("DownloadFile", outputs=[("data", "Bytes")],
+                     params=[("url", "http://example.org/data.vtk")],
+                     category="vis")
+    def download_file(ctx):
+        """Simulated web download: deterministic bytes derived from the URL.
+
+        Stands in for the networked download of Figure 2's scenario; the
+        content is a seed header so ``ParseVolumeFile`` can regenerate a
+        volume deterministically from it.
+        """
+        url = str(ctx.param("url"))
+        digest = content_hash(url.encode("utf-8"))
+        seed = int(digest[:8], 16) % 10_000
+        payload = f"VOLSEED {seed} 24\nsource={url}\n".encode("ascii")
+        return {"data": payload}
+
+    @registry.define("ParseVolumeFile", inputs=[("data", "Bytes")],
+                     outputs=[("volume", "VolumeData")], category="vis")
+    def parse_volume_file(ctx):
+        """Decode bytes from ``DownloadFile`` into a scalar volume."""
+        data = ctx.require_input("data")
+        first_line = data.split(b"\n", 1)[0].decode("ascii")
+        token, seed, size = first_line.split()
+        if token != "VOLSEED":
+            raise ValueError("unrecognized volume file format")
+        return {"volume": synthetic_head_volume(size=int(size),
+                                                seed=int(seed))}
+
+    @registry.define("ImageStats", inputs=[("image", "Image")],
+                     outputs=[("table", "Table")], category="vis")
+    def image_stats(ctx):
+        """Summary statistics (min/max/mean/nonzero) of an image."""
+        image = np.asarray(ctx.require_input("image"))
+        return {"table": {"columns": {
+            "stat": ["min", "max", "mean", "nonzero"],
+            "value": [float(image.min()), float(image.max()),
+                      float(image.mean()),
+                      float(np.count_nonzero(image))],
+        }}}
+
+
+def _face_corners(base: Tuple[float, float, float],
+                  normal: Tuple[int, int, int]
+                  ) -> List[Tuple[float, float, float]]:
+    """Corner coordinates of the voxel face with outward ``normal``."""
+    i, j, k = base
+    di, dj, dk = normal
+    center = (i + 0.5 + 0.5 * di, j + 0.5 + 0.5 * dj, k + 0.5 + 0.5 * dk)
+    if di != 0:
+        spans = ((0, 0.5, 0.5), (0, 0.5, -0.5), (0, -0.5, -0.5),
+                 (0, -0.5, 0.5))
+    elif dj != 0:
+        spans = ((0.5, 0, 0.5), (0.5, 0, -0.5), (-0.5, 0, -0.5),
+                 (-0.5, 0, 0.5))
+    else:
+        spans = ((0.5, 0.5, 0), (0.5, -0.5, 0), (-0.5, -0.5, 0),
+                 (-0.5, 0.5, 0))
+    return [(center[0] + a, center[1] + b, center[2] + c)
+            for a, b, c in spans]

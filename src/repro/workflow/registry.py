@@ -1,0 +1,260 @@
+"""Module registry: executable definitions behind workflow module instances.
+
+A :class:`ModuleDefinition` declares a module type's interface (typed input and
+output ports, parameters with defaults) and its behaviour (a ``compute``
+callable).  Workflow specifications reference definitions only by name, which
+keeps prospective provenance serializable and lets multiple behavioural
+versions of a module coexist (the ``version`` field participates in cache keys
+and retrospective provenance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.workflow.errors import RegistryError
+from repro.workflow.types import TypeRegistry, default_type_registry
+
+__all__ = [
+    "PortSpec",
+    "ParameterSpec",
+    "ModuleContext",
+    "ModuleDefinition",
+    "ModuleRegistry",
+]
+
+
+@dataclass(frozen=True)
+class PortSpec:
+    """Declaration of one input or output port.
+
+    Attributes:
+        name: port name, unique within its direction.
+        type_name: port type (must exist in the type registry).
+        optional: input ports only — True when the port may be unconnected.
+        doc: one-line description.
+    """
+
+    name: str
+    type_name: str = "Any"
+    optional: bool = False
+    doc: str = ""
+
+
+@dataclass(frozen=True)
+class ParameterSpec:
+    """Declaration of a module parameter.
+
+    Attributes:
+        name: parameter name.
+        default: value used when the instance does not override it.
+        kind: one of ``"int" | "float" | "str" | "bool" | "json"``; used by
+            validation to reject ill-typed overrides.
+        doc: one-line description.
+    """
+
+    name: str
+    default: Any = None
+    kind: str = "json"
+    doc: str = ""
+
+    _CHECKS: Any = field(default=None, repr=False, compare=False)
+
+    def accepts(self, value: Any) -> bool:
+        """Return True when ``value`` is acceptable for this parameter."""
+        if self.kind == "json":
+            return True
+        if self.kind == "int":
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self.kind == "float":
+            return (isinstance(value, (int, float))
+                    and not isinstance(value, bool))
+        if self.kind == "str":
+            return isinstance(value, str)
+        if self.kind == "bool":
+            return isinstance(value, bool)
+        raise RegistryError(f"unknown parameter kind: {self.kind!r}")
+
+
+class ModuleContext:
+    """Everything a compute function may consult: inputs and parameters."""
+
+    def __init__(self, inputs: Mapping[str, Any],
+                 parameters: Mapping[str, Any],
+                 module_name: str = "") -> None:
+        self._inputs = dict(inputs)
+        self._parameters = dict(parameters)
+        self.module_name = module_name
+
+    def input(self, name: str, default: Any = None) -> Any:
+        """Value received on input port ``name`` (default if unconnected)."""
+        value = self._inputs.get(name)
+        return default if value is None else value
+
+    def require_input(self, name: str) -> Any:
+        """Value on port ``name``; raises KeyError when absent."""
+        if name not in self._inputs or self._inputs[name] is None:
+            raise KeyError(f"input port {name!r} received no value")
+        return self._inputs[name]
+
+    def param(self, name: str) -> Any:
+        """Resolved parameter value (instance override or default)."""
+        return self._parameters[name]
+
+    @property
+    def inputs(self) -> Dict[str, Any]:
+        """All bound input values by port name."""
+        return dict(self._inputs)
+
+    @property
+    def parameters(self) -> Dict[str, Any]:
+        """All resolved parameters by name."""
+        return dict(self._parameters)
+
+
+ComputeFn = Callable[[ModuleContext], Mapping[str, Any]]
+
+
+@dataclass
+class ModuleDefinition:
+    """A module type: interface plus behaviour.
+
+    The compute function receives a :class:`ModuleContext` and must return a
+    mapping from output-port name to value; the engine checks that every
+    declared output is produced.
+    """
+
+    type_name: str
+    compute: ComputeFn
+    input_ports: Tuple[PortSpec, ...] = ()
+    output_ports: Tuple[PortSpec, ...] = ()
+    parameters: Tuple[ParameterSpec, ...] = ()
+    category: str = "general"
+    doc: str = ""
+    version: str = "1.0"
+    deterministic: bool = True
+
+    def __post_init__(self) -> None:
+        inputs = [p.name for p in self.input_ports]
+        outputs = [p.name for p in self.output_ports]
+        if len(set(inputs)) != len(inputs):
+            raise RegistryError(
+                f"{self.type_name}: duplicate input port names")
+        if len(set(outputs)) != len(outputs):
+            raise RegistryError(
+                f"{self.type_name}: duplicate output port names")
+        names = [p.name for p in self.parameters]
+        if len(set(names)) != len(names):
+            raise RegistryError(
+                f"{self.type_name}: duplicate parameter names")
+
+    def input_port(self, name: str) -> Optional[PortSpec]:
+        """The input port named ``name``, or None."""
+        return next((p for p in self.input_ports if p.name == name), None)
+
+    def output_port(self, name: str) -> Optional[PortSpec]:
+        """The output port named ``name``, or None."""
+        return next((p for p in self.output_ports if p.name == name), None)
+
+    def parameter(self, name: str) -> Optional[ParameterSpec]:
+        """The parameter spec named ``name``, or None."""
+        return next((p for p in self.parameters if p.name == name), None)
+
+    def default_parameters(self) -> Dict[str, Any]:
+        """Mapping of parameter name to declared default."""
+        return {p.name: p.default for p in self.parameters}
+
+    def resolve_parameters(self, overrides: Mapping[str, Any]
+                           ) -> Dict[str, Any]:
+        """Merge instance overrides onto the declared defaults."""
+        resolved = self.default_parameters()
+        resolved.update(overrides)
+        return resolved
+
+
+class ModuleRegistry:
+    """Named collection of :class:`ModuleDefinition` objects.
+
+    The registry also owns the :class:`TypeRegistry` used to check port
+    compatibility, so one object fully describes the available vocabulary
+    for building workflows.
+    """
+
+    def __init__(self, types: Optional[TypeRegistry] = None) -> None:
+        self.types = types or default_type_registry()
+        self._definitions: Dict[str, ModuleDefinition] = {}
+
+    def register(self, definition: ModuleDefinition) -> ModuleDefinition:
+        """Add ``definition``; port types must already exist."""
+        if definition.type_name in self._definitions:
+            raise RegistryError(
+                f"module type already registered: {definition.type_name}")
+        for port in (*definition.input_ports, *definition.output_ports):
+            if port.type_name not in self.types:
+                raise RegistryError(
+                    f"{definition.type_name}: unknown port type "
+                    f"{port.type_name!r} on port {port.name!r}")
+        self._definitions[definition.type_name] = definition
+        return definition
+
+    def register_all(self, definitions: Iterable[ModuleDefinition]) -> None:
+        """Register every definition in ``definitions``."""
+        for definition in definitions:
+            self.register(definition)
+
+    def define(self, type_name: str, *,
+               inputs: Iterable[Tuple[str, str]] = (),
+               outputs: Iterable[Tuple[str, str]] = (),
+               params: Iterable[Tuple[str, Any]] = (),
+               category: str = "general", doc: str = "",
+               version: str = "1.0", deterministic: bool = True
+               ) -> Callable[[ComputeFn], ModuleDefinition]:
+        """Decorator form of :meth:`register` for concise module libraries.
+
+        >>> registry = ModuleRegistry()
+        >>> @registry.define("Add", inputs=[("a", "Number"), ("b", "Number")],
+        ...                  outputs=[("sum", "Number")])
+        ... def _add(ctx):
+        ...     return {"sum": ctx.input("a", 0) + ctx.input("b", 0)}
+        """
+        def wrap(compute: ComputeFn) -> ModuleDefinition:
+            definition = ModuleDefinition(
+                type_name=type_name,
+                compute=compute,
+                input_ports=tuple(PortSpec(n, t) for n, t in inputs),
+                output_ports=tuple(PortSpec(n, t) for n, t in outputs),
+                parameters=tuple(ParameterSpec(n, d) for n, d in params),
+                category=category,
+                doc=doc or (compute.__doc__ or "").strip(),
+                version=version,
+                deterministic=deterministic,
+            )
+            return self.register(definition)
+        return wrap
+
+    def get(self, type_name: str) -> ModuleDefinition:
+        """Return the definition for ``type_name``.
+
+        Raises :class:`RegistryError` when unknown.
+        """
+        if type_name not in self._definitions:
+            raise RegistryError(f"unknown module type: {type_name}")
+        return self._definitions[type_name]
+
+    def __contains__(self, type_name: str) -> bool:
+        return type_name in self._definitions
+
+    def __len__(self) -> int:
+        return len(self._definitions)
+
+    def type_names(self) -> List[str]:
+        """All registered type names, sorted."""
+        return sorted(self._definitions)
+
+    def by_category(self, category: str) -> List[ModuleDefinition]:
+        """All definitions in ``category``, sorted by type name."""
+        return sorted(
+            (d for d in self._definitions.values()
+             if d.category == category),
+            key=lambda d: d.type_name)

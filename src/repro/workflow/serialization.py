@@ -1,0 +1,104 @@
+"""JSON (de)serialization of workflow specifications.
+
+Prospective provenance must outlive the process that created it; workflows
+round-trip to plain JSON dictionaries here.  Behaviour is not serialized —
+a specification references module definitions by type name, and rehydrating
+an executable workflow requires a registry providing those types (exactly how
+workflow systems ship "packages" of modules separately from workflows).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO
+
+from repro.workflow.errors import SpecError
+from repro.workflow.spec import Connection, Module, Workflow
+
+__all__ = [
+    "workflow_to_dict",
+    "workflow_from_dict",
+    "dump_workflow",
+    "load_workflow",
+    "dumps_workflow",
+    "loads_workflow",
+]
+
+FORMAT_VERSION = 1
+
+
+def workflow_to_dict(workflow: Workflow) -> Dict[str, Any]:
+    """Convert ``workflow`` into a JSON-serializable dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "id": workflow.id,
+        "name": workflow.name,
+        "modules": [
+            {
+                "id": module.id,
+                "type": module.type_name,
+                "name": module.name,
+                "parameters": module.parameters,
+                "position": list(module.position),
+            }
+            for module in sorted(workflow.modules.values(),
+                                 key=lambda m: m.id)
+        ],
+        "connections": [
+            {
+                "id": connection.id,
+                "source_module": connection.source_module,
+                "source_port": connection.source_port,
+                "target_module": connection.target_module,
+                "target_port": connection.target_port,
+            }
+            for connection in sorted(workflow.connections.values(),
+                                     key=lambda c: c.id)
+        ],
+    }
+
+
+def workflow_from_dict(data: Dict[str, Any]) -> Workflow:
+    """Rebuild a :class:`Workflow` from :func:`workflow_to_dict` output."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise SpecError(f"unsupported workflow format version: {version!r}")
+    workflow = Workflow(name=data["name"], workflow_id=data["id"])
+    for module_data in data["modules"]:
+        workflow.add_module(Module(
+            id=module_data["id"],
+            type_name=module_data["type"],
+            name=module_data["name"],
+            parameters=dict(module_data.get("parameters", {})),
+            position=tuple(module_data.get("position", (0.0, 0.0))),
+        ))
+    for connection_data in data["connections"]:
+        workflow.add_connection(Connection(
+            id=connection_data["id"],
+            source_module=connection_data["source_module"],
+            source_port=connection_data["source_port"],
+            target_module=connection_data["target_module"],
+            target_port=connection_data["target_port"],
+        ))
+    return workflow
+
+
+def dumps_workflow(workflow: Workflow, indent: int = 2) -> str:
+    """Serialize ``workflow`` to a JSON string."""
+    return json.dumps(workflow_to_dict(workflow), indent=indent,
+                      sort_keys=True)
+
+
+def loads_workflow(text: str) -> Workflow:
+    """Deserialize a workflow from a JSON string."""
+    return workflow_from_dict(json.loads(text))
+
+
+def dump_workflow(workflow: Workflow, stream: IO[str]) -> None:
+    """Write ``workflow`` as JSON to an open text stream."""
+    stream.write(dumps_workflow(workflow))
+
+
+def load_workflow(stream: IO[str]) -> Workflow:
+    """Read a workflow from an open text stream containing JSON."""
+    return loads_workflow(stream.read())

@@ -1,0 +1,139 @@
+"""Port type system for scientific workflows.
+
+Scientific workflow systems (Kepler, Taverna, VisTrails) attach types to module
+ports so that workflow composition can be statically checked: a connection is
+valid only when the source port's type is a subtype of the target port's type.
+This module implements a small nominal type lattice with single inheritance
+rooted at ``ANY``, plus a registry of the built-in scientific types used by the
+standard module libraries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+__all__ = [
+    "PortType",
+    "TypeRegistry",
+    "BUILTIN_TYPES",
+    "default_type_registry",
+]
+
+
+@dataclass(frozen=True)
+class PortType:
+    """A named type in the port-type lattice.
+
+    Attributes:
+        name: unique type name, e.g. ``"Table"``.
+        parent: name of the supertype (None only for the root ``Any``).
+        description: human-readable description for documentation and UIs.
+    """
+
+    name: str
+    parent: Optional[str] = "Any"
+    description: str = ""
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class TypeRegistry:
+    """Holds the set of known port types and answers subtyping queries."""
+
+    def __init__(self) -> None:
+        self._types: Dict[str, PortType] = {}
+        self.register(PortType("Any", parent=None,
+                               description="Top type; accepts anything."))
+
+    def register(self, port_type: PortType) -> PortType:
+        """Add ``port_type``; its parent must already be registered."""
+        if port_type.name in self._types:
+            raise ValueError(f"type already registered: {port_type.name}")
+        if port_type.parent is not None and port_type.parent not in self._types:
+            raise ValueError(
+                f"parent type {port_type.parent!r} of {port_type.name!r} "
+                "is not registered")
+        self._types[port_type.name] = port_type
+        return port_type
+
+    def get(self, name: str) -> PortType:
+        """Return the type named ``name`` (KeyError if unknown)."""
+        return self._types[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def __iter__(self) -> Iterator[PortType]:
+        return iter(self._types.values())
+
+    def ancestors(self, name: str) -> Iterator[str]:
+        """Yield ``name`` and each supertype up to the root, in order."""
+        current: Optional[str] = name
+        while current is not None:
+            port_type = self._types[current]
+            yield port_type.name
+            current = port_type.parent
+
+    def is_subtype(self, sub: str, sup: str) -> bool:
+        """Return True when a value of type ``sub`` may flow into ``sup``."""
+        if sup == "Any":
+            return sub in self._types
+        return sup in set(self.ancestors(sub))
+
+    def common_supertype(self, first: str, second: str) -> str:
+        """Return the most specific common ancestor of the two types."""
+        firsts = list(self.ancestors(first))
+        seconds = set(self.ancestors(second))
+        for name in firsts:
+            if name in seconds:
+                return name
+        return "Any"
+
+
+#: The built-in scientific types shipped with the standard module libraries.
+BUILTIN_TYPES = (
+    PortType("Bytes", description="Raw byte string."),
+    PortType("String", description="Unicode text."),
+    PortType("Number", description="Any numeric scalar."),
+    PortType("Integer", parent="Number"),
+    PortType("Float", parent="Number"),
+    PortType("Boolean"),
+    PortType("List", description="Ordered collection of values."),
+    PortType("Mapping", description="Key/value dictionary."),
+    PortType("Table", description="Rows-and-columns tabular data."),
+    PortType("Array", description="N-dimensional numeric array."),
+    PortType("VolumeData", parent="Array",
+             description="3-D structured grid of scalars (e.g. a CT scan)."),
+    PortType("Image", parent="Array",
+             description="2-D raster image."),
+    PortType("Mesh", description="Triangle mesh (vertices + faces)."),
+    PortType("Histogram", parent="Table",
+             description="Binned frequency table."),
+    PortType("Sequence", parent="String",
+             description="Biological sequence (DNA/RNA/protein)."),
+    PortType("SequenceSet", parent="List",
+             description="Collection of biological sequences."),
+    PortType("Alignment", parent="Table",
+             description="Multiple sequence alignment."),
+    PortType("TimeSeries", parent="Table",
+             description="Timestamped observations."),
+    PortType("Model", description="Fitted statistical or physical model."),
+    PortType("BrainImage", parent="Array",
+             description="fMRI/anatomy image volume (Provenance Challenge)."),
+    PortType("ImageHeader", parent="Mapping",
+             description="Metadata header of a brain image."),
+    PortType("WarpParams", parent="Mapping",
+             description="Spatial normalization parameters (align_warp)."),
+    PortType("URL", parent="String"),
+    PortType("FilePath", parent="String"),
+)
+
+
+def default_type_registry() -> TypeRegistry:
+    """Return a fresh registry preloaded with all built-in types."""
+    registry = TypeRegistry()
+    for port_type in BUILTIN_TYPES:
+        registry.register(port_type)
+    return registry

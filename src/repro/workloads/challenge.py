@@ -1,0 +1,289 @@
+"""The First Provenance Challenge: the fMRI workflow and its nine queries.
+
+The challenge ([32] in the paper) defined a reference fMRI workflow — four
+anatomy images spatially normalized (align_warp), resliced, averaged
+(softmean), sliced along three axes and converted to graphics — plus nine
+provenance queries every participating system had to answer.  This module
+builds the workflow over the imaging library and implements all nine
+queries against this system's provenance (each documented with the original
+challenge wording, adapted to the synthetic data where the original referred
+to specific dates/values).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.annotations import AnnotationStore
+from repro.core.causality import causality_graph, upstream_executions
+from repro.core.manager import ProvenanceManager
+from repro.core.retrospective import WorkflowRun
+from repro.evolution.diff import diff_workflows
+from repro.workflow.spec import Module, Workflow
+
+__all__ = ["build_fmri_workflow", "ChallengeSession", "CHALLENGE_QUERIES"]
+
+#: Human-readable statement of each implemented query.
+CHALLENGE_QUERIES = {
+    "q1": "Find the process that led to Atlas X Graphic — everything in "
+          "its derivation history.",
+    "q2": "Find the process that led to Atlas X Graphic, excluding "
+          "everything prior to the averaging of images with softmean.",
+    "q3": "Find the Stage 3, 4 and 5 details (softmean, slicer, convert) "
+          "of the process that led to Atlas X Graphic.",
+    "q4": "Find all invocations of procedure align_warp using a twelfth "
+          "order nonlinear model that ran in the tagged session.",
+    "q5": "Find all Atlas Graphic images outputted from workflows where "
+          "at least one of the input Anatomy Headers had an entry global "
+          "maximum above a threshold.",
+    "q6": "Find all output averaged images of softmean procedures, where "
+          "the softmean was preceded, directly or indirectly, by an "
+          "align_warp with model parameter 12.",
+    "q7": "The workflow was run twice on different data; find the "
+          "differences between the two executions.",
+    "q8": "A user annotated some anatomy inputs with center=UChicago; "
+          "find align_warp outputs whose inputs carry that annotation.",
+    "q9": "A user annotated some atlas graphics with key studyModality; "
+          "find those graphics together with the annotation values.",
+}
+
+
+def build_fmri_workflow(size: int = 16, seed: int = 100,
+                        model: int = 12) -> Workflow:
+    """The challenge workflow: 4×(align_warp→reslice) → softmean →
+    3×(slicer→convert)."""
+    workflow = Workflow("fmri-challenge")
+    reference = workflow.add_module(Module(
+        "LoadReferenceImage", name="reference",
+        parameters={"size": size}))
+    softmean = workflow.add_module(Module("Softmean", name="softmean"))
+    for subject in (1, 2, 3, 4):
+        anatomy = workflow.add_module(Module(
+            "LoadAnatomyImage", name=f"anatomy{subject}",
+            parameters={"subject": subject, "size": size, "seed": seed}))
+        align = workflow.add_module(Module(
+            "AlignWarp", name=f"align{subject}",
+            parameters={"model": model}))
+        reslice = workflow.add_module(Module(
+            "Reslice", name=f"reslice{subject}"))
+        workflow.connect(anatomy.id, "image", align.id, "image")
+        workflow.connect(anatomy.id, "header", align.id, "header")
+        workflow.connect(reference.id, "image", align.id, "reference")
+        workflow.connect(reference.id, "header", align.id, "ref_header")
+        workflow.connect(anatomy.id, "image", reslice.id, "image")
+        workflow.connect(align.id, "warp", reslice.id, "warp")
+        workflow.connect(reslice.id, "image", softmean.id,
+                         f"image{subject}")
+    for axis in ("x", "y", "z"):
+        slicer = workflow.add_module(Module(
+            "Slicer", name=f"slicer_{axis}", parameters={"axis": axis}))
+        convert = workflow.add_module(Module(
+            "Convert", name=f"convert_{axis}"))
+        workflow.connect(softmean.id, "atlas", slicer.id, "image")
+        workflow.connect(softmean.id, "atlas_header", slicer.id, "header")
+        workflow.connect(slicer.id, "slice", convert.id, "slice")
+    return workflow
+
+
+@dataclass
+class ChallengeSession:
+    """One challenge setup: manager, workflow, run(s) and annotations."""
+
+    manager: ProvenanceManager
+    workflow: Workflow
+    run: WorkflowRun
+    second_run: Optional[WorkflowRun] = None
+
+    @classmethod
+    def create(cls, size: int = 16, seed: int = 100,
+               with_second_run: bool = True) -> "ChallengeSession":
+        """Run the challenge workflow (twice when requested) + annotate."""
+        manager = ProvenanceManager()
+        workflow = build_fmri_workflow(size=size, seed=seed)
+        run = manager.run(workflow, tags={"session": "challenge",
+                                          "day": "monday"})
+        second = None
+        if with_second_run:
+            second = manager.run(
+                workflow,
+                parameter_overrides={
+                    module.id: {"seed": seed + 50}
+                    for module in workflow.modules.values()
+                    if module.type_name == "LoadAnatomyImage"},
+                tags={"session": "challenge-repeat", "day": "tuesday"})
+        session = cls(manager=manager, workflow=workflow, run=run,
+                      second_run=second)
+        session._annotate()
+        return session
+
+    def _annotate(self) -> None:
+        # Q8 setup: tag two anatomy image artifacts with a center.
+        for name in ("anatomy1", "anatomy2"):
+            artifact = self._output_artifact(name, "image")
+            self.manager.annotate("artifact", artifact, "center",
+                                  "UChicago", author="alice")
+        # Q9 setup: tag the x/y atlas graphics with a study modality.
+        for axis, modality in (("x", "speech"), ("y", "visual")):
+            artifact = self._output_artifact(f"convert_{axis}", "graphic")
+            self.manager.annotate("artifact", artifact, "studyModality",
+                                  modality, author="bob")
+
+    # -- helpers ------------------------------------------------------------
+    def _module_id(self, name: str) -> str:
+        for module in self.workflow.modules.values():
+            if module.name == name:
+                return module.id
+        raise KeyError(name)
+
+    def _output_artifact(self, module_name: str, port: str,
+                         run: Optional[WorkflowRun] = None) -> str:
+        run = run or self.run
+        artifact = run.artifacts_for_module(self._module_id(module_name),
+                                            port)
+        if artifact is None:
+            raise KeyError(f"{module_name}.{port} produced nothing")
+        return artifact.id
+
+    def atlas_x_graphic(self) -> str:
+        """The Atlas X Graphic artifact id of the first run."""
+        return self._output_artifact("convert_x", "graphic")
+
+    # -- the nine queries ---------------------------------------------------
+    def q1(self) -> Dict[str, List[str]]:
+        """Full derivation history of Atlas X Graphic."""
+        return self.manager.query(
+            f"LINEAGE OF '{self.atlas_x_graphic()}'", self.run)
+
+    def q2(self) -> Dict[str, List[str]]:
+        """History of Atlas X Graphic, cut at (and including) softmean."""
+        full = self.q1()
+        graph = causality_graph(self.run, include_derivations=False)
+        softmean_exec = self.run.execution_for_module(
+            self._module_id("softmean"))
+        before_softmean = graph.reachable(
+            softmean_exec.id, labels={"used", "wasGeneratedBy"})
+        return {
+            "artifact": full["artifact"],
+            "executions": sorted(set(full["executions"])
+                                 - before_softmean),
+            "artifacts": sorted(set(full["artifacts"])
+                                - before_softmean),
+        }
+
+    def q3(self) -> List[Dict[str, Any]]:
+        """Stage 3-5 executions (softmean, slicer, convert) behind Atlas X."""
+        graph = causality_graph(self.run, include_derivations=False)
+        executions = upstream_executions(graph, self.atlas_x_graphic())
+        rows = []
+        for execution_id in sorted(executions):
+            execution = self.run.execution(execution_id)
+            if execution.module_type in ("Softmean", "Slicer", "Convert"):
+                rows.append({"id": execution.id,
+                             "module": execution.module_name,
+                             "type": execution.module_type,
+                             "parameters": execution.parameters})
+        return rows
+
+    def q4(self) -> List[Dict[str, Any]]:
+        """align_warp invocations with model=12 in the tagged session."""
+        if self.run.tags.get("day") != "monday":
+            return []
+        return self.manager.query(
+            "EXECUTIONS WHERE module.type = 'AlignWarp' "
+            "AND param.model = 12", self.run)
+
+    def q5(self, threshold: float = 95.0) -> List[str]:
+        """Atlas graphics whose run consumed an anatomy header with
+        global_maximum above ``threshold``."""
+        exceeded = False
+        for subject in (1, 2, 3, 4):
+            header_artifact = self._output_artifact(f"anatomy{subject}",
+                                                    "header")
+            header = self.run.value(header_artifact)
+            if header.get("global_maximum", 0.0) > threshold:
+                exceeded = True
+                break
+        if not exceeded:
+            return []
+        return [self._output_artifact(f"convert_{axis}", "graphic")
+                for axis in ("x", "y", "z")]
+
+    def q6(self) -> List[str]:
+        """softmean outputs preceded (transitively) by align_warp m=12."""
+        graph = causality_graph(self.run, include_derivations=False)
+        results = []
+        for execution in self.run.executions:
+            if execution.module_type != "Softmean":
+                continue
+            history = upstream_executions(
+                graph, execution.outputs[0].artifact_id)
+            for upstream_id in history:
+                upstream = self.run.execution(upstream_id)
+                if (upstream.module_type == "AlignWarp"
+                        and upstream.parameters.get("model") == 12):
+                    results.extend(b.artifact_id
+                                   for b in execution.outputs
+                                   if b.port == "atlas")
+                    break
+        return sorted(set(results))
+
+    def q7(self) -> Dict[str, Any]:
+        """Differences between the two runs of the workflow."""
+        if self.second_run is None:
+            raise ValueError("session was created without a second run")
+        spec_diff = diff_workflows(self.workflow, self.workflow)
+        first_hashes = {
+            (e.module_id, b.port): self.run.artifacts[
+                b.artifact_id].value_hash
+            for e in self.run.executions for b in e.outputs}
+        second_hashes = {
+            (e.module_id, b.port): self.second_run.artifacts[
+                b.artifact_id].value_hash
+            for e in self.second_run.executions for b in e.outputs}
+        differing = sorted(
+            f"{self.workflow.modules[module_id].name}.{port}"
+            for (module_id, port) in first_hashes
+            if second_hashes.get((module_id, port))
+            != first_hashes[(module_id, port)])
+        param_diffs = {}
+        for execution in self.second_run.executions:
+            first_exec = self.run.execution_for_module(
+                execution.module_id)
+            if first_exec and first_exec.parameters != execution.parameters:
+                param_diffs[execution.module_name] = {
+                    "first": first_exec.parameters,
+                    "second": execution.parameters}
+        return {"spec_identical": spec_diff.is_empty(),
+                "parameter_differences": param_diffs,
+                "differing_outputs": differing}
+
+    def q8(self) -> List[str]:
+        """align_warp outputs whose inputs carry center=UChicago."""
+        annotated = {
+            annotation.target_id
+            for annotation in self.manager.annotations.by_key("center")
+            if annotation.value == "UChicago"}
+        results = []
+        for execution in self.run.executions:
+            if execution.module_type != "AlignWarp":
+                continue
+            input_ids = {binding.artifact_id
+                         for binding in execution.inputs}
+            if input_ids & annotated:
+                results.extend(binding.artifact_id
+                               for binding in execution.outputs)
+        return sorted(set(results))
+
+    def q9(self) -> List[Tuple[str, Any]]:
+        """Atlas graphics annotated with studyModality, with values."""
+        found = []
+        for annotation in self.manager.annotations.by_key(
+                "studyModality"):
+            found.append((annotation.target_id, annotation.value))
+        return sorted(found)
+
+    def all_queries(self) -> Dict[str, Any]:
+        """Run every query; returns {query id: result}."""
+        return {name: getattr(self, name)()
+                for name in sorted(CHALLENGE_QUERIES)}

@@ -1,0 +1,142 @@
+"""Reference workflows for the paper's motivating domains.
+
+One builder per domain, each returning a ready-to-run workflow over the
+standard module libraries.  These are the workloads used by examples, the
+social-collaboratory corpus and several benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.workflow.spec import Module, Workflow
+
+__all__ = [
+    "build_vis_workflow", "build_fig2_pair", "build_genomics_workflow",
+    "build_enviro_workflow", "domain_corpus",
+]
+
+
+def build_vis_workflow(size: int = 16, level: float = 100.0,
+                       bins: int = 16) -> Workflow:
+    """The Figure 1 pipeline: head volume → histogram and isosurface."""
+    workflow = Workflow("visualization-head")
+    load = workflow.add_module(Module("LoadVolume", name="load",
+                                      parameters={"size": size}))
+    hist = workflow.add_module(Module("ComputeHistogram", name="hist",
+                                      parameters={"bins": bins}))
+    render_hist = workflow.add_module(Module("RenderHistogram",
+                                             name="render_hist"))
+    iso = workflow.add_module(Module("IsosurfaceExtract", name="iso",
+                                     parameters={"level": level}))
+    render_mesh = workflow.add_module(Module("RenderMesh",
+                                             name="render_mesh"))
+    encode = workflow.add_module(Module("EncodeImage", name="encode"))
+    workflow.connect(load.id, "volume", hist.id, "volume")
+    workflow.connect(hist.id, "histogram", render_hist.id, "histogram")
+    workflow.connect(load.id, "volume", iso.id, "volume")
+    workflow.connect(iso.id, "mesh", render_mesh.id, "mesh")
+    workflow.connect(render_mesh.id, "image", encode.id, "image")
+    return workflow
+
+
+def build_fig2_pair(url: str = "http://example.org/head.vtk",
+                    level: float = 80.0
+                    ) -> Tuple[Workflow, Workflow]:
+    """The Figure 2 analogy template pair.
+
+    ``before``: download a file from the Web and create a simple
+    visualization.  ``after``: the same workflow with the resulting
+    visualization smoothed (a SmoothMesh inserted before rendering).
+    """
+    before = Workflow("download-vis")
+    download = before.add_module(Module("DownloadFile", name="download",
+                                        parameters={"url": url}))
+    parse = before.add_module(Module("ParseVolumeFile", name="parse"))
+    iso = before.add_module(Module("IsosurfaceExtract", name="iso",
+                                   parameters={"level": level}))
+    render = before.add_module(Module("RenderMesh", name="render"))
+    before.connect(download.id, "data", parse.id, "data")
+    before.connect(parse.id, "volume", iso.id, "volume")
+    before.connect(iso.id, "mesh", render.id, "mesh")
+
+    after = before.copy()
+    after.name = "download-vis-smoothed"
+    smooth = after.add_module(Module("SmoothMesh", name="smooth",
+                                     parameters={"iterations": 3}))
+    old_edge = [c for c in after.connections.values()
+                if c.target_module == render.id][0]
+    after.remove_connection(old_edge.id)
+    after.connect(iso.id, "mesh", smooth.id, "mesh")
+    after.connect(smooth.id, "mesh", render.id, "mesh")
+    return before, after
+
+
+def build_genomics_workflow(count: int = 10, length: int = 60,
+                            seed: int = 11) -> Workflow:
+    """Genomics pipeline: reads → QC → consensus → variants + GC table."""
+    workflow = Workflow("genomics-consensus")
+    reads = workflow.add_module(Module(
+        "SyntheticReads", name="sequencer",
+        parameters={"count": count, "length": length, "seed": seed}))
+    qc = workflow.add_module(Module("QualityFilter", name="qc"))
+    consensus = workflow.add_module(Module("ConsensusCall",
+                                           name="consensus"))
+    variants = workflow.add_module(Module("VariantTable", name="variants"))
+    gc = workflow.add_module(Module("GCContent", name="gc"))
+    workflow.connect(reads.id, "reads", qc.id, "reads")
+    workflow.connect(qc.id, "reads", consensus.id, "reads")
+    workflow.connect(consensus.id, "consensus", variants.id, "consensus")
+    workflow.connect(reads.id, "reference", variants.id, "reference")
+    workflow.connect(qc.id, "reads", gc.id, "reads")
+    return workflow
+
+
+def build_enviro_workflow(days: int = 14, seed: int = 3,
+                          horizon: int = 24) -> Workflow:
+    """Environmental-forecast pipeline: ingest → clean → fill → fit →
+    forecast, plus an hour-of-day summary."""
+    workflow = Workflow("enviro-forecast")
+    ingest = workflow.add_module(Module(
+        "SensorIngest", name="ingest",
+        parameters={"days": days, "seed": seed}))
+    clean = workflow.add_module(Module("CleanSeries", name="clean"))
+    fill = workflow.add_module(Module("InterpolateGaps", name="fill"))
+    fit = workflow.add_module(Module("FitAR", name="fit"))
+    forecast = workflow.add_module(Module(
+        "Forecast", name="forecast", parameters={"horizon": horizon}))
+    summary = workflow.add_module(Module("SeasonalSummary",
+                                         name="summary"))
+    workflow.connect(ingest.id, "series", clean.id, "series")
+    workflow.connect(clean.id, "series", fill.id, "series")
+    workflow.connect(fill.id, "series", fit.id, "series")
+    workflow.connect(fill.id, "series", forecast.id, "series")
+    workflow.connect(fit.id, "model", forecast.id, "model")
+    workflow.connect(fill.id, "series", summary.id, "series")
+    return workflow
+
+
+def domain_corpus(variants: int = 3) -> Dict[str, Workflow]:
+    """A small corpus of domain workflows with parameter variants.
+
+    Used to seed the social collaboratory and the mining benchmarks.
+    """
+    corpus: Dict[str, Workflow] = {}
+    for index in range(variants):
+        vis = build_vis_workflow(size=12 + 2 * index,
+                                 level=80.0 + 10 * index)
+        vis.name = f"visualization-head-v{index}"
+        corpus[vis.id] = vis
+        gen = build_genomics_workflow(count=8 + index, seed=11 + index)
+        gen.name = f"genomics-consensus-v{index}"
+        corpus[gen.id] = gen
+        env = build_enviro_workflow(days=7 + 7 * index, seed=3 + index)
+        env.name = f"enviro-forecast-v{index}"
+        corpus[env.id] = env
+        before, after = build_fig2_pair(
+            url=f"http://example.org/data{index}.vtk")
+        before.name = f"download-vis-v{index}"
+        after.name = f"download-vis-smoothed-v{index}"
+        corpus[before.id] = before
+        corpus[after.id] = after
+    return corpus

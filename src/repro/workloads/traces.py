@@ -1,0 +1,47 @@
+"""Synthetic provenance corpora: many runs for storage/query benchmarks."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.manager import ProvenanceManager
+from repro.core.retrospective import WorkflowRun
+from repro.workloads.domains import domain_corpus
+from repro.workloads.generators import random_workflow
+
+__all__ = ["synthetic_corpus", "domain_run_corpus"]
+
+
+def synthetic_corpus(runs: int = 20, *, modules: int = 15,
+                     seed: int = 0, work: int = 5,
+                     manager: Optional[ProvenanceManager] = None
+                     ) -> Tuple[ProvenanceManager, List[WorkflowRun]]:
+    """Execute ``runs`` random workflows and return (manager, runs).
+
+    Workflow shapes vary with the run index so the corpus is heterogeneous;
+    caching is disabled to make every execution a full trace.
+    """
+    manager = manager or ProvenanceManager(use_cache=False,
+                                           keep_values=False)
+    captured: List[WorkflowRun] = []
+    for index in range(runs):
+        workflow = random_workflow(modules=modules,
+                                   width=3 + index % 3,
+                                   seed=seed + index, work=work)
+        captured.append(manager.run(workflow,
+                                    tags={"corpus": "synthetic",
+                                          "index": index}))
+    return manager, captured
+
+
+def domain_run_corpus(variants: int = 2,
+                      manager: Optional[ProvenanceManager] = None
+                      ) -> Tuple[ProvenanceManager, List[WorkflowRun]]:
+    """Run every domain workflow (with variants); return (manager, runs)."""
+    manager = manager or ProvenanceManager(use_cache=False)
+    captured: List[WorkflowRun] = []
+    for workflow in domain_corpus(variants=variants).values():
+        captured.append(manager.run(workflow,
+                                    tags={"corpus": "domain",
+                                          "name": workflow.name}))
+    return manager, captured

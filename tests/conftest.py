@@ -1,0 +1,85 @@
+"""Shared fixtures: registries, reference workflows, managers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ProvenanceManager
+from repro.workflow import Executor, Module, ResultCache, Workflow
+from repro.workflow.modules import standard_registry
+
+
+@pytest.fixture(scope="session")
+def registry():
+    """One standard module registry shared across the test session."""
+    return standard_registry()
+
+
+@pytest.fixture()
+def executor(registry):
+    """A fresh executor (no cache) per test."""
+    return Executor(registry)
+
+
+@pytest.fixture()
+def caching_executor(registry):
+    """A fresh executor with result caching per test."""
+    return Executor(registry, cache=ResultCache())
+
+
+def build_fig1_workflow(size: int = 12, level: float = 90.0) -> Workflow:
+    """The Figure 1 pipeline: volume -> (histogram branch, isosurface branch).
+
+    Returns the workflow; module ids are discoverable via instance names
+    'load', 'hist', 'render_hist', 'iso', 'render_mesh'.
+    """
+    workflow = Workflow("figure1")
+    load = workflow.add_module(Module("LoadVolume", name="load",
+                                      parameters={"size": size}))
+    hist = workflow.add_module(Module("ComputeHistogram", name="hist"))
+    render_hist = workflow.add_module(Module("RenderHistogram",
+                                             name="render_hist"))
+    iso = workflow.add_module(Module("IsosurfaceExtract", name="iso",
+                                     parameters={"level": level}))
+    render_mesh = workflow.add_module(Module("RenderMesh",
+                                             name="render_mesh"))
+    workflow.connect(load.id, "volume", hist.id, "volume")
+    workflow.connect(hist.id, "histogram", render_hist.id, "histogram")
+    workflow.connect(load.id, "volume", iso.id, "volume")
+    workflow.connect(iso.id, "mesh", render_mesh.id, "mesh")
+    return workflow
+
+
+def build_chain_workflow(length: int = 4, work: int = 10) -> Workflow:
+    """A linear chain: Constant -> SpinCompute x length."""
+    workflow = Workflow("chain")
+    first = workflow.add_module(Module("Constant", name="source",
+                                       parameters={"value": 1.0}))
+    previous_id, previous_port = first.id, "value"
+    for index in range(length):
+        module = workflow.add_module(Module(
+            "SpinCompute", name=f"stage{index}",
+            parameters={"work": work}))
+        workflow.connect(previous_id, previous_port, module.id, "value")
+        previous_id, previous_port = module.id, "value"
+    return workflow
+
+
+def module_by_name(workflow: Workflow, name: str) -> Module:
+    """Find a module instance by its user-facing name."""
+    for module in workflow.modules.values():
+        if module.name == name:
+            return module
+    raise KeyError(name)
+
+
+@pytest.fixture()
+def fig1_workflow():
+    """Fresh Figure-1 workflow."""
+    return build_fig1_workflow()
+
+
+@pytest.fixture()
+def manager():
+    """Fresh in-memory ProvenanceManager."""
+    return ProvenanceManager()

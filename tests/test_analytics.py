@@ -1,0 +1,197 @@
+"""Tests for analytics: statistics, summarization, mining, recommendation,
+rendering."""
+
+import pytest
+
+from repro.analytics import (Recommender, ascii_table, collapse_chains,
+                             cooccurrence, corpus_statistics,
+                             frequent_paths, graph_statistics,
+                             mine_vistrail, run_report, run_statistics,
+                             run_to_dot, successor_model, type_summary,
+                             vistrail_to_dot, workflow_to_dot)
+from repro.core import ProvenanceManager, causality_graph
+from repro.workloads import (build_genomics_workflow, build_vis_workflow,
+                             domain_corpus, random_edit_session)
+
+
+@pytest.fixture(scope="module")
+def vis_run():
+    manager = ProvenanceManager()
+    workflow = build_vis_workflow(size=8)
+    run = manager.run(workflow)
+    return manager, workflow, run
+
+
+class TestStats:
+    def test_run_statistics(self, vis_run):
+        _, workflow, run = vis_run
+        stats = run_statistics(run)
+        assert stats["executions"] == len(workflow.modules)
+        assert stats["status_counts"] == {"ok": 6}
+        assert stats["cached_fraction"] == 0.0
+        assert stats["artifact_bytes_hint"] > 0
+
+    def test_graph_statistics(self, vis_run):
+        _, _, run = vis_run
+        stats = graph_statistics(
+            causality_graph(run, include_derivations=False))
+        assert stats["nodes"] == 13
+        assert stats["longest_path"] >= 7
+        assert stats["kind_counts"]["execution"] == 6
+
+    def test_corpus_statistics(self, vis_run):
+        manager, workflow, run = vis_run
+        second = manager.run(workflow)
+        stats = corpus_statistics([run, second])
+        assert stats["runs"] == 2
+        assert stats["total_executions"] == 12
+        assert stats["failed_runs"] == 0
+
+
+class TestSummarize:
+    def test_collapse_chains_reduces_linear_runs(self, vis_run):
+        _, _, run = vis_run
+        graph = causality_graph(run, include_derivations=False)
+        collapsed = collapse_chains(graph)
+        assert collapsed.node_count < graph.node_count
+        composites = [attrs for _, attrs
+                      in collapsed.nodes("composite")]
+        assert composites  # at least one chain got collapsed
+
+    def test_collapse_preserves_branch_structure(self, vis_run):
+        _, _, run = vis_run
+        graph = causality_graph(run, include_derivations=False)
+        collapsed = collapse_chains(graph)
+        # volume artifact has two consumers: must survive as its own node
+        volume_nodes = [node for node, attrs in collapsed.nodes()
+                        if attrs.get("type_name") == "VolumeData"]
+        assert volume_nodes
+
+    def test_type_summary_size_independent(self, vis_run):
+        manager, workflow, run = vis_run
+        summary = type_summary(run)
+        # one node per module type + one per artifact type
+        type_count = len({m.type_name
+                          for m in workflow.modules.values()})
+        assert len(summary.node_ids("execution")) == type_count
+        counts = [attrs["count"] for _, attrs in summary.nodes()]
+        assert all(count >= 1 for count in counts)
+
+
+class TestMining:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return list(domain_corpus(variants=3).values())
+
+    def test_frequent_paths_support(self, corpus):
+        paths = frequent_paths(corpus, min_support=3)
+        assert ("LoadVolume", "IsosurfaceExtract") in paths
+        assert paths[("LoadVolume", "IsosurfaceExtract")] >= 3
+
+    def test_apriori_monotonicity(self, corpus):
+        paths = frequent_paths(corpus, min_support=2, max_length=3)
+        for path, support in paths.items():
+            if len(path) == 3:
+                prefix = path[:2]
+                assert paths.get(prefix, 0) >= support
+
+    def test_cooccurrence_symmetric_pairs(self, corpus):
+        pairs = cooccurrence(corpus)
+        assert all(first <= second for first, second in pairs)
+        assert pairs[("IsosurfaceExtract", "RenderMesh")] >= 3
+
+    def test_successor_model_probabilities(self, corpus):
+        model = successor_model(corpus)
+        for distribution in model.values():
+            assert abs(sum(distribution.values()) - 1.0) < 1e-9
+        assert "SmoothMesh" in model.get("IsosurfaceExtract", {})
+
+    def test_mine_vistrail(self):
+        vistrail = random_edit_session(actions=30, seed=4)
+        stats = mine_vistrail(vistrail)
+        assert stats["versions"] == len(vistrail)
+        assert stats["branches"] == len(vistrail.leaves())
+        assert sum(stats["action_kinds"].values()) == len(vistrail) - 1
+
+
+class TestRecommender:
+    @pytest.fixture(scope="class")
+    def recommender(self):
+        manager = ProvenanceManager()
+        corpus = list(domain_corpus(variants=3).values())
+        return manager, Recommender(corpus, manager.registry)
+
+    def test_suggests_from_corpus(self, recommender):
+        manager, engine = recommender
+        draft = manager.new_workflow("draft")
+        manager.add_module(draft, "LoadVolume")
+        suggestions = engine.suggest(draft)
+        types = [s.module_type for s in suggestions]
+        assert "IsosurfaceExtract" in types or "ComputeHistogram" in types
+
+    def test_suggestions_type_compatible(self, recommender):
+        manager, engine = recommender
+        draft = manager.new_workflow("draft")
+        manager.add_module(draft, "SyntheticReads")
+        for suggestion in engine.suggest(draft):
+            out_port, in_port = suggestion.via_ports
+            source = manager.registry.get("SyntheticReads")
+            target = manager.registry.get(suggestion.module_type)
+            out_type = source.output_port(out_port).type_name
+            in_type = target.input_port(in_port).type_name
+            assert manager.registry.types.is_subtype(out_type, in_type)
+
+    def test_apply_suggestion_builds_valid_workflow(self, recommender):
+        manager, engine = recommender
+        draft = manager.new_workflow("draft")
+        manager.add_module(draft, "LoadVolume")
+        suggestions = engine.suggest(draft)
+        engine.apply_suggestion(draft, suggestions[0])
+        from repro.workflow import check_workflow
+        errors = [issue for issue in
+                  check_workflow(draft, manager.registry)
+                  if issue.is_error()]
+        assert errors == []
+
+    def test_frontier_detection(self, recommender):
+        manager, engine = recommender
+        draft = manager.new_workflow("draft")
+        load = manager.add_module(draft, "LoadVolume")
+        iso = manager.add_module(draft, "IsosurfaceExtract")
+        draft.connect(load.id, "volume", iso.id, "volume")
+        # load still has header unconsumed; iso has mesh unconsumed
+        assert set(engine.frontier(draft)) == {load.id, iso.id}
+
+
+class TestRendering:
+    def test_workflow_dot(self, vis_run):
+        _, workflow, _ = vis_run
+        dot = workflow_to_dot(workflow)
+        assert dot.startswith("digraph")
+        for module in workflow.modules.values():
+            assert module.id in dot
+
+    def test_run_dot(self, vis_run):
+        _, _, run = vis_run
+        dot = run_to_dot(run)
+        assert "wasGeneratedBy" in dot
+
+    def test_vistrail_dot(self):
+        vistrail = random_edit_session(actions=5, seed=0)
+        dot = vistrail_to_dot(vistrail)
+        assert "doubleoctagon" in dot  # current version marked
+
+    def test_ascii_table(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 2.5, "b": "y" * 60}]
+        table = ascii_table(rows)
+        assert "a" in table.splitlines()[0]
+        assert "..." in table  # long value truncated
+
+    def test_ascii_table_empty(self):
+        assert ascii_table([]) == "(empty)"
+
+    def test_run_report_mentions_products(self, vis_run):
+        _, _, run = vis_run
+        report = run_report(run)
+        assert "data products" in report
+        assert "status: ok" in report

@@ -1,0 +1,256 @@
+"""Tests for the application layer: reproduce, invalidate, explore, social,
+education."""
+
+import pytest
+
+from repro.apps import (Assignment, ClassSession, Collaboratory,
+                        compare_products, detect_similar_submissions,
+                        invalidate_by_hash, invalidate_in_run,
+                        parameter_sweep, rerun, validate_reproduction)
+from repro.core import ProvenanceManager
+from repro.workflow import Module, Workflow
+from repro.workloads import (build_genomics_workflow, build_vis_workflow,
+                             random_edit_session)
+from tests.conftest import module_by_name
+
+
+@pytest.fixture()
+def vis_setup():
+    manager = ProvenanceManager()
+    workflow = build_vis_workflow(size=8)
+    run = manager.run(workflow)
+    return manager, workflow, run
+
+
+class TestReproduce:
+    def test_deterministic_workflow_reproduces(self, vis_setup):
+        manager, workflow, run = vis_setup
+        reproduction = rerun(run, manager.registry)
+        report = validate_reproduction(run, reproduction)
+        assert report.reproducible
+        # load(volume+header), hist, render_hist, iso, render_mesh, encode
+        assert len(report.matching) == 7
+        assert report.mismatched == []
+        assert "REPRODUCED" in report.summary()
+
+    def test_nondeterminism_detected(self):
+        manager = ProvenanceManager(use_cache=False)
+        workflow = manager.new_workflow("lucky")
+        manager.add_module(workflow, "RandomNumber")
+        run = manager.run(workflow)
+        reproduction = rerun(run, manager.registry)
+        report = validate_reproduction(run, reproduction)
+        assert not report.reproducible
+        assert len(report.mismatched) == 1
+
+    def test_reproduction_tagged_with_origin(self, vis_setup):
+        manager, _, run = vis_setup
+        reproduction = rerun(run, manager.registry)
+        assert reproduction.tags["reproduction_of"] == run.id
+
+    def test_rerun_stores_when_asked(self, vis_setup):
+        manager, _, run = vis_setup
+        before = len(manager.store.list_runs())
+        rerun(run, manager.registry, store=manager.store)
+        assert len(manager.store.list_runs()) == before + 1
+
+
+class TestInvalidation:
+    def test_in_run_propagation(self, vis_setup):
+        _, workflow, run = vis_setup
+        load = module_by_name(workflow, "load")
+        volume = run.artifacts_for_module(load.id, "volume")
+        tainted = invalidate_in_run(run, volume.id)
+        assert len(tainted) == 5  # everything downstream of the volume
+
+    def test_store_wide_propagation(self, vis_setup):
+        manager, workflow, run = vis_setup
+        second = manager.run(workflow)  # cached: same hashes
+        load = module_by_name(workflow, "load")
+        volume = run.artifacts_for_module(load.id, "volume")
+        report = invalidate_by_hash(manager.store, volume.value_hash)
+        assert set(report.affected_runs) == {run.id, second.id}
+        assert report.clean_runs == []
+        assert report.total_invalidated >= 10
+
+    def test_unrelated_runs_stay_clean(self, vis_setup):
+        manager, workflow, run = vis_setup
+        other = manager.run(build_genomics_workflow())
+        load = module_by_name(workflow, "load")
+        volume = run.artifacts_for_module(load.id, "volume")
+        report = invalidate_by_hash(manager.store, volume.value_hash)
+        assert other.id in report.clean_runs
+
+    def test_affected_products_are_finals(self, vis_setup):
+        manager, workflow, run = vis_setup
+        load = module_by_name(workflow, "load")
+        volume = run.artifacts_for_module(load.id, "volume")
+        report = invalidate_by_hash(manager.store, volume.value_hash)
+        final_ids = {artifact.id for artifact in run.final_artifacts()}
+        assert set(report.affected_products[run.id]) <= final_ids
+
+
+class TestExploration:
+    def test_sweep_covers_grid(self, vis_setup):
+        manager, workflow, _ = vis_setup
+        iso = module_by_name(workflow, "iso")
+        result = parameter_sweep(
+            manager, workflow,
+            {(iso.id, "level"): [60.0, 90.0, 120.0]})
+        assert len(result.runs) == 3
+        assert result.run_for(level=90.0) is not None
+
+    def test_sweep_reuses_upstream(self, vis_setup):
+        manager, workflow, _ = vis_setup
+        iso = module_by_name(workflow, "iso")
+        result = parameter_sweep(
+            manager, workflow,
+            {(iso.id, "level"): [50.0, 70.0, 90.0, 110.0]})
+        # load/hist/render_hist identical in every run: high hit rate
+        assert result.cache_hit_rate > 0.4
+
+    def test_multi_parameter_grid(self, vis_setup):
+        manager, workflow, _ = vis_setup
+        iso = module_by_name(workflow, "iso")
+        hist = module_by_name(workflow, "hist")
+        result = parameter_sweep(
+            manager, workflow,
+            {(iso.id, "level"): [60.0, 90.0],
+             (hist.id, "bins"): [8, 16]})
+        assert len(result.runs) == 4
+
+    def test_compare_products(self, vis_setup):
+        manager, workflow, _ = vis_setup
+        iso = module_by_name(workflow, "iso")
+        load = module_by_name(workflow, "load")
+        result = parameter_sweep(
+            manager, workflow, {(iso.id, "level"): [60.0, 120.0]})
+        same = compare_products(result.runs[0], result.runs[1],
+                                load.id, "volume")
+        assert same["identical"]
+        different = compare_products(result.runs[0], result.runs[1],
+                                     iso.id, "mesh")
+        assert not different["identical"]
+
+
+class TestCollaboratory:
+    @pytest.fixture()
+    def community(self, vis_setup):
+        manager, workflow, run = vis_setup
+        collab = Collaboratory(manager.registry)
+        alice = collab.join("alice", "upenn")
+        bob = collab.join("bob", "utah")
+        entry = collab.publish(alice.id, workflow, "head visualization",
+                               description="histogram + isosurface",
+                               tags={"vis", "medical"}, runs=[run])
+        collab.publish(bob.id, build_genomics_workflow(),
+                       "consensus caller", tags={"genomics"})
+        return collab, alice, bob, entry
+
+    def test_keyword_search(self, community):
+        collab, *_ = community
+        assert len(collab.search("visual")) == 1
+        assert len(collab.search("genomics")) == 1
+        assert collab.search("nothing-here") == []
+
+    def test_module_type_search(self, community):
+        collab, *_ = community
+        found = collab.search_by_module_type("IsosurfaceExtract")
+        assert [entry.title for entry in found] == ["head visualization"]
+
+    def test_pattern_search(self, community):
+        collab, *_ = community
+        pattern = Workflow("pattern")
+        a = pattern.add_module(Module("QualityFilter"))
+        b = pattern.add_module(Module("ConsensusCall"))
+        pattern.connect(a.id, "reads", b.id, "reads")
+        found = collab.search_by_pattern(pattern)
+        assert [entry.title for entry in found] == ["consensus caller"]
+
+    def test_fork_tracks_origin_and_downloads(self, community):
+        collab, alice, bob, entry = community
+        fork = collab.fork(bob.id, entry.workflow.id)
+        assert fork.forked_from == entry.workflow.id
+        assert collab.published[entry.workflow.id].downloads == 1
+        assert fork.workflow.id != entry.workflow.id
+
+    def test_stars_rank_popular(self, community):
+        collab, alice, bob, entry = community
+        collab.star(bob.id, entry.workflow.id)
+        collab.star(bob.id, entry.workflow.id)  # idempotent
+        popular = collab.popular(top_k=1)
+        assert popular[0].title == "head visualization"
+        assert popular[0].star_count == 1
+
+    def test_crowd_recommendation(self, community):
+        collab, *_ = community
+        draft = Workflow("draft")
+        draft.add_module(Module("LoadVolume"))
+        suggestions = collab.suggest_completion(draft)
+        assert suggestions
+        assert all(0 < suggestion.score <= 1.0
+                   for suggestion in suggestions)
+
+    def test_statistics(self, community):
+        collab, alice, bob, entry = community
+        collab.star(bob.id, entry.workflow.id)
+        stats = collab.statistics()
+        assert stats["users"] == 2
+        assert stats["workflows"] == 2
+        assert stats["runs_shared"] == 1
+        assert stats["total_stars"] == 1
+
+    def test_unknown_user_rejected(self, community):
+        collab, *_ = community
+        with pytest.raises(KeyError):
+            collab.publish("user-ghost", Workflow("w"), "t")
+
+
+class TestEducation:
+    def test_class_session_replay(self):
+        vistrail = random_edit_session(actions=8, seed=3)
+        session = ClassSession(topic="provenance", instructor="davidson",
+                               vistrail=vistrail)
+        session.note(vistrail.current, "this is the key step")
+        lines = session.replay()
+        assert lines[0].startswith("Session: provenance")
+        assert any("note: this is the key step" in line
+                   for line in lines)
+
+    def test_assignment_pass(self, vis_setup):
+        _, _, run = vis_setup
+        assignment = Assignment(
+            title="hw1",
+            required_module_types={"LoadVolume", "IsosurfaceExtract"},
+            required_product_type="Bytes", min_steps=4)
+        report = assignment.grade("carol", run)
+        assert report.passed
+        assert report.points == report.max_points
+
+    def test_assignment_missing_step(self, vis_setup):
+        _, _, run = vis_setup
+        assignment = Assignment(
+            title="hw2", required_module_types={"Softmean"},
+            min_steps=2)
+        report = assignment.grade("dave", run)
+        assert not report.passed
+        assert any("MISSING required step Softmean" in finding
+                   for finding in report.findings)
+
+    def test_assignment_forbidden_module(self, vis_setup):
+        _, _, run = vis_setup
+        assignment = Assignment(
+            title="hw3", required_module_types={"LoadVolume"},
+            forbidden_module_types={"IsosurfaceExtract"}, min_steps=1)
+        report = assignment.grade("eve", run)
+        assert not report.passed
+
+    def test_plagiarism_detection(self, vis_setup):
+        manager, workflow, run = vis_setup
+        copied = manager.run(workflow)  # identical provenance
+        independent = manager.run(build_genomics_workflow())
+        flagged = detect_similar_submissions({
+            "carol": run, "dave": copied, "erin": independent})
+        pairs = {(first, second) for first, second, _ in flagged}
+        assert ("carol", "dave") in pairs
+        assert all("erin" not in pair for pair in pairs)

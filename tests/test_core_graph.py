@@ -1,0 +1,128 @@
+"""Tests for the typed provenance multigraph."""
+
+import pytest
+
+from repro.core.graph import ProvGraph
+
+
+def diamond():
+    """a -> b -> d, a -> c -> d (labels 'dep')."""
+    graph = ProvGraph()
+    for node in "abcd":
+        graph.add_node(node, "artifact")
+    graph.add_edge("b", "a", "dep")
+    graph.add_edge("c", "a", "dep")
+    graph.add_edge("d", "b", "dep")
+    graph.add_edge("d", "c", "dep")
+    return graph
+
+
+class TestConstruction:
+    def test_add_node_and_kind(self):
+        graph = ProvGraph()
+        graph.add_node("x", "execution", label="step")
+        assert graph.kind("x") == "execution"
+        assert graph.node("x")["label"] == "step"
+
+    def test_add_node_update_merges_attrs(self):
+        graph = ProvGraph()
+        graph.add_node("x", "artifact", a=1)
+        graph.add_node("x", "artifact", b=2)
+        assert graph.node("x") == {"kind": "artifact", "a": 1, "b": 2}
+        assert graph.node_count == 1
+
+    def test_edge_requires_endpoints(self):
+        graph = ProvGraph()
+        graph.add_node("x", "artifact")
+        with pytest.raises(KeyError):
+            graph.add_edge("x", "missing", "dep")
+
+    def test_edge_attrs(self):
+        graph = ProvGraph()
+        graph.add_node("x", "execution")
+        graph.add_node("y", "artifact")
+        edge = graph.add_edge("x", "y", "used", port="volume")
+        assert edge.attr("port") == "volume"
+        assert edge.attr("missing", "dflt") == "dflt"
+
+    def test_multi_edges_allowed(self):
+        graph = ProvGraph()
+        graph.add_node("x", "execution")
+        graph.add_node("y", "artifact")
+        graph.add_edge("x", "y", "used", port="a")
+        graph.add_edge("x", "y", "used", port="b")
+        assert graph.edge_count == 2
+        assert len(graph.out_edges("x", "used")) == 2
+
+
+class TestTraversal:
+    def test_reachable_out(self):
+        graph = diamond()
+        assert graph.reachable("d") == {"a", "b", "c"}
+
+    def test_reachable_in(self):
+        graph = diamond()
+        assert graph.reachable("a", direction="in") == {"b", "c", "d"}
+
+    def test_reachable_label_filter(self):
+        graph = diamond()
+        graph.add_node("e", "artifact")
+        graph.add_edge("d", "e", "other")
+        assert graph.reachable("d", labels={"dep"}) == {"a", "b", "c"}
+
+    def test_reachable_excludes_start(self):
+        graph = diamond()
+        assert "d" not in graph.reachable("d")
+
+    def test_reachable_unknown_raises(self):
+        with pytest.raises(KeyError):
+            diamond().reachable("zzz")
+
+    def test_paths_enumeration(self):
+        graph = diamond()
+        paths = graph.paths("d", "a")
+        assert paths == [["d", "b", "a"], ["d", "c", "a"]]
+
+    def test_paths_bounded(self):
+        graph = diamond()
+        assert len(graph.paths("d", "a", max_paths=1)) == 1
+
+    def test_topological_order(self):
+        graph = diamond()
+        order = graph.topological_order()
+        assert order.index("d") < order.index("b")
+        assert order.index("b") < order.index("a")
+
+    def test_topological_rejects_cycle(self):
+        graph = ProvGraph()
+        graph.add_node("x", "a")
+        graph.add_node("y", "a")
+        graph.add_edge("x", "y", "l")
+        graph.add_edge("y", "x", "l")
+        with pytest.raises(ValueError):
+            graph.topological_order()
+
+
+class TestSubgraphAndExport:
+    def test_subgraph_induced(self):
+        graph = diamond()
+        sub = graph.subgraph({"d", "b", "a"})
+        assert sub.node_count == 3
+        assert sub.edge_count == 2  # d->b, b->a
+
+    def test_to_networkx(self):
+        nx_graph = diamond().to_networkx()
+        assert nx_graph.number_of_nodes() == 4
+        assert nx_graph.number_of_edges() == 4
+
+    def test_to_dot_contains_nodes_and_shapes(self):
+        dot = diamond().to_dot(title="t")
+        assert 'digraph "t"' in dot
+        assert '"a" [label="a", shape=ellipse];' in dot
+        assert '"d" -> "b" [label="dep"];' in dot
+
+    def test_nodes_by_kind(self):
+        graph = diamond()
+        graph.add_node("p", "execution")
+        assert graph.node_ids("execution") == ["p"]
+        assert graph.node_ids("artifact") == ["a", "b", "c", "d"]

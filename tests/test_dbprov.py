@@ -1,0 +1,237 @@
+"""Tests for database provenance: semirings, algebra, the workflow bridge."""
+
+import pytest
+
+from repro.core import ProvenanceManager
+from repro.dbprov import (Join, PolynomialSemiring, Project, Scan, Select,
+                          Union, aggregate, base_relation,
+                          cross_layer_lineage, expr_from_dict, expr_to_dict,
+                          get_semiring, join, project, register_db_modules,
+                          rename, select, table_to_relation, union)
+from repro.dbprov.algebra import AlgebraError
+
+
+def sample_relations(semiring):
+    r = base_relation("R", ["a", "b"], [(1, 10), (2, 20), (2, 30)],
+                      semiring)
+    s = base_relation("S", ["b", "c"], [(10, "x"), (20, "y"), (30, "y")],
+                      semiring)
+    return r, s
+
+
+class TestSemirings:
+    def test_lookup(self):
+        assert get_semiring("why").name == "why"
+        with pytest.raises(KeyError):
+            get_semiring("quantum")
+
+    def test_boolean(self):
+        ring = get_semiring("boolean")
+        assert ring.plus(False, True) is True
+        assert ring.times(True, False) is False
+        assert ring.tag("t") is True
+
+    def test_counting_join_multiplicity(self):
+        ring = get_semiring("counting")
+        r, s = sample_relations(ring)
+        result = project(join(r, s, semiring=ring), ["c"],
+                         semiring=ring)
+        counts = dict(zip([row[0] for row in result.rows],
+                          result.annotations))
+        assert counts == {"x": 1, "y": 2}
+
+    def test_lineage_zero_annihilates(self):
+        ring = get_semiring("lineage")
+        assert ring.times(None, frozenset({"t"})) is None
+        assert ring.plus(None, frozenset({"t"})) == frozenset({"t"})
+
+    def test_why_witnesses(self):
+        ring = get_semiring("why")
+        combined = ring.times(ring.tag("t1"), ring.tag("t2"))
+        assert combined == frozenset([frozenset({"t1", "t2"})])
+        either = ring.plus(ring.tag("t1"), ring.tag("t2"))
+        assert len(either) == 2
+
+    def test_polynomial_algebra(self):
+        ring = PolynomialSemiring()
+        t1, t2 = ring.tag("t1"), ring.tag("t2")
+        square = ring.times(t1, t1)
+        assert square == {(("t1", 2),): 1}
+        total = ring.plus(ring.times(t1, t2), ring.times(t1, t2))
+        assert total == {(("t1", 1), ("t2", 1)): 2}
+        assert ring.render(total) == "2*t1*t2"
+        assert ring.variables(total) == frozenset({"t1", "t2"})
+
+    def test_polynomial_identities(self):
+        ring = PolynomialSemiring()
+        value = ring.tag("t")
+        assert ring.plus(value, ring.zero) == value
+        assert ring.times(value, ring.one) == value
+        assert ring.is_zero(ring.times(value, ring.zero))
+
+    def test_tropical_cheapest_derivation(self):
+        ring = get_semiring("tropical")
+        ring.set_cost("cheap", 1.0)
+        ring.set_cost("dear", 10.0)
+        joint = ring.times(ring.tag("cheap"), ring.tag("dear"))
+        assert joint == 11.0
+        best = ring.plus(joint, ring.tag("cheap"))
+        assert best == 1.0
+
+
+class TestAlgebra:
+    def test_select_preserves_annotations(self):
+        ring = get_semiring("lineage")
+        r, _ = sample_relations(ring)
+        result = select(r, lambda row: row["a"] == 2, semiring=ring)
+        assert len(result) == 2
+        assert all("R:" in next(iter(annotation))
+                   for annotation in result.annotations)
+
+    def test_project_merges_duplicates(self):
+        ring = get_semiring("lineage")
+        r, _ = sample_relations(ring)
+        result = project(r, ["a"], semiring=ring)
+        assert len(result) == 2
+        merged = result.annotation_of((2,))
+        assert merged == frozenset({"R:1", "R:2"})
+
+    def test_join_combines(self):
+        ring = PolynomialSemiring()
+        r, s = sample_relations(ring)
+        result = join(r, s, semiring=ring)
+        annotation = result.annotation_of((1, 10, "x"))
+        assert PolynomialSemiring.render(annotation) == "R:0*S:0"
+
+    def test_join_on_explicit_columns(self):
+        ring = get_semiring("boolean")
+        r = base_relation("R", ["k", "v"], [(1, "a")], ring)
+        s = base_relation("S", ["k", "w"], [(1, "b")], ring)
+        result = join(r, s, semiring=ring, on=["k"])
+        assert result.rows == [(1, "a", "b")]
+
+    def test_union_requires_schema(self):
+        ring = get_semiring("boolean")
+        r, s = sample_relations(ring)
+        with pytest.raises(AlgebraError):
+            union(r, s, semiring=ring)
+
+    def test_union_merges(self):
+        ring = get_semiring("counting")
+        r1 = base_relation("R1", ["a"], [(1,), (2,)], ring)
+        r2 = base_relation("R2", ["a"], [(2,), (3,)], ring)
+        result = union(r1, r2, semiring=ring)
+        assert result.annotation_of((2,)) == 2
+
+    def test_rename(self):
+        ring = get_semiring("boolean")
+        r, _ = sample_relations(ring)
+        renamed = rename(r, {"a": "alpha"})
+        assert renamed.columns == ("alpha", "b")
+
+    def test_aggregate_annotations_union(self):
+        ring = get_semiring("lineage")
+        r, _ = sample_relations(ring)
+        result = aggregate(r, ["a"], "b", "sum", semiring=ring)
+        rows = dict(zip([row[0] for row in result.rows], result.rows))
+        assert rows[2][1] == 50
+        assert result.annotation_of((2, 50)) \
+            == frozenset({"R:1", "R:2"})
+
+    def test_aggregate_functions(self):
+        ring = get_semiring("boolean")
+        r, _ = sample_relations(ring)
+        for func, expected in (("count", 2), ("min", 20), ("max", 30),
+                               ("mean", 25)):
+            result = aggregate(r, ["a"], "b", func, semiring=ring)
+            values = {row[0]: row[1] for row in result.rows}
+            assert values[2] == expected
+
+    def test_expression_tree_roundtrip(self):
+        expr = Project(Join(Scan("r"), Select(Scan("s"), "c", "=", "y")),
+                       ("a", "c"))
+        restored = expr_from_dict(expr_to_dict(expr))
+        assert restored == expr
+
+    def test_expression_evaluation(self):
+        ring = get_semiring("lineage")
+        r, s = sample_relations(ring)
+        expr = Project(Join(Scan("R"), Scan("S")), ("a", "c"))
+        result = expr.evaluate({"R": r, "S": s}, ring)
+        assert sorted(result.rows) == [(1, "x"), (2, "y")]
+
+    def test_unknown_scan_rejected(self):
+        ring = get_semiring("boolean")
+        with pytest.raises(AlgebraError):
+            Scan("missing").evaluate({}, ring)
+
+
+class TestBridge:
+    @pytest.fixture()
+    def manager(self):
+        manager = ProvenanceManager()
+        register_db_modules(manager.registry)
+        return manager
+
+    def build_query_workflow(self, manager, semiring="lineage"):
+        workflow = manager.new_workflow("db-query")
+        left = manager.add_module(workflow, "BuildTable", parameters={
+            "columns": {"a": [1, 2, 2], "b": [10, 20, 30]}})
+        right = manager.add_module(workflow, "BuildTable", parameters={
+            "columns": {"b": [10, 20, 30], "c": ["x", "y", "y"]}})
+        expression = expr_to_dict(
+            Project(Join(Scan("r"), Scan("s")), ("a", "c")))
+        query = manager.add_module(workflow, "RelationalQuery",
+                                   parameters={
+                                       "expression": expression,
+                                       "semiring": semiring,
+                                       "names": ["r", "s"]})
+        workflow.connect(left.id, "table", query.id, "rel1")
+        workflow.connect(right.id, "table", query.id, "rel2")
+        return workflow, query
+
+    def test_query_module_runs(self, manager):
+        workflow, query = self.build_query_workflow(manager)
+        run = manager.run(workflow)
+        assert run.status == "ok"
+        table = run.value(run.artifacts_for_module(query.id, "table").id)
+        assert table["columns"]["a"] == [1, 2]
+
+    def test_lineage_output_per_row(self, manager):
+        workflow, query = self.build_query_workflow(manager)
+        run = manager.run(workflow)
+        lineage = run.value(
+            run.artifacts_for_module(query.id, "lineage").id)
+        assert set(lineage) == {"0", "1"}
+        assert sorted(lineage["0"]) == ["r:0", "s:0"]
+
+    def test_cross_layer_lineage(self, manager):
+        workflow, query = self.build_query_workflow(manager)
+        run = manager.run(workflow)
+        result = cross_layer_lineage(run, query.id, 1)
+        assert result.source_rows["r"] == {1, 2}
+        assert result.source_rows["s"] == {1, 2}
+        assert len(result.upstream_artifacts) == 2
+        assert "derives from" in result.describe()
+
+    def test_cross_layer_with_polynomial(self, manager):
+        workflow, query = self.build_query_workflow(
+            manager, semiring="polynomial")
+        run = manager.run(workflow)
+        result = cross_layer_lineage(run, query.id, 0)
+        assert result.base_tuples == {"r:0", "s:0"}
+
+    def test_non_query_module_rejected(self, manager):
+        workflow, query = self.build_query_workflow(manager)
+        run = manager.run(workflow)
+        other = next(m for m in workflow.modules.values()
+                     if m.type_name == "BuildTable")
+        with pytest.raises(ValueError):
+            cross_layer_lineage(run, other.id, 0)
+
+    def test_table_to_relation_roundtrip(self):
+        ring = get_semiring("boolean")
+        table = {"columns": {"x": [1, 2], "y": ["a", "b"]}}
+        relation = table_to_relation("t", table, ring)
+        assert relation.columns == ("x", "y")
+        assert relation.to_table() == table

@@ -1,0 +1,170 @@
+"""Edge-case coverage across subsystems: the paths the main suites skip."""
+
+import pytest
+
+from repro.core import ProvenanceManager, ScriptCapture
+from repro.query import execute, find_in_corpus
+from repro.storage import MemoryStore
+from repro.workflow import Executor, Module, Workflow
+from repro.workflow.environment import capture_environment, environment_diff
+from repro.workloads import build_vis_workflow, domain_corpus
+from tests.conftest import module_by_name
+
+
+class TestEnvironment:
+    def test_capture_has_required_keys(self):
+        env = capture_environment()
+        for key in ("python_version", "platform", "hostname", "pid",
+                    "numpy_version", "repro_version"):
+            assert key in env
+
+    def test_diff_ignores_volatile_pid(self):
+        first = capture_environment()
+        second = dict(first, pid=first["pid"] + 1)
+        assert environment_diff(first, second) == {}
+
+    def test_diff_reports_changes_both_ways(self):
+        first = {"python_version": "3.10", "only_first": 1}
+        second = {"python_version": "3.11", "only_second": 2}
+        diff = environment_diff(first, second)
+        assert diff["python_version"] == {"before": "3.10",
+                                          "after": "3.11"}
+        assert diff["only_first"]["after"] is None
+        assert diff["only_second"]["before"] is None
+
+
+class TestEngineCombinations:
+    def test_overrides_and_external_inputs_together(self, registry):
+        workflow = Workflow()
+        scale = workflow.add_module(Module("Scale",
+                                           parameters={"factor": 2.0}))
+        executor = Executor(registry)
+        run = executor.execute(
+            workflow,
+            inputs={(scale.id, "value"): 10.0},
+            parameter_overrides={scale.id: {"factor": 5.0}})
+        assert run.output(scale.id, "result") == 50.0
+
+    def test_override_does_not_mutate_spec(self, registry):
+        workflow = Workflow()
+        scale = workflow.add_module(Module("Scale",
+                                           parameters={"factor": 2.0}))
+        Executor(registry).execute(
+            workflow, inputs={(scale.id, "value"): 1.0},
+            parameter_overrides={scale.id: {"factor": 9.0}})
+        assert workflow.modules[scale.id].parameters == {"factor": 2.0}
+
+    def test_empty_workflow_runs(self, registry):
+        run = Executor(registry).execute(Workflow("empty"))
+        assert run.status == "ok"
+        assert run.results == {}
+
+    def test_extra_undeclared_output_fails_module(self, registry):
+        from repro.workflow import ModuleRegistry
+        local = ModuleRegistry()
+
+        @local.define("Chatty", outputs=[("out", "Any")])
+        def chatty(ctx):
+            return {"out": 1, "extra": 2}
+
+        workflow = Workflow()
+        module = workflow.add_module(Module("Chatty"))
+        run = Executor(local).execute(workflow)
+        assert run.results[module.id].status == "failed"
+        assert "undeclared" in run.results[module.id].error
+
+
+class TestProvQLEdges:
+    @pytest.fixture(scope="class")
+    def run(self):
+        manager = ProvenanceManager()
+        workflow = build_vis_workflow(size=8)
+        iso = module_by_name(workflow, "iso")
+        run = manager.run(workflow,
+                          inputs=None, parameter_overrides=None)
+        return run
+
+    def test_inputs_command_empty_for_closed_workflow(self, run):
+        assert execute("INPUTS", run) == []
+
+    def test_boolean_field_condition(self, run):
+        rows = execute("ARTIFACTS WHERE external = false", run)
+        assert len(rows) == 7
+        assert execute("ARTIFACTS WHERE external = true", run) == []
+
+    def test_missing_field_never_matches(self, run):
+        assert execute("EXECUTIONS WHERE param.nonexistent = 1",
+                       run) == []
+
+    def test_count_lineage(self, run):
+        count = execute("COUNT LINEAGE OF render_mesh.image", run)
+        assert count == 5  # 2 artifacts + 3 executions
+
+
+class TestQbeCorpus:
+    def test_find_in_corpus(self):
+        corpus = list(domain_corpus(variants=2).values())
+        pattern = Workflow("pattern")
+        iso = pattern.add_module(Module("IsosurfaceExtract"))
+        render = pattern.add_module(Module("RenderMesh"))
+        pattern.connect(iso.id, "mesh", render.id, "mesh")
+        hits = find_in_corpus(pattern, corpus)
+        expected = {workflow.id for workflow in corpus
+                    if any(m.type_name == "SmoothMesh"
+                           or m.type_name == "IsosurfaceExtract"
+                           for m in workflow.modules.values())}
+        assert set(hits) <= expected
+        assert len(hits) >= 4  # vis + fig2 pairs per variant
+
+
+class TestScriptCaptureStore:
+    def test_runs_persist_to_store(self):
+        store = MemoryStore()
+        capture = ScriptCapture(author="s", store=store)
+        capture.record(sum, [1, 2, 3])
+        assert len(store.list_runs()) == 1
+        stored = store.load_run(store.list_runs()[0].run_id)
+        assert stored.workflow_name == "script:sum"
+
+
+class TestStoreSignatureFinder:
+    def test_find_runs_by_signature(self):
+        manager = ProvenanceManager()
+        workflow = build_vis_workflow(size=8)
+        run = manager.run(workflow)
+        other = manager.run(build_vis_workflow(size=10))
+        found = manager.store.find_runs(
+            signature=run.workflow_signature)
+        assert run.id in found
+        assert other.id not in found
+
+
+class TestManagerVistrailHandoff:
+    def test_vistrail_factory(self):
+        manager = ProvenanceManager()
+        vistrail = manager.vistrail("session")
+        from repro.evolution import AddModule
+        version = vistrail.add_action(AddModule.of("Constant", "c"))
+        assert len(vistrail.materialize(version).modules) == 1
+
+
+class TestVisualizationEdges:
+    def test_run_report_failed_run_shows_error(self):
+        from repro.analytics import run_report
+        manager = ProvenanceManager()
+        workflow = manager.new_workflow("bad")
+        manager.add_module(workflow, "FailIf",
+                           parameters={"fail": True,
+                                       "message": "boom"})
+        run = manager.run(workflow)
+        report = run_report(run)
+        assert "[!]" in report
+        assert "error:" in report
+
+    def test_cached_marker_in_report(self):
+        from repro.analytics import run_report
+        manager = ProvenanceManager()
+        workflow = build_vis_workflow(size=8)
+        manager.run(workflow)
+        second = manager.run(workflow)
+        assert "[=]" in run_report(second)

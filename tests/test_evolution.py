@@ -1,0 +1,335 @@
+"""Tests for evolution provenance: actions, vistrail, diff, matching,
+analogy."""
+
+import pytest
+
+from repro.evolution import (Action, AddConnection, AddModule,
+                             DeleteConnection, DeleteModule, MoveModule,
+                             RenameModule, SetParameter, UnsetParameter,
+                             Vistrail, action_from_dict, action_to_dict,
+                             apply_by_analogy, diff_workflows,
+                             match_workflows)
+from repro.workflow import Module, SpecError, Workflow
+from repro.workloads import build_fig2_pair
+
+
+def simple_vistrail():
+    vistrail = Vistrail("demo")
+    source = AddModule.of("NumberConstant", "source", {"value": 2.0})
+    scale = AddModule.of("Scale", "scale", {"factor": 3.0})
+    version = vistrail.add_actions([
+        source, scale,
+        AddConnection.of(source.module_id, "value",
+                         scale.module_id, "value"),
+    ], tag="v1")
+    return vistrail, source, scale, version
+
+
+class TestActions:
+    def test_add_module_apply_and_inverse(self):
+        workflow = Workflow()
+        action = AddModule.of("Constant", "c", {"value": 1})
+        action.apply(workflow)
+        assert action.module_id in workflow.modules
+        inverse = action.inverse(workflow)
+        inverse.apply(workflow)
+        assert action.module_id not in workflow.modules
+
+    def test_delete_module_inverse_restores_state(self):
+        workflow = Workflow()
+        add = AddModule.of("Constant", "c", {"value": 7},
+                           position=(1.0, 2.0))
+        add.apply(workflow)
+        delete = DeleteModule(module_id=add.module_id)
+        inverse = delete.inverse(workflow)
+        delete.apply(workflow)
+        inverse.apply(workflow)
+        module = workflow.modules[add.module_id]
+        assert module.parameters == {"value": 7}
+        assert module.position == (1.0, 2.0)
+
+    def test_set_parameter_inverse_roundtrip(self):
+        workflow = Workflow()
+        add = AddModule.of("Constant", "c", {"value": 1})
+        add.apply(workflow)
+        action = SetParameter(module_id=add.module_id, name="value",
+                              value=99)
+        inverse = action.inverse(workflow)
+        action.apply(workflow)
+        inverse.apply(workflow)
+        assert workflow.modules[add.module_id].parameters["value"] == 1
+
+    def test_set_parameter_inverse_on_fresh_parameter(self):
+        workflow = Workflow()
+        add = AddModule.of("Constant", "c")
+        add.apply(workflow)
+        action = SetParameter(module_id=add.module_id, name="value",
+                              value=5)
+        inverse = action.inverse(workflow)
+        assert isinstance(inverse, UnsetParameter)
+        action.apply(workflow)
+        inverse.apply(workflow)
+        assert "value" not in workflow.modules[add.module_id].parameters
+
+    def test_connection_actions(self):
+        workflow = Workflow()
+        a = AddModule.of("Constant", "a")
+        b = AddModule.of("Identity", "b")
+        a.apply(workflow)
+        b.apply(workflow)
+        connect = AddConnection.of(a.module_id, "value",
+                                   b.module_id, "value")
+        connect.apply(workflow)
+        assert len(workflow.connections) == 1
+        inverse = connect.inverse(workflow)
+        inverse.apply(workflow)
+        assert workflow.connections == {}
+
+    def test_rename_and_move_inverses(self):
+        workflow = Workflow()
+        add = AddModule.of("Constant", "original")
+        add.apply(workflow)
+        rename = RenameModule(module_id=add.module_id, name="new")
+        rename_inverse = rename.inverse(workflow)
+        rename.apply(workflow)
+        assert workflow.modules[add.module_id].name == "new"
+        rename_inverse.apply(workflow)
+        assert workflow.modules[add.module_id].name == "original"
+        move = MoveModule(module_id=add.module_id, position=(5.0, 5.0))
+        move_inverse = move.inverse(workflow)
+        move.apply(workflow)
+        move_inverse.apply(workflow)
+        assert workflow.modules[add.module_id].position == (0.0, 0.0)
+
+    def test_action_serialization_roundtrip(self):
+        actions = [
+            AddModule.of("Constant", "c", {"value": [1, 2]}),
+            DeleteModule(module_id="mod-x"),
+            AddConnection.of("mod-a", "out", "mod-b", "in"),
+            DeleteConnection(connection_id="conn-x"),
+            SetParameter(module_id="mod-a", name="p", value={"n": 1}),
+            UnsetParameter(module_id="mod-a", name="p"),
+            RenameModule(module_id="mod-a", name="z"),
+            MoveModule(module_id="mod-a", position=(1.5, -2.5)),
+        ]
+        for action in actions:
+            restored = action_from_dict(action_to_dict(action))
+            assert restored == action
+
+    def test_unknown_action_type_rejected(self):
+        with pytest.raises(ValueError):
+            action_from_dict({"action": "Teleport"})
+
+
+class TestVistrail:
+    def test_materialize_current(self):
+        vistrail, source, scale, _ = simple_vistrail()
+        workflow = vistrail.materialize(vistrail.current)
+        assert len(workflow.modules) == 2
+        assert len(workflow.connections) == 1
+
+    def test_root_is_empty(self):
+        vistrail, *_ = simple_vistrail()
+        assert len(vistrail.materialize(Vistrail.ROOT).modules) == 0
+
+    def test_branching(self):
+        vistrail, source, scale, v1 = simple_vistrail()
+        branch_a = vistrail.add_action(SetParameter(
+            module_id=scale.module_id, name="factor", value=10.0),
+            parent=v1, tag="a")
+        branch_b = vistrail.add_action(SetParameter(
+            module_id=scale.module_id, name="factor", value=20.0),
+            parent=v1, tag="b")
+        factor_a = vistrail.materialize(branch_a).modules[
+            scale.module_id].parameters["factor"]
+        factor_b = vistrail.materialize(branch_b).modules[
+            scale.module_id].parameters["factor"]
+        assert (factor_a, factor_b) == (10.0, 20.0)
+        assert set(vistrail.children(v1)) == {branch_a, branch_b}
+        assert vistrail.common_ancestor(branch_a, branch_b) == v1
+
+    def test_materialized_copies_are_independent(self):
+        vistrail, source, scale, v1 = simple_vistrail()
+        first = vistrail.materialize(v1)
+        first.set_parameter(scale.module_id, "factor", 999.0)
+        second = vistrail.materialize(v1)
+        assert second.modules[scale.module_id].parameters["factor"] == 3.0
+
+    def test_invalid_action_rejected_and_tree_unchanged(self):
+        vistrail, *_ = simple_vistrail()
+        before = len(vistrail)
+        with pytest.raises(SpecError):
+            vistrail.add_action(DeleteModule(module_id="mod-ghost"))
+        assert len(vistrail) == before
+
+    def test_tags_and_checkout(self):
+        vistrail, source, scale, v1 = simple_vistrail()
+        assert vistrail.find_tag("v1") == v1
+        assert vistrail.find_tag("nope") is None
+        workflow = vistrail.checkout(v1)
+        assert vistrail.current == v1
+        assert len(workflow.modules) == 2
+
+    def test_actions_between_and_undo(self):
+        vistrail, source, scale, v1 = simple_vistrail()
+        v2 = vistrail.add_action(SetParameter(
+            module_id=scale.module_id, name="factor", value=5.0))
+        actions = vistrail.actions_between(v1, v2)
+        assert len(actions) == 1
+        undos = vistrail.undo_actions(v2, v1)
+        workflow = vistrail.materialize(v2)
+        for undo in undos:
+            undo.apply(workflow)
+        assert workflow.signature() \
+            == vistrail.materialize(v1).signature()
+
+    def test_depth_and_log(self):
+        vistrail, source, scale, v1 = simple_vistrail()
+        assert vistrail.depth(v1) == 3
+        log = vistrail.log(v1)
+        assert log[0] == "(root)"
+        assert "add module source" in log[1]
+
+    def test_serialization_roundtrip(self):
+        vistrail, source, scale, v1 = simple_vistrail()
+        restored = Vistrail.from_dict(vistrail.to_dict())
+        assert restored.current == vistrail.current
+        assert restored.materialize(v1).signature() \
+            == vistrail.materialize(v1).signature()
+        assert len(restored) == len(vistrail)
+
+    def test_tree_ascii_marks_current(self):
+        vistrail, *_ = simple_vistrail()
+        assert "*" in vistrail.tree_ascii()
+
+
+class TestDiffAndMatching:
+    def test_identical_workflows_empty_diff(self):
+        before, _ = build_fig2_pair()
+        diff = diff_workflows(before, before.copy())
+        assert diff.is_empty()
+
+    def test_fig2_pair_diff(self):
+        before, after = build_fig2_pair()
+        diff = diff_workflows(before, after)
+        assert diff.summary() == {
+            "added_modules": 1, "deleted_modules": 0,
+            "parameter_changes": 0, "renamed_modules": 0,
+            "added_connections": 2, "deleted_connections": 1}
+
+    def test_parameter_change_detected(self):
+        before, _ = build_fig2_pair()
+        after = before.copy()
+        iso = next(m for m in after.modules.values() if m.name == "iso")
+        after.set_parameter(iso.id, "level", 123.0)
+        diff = diff_workflows(before, after)
+        assert len(diff.parameter_changes) == 1
+        change = diff.parameter_changes[0]
+        assert (change.old_value, change.new_value) == (80.0, 123.0)
+
+    def test_describe_lists_changes(self):
+        before, after = build_fig2_pair()
+        lines = diff_workflows(before, after).describe(before, after)
+        assert any("add smooth" in line for line in lines)
+
+    def test_similarity_matching_unrelated_ids(self):
+        before, _ = build_fig2_pair()
+        # rebuild the same structure with entirely fresh ids
+        clone = Workflow("clone")
+        id_map = {}
+        for module in before.modules.values():
+            copy = clone.add_module(Module(module.type_name,
+                                           name=module.name,
+                                           parameters=dict(
+                                               module.parameters)))
+            id_map[module.id] = copy.id
+        for connection in before.connections.values():
+            clone.connect(id_map[connection.source_module],
+                          connection.source_port,
+                          id_map[connection.target_module],
+                          connection.target_port)
+        result = match_workflows(before, clone)
+        assert len(result.mapping) == len(before.modules)
+        for a_id, b_id in result.mapping.items():
+            assert before.modules[a_id].type_name \
+                == clone.modules[b_id].type_name
+
+    def test_matching_respects_structure(self):
+        # two Identity modules: position in the chain must disambiguate
+        first = Workflow("a")
+        a1 = first.add_module(Module("Constant", name="start"))
+        a2 = first.add_module(Module("Identity", name="mid"))
+        a3 = first.add_module(Module("Identity", name="end"))
+        first.connect(a1.id, "value", a2.id, "value")
+        first.connect(a2.id, "value", a3.id, "value")
+        second = first.copy()
+        result = match_workflows(first, second)
+        assert result.mapping[a2.id] == a2.id
+        assert result.mapping[a3.id] == a3.id
+
+
+class TestAnalogy:
+    def test_fig2_scenario_transfers_smoothing(self):
+        before, after = build_fig2_pair()
+        other = Workflow("other-vis")
+        load = other.add_module(Module("LoadVolume", name="load",
+                                       parameters={"size": 10}))
+        iso = other.add_module(Module("IsosurfaceExtract", name="iso",
+                                      parameters={"level": 95.0}))
+        render = other.add_module(Module("RenderMesh", name="render"))
+        other.connect(load.id, "volume", iso.id, "volume")
+        other.connect(iso.id, "mesh", render.id, "mesh")
+
+        result = apply_by_analogy(before, after, other)
+        assert result.succeeded()
+        types = sorted(m.type_name for m in result.workflow.modules.values())
+        assert "SmoothMesh" in types
+        # smooth sits between iso and render in the refined workflow
+        smooth = next(m for m in result.workflow.modules.values()
+                      if m.type_name == "SmoothMesh")
+        refined = result.workflow
+        assert iso.id in refined.predecessors(smooth.id)
+        assert render.id in refined.successors(smooth.id)
+
+    def test_original_untouched(self):
+        before, after = build_fig2_pair()
+        other = before.copy()
+        module_count = len(other.modules)
+        apply_by_analogy(before, after, other)
+        assert len(other.modules) == module_count
+
+    def test_refined_workflow_executes(self, registry):
+        from repro.workflow import Executor
+        before, after = build_fig2_pair()
+        other = Workflow("runnable")
+        load = other.add_module(Module("LoadVolume", name="load",
+                                       parameters={"size": 8}))
+        iso = other.add_module(Module("IsosurfaceExtract", name="iso",
+                                      parameters={"level": 80.0}))
+        render = other.add_module(Module("RenderMesh", name="render"))
+        other.connect(load.id, "volume", iso.id, "volume")
+        other.connect(iso.id, "mesh", render.id, "mesh")
+        result = apply_by_analogy(before, after, other)
+        run = Executor(registry).execute(result.workflow)
+        assert run.status == "ok"
+
+    def test_unmatchable_context_reported(self):
+        before, after = build_fig2_pair()
+        unrelated = Workflow("unrelated")
+        unrelated.add_module(Module("SensorIngest", name="ingest"))
+        result = apply_by_analogy(before, after, unrelated)
+        assert not result.succeeded()
+        assert result.skipped
+
+    def test_parameter_change_analogy(self):
+        before, _ = build_fig2_pair()
+        after = before.copy()
+        iso_before = next(m for m in after.modules.values()
+                          if m.name == "iso")
+        after.set_parameter(iso_before.id, "level", 42.0)
+        other = before.copy()
+        result = apply_by_analogy(before, after, other)
+        assert result.parameter_changes
+        iso_other = next(m for m in result.workflow.modules.values()
+                         if m.name == "iso")
+        assert iso_other.parameters["level"] == 42.0

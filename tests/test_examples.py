@@ -1,0 +1,26 @@
+"""Every example in examples/ must run green — they are living docs."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys, monkeypatch):
+    # examples print a lot; run them in-process and require no exception
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{path.name} produced no output"
+
+
+def test_all_examples_present():
+    names = {path.stem for path in EXAMPLES}
+    assert {"quickstart", "figure1_visualization", "figure2_analogy",
+            "provenance_challenge", "multi_system_integration",
+            "social_collaboratory", "db_workflow_bridge"} <= names

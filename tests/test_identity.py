@@ -1,0 +1,85 @@
+"""Tests for identity primitives: ids, canonical JSON, content hashing."""
+
+import numpy as np
+import pytest
+
+from repro import identity
+
+
+class TestNewId:
+    def test_prefix(self):
+        assert identity.new_id("art").startswith("art-")
+
+    def test_unique(self):
+        assert identity.new_id("run") != identity.new_id("run")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(identity.IdentityError):
+            identity.new_id("nonsense")
+
+    def test_all_known_kinds_work(self):
+        for kind in identity.KNOWN_KINDS:
+            assert identity.kind_of(identity.new_id(kind)) == kind
+
+
+class TestKindOf:
+    def test_roundtrip(self):
+        assert identity.kind_of(identity.new_id("exec")) == "exec"
+
+    def test_malformed_raises(self):
+        with pytest.raises(identity.IdentityError):
+            identity.kind_of("no-separator-kind!")
+
+    def test_empty_suffix_rejected(self):
+        with pytest.raises(identity.IdentityError):
+            identity.kind_of("art-")
+
+    def test_is_id(self):
+        assert identity.is_id("art-abc")
+        assert not identity.is_id("bogus-abc")
+        assert not identity.is_id(42)
+        assert not identity.is_id("plainstring")
+
+
+class TestCanonicalJson:
+    def test_sorted_keys(self):
+        assert (identity.canonical_json({"b": 1, "a": 2})
+                == '{"a":2,"b":1}')
+
+    def test_no_whitespace(self):
+        assert " " not in identity.canonical_json({"a": [1, 2, 3]})
+
+    def test_numpy_array_serializes(self):
+        text = identity.canonical_json({"x": np.array([1, 2])})
+        assert text == '{"x":[1,2]}'
+
+    def test_structural_equality_gives_equal_text(self):
+        first = {"outer": {"z": 1, "a": [True, None]}}
+        second = {"outer": {"a": [True, None], "z": 1}}
+        assert (identity.canonical_json(first)
+                == identity.canonical_json(second))
+
+
+class TestHashing:
+    def test_bytes_hash_stable(self):
+        assert identity.content_hash(b"x") == identity.content_hash(b"x")
+
+    def test_hash_value_dict_order_invariant(self):
+        assert (identity.hash_value({"a": 1, "b": 2})
+                == identity.hash_value({"b": 2, "a": 1}))
+
+    def test_hash_value_distinguishes_values(self):
+        assert identity.hash_value([1, 2]) != identity.hash_value([2, 1])
+
+    def test_bytes_and_json_namespaces_disjoint(self):
+        # b"1" must not collide with the integer 1
+        assert identity.hash_value(b"1") != identity.hash_value(1)
+
+    def test_numpy_hash_matches_list_content(self):
+        assert (identity.hash_value(np.array([1.5, 2.5]))
+                == identity.hash_value([1.5, 2.5]))
+
+    def test_hash_is_hex_sha256(self):
+        digest = identity.hash_value("hello")
+        assert len(digest) == 64
+        int(digest, 16)  # parses as hex

@@ -1,0 +1,191 @@
+"""End-to-end scenarios spanning many subsystems at once.
+
+Each test is a small story a real user would enact; they complement the
+per-module unit tests by exercising the seams between subsystems.
+"""
+
+import pytest
+
+from repro.apps import (Collaboratory, invalidate_by_hash, parameter_sweep,
+                        rerun, validate_reproduction)
+from repro.core import (ProvenanceManager, causality_graph, run_from_xml,
+                        run_to_xml)
+from repro.evolution import (AddConnection, AddModule, DeleteConnection,
+                             Vistrail, apply_by_analogy, diff_workflows,
+                             record_as_version)
+from repro.opm import complete, opm_from_xml, opm_to_xml, run_to_opm
+from repro.query import build_user_view, execute
+from repro.storage import RelationalStore
+from repro.workloads import (build_fig2_pair, build_fmri_workflow,
+                             build_vis_workflow)
+
+
+class TestExploreRefineShareScenario:
+    """A scientist explores, refines by analogy, and shares the result."""
+
+    def test_full_lifecycle(self, registry):
+        manager = ProvenanceManager()
+
+        # 1. explore: build + run the Figure 1 pipeline, sweep a parameter
+        workflow = build_vis_workflow(size=8)
+        iso = next(m for m in workflow.modules.values()
+                   if m.name == "iso")
+        sweep = parameter_sweep(manager, workflow,
+                                {(iso.id, "level"): [70.0, 100.0]})
+        assert len(sweep.runs) == 2
+
+        # 2. version the exploration: record both variants in a vistrail
+        vistrail = Vistrail("exploration")
+        v_base = record_as_version(vistrail, workflow, tag="base")
+        variant = workflow.copy()
+        variant.set_parameter(iso.id, "level", 70.0)
+        v_low = record_as_version(vistrail, variant, parent=v_base,
+                                  tag="low-level")
+        assert vistrail.materialize(v_low).modules[iso.id] \
+            .parameters["level"] == 70.0
+
+        # 3. refine by analogy: carry the Fig-2 smoothing over
+        before, after = build_fig2_pair()
+        result = apply_by_analogy(before, after, workflow)
+        assert any(m.type_name == "SmoothMesh"
+                   for m in result.workflow.modules.values())
+        refined_run = manager.run(result.workflow)
+        assert refined_run.status == "ok"
+
+        # 4. share it in the collaboratory with its provenance
+        collab = Collaboratory(manager.registry)
+        user = collab.join("explorer")
+        entry = collab.publish(user.id, result.workflow,
+                               "smoothed head vis",
+                               runs=[refined_run])
+        assert collab.search("smoothed")[0] is entry
+
+        # 5. a colleague reproduces the shared run bit-for-bit
+        report = validate_reproduction(
+            refined_run, rerun(refined_run, manager.registry))
+        assert report.reproducible
+
+
+class TestPersistenceRoundtripScenario:
+    """Provenance survives: sqlite -> XML -> OPM -> back, queries intact."""
+
+    def test_cross_format_fidelity(self):
+        manager = ProvenanceManager(store=RelationalStore())
+        workflow = build_vis_workflow(size=8)
+        run = manager.run(workflow)
+
+        # store roundtrip
+        stored = manager.store.load_run(run.id)
+        # XML roundtrip
+        xml_run = run_from_xml(run_to_xml(stored))
+        # queries agree across representations
+        for candidate in (run, stored, xml_run):
+            assert execute("COUNT EXECUTIONS", candidate) == 6
+            lineage = execute("LINEAGE OF render_mesh.image", candidate)
+            assert len(lineage["executions"]) == 3
+
+        # OPM export + XML roundtrip preserves the causal structure
+        opm = run_to_opm(xml_run)
+        restored = opm_from_xml(opm_to_xml(opm))
+        assert restored.summary() == opm.summary()
+        complete(restored)
+        derived = restored.edges_of_kind("wasDerivedFrom")
+        assert derived  # inference worked on the roundtripped graph
+
+
+class TestChallengeAtScaleScenario:
+    """The fMRI challenge with views, invalidation and evolution."""
+
+    def test_views_reduce_challenge_provenance(self):
+        manager = ProvenanceManager()
+        workflow = build_fmri_workflow(size=10)
+        run = manager.run(workflow)
+        softmean = next(m for m in workflow.modules.values()
+                        if m.name == "softmean")
+        convert_x = next(m for m in workflow.modules.values()
+                         if m.name == "convert_x")
+        view = build_user_view(workflow, {softmean.id, convert_x.id})
+        collapsed = view.collapse_run(run)
+        full = causality_graph(run, include_derivations=False)
+        assert collapsed.node_count < full.node_count
+        assert view.reduction_factor() > 1.5
+
+    def test_defective_subject_invalidates_all_graphics(self):
+        manager = ProvenanceManager()
+        workflow = build_fmri_workflow(size=10)
+        run = manager.run(workflow)
+        anatomy1 = next(m for m in workflow.modules.values()
+                        if m.name == "anatomy1")
+        bad = run.artifacts_for_module(anatomy1.id, "image")
+        report = invalidate_by_hash(manager.store, bad.value_hash)
+        # all three graphics pass through softmean, so all are tainted
+        products = report.affected_products[run.id]
+        graphic_ids = {
+            run.artifacts_for_module(
+                next(m for m in workflow.modules.values()
+                     if m.name == f"convert_{axis}").id, "graphic").id
+            for axis in ("x", "y", "z")}
+        assert graphic_ids <= set(products)
+
+    def test_challenge_evolution_branch(self):
+        manager = ProvenanceManager()
+        workflow = build_fmri_workflow(size=10)
+        vistrail = Vistrail("challenge-evolution")
+        v_base = record_as_version(vistrail, workflow, tag="model-12")
+        # branch: change the alignment model on every align module
+        variant = workflow.copy()
+        for module in variant.modules.values():
+            if module.type_name == "AlignWarp":
+                variant.set_parameter(module.id, "model", 6)
+        v_m6 = record_as_version(vistrail, variant, parent=v_base,
+                                 tag="model-6")
+        diff = diff_workflows(vistrail.materialize(v_base),
+                              vistrail.materialize(v_m6))
+        assert len(diff.parameter_changes) == 4
+        # both versions run, and their atlases differ
+        run_12 = manager.run(vistrail.materialize(v_base))
+        run_6 = manager.run(vistrail.materialize(v_m6))
+        softmean = next(m for m in workflow.modules.values()
+                        if m.name == "softmean")
+        atlas_12 = run_12.artifacts_for_module(softmean.id, "atlas")
+        atlas_6 = run_6.artifacts_for_module(softmean.id, "atlas")
+        assert atlas_12.value_hash != atlas_6.value_hash
+
+
+class TestFailureRecoveryScenario:
+    """A failing module leaves usable provenance for debugging."""
+
+    def test_partial_provenance_and_queries(self):
+        manager = ProvenanceManager()
+        workflow = manager.new_workflow("fragile")
+        load = manager.add_module(workflow, "LoadVolume", name="load",
+                                  parameters={"size": 8})
+        bad = manager.add_module(workflow, "FailIf", name="bad",
+                                 parameters={"fail": True,
+                                             "message": "disk full"})
+        hist = manager.add_module(workflow, "ComputeHistogram",
+                                  name="hist")
+        downstream = manager.add_module(workflow, "Identity",
+                                        name="downstream")
+        workflow.connect(load.id, "volume", bad.id, "value")
+        workflow.connect(bad.id, "value", downstream.id, "value")
+        workflow.connect(load.id, "volume", hist.id, "volume")
+
+        run = manager.run(workflow)
+        assert run.status == "failed"
+
+        failed = execute("EXECUTIONS WHERE status = 'failed'", run)
+        assert len(failed) == 1
+        assert failed[0]["module.name"] == "bad"
+        skipped = execute("EXECUTIONS WHERE status = 'skipped'", run)
+        assert [row["module.name"] for row in skipped] == ["downstream"]
+        succeeded = execute("EXECUTIONS WHERE status = 'ok'", run)
+        assert {row["module.name"] for row in succeeded} \
+            == {"load", "hist"}
+        # the healthy branch's product is present and valued
+        histogram = run.artifacts_for_module(hist.id, "histogram")
+        assert histogram is not None
+        assert run.value(histogram.id)["columns"]["count"]
+        # error text is queryable from the execution record
+        execution = run.execution_for_module(bad.id)
+        assert "disk full" in execution.error

@@ -1,0 +1,348 @@
+"""Tests for the domain module libraries (vis, imaging, genomics, enviro)."""
+
+import numpy as np
+import pytest
+
+from repro.workflow import Executor, Module, Workflow
+from repro.workflow.modules.genomics import needleman_wunsch, synthetic_reads
+from repro.workflow.modules.imaging import new_anatomy_image, reference_image
+from repro.workflow.modules.vis import (decode_pgm, encode_pgm,
+                                        synthetic_head_volume)
+
+
+def run_single(registry, type_name, inputs=None, params=None):
+    """Run one module in isolation and return its outputs dict."""
+    workflow = Workflow()
+    module = workflow.add_module(Module(type_name,
+                                        parameters=dict(params or {})))
+    executor = Executor(registry)
+    bound = {(module.id, port): value
+             for port, value in (inputs or {}).items()}
+    run = executor.execute(workflow, inputs=bound)
+    assert run.status == "ok", run.results[module.id].error
+    return {port: record.value
+            for port, record in run.results[module.id].outputs.items()}
+
+
+class TestVisLibrary:
+    def test_head_volume_deterministic(self):
+        assert np.array_equal(synthetic_head_volume(16, seed=3),
+                              synthetic_head_volume(16, seed=3))
+
+    def test_head_volume_has_skull_shell(self):
+        volume = synthetic_head_volume(32)
+        # the shell is denser than interior tissue
+        assert volume.max() > 120.0
+
+    def test_pgm_roundtrip(self):
+        image = np.arange(12, dtype=np.float64).reshape(3, 4)
+        decoded = decode_pgm(encode_pgm(image))
+        assert decoded.shape == (3, 4)
+        assert decoded.min() == 0 and decoded.max() == 255
+
+    def test_pgm_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            decode_pgm(b"JUNK\n1 1\n255\nx")
+
+    def test_histogram_counts_total(self, registry):
+        volume = synthetic_head_volume(8)
+        outputs = run_single(registry, "ComputeHistogram",
+                             inputs={"volume": volume},
+                             params={"bins": 8})
+        counts = outputs["histogram"]["columns"]["count"]
+        assert sum(counts) == volume.size
+        assert len(counts) == 8
+
+    def test_isosurface_level_monotone(self, registry):
+        volume = synthetic_head_volume(12)
+        low = run_single(registry, "IsosurfaceExtract",
+                         inputs={"volume": volume},
+                         params={"level": 50.0})["mesh"]
+        high = run_single(registry, "IsosurfaceExtract",
+                          inputs={"volume": volume},
+                          params={"level": 150.0})["mesh"]
+        assert len(low["faces"]) > len(high["faces"])
+
+    def test_smooth_mesh_shrinks_spread(self, registry):
+        volume = synthetic_head_volume(10)
+        mesh = run_single(registry, "IsosurfaceExtract",
+                          inputs={"volume": volume},
+                          params={"level": 80.0})["mesh"]
+        smoothed = run_single(registry, "SmoothMesh",
+                              inputs={"mesh": mesh},
+                              params={"iterations": 2})["mesh"]
+        before = np.array(mesh["vertices"]).std()
+        after = np.array(smoothed["vertices"]).std()
+        assert after < before
+        assert smoothed["smoothed"] is True
+        assert len(smoothed["faces"]) == len(mesh["faces"])
+
+    def test_download_parse_pipeline_deterministic(self, registry):
+        first = run_single(registry, "DownloadFile",
+                           params={"url": "http://x/data"})["data"]
+        second = run_single(registry, "DownloadFile",
+                            params={"url": "http://x/data"})["data"]
+        assert first == second
+        volume = run_single(registry, "ParseVolumeFile",
+                            inputs={"data": first})["volume"]
+        assert volume.ndim == 3
+
+    def test_render_mesh_image_size(self, registry):
+        volume = synthetic_head_volume(10)
+        mesh = run_single(registry, "IsosurfaceExtract",
+                          inputs={"volume": volume},
+                          params={"level": 80.0})["mesh"]
+        image = run_single(registry, "RenderMesh", inputs={"mesh": mesh},
+                           params={"size": 32})["image"]
+        assert image.shape == (32, 32)
+        assert image.max() > 0
+
+
+class TestImagingLibrary:
+    def test_anatomy_images_differ_by_subject(self):
+        image1, header1 = new_anatomy_image(1)
+        image2, header2 = new_anatomy_image(2)
+        assert not np.array_equal(image1, image2)
+        assert header1["subject"] == "anatomy1"
+        assert header2["global_maximum"] > header1["global_maximum"]
+
+    def test_align_warp_estimates_offset_direction(self, registry):
+        image, header = new_anatomy_image(1)
+        ref, ref_header = reference_image()
+        warp = run_single(registry, "AlignWarp",
+                          inputs={"image": image, "header": header,
+                                  "reference": ref,
+                                  "ref_header": ref_header},
+                          params={"model": 12})["warp"]
+        assert len(warp["translation"]) == 3
+        assert warp["subject"] == "anatomy1"
+
+    def test_lower_model_truncates_warp(self, registry):
+        image, header = new_anatomy_image(1)
+        ref, ref_header = reference_image()
+        inputs = {"image": image, "header": header, "reference": ref,
+                  "ref_header": ref_header}
+        full = run_single(registry, "AlignWarp", inputs=inputs,
+                          params={"model": 12})["warp"]
+        half = run_single(registry, "AlignWarp", inputs=inputs,
+                          params={"model": 6})["warp"]
+        assert all(abs(h) <= abs(f) + 1e-12 for h, f
+                   in zip(half["translation"], full["translation"]))
+
+    def test_reslice_improves_alignment(self, registry):
+        image, header = new_anatomy_image(3)
+        ref, ref_header = reference_image()
+        warp = run_single(registry, "AlignWarp",
+                          inputs={"image": image, "header": header,
+                                  "reference": ref,
+                                  "ref_header": ref_header})["warp"]
+        outputs = run_single(registry, "Reslice",
+                             inputs={"image": image, "warp": warp})
+        def offset(img):
+            total = img.sum()
+            grids = np.indices(img.shape)
+            com = np.array([(g * img).sum() / total for g in grids])
+            return np.abs(com - (np.array(img.shape) - 1) / 2).sum()
+        assert offset(outputs["image"]) <= offset(image) + 1e-9
+        assert outputs["header"]["resliced"] is True
+
+    def test_softmean_averages(self, registry):
+        images = [new_anatomy_image(i)[0] for i in (1, 2, 3, 4)]
+        outputs = run_single(registry, "Softmean",
+                             inputs={f"image{i+1}": img
+                                     for i, img in enumerate(images)})
+        expected = np.mean(images, axis=0)
+        assert np.allclose(outputs["atlas"], expected)
+        assert outputs["atlas_header"]["subject"] == "atlas"
+
+    def test_slicer_axes(self, registry):
+        image, header = new_anatomy_image(1, size=16)
+        for axis in ("x", "y", "z"):
+            plane = run_single(registry, "Slicer",
+                               inputs={"image": image, "header": header},
+                               params={"axis": axis})["slice"]
+            assert plane.shape == (16, 16)
+
+    def test_convert_produces_pgm(self, registry):
+        image, header = new_anatomy_image(1, size=8)
+        plane = run_single(registry, "Slicer",
+                           inputs={"image": image,
+                                   "header": header})["slice"]
+        graphic = run_single(registry, "Convert",
+                             inputs={"slice": plane})["graphic"]
+        assert graphic.startswith(b"P5\n")
+        assert decode_pgm(graphic).shape == (8, 8)
+
+
+class TestGenomicsLibrary:
+    def test_synthetic_reads_deterministic(self):
+        ref_a, reads_a = synthetic_reads(4, 30, seed=5)
+        ref_b, reads_b = synthetic_reads(4, 30, seed=5)
+        assert ref_a == ref_b and reads_a == reads_b
+
+    def test_reads_close_to_reference(self):
+        reference, reads = synthetic_reads(5, 100, seed=1,
+                                           mutation_rate=0.01)
+        for read in reads:
+            mismatches = sum(1 for a, b in zip(read, reference) if a != b)
+            assert mismatches < 10
+
+    def test_needleman_wunsch_identical(self):
+        result = needleman_wunsch("ACGT", "ACGT")
+        assert result["score"] == 4.0
+        assert result["aligned_query"] == "ACGT"
+
+    def test_needleman_wunsch_gap(self):
+        result = needleman_wunsch("ACGT", "AGT")
+        assert "-" in result["aligned_target"]
+
+    def test_consensus_recovers_reference(self, registry):
+        reference, reads = synthetic_reads(15, 60, seed=2,
+                                           mutation_rate=0.02)
+        consensus = run_single(registry, "ConsensusCall",
+                               inputs={"reads": reads})["consensus"]
+        mismatches = sum(1 for a, b in zip(consensus, reference)
+                         if a != b)
+        assert mismatches <= 2
+
+    def test_gc_content_bounds(self, registry):
+        _, reads = synthetic_reads(6, 40, seed=3)
+        table = run_single(registry, "GCContent",
+                           inputs={"reads": reads})["table"]
+        for fraction in table["columns"]["gc_fraction"]:
+            assert 0.0 <= fraction <= 1.0
+
+    def test_quality_filter_drops_low_complexity(self, registry):
+        diverse = "ACGGTTACGATCCGATAGCT"   # many distinct 3-mers
+        homopolymer = "AAAAAAAAAAAAAAAAAAAA"  # one distinct 3-mer
+        kept = run_single(registry, "QualityFilter",
+                          inputs={"reads": [diverse, homopolymer]},
+                          params={"min_complexity": 0.3})["reads"]
+        assert kept == [diverse]
+
+    def test_variant_table_positions(self, registry):
+        table = run_single(registry, "VariantTable",
+                           inputs={"consensus": "ACGT",
+                                   "reference": "ACCT"})["table"]
+        assert table["columns"]["position"] == [2]
+        assert table["columns"]["call"] == ["G"]
+
+
+class TestEnviroLibrary:
+    def test_sensor_series_shape(self, registry):
+        series = run_single(registry, "SensorIngest",
+                            params={"days": 2, "seed": 9})["series"]
+        assert len(series["t"]) == 48
+        assert series["station"] == "ST-01"
+
+    def test_clean_removes_outliers(self, registry):
+        series = run_single(registry, "SensorIngest",
+                            params={"days": 5, "seed": 9})["series"]
+        cleaned = run_single(registry, "CleanSeries",
+                             inputs={"series": series},
+                             params={"zmax": 4.0})["series"]
+        finite_before = np.isfinite(np.array(series["v"])).sum()
+        finite_after = np.isfinite(np.array(cleaned["v"])).sum()
+        assert finite_after <= finite_before
+
+    def test_interpolation_fills_all_gaps(self, registry):
+        series = run_single(registry, "SensorIngest",
+                            params={"days": 3, "seed": 4})["series"]
+        filled = run_single(registry, "InterpolateGaps",
+                            inputs={"series": series})["series"]
+        assert np.isfinite(np.array(filled["v"])).all()
+
+    def test_fit_ar_recovers_phi(self, registry):
+        series = run_single(registry, "SensorIngest",
+                            params={"days": 30, "seed": 7,
+                                    "phi": 0.8})["series"]
+        filled = run_single(registry, "InterpolateGaps",
+                            inputs={"series": series})["series"]
+        cleaned = run_single(registry, "CleanSeries",
+                             inputs={"series": filled})["series"]
+        filled2 = run_single(registry, "InterpolateGaps",
+                             inputs={"series": cleaned})["series"]
+        model = run_single(registry, "FitAR",
+                           inputs={"series": filled2})["model"]
+        assert 0.5 < model["phi"] < 0.95
+
+    def test_forecast_converges_to_mean(self, registry):
+        series = {"t": [0.0, 1.0], "v": [100.0, 100.0]}
+        model = {"kind": "AR1", "mu": 10.0, "phi": 0.5, "sigma": 1.0}
+        forecast = run_single(registry, "Forecast",
+                              inputs={"series": series, "model": model},
+                              params={"horizon": 50})["forecast"]
+        assert abs(forecast["v"][-1] - 10.0) < 0.01
+
+    def test_compare_series_metrics(self, registry):
+        a = {"t": [0, 1, 2], "v": [1.0, 2.0, 3.0]}
+        b = {"t": [0, 1, 2], "v": [1.0, 2.0, 5.0]}
+        metrics = run_single(registry, "CompareSeries",
+                             inputs={"actual": a,
+                                     "predicted": b})["metrics"]
+        values = dict(zip(metrics["columns"]["metric"],
+                          metrics["columns"]["value"]))
+        assert values["mae"] == pytest.approx(2.0 / 3.0)
+
+    def test_fit_ar_rejects_gappy_series(self, registry):
+        workflow = Workflow()
+        module = workflow.add_module(Module("FitAR"))
+        executor = Executor(registry)
+        run = executor.execute(workflow, inputs={
+            (module.id, "series"): {"t": [0, 1], "v": [1.0, float("nan")]}})
+        assert run.status == "failed"
+
+
+class TestBasicLibrary:
+    def test_arithmetic_chain(self, registry):
+        workflow = Workflow()
+        a = workflow.add_module(Module("NumberConstant",
+                                       parameters={"value": 6.0}))
+        b = workflow.add_module(Module("NumberConstant",
+                                       parameters={"value": 7.0}))
+        mul = workflow.add_module(Module("Multiply"))
+        workflow.connect(a.id, "value", mul.id, "a")
+        workflow.connect(b.id, "value", mul.id, "b")
+        run = Executor(registry).execute(workflow)
+        assert run.output(mul.id, "result") == 42.0
+
+    def test_table_pipeline(self, registry):
+        workflow = Workflow()
+        build = workflow.add_module(Module("BuildTable", parameters={
+            "columns": {"x": [1, 2, 3, 4], "y": [10, 20, 30, 40]}}))
+        filt = workflow.add_module(Module("FilterRows", parameters={
+            "column": "x", "op": ">", "value": 2}))
+        agg = workflow.add_module(Module("AggregateColumn", parameters={
+            "column": "y", "func": "sum"}))
+        workflow.connect(build.id, "table", filt.id, "table")
+        workflow.connect(filt.id, "table", agg.id, "table")
+        run = Executor(registry).execute(workflow)
+        assert run.output(agg.id, "value") == 70.0
+
+    def test_seeded_random_reproducible(self, registry):
+        outputs_a = run_single(registry, "SeededRandom",
+                               params={"seed": 42})
+        outputs_b = run_single(registry, "SeededRandom",
+                               params={"seed": 42})
+        assert outputs_a["value"] == outputs_b["value"]
+
+    def test_make_list_drops_missing(self, registry):
+        workflow = Workflow()
+        a = workflow.add_module(Module("Constant",
+                                       parameters={"value": 1}))
+        lst = workflow.add_module(Module("MakeList"))
+        workflow.connect(a.id, "value", lst.id, "a")
+        run = Executor(registry).execute(workflow)
+        assert run.output(lst.id, "items") == [1]
+
+    def test_divide_by_zero_fails_module(self, registry):
+        workflow = Workflow()
+        a = workflow.add_module(Module("NumberConstant",
+                                       parameters={"value": 1.0}))
+        b = workflow.add_module(Module("NumberConstant",
+                                       parameters={"value": 0.0}))
+        div = workflow.add_module(Module("Divide"))
+        workflow.connect(a.id, "value", div.id, "a")
+        workflow.connect(b.id, "value", div.id, "b")
+        run = Executor(registry).execute(workflow)
+        assert run.status == "failed"

@@ -1,0 +1,178 @@
+"""Tests for the Open Provenance Model: model, inference, serialization,
+conversion."""
+
+import pytest
+
+from repro.core import ProvenanceCapture
+from repro.opm import (OPMGraph, complete, infer_derivations,
+                       infer_triggers, opm_from_dict, opm_from_json,
+                       opm_from_xml, opm_lineage, opm_to_dict, opm_to_json,
+                       opm_to_xml, run_to_opm, transitive_derivations)
+from repro.workflow import Executor
+from tests.conftest import build_fig1_workflow, module_by_name
+
+
+def tiny_graph():
+    """a1 --gen--> p1 --used--> a0 ; p2 used a1, generated a2."""
+    graph = OPMGraph("tiny")
+    graph.add_artifact("a0")
+    graph.add_artifact("a1")
+    graph.add_artifact("a2")
+    graph.add_process("p1")
+    graph.add_process("p2")
+    graph.used("p1", "a0", role="in")
+    graph.was_generated_by("a1", "p1", role="out")
+    graph.used("p2", "a1", role="in")
+    graph.was_generated_by("a2", "p2", role="out")
+    return graph
+
+
+class TestModel:
+    def test_edge_endpoint_kinds_enforced(self):
+        graph = OPMGraph()
+        graph.add_artifact("a")
+        graph.add_process("p")
+        with pytest.raises(ValueError):
+            graph.used("a", "p")  # reversed kinds
+        with pytest.raises(ValueError):
+            graph.was_generated_by("p", "a")
+
+    def test_duplicate_edges_collapse(self):
+        graph = tiny_graph()
+        before = len(graph.edges)
+        graph.used("p1", "a0", role="in")
+        assert len(graph.edges) == before
+
+    def test_agents_and_control(self):
+        graph = tiny_graph()
+        graph.add_agent("alice")
+        graph.was_controlled_by("p1", "alice", role="operator")
+        assert graph.edges_of_kind("wasControlledBy")[0].cause == "alice"
+
+    def test_accounts_and_view(self):
+        graph = OPMGraph()
+        graph.add_artifact("a")
+        graph.add_process("p")
+        graph.used("p", "a", accounts=("fine",))
+        graph.was_generated_by("a", "p", accounts=("coarse",))
+        fine = graph.account_view("fine")
+        assert len(fine.edges) == 1
+        assert fine.edges[0].kind == "used"
+
+    def test_merge_unifies_nodes(self):
+        first, second = tiny_graph(), tiny_graph()
+        merged = first.merge(second)
+        assert len(merged.artifacts) == 3
+        assert len(merged.edges) == 4
+
+    def test_validate_clean(self):
+        assert tiny_graph().validate() == []
+
+    def test_summary_counts(self):
+        summary = tiny_graph().summary()
+        assert summary["artifacts"] == 3
+        assert summary["used"] == 2
+
+
+class TestInference:
+    def test_derivation_introduction(self):
+        graph = tiny_graph()
+        added = infer_derivations(graph)
+        assert added == 2
+        pairs = {(e.effect, e.cause)
+                 for e in graph.edges_of_kind("wasDerivedFrom")}
+        assert pairs == {("a1", "a0"), ("a2", "a1")}
+
+    def test_trigger_introduction(self):
+        graph = tiny_graph()
+        added = infer_triggers(graph)
+        assert added == 1
+        edge = graph.edges_of_kind("wasTriggeredBy")[0]
+        assert (edge.effect, edge.cause) == ("p2", "p1")
+
+    def test_transitive_closure_account(self):
+        graph = tiny_graph()
+        infer_derivations(graph)
+        added = transitive_derivations(graph)
+        assert added == 1
+        transitive = [e for e in graph.edges_of_kind("wasDerivedFrom")
+                      if "inferred-transitive" in e.accounts]
+        assert [(e.effect, e.cause) for e in transitive] \
+            == [("a2", "a0")]
+
+    def test_complete_is_idempotent(self):
+        graph = tiny_graph()
+        complete(graph)
+        second = complete(graph)
+        assert second == {"derivations": 0, "triggers": 0,
+                          "transitive": 0}
+
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        graph = tiny_graph()
+        graph.add_agent("alice")
+        graph.was_controlled_by("p1", "alice", role="op",
+                                accounts=("acct",))
+        restored = opm_from_json(opm_to_json(graph))
+        assert opm_to_dict(restored) == opm_to_dict(graph)
+
+    def test_xml_roundtrip(self):
+        graph = tiny_graph()
+        graph.artifacts["a0"].attributes["name"] = "anatomy1.img"
+        restored = opm_from_xml(opm_to_xml(graph))
+        assert restored.summary() == graph.summary()
+        assert restored.artifacts["a0"].attributes["name"] \
+            == "anatomy1.img"
+
+    def test_dict_roundtrip_preserves_accounts(self):
+        graph = tiny_graph()
+        graph.used("p2", "a0", accounts=("extra",))
+        restored = opm_from_dict(opm_to_dict(graph))
+        assert "extra" in restored.accounts
+
+
+class TestConversion:
+    @pytest.fixture()
+    def fig1_run(self, registry):
+        workflow = build_fig1_workflow(size=8)
+        capture = ProvenanceCapture(registry=registry)
+        Executor(registry, listeners=[capture]).execute(
+            workflow, tags={"user": "alice"})
+        return workflow, capture.last_run()
+
+    def test_run_export_shape(self, fig1_run):
+        _, run = fig1_run
+        graph = run_to_opm(run)
+        summary = graph.summary()
+        assert summary["processes"] == 5
+        assert summary["artifacts"] == 6
+        assert summary["used"] == 4
+        assert summary["wasGeneratedBy"] == 6
+
+    def test_user_tag_becomes_agent(self, fig1_run):
+        _, run = fig1_run
+        graph = run_to_opm(run)
+        assert "alice" in graph.agents
+        assert len(graph.edges_of_kind("wasControlledBy")) == 5
+
+    def test_roles_are_ports(self, fig1_run):
+        _, run = fig1_run
+        graph = run_to_opm(run)
+        roles = {edge.role for edge in graph.edges_of_kind("used")}
+        assert roles == {"volume", "histogram", "mesh"}
+
+    def test_opm_lineage_matches_causality(self, fig1_run):
+        workflow, run = fig1_run
+        graph = run_to_opm(run)
+        render = module_by_name(workflow, "render_mesh")
+        image = run.artifacts_for_module(render.id, "image")
+        lineage = opm_lineage(graph, image.id)
+        assert len(lineage["processes"]) == 3
+        assert len(lineage["artifacts"]) == 2
+
+    def test_account_parameter(self, fig1_run):
+        _, run = fig1_run
+        graph = run_to_opm(run, account="runA")
+        assert "runA" in graph.accounts
+        assert all("runA" in edge.accounts for edge in graph.edges)

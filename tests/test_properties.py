@@ -1,0 +1,302 @@
+"""Property-based tests (hypothesis) on the system's algebraic cores.
+
+Invariants covered:
+* content hashing is deterministic and structure-sensitive;
+* workflow signatures are invariant under module-id relabelling;
+* evolution actions compose with their inverses to the identity;
+* semirings satisfy the semiring laws on random elements;
+* the Datalog engine agrees with a naive reference evaluator;
+* the triple store returns exactly what was inserted, under any mix of
+  insertion orders and pattern shapes;
+* ZOOM user views always partition the workflow and stay acyclic.
+"""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dbprov.semirings import (BooleanSemiring, CountingSemiring,
+                                    LineageSemiring, PolynomialSemiring,
+                                    WhySemiring)
+from repro.evolution.actions import (AddConnection, AddModule, RenameModule,
+                                     SetParameter)
+from repro.identity import canonical_json, hash_value
+from repro.query.datalog import Atom, Database, Program, Rule, Var
+from repro.query.views import build_user_view
+from repro.storage.triples import TripleStore
+from repro.workflow.spec import Module, Workflow
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+json_scalars = st.one_of(
+    st.none(), st.booleans(),
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(string.ascii_letters + string.digits, max_size=8))
+
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(string.ascii_lowercase, min_size=1,
+                                max_size=5), children, max_size=4)),
+    max_leaves=10)
+
+
+@st.composite
+def linear_workflows(draw):
+    """A chain workflow with a random length and random parameters."""
+    length = draw(st.integers(min_value=1, max_value=6))
+    values = draw(st.lists(st.integers(min_value=0, max_value=9),
+                           min_size=length, max_size=length))
+    workflow = Workflow("prop")
+    previous = workflow.add_module(Module(
+        "Constant", name="m0", parameters={"value": values[0]}))
+    for index in range(1, length):
+        module = workflow.add_module(Module(
+            "Identity", name=f"m{index}",
+            parameters={} if values[index] % 2 else
+            {"value": values[index]}))
+        workflow.connect(previous.id, "value", module.id, "value")
+        previous = module
+    return workflow
+
+
+# ----------------------------------------------------------------------
+# hashing and signatures
+# ----------------------------------------------------------------------
+class TestHashingProperties:
+    @given(json_values)
+    def test_hash_deterministic(self, value):
+        assert hash_value(value) == hash_value(value)
+
+    @given(st.dictionaries(st.text(string.ascii_lowercase, min_size=1,
+                                   max_size=5),
+                           json_scalars, min_size=1, max_size=5))
+    def test_canonical_json_key_order_invariant(self, mapping):
+        reversed_dict = dict(reversed(list(mapping.items())))
+        assert canonical_json(mapping) == canonical_json(reversed_dict)
+
+    @given(json_values, json_values)
+    def test_equal_encodings_equal_hashes(self, first, second):
+        # Note: Python considers False == 0, but content hashing follows
+        # the canonical JSON encoding, which (correctly) distinguishes
+        # booleans from numbers — so the invariant is stated on encodings.
+        if canonical_json(first) == canonical_json(second):
+            assert hash_value(first) == hash_value(second)
+
+    def test_bool_and_int_hash_differently(self):
+        # the deliberate exception to Python equality (False == 0)
+        assert hash_value([False]) != hash_value([0])
+        assert hash_value(True) != hash_value(1)
+
+
+class TestSignatureProperties:
+    @given(linear_workflows())
+    def test_signature_invariant_under_id_relabelling(self, workflow):
+        rebuilt = Workflow("relabelled")
+        id_map = {}
+        for module in workflow.modules.values():
+            clone = rebuilt.add_module(Module(
+                module.type_name, name=module.name,
+                parameters=dict(module.parameters)))
+            id_map[module.id] = clone.id
+        for connection in workflow.connections.values():
+            rebuilt.connect(id_map[connection.source_module],
+                            connection.source_port,
+                            id_map[connection.target_module],
+                            connection.target_port)
+        assert rebuilt.signature() == workflow.signature()
+
+    @given(linear_workflows())
+    def test_copy_signature_stable(self, workflow):
+        assert workflow.copy().signature() == workflow.signature()
+
+
+# ----------------------------------------------------------------------
+# evolution actions
+# ----------------------------------------------------------------------
+class TestActionProperties:
+    @given(st.lists(st.sampled_from(["add", "set", "rename", "connect"]),
+                    min_size=1, max_size=12),
+           st.randoms(use_true_random=False))
+    def test_apply_then_inverse_is_identity(self, operations, rng):
+        workflow = Workflow("base")
+        seed_module = workflow.add_module(Module("Constant", name="seed"))
+        module_ids = [seed_module.id]
+        for operation in operations:
+            before = workflow.copy()
+            if operation == "add":
+                action = AddModule.of("Identity",
+                                      f"m{len(module_ids)}")
+            elif operation == "set":
+                action = SetParameter(
+                    module_id=rng.choice(module_ids), name="value",
+                    value=rng.randint(0, 99))
+            elif operation == "rename":
+                action = RenameModule(module_id=rng.choice(module_ids),
+                                      name=f"renamed{rng.randint(0, 9)}")
+            else:
+                source = rng.choice(module_ids)
+                target_module = Module("Identity",
+                                       name=f"t{len(module_ids)}")
+                workflow.add_module(target_module)
+                before = workflow.copy()
+                action = AddConnection.of(source, "value",
+                                          target_module.id, "value")
+            inverse = action.inverse(before)
+            action.apply(workflow)
+            if isinstance(action, AddModule):
+                module_ids.append(action.module_id)
+                roundtrip = workflow.copy()
+                inverse.apply(roundtrip)
+                assert roundtrip.signature() == before.signature()
+            else:
+                roundtrip = workflow.copy()
+                inverse.apply(roundtrip)
+                assert roundtrip.signature() == before.signature()
+                assert {m.name for m in roundtrip.modules.values()} \
+                    == {m.name for m in before.modules.values()}
+
+
+# ----------------------------------------------------------------------
+# semiring laws
+# ----------------------------------------------------------------------
+def _elements(ring, draw_ids):
+    return [ring.tag(tuple_id) for tuple_id in draw_ids]
+
+
+semiring_instances = st.sampled_from([
+    BooleanSemiring(), CountingSemiring(), LineageSemiring(),
+    WhySemiring(), PolynomialSemiring()])
+
+tuple_ids = st.lists(st.sampled_from(["t1", "t2", "t3"]),
+                     min_size=3, max_size=3)
+
+
+class TestSemiringLaws:
+    @given(semiring_instances, tuple_ids)
+    def test_plus_commutative_associative(self, ring, ids):
+        a, b, c = _elements(ring, ids)
+        assert ring.plus(a, b) == ring.plus(b, a)
+        assert ring.plus(ring.plus(a, b), c) \
+            == ring.plus(a, ring.plus(b, c))
+
+    @given(semiring_instances, tuple_ids)
+    def test_times_associative(self, ring, ids):
+        a, b, c = _elements(ring, ids)
+        assert ring.times(ring.times(a, b), c) \
+            == ring.times(a, ring.times(b, c))
+
+    @given(semiring_instances, tuple_ids)
+    def test_identities(self, ring, ids):
+        a = ring.tag(ids[0])
+        assert ring.plus(a, ring.zero) == a
+        assert ring.times(a, ring.one) == a
+        assert ring.is_zero(ring.times(a, ring.zero))
+
+    @given(semiring_instances, tuple_ids)
+    def test_distributivity(self, ring, ids):
+        a, b, c = _elements(ring, ids)
+        left = ring.times(a, ring.plus(b, c))
+        right = ring.plus(ring.times(a, b), ring.times(a, c))
+        assert left == right
+
+
+# ----------------------------------------------------------------------
+# datalog vs naive reference
+# ----------------------------------------------------------------------
+def naive_transitive_closure(edges):
+    closure = set(edges)
+    changed = True
+    while changed:
+        changed = False
+        for (a, b) in list(closure):
+            for (c, d) in list(closure):
+                if b == c and (a, d) not in closure:
+                    closure.add((a, d))
+                    changed = True
+    return closure
+
+
+class TestDatalogAgainstReference:
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5)),
+                    min_size=0, max_size=12))
+    @settings(max_examples=50, deadline=None)
+    def test_transitive_closure_matches_naive(self, edges):
+        db = Database()
+        for a, b in edges:
+            db.add("edge", a, b)
+        program = Program([
+            Rule(Atom("path", (Var("X"), Var("Y"))),
+                 (Atom("edge", (Var("X"), Var("Y"))),)),
+            Rule(Atom("path", (Var("X"), Var("Y"))),
+                 (Atom("edge", (Var("X"), Var("Z"))),
+                  Atom("path", (Var("Z"), Var("Y"))))),
+        ])
+        result = program.evaluate(db)
+        assert result.rows("path") == naive_transitive_closure(set(edges))
+
+
+# ----------------------------------------------------------------------
+# triple store
+# ----------------------------------------------------------------------
+class TestTripleStoreProperties:
+    @given(st.sets(st.tuples(
+        st.sampled_from(["s1", "s2", "s3"]),
+        st.sampled_from(["p1", "p2"]),
+        st.sampled_from(["o1", "o2", "o3"])), max_size=15))
+    def test_match_returns_exactly_inserted(self, triples):
+        store = TripleStore()
+        for triple in triples:
+            store.add(*triple)
+        assert set(store.match()) == triples
+        for subject in ("s1", "s2", "s3"):
+            expected = {t for t in triples if t[0] == subject}
+            assert set(store.match(subject=subject)) == expected
+        for predicate in ("p1", "p2"):
+            expected = {t for t in triples if t[1] == predicate}
+            assert set(store.match(predicate=predicate)) == expected
+        assert len(store) == len(triples)
+
+    @given(st.lists(st.tuples(
+        st.sampled_from(["s1", "s2"]), st.sampled_from(["p1", "p2"]),
+        st.sampled_from(["o1", "o2"])), max_size=10))
+    def test_discard_inverts_add(self, triples):
+        store = TripleStore()
+        for triple in triples:
+            store.add(*triple)
+        for triple in triples:
+            store.discard(*triple)
+        assert len(store) == 0
+        assert store.match() == []
+
+
+# ----------------------------------------------------------------------
+# user views
+# ----------------------------------------------------------------------
+class TestUserViewProperties:
+    @given(linear_workflows(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_view_partitions_and_stays_acyclic(self, workflow, data):
+        module_ids = sorted(workflow.modules)
+        relevant = set(data.draw(st.lists(
+            st.sampled_from(module_ids), unique=True,
+            max_size=len(module_ids))))
+        view = build_user_view(workflow, relevant)
+        # partition: every module in exactly one composite
+        seen = set()
+        for members in view.composites.values():
+            assert not (members & seen)
+            seen |= members
+        assert seen == set(module_ids)
+        # quotient stays a DAG
+        view.quotient_graph(workflow).topological_order()
+        # relevant modules are singletons
+        for module_id in relevant:
+            assert view.composites[view.composite_of(module_id)] \
+                == {module_id}

@@ -1,0 +1,172 @@
+"""Tests for the Datalog engine: parsing, safety, stratification, fixpoint."""
+
+import pytest
+
+from repro.query.datalog import (Atom, Comparison, Database, DatalogError,
+                                 Program, Rule, Var, parse_atom,
+                                 parse_program, query)
+
+
+def family_db():
+    db = Database()
+    db.add("parent", "ann", "bob")
+    db.add("parent", "bob", "cal")
+    db.add("parent", "cal", "dee")
+    db.add("parent", "ann", "eve")
+    return db
+
+
+ANCESTOR_RULES = """
+ancestor(X, Y) :- parent(X, Y).
+ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).
+"""
+
+
+class TestParsing:
+    def test_parse_rules(self):
+        program = parse_program(ANCESTOR_RULES)
+        assert len(program.rules) == 2
+        assert program.rules[0].head.predicate == "ancestor"
+
+    def test_parse_fact(self):
+        program = parse_program("parent('ann', 'bob').")
+        assert program.rules[0].body == ()
+        assert program.rules[0].head.args == ("ann", "bob")
+
+    def test_parse_numbers_and_bools(self):
+        atom = parse_atom("p(1, 2.5, true, false, X)")
+        assert atom.args == (1, 2.5, True, False, Var("X"))
+
+    def test_parse_negation(self):
+        program = parse_program(
+            "only(X) :- node(X), not bad(X).")
+        negated = [l for l in program.rules[0].body
+                   if getattr(l, "negated", False)]
+        assert len(negated) == 1
+
+    def test_parse_comparison(self):
+        program = parse_program("big(X) :- size(X, N), N > 10.")
+        body = program.rules[0].body
+        assert isinstance(body[1], Comparison)
+        assert body[1].op == ">"
+
+    def test_anonymous_variables_distinct(self):
+        program = parse_program("p(X) :- q(X, _), r(X, _).")
+        body_vars = set()
+        for literal in program.rules[0].body:
+            body_vars |= literal.variables()
+        anonymous = [v for v in body_vars if v.name.startswith("_G")]
+        assert len(anonymous) == 2
+
+    def test_tokenizer_error(self):
+        with pytest.raises(DatalogError):
+            parse_program("p(X) :- q(X) & r(X).")
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(DatalogError):
+            parse_atom("p(X) q")
+
+
+class TestSafety:
+    def test_unsafe_head_variable(self):
+        with pytest.raises(DatalogError):
+            Rule(head=Atom("p", (Var("X"), Var("Y"))),
+                 body=(Atom("q", (Var("X"),)),)).check_safety()
+
+    def test_unsafe_negated_variable(self):
+        with pytest.raises(DatalogError):
+            parse_program("p(X) :- q(X), not r(Y).")
+
+    def test_unsafe_comparison_variable(self):
+        with pytest.raises(DatalogError):
+            parse_program("p(X) :- q(X), Y > 3.")
+
+    def test_safe_rule_passes(self):
+        parse_program("p(X) :- q(X), not r(X), X != 'bad'.")
+
+
+class TestEvaluation:
+    def test_transitive_closure(self):
+        program = parse_program(ANCESTOR_RULES)
+        result = program.evaluate(family_db())
+        assert ("ann", "dee") in result.rows("ancestor")
+        # ann->{bob,cal,dee,eve}, bob->{cal,dee}, cal->{dee}
+        assert len(result.rows("ancestor")) == 7
+
+    def test_query_bindings(self):
+        program = parse_program(ANCESTOR_RULES)
+        result = program.evaluate(family_db())
+        bindings = query(result, parse_atom("ancestor(X, 'dee')"))
+        ancestors = {b[Var("X")] for b in bindings}
+        assert ancestors == {"ann", "bob", "cal"}
+
+    def test_negation(self):
+        db = family_db()
+        for person in ("ann", "bob", "cal", "dee", "eve"):
+            db.add("person", person)
+        program = parse_program(
+            "has_child(X) :- parent(X, _).\n"
+            "leaf(X) :- person(X), not has_child(X).")
+        result = program.evaluate(db)
+        assert result.rows("leaf") == {("dee",), ("eve",)}
+
+    def test_comparison_filters(self):
+        db = Database()
+        db.add("size", "a", 5)
+        db.add("size", "b", 15)
+        program = parse_program("big(X) :- size(X, N), N > 10.")
+        result = program.evaluate(db)
+        assert result.rows("big") == {("b",)}
+
+    def test_stratification_rejects_negation_cycle(self):
+        program = parse_program(
+            "p(X) :- q(X), not r(X).\n"
+            "r(X) :- q(X), not p(X).")
+        with pytest.raises(DatalogError):
+            program.evaluate(Database())
+
+    def test_multiple_strata(self):
+        db = family_db()
+        for person in ("ann", "bob", "cal", "dee", "eve"):
+            db.add("person", person)
+        program = parse_program(
+            ANCESTOR_RULES +
+            "root(X) :- person(X), not descendant(X).\n"
+            "descendant(X) :- ancestor(_, X).")
+        result = program.evaluate(db)
+        assert result.rows("root") == {("ann",)}
+
+    def test_edb_unchanged(self):
+        db = family_db()
+        program = parse_program(ANCESTOR_RULES)
+        program.evaluate(db)
+        assert len(db.rows("ancestor")) == 0  # input db not mutated
+
+    def test_long_chain_performance_shape(self):
+        db = Database()
+        for index in range(200):
+            db.add("edge", index, index + 1)
+        program = parse_program(
+            "path(X, Y) :- edge(X, Y).\n"
+            "path(X, Y) :- edge(X, Z), path(Z, Y).")
+        result = program.evaluate(db)
+        assert ("0", "200") not in result.rows("path")  # ints, not strs
+        assert (0, 200) in result.rows("path")
+        assert len(result.rows("path")) == 201 * 200 // 2
+
+
+class TestDatabase:
+    def test_add_deduplicates(self):
+        db = Database()
+        assert db.add("p", 1)
+        assert not db.add("p", 1)
+        assert len(db) == 1
+
+    def test_merge(self):
+        first, second = Database(), Database()
+        first.add("p", 1)
+        second.add("p", 2)
+        second.add("q", 3)
+        merged = first.merge(second)
+        assert len(merged) == 3
+        assert merged.predicates() == ["p", "q"]

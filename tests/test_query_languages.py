@@ -1,0 +1,257 @@
+"""Tests for ProvQL, the SPARQL-like engine, provenance facts and QBE."""
+
+import pytest
+
+from repro.core import ProvenanceCapture
+from repro.query import (ProvQLError, SparqlError, V, execute,
+                         execute_sparql, find_matches, parse, parse_sparql,
+                         provenance_program, run_to_facts, select)
+from repro.query.datalog import Var, parse_atom
+from repro.query.datalog import query as datalog_query
+from repro.storage import TripleStore, run_to_triples
+from repro.workflow import Executor, Module, Workflow
+from tests.conftest import build_fig1_workflow, module_by_name
+
+
+@pytest.fixture(scope="module")
+def fig1(registry):
+    workflow = build_fig1_workflow(size=8)
+    capture = ProvenanceCapture(registry=registry)
+    Executor(registry, listeners=[capture]).execute(workflow)
+    return workflow, capture.last_run()
+
+
+class TestProvQL:
+    def test_executions_listing(self, fig1):
+        _, run = fig1
+        rows = execute("EXECUTIONS", run)
+        assert len(rows) == 5
+        assert {"id", "module.type", "status",
+                "duration"} <= set(rows[0])
+
+    def test_where_conditions(self, fig1):
+        _, run = fig1
+        rows = execute("EXECUTIONS WHERE module.type = "
+                       "'IsosurfaceExtract'", run)
+        assert len(rows) == 1
+        rows = execute("EXECUTIONS WHERE module.type = "
+                       "'IsosurfaceExtract' AND param.level = 90", run)
+        assert len(rows) == 1
+        rows = execute("EXECUTIONS WHERE param.level > 100", run)
+        assert rows == []
+
+    def test_contains_operator(self, fig1):
+        _, run = fig1
+        rows = execute("EXECUTIONS WHERE module.type CONTAINS 'Render'",
+                       run)
+        assert len(rows) == 2
+
+    def test_artifacts_and_products(self, fig1):
+        _, run = fig1
+        artifacts = execute("ARTIFACTS", run)
+        assert len(artifacts) == 6
+        products = execute("PRODUCTS", run)
+        assert len(products) == 3  # two images + unconsumed header
+        images = execute("PRODUCTS WHERE type = 'Image'", run)
+        assert len(images) == 2
+
+    def test_count(self, fig1):
+        _, run = fig1
+        assert execute("COUNT EXECUTIONS", run) == 5
+        assert execute("COUNT ARTIFACTS WHERE type = 'Mesh'", run) == 1
+
+    def test_upstream_by_module_port_reference(self, fig1):
+        _, run = fig1
+        rows = execute("UPSTREAM OF render_mesh.image", run)
+        types = {row["type"] for row in rows}
+        assert types == {"Mesh", "VolumeData"}
+
+    def test_upstream_with_filter(self, fig1):
+        _, run = fig1
+        rows = execute("UPSTREAM OF render_mesh.image "
+                       "WHERE type = 'VolumeData'", run)
+        assert len(rows) == 1
+
+    def test_downstream(self, fig1):
+        workflow, run = fig1
+        rows = execute("DOWNSTREAM OF load.volume", run)
+        assert len(rows) == 4
+
+    def test_lineage(self, fig1):
+        _, run = fig1
+        result = execute("LINEAGE OF render_hist.image", run)
+        assert len(result["executions"]) == 3
+        assert len(result["artifacts"]) == 2
+
+    def test_paths(self, fig1):
+        _, run = fig1
+        paths = execute("PATHS FROM render_mesh.image TO load.volume",
+                        run)
+        assert len(paths) == 1
+        assert len(paths[0]) == 5
+
+    def test_artifact_resolution_by_hash(self, fig1):
+        workflow, run = fig1
+        load = module_by_name(workflow, "load")
+        volume = run.artifacts_for_module(load.id, "volume")
+        rows = execute(f"DOWNSTREAM OF '{volume.value_hash}'", run)
+        assert len(rows) == 4
+
+    def test_unresolvable_reference(self, fig1):
+        _, run = fig1
+        with pytest.raises(ProvQLError):
+            execute("LINEAGE OF nothing.here", run)
+
+    def test_syntax_errors(self, fig1):
+        _, run = fig1
+        with pytest.raises(ProvQLError):
+            parse("FROBNICATE EVERYTHING")
+        with pytest.raises(ProvQLError):
+            parse("EXECUTIONS WHERE")
+        with pytest.raises(ProvQLError):
+            parse("EXECUTIONS trailing")
+
+
+class TestDatalogFacts:
+    def test_fact_export_counts(self, fig1):
+        _, run = fig1
+        db = run_to_facts(run)
+        assert len(db.rows("execution")) == 5
+        assert len(db.rows("artifact")) == 6
+        assert len(db.rows("generated")) == 6
+
+    def test_standard_rules_upstream(self, fig1):
+        workflow, run = fig1
+        db = run_to_facts(run)
+        derived = provenance_program().evaluate(db)
+        load = module_by_name(workflow, "load")
+        render = module_by_name(workflow, "render_mesh")
+        image = run.artifacts_for_module(render.id, "image")
+        volume = run.artifacts_for_module(load.id, "volume")
+        rows = datalog_query(derived,
+                             parse_atom(f"upstream('{image.id}', Y)"))
+        upstream_ids = {bindings[Var("Y")] for bindings in rows}
+        assert volume.id in upstream_ids
+
+    def test_depends_on_type_rule(self, fig1):
+        workflow, run = fig1
+        db = run_to_facts(run)
+        derived = provenance_program().evaluate(db)
+        render = module_by_name(workflow, "render_hist")
+        image = run.artifacts_for_module(render.id, "image")
+        rows = datalog_query(
+            derived,
+            parse_atom(f"depends_on_type('{image.id}', T)"))
+        types = {bindings[Var("T")] for bindings in rows}
+        assert "LoadVolume" in types and "ComputeHistogram" in types
+
+    def test_sibling_rule(self, fig1):
+        workflow, run = fig1
+        db = run_to_facts(run)
+        derived = provenance_program().evaluate(db)
+        load = module_by_name(workflow, "load")
+        volume = run.artifacts_for_module(load.id, "volume")
+        header = run.artifacts_for_module(load.id, "header")
+        assert (volume.id, header.id) in derived.rows("sibling")
+
+
+class TestSparqlLike:
+    def test_pattern_join(self, fig1):
+        _, run = fig1
+        store = TripleStore()
+        store.add_all(iter(run_to_triples(run)))
+        rows = select(store,
+                      [(V("e"), "prov:moduleType", "IsosurfaceExtract"),
+                       (V("e"), "prov:status", V("s"))])
+        assert len(rows) == 1
+        assert rows[0]["s"] == "ok"
+
+    def test_text_query_with_filter(self, fig1):
+        _, run = fig1
+        store = TripleStore()
+        store.add_all(iter(run_to_triples(run)))
+        rows = execute_sparql(store, """
+            SELECT ?e ?t WHERE {
+                ?e prov:moduleType ?t .
+                FILTER ?t CONTAINS 'Render'
+            }""")
+        assert len(rows) == 2
+        assert all(set(row) == {"e", "t"} for row in rows)
+
+    def test_distinct_and_limit(self, fig1):
+        _, run = fig1
+        store = TripleStore()
+        store.add_all(iter(run_to_triples(run)))
+        rows = execute_sparql(store, """
+            SELECT DISTINCT ?s WHERE {
+                ?e prov:status ?s .
+            } LIMIT 1""")
+        assert rows == [{"s": "ok"}]
+
+    def test_lineage_join_across_predicates(self, fig1):
+        workflow, run = fig1
+        store = TripleStore()
+        store.add_all(iter(run_to_triples(run)))
+        # artifacts generated by an execution that used the volume artifact
+        load = module_by_name(workflow, "load")
+        volume = run.artifacts_for_module(load.id, "volume")
+        rows = execute_sparql(store, f"""
+            SELECT ?a WHERE {{
+                ?e prov:used '{volume.id}' .
+                ?a prov:wasGeneratedBy ?e .
+            }}""")
+        assert len(rows) == 2  # histogram and mesh
+
+    def test_parse_errors(self):
+        with pytest.raises(SparqlError):
+            parse_sparql("SELECT ?x { }")
+        with pytest.raises(SparqlError):
+            parse_sparql("SELECT ?x WHERE { ?x ?y }")
+
+
+class TestQBE:
+    def test_find_single_match(self, fig1, registry):
+        workflow, _ = fig1
+        pattern = Workflow("pattern")
+        iso = pattern.add_module(Module("IsosurfaceExtract"))
+        render = pattern.add_module(Module("RenderMesh"))
+        pattern.connect(iso.id, "mesh", render.id, "mesh")
+        matches = find_matches(pattern, workflow)
+        assert len(matches) == 1
+        mapped = matches[0]
+        assert workflow.modules[mapped[iso.id]].type_name \
+            == "IsosurfaceExtract"
+
+    def test_no_match_for_absent_structure(self, fig1):
+        workflow, _ = fig1
+        pattern = Workflow("pattern")
+        a = pattern.add_module(Module("RenderMesh"))
+        b = pattern.add_module(Module("RenderMesh"))
+        pattern.connect(a.id, "image", b.id, "mesh")
+        assert find_matches(pattern, workflow) == []
+
+    def test_parameter_pinning(self, fig1):
+        workflow, _ = fig1
+        pattern = Workflow("pattern")
+        pattern.add_module(Module("IsosurfaceExtract",
+                                  parameters={"level": 90.0}))
+        assert find_matches(pattern, workflow,
+                            match_parameters=True)
+        pattern2 = Workflow("pattern2")
+        pattern2.add_module(Module("IsosurfaceExtract",
+                                   parameters={"level": 1.0}))
+        assert find_matches(pattern2, workflow,
+                            match_parameters=True) == []
+
+    def test_injective_mapping(self):
+        target = Workflow("t")
+        a = target.add_module(Module("Identity", name="a"))
+        b = target.add_module(Module("Identity", name="b"))
+        target.connect(a.id, "value", b.id, "value")
+        pattern = Workflow("p")
+        x = pattern.add_module(Module("Identity"))
+        y = pattern.add_module(Module("Identity"))
+        pattern.connect(x.id, "value", y.id, "value")
+        matches = find_matches(pattern, target)
+        assert len(matches) == 1  # only the order-respecting embedding
+        assert matches[0][x.id] == a.id

@@ -1,0 +1,128 @@
+"""Tests for ZOOM user views (provenance-overload reduction)."""
+
+import pytest
+
+from repro.core import ProvenanceCapture
+from repro.query import build_user_view
+from repro.workflow import Executor, Module, Workflow
+from tests.conftest import build_fig1_workflow, module_by_name
+
+
+class TestViewConstruction:
+    def test_relevant_modules_are_singletons(self):
+        workflow = build_fig1_workflow()
+        load = module_by_name(workflow, "load")
+        iso = module_by_name(workflow, "iso")
+        view = build_user_view(workflow, {load.id, iso.id})
+        assert view.composites[view.composite_of(load.id)] == {load.id}
+        assert view.composites[view.composite_of(iso.id)] == {iso.id}
+
+    def test_irrelevant_neighbours_group(self):
+        workflow = build_fig1_workflow()
+        load = module_by_name(workflow, "load")
+        hist = module_by_name(workflow, "hist")
+        render_hist = module_by_name(workflow, "render_hist")
+        view = build_user_view(workflow, {load.id})
+        # hist -> render_hist share the signature (ancestors={load},
+        # descendants={}) and are connected: one composite
+        assert view.composite_of(hist.id) \
+            == view.composite_of(render_hist.id)
+
+    def test_reduction_factor(self):
+        workflow = build_fig1_workflow()
+        load = module_by_name(workflow, "load")
+        view = build_user_view(workflow, {load.id})
+        assert view.composite_count() < len(workflow.modules)
+        assert view.reduction_factor() > 1.0
+
+    def test_all_relevant_is_identity(self):
+        workflow = build_fig1_workflow()
+        view = build_user_view(workflow, set(workflow.modules))
+        assert view.composite_count() == len(workflow.modules)
+        assert view.reduction_factor() == 1.0
+
+    def test_unknown_relevant_id_rejected(self):
+        workflow = build_fig1_workflow()
+        with pytest.raises(KeyError):
+            build_user_view(workflow, {"mod-ghost"})
+
+    def test_quotient_is_acyclic(self):
+        workflow = build_fig1_workflow()
+        iso = module_by_name(workflow, "iso")
+        view = build_user_view(workflow, {iso.id})
+        quotient = view.quotient_graph(workflow)
+        quotient.topological_order()  # raises on cycles
+
+    def test_branch_groups_stay_separate(self):
+        # hist-branch and iso-branch have different relevant descendants,
+        # so they must not merge even though both are irrelevant
+        workflow = build_fig1_workflow()
+        render_hist = module_by_name(workflow, "render_hist")
+        render_mesh = module_by_name(workflow, "render_mesh")
+        view = build_user_view(workflow,
+                               {render_hist.id, render_mesh.id})
+        hist = module_by_name(workflow, "hist")
+        iso = module_by_name(workflow, "iso")
+        assert view.composite_of(hist.id) != view.composite_of(iso.id)
+
+    def test_cycle_inducing_merge_is_split(self, registry):
+        # a -> x -> b and a -> b directly; if {a,b} merged while x stays
+        # separate the quotient would cycle — the builder must split
+        workflow = Workflow("tri")
+        a = workflow.add_module(Module("Identity", name="a"))
+        x = workflow.add_module(Module("SpinCompute", name="x"))
+        b = workflow.add_module(Module("MakeList", name="b"))
+        workflow.connect(a.id, "value", x.id, "value")
+        workflow.connect(x.id, "value", b.id, "a")
+        workflow.connect(a.id, "value", b.id, "b")
+        view = build_user_view(workflow, {x.id})
+        quotient = view.quotient_graph(workflow)
+        quotient.topological_order()
+
+
+class TestCollapseRun:
+    @pytest.fixture()
+    def fig1_run(self, registry):
+        workflow = build_fig1_workflow(size=8)
+        capture = ProvenanceCapture(registry=registry)
+        Executor(registry, listeners=[capture]).execute(workflow)
+        return workflow, capture.last_run()
+
+    def test_collapsed_smaller_than_full(self, fig1_run):
+        workflow, run = fig1_run
+        load = module_by_name(workflow, "load")
+        view = build_user_view(workflow, {load.id})
+        collapsed = view.collapse_run(run)
+        from repro.core import causality_graph
+        full = causality_graph(run, include_derivations=False)
+        assert collapsed.node_count < full.node_count
+
+    def test_composite_durations_aggregate(self, fig1_run):
+        workflow, run = fig1_run
+        load = module_by_name(workflow, "load")
+        view = build_user_view(workflow, {load.id})
+        collapsed = view.collapse_run(run)
+        total = sum(attrs["duration"] for _, attrs
+                    in collapsed.nodes("composite"))
+        expected = sum(execution.duration
+                       for execution in run.executions)
+        assert total == pytest.approx(expected, rel=1e-6)
+
+    def test_boundary_artifacts_visible(self, fig1_run):
+        workflow, run = fig1_run
+        load = module_by_name(workflow, "load")
+        iso = module_by_name(workflow, "iso")
+        view = build_user_view(workflow, {load.id, iso.id})
+        collapsed = view.collapse_run(run)
+        volume = run.artifacts_for_module(load.id, "volume")
+        assert collapsed.has_node(volume.id)
+
+    def test_internal_artifacts_hidden(self, fig1_run):
+        workflow, run = fig1_run
+        load = module_by_name(workflow, "load")
+        hist = module_by_name(workflow, "hist")
+        view = build_user_view(workflow, {load.id})
+        collapsed = view.collapse_run(run)
+        histogram = run.artifacts_for_module(hist.id, "histogram")
+        # histogram flows hist -> render_hist inside one composite
+        assert not collapsed.has_node(histogram.id)

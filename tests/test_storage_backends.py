@@ -1,0 +1,268 @@
+"""Backend-conformance tests run against all four provenance stores."""
+
+import numpy as np
+import pytest
+
+from repro.core import ProspectiveProvenance, ProvenanceCapture
+from repro.storage import (ArtifactValueStore, DocumentStore,
+                           FileArtifactValueStore, MemoryStore,
+                           RelationalStore, StoreError,
+                           TripleProvenanceStore, TripleStore,
+                           run_to_triples)
+from repro.workflow import Executor, Module, Workflow
+from tests.conftest import build_fig1_workflow, module_by_name
+
+
+def make_store(name, tmp_path):
+    if name == "memory":
+        return MemoryStore()
+    if name == "relational":
+        return RelationalStore()
+    if name == "relational-values":
+        return RelationalStore(store_values=True)
+    if name == "triples":
+        return TripleProvenanceStore()
+    if name == "documents":
+        return DocumentStore(tmp_path / "docs")
+    raise ValueError(name)
+
+
+BACKENDS = ["memory", "relational", "triples", "documents"]
+
+
+@pytest.fixture()
+def captured_run(registry):
+    workflow = build_fig1_workflow(size=8)
+    capture = ProvenanceCapture(registry=registry)
+    Executor(registry, listeners=[capture]).execute(
+        workflow, tags={"suite": "storage"})
+    return workflow, capture.last_run()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestStoreConformance:
+    def test_run_roundtrip(self, backend, tmp_path, captured_run):
+        workflow, run = captured_run
+        store = make_store(backend, tmp_path)
+        store.save_run(run)
+        loaded = store.load_run(run.id)
+        assert loaded.id == run.id
+        assert loaded.status == "ok"
+        assert loaded.workflow_signature == run.workflow_signature
+        assert len(loaded.executions) == len(run.executions)
+        assert set(loaded.artifacts) == set(run.artifacts)
+        original = run.execution_for_module(
+            module_by_name(workflow, "iso").id)
+        restored = loaded.execution_for_module(
+            module_by_name(workflow, "iso").id)
+        assert restored.parameters == original.parameters
+        assert restored.input_artifacts() == original.input_artifacts()
+
+    def test_missing_run_raises(self, backend, tmp_path, captured_run):
+        store = make_store(backend, tmp_path)
+        with pytest.raises(StoreError):
+            store.load_run("run-missing")
+
+    def test_list_and_delete(self, backend, tmp_path, captured_run):
+        _, run = captured_run
+        store = make_store(backend, tmp_path)
+        store.save_run(run)
+        assert [s.run_id for s in store.list_runs()] == [run.id]
+        assert store.delete_run(run.id)
+        assert store.list_runs() == []
+        assert not store.delete_run(run.id)
+
+    def test_save_is_idempotent_overwrite(self, backend, tmp_path,
+                                          captured_run):
+        _, run = captured_run
+        store = make_store(backend, tmp_path)
+        store.save_run(run)
+        store.save_run(run)
+        assert len(store.list_runs()) == 1
+        assert len(store.load_run(run.id).executions) == \
+            len(run.executions)
+
+    def test_workflow_roundtrip(self, backend, tmp_path, captured_run,
+                                registry):
+        workflow, _ = captured_run
+        store = make_store(backend, tmp_path)
+        prospective = ProspectiveProvenance.from_workflow(workflow,
+                                                          registry)
+        store.save_workflow(prospective)
+        loaded = store.load_workflow(workflow.id)
+        assert loaded.signature == prospective.signature
+        assert loaded.to_workflow().signature() == workflow.signature()
+        assert store.list_workflows() == [workflow.id]
+
+    def test_annotation_roundtrip(self, backend, tmp_path, captured_run):
+        _, run = captured_run
+        store = make_store(backend, tmp_path)
+        from repro.core import Annotation
+        store.save_annotation(Annotation(
+            target_kind="run", target_id=run.id, key="grade",
+            value={"score": 9}, author="dana", created=1.5))
+        found = store.annotations_for("run", run.id)
+        assert found[0].value == {"score": 9}
+        assert found[0].author == "dana"
+        assert len(store.all_annotations()) == 1
+
+    def test_find_runs_by_status(self, backend, tmp_path, captured_run):
+        _, run = captured_run
+        store = make_store(backend, tmp_path)
+        store.save_run(run)
+        assert store.find_runs(status="ok") == [run.id]
+        assert store.find_runs(status="failed") == []
+        assert store.find_runs(workflow_id=run.workflow_id) == [run.id]
+
+    def test_find_artifacts_by_hash(self, backend, tmp_path, captured_run):
+        workflow, run = captured_run
+        store = make_store(backend, tmp_path)
+        store.save_run(run)
+        load = module_by_name(workflow, "load")
+        volume = run.artifacts_for_module(load.id, "volume")
+        found = store.find_artifacts_by_hash(volume.value_hash)
+        assert [(run_id, artifact.id) for run_id, artifact in found] == \
+            [(run.id, volume.id)]
+
+    def test_find_executions_by_type(self, backend, tmp_path,
+                                     captured_run):
+        _, run = captured_run
+        store = make_store(backend, tmp_path)
+        store.save_run(run)
+        found = store.find_executions(module_type="IsosurfaceExtract")
+        assert len(found) == 1
+        found = store.find_executions(module_type="IsosurfaceExtract",
+                                      parameter=("level", 90.0))
+        assert len(found) == 1
+        found = store.find_executions(module_type="IsosurfaceExtract",
+                                      parameter=("level", 1.0))
+        assert found == []
+
+
+class TestRelationalSpecifics:
+    def test_raw_sql_queries(self, captured_run):
+        _, run = captured_run
+        store = RelationalStore()
+        store.save_run(run)
+        rows = store.sql("SELECT COUNT(*) FROM executions")
+        assert rows[0][0] == 5
+        rows = store.sql(
+            "SELECT module_type FROM executions WHERE run_id = ?"
+            " ORDER BY module_type", (run.id,))
+        assert rows[0][0] == "ComputeHistogram"
+
+    def test_sql_rejects_writes(self, captured_run):
+        store = RelationalStore()
+        with pytest.raises(StoreError):
+            store.sql("DELETE FROM runs")
+        with pytest.raises(StoreError):
+            store.sql("SELECT 1; DROP TABLE runs")
+
+    def test_values_persist_when_enabled(self, captured_run):
+        workflow, run = captured_run
+        store = RelationalStore(store_values=True)
+        store.save_run(run)
+        loaded = store.load_run(run.id)
+        load = module_by_name(workflow, "load")
+        volume = run.artifacts_for_module(load.id, "volume")
+        assert np.array_equal(loaded.values[volume.id],
+                              run.values[volume.id])
+
+    def test_values_skipped_when_disabled(self, captured_run):
+        _, run = captured_run
+        store = RelationalStore(store_values=False)
+        store.save_run(run)
+        assert store.load_run(run.id).values == {}
+
+
+class TestTripleStoreSpecifics:
+    def test_pattern_matching(self):
+        store = TripleStore()
+        store.add("s1", "p1", "o1")
+        store.add("s1", "p2", "o2")
+        store.add("s2", "p1", "o1")
+        assert len(store.match(None, "p1", None)) == 2
+        assert len(store.match("s1", None, None)) == 2
+        assert len(store.match(None, None, "o1")) == 2
+        assert store.match("s1", "p1", "o1") == [("s1", "p1", "o1")]
+        assert len(store.match()) == 3
+
+    def test_duplicate_add_ignored(self):
+        store = TripleStore()
+        assert store.add("s", "p", "o")
+        assert not store.add("s", "p", "o")
+        assert len(store) == 1
+
+    def test_discard_and_remove_subject(self):
+        store = TripleStore()
+        store.add("s", "p", "o")
+        store.add("s", "q", "o2")
+        assert store.discard("s", "p", "o")
+        assert not store.discard("s", "p", "o")
+        assert store.remove_subject("s") == 1
+        assert len(store) == 0
+
+    def test_run_triples_contain_lineage_edges(self, captured_run):
+        workflow, run = captured_run
+        triples = run_to_triples(run)
+        predicates = {p for _, p, _ in triples}
+        assert "prov:used" in predicates
+        assert "prov:wasGeneratedBy" in predicates
+
+    def test_triple_count_scales_with_run(self, captured_run):
+        _, run = captured_run
+        store = TripleProvenanceStore()
+        store.save_run(run)
+        assert len(store.triples) > 50
+        store.delete_run(run.id)
+        assert len(store.triples) == 0
+
+
+class TestDocumentStoreSpecifics:
+    def test_files_on_disk(self, tmp_path, captured_run):
+        _, run = captured_run
+        store = DocumentStore(tmp_path / "d")
+        store.save_run(run)
+        assert (tmp_path / "d" / "runs" / f"{run.id}.json").exists()
+
+    def test_values_persist_when_enabled(self, tmp_path, captured_run):
+        workflow, run = captured_run
+        store = DocumentStore(tmp_path / "d", store_values=True)
+        store.save_run(run)
+        loaded = store.load_run(run.id)
+        load = module_by_name(workflow, "load")
+        volume = run.artifacts_for_module(load.id, "volume")
+        assert np.array_equal(loaded.values[volume.id],
+                              run.values[volume.id])
+
+
+class TestArtifactValueStores:
+    def test_memory_put_get(self):
+        store = ArtifactValueStore()
+        value_hash = store.put({"x": [1, 2]})
+        assert store.get(value_hash) == {"x": [1, 2]}
+        assert store.has(value_hash)
+        assert len(store) == 1
+
+    def test_memory_idempotent(self):
+        store = ArtifactValueStore()
+        first = store.put("same")
+        second = store.put("same")
+        assert first == second
+        assert len(store) == 1
+
+    def test_file_store_roundtrip(self, tmp_path):
+        store = FileArtifactValueStore(tmp_path / "vals")
+        array = np.arange(10.0)
+        value_hash = store.put(array)
+        assert np.array_equal(store.get(value_hash), array)
+        assert store.has(value_hash)
+        assert len(store) == 1
+
+    def test_file_store_discard(self, tmp_path):
+        store = FileArtifactValueStore(tmp_path / "vals")
+        value_hash = store.put("x")
+        assert store.discard(value_hash)
+        assert not store.discard(value_hash)
+        with pytest.raises(KeyError):
+            store.get(value_hash)

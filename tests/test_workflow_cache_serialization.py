@@ -1,0 +1,113 @@
+"""Tests for the result cache and workflow JSON serialization."""
+
+import pytest
+
+from repro.workflow import (Module, SpecError, Workflow, dumps_workflow,
+                            loads_workflow, workflow_from_dict,
+                            workflow_to_dict)
+from repro.workflow.cache import CacheEntry, ResultCache, module_cache_key
+from tests.conftest import build_fig1_workflow
+
+
+class TestCacheKey:
+    def test_same_inputs_same_key(self):
+        key_a = module_cache_key("M", "1.0", {"p": 1}, {"in": "h1"})
+        key_b = module_cache_key("M", "1.0", {"p": 1}, {"in": "h1"})
+        assert key_a == key_b
+
+    def test_key_sensitive_to_every_component(self):
+        base = module_cache_key("M", "1.0", {"p": 1}, {"in": "h1"})
+        assert module_cache_key("N", "1.0", {"p": 1}, {"in": "h1"}) != base
+        assert module_cache_key("M", "2.0", {"p": 1}, {"in": "h1"}) != base
+        assert module_cache_key("M", "1.0", {"p": 2}, {"in": "h1"}) != base
+        assert module_cache_key("M", "1.0", {"p": 1}, {"in": "h2"}) != base
+
+    def test_parameter_order_irrelevant(self):
+        key_a = module_cache_key("M", "1", {"a": 1, "b": 2}, {})
+        key_b = module_cache_key("M", "1", {"b": 2, "a": 1}, {})
+        assert key_a == key_b
+
+
+class TestResultCache:
+    def entry(self, tag="x"):
+        return CacheEntry(outputs={"out": tag},
+                          output_hashes={"out": f"hash-{tag}"},
+                          source_execution=f"exec-{tag}")
+
+    def test_put_get_roundtrip(self):
+        cache = ResultCache()
+        cache.put("k", self.entry())
+        assert cache.get("k").outputs == {"out": "x"}
+
+    def test_miss_returns_none_and_counts(self):
+        cache = ResultCache()
+        assert cache.get("absent") is None
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", self.entry("a"))
+        cache.put("b", self.entry("b"))
+        cache.get("a")             # refresh a; b is now LRU
+        cache.put("c", self.entry("c"))
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.stats.evictions == 1
+
+    def test_invalidate(self):
+        cache = ResultCache()
+        cache.put("k", self.entry())
+        assert cache.invalidate("k")
+        assert not cache.invalidate("k")
+
+    def test_clear_keeps_stats(self):
+        cache = ResultCache()
+        cache.put("k", self.entry())
+        cache.get("k")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+
+    def test_unbounded_cache(self):
+        cache = ResultCache(max_entries=None)
+        for index in range(5000):
+            cache.put(str(index), self.entry(str(index)))
+        assert len(cache) == 5000
+
+    def test_hit_rate_zero_when_untouched(self):
+        assert ResultCache().stats.hit_rate == 0.0
+
+
+class TestSerialization:
+    def test_roundtrip_structure(self):
+        workflow = build_fig1_workflow()
+        restored = loads_workflow(dumps_workflow(workflow))
+        assert restored.id == workflow.id
+        assert restored.signature() == workflow.signature()
+        assert set(restored.modules) == set(workflow.modules)
+        assert set(restored.connections) == set(workflow.connections)
+
+    def test_roundtrip_preserves_parameters(self):
+        workflow = Workflow()
+        module = workflow.add_module(Module(
+            "Constant", parameters={"value": {"nested": [1, 2]}}))
+        restored = loads_workflow(dumps_workflow(workflow))
+        assert restored.modules[module.id].parameters == {
+            "value": {"nested": [1, 2]}}
+
+    def test_roundtrip_preserves_positions(self):
+        workflow = Workflow()
+        workflow.add_module(Module("Constant", position=(3.5, -1.0)))
+        restored = loads_workflow(dumps_workflow(workflow))
+        module = next(iter(restored.modules.values()))
+        assert module.position == (3.5, -1.0)
+
+    def test_bad_format_version_rejected(self):
+        data = workflow_to_dict(Workflow())
+        data["format_version"] = 999
+        with pytest.raises(SpecError):
+            workflow_from_dict(data)
+
+    def test_dict_is_json_stable(self):
+        workflow = build_fig1_workflow()
+        assert workflow_to_dict(workflow) == workflow_to_dict(workflow)

@@ -1,0 +1,151 @@
+"""Tests for workflow specifications (the prospective-provenance backbone)."""
+
+import pytest
+
+from repro.workflow import Connection, CycleError, Module, SpecError, Workflow
+
+
+def two_module_workflow():
+    workflow = Workflow("pair")
+    first = workflow.add_module(Module("Constant", name="a"))
+    second = workflow.add_module(Module("Identity", name="b"))
+    workflow.connect(first.id, "value", second.id, "value")
+    return workflow, first, second
+
+
+class TestMutation:
+    def test_add_module(self):
+        workflow = Workflow()
+        module = workflow.add_module(Module("Constant"))
+        assert module.id in workflow.modules
+
+    def test_duplicate_module_id_rejected(self):
+        workflow = Workflow()
+        module = workflow.add_module(Module("Constant"))
+        with pytest.raises(SpecError):
+            workflow.add_module(Module("Constant", id=module.id))
+
+    def test_remove_module_with_connections_rejected(self):
+        workflow, first, _ = two_module_workflow()
+        with pytest.raises(SpecError):
+            workflow.remove_module(first.id)
+
+    def test_remove_module_cascade_returns_removed(self):
+        workflow, first, _ = two_module_workflow()
+        module, connections = workflow.remove_module_cascade(first.id)
+        assert module.id == first.id
+        assert len(connections) == 1
+        assert not workflow.connections
+
+    def test_connection_to_missing_module_rejected(self):
+        workflow = Workflow()
+        module = workflow.add_module(Module("Constant"))
+        with pytest.raises(SpecError):
+            workflow.connect(module.id, "value", "mod-missing", "value")
+
+    def test_input_port_single_binding(self):
+        workflow, first, second = two_module_workflow()
+        other = workflow.add_module(Module("Constant", name="c"))
+        with pytest.raises(SpecError):
+            workflow.connect(other.id, "value", second.id, "value")
+
+    def test_set_and_unset_parameter(self):
+        workflow = Workflow()
+        module = workflow.add_module(Module("Constant"))
+        workflow.set_parameter(module.id, "value", 42)
+        assert module.parameters["value"] == 42
+        assert workflow.unset_parameter(module.id, "value") == 42
+        with pytest.raises(SpecError):
+            workflow.unset_parameter(module.id, "value")
+
+    def test_rename_module(self):
+        workflow = Workflow()
+        module = workflow.add_module(Module("Constant"))
+        workflow.rename_module(module.id, "the source")
+        assert workflow.modules[module.id].name == "the source"
+
+    def test_remove_connection_unknown_rejected(self):
+        workflow = Workflow()
+        with pytest.raises(SpecError):
+            workflow.remove_connection("conn-nope")
+
+
+class TestStructureQueries:
+    def test_sources_and_sinks(self):
+        workflow, first, second = two_module_workflow()
+        assert workflow.sources() == [first.id]
+        assert workflow.sinks() == [second.id]
+
+    def test_predecessors_successors(self):
+        workflow, first, second = two_module_workflow()
+        assert workflow.predecessors(second.id) == [first.id]
+        assert workflow.successors(first.id) == [second.id]
+
+    def test_topological_order_linear(self):
+        workflow, first, second = two_module_workflow()
+        assert workflow.topological_order() == [first.id, second.id]
+
+    def test_topological_order_detects_cycle(self):
+        workflow = Workflow()
+        a = workflow.add_module(Module("Identity", name="a"))
+        b = workflow.add_module(Module("Identity", name="b"))
+        workflow.connect(a.id, "value", b.id, "value")
+        workflow.connections["backedge"] = Connection(
+            source_module=b.id, source_port="value",
+            target_module=a.id, target_port="value", id="backedge")
+        with pytest.raises(CycleError):
+            workflow.topological_order()
+
+    def test_upstream_downstream_closure(self):
+        workflow = Workflow("diamond")
+        a = workflow.add_module(Module("Constant", name="a"))
+        b = workflow.add_module(Module("Identity", name="b"))
+        c = workflow.add_module(Module("Identity", name="c"))
+        d = workflow.add_module(Module("MakeList", name="d"))
+        workflow.connect(a.id, "value", b.id, "value")
+        workflow.connect(a.id, "value", c.id, "value")
+        workflow.connect(b.id, "value", d.id, "a")
+        workflow.connect(c.id, "value", d.id, "b")
+        assert workflow.upstream_modules(d.id) == sorted([a.id, b.id, c.id])
+        assert workflow.downstream_modules(a.id) == sorted(
+            [b.id, c.id, d.id])
+
+    def test_incoming_sorted_by_port(self):
+        workflow = Workflow()
+        a = workflow.add_module(Module("Constant", name="a"))
+        d = workflow.add_module(Module("MakeList", name="d"))
+        workflow.connect(a.id, "value", d.id, "b")
+        workflow.connect(a.id, "value", d.id, "a")
+        ports = [c.target_port for c in workflow.incoming(d.id)]
+        assert ports == ["a", "b"]
+
+
+class TestSignature:
+    def test_copy_preserves_signature(self):
+        workflow, _, _ = two_module_workflow()
+        assert workflow.copy().signature() == workflow.signature()
+
+    def test_signature_independent_of_ids(self):
+        first, _, _ = two_module_workflow()
+        second, _, _ = two_module_workflow()
+        assert first.signature() == second.signature()
+
+    def test_signature_changes_with_parameter(self):
+        workflow, first, _ = two_module_workflow()
+        before = workflow.signature()
+        workflow.set_parameter(first.id, "value", 99)
+        assert workflow.signature() != before
+
+    def test_signature_changes_with_connection(self):
+        workflow = Workflow()
+        a = workflow.add_module(Module("Constant", name="a"))
+        b = workflow.add_module(Module("Identity", name="b"))
+        before = workflow.signature()
+        workflow.connect(a.id, "value", b.id, "value")
+        assert workflow.signature() != before
+
+    def test_copy_is_independent(self):
+        workflow, first, _ = two_module_workflow()
+        duplicate = workflow.copy()
+        duplicate.set_parameter(first.id, "value", 123)
+        assert "value" not in workflow.modules[first.id].parameters

@@ -1,0 +1,147 @@
+"""Tests for the port type system and the module registry."""
+
+import pytest
+
+from repro.workflow import (ModuleContext, ModuleDefinition, ModuleRegistry,
+                            ParameterSpec, PortSpec, PortType, RegistryError,
+                            TypeRegistry, default_type_registry)
+
+
+class TestTypeRegistry:
+    def test_any_is_root(self):
+        types = default_type_registry()
+        assert types.is_subtype("Table", "Any")
+        assert types.is_subtype("Any", "Any")
+
+    def test_direct_subtype(self):
+        types = default_type_registry()
+        assert types.is_subtype("Histogram", "Table")
+        assert not types.is_subtype("Table", "Histogram")
+
+    def test_transitive_subtype(self):
+        types = default_type_registry()
+        # VolumeData < Array < Any
+        assert types.is_subtype("VolumeData", "Array")
+        assert types.is_subtype("VolumeData", "Any")
+
+    def test_unrelated_types(self):
+        types = default_type_registry()
+        assert not types.is_subtype("String", "Number")
+
+    def test_common_supertype(self):
+        types = default_type_registry()
+        assert types.common_supertype("Integer", "Float") == "Number"
+        assert types.common_supertype("Integer", "String") == "Any"
+        assert types.common_supertype("Histogram", "Histogram") \
+            == "Histogram"
+
+    def test_register_requires_parent(self):
+        types = TypeRegistry()
+        with pytest.raises(ValueError):
+            types.register(PortType("Orphan", parent="Missing"))
+
+    def test_duplicate_registration_rejected(self):
+        types = default_type_registry()
+        with pytest.raises(ValueError):
+            types.register(PortType("Table"))
+
+    def test_ancestors_chain(self):
+        types = default_type_registry()
+        assert list(types.ancestors("Histogram")) == [
+            "Histogram", "Table", "Any"]
+
+
+class TestParameterSpec:
+    def test_int_kind(self):
+        spec = ParameterSpec("n", 1, kind="int")
+        assert spec.accepts(5)
+        assert not spec.accepts(5.0)
+        assert not spec.accepts(True)
+
+    def test_float_kind_accepts_int(self):
+        spec = ParameterSpec("x", 0.0, kind="float")
+        assert spec.accepts(2)
+        assert spec.accepts(2.5)
+        assert not spec.accepts("2.5")
+
+    def test_str_bool_json_kinds(self):
+        assert ParameterSpec("s", "", kind="str").accepts("hi")
+        assert ParameterSpec("b", False, kind="bool").accepts(True)
+        assert ParameterSpec("j", None, kind="json").accepts({"any": 1})
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(RegistryError):
+            ParameterSpec("x", 0, kind="complex").accepts(1)
+
+
+class TestModuleRegistry:
+    def test_define_decorator(self):
+        registry = ModuleRegistry()
+
+        @registry.define("Twice", inputs=[("x", "Number")],
+                         outputs=[("y", "Number")])
+        def twice(ctx):
+            return {"y": ctx.require_input("x") * 2}
+
+        definition = registry.get("Twice")
+        assert definition.input_ports[0].type_name == "Number"
+        result = definition.compute(ModuleContext({"x": 4}, {}))
+        assert result == {"y": 8}
+
+    def test_duplicate_type_rejected(self):
+        registry = ModuleRegistry()
+        registry.define("M", outputs=[("v", "Any")])(lambda ctx: {"v": 1})
+        with pytest.raises(RegistryError):
+            registry.define("M", outputs=[("v", "Any")])(
+                lambda ctx: {"v": 2})
+
+    def test_unknown_port_type_rejected(self):
+        registry = ModuleRegistry()
+        with pytest.raises(RegistryError):
+            registry.register(ModuleDefinition(
+                type_name="Bad", compute=lambda ctx: {},
+                output_ports=(PortSpec("out", "NoSuchType"),)))
+
+    def test_unknown_type_lookup_raises(self):
+        registry = ModuleRegistry()
+        with pytest.raises(RegistryError):
+            registry.get("Missing")
+
+    def test_duplicate_ports_rejected(self):
+        with pytest.raises(RegistryError):
+            ModuleDefinition(
+                type_name="Dup", compute=lambda ctx: {},
+                input_ports=(PortSpec("p"), PortSpec("p")))
+
+    def test_resolve_parameters_merges_defaults(self):
+        definition = ModuleDefinition(
+            type_name="P", compute=lambda ctx: {},
+            parameters=(ParameterSpec("a", 1), ParameterSpec("b", 2)))
+        assert definition.resolve_parameters({"b": 9}) == {"a": 1, "b": 9}
+
+    def test_by_category(self, registry):
+        names = [d.type_name for d in registry.by_category("imaging")]
+        assert "AlignWarp" in names and "Softmean" in names
+
+    def test_standard_registry_size(self, registry):
+        assert len(registry) >= 50
+
+
+class TestModuleContext:
+    def test_input_default(self):
+        context = ModuleContext({}, {})
+        assert context.input("missing", 7) == 7
+
+    def test_require_input_raises(self):
+        context = ModuleContext({"x": None}, {})
+        with pytest.raises(KeyError):
+            context.require_input("x")
+
+    def test_param_lookup(self):
+        context = ModuleContext({}, {"n": 3})
+        assert context.param("n") == 3
+
+    def test_views_are_copies(self):
+        context = ModuleContext({"a": 1}, {"p": 2})
+        context.inputs["a"] = 99
+        assert context.input("a") == 1

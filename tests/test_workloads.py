@@ -1,0 +1,156 @@
+"""Tests for workload generators and the First Provenance Challenge."""
+
+import pytest
+
+from repro.core import ProvenanceManager
+from repro.workloads import (CHALLENGE_QUERIES, ChallengeSession,
+                             build_enviro_workflow, build_fig2_pair,
+                             build_fmri_workflow, build_genomics_workflow,
+                             build_vis_workflow, chain_workflow,
+                             domain_corpus, random_edit_session,
+                             random_workflow, synthetic_corpus)
+from repro.workflow import check_workflow, validate_workflow
+
+
+class TestGenerators:
+    def test_chain_shape(self, registry):
+        workflow = chain_workflow(5)
+        assert len(workflow.modules) == 6
+        assert len(workflow.connections) == 5
+        validate_workflow(workflow, registry)
+
+    def test_random_workflow_deterministic(self):
+        first = random_workflow(modules=15, seed=9)
+        second = random_workflow(modules=15, seed=9)
+        assert first.signature() == second.signature()
+
+    def test_random_workflow_validates_and_runs(self, registry):
+        from repro.workflow import Executor
+        for seed in range(5):
+            workflow = random_workflow(modules=12, seed=seed, work=5)
+            validate_workflow(workflow, registry)
+            run = Executor(registry).execute(workflow)
+            assert run.status == "ok"
+
+    def test_random_workflow_size(self):
+        workflow = random_workflow(modules=30, width=5, seed=1)
+        assert len(workflow.modules) == 30
+
+    def test_edit_session_always_materializable(self):
+        for seed in range(4):
+            vistrail = random_edit_session(actions=25, seed=seed)
+            for leaf in vistrail.leaves():
+                vistrail.materialize(leaf)
+
+    def test_synthetic_corpus(self):
+        manager, runs = synthetic_corpus(runs=4, modules=8)
+        assert len(runs) == 4
+        assert all(run.status == "ok" for run in runs)
+        assert len(manager.store.list_runs()) == 4
+
+
+class TestDomainWorkflows:
+    @pytest.mark.parametrize("builder", [
+        build_vis_workflow, build_genomics_workflow,
+        build_enviro_workflow])
+    def test_domain_workflows_validate_and_run(self, registry, builder):
+        from repro.workflow import Executor
+        workflow = builder()
+        assert check_workflow(workflow, registry) == [] or all(
+            not issue.is_error()
+            for issue in check_workflow(workflow, registry))
+        run = Executor(registry).execute(workflow)
+        assert run.status == "ok", [
+            r.error for r in run.results.values() if r.error]
+
+    def test_fig2_pair_differs_by_smoothing(self):
+        before, after = build_fig2_pair()
+        types_before = {m.type_name for m in before.modules.values()}
+        types_after = {m.type_name for m in after.modules.values()}
+        assert types_after - types_before == {"SmoothMesh"}
+
+    def test_domain_corpus_variants(self):
+        corpus = domain_corpus(variants=2)
+        assert len(corpus) == 10
+        names = {workflow.name for workflow in corpus.values()}
+        assert "genomics-consensus-v1" in names
+
+
+class TestChallengeWorkflow:
+    def test_structure(self):
+        workflow = build_fmri_workflow()
+        type_counts = {}
+        for module in workflow.modules.values():
+            type_counts[module.type_name] = \
+                type_counts.get(module.type_name, 0) + 1
+        assert type_counts == {
+            "LoadAnatomyImage": 4, "LoadReferenceImage": 1,
+            "AlignWarp": 4, "Reslice": 4, "Softmean": 1,
+            "Slicer": 3, "Convert": 3}
+
+    def test_runs_green(self, registry):
+        from repro.workflow import Executor
+        run = Executor(registry).execute(build_fmri_workflow(size=10))
+        assert run.status == "ok"
+
+
+class TestChallengeQueries:
+    @pytest.fixture(scope="class")
+    def session(self):
+        return ChallengeSession.create(size=10)
+
+    def test_all_queries_documented(self):
+        assert set(CHALLENGE_QUERIES) == {f"q{i}" for i in range(1, 10)}
+
+    def test_q1_full_history(self, session):
+        result = session.q1()
+        # 1 reference + 4x(anatomy, align, reslice) + softmean + slicer_x
+        # + convert_x = 16 executions upstream of atlas-x graphic
+        assert len(result["executions"]) == 16
+        assert len(result["artifacts"]) >= 20
+
+    def test_q2_cut_at_softmean(self, session):
+        result = session.q2()
+        names = {session.run.execution(execution_id).module_name
+                 for execution_id in result["executions"]}
+        assert names == {"softmean", "slicer_x", "convert_x"}
+
+    def test_q3_stage_details(self, session):
+        rows = session.q3()
+        assert [row["type"] for row in rows].count("Softmean") == 1
+        assert all(row["type"] in ("Softmean", "Slicer", "Convert")
+                   for row in rows)
+
+    def test_q4_align_warp_model12(self, session):
+        rows = session.q4()
+        assert len(rows) == 4
+        assert all(row["param.model"] == 12 for row in rows)
+
+    def test_q5_global_maximum(self, session):
+        graphics = session.q5(threshold=95.0)
+        assert len(graphics) == 3
+        assert session.q5(threshold=1e9) == []
+
+    def test_q6_softmean_after_model12(self, session):
+        atlases = session.q6()
+        assert len(atlases) == 1
+
+    def test_q7_run_differences(self, session):
+        diff = session.q7()
+        assert diff["spec_identical"]
+        assert len(diff["parameter_differences"]) == 4  # anatomy loaders
+        assert diff["differing_outputs"]  # different seeds → new data
+
+    def test_q8_annotation_propagation(self, session):
+        outputs = session.q8()
+        # anatomy1 and anatomy2 are annotated; their align_warp outputs
+        assert len(outputs) == 2
+
+    def test_q9_modality_annotations(self, session):
+        results = session.q9()
+        values = {value for _, value in results}
+        assert values == {"speech", "visual"}
+
+    def test_all_queries_runnable(self, session):
+        results = session.all_queries()
+        assert set(results) == set(CHALLENGE_QUERIES)
