@@ -1,18 +1,26 @@
-"""E2 — storage backend comparison: save, load, and finder queries.
+"""E2 — storage backend comparison: save, load, and query pushdown.
 
 Regenerates: the paper's storage design space ("RDF/XML files vs. tuples in
 an RDBMS").  Shape: memory < sqlite < documents < triples for save/load;
 the relational backend wins the hash-finder query through its index.
+
+The 500-run section exercises the unified query API at scale: bulk ingest
+(``save_runs``) and filtered listing through ``select`` pushdown, including
+a hard assertion that the relational pushdown beats the seed-era generic
+finder path (deserialize every run in Python) by at least 5x.
 """
+
+import time
 
 import pytest
 
 from benchmarks.conftest import report_row
 from repro.core import ProvenanceCapture
-from repro.storage import (DocumentStore, MemoryStore, RelationalStore,
+from repro.storage import (DocumentStore, MemoryStore, ProvQuery,
+                           ProvenanceStore, RelationalStore,
                            TripleProvenanceStore)
 from repro.workflow import Executor
-from repro.workloads import random_workflow
+from repro.workloads import clone_run, random_workflow
 
 
 def make_store(name, tmp_path):
@@ -63,7 +71,8 @@ def test_find_by_hash(benchmark, backend, tmp_path, captured_runs):
         store.save_run(run)
     target_hash = next(iter(
         captured_runs[5].artifacts.values())).value_hash
-    found = benchmark(lambda: store.find_artifacts_by_hash(target_hash))
+    found = benchmark(lambda: store.select(
+        ProvQuery.artifacts().where(value_hash=target_hash)).all())
     assert found
     report_row("E2", op="find-hash", backend=backend, hits=len(found))
 
@@ -75,5 +84,89 @@ def test_find_executions_by_type(benchmark, backend, tmp_path,
     for run in captured_runs:
         store.save_run(run)
     found = benchmark(
-        lambda: store.find_executions(module_type="Scale"))
+        lambda: store.select(ProvQuery.executions()
+                             .where(module_type="Scale")).all())
     report_row("E2", op="find-exec", backend=backend, hits=len(found))
+
+
+# ----------------------------------------------------------------------
+# 500-run scale: bulk ingest + filtered listing through select pushdown
+# ----------------------------------------------------------------------
+SCALE = 500
+
+
+@pytest.fixture(scope="module")
+def many_runs(captured_runs):
+    """500 runs synthesized from the captured corpus: 5 workflows,
+    ~1-in-7 failed, start times spread over the index range."""
+    runs = []
+    for index in range(SCALE):
+        base = captured_runs[index % len(captured_runs)]
+        runs.append(clone_run(
+            base, f"s{index}",
+            status="failed" if index % 7 == 0 else "ok",
+            workflow_id=f"wf-bench-{index % 5}",
+            workflow_name=f"bench-flow-{index % 5}",
+            started=base.started + index,
+            finished=base.finished + index))
+    return runs
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_bulk_ingest_500(benchmark, backend, tmp_path, many_runs):
+    counter = iter(range(1000))
+
+    def setup():
+        return (make_store(backend, tmp_path / f"bulk-{next(counter)}"),), {}
+
+    benchmark.pedantic(lambda store: store.save_runs(many_runs),
+                       setup=setup, rounds=1, iterations=1)
+    report_row("E2", op="bulk-ingest", backend=backend, runs=SCALE)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_filtered_run_listing_500(benchmark, backend, tmp_path, many_runs):
+    store = make_store(backend, tmp_path)
+    store.save_runs(many_runs)
+    query = (ProvQuery.runs().where(status="failed")
+             .order_by("-started").limit(20))
+    rows = benchmark(lambda: store.select(query).all())
+    assert 0 < len(rows) <= 20
+    report_row("E2", op="select-runs", backend=backend, hits=len(rows))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_filtered_executions_500(benchmark, backend, tmp_path, many_runs):
+    store = make_store(backend, tmp_path)
+    store.save_runs(many_runs)
+    query = ProvQuery.executions().where(module_type="Scale").limit(50)
+    rows = benchmark(lambda: store.select(query).all())
+    report_row("E2", op="select-execs", backend=backend, hits=len(rows))
+
+
+def test_relational_pushdown_speedup_500(tmp_path, many_runs):
+    """Acceptance: SQL pushdown >= 5x faster than the seed generic path
+    (which deserializes all 500 runs) for a filtered run listing."""
+    store = RelationalStore()
+    store.save_runs(many_runs)
+    query = ProvQuery.runs().where(status="failed")
+
+    def best_of(callable_, repeat=3):
+        timings = []
+        for _ in range(repeat):
+            start = time.perf_counter()
+            result = callable_()
+            timings.append(time.perf_counter() - start)
+        return min(timings), result
+
+    native_time, native_rows = best_of(
+        lambda: store.select(query).all())
+    generic_time, generic_rows = best_of(
+        lambda: ProvenanceStore.select(store, query).all(), repeat=1)
+    assert native_rows == generic_rows
+    speedup = generic_time / max(native_time, 1e-9)
+    report_row("E2", op="pushdown-speedup", backend="relational",
+               native_ms=round(native_time * 1e3, 2),
+               generic_ms=round(generic_time * 1e3, 1),
+               speedup=round(speedup, 1))
+    assert speedup >= 5.0, f"pushdown only {speedup:.1f}x faster"

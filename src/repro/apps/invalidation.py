@@ -18,6 +18,7 @@ from typing import Dict, List, Set
 from repro.core.causality import causality_graph, downstream_artifacts
 from repro.core.retrospective import WorkflowRun
 from repro.storage.base import ProvenanceStore
+from repro.storage.query import ProvQuery
 
 __all__ = ["InvalidationReport", "invalidate_by_hash", "invalidate_in_run"]
 
@@ -59,15 +60,24 @@ def invalidate_in_run(run: WorkflowRun, artifact_id: str) -> Set[str]:
 
 def invalidate_by_hash(store: ProvenanceStore,
                        bad_hash: str) -> InvalidationReport:
-    """Propagate invalidation of a content hash across every stored run."""
+    """Propagate invalidation of a content hash across every stored run.
+
+    The hash lookup is pushed down to the store's index via ``select``, so
+    only runs that actually touched the bad bytes are deserialized for the
+    dependency walk; clean runs are never loaded.
+    """
     report = InvalidationReport(bad_hash=bad_hash)
+    seeds_by_run: Dict[str, List[str]] = {}
+    for row in store.select(ProvQuery.artifacts()
+                            .where(value_hash=bad_hash)
+                            .project("run_id", "id")):
+        seeds_by_run.setdefault(row["run_id"], []).append(row["id"])
     for summary in store.list_runs():
-        run = store.load_run(summary.run_id)
-        seeds = [artifact.id for artifact in run.artifacts.values()
-                 if artifact.value_hash == bad_hash]
+        seeds = seeds_by_run.get(summary.run_id)
         if not seeds:
-            report.clean_runs.append(run.id)
+            report.clean_runs.append(summary.run_id)
             continue
+        run = store.load_run(summary.run_id)
         tainted: Set[str] = set(seeds)
         for seed in seeds:
             tainted |= invalidate_in_run(run, seed)

@@ -8,6 +8,8 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
     python -m repro challenge2      # run the Second (multi-system) Challenge
     python -m repro modules         # list every registered module type
     python -m repro query "COUNT EXECUTIONS"   # ProvQL against a demo run
+    python -m repro runs --demo 4 --status ok --sort=-started --limit 3
+                                    # ProvQuery select over stored runs
 """
 
 from __future__ import annotations
@@ -89,6 +91,40 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_runs(args: argparse.Namespace) -> int:
+    from repro.analytics import ascii_table
+    from repro.core import ProvenanceManager
+    from repro.storage import ProvQuery, QueryError
+    from repro.workloads import build_vis_workflow
+
+    manager = ProvenanceManager()
+    for index in range(args.demo):
+        manager.run(build_vis_workflow(size=8 + 2 * index))
+    queries = {
+        "runs": ProvQuery.runs(),
+        "executions": ProvQuery.executions().project(
+            "run_id", "id", "module_type", "status", "started"),
+        "artifacts": ProvQuery.artifacts().project(
+            "run_id", "id", "type_name", "created_by", "size_hint"),
+    }
+    query = queries[args.entity]
+    try:
+        if args.status:
+            query = query.where(status=args.status)
+        if args.sort:
+            query = query.order_by(*args.sort.split(","))
+        if args.limit:
+            query = query.limit(args.limit)
+        rows = manager.select(query.offset(args.offset)).all()
+    except QueryError as error:
+        print(f"invalid query: {error}", file=sys.stderr)
+        return 2
+    if rows:
+        print(ascii_table(rows))
+    print(f"{len(rows)} {args.entity}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -127,6 +163,24 @@ def build_parser() -> argparse.ArgumentParser:
         "query", help="evaluate a ProvQL query against a demo run")
     query.add_argument("text", help="ProvQL query text")
     query.set_defaults(handler=_cmd_query)
+
+    runs = subparsers.add_parser(
+        "runs", help="select stored provenance with the unified query API")
+    runs.add_argument("--entity", choices=["runs", "executions",
+                                           "artifacts"],
+                      default="runs", help="entity kind to list")
+    runs.add_argument("--demo", type=int, default=3,
+                      help="how many demo runs to execute first")
+    runs.add_argument("--status", default="",
+                      help="filter by status (runs/executions)")
+    runs.add_argument("--sort", default="",
+                      help="comma-separated sort keys; use --sort=-field "
+                           "for descending")
+    runs.add_argument("--limit", type=int, default=0,
+                      help="page size (0 = unlimited)")
+    runs.add_argument("--offset", type=int, default=0,
+                      help="rows to skip")
+    runs.set_defaults(handler=_cmd_runs)
     return parser
 
 

@@ -19,6 +19,7 @@ from repro.core.causality import causality_graph
 from repro.core.graph import ProvGraph
 from repro.core.prospective import ProspectiveProvenance
 from repro.core.retrospective import WorkflowRun
+from repro.storage.query import ProvQuery, ResultCursor
 from repro.workflow.cache import ResultCache
 from repro.workflow.engine import Executor, RunResult
 from repro.workflow.registry import ModuleRegistry
@@ -54,6 +55,9 @@ class ProvenanceManager:
                                          keep_values=keep_values)
         self.executor = Executor(registry, cache=self.cache,
                                  listeners=[self.capture])
+        #: Raw engine result of the most recent :meth:`run` (None before
+        #: the first run, instead of raising AttributeError on access).
+        self.last_engine_result: Optional[RunResult] = None
 
     # -- building ---------------------------------------------------------
     def new_workflow(self, name: str) -> Workflow:
@@ -85,7 +89,7 @@ class ProvenanceManager:
         result = self.executor.execute(workflow, inputs=inputs,
                                        parameter_overrides=parameter_overrides,
                                        tags=tags)
-        self.last_engine_result: RunResult = result
+        self.last_engine_result = result
         return self.capture.last_run()
 
     # -- provenance access ----------------------------------------------
@@ -101,6 +105,19 @@ class ProvenanceManager:
         """Every stored run, ordered by start time."""
         return [self.store.load_run(summary.run_id)
                 for summary in self.store.list_runs()]
+
+    def select(self, query: ProvQuery) -> ResultCursor:
+        """Evaluate a :class:`ProvQuery` against the storage backend.
+
+        The single entry point for cross-run provenance queries; the
+        backend answers from its native index (SQL, triple patterns,
+        sidecar index, dict scans) and returns a lazy, paginated cursor
+        of plain dict rows::
+
+            manager.select(ProvQuery.runs().where(status="failed")
+                           .order_by("-started").limit(20))
+        """
+        return self.store.select(query)
 
     def causality(self, run_or_id: Any, *,
                   include_derivations: bool = True) -> ProvGraph:

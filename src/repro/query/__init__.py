@@ -19,10 +19,11 @@ from repro.query.datalog import (Atom, Comparison, Database, DatalogError,
                                  Program, Rule, Var, parse_atom,
                                  parse_program, query)
 from repro.query.facts import (PROVENANCE_RULES, provenance_program,
-                               run_to_facts, runs_to_facts)
+                               run_to_facts, runs_to_facts, store_to_facts)
 from repro.query.provql import (Condition, ProvQLError, Query, execute,
-                                parse)
-from repro.query.qbe import contains_pattern, find_in_corpus, find_matches
+                                execute_on_store, parse)
+from repro.query.qbe import (contains_pattern, find_in_corpus,
+                             find_in_store, find_matches)
 from repro.query.triplequery import (Filter, SelectQuery, SparqlError, V,
                                      execute_sparql, parse_sparql, select)
 from repro.query.views import UserView, build_user_view
@@ -31,9 +32,10 @@ __all__ = [
     "Atom", "Comparison", "Database", "DatalogError", "Program", "Rule",
     "Var", "parse_atom", "parse_program", "query",
     "PROVENANCE_RULES", "provenance_program", "run_to_facts",
-    "runs_to_facts",
-    "Condition", "ProvQLError", "Query", "execute", "parse",
-    "contains_pattern", "find_in_corpus", "find_matches",
+    "runs_to_facts", "store_to_facts",
+    "Condition", "ProvQLError", "Query", "execute", "execute_on_store",
+    "parse",
+    "contains_pattern", "find_in_corpus", "find_in_store", "find_matches",
     "Filter", "SelectQuery", "SparqlError", "V", "execute_sparql",
     "parse_sparql", "select",
     "UserView", "build_user_view",

@@ -27,8 +27,8 @@ from typing import Iterable
 from repro.core.retrospective import WorkflowRun
 from repro.query.datalog import Database, Program, parse_program
 
-__all__ = ["run_to_facts", "runs_to_facts", "PROVENANCE_RULES",
-           "provenance_program"]
+__all__ = ["run_to_facts", "runs_to_facts", "store_to_facts",
+           "PROVENANCE_RULES", "provenance_program"]
 
 #: The standard provenance rule library (recursive lineage queries).
 PROVENANCE_RULES = """
@@ -87,6 +87,27 @@ def runs_to_facts(runs: Iterable[WorkflowRun]) -> Database:
     db = Database()
     for run in runs:
         run_to_facts(run, db)
+    return db
+
+
+def store_to_facts(store, query=None) -> Database:
+    """Encode runs from a provenance store as one fact database.
+
+    ``query`` optionally restricts which runs are exported — any
+    :class:`~repro.storage.query.ProvQuery` over ``runs`` works, e.g.
+    ``ProvQuery.runs().where(status="ok")``.  The run *selection* is pushed
+    down to the backend's index; only the selected runs are deserialized
+    to emit their facts.
+    """
+    from repro.storage.query import ProvQuery
+
+    if query is None:
+        query = ProvQuery.runs()
+    elif query.entity != "runs":
+        raise ValueError("store_to_facts expects a runs query")
+    db = Database()
+    for row in store.select(query.project("id")):
+        run_to_facts(store.load_run(row["id"]), db)
     return db
 
 

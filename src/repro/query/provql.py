@@ -27,6 +27,13 @@ Artifact fields: ``id``, ``type``, ``hash``, ``role``, ``external``,
 
 Results are lists of plain dict rows (LINEAGE returns one dict; COUNT an
 int), so they print and serialize cleanly.
+
+Queries evaluate against one run (:func:`execute`) or across every run in a
+provenance store (:func:`execute_on_store`).  The store path compiles WHERE
+conditions into a :class:`~repro.storage.query.ProvQuery` so the backend's
+native index answers EXECUTIONS/ARTIFACTS queries without deserializing
+runs; only conditions the store rows cannot express (``duration``,
+``cached``, ``creator.*``) are applied in Python afterwards.
 """
 
 from __future__ import annotations
@@ -39,7 +46,8 @@ from repro.core.causality import (causality_graph, downstream_artifacts,
                                   upstream_artifacts)
 from repro.core.retrospective import DataArtifact, ModuleExecution, WorkflowRun
 
-__all__ = ["execute", "parse", "ProvQLError", "Query", "Condition"]
+__all__ = ["execute", "execute_on_store", "parse", "ProvQLError", "Query",
+           "Condition"]
 
 
 class ProvQLError(Exception):
@@ -338,3 +346,133 @@ def evaluate(query: Query, run: WorkflowRun) -> Any:
 def execute(text: str, run: WorkflowRun) -> Any:
     """Parse and evaluate ProvQL ``text`` against ``run``."""
     return evaluate(parse(text), run)
+
+
+# ----------------------------------------------------------------------
+# store-level evaluation (cross-run, with backend pushdown)
+# ----------------------------------------------------------------------
+#: ProvQL field -> canonical select-row field, per command family.
+_EXEC_FIELDS = {"id": "id", "run": "run_id", "module.type": "module_type",
+                "module.name": "module_name", "module.id": "module_id",
+                "status": "status"}
+_ART_FIELDS = {"id": "id", "run": "run_id", "type": "type_name",
+               "hash": "value_hash", "role": "role", "size": "size_hint"}
+#: Only operators whose select semantics match ProvQL's exactly push down.
+#: Ordering comparisons (< <= > >=) stay residual: ProvQL coerces both
+#: sides with _numeric() (so '90' > 50 matches), which no backend index
+#: reproduces.
+_OP_TO_SELECT = {"=": "eq", "!=": "ne", "CONTAINS": "contains"}
+
+
+def _compile_conditions(query: Query, prov_query, field_map: Dict[str, str],
+                        allow_params: bool):
+    """Push expressible conditions into ``prov_query``; return the
+    (pushed query, residual conditions)."""
+    residual: List[Condition] = []
+    for condition in query.conditions:
+        select_field = field_map.get(condition.field_path)
+        if select_field is None and allow_params \
+                and condition.field_path.startswith("param."):
+            select_field = condition.field_path
+        select_op = _OP_TO_SELECT.get(condition.op)
+        if select_field is None or select_op is None:
+            residual.append(condition)
+            continue
+        prov_query = prov_query.where_op(select_field, select_op,
+                                         condition.value)
+    return prov_query, residual
+
+
+def _exec_row_from_select(row: Dict[str, Any]) -> Dict[str, Any]:
+    provql_row = {
+        "id": row["id"],
+        "module.type": row["module_type"],
+        "module.name": row["module_name"],
+        "module.id": row["module_id"],
+        "status": row["status"],
+        "duration": max(0.0, row["finished"] - row["started"]),
+        "cached": row["status"] == "cached",
+        "run": row["run_id"],
+    }
+    for key, value in row["parameters"].items():
+        provql_row[f"param.{key}"] = value
+    return provql_row
+
+
+def _artifact_row_from_select(row: Dict[str, Any],
+                              creators: Dict[Tuple[str, str],
+                                             Tuple[str, str]]
+                              ) -> Dict[str, Any]:
+    # creators are keyed by (run_id, execution_id): execution ids are only
+    # guaranteed unique within a run, matching the in-run resolution
+    creator_type, creator_name = creators.get(
+        (row["run_id"], row["created_by"]), (None, None))
+    return {
+        "id": row["id"],
+        "type": row["type_name"],
+        "hash": row["value_hash"],
+        "role": row["role"],
+        "external": row["created_by"] == "",
+        "size": row["size_hint"],
+        "creator.type": creator_type,
+        "creator.name": creator_name,
+        "run": row["run_id"],
+    }
+
+
+def evaluate_on_store(query: Query, store) -> Any:
+    """Evaluate a parsed query across every run in ``store``.
+
+    EXECUTIONS and ARTIFACTS queries push their conditions into the
+    backend via :meth:`ProvenanceStore.select` (artifact ``creator.*``
+    fields are resolved through a second pushed-down executions select, so
+    no run is ever deserialized); PRODUCTS and INPUTS need whole-run
+    structure and fall back to loading each run.  Lineage commands
+    (UPSTREAM/DOWNSTREAM/LINEAGE/PATHS) are run-scoped — use
+    :func:`execute` with one run.
+    """
+    from repro.storage.query import ProvQuery
+
+    if query.command == "EXECUTIONS":
+        pushed, residual = _compile_conditions(
+            query, ProvQuery.executions(), _EXEC_FIELDS, allow_params=True)
+        rows = [_exec_row_from_select(row) for row in store.select(pushed)]
+        result: Any = _apply_conditions(rows, tuple(residual))
+    elif query.command == "ARTIFACTS":
+        pushed, residual = _compile_conditions(
+            query, ProvQuery.artifacts(), _ART_FIELDS, allow_params=False)
+        art_rows = store.select(pushed).all()
+        creator_ids = sorted({row["created_by"] for row in art_rows
+                              if row["created_by"]})
+        exec_query = ProvQuery.executions().project(
+            "id", "run_id", "module_type", "module_name")
+        if creator_ids and len(creator_ids) <= 500:
+            # selective query: fetch only the referenced creators (the
+            # id-in filter pushes down); past ~500 ids a full projected
+            # scan is cheaper than a giant IN list
+            exec_query = exec_query.where_op("id", "in", creator_ids)
+        creators = {
+            (row["run_id"], row["id"]): (row["module_type"],
+                                         row["module_name"])
+            for row in store.select(exec_query)} if creator_ids else {}
+        rows = [_artifact_row_from_select(row, creators)
+                for row in art_rows]
+        result = _apply_conditions(rows, tuple(residual))
+    elif query.command in ("PRODUCTS", "INPUTS"):
+        per_run = Query(command=query.command,
+                        conditions=query.conditions)
+        result = []
+        for summary in store.list_runs():
+            result.extend(evaluate(per_run, store.load_run(summary.run_id)))
+    else:
+        raise ProvQLError(
+            f"{query.command} is run-scoped; evaluate it against a single "
+            "run with execute()")
+    if query.count:
+        return len(result)
+    return result
+
+
+def execute_on_store(text: str, store) -> Any:
+    """Parse and evaluate ProvQL ``text`` across every run in ``store``."""
+    return evaluate_on_store(parse(text), store)

@@ -18,7 +18,8 @@ from typing import Dict, List, Optional
 
 from repro.workflow.spec import Workflow
 
-__all__ = ["find_matches", "contains_pattern", "find_in_corpus"]
+__all__ = ["find_matches", "contains_pattern", "find_in_corpus",
+           "find_in_store"]
 
 
 def find_matches(pattern: Workflow, target: Workflow, *,
@@ -113,3 +114,15 @@ def find_in_corpus(pattern: Workflow, corpus, *,
     return sorted(workflow.id for workflow in corpus
                   if contains_pattern(pattern, workflow,
                                       match_parameters=match_parameters))
+
+
+def find_in_store(pattern: Workflow, store, *,
+                  match_parameters: bool = False) -> List[str]:
+    """Ids of workflow snapshots in a provenance store that contain the
+    pattern — query-by-example over everything colleagues have stored."""
+    def stored_workflows():
+        for workflow_id in store.list_workflows():
+            yield store.load_workflow(workflow_id).to_workflow()
+
+    return find_in_corpus(pattern, stored_workflows(),
+                          match_parameters=match_parameters)

@@ -3,13 +3,17 @@
 Four interchangeable backends implement :class:`ProvenanceStore`:
 in-memory dictionaries, sqlite3 relations, RDF-style triples, and JSON
 documents — the three storage families the paper surveys plus the default.
-Artifact values can additionally live in a content-addressed store.
+All cross-run queries go through ``store.select(ProvQuery...)``, which each
+backend answers from its native index; results stream through a lazy
+:class:`ResultCursor`.  Artifact values can additionally live in a
+content-addressed store.
 """
 
 from repro.storage.artifacts import ArtifactValueStore, FileArtifactValueStore
 from repro.storage.base import ProvenanceStore, RunSummary, StoreError
 from repro.storage.documents import DocumentStore
 from repro.storage.memory import MemoryStore
+from repro.storage.query import (Filter, ProvQuery, QueryError, ResultCursor)
 from repro.storage.relational import RelationalStore
 from repro.storage.triples import (PROV, TripleProvenanceStore, TripleStore,
                                    run_from_triples, run_to_triples)
@@ -17,6 +21,7 @@ from repro.storage.triples import (PROV, TripleProvenanceStore, TripleStore,
 __all__ = [
     "ArtifactValueStore", "FileArtifactValueStore",
     "ProvenanceStore", "RunSummary", "StoreError",
+    "Filter", "ProvQuery", "QueryError", "ResultCursor",
     "DocumentStore", "MemoryStore", "RelationalStore",
     "PROV", "TripleProvenanceStore", "TripleStore",
     "run_from_triples", "run_to_triples",

@@ -13,19 +13,29 @@ defines the backend-neutral interface; four backends implement it:
 * :class:`~repro.storage.documents.DocumentStore` — JSON files on disk
   (the XML-dialect/file point).
 
-The base class implements the cross-cutting *finder* queries generically so a
-backend only needs the primitive load/save/list operations; backends override
-finders when they can answer faster (the relational store pushes them to SQL).
+All cross-cutting queries flow through one entry point,
+:meth:`ProvenanceStore.select`, which evaluates a backend-neutral
+:class:`~repro.storage.query.ProvQuery` and returns a lazy
+:class:`~repro.storage.query.ResultCursor`.  The base class implements
+``select`` generically from the primitive load/save/list operations — that
+implementation is the correctness oracle — and every backend overrides it
+with native pushdown (SQL, triple patterns, a sidecar summary index, dict
+scans).  The legacy finder methods (``find_runs`` and friends) remain as
+deprecated shims delegating to ``select``.
 """
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.annotations import Annotation
 from repro.core.prospective import ProspectiveProvenance
 from repro.core.retrospective import DataArtifact, ModuleExecution, WorkflowRun
+from repro.storage.query import (ProvQuery, ResultCursor, annotation_row,
+                                 artifact_row, evaluate_rows, execution_row,
+                                 run_row)
 
 __all__ = ["ProvenanceStore", "StoreError", "RunSummary"]
 
@@ -75,12 +85,25 @@ class ProvenanceStore(ABC):
         """Remove a run; return True when it existed."""
 
     def has_run(self, run_id: str) -> bool:
-        """True when a run with this id is stored."""
-        try:
-            self.load_run(run_id)
-            return True
-        except StoreError:
-            return False
+        """True when a run with this id is stored.
+
+        Backends override this with an O(1) index/key lookup; the fallback
+        scans summaries rather than deserializing a whole run.
+        """
+        return any(summary.run_id == run_id
+                   for summary in self.list_runs())
+
+    def save_runs(self, runs: Iterable[WorkflowRun]) -> int:
+        """Bulk-persist many runs; returns how many were saved.
+
+        Backends override this to batch writes (one transaction, one index
+        rewrite); the fallback simply loops :meth:`save_run`.
+        """
+        count = 0
+        for run in runs:
+            self.save_run(run)
+            count += 1
+        return count
 
     # -- workflows -------------------------------------------------------
     @abstractmethod
@@ -109,55 +132,106 @@ class ProvenanceStore(ABC):
     def all_annotations(self) -> List[Annotation]:
         """Every stored annotation, sorted by id."""
 
-    # -- finders (generic implementations) -------------------------------
+    # -- unified query entry point ----------------------------------------
+    def select(self, query: ProvQuery) -> ResultCursor:
+        """Evaluate a :class:`ProvQuery`; returns a lazy result cursor.
+
+        This generic implementation deserializes every stored run and
+        evaluates the query in Python — it is the correctness oracle the
+        backend-native pushdown implementations are tested against.
+        """
+        return ResultCursor(evaluate_rows(self._generic_rows(query.entity),
+                                          query))
+
+    def _generic_rows(self, entity: str) -> Iterator[Dict[str, Any]]:
+        """Every row of one entity kind, built from full deserialization."""
+        if entity == "annotations":
+            for annotation in self.all_annotations():
+                yield annotation_row(annotation)
+            return
+        for summary in self.list_runs():
+            run = self.load_run(summary.run_id)
+            if entity == "runs":
+                yield run_row(run)
+            elif entity == "executions":
+                for execution in run.executions:
+                    yield execution_row(run.id, execution)
+            else:
+                for artifact in run.artifacts.values():
+                    yield artifact_row(run.id, artifact)
+
+    def _materialize_executions(self, rows: List[Dict[str, Any]]
+                                ) -> List[Tuple[str, ModuleExecution]]:
+        """Rebuild full execution objects for select rows, loading each
+        referenced run once."""
+        runs: Dict[str, WorkflowRun] = {}
+        found = []
+        for row in rows:
+            run_id = row["run_id"]
+            if run_id not in runs:
+                runs[run_id] = self.load_run(run_id)
+            found.append((run_id, runs[run_id].execution(row["id"])))
+        return found
+
+    # -- deprecated finder shims ------------------------------------------
     def find_runs(self, *, workflow_id: Optional[str] = None,
                   signature: Optional[str] = None,
                   status: Optional[str] = None) -> List[str]:
-        """Ids of runs matching every given criterion."""
-        matches = []
-        for summary in self.list_runs():
-            run = self.load_run(summary.run_id)
-            if workflow_id is not None and run.workflow_id != workflow_id:
-                continue
-            if (signature is not None
-                    and run.workflow_signature != signature):
-                continue
-            if status is not None and run.status != status:
-                continue
-            matches.append(run.id)
-        return matches
+        """Ids of runs matching every given criterion.
+
+        .. deprecated:: use ``select(ProvQuery.runs().where(...))``.
+        """
+        warnings.warn("find_runs is deprecated; use "
+                      "select(ProvQuery.runs().where(...))",
+                      DeprecationWarning, stacklevel=2)
+        query = ProvQuery.runs().project("id")
+        if workflow_id is not None:
+            query = query.where(workflow_id=workflow_id)
+        if signature is not None:
+            query = query.where(signature=signature)
+        if status is not None:
+            query = query.where(status=status)
+        return [row["id"] for row in self.select(query)]
 
     def find_artifacts_by_hash(self, value_hash: str
                                ) -> List[Tuple[str, DataArtifact]]:
-        """(run_id, artifact) for every artifact with this content hash."""
-        found = []
-        for summary in self.list_runs():
-            run = self.load_run(summary.run_id)
-            for artifact in run.artifacts.values():
-                if artifact.value_hash == value_hash:
-                    found.append((run.id, artifact))
-        return found
+        """(run_id, artifact) for every artifact with this content hash.
+
+        .. deprecated:: use ``select(ProvQuery.artifacts().where(...))``.
+        """
+        warnings.warn("find_artifacts_by_hash is deprecated; use "
+                      "select(ProvQuery.artifacts()"
+                      ".where(value_hash=...))",
+                      DeprecationWarning, stacklevel=2)
+        rows = self.select(
+            ProvQuery.artifacts().where(value_hash=value_hash)).all()
+        return [(row["run_id"], DataArtifact(
+            id=row["id"], value_hash=row["value_hash"],
+            type_name=row["type_name"], created_by=row["created_by"],
+            role=row["role"],
+            also_produced_by=list(row["also_produced_by"]),
+            size_hint=row["size_hint"])) for row in rows]
 
     def find_executions(self, *, module_type: Optional[str] = None,
                         status: Optional[str] = None,
                         parameter: Optional[Tuple[str, Any]] = None
                         ) -> List[Tuple[str, ModuleExecution]]:
-        """(run_id, execution) pairs matching every given criterion."""
-        found = []
-        for summary in self.list_runs():
-            run = self.load_run(summary.run_id)
-            for execution in run.executions:
-                if (module_type is not None
-                        and execution.module_type != module_type):
-                    continue
-                if status is not None and execution.status != status:
-                    continue
-                if parameter is not None:
-                    key, value = parameter
-                    if execution.parameters.get(key) != value:
-                        continue
-                found.append((run.id, execution))
-        return found
+        """(run_id, execution) pairs matching every given criterion.
+
+        .. deprecated:: use ``select(ProvQuery.executions().where(...))``.
+        """
+        warnings.warn("find_executions is deprecated; use "
+                      "select(ProvQuery.executions().where(...))",
+                      DeprecationWarning, stacklevel=2)
+        query = ProvQuery.executions()
+        if module_type is not None:
+            query = query.where(module_type=module_type)
+        if status is not None:
+            query = query.where(status=status)
+        if parameter is not None:
+            key, value = parameter
+            query = query.where_op(f"param.{key}", "eq", value)
+        return self._materialize_executions(self.select(query).all())
 
     # -- lifecycle --------------------------------------------------------
     def close(self) -> None:

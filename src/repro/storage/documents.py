@@ -9,20 +9,32 @@ root/
   workflows/<workflow-id>.json
   annotations/<annotation-id>.json
   values/<run-id>/<artifact-id>.pkl     (optional pickled values)
+  index/summaries.json                  (sidecar query index)
 ```
+
+The sidecar index caches the canonical query rows (run / execution /
+artifact) of every run document plus each file's (mtime, size) stamp, so
+:meth:`select` and :meth:`list_runs` filter without re-parsing full run
+documents.  The index self-heals: files added, rewritten or removed behind
+the store's back are detected by stamp comparison and re-synced lazily.
 """
 
 from __future__ import annotations
 
+import copy
 import json
 import pickle
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
 
 from repro.core.annotations import Annotation
 from repro.core.prospective import ProspectiveProvenance
 from repro.core.retrospective import WorkflowRun
 from repro.storage.base import ProvenanceStore, RunSummary, StoreError
+from repro.storage.query import (ProvQuery, ResultCursor, annotation_row,
+                                 apply_filters, apply_ordering,
+                                 apply_window, artifact_row, execution_row,
+                                 project_rows, run_row)
 
 __all__ = ["DocumentStore"]
 
@@ -40,11 +52,44 @@ class DocumentStore(ProvenanceStore):
                  store_values: bool = False) -> None:
         self.root = Path(root)
         self.store_values = store_values
-        for subdir in ("runs", "workflows", "annotations", "values"):
-            (self.root / subdir).mkdir(parents=True, exist_ok=True)
+        try:
+            for subdir in ("runs", "workflows", "annotations", "values",
+                           "index"):
+                (self.root / subdir).mkdir(parents=True, exist_ok=True)
+        except OSError:
+            # read-only mount of an existing store: reads still work,
+            # writes will fail at their own call sites
+            pass
+        self._index: Optional[Dict[str, Dict[str, Any]]] = None
+        self._index_dirty = False
+        self._index_writable = True
 
     # -- runs -----------------------------------------------------------
+    # index persistence is write-behind: saves update the in-memory index
+    # and mark it dirty; the file is rewritten once per query/close, not
+    # once per save (which would make one-at-a-time ingest quadratic).
+    # A stale on-disk index self-heals from document stamps either way.
     def save_run(self, run: WorkflowRun) -> None:
+        self._write_run_document(run)
+        self._load_index()[run.id] = self._index_entry(run)
+        self._index_dirty = True
+
+    def save_runs(self, runs: Iterable[WorkflowRun]) -> int:
+        """Bulk ingest: write every document, then one index rewrite."""
+        index = self._load_index()
+        count = 0
+        for run in runs:
+            self._write_run_document(run)
+            index[run.id] = self._index_entry(run)
+            count += 1
+        self._index_dirty = True
+        self._flush_index()
+        return count
+
+    def has_run(self, run_id: str) -> bool:
+        return (self.root / "runs" / f"{run_id}.json").exists()
+
+    def _write_run_document(self, run: WorkflowRun) -> None:
         path = self.root / "runs" / f"{run.id}.json"
         path.write_text(json.dumps(run.to_dict(), sort_keys=True, indent=1))
         if self.store_values and run.values:
@@ -72,12 +117,11 @@ class DocumentStore(ProvenanceStore):
 
     def list_runs(self) -> List[RunSummary]:
         summaries = []
-        for path in (self.root / "runs").glob("*.json"):
-            data = json.loads(path.read_text())
+        for entry in self._synced_index().values():
+            row = entry["run"]
             summaries.append(RunSummary(
-                data["id"], data["workflow_id"],
-                data.get("workflow_name", ""), data["status"],
-                data.get("started", 0.0), data.get("finished", 0.0)))
+                row["id"], row["workflow_id"], row["workflow_name"],
+                row["status"], row["started"], row["finished"]))
         return sorted(summaries, key=lambda s: (s.started, s.run_id))
 
     def delete_run(self, run_id: str) -> bool:
@@ -90,6 +134,8 @@ class DocumentStore(ProvenanceStore):
             for value_path in value_dir.glob("*.pkl"):
                 value_path.unlink()
             value_dir.rmdir()
+        if self._load_index().pop(run_id, None) is not None:
+            self._index_dirty = True
         return True
 
     # -- workflows -------------------------------------------------------
@@ -125,3 +171,130 @@ class DocumentStore(ProvenanceStore):
             annotations.append(Annotation.from_dict(
                 json.loads(path.read_text())))
         return sorted(annotations, key=lambda a: a.id)
+
+    # -- sidecar summary index --------------------------------------------
+    @property
+    def _index_path(self) -> Path:
+        return self.root / "index" / "summaries.json"
+
+    def _load_index(self) -> Dict[str, Dict[str, Any]]:
+        """The in-memory index, loaded from disk on first use.
+
+        Anything unreadable — missing file, invalid JSON, or JSON whose
+        top level is not an object — degrades to an empty index, which
+        :meth:`_synced_index` rebuilds from the documents."""
+        if self._index is None:
+            try:
+                loaded = json.loads(self._index_path.read_text())
+            except (OSError, ValueError):
+                loaded = {}
+            self._index = loaded if isinstance(loaded, dict) else {}
+        return self._index
+
+    def _flush_index(self) -> None:
+        """Persist the in-memory index if it has unwritten changes.
+
+        On a read-only store (archived provenance) the flush degrades to
+        a no-op: queries keep working from the in-memory index, which
+        self-heals from document stamps on every open anyway.
+        """
+        if (self._index_dirty and self._index is not None
+                and self._index_writable):
+            try:
+                self._index_path.write_text(json.dumps(self._index,
+                                                       sort_keys=True))
+            except OSError:
+                self._index_writable = False
+                return
+            self._index_dirty = False
+
+    def close(self) -> None:
+        self._flush_index()
+
+    @staticmethod
+    def _stamp(path: Path) -> List[int]:
+        stat = path.stat()
+        return [stat.st_mtime_ns, stat.st_size]
+
+    def _index_entry(self, run: WorkflowRun) -> Dict[str, Any]:
+        """Index record for one run: file stamp + canonical query rows.
+
+        Rows are JSON-roundtripped so they match what a reload of the
+        document would produce (tuples become lists, etc.) — the cached
+        rows must agree with the generic oracle, which always reads the
+        persisted JSON.
+        """
+        path = self.root / "runs" / f"{run.id}.json"
+        return json.loads(json.dumps({
+            "stamp": self._stamp(path),
+            "run": run_row(run),
+            "executions": [execution_row(run.id, execution)
+                           for execution in run.executions],
+            "artifacts": [artifact_row(run.id, artifact)
+                          for artifact in run.artifacts.values()],
+        }))
+
+    def _synced_index(self) -> Dict[str, Dict[str, Any]]:
+        """The index, reconciled with the run files actually on disk.
+
+        Only documents whose (mtime, size) stamp changed — or that are not
+        indexed yet — are re-parsed; everything else is answered from the
+        cached rows.
+        """
+        index = self._load_index()
+        on_disk: Dict[str, Path] = {
+            path.stem: path
+            for path in (self.root / "runs").glob("*.json")}
+        for run_id in list(index):
+            if run_id not in on_disk:
+                del index[run_id]
+                self._index_dirty = True
+        for run_id, path in on_disk.items():
+            stamp = self._stamp(path)
+            entry = index.get(run_id)
+            # malformed entries (truncated index, hand edits) count as
+            # stale and are rebuilt from the document
+            if (isinstance(entry, dict) and entry.get("stamp") == stamp
+                    and all(key in entry
+                            for key in ("run", "executions",
+                                        "artifacts"))):
+                continue
+            run = WorkflowRun.from_dict(json.loads(path.read_text()))
+            index[run_id] = self._index_entry(run)
+            index[run_id]["stamp"] = stamp
+            self._index_dirty = True
+        self._flush_index()
+        return index
+
+    # -- pushed-down select -----------------------------------------------
+    def select(self, query: ProvQuery) -> ResultCursor:
+        """Evaluate ``query`` from the sidecar index.
+
+        Run, execution and artifact rows come straight out of the index —
+        full run documents are parsed only when their stamp changed since
+        they were last indexed.  Annotation documents are small and read
+        directly.
+        """
+        matched = list(apply_filters(self._indexed_rows(query.entity),
+                                     query.filters))
+        ordered = apply_ordering(matched, query)
+        windowed = apply_window(ordered, query)
+        # deep-copy only the rows that survive the window: result rows
+        # (and their nested parameters dicts / lists) must not alias the
+        # persistent index, or caller mutation would corrupt the cache
+        # and reach disk — but copying before filtering would pay
+        # O(all rows) per query regardless of selectivity
+        safe = [copy.deepcopy(row) for row in windowed]
+        return ResultCursor(project_rows(safe, query.fields))
+
+    def _indexed_rows(self, entity: str) -> Iterator[Dict[str, Any]]:
+        """Raw (index-aliased) rows — callers must copy before exposing."""
+        if entity == "annotations":
+            for annotation in self.all_annotations():
+                yield annotation_row(annotation)
+            return
+        for entry in self._synced_index().values():
+            if entity == "runs":
+                yield entry["run"]
+            else:
+                yield from entry[entity]

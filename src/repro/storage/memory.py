@@ -2,12 +2,15 @@
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Any, Dict, Iterator, List
 
 from repro.core.annotations import Annotation
 from repro.core.prospective import ProspectiveProvenance
 from repro.core.retrospective import WorkflowRun
 from repro.storage.base import ProvenanceStore, RunSummary, StoreError
+from repro.storage.query import (ProvQuery, ResultCursor, annotation_row,
+                                 artifact_row, evaluate_rows, execution_row,
+                                 run_row)
 
 __all__ = ["MemoryStore"]
 
@@ -28,6 +31,9 @@ class MemoryStore(ProvenanceStore):
     # -- runs -----------------------------------------------------------
     def save_run(self, run: WorkflowRun) -> None:
         self._runs[run.id] = run
+
+    def has_run(self, run_id: str) -> bool:
+        return run_id in self._runs
 
     def load_run(self, run_id: str) -> WorkflowRun:
         if run_id not in self._runs:
@@ -69,3 +75,24 @@ class MemoryStore(ProvenanceStore):
 
     def all_annotations(self) -> List[Annotation]:
         return sorted(self._annotations, key=lambda a: a.id)
+
+    # -- pushed-down select -----------------------------------------------
+    def select(self, query: ProvQuery) -> ResultCursor:
+        """Evaluate ``query`` by scanning the in-process dicts directly
+        (no summary/load indirection, no copying)."""
+        return ResultCursor(evaluate_rows(self._scan(query.entity), query))
+
+    def _scan(self, entity: str) -> Iterator[Dict[str, Any]]:
+        if entity == "annotations":
+            for annotation in self._annotations:
+                yield annotation_row(annotation)
+            return
+        for run in self._runs.values():
+            if entity == "runs":
+                yield run_row(run)
+            elif entity == "executions":
+                for execution in run.executions:
+                    yield execution_row(run.id, execution)
+            else:
+                for artifact in run.artifacts.values():
+                    yield artifact_row(run.id, artifact)

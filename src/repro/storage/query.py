@@ -1,0 +1,448 @@
+"""Backend-neutral provenance queries: :class:`ProvQuery` + :class:`ResultCursor`.
+
+The paper's storage survey spans RDF triples, XML/JSON files and relational
+tuples; querying each encoding with its native language (SPARQL, file scans,
+SQL) couples every caller to one backend.  This module defines the query
+surface over the *model* instead: a :class:`ProvQuery` is a composable
+filter / sort / pagination / projection spec for one of four entity kinds
+(``runs``, ``executions``, ``artifacts``, ``annotations``), evaluated through
+:meth:`ProvenanceStore.select`, which returns a lazy :class:`ResultCursor`
+of plain dict rows.  Each backend compiles the spec to its native index
+(SQL ``WHERE``/``ORDER BY``/``LIMIT``, triple-pattern intersection, a JSON
+sidecar index, dict scans); the generic fallback in the base class is the
+correctness oracle every backend must agree with.
+
+Rows are plain dicts with a fixed canonical field set per entity (see
+``RUN_FIELDS`` etc.), so results print, serialize and compare cleanly across
+backends.
+
+Example::
+
+    query = (ProvQuery.executions()
+             .where(module_type="IsosurfaceExtract", status="ok")
+             .where_op("started", "ge", cutoff)
+             .order_by("-started")
+             .page(2, size=50))
+    for row in store.select(query):
+        print(row["run_id"], row["id"])
+"""
+
+from __future__ import annotations
+
+from typing import (Any, Callable, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Tuple)
+
+__all__ = ["ProvQuery", "Filter", "ResultCursor", "QueryError",
+           "RUN_FIELDS", "EXECUTION_FIELDS", "ARTIFACT_FIELDS",
+           "ANNOTATION_FIELDS", "ENTITIES", "apply_filters",
+           "apply_ordering", "apply_window", "run_row", "execution_row",
+           "artifact_row", "annotation_row"]
+
+
+class QueryError(Exception):
+    """Raised for malformed queries (unknown entity, field or operator)."""
+
+
+#: Canonical row fields per entity, in canonical order.
+RUN_FIELDS = ("id", "workflow_id", "workflow_name", "signature", "status",
+              "started", "finished")
+EXECUTION_FIELDS = ("id", "run_id", "module_id", "module_type",
+                    "module_name", "status", "started", "finished", "error",
+                    "cache_key", "cached_from", "parameters")
+ARTIFACT_FIELDS = ("id", "run_id", "value_hash", "type_name", "created_by",
+                   "role", "also_produced_by", "size_hint")
+ANNOTATION_FIELDS = ("id", "target_kind", "target_id", "key", "value",
+                     "author", "created")
+
+ENTITIES: Dict[str, Tuple[str, ...]] = {
+    "runs": RUN_FIELDS,
+    "executions": EXECUTION_FIELDS,
+    "artifacts": ARTIFACT_FIELDS,
+    "annotations": ANNOTATION_FIELDS,
+}
+
+#: Default (always-deterministic) sort keys per entity.
+DEFAULT_ORDER: Dict[str, Tuple[str, ...]] = {
+    "runs": ("started", "id"),
+    "executions": ("run_id", "started", "id"),
+    "artifacts": ("run_id", "id"),
+    "annotations": ("id",),
+}
+
+#: Fields that cannot be sorted on (unordered container values).
+_UNSORTABLE = {"parameters", "also_produced_by", "value"}
+
+_OPS: Dict[str, Callable[[Any, Any], bool]] = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+    "contains": lambda a, b: str(b) in str(a),
+    "in": lambda a, b: a in b,
+}
+
+
+class Filter:
+    """One predicate: ``field op value`` against a row dict."""
+
+    __slots__ = ("field", "op", "value")
+
+    def __init__(self, field: str, op: str, value: Any) -> None:
+        if op not in _OPS:
+            raise QueryError(f"unknown operator {op!r}; "
+                             f"expected one of {sorted(_OPS)}")
+        self.field = field
+        self.op = op
+        self.value = value
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        """Evaluate against one row; missing/None fields never match,
+        except for explicit equality with None."""
+        if self.field.startswith("param."):
+            parameters = row.get("parameters") or {}
+            actual = parameters.get(self.field[len("param."):])
+        else:
+            actual = row.get(self.field)
+        if actual is None:
+            return self.op == "eq" and self.value is None
+        try:
+            return _OPS[self.op](actual, self.value)
+        except TypeError:
+            return False
+
+    def __repr__(self) -> str:
+        return f"Filter({self.field!r}, {self.op!r}, {self.value!r})"
+
+    def __eq__(self, other: Any) -> bool:
+        return (isinstance(other, Filter)
+                and (self.field, self.op, self.value)
+                == (other.field, other.op, other.value))
+
+
+class ProvQuery:
+    """Immutable, composable query spec over one provenance entity kind.
+
+    Build with the entity constructors and chain refinements; every
+    refinement returns a *new* query::
+
+        ProvQuery.runs().where(status="ok").order_by("-started").limit(10)
+
+    Filter fields are the canonical row fields of the entity; executions
+    additionally accept ``param.<name>`` fields that look inside the
+    ``parameters`` dict.
+    """
+
+    __slots__ = ("entity", "filters", "order", "limit_count", "offset_count",
+                 "fields")
+
+    def __init__(self, entity: str,
+                 filters: Sequence[Filter] = (),
+                 order: Sequence[str] = (),
+                 limit_count: Optional[int] = None,
+                 offset_count: int = 0,
+                 fields: Optional[Sequence[str]] = None) -> None:
+        if entity not in ENTITIES:
+            raise QueryError(f"unknown entity {entity!r}; "
+                             f"expected one of {sorted(ENTITIES)}")
+        self.entity = entity
+        self.filters: Tuple[Filter, ...] = tuple(filters)
+        self.order: Tuple[str, ...] = tuple(order)
+        self.limit_count = limit_count
+        self.offset_count = offset_count
+        self.fields = tuple(fields) if fields is not None else None
+        if limit_count is not None and limit_count < 0:
+            raise QueryError("limit must be >= 0 (or None for unlimited)")
+        if offset_count < 0:
+            raise QueryError("offset must be >= 0")
+        for filt in self.filters:
+            self._check_field(filt.field)
+        for key in self.order:
+            name = key[1:] if key.startswith("-") else key
+            # sort keys must be canonical row fields — param.* lookups and
+            # container-valued fields have no total order
+            if name not in ENTITIES[entity] or name in _UNSORTABLE:
+                raise QueryError(f"cannot sort on {name!r}")
+        if self.fields is not None:
+            for name in self.fields:
+                if name not in ENTITIES[entity]:
+                    raise QueryError(
+                        f"unknown projection field {name!r} for {entity}")
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def runs(cls) -> "ProvQuery":
+        """Query over stored runs."""
+        return cls("runs")
+
+    @classmethod
+    def executions(cls) -> "ProvQuery":
+        """Query over executions of every stored run."""
+        return cls("executions")
+
+    @classmethod
+    def artifacts(cls) -> "ProvQuery":
+        """Query over artifacts of every stored run."""
+        return cls("artifacts")
+
+    @classmethod
+    def annotations(cls) -> "ProvQuery":
+        """Query over stored annotations."""
+        return cls("annotations")
+
+    # -- refinement (each returns a new query) --------------------------
+    def where(self, **equals: Any) -> "ProvQuery":
+        """Add equality filters, e.g. ``.where(status="ok")``.
+
+        Dots in field names are spelled with ``__``:
+        ``.where(param__level=90.0)`` filters on parameter ``level``.
+        """
+        added = [Filter(name.replace("__", "."), "eq", value)
+                 for name, value in equals.items()]
+        return self._replace(filters=self.filters + tuple(added))
+
+    def where_op(self, field: str, op: str, value: Any) -> "ProvQuery":
+        """Add one explicit filter, e.g. ``.where_op("started", "ge", t)``.
+
+        Operators: eq, ne, lt, le, gt, ge, contains, in.
+        """
+        return self._replace(filters=self.filters + (Filter(field, op,
+                                                            value),))
+
+    def order_by(self, *keys: str) -> "ProvQuery":
+        """Sort keys in priority order; prefix with ``-`` for descending."""
+        return self._replace(order=keys)
+
+    def limit(self, count: Optional[int]) -> "ProvQuery":
+        """Keep at most ``count`` rows (None removes the limit)."""
+        return self._replace(limit_count=count)
+
+    def offset(self, count: int) -> "ProvQuery":
+        """Skip the first ``count`` rows (after sorting)."""
+        return self._replace(offset_count=count)
+
+    def page(self, number: int, size: int) -> "ProvQuery":
+        """Pagination sugar: 1-based page ``number`` of ``size`` rows."""
+        if number < 1 or size < 1:
+            raise QueryError("page number and size must be >= 1")
+        return self._replace(limit_count=size,
+                             offset_count=(number - 1) * size)
+
+    def project(self, *fields: str) -> "ProvQuery":
+        """Keep only the named fields in result rows, in the given order."""
+        return self._replace(fields=fields)
+
+    # -- introspection (used by backend compilers) ----------------------
+    def order_keys(self) -> Tuple[Tuple[str, bool], ...]:
+        """Effective sort as (field, descending) pairs, including the
+        entity's deterministic tie-break keys."""
+        keys: List[Tuple[str, bool]] = []
+        seen = set()
+        for key in self.order:
+            descending = key.startswith("-")
+            name = key[1:] if descending else key
+            if name not in seen:
+                keys.append((name, descending))
+                seen.add(name)
+        for name in DEFAULT_ORDER[self.entity]:
+            if name not in seen:
+                keys.append((name, False))
+                seen.add(name)
+        return tuple(keys)
+
+    def _check_field(self, field: str) -> None:
+        if self.entity == "executions" and field.startswith("param."):
+            return
+        if field not in ENTITIES[self.entity]:
+            raise QueryError(
+                f"unknown field {field!r} for entity {self.entity!r}")
+
+    def _replace(self, **changes: Any) -> "ProvQuery":
+        state = {"entity": self.entity, "filters": self.filters,
+                 "order": self.order, "limit_count": self.limit_count,
+                 "offset_count": self.offset_count, "fields": self.fields}
+        state.update(changes)
+        return ProvQuery(**state)
+
+    def __repr__(self) -> str:
+        parts = [self.entity]
+        if self.filters:
+            parts.append(f"filters={list(self.filters)!r}")
+        if self.order:
+            parts.append(f"order={list(self.order)!r}")
+        if self.limit_count is not None:
+            parts.append(f"limit={self.limit_count}")
+        if self.offset_count:
+            parts.append(f"offset={self.offset_count}")
+        if self.fields is not None:
+            parts.append(f"fields={list(self.fields)!r}")
+        return f"ProvQuery({', '.join(parts)})"
+
+
+class ResultCursor:
+    """Lazy, paginated view over query result rows.
+
+    Iterating yields rows one at a time without materializing the rest;
+    :meth:`fetchmany` and :meth:`pages` give explicit pagination, and
+    :meth:`all` drains the remainder into a list.  A cursor is a one-shot
+    forward iterator (like a DB-API cursor).
+    """
+
+    def __init__(self, rows: Iterable[Dict[str, Any]],
+                 page_size: int = 100) -> None:
+        if page_size < 1:
+            raise QueryError("page_size must be >= 1")
+        self._rows = iter(rows)
+        self.page_size = page_size
+        self._consumed = 0
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        for row in self._rows:
+            self._consumed += 1
+            yield row
+
+    def __next__(self) -> Dict[str, Any]:
+        row = next(self._rows)
+        self._consumed += 1
+        return row
+
+    def fetchmany(self, count: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Next ``count`` rows (default: the cursor's page size)."""
+        count = self.page_size if count is None else count
+        if count <= 0:
+            return []
+        batch: List[Dict[str, Any]] = []
+        for row in self._rows:
+            self._consumed += 1
+            batch.append(row)
+            if len(batch) >= count:
+                break
+        return batch
+
+    def pages(self, size: Optional[int] = None
+              ) -> Iterator[List[Dict[str, Any]]]:
+        """Iterate the remaining rows in fixed-size batches."""
+        while True:
+            batch = self.fetchmany(size)
+            if not batch:
+                return
+            yield batch
+
+    def first(self) -> Optional[Dict[str, Any]]:
+        """The next row, or None when exhausted."""
+        for row in self._rows:
+            self._consumed += 1
+            return row
+        return None
+
+    def all(self) -> List[Dict[str, Any]]:
+        """Drain every remaining row into a list."""
+        rows = list(self._rows)
+        self._consumed += len(rows)
+        return rows
+
+    @property
+    def consumed(self) -> int:
+        """How many rows this cursor has yielded so far."""
+        return self._consumed
+
+
+# ----------------------------------------------------------------------
+# canonical row builders (shared by the generic fallback and backends)
+# ----------------------------------------------------------------------
+def run_row(run: Any) -> Dict[str, Any]:
+    """Canonical row for one :class:`WorkflowRun`."""
+    return {"id": run.id, "workflow_id": run.workflow_id,
+            "workflow_name": run.workflow_name,
+            "signature": run.workflow_signature, "status": run.status,
+            "started": run.started, "finished": run.finished}
+
+
+def execution_row(run_id: str, execution: Any) -> Dict[str, Any]:
+    """Canonical row for one :class:`ModuleExecution`."""
+    return {"id": execution.id, "run_id": run_id,
+            "module_id": execution.module_id,
+            "module_type": execution.module_type,
+            "module_name": execution.module_name,
+            "status": execution.status, "started": execution.started,
+            "finished": execution.finished, "error": execution.error,
+            "cache_key": execution.cache_key,
+            "cached_from": execution.cached_from,
+            "parameters": dict(execution.parameters)}
+
+
+def artifact_row(run_id: str, artifact: Any) -> Dict[str, Any]:
+    """Canonical row for one :class:`DataArtifact`.
+
+    ``also_produced_by`` is canonicalized to sorted order so backends that
+    store it as an unordered set (triples) agree with the others.
+    """
+    return {"id": artifact.id, "run_id": run_id,
+            "value_hash": artifact.value_hash,
+            "type_name": artifact.type_name,
+            "created_by": artifact.created_by, "role": artifact.role,
+            "also_produced_by": sorted(artifact.also_produced_by),
+            "size_hint": artifact.size_hint}
+
+
+def annotation_row(annotation: Any) -> Dict[str, Any]:
+    """Canonical row for one :class:`Annotation`."""
+    return {"id": annotation.id, "target_kind": annotation.target_kind,
+            "target_id": annotation.target_id, "key": annotation.key,
+            "value": annotation.value, "author": annotation.author,
+            "created": annotation.created}
+
+
+# ----------------------------------------------------------------------
+# generic evaluation helpers (the correctness oracle's building blocks)
+# ----------------------------------------------------------------------
+def apply_filters(rows: Iterable[Dict[str, Any]],
+                  filters: Sequence[Filter]
+                  ) -> Iterator[Dict[str, Any]]:
+    """Lazily keep rows matching every filter."""
+    for row in rows:
+        if all(filt.matches(row) for filt in filters):
+            yield row
+
+
+def apply_ordering(rows: List[Dict[str, Any]],
+                   query: ProvQuery) -> List[Dict[str, Any]]:
+    """Sort rows by the query's effective keys (stable, desc-aware)."""
+    ordered = list(rows)
+    for name, descending in reversed(query.order_keys()):
+        ordered.sort(key=lambda row: row[name], reverse=descending)
+    return ordered
+
+
+def apply_window(rows: List[Dict[str, Any]],
+                 query: ProvQuery) -> List[Dict[str, Any]]:
+    """Apply offset/limit to an already-sorted row list."""
+    start = query.offset_count
+    if query.limit_count is None:
+        return rows[start:]
+    return rows[start:start + query.limit_count]
+
+
+def project_rows(rows: Iterable[Dict[str, Any]],
+                 fields: Optional[Sequence[str]]
+                 ) -> Iterator[Dict[str, Any]]:
+    """Lazily reduce rows to the projected fields (no-op when None)."""
+    if fields is None:
+        yield from rows
+        return
+    for row in rows:
+        yield {name: row[name] for name in fields}
+
+
+def evaluate_rows(rows: Iterable[Dict[str, Any]],
+                  query: ProvQuery) -> List[Dict[str, Any]]:
+    """Filter + sort + paginate + project a full row iterable in Python.
+
+    This is the reference semantics of :meth:`ProvenanceStore.select`;
+    backends may shortcut any stage but must return exactly these rows.
+    """
+    matched = list(apply_filters(rows, query.filters))
+    ordered = apply_ordering(matched, query)
+    windowed = apply_window(ordered, query)
+    return list(project_rows(windowed, query.fields))

@@ -2,10 +2,12 @@
 
 This backend realizes the "tuples stored in relational database tables" point
 in the paper's storage design space.  Provenance is normalized over six
-tables (runs, executions, bindings, artifacts, workflows, annotations), all
-finder queries are pushed down to SQL with indexes, and :meth:`sql` exposes
-read-only raw SQL so the paper's "users write queries in languages like SQL"
-observation can be reproduced (and benchmarked) directly.
+tables (runs, executions, bindings, artifacts, workflows, annotations);
+:meth:`select` compiles :class:`~repro.storage.query.ProvQuery` specs to SQL
+``WHERE``/``ORDER BY``/``LIMIT`` against the existing indexes (filter-only
+queries never deserialize a run), and :meth:`sql` exposes read-only raw SQL
+so the paper's "users write queries in languages like SQL" observation can
+be reproduced (and benchmarked) directly.
 
 Artifact *values* are optionally persisted as pickled blobs; metadata always
 persists regardless of value picklability.
@@ -16,13 +18,15 @@ from __future__ import annotations
 import json
 import pickle
 import sqlite3
-from typing import Any, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.annotations import Annotation
 from repro.core.prospective import ProspectiveProvenance
 from repro.core.retrospective import (DataArtifact, ModuleExecution,
                                       PortBinding, WorkflowRun)
 from repro.storage.base import ProvenanceStore, RunSummary, StoreError
+from repro.storage.query import (Filter, ProvQuery, ResultCursor,
+                                 apply_filters, apply_window, project_rows)
 
 __all__ = ["RelationalStore"]
 
@@ -130,6 +134,24 @@ class RelationalStore(ProvenanceStore):
     # -- runs -----------------------------------------------------------
     def save_run(self, run: WorkflowRun) -> None:
         cursor = self._connection.cursor()
+        self._write_run(cursor, run)
+        self._connection.commit()
+
+    def save_runs(self, runs: Iterable[WorkflowRun]) -> int:
+        """Bulk ingest: every run inserted inside a single transaction."""
+        cursor = self._connection.cursor()
+        count = 0
+        try:
+            for run in runs:
+                self._write_run(cursor, run)
+                count += 1
+        except Exception:
+            self._connection.rollback()
+            raise
+        self._connection.commit()
+        return count
+
+    def _write_run(self, cursor: sqlite3.Cursor, run: WorkflowRun) -> None:
         cursor.execute("DELETE FROM runs WHERE id = ?", (run.id,))
         cursor.execute(
             "INSERT INTO runs (id, workflow_id, workflow_name, signature,"
@@ -174,7 +196,11 @@ class RelationalStore(ProvenanceStore):
                 cursor.execute(
                     "INSERT INTO artifact_values VALUES (?,?,?)",
                     (artifact.id, run.id, blob))
-        self._connection.commit()
+
+    def has_run(self, run_id: str) -> bool:
+        row = self._connection.execute(
+            "SELECT 1 FROM runs WHERE id = ? LIMIT 1", (run_id,)).fetchone()
+        return row is not None
 
     def load_run(self, run_id: str) -> WorkflowRun:
         cursor = self._connection.cursor()
@@ -304,64 +330,149 @@ class RelationalStore(ProvenanceStore):
             "SELECT COALESCE(MAX(seq), 0) FROM annotations").fetchone()
         return int(row[0])
 
-    # -- pushed-down finders ----------------------------------------------
-    def find_runs(self, *, workflow_id: Optional[str] = None,
-                  signature: Optional[str] = None,
-                  status: Optional[str] = None) -> List[str]:
-        clauses, params = [], []
-        if workflow_id is not None:
-            clauses.append("workflow_id = ?")
-            params.append(workflow_id)
-        if signature is not None:
-            clauses.append("signature = ?")
-            params.append(signature)
-        if status is not None:
-            clauses.append("status = ?")
-            params.append(status)
-        where = (" WHERE " + " AND ".join(clauses)) if clauses else ""
-        rows = self._connection.execute(
-            f"SELECT id FROM runs{where} ORDER BY started, id",
-            params).fetchall()
-        return [row[0] for row in rows]
+    # -- pushed-down select -----------------------------------------------
+    #: entity -> (table, {row field -> column}); columns double as the
+    #: SELECT list, so row dicts build positionally from each SQL row.
+    _TABLES: Dict[str, Tuple[str, Tuple[str, ...]]] = {
+        "runs": ("runs", ("id", "workflow_id", "workflow_name",
+                          "signature", "status", "started", "finished")),
+        "executions": ("executions",
+                       ("id", "run_id", "module_id", "module_type",
+                        "module_name", "status", "started", "finished",
+                        "error", "cache_key", "cached_from", "parameters")),
+        "artifacts": ("artifacts",
+                      ("id", "run_id", "value_hash", "type_name",
+                       "created_by", "role", "also_produced_by",
+                       "size_hint")),
+        "annotations": ("annotations",
+                        ("id", "target_kind", "target_id", "key", "value",
+                         "author", "created")),
+    }
+    #: fields stored as JSON text — filters on them stay in Python.
+    _JSON_FIELDS = {"parameters", "also_produced_by", "value"}
+    #: fields whose column is numeric (REAL/INTEGER).  Filters on these
+    #: push down only with numeric values, and contains stays a Python
+    #: residual — SQLite affinity would otherwise coerce string operands
+    #: (e.g. started = '1.5' matching 1.5) where Python does not.
+    _NUMERIC_FIELDS = {"started", "finished", "size_hint", "created"}
 
-    def find_artifacts_by_hash(self, value_hash: str
-                               ) -> List[Tuple[str, DataArtifact]]:
-        rows = self._connection.execute(
-            "SELECT run_id, id, value_hash, type_name, created_by, role,"
-            " also_produced_by, size_hint FROM artifacts"
-            " WHERE value_hash = ? ORDER BY run_id, id",
-            (value_hash,)).fetchall()
-        return [(row[0], DataArtifact(
-            id=row[1], value_hash=row[2], type_name=row[3],
-            created_by=row[4], role=row[5],
-            also_produced_by=json.loads(row[6]), size_hint=row[7]))
-            for row in rows]
+    def select(self, query: ProvQuery) -> ResultCursor:
+        """Evaluate ``query`` natively in SQL.
 
-    def find_executions(self, *, module_type: Optional[str] = None,
-                        status: Optional[str] = None,
-                        parameter: Optional[Tuple[str, Any]] = None
-                        ) -> List[Tuple[str, ModuleExecution]]:
-        clauses, params = [], []
-        if module_type is not None:
-            clauses.append("module_type = ?")
-            params.append(module_type)
-        if status is not None:
-            clauses.append("status = ?")
-            params.append(status)
-        where = (" WHERE " + " AND ".join(clauses)) if clauses else ""
-        rows = self._connection.execute(
-            f"SELECT run_id, id FROM executions{where}"
-            " ORDER BY run_id, started, id", params).fetchall()
-        found = []
-        for run_id, execution_id in rows:
-            run = self.load_run(run_id)
-            execution = run.execution(execution_id)
-            if parameter is not None:
-                key, value = parameter
-                if execution.parameters.get(key) != value:
-                    continue
-            found.append((run_id, execution))
-        return found
+        Filters on plain columns compile to ``WHERE``; sorting always
+        compiles to ``ORDER BY``.  Only filters over JSON-encoded fields
+        (``param.*``, ``parameters``, ``also_produced_by``, annotation
+        ``value``) are applied as a Python residual pass — and in that case
+        the window (offset/limit) is applied after the residual so
+        pagination boundaries match the generic oracle exactly.  No code
+        path deserializes a stored run.
+
+        The cursor streams from a live SQL read on the store's
+        connection; as with any DB-API cursor, writing to the store while
+        iterating has SQLite's usual undefined row visibility — drain
+        with ``.all()`` first when mutating inside the loop.
+        """
+        table, columns = self._TABLES[query.entity]
+        column_set = set(columns)
+        clauses: List[str] = []
+        params: List[Any] = []
+        residual: List[Filter] = []
+        for filt in query.filters:
+            clause = self._compile_filter(filt, column_set, params)
+            if clause is None:
+                residual.append(filt)
+            else:
+                clauses.append(clause)
+        order_sql = ", ".join(
+            f"{name} {'DESC' if descending else 'ASC'}"
+            for name, descending in query.order_keys())
+        sql = f"SELECT {', '.join(columns)} FROM {table}"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += f" ORDER BY {order_sql}"
+        push_window = not residual
+        if push_window:
+            if query.limit_count is not None:
+                sql += f" LIMIT {int(query.limit_count)}"
+                if query.offset_count:
+                    sql += f" OFFSET {int(query.offset_count)}"
+            elif query.offset_count:
+                sql += f" LIMIT -1 OFFSET {int(query.offset_count)}"
+        rows = self._stream_rows(sql, tuple(params), query.entity, columns)
+        if push_window:
+            return ResultCursor(project_rows(rows, query.fields))
+        matched = list(apply_filters(rows, residual))
+        windowed = apply_window(matched, query)
+        return ResultCursor(project_rows(windowed, query.fields))
+
+    def _compile_filter(self, filt: Filter, column_set: set,
+                        params: List[Any]) -> Optional[str]:
+        """SQL clause for one filter, or None when it must stay residual.
+
+        A filter pushes down only when SQL comparison semantics match the
+        generic oracle's Python semantics for the operand types; anything
+        affinity could coerce differently stays residual.
+        """
+        if filt.field not in column_set or filt.field in self._JSON_FIELDS:
+            return None
+        operators = {"eq": "=", "ne": "!=", "lt": "<", "le": "<=",
+                     "gt": ">", "ge": ">="}
+        if filt.op in operators:
+            if not self._value_matches_column(filt.field, filt.op,
+                                              filt.value):
+                return None
+            params.append(filt.value)
+            return f"{filt.field} {operators[filt.op]} ?"
+        if filt.op == "contains" and filt.field not in self._NUMERIC_FIELDS:
+            params.append(str(filt.value))
+            return f"instr({filt.field}, ?) > 0"
+        if filt.op == "in" and isinstance(filt.value,
+                                          (list, tuple, set, frozenset)):
+            values = list(filt.value)
+            if not values:
+                return "1 = 0"
+            # one bound parameter per element: stay under conservative
+            # SQLITE_MAX_VARIABLE_NUMBER builds (999) by falling back to
+            # the residual pass for huge membership lists
+            if len(values) > 900:
+                return None
+            if not all(self._value_matches_column(filt.field, "eq", value)
+                       for value in values):
+                return None
+            params.extend(values)
+            return f"{filt.field} IN ({', '.join('?' * len(values))})"
+        return None
+
+    def _value_matches_column(self, field: str, op: str,
+                              value: Any) -> bool:
+        """True when SQLite compares ``value`` to this column exactly as
+        Python would.  Cross-type operands stay residual: affinity would
+        coerce them (TEXT affinity turns ``name = 1`` into ``'1' = '1'``,
+        REAL affinity turns ``started = '1.5'`` into ``1.5 = 1.5``) where
+        Python equality is False and ordering raises."""
+        if field in self._NUMERIC_FIELDS:
+            return isinstance(value, (int, float))
+        return isinstance(value, str)
+
+    def _stream_rows(self, sql: str, params: Tuple, entity: str,
+                     columns: Tuple[str, ...]
+                     ) -> Iterator[Dict[str, Any]]:
+        """Lazily yield row dicts from a SQL cursor, decoding JSON fields."""
+        cursor = self._connection.execute(sql, params)
+        while True:
+            batch = cursor.fetchmany(256)
+            if not batch:
+                return
+            for values in batch:
+                row = dict(zip(columns, values))
+                if entity == "executions":
+                    row["parameters"] = json.loads(row["parameters"])
+                elif entity == "artifacts":
+                    row["also_produced_by"] = sorted(
+                        json.loads(row["also_produced_by"]))
+                elif entity == "annotations":
+                    row["value"] = json.loads(row["value"])
+                yield row
 
     # -- raw SQL ----------------------------------------------------------
     def sql(self, query: str, params: Tuple = ()) -> List[Tuple]:

@@ -22,6 +22,9 @@ from repro.core.prospective import ProspectiveProvenance
 from repro.core.retrospective import (DataArtifact, ModuleExecution,
                                       PortBinding, WorkflowRun)
 from repro.storage.base import ProvenanceStore, RunSummary, StoreError
+from repro.storage.query import (Filter, ProvQuery, ResultCursor,
+                                 apply_filters, apply_ordering, apply_window,
+                                 project_rows)
 
 __all__ = ["Triple", "TripleStore", "TripleProvenanceStore",
            "run_to_triples", "run_from_triples", "PROV"]
@@ -334,6 +337,9 @@ class TripleProvenanceStore(ProvenanceStore):
             self._remove_run_triples(run.id)
         self.triples.add_all(iter(run_to_triples(run)))
 
+    def has_run(self, run_id: str) -> bool:
+        return (run_id, PROV.TYPE, PROV.RUN) in self.triples
+
     def load_run(self, run_id: str) -> WorkflowRun:
         return run_from_triples(self.triples, run_id)
 
@@ -423,3 +429,98 @@ class TripleProvenanceStore(ProvenanceStore):
             value=json.loads(self.triples.one(subject, PROV.VALUE, "null")),
             author=self.triples.one(subject, PROV.AUTHOR, ""),
             created=self.triples.one(subject, PROV.CREATED, 0.0))
+
+    # -- pushed-down select -----------------------------------------------
+    #: entity -> (rdf:type marker, {row field -> predicate}).
+    _SELECT_PREDICATES: Dict[str, Tuple[str, Dict[str, str]]] = {
+        "runs": (PROV.RUN, {
+            "workflow_id": PROV.WORKFLOW, "workflow_name":
+            PROV.WORKFLOW_NAME, "signature": PROV.SIGNATURE,
+            "status": PROV.STATUS, "started": PROV.STARTED,
+            "finished": PROV.FINISHED}),
+        "executions": (PROV.EXECUTION, {
+            "run_id": PROV.IN_RUN, "module_id": PROV.MODULE,
+            "module_type": PROV.MODULE_TYPE,
+            "module_name": PROV.MODULE_NAME, "status": PROV.STATUS,
+            "started": PROV.STARTED, "finished": PROV.FINISHED,
+            "error": PROV.ERROR, "cache_key": PROV.CACHE_KEY,
+            "cached_from": PROV.CACHED_FROM}),
+        "artifacts": (PROV.ARTIFACT, {
+            "run_id": PROV.IN_RUN, "value_hash": PROV.VALUE_HASH,
+            "type_name": PROV.TYPE_NAME, "created_by": PROV.CREATED_BY,
+            "role": PROV.ROLE, "size_hint": PROV.SIZE_HINT}),
+        "annotations": (PROV.ANNOTATION, {
+            "target_kind": PROV.TARGET_KIND, "target_id": PROV.TARGET_ID,
+            "key": PROV.KEY, "author": PROV.AUTHOR,
+            "created": PROV.CREATED}),
+    }
+
+    def select(self, query: ProvQuery) -> ResultCursor:
+        """Evaluate ``query`` against the triple indexes.
+
+        Equality (and ``in``) filters on predicate-mapped fields narrow the
+        candidate subject set through the POS index before any row is
+        built; remaining filters run over the built rows.  Runs are never
+        re-assembled (:func:`run_from_triples` is not called).
+        """
+        marker, predicates = self._SELECT_PREDICATES[query.entity]
+        candidates = set(self.triples.subjects(PROV.TYPE, marker))
+        residual: List[Filter] = []
+        for filt in query.filters:
+            # id fast paths require string values — subjects are strings,
+            # and an unhashable value must fall through to the residual
+            # pass (where the oracle's equality semantics apply) rather
+            # than crash set intersection
+            if (filt.op == "eq" and filt.field == "id"
+                    and isinstance(filt.value, str)):
+                candidates &= {filt.value}
+            elif filt.op == "eq" and filt.field in predicates:
+                candidates &= set(
+                    self.triples.subjects(predicates[filt.field],
+                                          filt.value))
+            elif (filt.op == "in" and filt.field == "id"
+                  and isinstance(filt.value, (list, tuple, set,
+                                              frozenset))
+                  and all(isinstance(value, str)
+                          for value in filt.value)):
+                candidates &= set(filt.value)
+            elif (filt.op == "in" and filt.field in predicates
+                  and isinstance(filt.value, (list, tuple, set,
+                                              frozenset))):
+                # membership in a container narrows via the POS index; a
+                # *string* container means substring semantics in the
+                # oracle, so that case falls through to the residual pass
+                narrowed: set = set()
+                for value in filt.value:
+                    narrowed |= set(
+                        self.triples.subjects(predicates[filt.field],
+                                              value))
+                candidates &= narrowed
+            else:
+                residual.append(filt)
+        rows = (self._subject_row(query.entity, predicates, subject)
+                for subject in candidates)
+        matched = list(apply_filters(rows, residual))
+        ordered = apply_ordering(matched, query)
+        windowed = apply_window(ordered, query)
+        return ResultCursor(project_rows(windowed, query.fields))
+
+    def _subject_row(self, entity: str, predicates: Dict[str, str],
+                     subject: str) -> Dict[str, Any]:
+        """Canonical row for one candidate subject, from direct lookups."""
+        defaults = {"started": 0.0, "finished": 0.0, "created": 0.0,
+                    "size_hint": 0}
+        row: Dict[str, Any] = {"id": subject}
+        for field, predicate in predicates.items():
+            row[field] = self.triples.one(subject, predicate,
+                                          defaults.get(field, ""))
+        if entity == "executions":
+            row["parameters"] = json.loads(
+                self.triples.one(subject, PROV.PARAMETERS, "{}"))
+        elif entity == "artifacts":
+            row["also_produced_by"] = sorted(
+                self.triples.objects(subject, PROV.ALSO_PRODUCED_BY))
+        elif entity == "annotations":
+            row["value"] = json.loads(
+                self.triples.one(subject, PROV.VALUE, "null"))
+        return row

@@ -8,12 +8,13 @@ from repro.workloads.domains import (build_enviro_workflow, build_fig2_pair,
                                      build_vis_workflow, domain_corpus)
 from repro.workloads.generators import (chain_workflow, random_edit_session,
                                         random_workflow)
-from repro.workloads.traces import domain_run_corpus, synthetic_corpus
+from repro.workloads.traces import (clone_run, domain_run_corpus,
+                                    synthetic_corpus)
 
 __all__ = [
     "CHALLENGE_QUERIES", "ChallengeSession", "build_fmri_workflow",
     "build_enviro_workflow", "build_fig2_pair", "build_genomics_workflow",
     "build_vis_workflow", "domain_corpus",
     "chain_workflow", "random_edit_session", "random_workflow",
-    "domain_run_corpus", "synthetic_corpus",
+    "clone_run", "domain_run_corpus", "synthetic_corpus",
 ]

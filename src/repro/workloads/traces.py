@@ -2,14 +2,34 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+import json
+from typing import Any, List, Optional, Tuple
 
 from repro.core.manager import ProvenanceManager
 from repro.core.retrospective import WorkflowRun
 from repro.workloads.domains import domain_corpus
 from repro.workloads.generators import random_workflow
 
-__all__ = ["synthetic_corpus", "domain_run_corpus"]
+__all__ = ["clone_run", "synthetic_corpus", "domain_run_corpus"]
+
+
+def clone_run(run: WorkflowRun, suffix: str,
+              **overrides: Any) -> WorkflowRun:
+    """A structurally identical copy of ``run`` with globally unique ids.
+
+    Every entity id (run, execution, artifact) gets ``-{suffix}`` appended
+    so clones can coexist with the original in stores that key entities
+    globally (relational primary keys, triple subjects).  ``overrides``
+    replace top-level run fields (status, workflow_id, started, ...) —
+    useful for synthesizing heterogeneous corpora from one captured run.
+    """
+    text = json.dumps(run.to_dict())
+    for old_id in ([run.id] + [e.id for e in run.executions]
+                   + list(run.artifacts)):
+        text = text.replace(old_id, f"{old_id}-{suffix}")
+    data = json.loads(text)
+    data.update(overrides)
+    return WorkflowRun.from_dict(data)
 
 
 def synthetic_corpus(runs: int = 20, *, modules: int = 15,

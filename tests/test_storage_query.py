@@ -1,0 +1,556 @@
+"""Unified query API: cross-backend parity, pushdown, pagination, ingest.
+
+Every ProvQuery shape in the catalog below is evaluated three ways —
+natively by each of the four backends, by the generic fallback
+(``ProvenanceStore.select``, the correctness oracle) on the same backend,
+and cross-backend against the in-memory reference — and all must return
+identical rows, including sort order and pagination boundaries.
+"""
+
+import json
+
+import pytest
+
+from repro.core import Annotation, ProvenanceCapture, ProvenanceManager
+from repro.storage import (DocumentStore, MemoryStore, ProvQuery,
+                           ProvenanceStore, QueryError, RelationalStore,
+                           ResultCursor, TripleProvenanceStore)
+from repro.workflow import Executor
+from repro.workloads import clone_run
+from tests.conftest import build_fig1_workflow
+
+BACKENDS = ["memory", "relational", "triples", "documents"]
+
+
+@pytest.fixture(scope="module")
+def corpus(registry):
+    """Six runs with varied workflow, status, timing and parameters."""
+    capture = ProvenanceCapture(registry=registry, keep_values=False)
+    executor = Executor(registry, listeners=[capture])
+    executor.execute(build_fig1_workflow(size=8, level=90.0))
+    base = capture.last_run()
+    runs = [base]
+    runs.append(clone_run(base, "c1", status="failed"))
+    runs.append(clone_run(base, "c2", workflow_id="wf-other",
+                          workflow_name="other-flow",
+                          started=base.started + 10,
+                          finished=base.finished + 11))
+    runs.append(clone_run(base, "c3", started=base.started - 10,
+                          finished=base.finished - 9))
+    runs.append(clone_run(base, "c4", status="failed",
+                          workflow_id="wf-other",
+                          workflow_name="other-flow"))
+    runs.append(clone_run(base, "c5", started=base.started + 20,
+                          finished=base.finished + 25))
+    return runs
+
+
+ANNOTATIONS = [
+    Annotation(id="ann-1", target_kind="run", target_id="r1", key="grade",
+               value={"score": 9}, author="dana", created=3.0),
+    Annotation(id="ann-2", target_kind="run", target_id="r2", key="grade",
+               value={"score": 4}, author="lee", created=1.0),
+    Annotation(id="ann-3", target_kind="artifact", target_id="a1",
+               key="note", value="suspicious", author="dana", created=2.0),
+]
+
+
+def make_store(name, tmp_path, corpus):
+    store = {
+        "memory": lambda: MemoryStore(),
+        "relational": lambda: RelationalStore(),
+        "triples": lambda: TripleProvenanceStore(),
+        "documents": lambda: DocumentStore(tmp_path / "docs"),
+    }[name]()
+    store.save_runs(corpus)
+    for annotation in ANNOTATIONS:
+        store.save_annotation(annotation)
+    return store
+
+
+#: (name, query builder) — builders take the corpus for data-driven values.
+QUERY_CATALOG = [
+    ("runs-all", lambda c: ProvQuery.runs()),
+    ("runs-status", lambda c: ProvQuery.runs().where(status="ok")),
+    ("runs-workflow-desc", lambda c: ProvQuery.runs()
+     .where(workflow_id="wf-other").order_by("-started")),
+    ("runs-started-ge", lambda c: ProvQuery.runs()
+     .where_op("started", "ge", c[0].started)),
+    ("runs-name-contains", lambda c: ProvQuery.runs()
+     .where_op("workflow_name", "contains", "other")),
+    ("runs-status-in-window", lambda c: ProvQuery.runs()
+     .where_op("status", "in", ["ok", "failed"]).limit(3).offset(1)),
+    ("runs-projected", lambda c: ProvQuery.runs().project("id", "status")),
+    ("runs-multi-filter", lambda c: ProvQuery.runs()
+     .where(status="failed", workflow_id="wf-other")),
+    ("runs-none-match", lambda c: ProvQuery.runs().where(status="nope")),
+    ("runs-limit-zero", lambda c: ProvQuery.runs().limit(0)),
+    ("execs-by-type", lambda c: ProvQuery.executions()
+     .where(module_type="IsosurfaceExtract")),
+    ("execs-param", lambda c: ProvQuery.executions()
+     .where(param__level=90.0)),
+    ("execs-param-miss", lambda c: ProvQuery.executions()
+     .where(param__level=1.25)),
+    ("execs-in-paged", lambda c: ProvQuery.executions()
+     .where_op("status", "in", ["ok"]).order_by("-started").page(2, 4)),
+    ("execs-sort-type", lambda c: ProvQuery.executions()
+     .order_by("-module_type", "run_id")),
+    ("execs-run-scoped", lambda c: ProvQuery.executions()
+     .where(run_id=c[2].id)),
+    ("arts-by-hash", lambda c: ProvQuery.artifacts()
+     .where(value_hash=next(iter(c[0].artifacts.values())).value_hash)),
+    ("arts-external", lambda c: ProvQuery.artifacts()
+     .where(created_by="")),
+    ("arts-size-top", lambda c: ProvQuery.artifacts()
+     .where_op("size_hint", "gt", 0).order_by("-size_hint", "id")
+     .limit(5)),
+    ("arts-ne-role", lambda c: ProvQuery.artifacts()
+     .where_op("role", "ne", "")),
+    ("anns-by-kind", lambda c: ProvQuery.annotations()
+     .where(target_kind="run")),
+    ("anns-by-author", lambda c: ProvQuery.annotations()
+     .where(author="dana").order_by("-created")),
+    ("anns-value", lambda c: ProvQuery.annotations()
+     .where(value="suspicious")),
+    # affinity/semantics edge cases: every backend must agree with the
+    # pure-Python oracle, not with its index's coercion rules
+    ("runs-in-string", lambda c: ProvQuery.runs()
+     .where_op("status", "in", "okfailed")),
+    ("runs-started-eq-str", lambda c: ProvQuery.runs()
+     .where_op("started", "eq", str(c[0].started))),
+    ("runs-name-gt-number", lambda c: ProvQuery.runs()
+     .where_op("workflow_name", "gt", 5)),
+    ("arts-size-gt-str", lambda c: ProvQuery.artifacts()
+     .where_op("size_hint", "gt", "10")),
+    ("runs-name-eq-number", lambda c: ProvQuery.runs()
+     .where_op("workflow_name", "eq", 1)),
+    ("runs-name-ne-number", lambda c: ProvQuery.runs()
+     .where_op("workflow_name", "ne", 1)),
+    ("runs-status-in-number", lambda c: ProvQuery.runs()
+     .where_op("status", "in", ["ok", 1])),
+    ("runs-id-eq-list", lambda c: ProvQuery.runs()
+     .where_op("id", "eq", ["x"])),
+    ("runs-id-in-mixed", lambda c: ProvQuery.runs()
+     .where_op("id", "in", [c[0].id, ["y"]])),
+    ("runs-id-in-huge", lambda c: ProvQuery.runs()
+     .where_op("id", "in",
+               [c[0].id] + [f"bogus-{i}" for i in range(2000)])),
+]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("name,build",
+                         QUERY_CATALOG, ids=[n for n, _ in QUERY_CATALOG])
+class TestSelectParity:
+    def test_native_matches_generic_and_reference(self, backend, name,
+                                                  build, tmp_path, corpus):
+        store = make_store(backend, tmp_path, corpus)
+        reference = make_store("memory", tmp_path, corpus)
+        query = build(corpus)
+        native = store.select(query).all()
+        oracle = ProvenanceStore.select(store, query).all()
+        assert native == oracle, "native pushdown diverges from fallback"
+        assert native == reference.select(query).all(), \
+            "backend diverges from in-memory reference"
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestPagination:
+    def test_pages_partition_full_result(self, backend, tmp_path, corpus):
+        store = make_store(backend, tmp_path, corpus)
+        base = ProvQuery.executions().where(status="ok")
+        everything = store.select(base).all()
+        assert everything
+        for size in (1, 3, 4, len(everything), len(everything) + 5):
+            paged = []
+            page_number = 1
+            while True:
+                batch = store.select(base.page(page_number, size)).all()
+                if not batch:
+                    break
+                assert len(batch) <= size
+                paged.extend(batch)
+                page_number += 1
+            assert paged == everything
+
+    def test_offset_beyond_end_is_empty(self, backend, tmp_path, corpus):
+        store = make_store(backend, tmp_path, corpus)
+        assert store.select(ProvQuery.runs().offset(10_000)).all() == []
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestBulkIngestAndExists:
+    def test_save_runs_roundtrip(self, backend, tmp_path, corpus):
+        store = make_store(backend, tmp_path, corpus)
+        assert len(store.list_runs()) == len(corpus)
+        loaded = store.load_run(corpus[1].id)
+        assert loaded.status == "failed"
+        assert len(loaded.executions) == len(corpus[1].executions)
+
+    def test_save_runs_overwrites(self, backend, tmp_path, corpus):
+        store = make_store(backend, tmp_path, corpus)
+        assert store.save_runs(corpus[:2]) == 2
+        assert len(store.list_runs()) == len(corpus)
+
+    def test_has_run_without_load(self, backend, tmp_path, corpus,
+                                  monkeypatch):
+        store = make_store(backend, tmp_path, corpus)
+        monkeypatch.setattr(
+            store, "load_run",
+            lambda run_id: pytest.fail("has_run must not load runs"))
+        assert store.has_run(corpus[0].id)
+        assert not store.has_run("run-missing")
+
+
+class TestRelationalPushdown:
+    def test_filter_queries_never_call_load_run(self, tmp_path, corpus,
+                                                monkeypatch):
+        store = make_store("relational", tmp_path, corpus)
+        monkeypatch.setattr(
+            store, "load_run",
+            lambda run_id: pytest.fail("select must not call load_run"))
+        catalog = [build(corpus) for _, build in QUERY_CATALOG]
+        for query in catalog:
+            store.select(query).all()
+
+    def test_select_streams_lazily(self, tmp_path, corpus):
+        store = make_store("relational", tmp_path, corpus)
+        cursor = store.select(ProvQuery.executions())
+        first_two = cursor.fetchmany(2)
+        assert len(first_two) == 2
+        assert cursor.consumed == 2
+        rest = cursor.all()
+        assert first_two + rest == \
+            store.select(ProvQuery.executions()).all()
+
+
+class TestDocumentSidecarIndex:
+    def test_select_does_not_reparse_indexed_docs(self, tmp_path, corpus,
+                                                  monkeypatch):
+        store = make_store("documents", tmp_path, corpus)
+        store.select(ProvQuery.runs()).all()  # index warm
+        import repro.storage.documents as documents_module
+        monkeypatch.setattr(
+            documents_module.WorkflowRun, "from_dict",
+            classmethod(lambda cls, data: pytest.fail(
+                "select must answer from the sidecar index")))
+        rows = store.select(ProvQuery.runs().where(status="ok")).all()
+        assert rows
+
+    def test_write_behind_index_survives_process_boundary(self, tmp_path,
+                                                          corpus):
+        # one-at-a-time saves defer the index write; a later query (or
+        # close) flushes it, and a stale on-disk index self-heals anyway
+        store = DocumentStore(tmp_path / "wb")
+        for run in corpus[:2]:
+            store.save_run(run)
+        assert len(store.select(ProvQuery.runs()).all()) == 2
+        reopened = DocumentStore(tmp_path / "wb")
+        assert len(reopened.select(ProvQuery.runs()).all()) == 2
+        assert reopened.load_run(corpus[0].id).id == corpus[0].id
+
+    def test_index_rows_match_json_roundtrip(self, tmp_path, corpus):
+        # a tuple parameter persists as a JSON list; the cached index rows
+        # must reflect the persisted form, same as the oracle and a reopen
+        run = clone_run(corpus[0], "tup")
+        run.executions[0].parameters["shape"] = (4, 5)
+        store = DocumentStore(tmp_path / "tup")
+        store.save_run(run)
+        query = ProvQuery.executions().where(param__shape=[4, 5])
+        native = store.select(query).all()
+        assert native == ProvenanceStore.select(store, query).all()
+        assert len(native) == 1
+        reopened = DocumentStore(tmp_path / "tup")
+        assert reopened.select(query).all() == native
+
+    def test_read_only_store_still_answers_queries(self, tmp_path,
+                                                   corpus):
+        import os
+        import shutil
+        store = make_store("documents", tmp_path, corpus)
+        store.select(ProvQuery.runs()).all()
+        # simulate an archived store: drop the index, freeze the tree
+        (store.root / "index" / "summaries.json").unlink()
+        for dirpath, _, _ in os.walk(store.root):
+            os.chmod(dirpath, 0o555)
+        try:
+            frozen = DocumentStore(store.root)
+            rows = frozen.select(
+                ProvQuery.runs().where(status="ok")).all()
+            assert rows  # heals in memory; flush degrades to no-op
+            assert len(frozen.list_runs()) == len(corpus)
+        finally:
+            for dirpath, _, _ in os.walk(store.root):
+                os.chmod(dirpath, 0o755)
+
+    def test_corrupt_index_self_heals(self, tmp_path, corpus):
+        store = make_store("documents", tmp_path, corpus)
+        index_path = store.root / "index" / "summaries.json"
+        for garbage in ("[]", "not json", '{"bad-entry": 42}'):
+            index_path.write_text(garbage)
+            healed = DocumentStore(tmp_path / "docs")
+            rows = healed.select(ProvQuery.runs()).all()
+            assert len(rows) == len(corpus)
+
+    def test_index_detects_external_rewrite(self, tmp_path, corpus):
+        store = make_store("documents", tmp_path, corpus)
+        store.select(ProvQuery.runs()).all()
+        path = store.root / "runs" / f"{corpus[0].id}.json"
+        data = json.loads(path.read_text())
+        data["status"] = "failed-externally"
+        path.write_text(json.dumps(data, sort_keys=True, indent=1))
+        rows = store.select(
+            ProvQuery.runs().where(id=corpus[0].id)).all()
+        assert rows[0]["status"] == "failed-externally"
+
+    def test_select_rows_do_not_alias_index(self, tmp_path, corpus):
+        store = make_store("documents", tmp_path, corpus)
+        row = store.select(ProvQuery.executions()).first()
+        row["parameters"]["evil"] = 1
+        assert store.select(
+            ProvQuery.executions().where(param__evil=1)).all() == []
+
+    def test_fresh_instance_reuses_index(self, tmp_path, corpus,
+                                         monkeypatch):
+        first = make_store("documents", tmp_path, corpus)
+        first.select(ProvQuery.runs()).all()
+        again = DocumentStore(tmp_path / "docs")
+        import repro.storage.documents as documents_module
+        monkeypatch.setattr(
+            documents_module.WorkflowRun, "from_dict",
+            classmethod(lambda cls, data: pytest.fail(
+                "fresh instance should reuse the persisted index")))
+        assert len(again.select(ProvQuery.runs()).all()) == len(corpus)
+
+
+class TestDeprecatedFinderShims:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_find_runs_still_works(self, backend, tmp_path, corpus):
+        store = make_store(backend, tmp_path, corpus)
+        with pytest.warns(DeprecationWarning):
+            found = store.find_runs(status="failed")
+        expected = [row["id"] for row in store.select(
+            ProvQuery.runs().where(status="failed"))]
+        assert found == expected
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_find_artifacts_by_hash_still_works(self, backend, tmp_path,
+                                                corpus):
+        store = make_store(backend, tmp_path, corpus)
+        target = next(iter(corpus[0].artifacts.values()))
+        with pytest.warns(DeprecationWarning):
+            found = store.find_artifacts_by_hash(target.value_hash)
+        assert (corpus[0].id, target.id) in [
+            (run_id, artifact.id) for run_id, artifact in found]
+        assert all(artifact.value_hash == target.value_hash
+                   for _, artifact in found)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_find_executions_still_works(self, backend, tmp_path, corpus):
+        store = make_store(backend, tmp_path, corpus)
+        with pytest.warns(DeprecationWarning):
+            found = store.find_executions(
+                module_type="IsosurfaceExtract", parameter=("level", 90.0))
+        assert len(found) == len(corpus)
+        assert all(execution.module_type == "IsosurfaceExtract"
+                   for _, execution in found)
+        with pytest.warns(DeprecationWarning):
+            assert store.find_executions(
+                module_type="IsosurfaceExtract",
+                parameter=("level", 1.0)) == []
+
+
+class TestResultCursor:
+    def test_cursor_is_lazy_and_one_shot(self):
+        produced = []
+
+        def rows():
+            for index in range(10):
+                produced.append(index)
+                yield {"id": index}
+
+        cursor = ResultCursor(rows(), page_size=3)
+        assert cursor.first() == {"id": 0}
+        assert produced == [0]
+        assert [row["id"] for row in cursor.fetchmany()] == [1, 2, 3]
+        pages = list(cursor.pages(4))
+        assert [[r["id"] for r in page] for page in pages] == \
+            [[4, 5, 6, 7], [8, 9]]
+        assert cursor.all() == []
+        assert cursor.consumed == 10
+
+    def test_fetchmany_zero_returns_nothing(self):
+        cursor = ResultCursor(iter([{"a": 1}, {"a": 2}]))
+        assert cursor.fetchmany(0) == []
+        assert cursor.consumed == 0
+        assert list(cursor.pages(0)) == []
+        assert cursor.fetchmany(2) == [{"a": 1}, {"a": 2}]
+
+
+class TestProvQueryValidation:
+    def test_unknown_entity_field_and_op(self):
+        with pytest.raises(QueryError):
+            ProvQuery("bogus")
+        with pytest.raises(QueryError):
+            ProvQuery.runs().where(bogus_field=1)
+        with pytest.raises(QueryError):
+            ProvQuery.runs().where_op("status", "matches", "x")
+        with pytest.raises(QueryError):
+            ProvQuery.executions().order_by("parameters")
+        with pytest.raises(QueryError):
+            ProvQuery.executions().order_by("param.level")
+        with pytest.raises(QueryError):
+            ProvQuery.runs().project("bogus")
+        with pytest.raises(QueryError):
+            ProvQuery.runs().page(0, 10)
+        with pytest.raises(QueryError):
+            ProvQuery.runs().offset(-2)
+        with pytest.raises(QueryError):
+            ProvQuery.runs().limit(-1)
+
+    def test_param_fields_only_on_executions(self):
+        ProvQuery.executions().where(param__level=1)
+        with pytest.raises(QueryError):
+            ProvQuery.runs().where(param__level=1)
+
+    def test_queries_are_immutable(self):
+        base = ProvQuery.runs()
+        refined = base.where(status="ok").limit(1)
+        assert base.filters == ()
+        assert base.limit_count is None
+        assert refined.limit_count == 1
+
+
+class TestManagerIntegration:
+    def test_last_engine_result_defaults_to_none(self):
+        manager = ProvenanceManager()
+        assert manager.last_engine_result is None
+
+    def test_manager_select_round_trip(self):
+        manager = ProvenanceManager()
+        run = manager.run(build_fig1_workflow(size=8))
+        assert manager.last_engine_result is not None
+        rows = manager.select(
+            ProvQuery.runs().where(status="ok").project("id")).all()
+        assert rows == [{"id": run.id}]
+        executions = manager.select(
+            ProvQuery.executions().where(run_id=run.id)).all()
+        assert len(executions) == len(run.executions)
+
+
+class TestStoreLevelQueryLanguages:
+    def test_provql_execute_on_store_pushdown(self, tmp_path, corpus,
+                                              monkeypatch):
+        from repro.query.provql import execute_on_store
+        store = make_store("relational", tmp_path, corpus)
+        monkeypatch.setattr(
+            store, "load_run",
+            lambda run_id: pytest.fail("pushdown path must not load runs"))
+        rows = execute_on_store(
+            "EXECUTIONS WHERE module.type = 'IsosurfaceExtract'"
+            " AND param.level = 90.0", store)
+        assert len(rows) == len(corpus)
+        count = execute_on_store(
+            "COUNT ARTIFACTS WHERE external = false", store)
+        assert count == sum(len(run.artifacts) for run in corpus)
+
+    def test_provql_store_matches_per_run_union(self, tmp_path, corpus):
+        from repro.query.provql import execute, execute_on_store
+        store = make_store("relational", tmp_path, corpus)
+        store_rows = execute_on_store(
+            "EXECUTIONS WHERE status = 'ok'", store)
+        merged = []
+        for summary in store.list_runs():
+            merged.extend(execute("EXECUTIONS WHERE status = 'ok'",
+                                  store.load_run(summary.run_id)))
+        assert sorted(r["id"] for r in store_rows) == \
+            sorted(r["id"] for r in merged)
+
+    def test_provql_store_artifact_rows_resolve_creators(self, tmp_path,
+                                                         corpus,
+                                                         monkeypatch):
+        from repro.query.provql import execute, execute_on_store
+        store = make_store("relational", tmp_path, corpus)
+        monkeypatch.setattr(
+            store, "load_run",
+            lambda run_id: pytest.fail("creator resolution must not "
+                                       "deserialize runs"))
+        store_rows = {row["id"]: row for row in execute_on_store(
+            "ARTIFACTS WHERE creator.type = 'IsosurfaceExtract'", store)}
+        assert len(store_rows) == len(corpus)
+        per_run = execute("ARTIFACTS WHERE creator.type ="
+                          " 'IsosurfaceExtract'", corpus[0])
+        assert per_run[0]["id"] in store_rows
+        assert store_rows[per_run[0]["id"]] == per_run[0]
+
+    def test_provql_creator_resolution_is_run_scoped(self):
+        # two runs reuse the execution id 'exec-1' (legal for externally
+        # ingested provenance) with different module types; each artifact
+        # must resolve its creator within its own run
+        from repro.query.provql import execute_on_store
+        from repro.core.retrospective import WorkflowRun
+        store = MemoryStore()
+        for run_no, module_type in (("r1", "Alpha"), ("r2", "Beta")):
+            store.save_run(WorkflowRun.from_dict({
+                "id": run_no, "workflow_id": f"wf-{run_no}",
+                "workflow_name": "ext", "workflow_signature": "s",
+                "status": "ok", "started": 1.0, "finished": 2.0,
+                "executions": [{
+                    "id": "exec-1", "module_id": "m1",
+                    "module_type": module_type, "status": "ok",
+                    "outputs": [{"port": "out",
+                                 "artifact_id": f"art-{run_no}"}],
+                }],
+                "artifacts": {f"art-{run_no}": {
+                    "id": f"art-{run_no}", "value_hash": f"h-{run_no}",
+                    "created_by": "exec-1", "role": "out"}},
+            }))
+        rows = execute_on_store(
+            "ARTIFACTS WHERE creator.type = 'Alpha'", store)
+        assert [(r["id"], r["creator.type"]) for r in rows] == \
+            [("art-r1", "Alpha")]
+
+    def test_provql_numeric_coercion_matches_per_run(self, corpus):
+        # ProvQL's ordering ops coerce both sides numerically ('90' > 50
+        # matches); the store path must not push them into an index that
+        # compares raw types
+        from repro.query.provql import execute, execute_on_store
+        run = clone_run(corpus[0], "coerce")
+        for execution in run.executions:
+            if "level" in execution.parameters:
+                execution.parameters["level"] = "90"
+        store = MemoryStore()
+        store.save_run(run)
+        text = "EXECUTIONS WHERE param.level > 50"
+        per_run = execute(text, run)
+        assert per_run, "expected the coerced comparison to match"
+        assert [r["id"] for r in execute_on_store(text, store)] == \
+            [r["id"] for r in per_run]
+
+    def test_provql_lineage_requires_single_run(self, tmp_path, corpus):
+        from repro.query.provql import ProvQLError, execute_on_store
+        store = make_store("memory", tmp_path, corpus)
+        with pytest.raises(ProvQLError):
+            execute_on_store("LINEAGE OF art-x", store)
+
+    def test_datalog_store_to_facts_filters_runs(self, tmp_path, corpus):
+        from repro.query.facts import store_to_facts
+        store = make_store("relational", tmp_path, corpus)
+        everything = store_to_facts(store)
+        failed_only = store_to_facts(
+            store, ProvQuery.runs().where(status="failed"))
+        failed_run_ids = {fact[1] for fact
+                          in failed_only.rows("in_run")}
+        assert failed_run_ids == {corpus[1].id, corpus[4].id}
+        assert len(everything.rows("in_run")) > \
+            len(failed_only.rows("in_run"))
+
+    def test_qbe_find_in_store(self, registry):
+        from repro.query.qbe import find_in_store
+        from repro.workflow import Module, Workflow
+        manager = ProvenanceManager()
+        workflow = build_fig1_workflow(size=8)
+        manager.run(workflow)
+        pattern = Workflow("pattern")
+        pattern.add_module(Module("IsosurfaceExtract"))
+        assert find_in_store(pattern, manager.store) == [workflow.id]
