@@ -1,0 +1,110 @@
+"""E13 — ready-set scheduler: parallel speedup and partial re-execution.
+
+Regenerates: the §2.3 "smart rerun" opportunity measured two ways.  On a
+wide sleep-bound DAG (modules block and release the GIL, standing in for
+I/O- or service-bound stages) the thread-pool backend must deliver >=2x
+wall-clock speedup at ``workers=4`` over the deterministic serial backend.
+And after a single-module parameter change, a provenance-driven replay must
+execute exactly that module's downstream cone — asserted on execution
+counts, not timing — while serving everything else from the stored
+derivation record.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import report_row
+from repro.core import ProvenanceManager
+from repro.workflow import Executor
+from repro.workloads import wide_workflow
+from tests.conftest import build_fig1_workflow, module_by_name
+
+#: Wide sleep-bound DAG: 8 independent branches x 2 stages of 40ms sleeps.
+BRANCHES = 8
+DEPTH = 2
+SLEEP = 0.04
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_parallel_speedup(registry):
+    """workers=4 on a wide sleep-bound DAG is >=2x faster than serial."""
+    workflow = wide_workflow(branches=BRANCHES, depth=DEPTH, sleep=SLEEP)
+    executor = Executor(registry)
+    serial_result, serial_seconds = _timed(
+        lambda: executor.execute(workflow))
+    parallel_result, parallel_seconds = _timed(
+        lambda: executor.execute(workflow, workers=4))
+    assert serial_result.status == "ok"
+    assert parallel_result.status == "ok"
+    statuses = lambda result: {m: r.status  # noqa: E731
+                               for m, r in result.results.items()}
+    assert statuses(serial_result) == statuses(parallel_result)
+    speedup = serial_seconds / parallel_seconds
+    report_row("E13", op="wide-dag", modules=BRANCHES * DEPTH + 1,
+               serial_s=round(serial_seconds, 3),
+               workers4_s=round(parallel_seconds, 3),
+               speedup=round(speedup, 2))
+    assert speedup >= 2.0, (
+        f"expected >=2x speedup with workers=4, got {speedup:.2f}x "
+        f"({serial_seconds:.3f}s serial vs {parallel_seconds:.3f}s)")
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4, 8])
+def test_scheduler_scaling(benchmark, registry, workers):
+    """pytest-benchmark timings of the wide DAG across worker counts."""
+    workflow = wide_workflow(branches=BRANCHES, depth=DEPTH,
+                             sleep=SLEEP / 4)
+    executor = Executor(registry, workers=workers)
+    result = benchmark(lambda: executor.execute(workflow))
+    assert result.status == "ok"
+    report_row("E13", op="scaling", workers=workers,
+               modules=BRANCHES * DEPTH + 1)
+
+
+def test_partial_rerun_executes_only_stale_cone():
+    """A one-module change replays exactly its downstream cone.
+
+    Counted on execution statuses: stale modules are ``ok`` (computed),
+    everything upstream/parallel is ``cached`` (reused from provenance).
+    """
+    manager = ProvenanceManager(use_cache=False)
+    workflow = build_fig1_workflow(size=12)
+    original = manager.run(workflow)
+    iso = module_by_name(workflow, "iso")
+
+    new_run, plan = manager.rerun(
+        original.id, parameter_overrides={iso.id: {"level": 55.0}})
+
+    expected_cone = {iso.id} | set(workflow.downstream_modules(iso.id))
+    executed = set(manager.last_engine_result.executed_modules())
+    reused = set(manager.last_engine_result.reused_modules())
+    assert executed == expected_cone
+    assert reused == set(workflow.modules) - expected_cone
+    assert len(executed) + len(reused) == len(workflow.modules)
+    report_row("E13", op="partial-rerun", modules=len(workflow.modules),
+               executed=len(executed), reused=len(reused),
+               plan=plan.summary())
+
+
+def test_partial_rerun_scales_with_cone_not_workflow():
+    """Replay work tracks the stale cone even as the workflow grows."""
+    manager = ProvenanceManager(use_cache=False)
+    workflow = wide_workflow(branches=12, depth=3, sleep=0.0, work=5)
+    original = manager.run(workflow)
+    # change the middle stage of one branch: its cone is that branch's tail
+    target = module_by_name(workflow, "b04s01")
+    manager.rerun(original.id,
+                  parameter_overrides={target.id: {"work": 9}})
+    executed = set(manager.last_engine_result.executed_modules())
+    assert executed == {target.id} | set(
+        workflow.downstream_modules(target.id))
+    assert len(executed) == 2  # stage + tail, out of 37 modules
+    report_row("E13", op="cone-scaling", modules=len(workflow.modules),
+               executed=len(executed),
+               reused=len(workflow.modules) - len(executed))

@@ -7,7 +7,7 @@ setup(
     version="1.0.0",
     description=("Provenance-enabled scientific workflow system "
                  "(reproduction of Davidson & Freire, SIGMOD 2008)"),
-    python_requires=">=3.10",
+    python_requires=">=3.9",
     install_requires=["numpy"],
     package_dir={"": "src"},
     packages=find_packages(where="src"),

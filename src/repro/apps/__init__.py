@@ -6,8 +6,8 @@ from repro.apps.education import (Assignment, ClassSession, GradeReport,
 from repro.apps.exploration import (SweepPoint, SweepResult,
                                     compare_products, parameter_sweep)
 from repro.apps.invalidation import (InvalidationReport, invalidate_by_hash,
-                                     invalidate_in_run)
-from repro.apps.reproduce import (ReproductionReport, rerun,
+                                     invalidate_in_run, replay_invalidated)
+from repro.apps.reproduce import (ReproductionReport, partial_rerun, rerun,
                                   validate_reproduction)
 from repro.apps.social import Collaboratory, PublishedWorkflow, User
 
@@ -16,6 +16,8 @@ __all__ = [
     "detect_similar_submissions",
     "SweepPoint", "SweepResult", "compare_products", "parameter_sweep",
     "InvalidationReport", "invalidate_by_hash", "invalidate_in_run",
-    "ReproductionReport", "rerun", "validate_reproduction",
+    "replay_invalidated",
+    "ReproductionReport", "partial_rerun", "rerun",
+    "validate_reproduction",
     "Collaboratory", "PublishedWorkflow", "User",
 ]

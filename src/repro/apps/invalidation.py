@@ -7,20 +7,27 @@ be invalidated by examining data dependencies" (§2.2).
 Given a bad artifact (identified by content hash, so the same bad bytes are
 found in *every* run that used them), the propagator walks data dependencies
 across a whole provenance store and reports every affected artifact, run and
-data product.
+data product.  :func:`replay_invalidated` then *repairs* the damage using
+provenance-driven partial re-execution: per affected run, only the cone
+downstream of the bad bytes recomputes, everything else is reused from the
+stored derivation record.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set, Tuple
 
+from repro.apps.reproduce import partial_rerun
 from repro.core.causality import causality_graph, downstream_artifacts
+from repro.core.replay import ReplayPlan
 from repro.core.retrospective import WorkflowRun
 from repro.storage.base import ProvenanceStore
 from repro.storage.query import ProvQuery
+from repro.workflow.registry import ModuleRegistry
 
-__all__ = ["InvalidationReport", "invalidate_by_hash", "invalidate_in_run"]
+__all__ = ["InvalidationReport", "invalidate_by_hash", "invalidate_in_run",
+           "replay_invalidated"]
 
 
 @dataclass
@@ -85,3 +92,37 @@ def invalidate_by_hash(store: ProvenanceStore,
         final_ids = {artifact.id for artifact in run.final_artifacts()}
         report.affected_products[run.id] = sorted(tainted & final_ids)
     return report
+
+
+def replay_invalidated(store: ProvenanceStore, registry: ModuleRegistry,
+                       bad_hash: str, *,
+                       changed_inputs: Optional[Dict] = None,
+                       workers: Optional[int] = None
+                       ) -> Dict[str, Tuple[WorkflowRun, ReplayPlan]]:
+    """Repair every run tainted by ``bad_hash`` via partial re-execution.
+
+    For each affected run, a replay plan marks the modules that touched the
+    bad bytes (and their downstream cones) stale; only those re-execute,
+    with corrected values supplied through ``changed_inputs`` where the bad
+    data entered as an external input.  ``changed_inputs`` keys are
+    ``(module_id, port)``; module ids are per-workflow-instance, so each
+    key is applied only to the run(s) containing that module and ignored
+    elsewhere.  Repaired runs are stored alongside the originals (tagged
+    ``replay_of``), so both derivations stay queryable.  Clean runs are
+    never loaded, let alone re-executed.
+
+    Returns ``{original_run_id: (repaired_run, plan)}``.
+    """
+    affected = sorted({row["run_id"] for row in store.select(
+        ProvQuery.artifacts().where(value_hash=bad_hash)
+        .project("run_id"))})
+    repaired: Dict[str, Tuple[WorkflowRun, ReplayPlan]] = {}
+    for run in store.load_runs(affected):
+        run_modules = {execution.module_id for execution in run.executions}
+        relevant = {key: value
+                    for key, value in (changed_inputs or {}).items()
+                    if key[0] in run_modules}
+        repaired[run.id] = partial_rerun(
+            run, registry, invalidated_hashes={bad_hash},
+            changed_inputs=relevant, store=store, workers=workers)
+    return repaired

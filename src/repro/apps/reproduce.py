@@ -14,16 +14,18 @@ matching output hashes mean bitwise-identical results.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
-from repro.core.capture import ProvenanceCapture, run_from_result
+from repro.core.capture import ProvenanceCapture
+from repro.core.replay import ReplayPlan, compute_replay_plan
 from repro.core.retrospective import WorkflowRun
-from repro.workflow.engine import Executor
+from repro.workflow.engine import Executor, InputKey
 from repro.workflow.environment import environment_diff
 from repro.workflow.registry import ModuleRegistry
 from repro.workflow.serialization import workflow_from_dict
 
-__all__ = ["ReproductionReport", "rerun", "validate_reproduction"]
+__all__ = ["ReproductionReport", "rerun", "partial_rerun",
+           "validate_reproduction"]
 
 
 @dataclass
@@ -56,17 +58,54 @@ class ReproductionReport:
 
 
 def rerun(run: WorkflowRun, registry: ModuleRegistry, *,
-          store: Optional[Any] = None) -> WorkflowRun:
+          store: Optional[Any] = None,
+          workers: Optional[int] = None) -> WorkflowRun:
     """Re-execute a recorded run from its embedded prospective snapshot.
 
     The workflow is rebuilt from ``run.workflow_spec``; no cache is used so
-    every module actually re-executes.
+    every module actually re-executes.  ``workers`` > 1 runs independent
+    branches on a thread pool.
     """
     workflow = workflow_from_dict(run.workflow_spec)
     capture = ProvenanceCapture(registry=registry, store=store)
-    executor = Executor(registry, listeners=[capture])
+    executor = Executor(registry, listeners=[capture], workers=workers)
     executor.execute(workflow, tags={"reproduction_of": run.id})
     return capture.last_run()
+
+
+def partial_rerun(run: WorkflowRun, registry: ModuleRegistry, *,
+                  changed_inputs: Optional[Mapping[InputKey, Any]] = None,
+                  parameter_overrides: Optional[
+                      Mapping[str, Mapping[str, Any]]] = None,
+                  invalidated_hashes: Any = (),
+                  force: Any = (),
+                  store: Optional[Any] = None,
+                  workers: Optional[int] = None
+                  ) -> Tuple[WorkflowRun, ReplayPlan]:
+    """Re-execute only the stale frontier of a recorded run.
+
+    A :class:`~repro.core.replay.ReplayPlan` is computed from the run's
+    retrospective provenance and the change description (changed external
+    inputs, parameter overrides, invalidated artifact hashes, forced
+    modules); everything outside the stale cone is replayed as a
+    ``"cached"`` execution reusing the recorded outputs, so the new run's
+    derivation history is complete while only the affected modules compute.
+
+    Returns ``(new_run, plan)``.
+    """
+    plan = compute_replay_plan(
+        run, changed_inputs=changed_inputs,
+        parameter_overrides=parameter_overrides,
+        invalidated_hashes=invalidated_hashes, force=force)
+    capture = ProvenanceCapture(registry=registry, store=store)
+    executor = Executor(registry, listeners=[capture], workers=workers)
+    executor.execute(plan.workflow, inputs=plan.external_inputs,
+                     parameter_overrides=parameter_overrides,
+                     reuse=plan.reuse_records, bypass_cache=plan.stale,
+                     tags={"replay_of": run.id,
+                           "replay_stale": len(plan.stale),
+                           "replay_reused": len(plan.reused)})
+    return capture.last_run(), plan
 
 
 def validate_reproduction(original: WorkflowRun,

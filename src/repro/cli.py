@@ -3,6 +3,7 @@
 Usage (after ``pip install -e .`` / ``python setup.py develop``)::
 
     python -m repro demo            # run the Figure 1 pipeline, print report
+    python -m repro demo --workers 4        # same, parallel scheduler
     python -m repro recipe          # print the Figure 1 prospective recipe
     python -m repro challenge       # run the First Provenance Challenge
     python -m repro challenge2      # run the Second (multi-system) Challenge
@@ -10,6 +11,8 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
     python -m repro query "COUNT EXECUTIONS"   # ProvQL against a demo run
     python -m repro runs --demo 4 --status ok --sort=-started --limit 3
                                     # ProvQuery select over stored runs
+    python -m repro rerun --level 55 --workers 4
+                                    # provenance-driven partial re-execution
 """
 
 from __future__ import annotations
@@ -25,10 +28,36 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.analytics import run_report
     from repro.core import ProvenanceManager
     from repro.workloads import build_vis_workflow
-    manager = ProvenanceManager()
+    manager = ProvenanceManager(workers=args.workers)
     run = manager.run(build_vis_workflow(size=args.size))
     print(run_report(run))
     return 0 if run.status == "ok" else 1
+
+
+def _cmd_rerun(args: argparse.Namespace) -> int:
+    from repro.core import ProvenanceManager
+    from repro.workloads import build_vis_workflow
+    manager = ProvenanceManager(workers=args.workers)
+    workflow = build_vis_workflow(size=args.size)
+    original = manager.run(workflow)
+    print(f"original run {original.id}: "
+          f"{len(original.executions)} modules executed")
+    iso = next(module for module in workflow.modules.values()
+               if module.name == "iso")
+    new_run, plan = manager.rerun(
+        original.id,
+        parameter_overrides={iso.id: {"level": args.level}})
+    print(plan.summary())
+    for module_id in plan.stale:
+        print(f"  re-execute {workflow.modules[module_id].name:12s} "
+              f"({plan.reasons[module_id]})")
+    statuses = {}
+    for execution in new_run.executions:
+        statuses[execution.status] = statuses.get(execution.status, 0) + 1
+    rendered = ", ".join(f"{count} {status}"
+                         for status, count in sorted(statuses.items()))
+    print(f"replay run {new_run.id}: {rendered}")
+    return 0 if new_run.status == "ok" else 1
 
 
 def _cmd_recipe(args: argparse.Namespace) -> int:
@@ -138,7 +167,21 @@ def build_parser() -> argparse.ArgumentParser:
                      "retrospective provenance")
     demo.add_argument("--size", type=int, default=16,
                       help="volume edge length")
+    demo.add_argument("--workers", type=int, default=None,
+                      help="scheduler parallelism (default: serial)")
     demo.set_defaults(handler=_cmd_demo)
+
+    rerun = subparsers.add_parser(
+        "rerun", help="demonstrate provenance-driven partial "
+                      "re-execution: run a pipeline, change one "
+                      "parameter, re-execute only the stale cone")
+    rerun.add_argument("--size", type=int, default=16,
+                       help="volume edge length")
+    rerun.add_argument("--level", type=float, default=55.0,
+                       help="new isosurface level for the replay")
+    rerun.add_argument("--workers", type=int, default=None,
+                       help="scheduler parallelism (default: serial)")
+    rerun.set_defaults(handler=_cmd_rerun)
 
     recipe = subparsers.add_parser(
         "recipe", help="print the Figure 1 prospective recipe")

@@ -17,6 +17,7 @@ from repro.core.causality import (artifacts_affected_by, causality_graph,
 from repro.core.graph import Edge, ProvGraph
 from repro.core.manager import ProvenanceManager
 from repro.core.prospective import ProspectiveProvenance, RecipeStep
+from repro.core.replay import ReplayError, ReplayPlan, compute_replay_plan
 from repro.core.retrospective import (DataArtifact, ModuleExecution,
                                       PortBinding, WorkflowRun)
 from repro.core.xmlprov import run_from_xml, run_to_xml
@@ -30,6 +31,7 @@ __all__ = [
     "Edge", "ProvGraph",
     "ProvenanceManager",
     "ProspectiveProvenance", "RecipeStep",
+    "ReplayError", "ReplayPlan", "compute_replay_plan",
     "DataArtifact", "ModuleExecution", "PortBinding", "WorkflowRun",
     "run_from_xml", "run_to_xml",
 ]

@@ -19,6 +19,7 @@ Two mechanisms are implemented:
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -159,6 +160,15 @@ class ProvenanceCapture(ExecutionListener):
     Attach to an :class:`~repro.workflow.engine.Executor`; finished runs are
     appended to :attr:`runs` and optionally saved to a provenance store (any
     object with a ``save_run(run)`` method).
+
+    Thread-safety: the engine dispatches listener events from its
+    coordinating thread, but one capture instance may be shared between
+    executors (or executors driven from different threads), so journal and
+    run bookkeeping are guarded by a lock.  Within one run the converted
+    provenance is deterministic regardless of execution parallelism — the
+    execution list follows the workflow's canonical topological order, not
+    wall-clock completion order — and :meth:`normalized_journal` gives a
+    timing-independent view of the event stream for comparisons.
     """
 
     def __init__(self, *, registry: Optional[ModuleRegistry] = None,
@@ -170,6 +180,7 @@ class ProvenanceCapture(ExecutionListener):
         self.runs: List[WorkflowRun] = []
         self.journal: List[CaptureEvent] = []
         self.journal_limit = journal_limit
+        self._lock = threading.Lock()
 
     # -- ExecutionListener ------------------------------------------------
     def on_run_start(self, run_id: str, workflow: Workflow,
@@ -192,9 +203,13 @@ class ProvenanceCapture(ExecutionListener):
     def on_run_finish(self, result: RunResult) -> None:
         run = run_from_result(result, registry=self.registry,
                               keep_values=self.keep_values)
-        self.runs.append(run)
-        if self.store is not None:
-            self.store.save_run(run)
+        with self._lock:
+            # the store write stays under the capture lock: backends are
+            # not themselves thread-safe (e.g. sqlite3 connections), so a
+            # shared capture must serialize saves from concurrent runs
+            self.runs.append(run)
+            if self.store is not None:
+                self.store.save_run(run)
         self._journal(CaptureEvent(time.time(), "run-finish", result.run_id,
                                    detail=result.status))
 
@@ -207,10 +222,26 @@ class ProvenanceCapture(ExecutionListener):
         """A captured run by id, or None."""
         return next((r for r in self.runs if r.id == run_id), None)
 
+    def normalized_journal(self, run_id: str) -> List[Tuple[str, str, str]]:
+        """One run's events as (event, subject, detail), timing-normalized.
+
+        Parallel execution interleaves module events in completion order;
+        this view sorts each event kind's entries by subject so serial and
+        parallel runs of the same workflow compare equal.
+        """
+        order = {"run-start": 0, "module-start": 1, "module-finish": 2,
+                 "run-finish": 3}
+        with self._lock:
+            events = [e for e in self.journal if e.run_id == run_id]
+        return sorted(
+            ((e.event, e.subject, e.detail) for e in events),
+            key=lambda item: (order.get(item[0], 9), item[1], item[2]))
+
     def _journal(self, event: CaptureEvent) -> None:
-        self.journal.append(event)
-        if len(self.journal) > self.journal_limit:
-            del self.journal[:len(self.journal) - self.journal_limit]
+        with self._lock:
+            self.journal.append(event)
+            if len(self.journal) > self.journal_limit:
+                del self.journal[:len(self.journal) - self.journal_limit]
 
 
 class ScriptCapture:

@@ -18,11 +18,13 @@ from repro.core.capture import ProvenanceCapture
 from repro.core.causality import causality_graph
 from repro.core.graph import ProvGraph
 from repro.core.prospective import ProspectiveProvenance
+from repro.core.replay import ReplayPlan, compute_replay_plan
 from repro.core.retrospective import WorkflowRun
 from repro.storage.query import ProvQuery, ResultCursor
 from repro.workflow.cache import ResultCache
 from repro.workflow.engine import Executor, RunResult
 from repro.workflow.registry import ModuleRegistry
+from repro.workflow.serialization import workflow_from_dict
 from repro.workflow.spec import Module, Workflow
 
 __all__ = ["ProvenanceManager"]
@@ -35,12 +37,17 @@ class ProvenanceManager:
         registry: module registry (defaults to the standard libraries).
         store: provenance storage backend (defaults to an in-memory store).
         use_cache: enable intermediate-result caching in the engine.
-        keep_values: retain artifact values on captured runs.
+        keep_values: retain artifact values on captured runs (required for
+            partial re-execution to reuse recorded results).
+        workers: default engine parallelism — ``None``/``1`` executes
+            serially in deterministic order, ``N > 1`` runs independent
+            branches on a thread pool.
     """
 
     def __init__(self, *, registry: Optional[ModuleRegistry] = None,
                  store: Optional[Any] = None, use_cache: bool = True,
-                 keep_values: bool = True) -> None:
+                 keep_values: bool = True,
+                 workers: Optional[int] = None) -> None:
         if registry is None:
             from repro.workflow.modules import standard_registry
             registry = standard_registry()
@@ -54,7 +61,7 @@ class ProvenanceManager:
         self.capture = ProvenanceCapture(registry=registry, store=store,
                                          keep_values=keep_values)
         self.executor = Executor(registry, cache=self.cache,
-                                 listeners=[self.capture])
+                                 listeners=[self.capture], workers=workers)
         #: Raw engine result of the most recent :meth:`run` (None before
         #: the first run, instead of raising AttributeError on access).
         self.last_engine_result: Optional[RunResult] = None
@@ -78,19 +85,94 @@ class ProvenanceManager:
             inputs: Optional[Mapping[Tuple[str, str], Any]] = None,
             parameter_overrides: Optional[
                 Mapping[str, Mapping[str, Any]]] = None,
-            tags: Optional[Mapping[str, Any]] = None) -> WorkflowRun:
+            tags: Optional[Mapping[str, Any]] = None,
+            workers: Optional[int] = None) -> WorkflowRun:
         """Execute ``workflow``, capture and store its provenance.
 
         Returns the captured :class:`WorkflowRun`; the raw engine result is
-        available as :attr:`last_engine_result`.
+        available as :attr:`last_engine_result`.  ``workers`` overrides the
+        manager's default parallelism for this run only.
         """
         self.store.save_workflow(
             ProspectiveProvenance.from_workflow(workflow, self.registry))
         result = self.executor.execute(workflow, inputs=inputs,
                                        parameter_overrides=parameter_overrides,
-                                       tags=tags)
+                                       tags=tags, workers=workers)
         self.last_engine_result = result
         return self.capture.last_run()
+
+    # -- partial re-execution ---------------------------------------------
+    def _run_for_replay(self, run_or_id: Any) -> WorkflowRun:
+        """Resolve a run for replanning, preferring the in-session capture.
+
+        Runs captured this session retain artifact values even when the
+        storage backend persists metadata only (``store_values=False``),
+        so planning against the captured record maximizes reuse; the
+        store is the fallback for runs from earlier sessions.
+        """
+        if isinstance(run_or_id, WorkflowRun):
+            return run_or_id
+        captured = self.capture.run_by_id(run_or_id)
+        return captured if captured is not None else self.get_run(run_or_id)
+
+    def replay_plan(self, run_or_id: Any, *,
+                    changed_inputs: Optional[
+                        Mapping[Tuple[str, str], Any]] = None,
+                    parameter_overrides: Optional[
+                        Mapping[str, Mapping[str, Any]]] = None,
+                    invalidated_hashes: Any = (),
+                    force: Any = ()) -> ReplayPlan:
+        """Plan — without executing — a partial rerun of a stored run."""
+        run = self._run_for_replay(run_or_id)
+        return compute_replay_plan(
+            run, changed_inputs=changed_inputs,
+            parameter_overrides=parameter_overrides,
+            invalidated_hashes=invalidated_hashes, force=force)
+
+    def rerun(self, run_or_id: Any, *,
+              changed_inputs: Optional[
+                  Mapping[Tuple[str, str], Any]] = None,
+              parameter_overrides: Optional[
+                  Mapping[str, Mapping[str, Any]]] = None,
+              invalidated_hashes: Any = (),
+              force: Any = (),
+              workers: Optional[int] = None
+              ) -> Tuple[WorkflowRun, ReplayPlan]:
+        """Partially re-execute a stored run; only the stale cone computes.
+
+        A :class:`~repro.core.replay.ReplayPlan` is computed from the run's
+        retrospective provenance and the change description; modules outside
+        the stale frontier are replayed as ``"cached"`` executions that
+        point at the original execution ids.  The new run is captured and
+        stored like any other.  Returns ``(new_run, plan)``.
+
+        With no change description at all, every recorded module is reused
+        — a provenance integrity check that re-derives the run record
+        without recomputation.  Pass ``force=[module_id, ...]`` (or use
+        :func:`repro.apps.reproduce.rerun`) for a true full re-execution;
+        forced modules also bypass the result cache, so they genuinely
+        recompute even when their causal signature is unchanged.
+        """
+        plan = self.replay_plan(
+            run_or_id, changed_inputs=changed_inputs,
+            parameter_overrides=parameter_overrides,
+            invalidated_hashes=invalidated_hashes, force=force)
+        self.store.save_workflow(ProspectiveProvenance.from_workflow(
+            plan.workflow, self.registry))
+        # stale modules bypass the memo cache: for invalidated/forced
+        # seeds the cache holds exactly the result being repudiated, and
+        # a "re-execute" plan that silently serves memoized outputs would
+        # be a no-op repair
+        result = self.executor.execute(
+            plan.workflow, inputs=plan.external_inputs,
+            parameter_overrides=parameter_overrides,
+            reuse=plan.reuse_records, bypass_cache=plan.stale,
+            workers=workers,
+            tags={"replay_of": plan.original_run,
+                  "replay_stale": len(plan.stale),
+                  "replay_reused": len(plan.reused)})
+        self.last_engine_result = result
+        return self.capture.last_run(), plan
 
     # -- provenance access ----------------------------------------------
     def prospective(self, workflow: Workflow) -> ProspectiveProvenance:
@@ -102,9 +184,15 @@ class ProvenanceManager:
         return self.store.load_run(run_id)
 
     def runs(self) -> List[WorkflowRun]:
-        """Every stored run, ordered by start time."""
-        return [self.store.load_run(summary.run_id)
-                for summary in self.store.list_runs()]
+        """Every stored run, ordered by start time.
+
+        Served as one ``select`` for the ordered id list plus one bulk
+        :meth:`~repro.storage.base.ProvenanceStore.load_runs` call, so
+        backends with batched readers (e.g. SQL) avoid a query per run.
+        """
+        ordered = [row["id"] for row in self.store.select(
+            ProvQuery.runs().order_by("started", "id").project("id"))]
+        return self.store.load_runs(ordered)
 
     def select(self, query: ProvQuery) -> ResultCursor:
         """Evaluate a :class:`ProvQuery` against the storage backend.

@@ -20,19 +20,19 @@ All cross-cutting queries flow through one entry point,
 ``select`` generically from the primitive load/save/list operations — that
 implementation is the correctness oracle — and every backend overrides it
 with native pushdown (SQL, triple patterns, a sidecar summary index, dict
-scans).  The legacy finder methods (``find_runs`` and friends) remain as
-deprecated shims delegating to ``select``.
+scans).  The legacy finder methods (``find_runs`` and friends) were
+deprecated shims over ``select`` and have been removed; build a
+:class:`~repro.storage.query.ProvQuery` instead.
 """
 
 from __future__ import annotations
 
-import warnings
 from abc import ABC, abstractmethod
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional
 
 from repro.core.annotations import Annotation
 from repro.core.prospective import ProspectiveProvenance
-from repro.core.retrospective import DataArtifact, ModuleExecution, WorkflowRun
+from repro.core.retrospective import WorkflowRun
 from repro.storage.query import (ProvQuery, ResultCursor, annotation_row,
                                  artifact_row, evaluate_rows, execution_row,
                                  run_row)
@@ -105,6 +105,20 @@ class ProvenanceStore(ABC):
             count += 1
         return count
 
+    def load_runs(self, run_ids: Optional[Iterable[str]] = None
+                  ) -> List[WorkflowRun]:
+        """Bulk-load runs, preserving the order of ``run_ids``.
+
+        ``None`` loads every stored run in :meth:`list_runs` order.
+        Backends with batched readers override this (e.g. one SQL pass per
+        table instead of a query cascade per run); the fallback loops
+        :meth:`load_run`.  Raises :class:`StoreError` on unknown ids, like
+        :meth:`load_run`.
+        """
+        if run_ids is None:
+            run_ids = [summary.run_id for summary in self.list_runs()]
+        return [self.load_run(run_id) for run_id in run_ids]
+
     # -- workflows -------------------------------------------------------
     @abstractmethod
     def save_workflow(self, prospective: ProspectiveProvenance) -> None:
@@ -159,79 +173,6 @@ class ProvenanceStore(ABC):
             else:
                 for artifact in run.artifacts.values():
                     yield artifact_row(run.id, artifact)
-
-    def _materialize_executions(self, rows: List[Dict[str, Any]]
-                                ) -> List[Tuple[str, ModuleExecution]]:
-        """Rebuild full execution objects for select rows, loading each
-        referenced run once."""
-        runs: Dict[str, WorkflowRun] = {}
-        found = []
-        for row in rows:
-            run_id = row["run_id"]
-            if run_id not in runs:
-                runs[run_id] = self.load_run(run_id)
-            found.append((run_id, runs[run_id].execution(row["id"])))
-        return found
-
-    # -- deprecated finder shims ------------------------------------------
-    def find_runs(self, *, workflow_id: Optional[str] = None,
-                  signature: Optional[str] = None,
-                  status: Optional[str] = None) -> List[str]:
-        """Ids of runs matching every given criterion.
-
-        .. deprecated:: use ``select(ProvQuery.runs().where(...))``.
-        """
-        warnings.warn("find_runs is deprecated; use "
-                      "select(ProvQuery.runs().where(...))",
-                      DeprecationWarning, stacklevel=2)
-        query = ProvQuery.runs().project("id")
-        if workflow_id is not None:
-            query = query.where(workflow_id=workflow_id)
-        if signature is not None:
-            query = query.where(signature=signature)
-        if status is not None:
-            query = query.where(status=status)
-        return [row["id"] for row in self.select(query)]
-
-    def find_artifacts_by_hash(self, value_hash: str
-                               ) -> List[Tuple[str, DataArtifact]]:
-        """(run_id, artifact) for every artifact with this content hash.
-
-        .. deprecated:: use ``select(ProvQuery.artifacts().where(...))``.
-        """
-        warnings.warn("find_artifacts_by_hash is deprecated; use "
-                      "select(ProvQuery.artifacts()"
-                      ".where(value_hash=...))",
-                      DeprecationWarning, stacklevel=2)
-        rows = self.select(
-            ProvQuery.artifacts().where(value_hash=value_hash)).all()
-        return [(row["run_id"], DataArtifact(
-            id=row["id"], value_hash=row["value_hash"],
-            type_name=row["type_name"], created_by=row["created_by"],
-            role=row["role"],
-            also_produced_by=list(row["also_produced_by"]),
-            size_hint=row["size_hint"])) for row in rows]
-
-    def find_executions(self, *, module_type: Optional[str] = None,
-                        status: Optional[str] = None,
-                        parameter: Optional[Tuple[str, Any]] = None
-                        ) -> List[Tuple[str, ModuleExecution]]:
-        """(run_id, execution) pairs matching every given criterion.
-
-        .. deprecated:: use ``select(ProvQuery.executions().where(...))``.
-        """
-        warnings.warn("find_executions is deprecated; use "
-                      "select(ProvQuery.executions().where(...))",
-                      DeprecationWarning, stacklevel=2)
-        query = ProvQuery.executions()
-        if module_type is not None:
-            query = query.where(module_type=module_type)
-        if status is not None:
-            query = query.where(status=status)
-        if parameter is not None:
-            key, value = parameter
-            query = query.where_op(f"param.{key}", "eq", value)
-        return self._materialize_executions(self.select(query).all())
 
     # -- lifecycle --------------------------------------------------------
     def close(self) -> None:

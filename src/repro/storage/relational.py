@@ -55,7 +55,11 @@ CREATE TABLE IF NOT EXISTS executions (
     finished REAL NOT NULL,
     error TEXT NOT NULL,
     cache_key TEXT NOT NULL,
-    cached_from TEXT NOT NULL
+    cached_from TEXT NOT NULL,
+    -- position in the run's canonical (topological) execution list;
+    -- parallel runs finish out of timestamp order, so started is not a
+    -- faithful reload key
+    seq INTEGER NOT NULL DEFAULT 0
 );
 CREATE TABLE IF NOT EXISTS bindings (
     execution_id TEXT NOT NULL REFERENCES executions(id) ON DELETE CASCADE,
@@ -161,16 +165,17 @@ class RelationalStore(ProvenanceStore):
              run.workflow_signature, run.status, run.started, run.finished,
              json.dumps(run.environment), json.dumps(run.workflow_spec),
              json.dumps(run.tags)))
-        for execution in run.executions:
+        for seq, execution in enumerate(run.executions):
             cursor.execute(
                 "INSERT INTO executions (id, run_id, module_id, module_type,"
                 " module_name, status, parameters, started, finished, error,"
-                " cache_key, cached_from) VALUES (?,?,?,?,?,?,?,?,?,?,?,?)",
+                " cache_key, cached_from, seq)"
+                " VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?)",
                 (execution.id, run.id, execution.module_id,
                  execution.module_type, execution.module_name,
                  execution.status, json.dumps(execution.parameters),
                  execution.started, execution.finished, execution.error,
-                 execution.cache_key, execution.cached_from))
+                 execution.cache_key, execution.cached_from, seq))
             for binding in execution.inputs:
                 cursor.execute(
                     "INSERT INTO bindings VALUES (?,?,?,?,?)",
@@ -215,7 +220,7 @@ class RelationalStore(ProvenanceStore):
             "SELECT id, module_id, module_type, module_name, status,"
             " parameters, started, finished, error, cache_key,"
             " cached_from FROM executions WHERE run_id = ?"
-            " ORDER BY started, id", (run_id,)).fetchall()
+            " ORDER BY seq, started, id", (run_id,)).fetchall()
         for exec_row in exec_rows:
             inputs, outputs = [], []
             for direction, port, artifact_id in cursor.execute(
@@ -255,6 +260,79 @@ class RelationalStore(ProvenanceStore):
             finished=row[6], environment=json.loads(row[7]),
             workflow_spec=json.loads(row[8]), executions=executions,
             artifacts=artifacts, tags=json.loads(row[9]), values=values)
+
+    def load_runs(self, run_ids: Optional[Iterable[str]] = None
+                  ) -> List[WorkflowRun]:
+        """Bulk-load runs in one SQL pass per table.
+
+        ``load_run`` issues a query cascade per run (plus one per execution
+        for bindings); listing N stored runs that way costs O(N·modules)
+        round trips.  Here each chunk of ids is answered with five ``IN``
+        queries total, grouped in Python.
+        """
+        if run_ids is None:
+            ordered = [summary.run_id for summary in self.list_runs()]
+        else:
+            ordered = list(run_ids)
+        loaded: Dict[str, WorkflowRun] = {}
+        unique = list(dict.fromkeys(ordered))
+        # stay under conservative SQLITE_MAX_VARIABLE_NUMBER builds (999)
+        for start in range(0, len(unique), 900):
+            self._load_run_chunk(unique[start:start + 900], loaded)
+        missing = [run_id for run_id in unique if run_id not in loaded]
+        if missing:
+            raise StoreError(f"no such run: {missing[0]}")
+        return [loaded[run_id] for run_id in ordered]
+
+    def _load_run_chunk(self, chunk: List[str],
+                        loaded: Dict[str, WorkflowRun]) -> None:
+        if not chunk:
+            return
+        cursor = self._connection.cursor()
+        marks = ", ".join("?" * len(chunk))
+        for row in cursor.execute(
+                "SELECT id, workflow_id, workflow_name, signature, status,"
+                " started, finished, environment, spec, tags FROM runs"
+                f" WHERE id IN ({marks})", chunk).fetchall():
+            loaded[row[0]] = WorkflowRun(
+                id=row[0], workflow_id=row[1], workflow_name=row[2],
+                workflow_signature=row[3], status=row[4], started=row[5],
+                finished=row[6], environment=json.loads(row[7]),
+                workflow_spec=json.loads(row[8]), executions=[],
+                artifacts={}, tags=json.loads(row[9]), values={})
+        bindings: Dict[str, Tuple[List[PortBinding], List[PortBinding]]] = {}
+        for execution_id, direction, port, artifact_id in cursor.execute(
+                "SELECT execution_id, direction, port, artifact_id"
+                f" FROM bindings WHERE run_id IN ({marks})"
+                " ORDER BY port", chunk).fetchall():
+            inputs, outputs = bindings.setdefault(execution_id, ([], []))
+            (inputs if direction == "in" else outputs).append(
+                PortBinding(port=port, artifact_id=artifact_id))
+        for row in cursor.execute(
+                "SELECT id, run_id, module_id, module_type, module_name,"
+                " status, parameters, started, finished, error, cache_key,"
+                f" cached_from FROM executions WHERE run_id IN ({marks})"
+                " ORDER BY seq, started, id", chunk).fetchall():
+            inputs, outputs = bindings.get(row[0], ([], []))
+            loaded[row[1]].executions.append(ModuleExecution(
+                id=row[0], module_id=row[2], module_type=row[3],
+                module_name=row[4], status=row[5],
+                parameters=json.loads(row[6]), inputs=inputs,
+                outputs=outputs, started=row[7], finished=row[8],
+                error=row[9], cache_key=row[10], cached_from=row[11]))
+        for row in cursor.execute(
+                "SELECT id, run_id, value_hash, type_name, created_by,"
+                " role, also_produced_by, size_hint FROM artifacts"
+                f" WHERE run_id IN ({marks})", chunk).fetchall():
+            loaded[row[1]].artifacts[row[0]] = DataArtifact(
+                id=row[0], value_hash=row[2], type_name=row[3],
+                created_by=row[4], role=row[5],
+                also_produced_by=json.loads(row[6]), size_hint=row[7])
+        if self.store_values:
+            for artifact_id, run_id, blob in cursor.execute(
+                    "SELECT artifact_id, run_id, blob FROM artifact_values"
+                    f" WHERE run_id IN ({marks})", chunk).fetchall():
+                loaded[run_id].values[artifact_id] = pickle.loads(blob)
 
     def list_runs(self) -> List[RunSummary]:
         rows = self._connection.execute(

@@ -8,8 +8,10 @@ and an observer API through which provenance is captured.
 
 from repro.workflow.cache import CacheEntry, CacheStats, ResultCache
 from repro.workflow.engine import (ExecutionListener, Executor, ModuleResult,
-                                   RunResult, ValueRecord)
+                                   ReusedModule, RunResult, ValueRecord)
 from repro.workflow.environment import capture_environment, environment_diff
+from repro.workflow.scheduler import (ExecutionBackend, ReadySetScheduler,
+                                      SerialBackend, ThreadPoolBackend)
 from repro.workflow.errors import (CycleError, ExecutionError, ModuleFailure,
                                    RegistryError, SpecError,
                                    TypeMismatchError, ValidationError,
@@ -28,9 +30,11 @@ from repro.workflow.validation import (ValidationIssue, check_workflow,
 
 __all__ = [
     "CacheEntry", "CacheStats", "ResultCache",
-    "ExecutionListener", "Executor", "ModuleResult", "RunResult",
-    "ValueRecord",
+    "ExecutionListener", "Executor", "ModuleResult", "ReusedModule",
+    "RunResult", "ValueRecord",
     "capture_environment", "environment_diff",
+    "ExecutionBackend", "ReadySetScheduler", "SerialBackend",
+    "ThreadPoolBackend",
     "CycleError", "ExecutionError", "ModuleFailure", "RegistryError",
     "SpecError", "TypeMismatchError", "ValidationError", "WorkflowError",
     "ModuleContext", "ModuleDefinition", "ModuleRegistry", "ParameterSpec",

@@ -11,6 +11,7 @@ derivation record while skipping the work.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
@@ -71,7 +72,11 @@ def module_cache_key(type_name: str, version: str,
 
 
 class ResultCache:
-    """LRU cache of module results keyed by causal signature.
+    """Thread-safe LRU cache of module results keyed by causal signature.
+
+    All operations take an internal lock, so one cache instance may serve
+    a parallel (``workers=N``) run — or several concurrent runs — without
+    corrupting the LRU order or the statistics.
 
     Args:
         max_entries: maximum number of entries kept (None = unbounded).
@@ -81,36 +86,43 @@ class ResultCache:
         self.max_entries = max_entries
         self.stats = CacheStats()
         self._entries: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
+        self._lock = threading.RLock()
 
     def get(self, key: CacheKey) -> Optional[CacheEntry]:
         """Return the entry for ``key`` (refreshing LRU order) or None."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
 
     def put(self, key: CacheKey, entry: CacheEntry) -> None:
         """Store ``entry`` under ``key``, evicting the LRU entry if full."""
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        if self.max_entries is not None:
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            if self.max_entries is not None:
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
 
     def invalidate(self, key: CacheKey) -> bool:
         """Drop ``key``; return True when it was present."""
-        return self._entries.pop(key, None) is not None
+        with self._lock:
+            return self._entries.pop(key, None) is not None
 
     def clear(self) -> None:
         """Drop every entry (statistics are retained)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: CacheKey) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries

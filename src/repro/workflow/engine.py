@@ -1,18 +1,33 @@
 """The dataflow execution engine.
 
-The engine materializes a workflow specification: modules run in topological
-order, values flow along connections, results are optionally memoized, and
-every step is reported to registered listeners.  Listeners are the paper's
-"capture mechanism" — the provenance subsystem observes execution through this
-API without the engine depending on it.
+The engine materializes a workflow specification as a *ready-set scheduler*
+(see :mod:`repro.workflow.scheduler`): modules become schedulable tasks with
+explicit dependency counts, a pluggable backend runs ready tasks either
+serially (the deterministic default) or on a thread pool (``workers=N``),
+values flow along connections, results are optionally memoized, and every
+step is reported to registered listeners.  Listeners are the paper's
+"capture mechanism" — the provenance subsystem observes execution through
+this API without the engine depending on it.  All listener dispatch happens
+on the coordinating thread, in a deterministic order in serial mode, so
+listeners never need their own synchronization against the engine.
 
-Failure semantics: a failing module marks itself ``failed`` and everything
-downstream of it ``skipped``; independent branches still run.  The run as a
-whole is ``failed`` when any module failed, else ``ok``.
+Failure semantics are graph-based: a failing module marks itself ``failed``
+and everything downstream of it ``skipped`` (a module is skipped when *any*
+direct upstream did not succeed, judged once all of its upstreams have
+resolved); independent branches still run.  The run as a whole is ``failed``
+when any module failed, else ``ok``.
+
+Partial re-execution: callers may inject :class:`ReusedModule` records for
+modules whose outputs are already known from a stored run's retrospective
+provenance.  Reused modules never compute — they resolve instantly with
+``"cached"`` status pointing at the original execution id, so derivation
+history stays intact while only the stale frontier does real work (see
+:mod:`repro.core.replay` for planning).
 """
 
 from __future__ import annotations
 
+import threading
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -23,12 +38,15 @@ from repro.workflow.cache import (CacheEntry, ResultCache, module_cache_key)
 from repro.workflow.environment import capture_environment
 from repro.workflow.errors import ExecutionError
 from repro.workflow.registry import ModuleContext, ModuleRegistry
+from repro.workflow.scheduler import (ReadySetScheduler, SerialBackend,
+                                      make_backend)
 from repro.workflow.spec import Module, Workflow
 from repro.workflow.validation import check_workflow
 
 __all__ = [
     "ValueRecord",
     "ModuleResult",
+    "ReusedModule",
     "RunResult",
     "ExecutionListener",
     "Executor",
@@ -52,13 +70,32 @@ class ValueRecord:
         return cls(value=value, value_hash=hash_value(value))
 
 
+@dataclass(frozen=True)
+class ReusedModule:
+    """Known outputs of a module, served from provenance instead of running.
+
+    Attributes:
+        outputs: output-port name to the recorded :class:`ValueRecord`.
+        source_execution: execution id that originally computed the outputs.
+        parameters: parameters of the original execution (recorded on the
+            reused result so provenance shows what the outputs derive from).
+        cache_key: causal cache key of the original execution, if known.
+    """
+
+    outputs: Dict[str, ValueRecord]
+    source_execution: str = ""
+    parameters: Dict[str, Any] = field(default_factory=dict)
+    cache_key: str = ""
+
+
 @dataclass
 class ModuleResult:
     """Outcome of one module execution within a run.
 
     ``status`` is one of ``"ok"``, ``"cached"``, ``"failed"``, ``"skipped"``.
     Cached results carry ``cached_from``: the execution id that originally
-    computed the outputs.
+    computed the outputs (a cache hit within this engine, or the stored
+    execution a replay reused).
     """
 
     module_id: str
@@ -125,6 +162,16 @@ class RunResult:
         return sorted(m for m, r in self.results.items()
                       if r.status == "failed")
 
+    def executed_modules(self) -> List[str]:
+        """Ids of modules that actually computed (status ``ok``), sorted."""
+        return sorted(m for m, r in self.results.items()
+                      if r.status == "ok")
+
+    def reused_modules(self) -> List[str]:
+        """Ids of modules served from cache or provenance reuse (sorted)."""
+        return sorted(m for m, r in self.results.items()
+                      if r.status == "cached")
+
     @property
     def duration(self) -> float:
         """Wall-clock seconds for the whole run."""
@@ -132,7 +179,13 @@ class RunResult:
 
 
 class ExecutionListener:
-    """Observer interface for execution events (all methods optional)."""
+    """Observer interface for execution events (all methods optional).
+
+    The engine dispatches every event from its coordinating thread — never
+    from worker threads — so implementations need no locking against the
+    engine itself (they still need it if *shared across executors* running
+    concurrently).
+    """
 
     def on_run_start(self, run_id: str, workflow: Workflow,
                      environment: Dict[str, Any],
@@ -157,35 +210,67 @@ class Executor:
     Args:
         registry: module definitions and the type registry.
         cache: optional :class:`ResultCache`; when present, deterministic
-            modules are memoized across runs.
+            modules are memoized across runs.  The cache is thread-safe, so
+            one cache may serve parallel runs.
         listeners: observers notified of every execution event.
         clock: callable returning the current wall time (injectable for
             deterministic tests).
         validate: when True (default), specifications are statically checked
-            before running; unbound ports satisfied by external inputs are
-            allowed.
+            before running; unbound ports satisfied by external inputs (or
+            belonging to reused modules) are allowed.
+        workers: default execution parallelism.  ``None``/``0``/``1`` run
+            serially in deterministic topological order; ``N > 1`` runs
+            ready modules on a pool of N threads.  Overridable per
+            :meth:`execute` call.
     """
 
     def __init__(self, registry: ModuleRegistry, *,
                  cache: Optional[ResultCache] = None,
                  listeners: Iterable[ExecutionListener] = (),
                  clock: Callable[[], float] = time.time,
-                 validate: bool = True) -> None:
+                 validate: bool = True,
+                 workers: Optional[int] = None) -> None:
         self.registry = registry
         self.cache = cache
         self.listeners: List[ExecutionListener] = list(listeners)
         self.clock = clock
         self.validate = validate
+        self.workers = workers
+        self._environment: Optional[Dict[str, Any]] = None
+        self._listener_lock = threading.Lock()
 
     def add_listener(self, listener: ExecutionListener) -> None:
         """Attach an additional execution listener."""
         self.listeners.append(listener)
 
+    # -- environment ------------------------------------------------------
+    def environment(self) -> Dict[str, Any]:
+        """The execution environment recorded on runs.
+
+        Probed from the host once per executor and cached — environment
+        capture walks platform/interpreter metadata, which is pure overhead
+        when repeated for every run of a sweep.  Call
+        :meth:`refresh_environment` after anything that could change the
+        host record (e.g. upgrading a library in-process).
+        """
+        if self._environment is None:
+            self._environment = capture_environment()
+        return self._environment
+
+    def refresh_environment(self) -> Dict[str, Any]:
+        """Re-probe the host environment and cache the new snapshot."""
+        self._environment = capture_environment()
+        return self._environment
+
+    # -- execution --------------------------------------------------------
     def execute(self, workflow: Workflow, *,
                 inputs: Optional[Mapping[InputKey, Any]] = None,
                 parameter_overrides: Optional[
                     Mapping[str, Mapping[str, Any]]] = None,
-                tags: Optional[Mapping[str, Any]] = None) -> RunResult:
+                tags: Optional[Mapping[str, Any]] = None,
+                reuse: Optional[Mapping[str, ReusedModule]] = None,
+                bypass_cache: Iterable[str] = (),
+                workers: Optional[int] = None) -> RunResult:
         """Run ``workflow`` and return the complete :class:`RunResult`.
 
         Args:
@@ -194,28 +279,38 @@ class Executor:
             parameter_overrides: per-module parameter values layered on top
                 of the instance's own overrides (used by parameter sweeps).
             tags: free-form metadata attached to the run record.
+            reuse: modules whose outputs are served from recorded
+                provenance instead of computing (see :class:`ReusedModule`);
+                they finish instantly with ``"cached"`` status.
+            bypass_cache: module ids that must genuinely compute this run —
+                their memo-cache lookup is skipped (the fresh result still
+                refreshes the cache).  Used by forced replays.
+            workers: per-call override of the executor's parallelism.
         """
         external = {key: ValueRecord.of(value)
                     for key, value in (inputs or {}).items()}
         overrides = {module_id: dict(values) for module_id, values
                      in (parameter_overrides or {}).items()}
+        reused = dict(reuse or {})
+        for module_id in reused:
+            if module_id not in workflow.modules:
+                raise ExecutionError(
+                    f"reuse names a module not in the workflow: {module_id}")
         if self.validate:
-            self._validate(workflow, external)
+            self._validate(workflow, external, reused)
 
         run_id = new_id("run")
-        environment = capture_environment()
+        environment = self.environment()
         run_tags = dict(tags or {})
         started = self.clock()
-        for listener in self.listeners:
-            listener.on_run_start(run_id, workflow, environment, run_tags)
+        self._notify("on_run_start", run_id, workflow, environment, run_tags)
 
+        # Raises CycleError up front; also the canonical result order.
         order = workflow.topological_order()
-        results: Dict[str, ModuleResult] = {}
-        for module_id in order:
-            module = workflow.modules[module_id]
-            results[module_id] = self._run_module(
-                run_id, workflow, module, results, external,
-                overrides.get(module_id, {}))
+        results = self._run_scheduled(
+            run_id, workflow, external, overrides, reused,
+            set(bypass_cache),
+            workers if workers is not None else self.workers)
 
         finished = self.clock()
         status = ("failed" if any(r.status == "failed"
@@ -224,19 +319,135 @@ class Executor:
                         results=results, order=order,
                         environment=environment, started=started,
                         finished=finished, tags=run_tags)
-        for listener in self.listeners:
-            listener.on_run_finish(run)
+        self._notify("on_run_finish", run)
         return run
 
     # ------------------------------------------------------------------
+    # scheduling loop
+    # ------------------------------------------------------------------
+    def _run_scheduled(self, run_id: str, workflow: Workflow,
+                       external: Mapping[InputKey, ValueRecord],
+                       overrides: Mapping[str, Dict[str, Any]],
+                       reused: Mapping[str, ReusedModule],
+                       bypass_cache: set,
+                       workers: Optional[int]) -> Dict[str, ModuleResult]:
+        scheduler = ReadySetScheduler(workflow)
+        backend = make_backend(workers)
+        # Serial runs pop one ready module at a time, which reproduces the
+        # canonical Kahn order exactly (execution timestamps then follow
+        # run.order, as the historical sequential engine guaranteed);
+        # parallel runs dispatch whole ready batches for concurrency.
+        one_at_a_time = isinstance(backend, SerialBackend)
+        results: Dict[str, ModuleResult] = {}
+
+        def settle(module_id: str, result: ModuleResult) -> None:
+            results[module_id] = result
+            self._notify("on_module_finish", run_id,
+                         workflow.modules[module_id], result)
+            scheduler.resolve(module_id)
+
+        try:
+            while not scheduler.finished():
+                if not scheduler.has_ready():
+                    if not backend.outstanding():
+                        raise ExecutionError(
+                            "scheduler stalled with unresolved modules: "
+                            f"{scheduler.unresolved()}")
+                    for module_id, result in backend.wait():
+                        settle(module_id, result)
+                    continue
+                ready = ([scheduler.pop_ready()] if one_at_a_time
+                         else scheduler.take_ready())
+                for module_id in ready:
+                    self._dispatch(run_id, workflow, module_id, results,
+                                   external, overrides, reused,
+                                   bypass_cache, backend, settle)
+                    # Harvest promptly: with the serial backend this keeps
+                    # the legacy start/finish interleaving (and frees the
+                    # completed job's memory before the next submission).
+                    for done_id, result in backend.poll():
+                        settle(done_id, result)
+        finally:
+            backend.shutdown()
+        return results
+
+    def _dispatch(self, run_id: str, workflow: Workflow, module_id: str,
+                  results: Dict[str, ModuleResult],
+                  external: Mapping[InputKey, ValueRecord],
+                  overrides: Mapping[str, Dict[str, Any]],
+                  reused: Mapping[str, ReusedModule],
+                  bypass_cache: set,
+                  backend, settle) -> None:
+        """Decide what a ready module does: skip, reuse, or compute."""
+        module = workflow.modules[module_id]
+        definition = self.registry.get(module.type_name)
+        parameters = definition.resolve_parameters(module.parameters)
+        parameters.update(overrides.get(module_id, {}))
+
+        input_records, blocked = self._gather_inputs(
+            workflow, module, results, external)
+        if blocked:
+            settle(module_id, ModuleResult(
+                module_id=module_id, execution_id=new_id("exec"),
+                status="skipped", parameters=parameters,
+                error=f"upstream failure in {blocked}"))
+            return
+
+        reuse_record = reused.get(module_id)
+        if reuse_record is not None:
+            # same event contract as a memo-cache hit: start then a
+            # "cached" finish, so listeners always see balanced pairs
+            self._notify("on_module_start", run_id, module, parameters)
+            now = self.clock()
+            settle(module_id, ModuleResult(
+                module_id=module_id, execution_id=new_id("exec"),
+                status="cached",
+                parameters=dict(reuse_record.parameters) or parameters,
+                inputs=input_records,
+                outputs=dict(reuse_record.outputs),
+                started=now, finished=now,
+                cache_key=reuse_record.cache_key,
+                cached_from=reuse_record.source_execution))
+            return
+
+        self._notify("on_module_start", run_id, module, parameters)
+        backend.submit(module_id, self._make_job(
+            module, definition, parameters, input_records,
+            consult_cache=module_id not in bypass_cache))
+
+    def _make_job(self, module: Module, definition,
+                  parameters: Dict[str, Any],
+                  input_records: Dict[str, ValueRecord],
+                  consult_cache: bool = True):
+        """A backend job computing one module; never raises."""
+        def job() -> ModuleResult:
+            try:
+                return self._compute_module(module, definition, parameters,
+                                            input_records,
+                                            consult_cache=consult_cache)
+            except Exception as exc:  # defensive: job must not raise
+                now = self.clock()
+                return ModuleResult(
+                    module_id=module.id, execution_id=new_id("exec"),
+                    status="failed", parameters=parameters,
+                    inputs=input_records, started=now, finished=now,
+                    error=f"{type(exc).__name__}: {exc}")
+        return job
+
+    # ------------------------------------------------------------------
     def _validate(self, workflow: Workflow,
-                  external: Mapping[InputKey, ValueRecord]) -> None:
+                  external: Mapping[InputKey, ValueRecord],
+                  reused: Mapping[str, ReusedModule]) -> None:
         issues = check_workflow(workflow, self.registry)
         errors = []
         for issue in issues:
             if not issue.is_error():
                 continue
             if issue.code == "unbound-input":
+                if issue.subject in reused:
+                    # reused modules never compute, so their unbound
+                    # mandatory inputs are irrelevant
+                    continue
                 bound_here = any(key[0] == issue.subject for key in external)
                 if bound_here and self._unbound_satisfied(
                         workflow, issue.subject, external):
@@ -258,37 +469,22 @@ class Executor:
                 return False
         return True
 
-    def _run_module(self, run_id: str, workflow: Workflow, module: Module,
-                    results: Dict[str, ModuleResult],
-                    external: Mapping[InputKey, ValueRecord],
-                    extra_params: Mapping[str, Any]) -> ModuleResult:
-        definition = self.registry.get(module.type_name)
-        parameters = definition.resolve_parameters(module.parameters)
-        parameters.update(extra_params)
-
-        input_records, blocked = self._gather_inputs(
-            workflow, module, results, external)
-        if blocked:
-            result = ModuleResult(
-                module_id=module.id, execution_id=new_id("exec"),
-                status="skipped", parameters=parameters,
-                error=f"upstream failure in {blocked}")
-            self._notify_finish(run_id, module, result)
-            return result
-
-        for listener in self.listeners:
-            listener.on_module_start(run_id, module, parameters)
-
+    def _compute_module(self, module: Module, definition,
+                        parameters: Dict[str, Any],
+                        input_records: Dict[str, ValueRecord],
+                        consult_cache: bool = True) -> ModuleResult:
+        """Run one module (worker-thread side): cache check, compute, memo."""
         input_hashes = {port: record.value_hash
                         for port, record in input_records.items()}
         cache_key = module_cache_key(definition.type_name,
                                      definition.version, parameters,
                                      input_hashes)
-        if self.cache is not None and definition.deterministic:
+        if (consult_cache and self.cache is not None
+                and definition.deterministic):
             entry = self.cache.get(cache_key)
             if entry is not None:
                 now = self.clock()
-                result = ModuleResult(
+                return ModuleResult(
                     module_id=module.id, execution_id=new_id("exec"),
                     status="cached", parameters=parameters,
                     inputs=input_records,
@@ -297,8 +493,6 @@ class Executor:
                              for port in entry.outputs},
                     started=now, finished=now, cache_key=cache_key,
                     cached_from=entry.source_execution)
-                self._notify_finish(run_id, module, result)
-                return result
 
         started = self.clock()
         execution_id = new_id("exec")
@@ -310,15 +504,13 @@ class Executor:
             raw_outputs = definition.compute(context)
             outputs = self._check_outputs(definition, raw_outputs)
         except Exception as exc:
-            result = ModuleResult(
+            return ModuleResult(
                 module_id=module.id, execution_id=execution_id,
                 status="failed", parameters=parameters,
                 inputs=input_records, started=started,
                 finished=self.clock(), cache_key=cache_key,
                 error=f"{type(exc).__name__}: {exc}\n"
                       f"{traceback.format_exc(limit=3)}")
-            self._notify_finish(run_id, module, result)
-            return result
 
         records = {port: ValueRecord.of(value)
                    for port, value in outputs.items()}
@@ -331,14 +523,18 @@ class Executor:
                 outputs=dict(outputs),
                 output_hashes={p: r.value_hash for p, r in records.items()},
                 source_execution=execution_id))
-        self._notify_finish(run_id, module, result)
         return result
 
     def _gather_inputs(self, workflow: Workflow, module: Module,
                        results: Dict[str, ModuleResult],
                        external: Mapping[InputKey, ValueRecord]
                        ) -> Tuple[Dict[str, ValueRecord], str]:
-        """Resolve input port values; return (records, blocking_module_id)."""
+        """Resolve input port values; return (records, blocking_module_id).
+
+        Connections are visited in target-port order, so the blocking
+        module reported for a skip is deterministic regardless of which
+        upstream failure resolved first.
+        """
         records: Dict[str, ValueRecord] = {}
         for connection in workflow.incoming(module.id):
             upstream = results[connection.source_module]
@@ -370,7 +566,13 @@ class Executor:
                 f"outputs: {sorted(extra)}")
         return dict(raw_outputs)
 
-    def _notify_finish(self, run_id: str, module: Module,
-                       result: ModuleResult) -> None:
-        for listener in self.listeners:
-            listener.on_module_finish(run_id, module, result)
+    def _notify(self, event: str, *args: Any) -> None:
+        """Dispatch one event to every listener, serialized under a lock.
+
+        Dispatch always happens on the coordinating thread; the lock only
+        guards against two *runs* of a shared executor notifying
+        concurrently from different caller threads.
+        """
+        with self._listener_lock:
+            for listener in self.listeners:
+                getattr(listener, event)(*args)

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import math
 import random
+import time
 from typing import Any, Dict, List
 
 from repro.identity import hash_value
@@ -225,6 +226,23 @@ def register(registry: ModuleRegistry) -> None:
         return {"value": value if value is not None else accumulator}
 
     _make_optional(registry, "SpinCompute", ("value",))
+
+    @registry.define("Sleep", inputs=[("value", "Any")],
+                     outputs=[("value", "Any")],
+                     params=[("seconds", 0.01)], category="synthetic")
+    def sleep_module(ctx):
+        """Block for a configurable wall-clock time, pass the input through.
+
+        The blocking stand-in for I/O- or service-bound stages; because
+        ``time.sleep`` releases the GIL, wide DAGs of Sleep modules exercise
+        the parallel scheduler backend.
+        """
+        seconds = float(ctx.param("seconds"))
+        time.sleep(seconds)
+        value = ctx.input("value")
+        return {"value": value if value is not None else seconds}
+
+    _make_optional(registry, "Sleep", ("value",))
 
     @registry.define("RandomNumber", outputs=[("value", "Float")],
                      params=[("low", 0.0), ("high", 1.0)],

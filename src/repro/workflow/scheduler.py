@@ -1,0 +1,238 @@
+"""Ready-set dataflow scheduling for workflow execution.
+
+Cuevas-Vicenttín et al. frame dataflow engines as schedulers over *ready
+sets*: a module becomes schedulable the moment every one of its upstream
+dependencies has resolved, independent of any global serialization.  This
+module provides the two halves of that architecture for the engine:
+
+* :class:`ReadySetScheduler` — pure bookkeeping over the workflow DAG.
+  Modules carry explicit unresolved-dependency counts; resolving a module
+  (in any status — ok, cached, failed or skipped) decrements its dependents
+  and surfaces newly-ready modules.  Whether a ready module actually
+  computes or is skipped because an upstream failed is the engine's call;
+  the scheduler only guarantees that the question is asked exactly once per
+  module, after all of its inputs are settled.  Ready batches are sorted by
+  module id, so scheduling decisions are deterministic regardless of
+  completion timing.
+
+* Execution backends — where ready work physically runs.
+  :class:`SerialBackend` executes each job synchronously at submission (the
+  deterministic default, equivalent to the old topological loop);
+  :class:`ThreadPoolBackend` fans jobs out to a ``ThreadPoolExecutor`` so
+  independent branches overlap.  Both expose the same tiny submit/poll/wait
+  surface, so the engine's coordination loop is backend-agnostic.
+
+Jobs handed to a backend must never raise: the engine wraps module
+computation so that failures come back as ordinary failed results.
+"""
+
+from __future__ import annotations
+
+import bisect
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor
+from concurrent.futures import wait as futures_wait
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.workflow.errors import ExecutionError
+from repro.workflow.spec import Workflow
+
+__all__ = [
+    "ReadySetScheduler",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "make_backend",
+]
+
+#: A unit of schedulable work: returns the module's result object.
+Job = Callable[[], Any]
+
+
+class ReadySetScheduler:
+    """Dependency-counting scheduler state over one workflow DAG.
+
+    The lifecycle of every module id is ``pending -> ready -> issued ->
+    resolved``.  A module is *ready* when all of its distinct upstream
+    modules are resolved; :meth:`take_ready` hands out the current ready
+    batch (sorted, for determinism) exactly once; :meth:`resolve` settles a
+    module and promotes any dependents whose last dependency it was.
+    """
+
+    def __init__(self, workflow: Workflow) -> None:
+        self._remaining: Dict[str, int] = {
+            module_id: len(workflow.predecessors(module_id))
+            for module_id in workflow.modules}
+        self._dependents: Dict[str, List[str]] = {
+            module_id: workflow.successors(module_id)
+            for module_id in workflow.modules}
+        self._ready: List[str] = sorted(
+            m for m, count in self._remaining.items() if count == 0)
+        self._issued: set = set()
+        self._resolved: set = set()
+
+    # -- state transitions ------------------------------------------------
+    def take_ready(self) -> List[str]:
+        """Pop and return every currently-ready module id (sorted)."""
+        batch, self._ready = self._ready, []
+        self._issued.update(batch)
+        return batch
+
+    def pop_ready(self) -> str:
+        """Pop and return the smallest ready module id (IndexError if none).
+
+        Popping one module at a time and resolving it before the next pop
+        reproduces exactly the canonical Kahn order of
+        :meth:`Workflow.topological_order` — the serial engine uses this so
+        execution timestamps follow the recorded ``run.order``.
+        """
+        module_id = self._ready.pop(0)
+        self._issued.add(module_id)
+        return module_id
+
+    def resolve(self, module_id: str) -> List[str]:
+        """Settle ``module_id``; return dependents that just became ready.
+
+        Resolution is status-agnostic: failed and skipped modules resolve
+        exactly like successful ones, which is what lets the engine decide
+        skip propagation from the dependency graph instead of from a
+        precomputed global order.
+        """
+        if module_id in self._resolved:
+            raise ExecutionError(
+                f"module resolved twice in scheduler: {module_id}")
+        self._resolved.add(module_id)
+        self._issued.discard(module_id)
+        promoted: List[str] = []
+        for dependent in self._dependents[module_id]:
+            self._remaining[dependent] -= 1
+            if self._remaining[dependent] == 0:
+                bisect.insort(self._ready, dependent)
+                promoted.append(dependent)
+        return promoted
+
+    # -- queries ----------------------------------------------------------
+    def has_ready(self) -> bool:
+        """True when at least one module is waiting in the ready set."""
+        return bool(self._ready)
+
+    def outstanding(self) -> int:
+        """Modules issued (taken from the ready set) but not yet resolved."""
+        return len(self._issued)
+
+    def finished(self) -> bool:
+        """True when every module has resolved."""
+        return len(self._resolved) == len(self._remaining)
+
+    def unresolved(self) -> List[str]:
+        """Module ids not yet resolved (sorted) — for stall diagnostics."""
+        return sorted(set(self._remaining) - self._resolved)
+
+
+class ExecutionBackend:
+    """Where ready jobs physically run.
+
+    The engine submits ``(module_id, job)`` pairs and harvests
+    ``(module_id, result)`` completions via :meth:`poll` (non-blocking) and
+    :meth:`wait` (blocks until at least one job completes).  Implementations
+    must preserve nothing about ordering — the engine's scheduler state is
+    the single source of truth.
+    """
+
+    def submit(self, module_id: str, job: Job) -> None:
+        """Accept one job for execution."""
+        raise NotImplementedError
+
+    def poll(self) -> List[Tuple[str, Any]]:
+        """Completions available right now (possibly empty); non-blocking."""
+        raise NotImplementedError
+
+    def wait(self) -> List[Tuple[str, Any]]:
+        """Block until at least one completion is available, return all."""
+        raise NotImplementedError
+
+    def outstanding(self) -> int:
+        """Jobs submitted but not yet harvested."""
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release any resources (idempotent)."""
+
+
+class SerialBackend(ExecutionBackend):
+    """Runs each job synchronously at submission time.
+
+    This is the deterministic default: combined with the sorted ready
+    batches of :class:`ReadySetScheduler` it reproduces the exact execution
+    and listener-event order of the historical sequential engine.
+    """
+
+    def __init__(self) -> None:
+        self._completed: List[Tuple[str, Any]] = []
+
+    def submit(self, module_id: str, job: Job) -> None:
+        self._completed.append((module_id, job()))
+
+    def poll(self) -> List[Tuple[str, Any]]:
+        completed, self._completed = self._completed, []
+        return completed
+
+    def wait(self) -> List[Tuple[str, Any]]:
+        if not self._completed:
+            raise ExecutionError(
+                "serial backend has no outstanding work to wait for")
+        return self.poll()
+
+    def outstanding(self) -> int:
+        return len(self._completed)
+
+
+class ThreadPoolBackend(ExecutionBackend):
+    """Fans jobs out to a thread pool so independent branches overlap.
+
+    Suited to workloads dominated by blocking work (I/O, ``time.sleep``,
+    extension code releasing the GIL); pure-Python CPU loops serialize on
+    the GIL and see no speedup.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ExecutionError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-worker")
+        self._futures: Dict[Future, str] = {}
+
+    def submit(self, module_id: str, job: Job) -> None:
+        self._futures[self._pool.submit(job)] = module_id
+
+    def _harvest(self, futures: List[Future]) -> List[Tuple[str, Any]]:
+        return [(self._futures.pop(future), future.result())
+                for future in futures]
+
+    def poll(self) -> List[Tuple[str, Any]]:
+        return self._harvest([f for f in list(self._futures) if f.done()])
+
+    def wait(self) -> List[Tuple[str, Any]]:
+        if not self._futures:
+            raise ExecutionError(
+                "thread backend has no outstanding work to wait for")
+        done, _ = futures_wait(list(self._futures),
+                               return_when=FIRST_COMPLETED)
+        return self._harvest(list(done))
+
+    def outstanding(self) -> int:
+        return len(self._futures)
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+def make_backend(workers: Optional[int]) -> ExecutionBackend:
+    """Build the execution backend for a worker count.
+
+    ``None``, ``0`` and ``1`` select the deterministic serial backend;
+    anything larger selects a thread pool of that size.
+    """
+    if workers is None or workers <= 1:
+        return SerialBackend()
+    return ThreadPoolBackend(workers)

@@ -7,7 +7,7 @@ from repro.workloads.domains import (build_enviro_workflow, build_fig2_pair,
                                      build_genomics_workflow,
                                      build_vis_workflow, domain_corpus)
 from repro.workloads.generators import (chain_workflow, random_edit_session,
-                                        random_workflow)
+                                        random_workflow, wide_workflow)
 from repro.workloads.traces import (clone_run, domain_run_corpus,
                                     synthetic_corpus)
 
@@ -16,5 +16,6 @@ __all__ = [
     "build_enviro_workflow", "build_fig2_pair", "build_genomics_workflow",
     "build_vis_workflow", "domain_corpus",
     "chain_workflow", "random_edit_session", "random_workflow",
+    "wide_workflow",
     "clone_run", "domain_run_corpus", "synthetic_corpus",
 ]

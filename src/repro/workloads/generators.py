@@ -15,7 +15,8 @@ from repro.evolution.actions import (Action, AddConnection, AddModule,
 from repro.evolution.vistrail import Vistrail
 from repro.workflow.spec import Module, Workflow
 
-__all__ = ["random_workflow", "chain_workflow", "random_edit_session"]
+__all__ = ["random_workflow", "chain_workflow", "wide_workflow",
+           "random_edit_session"]
 
 
 def chain_workflow(length: int, *, work: int = 50,
@@ -31,6 +32,37 @@ def chain_workflow(length: int, *, work: int = 50,
             parameters={"work": work}))
         workflow.connect(previous[0], previous[1], stage.id, "value")
         previous = (stage.id, "value")
+    return workflow
+
+
+def wide_workflow(branches: int = 8, depth: int = 2, *,
+                  sleep: float = 0.0, work: int = 50,
+                  name: str = "wide") -> Workflow:
+    """A wide fan-out DAG: one source feeding ``branches`` parallel chains.
+
+    Each branch is an independent chain of ``depth`` stages hanging off a
+    shared source, so a parallel scheduler can overlap all branches.  With
+    ``sleep > 0`` the stages are wall-clock-bound ``Sleep`` modules (they
+    release the GIL — the substrate for scheduler speedup benchmarks);
+    otherwise they are CPU-bound ``SpinCompute`` stages.  Branch parameters
+    differ slightly per branch so no two branches share a cache signature.
+    """
+    workflow = Workflow(name)
+    source = workflow.add_module(Module("NumberConstant", name="source",
+                                        parameters={"value": 1.0}))
+    for branch in range(branches):
+        previous = (source.id, "value")
+        for stage in range(depth):
+            if sleep > 0:
+                module = workflow.add_module(Module(
+                    "Sleep", name=f"b{branch:02d}s{stage:02d}",
+                    parameters={"seconds": sleep + branch * 1e-6}))
+            else:
+                module = workflow.add_module(Module(
+                    "SpinCompute", name=f"b{branch:02d}s{stage:02d}",
+                    parameters={"work": work + branch}))
+            workflow.connect(previous[0], previous[1], module.id, "value")
+            previous = (module.id, "value")
     return workflow
 
 

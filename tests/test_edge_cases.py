@@ -128,13 +128,14 @@ class TestScriptCaptureStore:
 
 
 class TestStoreSignatureFinder:
-    def test_find_runs_by_signature(self):
+    def test_select_runs_by_signature(self):
+        from repro.storage import ProvQuery
         manager = ProvenanceManager()
         workflow = build_vis_workflow(size=8)
         run = manager.run(workflow)
         other = manager.run(build_vis_workflow(size=10))
-        found = manager.store.find_runs(
-            signature=run.workflow_signature)
+        found = [row["id"] for row in manager.select(
+            ProvQuery.runs().where(signature=run.workflow_signature))]
         assert run.id in found
         assert other.id not in found
 

@@ -1,0 +1,533 @@
+"""Tests for the ready-set scheduler: serial/parallel determinism,
+failure propagation on diamond DAGs, partial re-execution planning, and
+the thread-safety of shared engine components."""
+
+import threading
+
+import pytest
+
+from repro.core import (ProvenanceCapture, ProvenanceManager, ReplayError,
+                        compute_replay_plan)
+from repro.apps import partial_rerun, replay_invalidated
+from repro.workflow import (CacheEntry, ExecutionError, Executor, Module,
+                            ResultCache, Workflow)
+from repro.workflow.scheduler import (ReadySetScheduler, SerialBackend,
+                                      ThreadPoolBackend, make_backend)
+from repro.workloads import random_workflow, wide_workflow
+from tests.conftest import (build_chain_workflow, build_fig1_workflow,
+                            module_by_name)
+
+
+def build_diamond_workflow(fail_left: bool = False) -> Workflow:
+    """source -> (left, right) -> join; left optionally fails."""
+    workflow = Workflow("diamond")
+    source = workflow.add_module(Module("Constant", name="src",
+                                        parameters={"value": 2.0}))
+    left = workflow.add_module(Module("FailIf", name="left",
+                                      parameters={"fail": fail_left}))
+    right = workflow.add_module(Module("Scale", name="right",
+                                       parameters={"factor": 3.0}))
+    join = workflow.add_module(Module("Add", name="join"))
+    workflow.connect(source.id, "value", left.id, "value")
+    workflow.connect(source.id, "value", right.id, "value")
+    workflow.connect(left.id, "value", join.id, "a")
+    workflow.connect(right.id, "result", join.id, "b")
+    return workflow
+
+
+class TestReadySetScheduler:
+    def test_sources_ready_first_sorted(self):
+        workflow = build_diamond_workflow()
+        scheduler = ReadySetScheduler(workflow)
+        sources = scheduler.take_ready()
+        assert sources == sorted(workflow.sources())
+        assert scheduler.take_ready() == []
+
+    def test_resolution_promotes_dependents(self):
+        workflow = build_diamond_workflow()
+        scheduler = ReadySetScheduler(workflow)
+        (source_id,) = scheduler.take_ready()
+        promoted = scheduler.resolve(source_id)
+        assert sorted(promoted) == sorted(
+            workflow.successors(source_id))
+        assert not scheduler.finished()
+
+    def test_full_drive_resolves_everything(self):
+        workflow = random_workflow(modules=15, seed=7)
+        scheduler = ReadySetScheduler(workflow)
+        resolved = []
+        while not scheduler.finished():
+            batch = scheduler.take_ready()
+            assert batch, "scheduler stalled"
+            for module_id in batch:
+                scheduler.resolve(module_id)
+                resolved.append(module_id)
+        assert sorted(resolved) == sorted(workflow.modules)
+        position = {m: i for i, m in enumerate(resolved)}
+        for connection in workflow.connections.values():
+            assert (position[connection.source_module]
+                    < position[connection.target_module])
+
+    def test_double_resolution_rejected(self):
+        workflow = build_diamond_workflow()
+        scheduler = ReadySetScheduler(workflow)
+        (source_id,) = scheduler.take_ready()
+        scheduler.resolve(source_id)
+        with pytest.raises(ExecutionError):
+            scheduler.resolve(source_id)
+
+
+class TestBackends:
+    def test_make_backend_selects(self):
+        assert isinstance(make_backend(None), SerialBackend)
+        assert isinstance(make_backend(1), SerialBackend)
+        backend = make_backend(3)
+        assert isinstance(backend, ThreadPoolBackend)
+        backend.shutdown()
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ExecutionError):
+            ThreadPoolBackend(0)
+
+    def test_serial_wait_without_work_rejected(self):
+        with pytest.raises(ExecutionError):
+            SerialBackend().wait()
+
+    def test_thread_backend_runs_jobs(self):
+        backend = ThreadPoolBackend(2)
+        try:
+            for index in range(5):
+                backend.submit(f"m{index}",
+                               lambda index=index: index * 10)
+            harvested = {}
+            while backend.outstanding():
+                harvested.update(dict(backend.wait()))
+            assert harvested == {f"m{i}": i * 10 for i in range(5)}
+        finally:
+            backend.shutdown()
+
+
+def _engine_fingerprint(result):
+    """Timing-independent digest of an engine run."""
+    statuses = {m: r.status for m, r in result.results.items()}
+    hashes = {(m, port): record.value_hash
+              for m, r in result.results.items()
+              for port, record in r.outputs.items()}
+    errors = {m: r.error for m, r in result.results.items()
+              if r.status == "skipped"}
+    return statuses, hashes, errors
+
+
+def _provenance_fingerprint(run):
+    """Timing-independent digest of a captured WorkflowRun."""
+    executions = [(e.module_id, e.status,
+                   sorted((b.port, run.artifacts[b.artifact_id].value_hash)
+                          for b in e.outputs))
+                  for e in run.executions]
+    artifact_hashes = sorted(a.value_hash for a in run.artifacts.values())
+    return run.status, executions, artifact_hashes
+
+
+class TestSerialParallelDeterminism:
+    @pytest.mark.parametrize("build", [
+        lambda: build_fig1_workflow(size=8),
+        lambda: random_workflow(modules=18, width=5, seed=3, work=10),
+        lambda: wide_workflow(branches=6, depth=2, sleep=0.002),
+    ])
+    def test_results_identical_across_modes(self, registry, build):
+        workflow = build()
+        serial = Executor(registry).execute(workflow)
+        parallel = Executor(registry, workers=4).execute(workflow)
+        assert _engine_fingerprint(serial) == _engine_fingerprint(parallel)
+        assert serial.order == parallel.order
+
+    def test_captured_provenance_identical(self, registry):
+        workflow = build_fig1_workflow(size=8)
+        captures = {}
+        for workers in (None, 4):
+            capture = ProvenanceCapture(registry=registry)
+            Executor(registry, listeners=[capture],
+                     workers=workers).execute(workflow)
+            captures[workers] = capture
+        assert (_provenance_fingerprint(captures[None].last_run())
+                == _provenance_fingerprint(captures[4].last_run()))
+
+    def test_listener_events_identical_normalized(self, registry):
+        workflow = build_fig1_workflow(size=8)
+        journals = {}
+        for workers in (None, 4):
+            capture = ProvenanceCapture(registry=registry)
+            executor = Executor(registry, listeners=[capture],
+                                workers=workers)
+            result = executor.execute(workflow)
+            journals[workers] = capture.normalized_journal(result.run_id)
+        assert journals[None] == journals[4]
+
+    def test_diamond_failure_propagation_parity(self, registry):
+        workflow = build_diamond_workflow(fail_left=True)
+        serial = Executor(registry).execute(workflow)
+        parallel = Executor(registry, workers=4).execute(workflow)
+        assert _engine_fingerprint(serial) == _engine_fingerprint(parallel)
+        names = {workflow.modules[m].name: r.status
+                 for m, r in parallel.results.items()}
+        assert names == {"src": "ok", "left": "failed",
+                         "right": "ok", "join": "skipped"}
+        left = module_by_name(workflow, "left")
+        assert left.id in parallel.results[
+            module_by_name(workflow, "join").id].error
+
+    def test_wide_failure_only_kills_its_branch(self, registry):
+        workflow = wide_workflow(branches=4, depth=3, sleep=0.001)
+        bad = module_by_name(workflow, "b01s01")
+        result = Executor(registry, workers=4).execute(
+            workflow, parameter_overrides={})
+        assert result.status == "ok"
+        failing = Executor(registry, workers=4).execute(
+            workflow,
+            parameter_overrides={bad.id: {"seconds": "not-a-number"}})
+        statuses = {workflow.modules[m].name: r.status
+                    for m, r in failing.results.items()}
+        assert statuses["b01s01"] == "failed"
+        assert statuses["b01s02"] == "skipped"
+        # every other branch is untouched
+        assert all(status == "ok" for name, status in statuses.items()
+                   if not name.startswith("b01s0") and name != "source")
+
+    def test_parallel_cache_shared_safely(self, registry):
+        cache = ResultCache()
+        executor = Executor(registry, cache=cache, workers=4)
+        workflow = wide_workflow(branches=8, depth=2, sleep=0.001)
+        executor.execute(workflow)
+        second = executor.execute(workflow)
+        assert all(r.status == "cached"
+                   for r in second.results.values())
+
+
+class TestExecutorEnvironmentCache:
+    def test_probed_once_per_executor(self, registry, monkeypatch):
+        import repro.workflow.engine as engine_module
+        calls = []
+        real = engine_module.capture_environment
+        monkeypatch.setattr(engine_module, "capture_environment",
+                            lambda: calls.append(1) or real())
+        executor = Executor(registry)
+        executor.execute(build_chain_workflow(length=1))
+        executor.execute(build_chain_workflow(length=1))
+        assert len(calls) == 1
+
+    def test_refresh_reprobes(self, registry):
+        executor = Executor(registry)
+        first = executor.environment()
+        assert executor.environment() is first
+        refreshed = executor.refresh_environment()
+        assert refreshed is not first
+        assert executor.environment() is refreshed
+
+
+class TestResultCacheThreadSafety:
+    def test_concurrent_hammering_keeps_invariants(self):
+        cache = ResultCache(max_entries=64)
+        errors = []
+
+        def hammer(worker: int):
+            try:
+                for index in range(500):
+                    key = f"k{(worker * 31 + index) % 128}"
+                    cache.put(key, CacheEntry(outputs={"v": index},
+                                              output_hashes={"v": "h"}))
+                    cache.get(key)
+                    cache.get(f"k{index % 128}")
+                    len(cache)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(n,))
+                   for n in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 64
+        assert cache.stats.lookups == cache.stats.hits + cache.stats.misses
+
+
+class TestReplayPlan:
+    @pytest.fixture()
+    def recorded(self):
+        manager = ProvenanceManager()
+        workflow = build_fig1_workflow(size=8)
+        run = manager.run(workflow)
+        return manager, workflow, run
+
+    def test_parameter_change_stales_exact_cone(self, recorded):
+        manager, workflow, run = recorded
+        iso = module_by_name(workflow, "iso")
+        plan = manager.replay_plan(
+            run.id, parameter_overrides={iso.id: {"level": 50.0}})
+        stale_names = {workflow.modules[m].name for m in plan.stale}
+        assert stale_names == {"iso", "render_mesh"}
+        reused_names = {workflow.modules[m].name for m in plan.reused}
+        assert reused_names == {"load", "hist", "render_hist"}
+        assert plan.reasons[iso.id] == "parameter-change"
+
+    def test_reuse_points_at_original_executions(self, recorded):
+        manager, workflow, run = recorded
+        iso = module_by_name(workflow, "iso")
+        plan = manager.replay_plan(
+            run.id, parameter_overrides={iso.id: {"level": 50.0}})
+        originals = {e.module_id: e.id for e in run.executions}
+        for module_id, record in plan.reuse_records.items():
+            assert record.source_execution == originals[module_id]
+            assert record.outputs  # every reused module carries its values
+
+    def test_invalidated_hash_stales_consumers(self, recorded):
+        manager, workflow, run = recorded
+        load = module_by_name(workflow, "load")
+        volume = run.artifacts_for_module(load.id, "volume")
+        plan = manager.replay_plan(
+            run.id, invalidated_hashes={volume.value_hash})
+        stale_names = {workflow.modules[m].name for m in plan.stale}
+        # the producer and every consumer of the bad bytes re-execute
+        assert {"load", "hist", "iso"} <= stale_names
+        assert "render_mesh" in stale_names  # downstream cone
+
+    def test_force_stales_named_module(self, recorded):
+        manager, workflow, run = recorded
+        hist = module_by_name(workflow, "hist")
+        plan = manager.replay_plan(run.id, force=[hist.id])
+        assert plan.reasons[hist.id] == "forced"
+        stale_names = {workflow.modules[m].name for m in plan.stale}
+        assert stale_names == {"hist", "render_hist"}
+
+    def test_no_change_reuses_everything(self, recorded):
+        manager, workflow, run = recorded
+        plan = manager.replay_plan(run.id)
+        assert plan.stale == []
+        assert len(plan.reused) == len(workflow.modules)
+
+    def test_missing_values_force_full_replay(self):
+        manager = ProvenanceManager(keep_values=False)
+        workflow = build_fig1_workflow(size=8)
+        run = manager.run(workflow)
+        plan = compute_replay_plan(run)
+        assert plan.is_full_replay()
+        assert all(reason in ("missing-value", "upstream-stale")
+                   for reason in plan.reasons.values())
+
+    def test_connection_fed_changed_input_rejected(self, recorded):
+        manager, workflow, run = recorded
+        hist = module_by_name(workflow, "hist")
+        with pytest.raises(ReplayError):
+            manager.replay_plan(
+                run.id, changed_inputs={(hist.id, "volume"): None})
+
+    def test_unknown_module_rejected(self, recorded):
+        manager, _, run = recorded
+        with pytest.raises(ReplayError):
+            manager.replay_plan(run.id, force=["mod-nonexistent"])
+
+    def test_failed_run_replays_failed_modules(self, registry):
+        manager = ProvenanceManager()
+        workflow = build_diamond_workflow(fail_left=True)
+        run = manager.run(workflow)
+        assert run.status == "failed"
+        plan = manager.replay_plan(run.id)
+        stale_names = {plan.workflow.modules[m].name for m in plan.stale}
+        assert {"left", "join"} <= stale_names
+        assert {plan.workflow.modules[m].name
+                for m in plan.reused} == {"src", "right"}
+
+
+class TestManagerRerun:
+    def test_only_stale_cone_executes(self):
+        manager = ProvenanceManager()
+        workflow = build_fig1_workflow(size=8)
+        run = manager.run(workflow)
+        iso = module_by_name(workflow, "iso")
+        new_run, plan = manager.rerun(
+            run.id, parameter_overrides={iso.id: {"level": 50.0}})
+        statuses = {e.module_name: e.status for e in new_run.executions}
+        assert statuses == {"load": "cached", "hist": "cached",
+                            "render_hist": "cached", "iso": "ok",
+                            "render_mesh": "ok"}
+        executed = manager.last_engine_result.executed_modules()
+        assert {workflow.modules[m].name for m in executed} == \
+            {"iso", "render_mesh"}
+        assert new_run.tags["replay_of"] == run.id
+
+    def test_reused_executions_link_to_originals(self):
+        manager = ProvenanceManager()
+        workflow = build_fig1_workflow(size=8)
+        run = manager.run(workflow)
+        iso = module_by_name(workflow, "iso")
+        new_run, _ = manager.rerun(
+            run.id, parameter_overrides={iso.id: {"level": 50.0}})
+        originals = {e.module_id: e.id for e in run.executions}
+        for execution in new_run.executions:
+            if execution.status == "cached":
+                assert execution.cached_from == originals[
+                    execution.module_id]
+
+    def test_forced_module_recomputes_despite_result_cache(self):
+        # force=[...] must bypass the memo cache: an unchanged causal
+        # signature would otherwise serve the old result as "cached"
+        manager = ProvenanceManager()  # cache enabled (the default)
+        workflow = build_fig1_workflow(size=8)
+        run = manager.run(workflow)
+        iso = module_by_name(workflow, "iso")
+        new_run, plan = manager.rerun(run.id, force=[iso.id])
+        assert plan.reasons[iso.id] == "forced"
+        statuses = {e.module_name: e.status for e in new_run.executions}
+        assert statuses["iso"] == "ok"  # genuinely recomputed
+        assert statuses["load"] == "cached"
+
+    def test_invalidated_rerun_recomputes_despite_result_cache(self):
+        # the memo cache holds exactly the result being repudiated; an
+        # invalidation-driven replay must not serve it back
+        manager = ProvenanceManager()  # cache enabled (the default)
+        workflow = build_fig1_workflow(size=8)
+        run = manager.run(workflow)
+        iso = module_by_name(workflow, "iso")
+        mesh_hash = run.artifacts_for_module(iso.id, "mesh").value_hash
+        new_run, plan = manager.rerun(
+            run.id, invalidated_hashes={mesh_hash})
+        assert plan.stale  # iso + consumers
+        executed = set(manager.last_engine_result.executed_modules())
+        assert set(plan.stale) == executed  # genuinely recomputed
+
+    def test_replay_run_is_stored(self):
+        manager = ProvenanceManager()
+        run = manager.run(build_fig1_workflow(size=8))
+        before = len(manager.store.list_runs())
+        new_run, _ = manager.rerun(run.id)
+        assert len(manager.store.list_runs()) == before + 1
+        assert manager.get_run(new_run.id).tags["replay_of"] == run.id
+
+    def test_unchanged_outputs_hash_identical(self):
+        manager = ProvenanceManager()
+        workflow = build_fig1_workflow(size=8)
+        run = manager.run(workflow)
+        new_run, plan = manager.rerun(run.id)
+        assert plan.stale == []
+        original = {a.value_hash for a in run.artifacts.values()}
+        replayed = {a.value_hash for a in new_run.artifacts.values()}
+        assert replayed == original
+
+    def test_same_session_rerun_reuses_despite_valueless_store(self,
+                                                               tmp_path):
+        # the DocumentStore persists metadata only by default; planning
+        # must fall back to the in-session captured run, which has values
+        from repro.storage import DocumentStore
+        manager = ProvenanceManager(store=DocumentStore(tmp_path / "docs"))
+        workflow = build_fig1_workflow(size=8)
+        run = manager.run(workflow)
+        iso = module_by_name(workflow, "iso")
+        _, plan = manager.rerun(
+            run.id, parameter_overrides={iso.id: {"level": 50.0}})
+        assert len(plan.reused) == 3
+        assert len(plan.stale) == 2
+
+    def test_parallel_rerun_matches_serial(self):
+        manager = ProvenanceManager(use_cache=False)
+        workflow = build_fig1_workflow(size=8)
+        run = manager.run(workflow)
+        iso = module_by_name(workflow, "iso")
+        serial_run, _ = manager.rerun(
+            run.id, parameter_overrides={iso.id: {"level": 50.0}})
+        parallel_run, _ = manager.rerun(
+            run.id, parameter_overrides={iso.id: {"level": 50.0}},
+            workers=4)
+        assert ({e.module_name: e.status for e in serial_run.executions}
+                == {e.module_name: e.status
+                    for e in parallel_run.executions})
+
+
+class TestPartialRerunApp:
+    def test_standalone_partial_rerun(self, registry):
+        manager = ProvenanceManager()
+        workflow = build_fig1_workflow(size=8)
+        run = manager.run(workflow)
+        iso = module_by_name(workflow, "iso")
+        new_run, plan = partial_rerun(
+            run, manager.registry,
+            parameter_overrides={iso.id: {"level": 50.0}})
+        assert len(plan.stale) == 2
+        assert new_run.tags["replay_of"] == run.id
+        assert new_run.tags["replay_reused"] == 3
+
+    def test_replay_events_balanced_start_finish(self, registry):
+        manager = ProvenanceManager()
+        workflow = build_fig1_workflow(size=8)
+        run = manager.run(workflow)
+        iso = module_by_name(workflow, "iso")
+        manager.rerun(run.id, parameter_overrides={iso.id: {"level": 50.0}})
+        replay_id = manager.last_engine_result.run_id
+        events = manager.capture.normalized_journal(replay_id)
+        kinds = [event for event, _, _ in events]
+        # reused, cached and computed modules all emit start AND finish
+        assert kinds.count("module-start") == len(workflow.modules)
+        assert kinds.count("module-finish") == len(workflow.modules)
+
+    def test_replay_invalidated_repairs_affected_only(self):
+        manager = ProvenanceManager()
+        vis = build_fig1_workflow(size=8)
+        affected = manager.run(vis)
+        clean = manager.run(build_chain_workflow(length=2))
+        load = module_by_name(vis, "load")
+        volume = affected.artifacts_for_module(load.id, "volume")
+        repaired = replay_invalidated(
+            manager.store, manager.registry, volume.value_hash)
+        assert set(repaired) == {affected.id}
+        new_run, plan = repaired[affected.id]
+        assert clean.id not in repaired
+        assert new_run.tags["replay_of"] == affected.id
+        assert plan.stale  # the tainted cone actually re-executed
+
+    def test_replay_invalidated_changed_inputs_scoped_per_run(self):
+        # module ids are per-workflow-instance; a changed-input key for
+        # one run must not abort the repair of the others
+        manager = ProvenanceManager(use_cache=False)
+        first_wf = Workflow("scripted")
+        first_scale = first_wf.add_module(Module("Scale", name="s",
+                                                 parameters={"factor": 2.0}))
+        second_wf = Workflow("scripted")
+        second_scale = second_wf.add_module(Module(
+            "Scale", name="s", parameters={"factor": 2.0}))
+        first = manager.run(first_wf,
+                            inputs={(first_scale.id, "value"): 7.0})
+        manager.run(second_wf, inputs={(second_scale.id, "value"): 7.0})
+        bad = first.external_artifacts()[0].value_hash
+        repaired = replay_invalidated(
+            manager.store, manager.registry, bad,
+            changed_inputs={(first_scale.id, "value"): 9.0,
+                            (second_scale.id, "value"): 9.0})
+        assert len(repaired) == 2
+        for new_run, _ in repaired.values():
+            values = set(new_run.values.values())
+            assert 9.0 in values and 18.0 in values
+
+
+class TestSerialOrderFidelity:
+    def test_serial_timestamps_follow_canonical_order(self, registry):
+        # the serial scheduler must execute in exactly run.order, so a
+        # started-ordered reload reproduces the canonical execution list
+        for seed in range(5):
+            workflow = random_workflow(modules=16, width=4, seed=seed,
+                                       work=5)
+            result = Executor(registry).execute(workflow)
+            started = sorted(result.order,
+                             key=lambda m: (result.results[m].started,
+                                            result.results[m].execution_id))
+            assert started == result.order
+
+    def test_relational_roundtrip_preserves_parallel_order(self, tmp_path):
+        from repro.storage import RelationalStore
+        store = RelationalStore(str(tmp_path / "prov.db"))
+        manager = ProvenanceManager(store=store, use_cache=False)
+        run = manager.run(wide_workflow(branches=6, depth=2, sleep=0.002),
+                          workers=4)
+        loaded = store.load_run(run.id)
+        assert ([e.id for e in loaded.executions]
+                == [e.id for e in run.executions])
+        assert loaded.to_dict() == run.to_dict()

@@ -6,7 +6,7 @@ import pytest
 from repro.core import ProspectiveProvenance, ProvenanceCapture
 from repro.storage import (ArtifactValueStore, DocumentStore,
                            FileArtifactValueStore, MemoryStore,
-                           RelationalStore, StoreError,
+                           ProvQuery, RelationalStore, StoreError,
                            TripleProvenanceStore, TripleStore,
                            run_to_triples)
 from repro.workflow import Executor, Module, Workflow
@@ -106,37 +106,46 @@ class TestStoreConformance:
         assert found[0].author == "dana"
         assert len(store.all_annotations()) == 1
 
-    def test_find_runs_by_status(self, backend, tmp_path, captured_run):
+    def test_select_runs_by_status(self, backend, tmp_path, captured_run):
         _, run = captured_run
         store = make_store(backend, tmp_path)
         store.save_run(run)
-        assert store.find_runs(status="ok") == [run.id]
-        assert store.find_runs(status="failed") == []
-        assert store.find_runs(workflow_id=run.workflow_id) == [run.id]
 
-    def test_find_artifacts_by_hash(self, backend, tmp_path, captured_run):
+        def run_ids(**criteria):
+            return [row["id"] for row in store.select(
+                ProvQuery.runs().where(**criteria).project("id"))]
+
+        assert run_ids(status="ok") == [run.id]
+        assert run_ids(status="failed") == []
+        assert run_ids(workflow_id=run.workflow_id) == [run.id]
+
+    def test_select_artifacts_by_hash(self, backend, tmp_path,
+                                      captured_run):
         workflow, run = captured_run
         store = make_store(backend, tmp_path)
         store.save_run(run)
         load = module_by_name(workflow, "load")
         volume = run.artifacts_for_module(load.id, "volume")
-        found = store.find_artifacts_by_hash(volume.value_hash)
-        assert [(run_id, artifact.id) for run_id, artifact in found] == \
+        rows = store.select(ProvQuery.artifacts()
+                            .where(value_hash=volume.value_hash)).all()
+        assert [(row["run_id"], row["id"]) for row in rows] == \
             [(run.id, volume.id)]
 
-    def test_find_executions_by_type(self, backend, tmp_path,
-                                     captured_run):
+    def test_select_executions_by_type(self, backend, tmp_path,
+                                       captured_run):
         _, run = captured_run
         store = make_store(backend, tmp_path)
         store.save_run(run)
-        found = store.find_executions(module_type="IsosurfaceExtract")
-        assert len(found) == 1
-        found = store.find_executions(module_type="IsosurfaceExtract",
-                                      parameter=("level", 90.0))
-        assert len(found) == 1
-        found = store.find_executions(module_type="IsosurfaceExtract",
-                                      parameter=("level", 1.0))
-        assert found == []
+
+        def executions(**criteria):
+            return store.select(
+                ProvQuery.executions().where(**criteria)).all()
+
+        assert len(executions(module_type="IsosurfaceExtract")) == 1
+        assert len(executions(module_type="IsosurfaceExtract",
+                              param__level=90.0)) == 1
+        assert executions(module_type="IsosurfaceExtract",
+                          param__level=1.0) == []
 
 
 class TestRelationalSpecifics:

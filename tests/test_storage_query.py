@@ -14,7 +14,7 @@ import pytest
 from repro.core import Annotation, ProvenanceCapture, ProvenanceManager
 from repro.storage import (DocumentStore, MemoryStore, ProvQuery,
                            ProvenanceStore, QueryError, RelationalStore,
-                           ResultCursor, TripleProvenanceStore)
+                           ResultCursor, StoreError, TripleProvenanceStore)
 from repro.workflow import Executor
 from repro.workloads import clone_run
 from tests.conftest import build_fig1_workflow
@@ -323,41 +323,50 @@ class TestDocumentSidecarIndex:
         assert len(again.select(ProvQuery.runs()).all()) == len(corpus)
 
 
-class TestDeprecatedFinderShims:
-    @pytest.mark.parametrize("backend", BACKENDS)
-    def test_find_runs_still_works(self, backend, tmp_path, corpus):
-        store = make_store(backend, tmp_path, corpus)
-        with pytest.warns(DeprecationWarning):
-            found = store.find_runs(status="failed")
-        expected = [row["id"] for row in store.select(
-            ProvQuery.runs().where(status="failed"))]
-        assert found == expected
+class TestFinderShimsRemoved:
+    """The deprecated finder shims are gone; ``select`` is the only door."""
 
     @pytest.mark.parametrize("backend", BACKENDS)
-    def test_find_artifacts_by_hash_still_works(self, backend, tmp_path,
-                                                corpus):
+    def test_finders_are_gone(self, backend, tmp_path, corpus):
         store = make_store(backend, tmp_path, corpus)
-        target = next(iter(corpus[0].artifacts.values()))
-        with pytest.warns(DeprecationWarning):
-            found = store.find_artifacts_by_hash(target.value_hash)
-        assert (corpus[0].id, target.id) in [
-            (run_id, artifact.id) for run_id, artifact in found]
-        assert all(artifact.value_hash == target.value_hash
-                   for _, artifact in found)
+        for legacy in ("find_runs", "find_artifacts_by_hash",
+                       "find_executions"):
+            assert not hasattr(store, legacy)
+
+
+class TestBulkLoadRuns:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_load_runs_matches_per_run_loads(self, backend, tmp_path,
+                                             corpus):
+        store = make_store(backend, tmp_path, corpus)
+        ids = [summary.run_id for summary in store.list_runs()]
+        bulk = store.load_runs(ids)
+        assert [run.id for run in bulk] == ids
+        for run in bulk:
+            single = store.load_run(run.id)
+            assert run.to_dict() == single.to_dict()
 
     @pytest.mark.parametrize("backend", BACKENDS)
-    def test_find_executions_still_works(self, backend, tmp_path, corpus):
+    def test_load_runs_defaults_to_everything(self, backend, tmp_path,
+                                              corpus):
         store = make_store(backend, tmp_path, corpus)
-        with pytest.warns(DeprecationWarning):
-            found = store.find_executions(
-                module_type="IsosurfaceExtract", parameter=("level", 90.0))
-        assert len(found) == len(corpus)
-        assert all(execution.module_type == "IsosurfaceExtract"
-                   for _, execution in found)
-        with pytest.warns(DeprecationWarning):
-            assert store.find_executions(
-                module_type="IsosurfaceExtract",
-                parameter=("level", 1.0)) == []
+        assert ([run.id for run in store.load_runs()]
+                == [s.run_id for s in store.list_runs()])
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_load_runs_unknown_id_raises(self, backend, tmp_path, corpus):
+        store = make_store(backend, tmp_path, corpus)
+        with pytest.raises(StoreError):
+            store.load_runs([corpus[0].id, "run-missing"])
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_load_runs_preserves_request_order(self, backend, tmp_path,
+                                               corpus):
+        store = make_store(backend, tmp_path, corpus)
+        ids = [summary.run_id for summary in store.list_runs()]
+        reversed_ids = list(reversed(ids))
+        assert ([run.id for run in store.load_runs(reversed_ids)]
+                == reversed_ids)
 
 
 class TestResultCursor:
