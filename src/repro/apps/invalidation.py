@@ -5,12 +5,15 @@ head.120.vtk is found to be defective, results that depend on the scan can
 be invalidated by examining data dependencies" (§2.2).
 
 Given a bad artifact (identified by content hash, so the same bad bytes are
-found in *every* run that used them), the propagator walks data dependencies
-across a whole provenance store and reports every affected artifact, run and
-data product.  :func:`replay_invalidated` then *repairs* the damage using
+found in *every* run that used them), the propagator consults the store's
+cross-run lineage index (``ProvQuery.artifacts().downstream_of(...)``) and
+reports every affected artifact, run and data product — including runs that
+never saw the bad bytes directly but consumed data *derived* from them in
+another run.  :func:`replay_invalidated` then *repairs* the damage using
 provenance-driven partial re-execution: per affected run, only the cone
-downstream of the bad bytes recomputes, everything else is reused from the
-stored derivation record.
+downstream of the tainted bytes recomputes, everything else is reused from
+the stored derivation record.  Clean runs are never deserialized; the
+taint sweep itself is answered entirely from the index.
 """
 
 from __future__ import annotations
@@ -19,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.apps.reproduce import partial_rerun
-from repro.core.causality import causality_graph, downstream_artifacts
+from repro.core.causality import cached_causality_graph, downstream_artifacts
 from repro.core.replay import ReplayPlan
 from repro.core.retrospective import WorkflowRun
 from repro.storage.base import ProvenanceStore
@@ -60,37 +63,53 @@ class InvalidationReport:
 
 
 def invalidate_in_run(run: WorkflowRun, artifact_id: str) -> Set[str]:
-    """Artifacts in ``run`` downstream of (depending on) ``artifact_id``."""
-    graph = causality_graph(run, include_derivations=False)
+    """Artifacts in ``run`` downstream of (depending on) ``artifact_id``.
+
+    Uses the memoized causality graph, so sweeping many seeds over the
+    same run builds the graph once.
+    """
+    graph = cached_causality_graph(run, include_derivations=False)
     return downstream_artifacts(graph, artifact_id)
+
+
+def _tainted_rows(store: ProvenanceStore,
+                  bad_hash: str) -> Dict[str, List[Tuple[str, str]]]:
+    """run id -> tainted ``(artifact_id, value_hash)`` pairs.
+
+    Two index-only selects: the seed occurrences of the bad bytes, and
+    the cross-run transitive closure of everything derived from them.
+    No run is deserialized.
+    """
+    tainted: Dict[str, List[Tuple[str, str]]] = {}
+    for query in (ProvQuery.artifacts().where(value_hash=bad_hash),
+                  ProvQuery.artifacts().downstream_of(bad_hash)):
+        for row in store.select(query.project("run_id", "id",
+                                              "value_hash")):
+            tainted.setdefault(row["run_id"], []).append(
+                (row["id"], row["value_hash"]))
+    return tainted
 
 
 def invalidate_by_hash(store: ProvenanceStore,
                        bad_hash: str) -> InvalidationReport:
     """Propagate invalidation of a content hash across every stored run.
 
-    The hash lookup is pushed down to the store's index via ``select``, so
-    only runs that actually touched the bad bytes are deserialized for the
-    dependency walk; clean runs are never loaded.
+    The sweep is answered from the store's cross-run lineage index: the
+    downstream closure of the bad bytes follows derivations *through*
+    runs (a run that consumed data derived elsewhere from the bad scan is
+    affected too, even though it never contained the bad hash itself).
+    Clean runs are never deserialized; affected runs are bulk-loaded only
+    to classify their final data products.
     """
     report = InvalidationReport(bad_hash=bad_hash)
-    seeds_by_run: Dict[str, List[str]] = {}
-    for row in store.select(ProvQuery.artifacts()
-                            .where(value_hash=bad_hash)
-                            .project("run_id", "id")):
-        seeds_by_run.setdefault(row["run_id"], []).append(row["id"])
-    for summary in store.list_runs():
-        seeds = seeds_by_run.get(summary.run_id)
-        if not seeds:
-            report.clean_runs.append(summary.run_id)
-            continue
-        run = store.load_run(summary.run_id)
-        tainted: Set[str] = set(seeds)
-        for seed in seeds:
-            tainted |= invalidate_in_run(run, seed)
-        report.affected_runs[run.id] = sorted(tainted)
+    tainted = _tainted_rows(store, bad_hash)
+    report.clean_runs = [summary.run_id for summary in store.list_runs()
+                         if summary.run_id not in tainted]
+    for run in store.load_runs(sorted(tainted)):
+        ids = {artifact_id for artifact_id, _ in tainted[run.id]}
+        report.affected_runs[run.id] = sorted(ids)
         final_ids = {artifact.id for artifact in run.final_artifacts()}
-        report.affected_products[run.id] = sorted(tainted & final_ids)
+        report.affected_products[run.id] = sorted(ids & final_ids)
     return report
 
 
@@ -101,28 +120,31 @@ def replay_invalidated(store: ProvenanceStore, registry: ModuleRegistry,
                        ) -> Dict[str, Tuple[WorkflowRun, ReplayPlan]]:
     """Repair every run tainted by ``bad_hash`` via partial re-execution.
 
-    For each affected run, a replay plan marks the modules that touched the
-    bad bytes (and their downstream cones) stale; only those re-execute,
-    with corrected values supplied through ``changed_inputs`` where the bad
-    data entered as an external input.  ``changed_inputs`` keys are
-    ``(module_id, port)``; module ids are per-workflow-instance, so each
-    key is applied only to the run(s) containing that module and ignored
-    elsewhere.  Repaired runs are stored alongside the originals (tagged
-    ``replay_of``), so both derivations stay queryable.  Clean runs are
-    never loaded, let alone re-executed.
+    Affected runs come from the store's cross-run lineage index — runs
+    holding the bad bytes *or* anything transitively derived from them in
+    any stored run.  For each one, a replay plan marks the modules that
+    touched tainted bytes (and their downstream cones) stale; only those
+    re-execute, with corrected values supplied through ``changed_inputs``
+    where the bad data entered as an external input.  ``changed_inputs``
+    keys are ``(module_id, port)``; module ids are per-workflow-instance,
+    so each key is applied only to the run(s) containing that module and
+    ignored elsewhere.  Repaired runs are stored alongside the originals
+    (tagged ``replay_of``), so both derivations stay queryable.  Clean
+    runs are never loaded, let alone re-executed.
 
     Returns ``{original_run_id: (repaired_run, plan)}``.
     """
-    affected = sorted({row["run_id"] for row in store.select(
-        ProvQuery.artifacts().where(value_hash=bad_hash)
-        .project("run_id"))})
+    tainted = _tainted_rows(store, bad_hash)
+    tainted_hashes = {bad_hash} | {value_hash
+                                   for rows in tainted.values()
+                                   for _, value_hash in rows}
     repaired: Dict[str, Tuple[WorkflowRun, ReplayPlan]] = {}
-    for run in store.load_runs(affected):
+    for run in store.load_runs(sorted(tainted)):
         run_modules = {execution.module_id for execution in run.executions}
         relevant = {key: value
                     for key, value in (changed_inputs or {}).items()
                     if key[0] in run_modules}
         repaired[run.id] = partial_rerun(
-            run, registry, invalidated_hashes={bad_hash},
+            run, registry, invalidated_hashes=tainted_hashes,
             changed_inputs=relevant, store=store, workers=workers)
     return repaired

@@ -13,6 +13,9 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
                                     # ProvQuery select over stored runs
     python -m repro rerun --level 55 --workers 4
                                     # provenance-driven partial re-execution
+    python -m repro lineage --demo 3           # cross-run ancestry of a
+                                    # demo product, from the lineage index
+    python -m repro lineage <hash> --down --depth 2
 """
 
 from __future__ import annotations
@@ -154,6 +157,51 @@ def _cmd_runs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lineage(args: argparse.Namespace) -> int:
+    from repro.analytics import ascii_table
+    from repro.core import ProvenanceManager
+    from repro.workloads import build_vis_workflow
+
+    manager = ProvenanceManager()
+    last = None
+    for _ in range(args.demo):
+        # identical parameters on purpose: repeated runs share content
+        # hashes, which is exactly what cross-run lineage joins on
+        last = manager.run(build_vis_workflow(size=args.size))
+    key = args.key
+    if not key:
+        if last is None:
+            print("no key given and --demo 0: nothing to trace",
+                  file=sys.stderr)
+            return 2
+        if args.down:
+            # descendants demo: start from a produced artifact that some
+            # later stage actually consumed
+            consumed = {binding.artifact_id
+                        for execution in last.executions
+                        for binding in execution.inputs}
+            key = next(
+                (last.artifacts[binding.artifact_id].value_hash
+                 for execution in last.executions
+                 for binding in execution.outputs
+                 if binding.artifact_id in consumed),
+                last.final_artifacts()[0].value_hash)
+        else:
+            key = last.final_artifacts()[0].value_hash
+    direction = "down" if args.down else "up"
+    rows = manager.lineage(key, direction=direction,
+                           max_depth=args.depth or None)
+    shown = [{"run_id": row["run_id"], "id": row["id"],
+              "type": row["type_name"],
+              "value_hash": row["value_hash"][:16]} for row in rows]
+    if shown:
+        print(ascii_table(shown))
+    arrow = "derived from" if direction == "up" else "derived into"
+    print(f"{key[:16]}... {arrow} {len(rows)} artifacts "
+          f"across {len({row['run_id'] for row in rows})} runs")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -224,6 +272,24 @@ def build_parser() -> argparse.ArgumentParser:
     runs.add_argument("--offset", type=int, default=0,
                       help="rows to skip")
     runs.set_defaults(handler=_cmd_runs)
+
+    lineage = subparsers.add_parser(
+        "lineage", help="trace cross-run ancestry of a value hash (or "
+                        "artifact id) through the store's lineage index")
+    lineage.add_argument("key", nargs="?", default="",
+                         help="value hash or artifact id (default: a "
+                              "final product of the last demo run)")
+    lineage.add_argument("--demo", type=int, default=3,
+                         help="how many demo runs to execute first")
+    lineage.add_argument("--size", type=int, default=12,
+                         help="demo volume edge length")
+    lineage.add_argument("--down", action="store_true",
+                         help="trace downstream (descendants) instead of "
+                              "upstream (ancestors)")
+    lineage.add_argument("--depth", type=int, default=0,
+                         help="bound the traversal in derivation hops "
+                              "(0 = unbounded)")
+    lineage.set_defaults(handler=_cmd_lineage)
     return parser
 
 

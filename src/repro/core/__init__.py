@@ -9,9 +9,10 @@ from repro.core.annotations import (ANNOTATABLE_KINDS, Annotation,
                                     AnnotationStore)
 from repro.core.capture import (CaptureEvent, ProvenanceCapture,
                                 ScriptCapture, run_from_result)
-from repro.core.causality import (artifacts_affected_by, causality_graph,
-                                  data_dependencies, derivation_paths,
-                                  downstream_artifacts,
+from repro.core.causality import (artifacts_affected_by,
+                                  cached_causality_graph, causality_graph,
+                                  clear_causality_cache, data_dependencies,
+                                  derivation_paths, downstream_artifacts,
                                   downstream_executions, upstream_artifacts,
                                   upstream_executions)
 from repro.core.graph import Edge, ProvGraph
@@ -25,7 +26,8 @@ from repro.core.xmlprov import run_from_xml, run_to_xml
 __all__ = [
     "ANNOTATABLE_KINDS", "Annotation", "AnnotationStore",
     "CaptureEvent", "ProvenanceCapture", "ScriptCapture", "run_from_result",
-    "artifacts_affected_by", "causality_graph", "data_dependencies",
+    "artifacts_affected_by", "cached_causality_graph", "causality_graph",
+    "clear_causality_cache", "data_dependencies",
     "derivation_paths", "downstream_artifacts", "downstream_executions",
     "upstream_artifacts", "upstream_executions",
     "Edge", "ProvGraph",

@@ -21,8 +21,9 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.core.prospective import ProspectiveProvenance
 from repro.core.retrospective import (DataArtifact, ModuleExecution,
@@ -47,6 +48,33 @@ class CaptureEvent:
     run_id: str
     subject: str = ""
     detail: str = ""
+
+
+#: Beyond this many characters/items, ``repr`` is estimated, not computed.
+_SIZE_HINT_CAP = 1 << 16
+
+
+def _size_hint(value: Any) -> int:
+    """Approximate size of a value (its repr length) for overload stats.
+
+    Small values report ``len(repr(value))`` exactly, as before.  Large
+    strings and containers are *estimated* from their length instead —
+    capture sits on the engine's hot path, and paying an O(size) repr of a
+    multi-megabyte value just to measure it dominated capture overhead.
+    """
+    if value is None:
+        return 0
+    if isinstance(value, (str, bytes, bytearray)):
+        length = len(value)
+        return length + 2 if length > _SIZE_HINT_CAP else len(repr(value))
+    try:
+        length = len(value)
+    except TypeError:
+        return len(repr(value))
+    if length > _SIZE_HINT_CAP:
+        # rough per-item repr estimate; the field is documented as a hint
+        return length * 8
+    return len(repr(value))
 
 
 def run_from_result(result: RunResult, *,
@@ -76,7 +104,7 @@ def run_from_result(result: RunResult, *,
         artifacts[artifact_id] = DataArtifact(
             id=artifact_id, value_hash=value_hash, type_name=type_name,
             created_by=created_by, role=role,
-            size_hint=len(repr(value)) if value is not None else 0)
+            size_hint=_size_hint(value))
         by_hash[value_hash] = artifact_id
         if keep_values:
             values[artifact_id] = value
@@ -178,9 +206,16 @@ class ProvenanceCapture(ExecutionListener):
         self.store = store
         self.keep_values = keep_values
         self.runs: List[WorkflowRun] = []
-        self.journal: List[CaptureEvent] = []
-        self.journal_limit = journal_limit
+        # bounded deque: appends beyond the limit evict the oldest entry
+        # in O(1) instead of an O(n) slice-delete per overflow
+        self.journal: Deque[CaptureEvent] = deque(maxlen=journal_limit)
+        self._runs_by_id: Dict[str, WorkflowRun] = {}
         self._lock = threading.Lock()
+
+    @property
+    def journal_limit(self) -> int:
+        """The journal's retention bound (the deque's maxlen)."""
+        return self.journal.maxlen
 
     # -- ExecutionListener ------------------------------------------------
     def on_run_start(self, run_id: str, workflow: Workflow,
@@ -208,6 +243,7 @@ class ProvenanceCapture(ExecutionListener):
             # not themselves thread-safe (e.g. sqlite3 connections), so a
             # shared capture must serialize saves from concurrent runs
             self.runs.append(run)
+            self._runs_by_id[run.id] = run
             if self.store is not None:
                 self.store.save_run(run)
         self._journal(CaptureEvent(time.time(), "run-finish", result.run_id,
@@ -219,8 +255,9 @@ class ProvenanceCapture(ExecutionListener):
         return self.runs[-1]
 
     def run_by_id(self, run_id: str) -> Optional[WorkflowRun]:
-        """A captured run by id, or None."""
-        return next((r for r in self.runs if r.id == run_id), None)
+        """A captured run by id, or None — an O(1) index lookup."""
+        with self._lock:
+            return self._runs_by_id.get(run_id)
 
     def normalized_journal(self, run_id: str) -> List[Tuple[str, str, str]]:
         """One run's events as (event, subject, detail), timing-normalized.
@@ -240,8 +277,6 @@ class ProvenanceCapture(ExecutionListener):
     def _journal(self, event: CaptureEvent) -> None:
         with self._lock:
             self.journal.append(event)
-            if len(self.journal) > self.journal_limit:
-                del self.journal[:len(self.journal) - self.journal_limit]
 
 
 class ScriptCapture:
@@ -291,7 +326,7 @@ class ScriptCapture:
             artifacts[artifact_id] = DataArtifact(
                 id=artifact_id, value_hash=hash_value(value),
                 type_name="Any", created_by=created_by, role=role,
-                size_hint=len(repr(value)))
+                size_hint=_size_hint(value))
             values[artifact_id] = value
             return artifact_id
 

@@ -13,6 +13,7 @@ layer wants library algorithms.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import (Any, Callable, Dict, Iterable, Iterator, List, Optional,
                     Set, Tuple)
@@ -195,37 +196,46 @@ class ProvGraph:
         return sorted(found)
 
     def subgraph(self, node_ids: Iterable[str]) -> "ProvGraph":
-        """Induced subgraph on ``node_ids``."""
-        keep = set(node_ids)
+        """Induced subgraph on ``node_ids``.
+
+        Only the kept nodes' out-edge lists are scanned — the cost tracks
+        the subgraph, not the whole graph's edge count.
+        """
+        ordered_keep = list(dict.fromkeys(node_ids))
+        keep = set(ordered_keep)
         result = ProvGraph()
-        for node_id in keep:
+        for node_id in ordered_keep:
             if node_id in self._nodes:
                 attrs = dict(self._nodes[node_id])
                 kind = attrs.pop("kind")
                 result.add_node(node_id, kind, **attrs)
-        for edge in self.edges():
-            if edge.src in keep and edge.dst in keep:
-                result.add_edge(edge.src, edge.dst, edge.label,
-                                **dict(edge.attrs))
+        for node_id in ordered_keep:
+            for edge in self._out.get(node_id, ()):
+                if edge.dst in keep:
+                    result.add_edge(edge.src, edge.dst, edge.label,
+                                    **dict(edge.attrs))
         return result
 
     def topological_order(self) -> List[str]:
-        """Topological order of all nodes (raises ValueError on cycles)."""
+        """Topological order of all nodes (raises ValueError on cycles).
+
+        Kahn's algorithm with a heap-backed ready set: ties break on the
+        smallest node id (same order as the previous insertion-sorted
+        list) at O(E log V) instead of O(V²).
+        """
         in_degree = {node_id: 0 for node_id in self._nodes}
         for edge in self.edges():
             in_degree[edge.dst] += 1
-        ready = sorted(n for n, d in in_degree.items() if d == 0)
+        ready = [n for n, d in in_degree.items() if d == 0]
+        heapq.heapify(ready)
         order: List[str] = []
         while ready:
-            current = ready.pop(0)
+            current = heapq.heappop(ready)
             order.append(current)
             for edge in self._out.get(current, ()):
                 in_degree[edge.dst] -= 1
                 if in_degree[edge.dst] == 0:
-                    index = 0
-                    while index < len(ready) and ready[index] < edge.dst:
-                        index += 1
-                    ready.insert(index, edge.dst)
+                    heapq.heappush(ready, edge.dst)
         if len(order) != len(self._nodes):
             raise ValueError("graph contains a cycle")
         return order

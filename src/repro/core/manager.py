@@ -209,11 +209,40 @@ class ProvenanceManager:
 
     def causality(self, run_or_id: Any, *,
                   include_derivations: bool = True) -> ProvGraph:
-        """Causality graph of a run (accepts a run object or an id)."""
+        """Causality graph of a run (accepts a run object or an id).
+
+        Returns a fresh, caller-owned graph; read-only repeated queries
+        inside the system use the memoized
+        :func:`~repro.core.causality.cached_causality_graph` instead.
+        """
         run = (run_or_id if isinstance(run_or_id, WorkflowRun)
                else self.get_run(run_or_id))
         return causality_graph(run,
                                include_derivations=include_derivations)
+
+    def lineage(self, key: str, *, direction: str = "up",
+                max_depth: Optional[int] = None,
+                within_runs: Optional[List[str]] = None
+                ) -> List[Dict[str, Any]]:
+        """Cross-run ancestry of a value hash (or artifact id).
+
+        ``direction="up"`` returns the artifacts the given one was
+        transitively derived from, ``"down"`` everything derived from it —
+        in *any* stored run, joined on content hashes through the store's
+        lineage index (no run is deserialized by index-backed stores).
+        Rows are canonical artifact dicts sorted by (run_id, id).
+        """
+        query = ProvQuery.artifacts()
+        if direction in ("up", "upstream"):
+            query = query.upstream_of(key, max_depth=max_depth,
+                                      within_runs=within_runs)
+        elif direction in ("down", "downstream"):
+            query = query.downstream_of(key, max_depth=max_depth,
+                                        within_runs=within_runs)
+        else:
+            raise ValueError(f"direction must be 'up' or 'down', "
+                             f"not {direction!r}")
+        return self.store.select(query.order_by("run_id", "id")).all()
 
     # -- annotations -------------------------------------------------------
     def annotate(self, target_kind: str, target_id: str, key: str,

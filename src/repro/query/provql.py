@@ -42,7 +42,8 @@ import re
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.core.causality import (causality_graph, downstream_artifacts,
+from repro.core.causality import (cached_causality_graph,
+                                  downstream_artifacts,
                                   upstream_artifacts)
 from repro.core.retrospective import DataArtifact, ModuleExecution, WorkflowRun
 
@@ -309,7 +310,8 @@ def evaluate(query: Query, run: WorkflowRun) -> Any:
         result = _apply_conditions(rows, query.conditions)
     elif query.command in ("UPSTREAM", "DOWNSTREAM"):
         artifact_id = _resolve_artifact(run, query.subject)
-        graph = causality_graph(run, include_derivations=False)
+        graph = cached_causality_graph(run,
+                                       include_derivations=False)
         closure = (upstream_artifacts(graph, artifact_id)
                    if query.command == "UPSTREAM"
                    else downstream_artifacts(graph, artifact_id))
@@ -318,7 +320,8 @@ def evaluate(query: Query, run: WorkflowRun) -> Any:
         result = _apply_conditions(rows, query.conditions)
     elif query.command == "LINEAGE":
         artifact_id = _resolve_artifact(run, query.subject)
-        graph = causality_graph(run, include_derivations=False)
+        graph = cached_causality_graph(run,
+                                       include_derivations=False)
         reached = graph.reachable(artifact_id,
                                   labels={"used", "wasGeneratedBy"})
         result = {
@@ -331,7 +334,8 @@ def evaluate(query: Query, run: WorkflowRun) -> Any:
     elif query.command == "PATHS":
         source = _resolve_artifact(run, query.subject)
         target = _resolve_artifact(run, query.target)
-        graph = causality_graph(run, include_derivations=False)
+        graph = cached_causality_graph(run,
+                                       include_derivations=False)
         result = graph.paths(source, target,
                              labels={"used", "wasGeneratedBy"})
     else:  # pragma: no cover - parser prevents this

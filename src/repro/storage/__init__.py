@@ -10,10 +10,14 @@ content-addressed store.
 """
 
 from repro.storage.artifacts import ArtifactValueStore, FileArtifactValueStore
-from repro.storage.base import ProvenanceStore, RunSummary, StoreError
+from repro.storage.base import (ProvenanceStore, RunSummary, StoreError,
+                                generic_lineage_hashes)
 from repro.storage.documents import DocumentStore
+from repro.storage.lineage import (LineageEdge, LineageIndex, hash_closure,
+                                   lineage_edges)
 from repro.storage.memory import MemoryStore
-from repro.storage.query import (Filter, ProvQuery, QueryError, ResultCursor)
+from repro.storage.query import (Filter, LineageClause, ProvQuery,
+                                 QueryError, ResultCursor)
 from repro.storage.relational import RelationalStore
 from repro.storage.triples import (PROV, TripleProvenanceStore, TripleStore,
                                    run_from_triples, run_to_triples)
@@ -21,7 +25,9 @@ from repro.storage.triples import (PROV, TripleProvenanceStore, TripleStore,
 __all__ = [
     "ArtifactValueStore", "FileArtifactValueStore",
     "ProvenanceStore", "RunSummary", "StoreError",
-    "Filter", "ProvQuery", "QueryError", "ResultCursor",
+    "generic_lineage_hashes",
+    "Filter", "LineageClause", "ProvQuery", "QueryError", "ResultCursor",
+    "LineageEdge", "LineageIndex", "hash_closure", "lineage_edges",
     "DocumentStore", "MemoryStore", "RelationalStore",
     "PROV", "TripleProvenanceStore", "TripleStore",
     "run_from_triples", "run_to_triples",

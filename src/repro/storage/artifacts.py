@@ -8,9 +8,10 @@ directory on disk.
 
 from __future__ import annotations
 
+import os
 import pickle
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Union
 
 from repro.identity import hash_value
 
@@ -92,5 +93,27 @@ class FileArtifactValueStore:
         path.unlink()
         return True
 
+    def _scan_shards(self) -> Iterator[os.DirEntry]:
+        """Every ``.pkl`` entry across the shard directories.
+
+        ``os.scandir`` walks the two-level tree without the pattern
+        matching and per-entry Path construction of a recursive glob.
+        """
+        with os.scandir(self.root) as shards:
+            for shard in shards:
+                if not shard.is_dir():
+                    continue
+                with os.scandir(shard.path) as entries:
+                    for entry in entries:
+                        if entry.name.endswith(".pkl"):
+                            yield entry
+
+    def hashes(self) -> Iterator[str]:
+        """All stored hashes (sorted) — parity with
+        :class:`ArtifactValueStore`."""
+        found: List[str] = [entry.name[:-len(".pkl")]
+                            for entry in self._scan_shards()]
+        return iter(sorted(found))
+
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*/*.pkl"))
+        return sum(1 for _ in self._scan_shards())

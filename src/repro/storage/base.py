@@ -33,11 +33,40 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional
 from repro.core.annotations import Annotation
 from repro.core.prospective import ProspectiveProvenance
 from repro.core.retrospective import WorkflowRun
-from repro.storage.query import (ProvQuery, ResultCursor, annotation_row,
-                                 artifact_row, evaluate_rows, execution_row,
-                                 run_row)
+from repro.storage.lineage import LineageIndex
+from repro.storage.query import (LineageClause, ProvQuery, ResultCursor,
+                                 annotation_row, artifact_row,
+                                 evaluate_rows, execution_row,
+                                 restrict_to_hashes, run_row)
 
-__all__ = ["ProvenanceStore", "StoreError", "RunSummary"]
+__all__ = ["ProvenanceStore", "StoreError", "RunSummary",
+           "generic_lineage_hashes"]
+
+
+def generic_lineage_hashes(store: "ProvenanceStore",
+                           clause: LineageClause) -> frozenset:
+    """Load-and-traverse lineage closure — the correctness oracle.
+
+    Deserializes every stored run, rebuilds the cross-run
+    :class:`~repro.storage.lineage.LineageIndex` from scratch, resolves the
+    clause key (artifact id first, value hash otherwise) and walks the
+    closure in Python.  Backends answer the same question from a
+    persistent index; this function defines what they must return — and is
+    the slow baseline the lineage benchmark measures them against.
+    """
+    index = LineageIndex()
+    seeds = set()
+    for summary in store.list_runs():
+        run = store.load_run(summary.run_id)
+        index.add_run(run)
+        artifact = run.artifacts.get(clause.key)
+        if artifact is not None:
+            seeds.add(artifact.value_hash)
+    if not seeds:
+        seeds = {clause.key}
+    return frozenset(index.closure(seeds, direction=clause.direction,
+                                   max_depth=clause.max_depth,
+                                   within_runs=clause.within_runs))
 
 
 class StoreError(Exception):
@@ -152,10 +181,16 @@ class ProvenanceStore(ABC):
 
         This generic implementation deserializes every stored run and
         evaluates the query in Python — it is the correctness oracle the
-        backend-native pushdown implementations are tested against.
+        backend-native pushdown implementations are tested against.  A
+        lineage clause is likewise evaluated the slow generic way, via
+        :func:`generic_lineage_hashes` (never a backend's native index,
+        even when called unbound on a backend instance).
         """
-        return ResultCursor(evaluate_rows(self._generic_rows(query.entity),
-                                          query))
+        rows: Iterable[Dict[str, Any]] = self._generic_rows(query.entity)
+        if query.lineage is not None:
+            rows = restrict_to_hashes(
+                rows, generic_lineage_hashes(self, query.lineage))
+        return ResultCursor(evaluate_rows(rows, query))
 
     def _generic_rows(self, entity: str) -> Iterator[Dict[str, Any]]:
         """Every row of one entity kind, built from full deserialization."""

@@ -25,16 +25,19 @@ import copy
 import json
 import pickle
 from pathlib import Path
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
+from typing import (Any, Dict, Iterable, Iterator, List, Optional, Tuple,
+                    Union)
 
 from repro.core.annotations import Annotation
 from repro.core.prospective import ProspectiveProvenance
 from repro.core.retrospective import WorkflowRun
 from repro.storage.base import ProvenanceStore, RunSummary, StoreError
-from repro.storage.query import (ProvQuery, ResultCursor, annotation_row,
-                                 apply_filters, apply_ordering,
-                                 apply_window, artifact_row, execution_row,
-                                 project_rows, run_row)
+from repro.storage.lineage import LineageIndex, lineage_edges
+from repro.storage.query import (LineageClause, ProvQuery, ResultCursor,
+                                 annotation_row, apply_filters,
+                                 apply_ordering, apply_window, artifact_row,
+                                 execution_row, project_rows,
+                                 restrict_to_hashes, run_row)
 
 __all__ = ["DocumentStore"]
 
@@ -63,6 +66,11 @@ class DocumentStore(ProvenanceStore):
         self._index: Optional[Dict[str, Dict[str, Any]]] = None
         self._index_dirty = False
         self._index_writable = True
+        # adjacency view over the sidecar's cached derivation edges,
+        # rebuilt only after the entry set changes (saves, deletes,
+        # stamp-detected external rewrites)
+        self._lineage_cache: Optional[
+            Tuple[LineageIndex, Dict[str, set]]] = None
 
     # -- runs -----------------------------------------------------------
     # index persistence is write-behind: saves update the in-memory index
@@ -73,6 +81,7 @@ class DocumentStore(ProvenanceStore):
         self._write_run_document(run)
         self._load_index()[run.id] = self._index_entry(run)
         self._index_dirty = True
+        self._lineage_cache = None
 
     def save_runs(self, runs: Iterable[WorkflowRun]) -> int:
         """Bulk ingest: write every document, then one index rewrite."""
@@ -83,6 +92,7 @@ class DocumentStore(ProvenanceStore):
             index[run.id] = self._index_entry(run)
             count += 1
         self._index_dirty = True
+        self._lineage_cache = None
         self._flush_index()
         return count
 
@@ -136,6 +146,7 @@ class DocumentStore(ProvenanceStore):
             value_dir.rmdir()
         if self._load_index().pop(run_id, None) is not None:
             self._index_dirty = True
+            self._lineage_cache = None
         return True
 
     # -- workflows -------------------------------------------------------
@@ -232,6 +243,12 @@ class DocumentStore(ProvenanceStore):
                            for execution in run.executions],
             "artifacts": [artifact_row(run.id, artifact)
                           for artifact in run.artifacts.values()],
+            # (derived_hash, source_hash, execution_id) derivation edges;
+            # the run id is the entry key.  Lineage queries traverse these
+            # cached edges, never the documents.
+            "lineage": [[edge.derived_hash, edge.source_hash,
+                         edge.execution_id]
+                        for edge in lineage_edges(run)],
         }))
 
     def _synced_index(self) -> Dict[str, Dict[str, Any]]:
@@ -249,20 +266,23 @@ class DocumentStore(ProvenanceStore):
             if run_id not in on_disk:
                 del index[run_id]
                 self._index_dirty = True
+                self._lineage_cache = None
         for run_id, path in on_disk.items():
             stamp = self._stamp(path)
             entry = index.get(run_id)
             # malformed entries (truncated index, hand edits) count as
-            # stale and are rebuilt from the document
+            # stale and are rebuilt from the document — as do entries
+            # written before the lineage edges were indexed
             if (isinstance(entry, dict) and entry.get("stamp") == stamp
                     and all(key in entry
                             for key in ("run", "executions",
-                                        "artifacts"))):
+                                        "artifacts", "lineage"))):
                 continue
             run = WorkflowRun.from_dict(json.loads(path.read_text()))
             index[run_id] = self._index_entry(run)
             index[run_id]["stamp"] = stamp
             self._index_dirty = True
+            self._lineage_cache = None
         self._flush_index()
         return index
 
@@ -272,11 +292,15 @@ class DocumentStore(ProvenanceStore):
 
         Run, execution and artifact rows come straight out of the index —
         full run documents are parsed only when their stamp changed since
-        they were last indexed.  Annotation documents are small and read
-        directly.
+        they were last indexed.  Lineage clauses traverse the derivation
+        edges cached per index entry, so ancestry queries never parse a
+        document either.  Annotation documents are small and read directly.
         """
-        matched = list(apply_filters(self._indexed_rows(query.entity),
-                                     query.filters))
+        rows = self._indexed_rows(query.entity)
+        if query.lineage is not None:
+            rows = restrict_to_hashes(rows,
+                                      self._lineage_hashes(query.lineage))
+        matched = list(apply_filters(rows, query.filters))
         ordered = apply_ordering(matched, query)
         windowed = apply_window(ordered, query)
         # deep-copy only the rows that survive the window: result rows
@@ -286,6 +310,33 @@ class DocumentStore(ProvenanceStore):
         # O(all rows) per query regardless of selectivity
         safe = [copy.deepcopy(row) for row in windowed]
         return ResultCursor(project_rows(safe, query.fields))
+
+    def _lineage_hashes(self, clause: LineageClause) -> set:
+        """Closure hashes for one clause, from the cached sidecar edges."""
+        index, hashes_by_id = self._lineage_view()
+        seeds = set(hashes_by_id.get(clause.key, ()) or (clause.key,))
+        return index.closure(seeds, direction=clause.direction,
+                             max_depth=clause.max_depth,
+                             within_runs=clause.within_runs)
+
+    def _lineage_view(self) -> Tuple[LineageIndex, Dict[str, set]]:
+        """The adjacency index plus an id→hashes seed-resolution map.
+
+        Built once from the synced sidecar entries and reused until any
+        entry changes — syncing first guarantees external edits
+        invalidate the cache through their stamp mismatch.
+        """
+        entries = self._synced_index()
+        if self._lineage_cache is None:
+            index = LineageIndex()
+            hashes_by_id: Dict[str, set] = {}
+            for run_id, entry in entries.items():
+                index.add_edge_tuples(run_id, entry["lineage"])
+                for row in entry["artifacts"]:
+                    hashes_by_id.setdefault(row["id"],
+                                            set()).add(row["value_hash"])
+            self._lineage_cache = (index, hashes_by_id)
+        return self._lineage_cache
 
     def _indexed_rows(self, entity: str) -> Iterator[Dict[str, Any]]:
         """Raw (index-aliased) rows — callers must copy before exposing."""

@@ -2,15 +2,17 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List
+from typing import Any, Dict, Iterable, Iterator, List, Set
 
 from repro.core.annotations import Annotation
 from repro.core.prospective import ProspectiveProvenance
 from repro.core.retrospective import WorkflowRun
 from repro.storage.base import ProvenanceStore, RunSummary, StoreError
-from repro.storage.query import (ProvQuery, ResultCursor, annotation_row,
-                                 artifact_row, evaluate_rows, execution_row,
-                                 run_row)
+from repro.storage.lineage import LineageIndex
+from repro.storage.query import (LineageClause, ProvQuery, ResultCursor,
+                                 annotation_row, artifact_row,
+                                 evaluate_rows, execution_row,
+                                 restrict_to_hashes, run_row)
 
 __all__ = ["MemoryStore"]
 
@@ -27,10 +29,15 @@ class MemoryStore(ProvenanceStore):
         self._runs: Dict[str, WorkflowRun] = {}
         self._workflows: Dict[str, ProspectiveProvenance] = {}
         self._annotations: List[Annotation] = []
+        # cross-run derivation-edge index, maintained on every save/delete
+        # (a run mutated in place after saving must be re-saved to refresh
+        # its edges, same as any other backend)
+        self._lineage = LineageIndex()
 
     # -- runs -----------------------------------------------------------
     def save_run(self, run: WorkflowRun) -> None:
         self._runs[run.id] = run
+        self._lineage.add_run(run)
 
     def has_run(self, run_id: str) -> bool:
         return run_id in self._runs
@@ -49,7 +56,10 @@ class MemoryStore(ProvenanceStore):
         return sorted(summaries, key=lambda s: (s.started, s.run_id))
 
     def delete_run(self, run_id: str) -> bool:
-        return self._runs.pop(run_id, None) is not None
+        if self._runs.pop(run_id, None) is None:
+            return False
+        self._lineage.remove_run(run_id)
+        return True
 
     # -- workflows -------------------------------------------------------
     def save_workflow(self, prospective: ProspectiveProvenance) -> None:
@@ -79,8 +89,25 @@ class MemoryStore(ProvenanceStore):
     # -- pushed-down select -----------------------------------------------
     def select(self, query: ProvQuery) -> ResultCursor:
         """Evaluate ``query`` by scanning the in-process dicts directly
-        (no summary/load indirection, no copying)."""
-        return ResultCursor(evaluate_rows(self._scan(query.entity), query))
+        (no summary/load indirection, no copying).  Lineage clauses walk
+        the incrementally-maintained :class:`LineageIndex` adjacency dicts
+        instead of rebuilding any graph."""
+        rows: Iterable[Dict[str, Any]] = self._scan(query.entity)
+        if query.lineage is not None:
+            rows = restrict_to_hashes(rows,
+                                      self._lineage_hashes(query.lineage))
+        return ResultCursor(evaluate_rows(rows, query))
+
+    def _lineage_hashes(self, clause: LineageClause) -> Set[str]:
+        """Closure hashes for one clause, from the live index."""
+        seeds = {run.artifacts[clause.key].value_hash
+                 for run in self._runs.values()
+                 if clause.key in run.artifacts}
+        if not seeds:
+            seeds = {clause.key}
+        return self._lineage.closure(seeds, direction=clause.direction,
+                                     max_depth=clause.max_depth,
+                                     within_runs=clause.within_runs)
 
     def _scan(self, entity: str) -> Iterator[Dict[str, Any]]:
         if entity == "annotations":

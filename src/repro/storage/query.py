@@ -32,11 +32,11 @@ from __future__ import annotations
 from typing import (Any, Callable, Dict, Iterable, Iterator, List, Optional,
                     Sequence, Tuple)
 
-__all__ = ["ProvQuery", "Filter", "ResultCursor", "QueryError",
-           "RUN_FIELDS", "EXECUTION_FIELDS", "ARTIFACT_FIELDS",
-           "ANNOTATION_FIELDS", "ENTITIES", "apply_filters",
-           "apply_ordering", "apply_window", "run_row", "execution_row",
-           "artifact_row", "annotation_row"]
+__all__ = ["ProvQuery", "Filter", "LineageClause", "ResultCursor",
+           "QueryError", "RUN_FIELDS", "EXECUTION_FIELDS",
+           "ARTIFACT_FIELDS", "ANNOTATION_FIELDS", "ENTITIES",
+           "apply_filters", "apply_ordering", "apply_window", "run_row",
+           "execution_row", "artifact_row", "annotation_row"]
 
 
 class QueryError(Exception):
@@ -121,6 +121,57 @@ class Filter:
                 == (other.field, other.op, other.value))
 
 
+class LineageClause:
+    """Transitive-ancestry constraint attached to an artifacts query.
+
+    ``direction`` is ``"up"`` (ancestors: what the seed was derived from)
+    or ``"down"`` (descendants: what was derived from the seed).  ``key``
+    is a value hash, or an artifact id that each backend resolves to its
+    value hash(es) before traversal; an id that resolves nowhere is
+    treated as a hash.  ``max_depth`` bounds the traversal in derivation
+    hops; ``within_runs`` restricts the traversal to edges recorded by
+    those runs (seed resolution stays global).  Matching rows are the
+    artifacts — across every stored run — whose value hash lies in the
+    resulting closure; the seed hashes themselves never match.
+    """
+
+    __slots__ = ("direction", "key", "max_depth", "within_runs")
+
+    def __init__(self, direction: str, key: str,
+                 max_depth: Optional[int] = None,
+                 within_runs: Optional[Iterable[str]] = None) -> None:
+        if direction not in ("up", "down"):
+            raise QueryError(f"lineage direction must be 'up' or 'down', "
+                             f"not {direction!r}")
+        if not isinstance(key, str) or not key:
+            raise QueryError("lineage key must be a non-empty string "
+                             "(a value hash or an artifact id)")
+        if max_depth is not None and (not isinstance(max_depth, int)
+                                      or isinstance(max_depth, bool)
+                                      or max_depth < 1):
+            raise QueryError("max_depth must be a positive integer or None")
+        self.direction = direction
+        self.key = key
+        self.max_depth = max_depth
+        self.within_runs = (tuple(within_runs)
+                            if within_runs is not None else None)
+
+    def __repr__(self) -> str:
+        parts = [f"{self.direction}stream_of({self.key!r}"]
+        if self.max_depth is not None:
+            parts.append(f"max_depth={self.max_depth}")
+        if self.within_runs is not None:
+            parts.append(f"within_runs={list(self.within_runs)!r}")
+        return ", ".join(parts) + ")"
+
+    def __eq__(self, other: Any) -> bool:
+        return (isinstance(other, LineageClause)
+                and (self.direction, self.key, self.max_depth,
+                     self.within_runs)
+                == (other.direction, other.key, other.max_depth,
+                    other.within_runs))
+
+
 class ProvQuery:
     """Immutable, composable query spec over one provenance entity kind.
 
@@ -131,18 +182,21 @@ class ProvQuery:
 
     Filter fields are the canonical row fields of the entity; executions
     additionally accept ``param.<name>`` fields that look inside the
-    ``parameters`` dict.
+    ``parameters`` dict.  Artifact queries additionally accept one
+    transitive lineage clause (:meth:`upstream_of` / :meth:`downstream_of`)
+    evaluated from the store's cross-run lineage index.
     """
 
     __slots__ = ("entity", "filters", "order", "limit_count", "offset_count",
-                 "fields")
+                 "fields", "lineage")
 
     def __init__(self, entity: str,
                  filters: Sequence[Filter] = (),
                  order: Sequence[str] = (),
                  limit_count: Optional[int] = None,
                  offset_count: int = 0,
-                 fields: Optional[Sequence[str]] = None) -> None:
+                 fields: Optional[Sequence[str]] = None,
+                 lineage: Optional[LineageClause] = None) -> None:
         if entity not in ENTITIES:
             raise QueryError(f"unknown entity {entity!r}; "
                              f"expected one of {sorted(ENTITIES)}")
@@ -152,6 +206,10 @@ class ProvQuery:
         self.limit_count = limit_count
         self.offset_count = offset_count
         self.fields = tuple(fields) if fields is not None else None
+        self.lineage = lineage
+        if lineage is not None and entity != "artifacts":
+            raise QueryError("lineage operators apply to artifact queries "
+                             f"only, not {entity!r}")
         if limit_count is not None and limit_count < 0:
             raise QueryError("limit must be >= 0 (or None for unlimited)")
         if offset_count < 0:
@@ -233,6 +291,39 @@ class ProvQuery:
         """Keep only the named fields in result rows, in the given order."""
         return self._replace(fields=fields)
 
+    def upstream_of(self, key: str, *, max_depth: Optional[int] = None,
+                    within_runs: Optional[Iterable[str]] = None
+                    ) -> "ProvQuery":
+        """Keep only artifacts the given one transitively derives from.
+
+        ``key`` is a value hash or an artifact id; the closure follows
+        derivation edges across *every* stored run (shared content hashes
+        join runs), ``max_depth`` bounds it in hops, and ``within_runs``
+        restricts the traversal to edges recorded by those runs.  Composes
+        with the other refinements::
+
+            ProvQuery.artifacts().upstream_of(bad_hash, max_depth=2)
+                     .where(run_id=run.id).order_by("id").limit(20)
+        """
+        return self._with_lineage(LineageClause("up", key, max_depth,
+                                                within_runs))
+
+    def downstream_of(self, key: str, *, max_depth: Optional[int] = None,
+                      within_runs: Optional[Iterable[str]] = None
+                      ) -> "ProvQuery":
+        """Keep only artifacts transitively derived from the given one.
+
+        Mirror image of :meth:`upstream_of` — the defective-data sweep:
+        everything whose bytes descend from the seed, in any stored run.
+        """
+        return self._with_lineage(LineageClause("down", key, max_depth,
+                                                within_runs))
+
+    def _with_lineage(self, clause: LineageClause) -> "ProvQuery":
+        if self.lineage is not None:
+            raise QueryError("a query carries at most one lineage clause")
+        return self._replace(lineage=clause)
+
     # -- introspection (used by backend compilers) ----------------------
     def order_keys(self) -> Tuple[Tuple[str, bool], ...]:
         """Effective sort as (field, descending) pairs, including the
@@ -261,7 +352,8 @@ class ProvQuery:
     def _replace(self, **changes: Any) -> "ProvQuery":
         state = {"entity": self.entity, "filters": self.filters,
                  "order": self.order, "limit_count": self.limit_count,
-                 "offset_count": self.offset_count, "fields": self.fields}
+                 "offset_count": self.offset_count, "fields": self.fields,
+                 "lineage": self.lineage}
         state.update(changes)
         return ProvQuery(**state)
 
@@ -277,6 +369,8 @@ class ProvQuery:
             parts.append(f"offset={self.offset_count}")
         if self.fields is not None:
             parts.append(f"fields={list(self.fields)!r}")
+        if self.lineage is not None:
+            parts.append(f"lineage={self.lineage!r}")
         return f"ProvQuery({', '.join(parts)})"
 
 
@@ -403,6 +497,18 @@ def apply_filters(rows: Iterable[Dict[str, Any]],
     """Lazily keep rows matching every filter."""
     for row in rows:
         if all(filt.matches(row) for filt in filters):
+            yield row
+
+
+def restrict_to_hashes(rows: Iterable[Dict[str, Any]],
+                       allowed: Any) -> Iterator[Dict[str, Any]]:
+    """Lazily keep artifact rows whose ``value_hash`` is in ``allowed``.
+
+    This is how a store applies an already-computed lineage closure to its
+    row stream: the clause behaves as one extra conjunctive filter.
+    """
+    for row in rows:
+        if row["value_hash"] in allowed:
             yield row
 
 

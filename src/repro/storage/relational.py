@@ -25,8 +25,10 @@ from repro.core.prospective import ProspectiveProvenance
 from repro.core.retrospective import (DataArtifact, ModuleExecution,
                                       PortBinding, WorkflowRun)
 from repro.storage.base import ProvenanceStore, RunSummary, StoreError
-from repro.storage.query import (Filter, ProvQuery, ResultCursor,
-                                 apply_filters, apply_window, project_rows)
+from repro.storage.lineage import lineage_edges
+from repro.storage.query import (Filter, LineageClause, ProvQuery,
+                                 ResultCursor, apply_filters, apply_window,
+                                 project_rows)
 
 __all__ = ["RelationalStore"]
 
@@ -85,6 +87,15 @@ CREATE TABLE IF NOT EXISTS artifact_values (
     blob BLOB NOT NULL,
     PRIMARY KEY (artifact_id, run_id)
 );
+CREATE TABLE IF NOT EXISTS lineage (
+    -- hash-level derivation edges (see repro.storage.lineage); the
+    -- substrate of the recursive ancestry CTE in select()
+    derived_hash TEXT NOT NULL,
+    source_hash TEXT NOT NULL,
+    run_id TEXT NOT NULL REFERENCES runs(id) ON DELETE CASCADE,
+    execution_id TEXT NOT NULL,
+    PRIMARY KEY (derived_hash, source_hash, run_id, execution_id)
+);
 CREATE TABLE IF NOT EXISTS workflows (
     id TEXT PRIMARY KEY,
     name TEXT NOT NULL,
@@ -108,6 +119,8 @@ CREATE INDEX IF NOT EXISTS idx_art_hash ON artifacts(value_hash);
 CREATE INDEX IF NOT EXISTS idx_art_run ON artifacts(run_id);
 CREATE INDEX IF NOT EXISTS idx_bind_exec ON bindings(execution_id);
 CREATE INDEX IF NOT EXISTS idx_bind_artifact ON bindings(artifact_id);
+CREATE INDEX IF NOT EXISTS idx_lin_source ON lineage(source_hash);
+CREATE INDEX IF NOT EXISTS idx_lin_run ON lineage(run_id);
 CREATE INDEX IF NOT EXISTS idx_ann_target ON annotations(target_kind,
                                                          target_id);
 """
@@ -134,6 +147,35 @@ class RelationalStore(ProvenanceStore):
         self._connection.execute("PRAGMA foreign_keys = ON")
         self._connection.executescript(_SCHEMA)
         self._annotation_seq = self._current_annotation_seq()
+        self._backfill_lineage()
+
+    def _backfill_lineage(self) -> None:
+        """Index runs stored before the lineage table existed.
+
+        Pre-index databases reopened by this version hold runs but an
+        empty ``lineage`` table; the edges are reconstructed entirely in
+        SQL from bindings and artifacts — no run is deserialized.
+        """
+        populated = self._connection.execute(
+            "SELECT EXISTS(SELECT 1 FROM runs),"
+            " EXISTS(SELECT 1 FROM lineage)").fetchone()
+        if not populated[0] or populated[1]:
+            return
+        self._connection.execute(
+            "INSERT OR IGNORE INTO lineage"
+            " SELECT DISTINCT derived.value_hash, source.value_hash,"
+            " e.run_id, e.id"
+            " FROM executions e"
+            " JOIN bindings ob ON ob.execution_id = e.id"
+            "  AND ob.direction = 'out'"
+            " JOIN bindings ib ON ib.execution_id = e.id"
+            "  AND ib.direction = 'in'"
+            " JOIN artifacts derived ON derived.id = ob.artifact_id"
+            "  AND derived.run_id = e.run_id"
+            " JOIN artifacts source ON source.id = ib.artifact_id"
+            "  AND source.run_id = e.run_id"
+            " WHERE e.status IN ('ok', 'cached')")
+        self._connection.commit()
 
     # -- runs -----------------------------------------------------------
     def save_run(self, run: WorkflowRun) -> None:
@@ -201,6 +243,11 @@ class RelationalStore(ProvenanceStore):
                 cursor.execute(
                     "INSERT INTO artifact_values VALUES (?,?,?)",
                     (artifact.id, run.id, blob))
+        # derivation-edge index rows; the leading DELETE FROM runs above
+        # already cascaded away any previous edges of this run
+        cursor.executemany(
+            "INSERT OR IGNORE INTO lineage VALUES (?,?,?,?)",
+            [tuple(edge) for edge in lineage_edges(run)])
 
     def has_run(self, run_id: str) -> bool:
         row = self._connection.execute(
@@ -445,6 +492,10 @@ class RelationalStore(ProvenanceStore):
         pagination boundaries match the generic oracle exactly.  No code
         path deserializes a stored run.
 
+        A lineage clause compiles to a single ``WITH RECURSIVE`` CTE over
+        the ``lineage`` edge table, so transitive ancestry is answered by
+        one SQL statement, never by loading a run.
+
         The cursor streams from a live SQL read on the store's
         connection; as with any DB-API cursor, writing to the store while
         iterating has SQLite's usual undefined row visibility — drain
@@ -452,8 +503,13 @@ class RelationalStore(ProvenanceStore):
         """
         table, columns = self._TABLES[query.entity]
         column_set = set(columns)
+        prefix = ""
+        prefix_params: List[Any] = []
         clauses: List[str] = []
         params: List[Any] = []
+        if query.lineage is not None:
+            prefix, prefix_params = self._compile_lineage(
+                query.lineage, clauses, params)
         residual: List[Filter] = []
         for filt in query.filters:
             clause = self._compile_filter(filt, column_set, params)
@@ -464,7 +520,7 @@ class RelationalStore(ProvenanceStore):
         order_sql = ", ".join(
             f"{name} {'DESC' if descending else 'ASC'}"
             for name, descending in query.order_keys())
-        sql = f"SELECT {', '.join(columns)} FROM {table}"
+        sql = f"{prefix}SELECT {', '.join(columns)} FROM {table}"
         if clauses:
             sql += " WHERE " + " AND ".join(clauses)
         sql += f" ORDER BY {order_sql}"
@@ -476,7 +532,8 @@ class RelationalStore(ProvenanceStore):
                     sql += f" OFFSET {int(query.offset_count)}"
             elif query.offset_count:
                 sql += f" LIMIT -1 OFFSET {int(query.offset_count)}"
-        rows = self._stream_rows(sql, tuple(params), query.entity, columns)
+        rows = self._stream_rows(sql, tuple(prefix_params + params),
+                                 query.entity, columns)
         if push_window:
             return ResultCursor(project_rows(rows, query.fields))
         matched = list(apply_filters(rows, residual))
@@ -521,6 +578,63 @@ class RelationalStore(ProvenanceStore):
             return f"{filt.field} IN ({', '.join('?' * len(values))})"
         return None
 
+    def _compile_lineage(self, clause: LineageClause, clauses: List[str],
+                         params: List[Any]) -> Tuple[str, List[Any]]:
+        """Compile a lineage clause to a recursive closure CTE.
+
+        Returns the ``WITH RECURSIVE`` prefix and its bound parameters,
+        and appends the membership conditions (hash in closure, hash not a
+        seed) to the caller's WHERE clause list.  Two CTE shapes: the
+        unbounded one dedups on hash alone (cycle-safe without a depth
+        column), the bounded one carries a hop counter.
+        """
+        seeds = sorted(self._lineage_seed_hashes(clause.key))
+        seed_marks = ", ".join("?" * len(seeds))
+        if clause.direction == "up":
+            start, step = "derived_hash", "source_hash"
+        else:
+            start, step = "source_hash", "derived_hash"
+        scope = ""
+        scope_params: List[Any] = []
+        if clause.within_runs is not None:
+            run_ids = list(clause.within_runs)
+            if run_ids:
+                scope = f" AND run_id IN ({', '.join('?' * len(run_ids))})"
+                scope_params = run_ids
+            else:
+                scope = " AND 1 = 0"
+        l_scope = scope.replace("run_id", "l.run_id")
+        prefix_params: List[Any] = list(seeds) + scope_params
+        if clause.max_depth is None:
+            prefix = (f"WITH RECURSIVE lineage_closure(hash) AS ("
+                      f"SELECT {step} FROM lineage"
+                      f" WHERE {start} IN ({seed_marks}){scope}"
+                      f" UNION SELECT l.{step} FROM lineage l"
+                      f" JOIN lineage_closure c ON l.{start} = c.hash"
+                      f" WHERE 1 = 1{l_scope}) ")
+        else:
+            prefix = (f"WITH RECURSIVE lineage_closure(hash, depth) AS ("
+                      f"SELECT {step}, 1 FROM lineage"
+                      f" WHERE {start} IN ({seed_marks}){scope}"
+                      f" UNION SELECT l.{step}, c.depth + 1 FROM lineage l"
+                      f" JOIN lineage_closure c ON l.{start} = c.hash"
+                      f" WHERE c.depth < ?{l_scope}) ")
+            prefix_params.append(int(clause.max_depth))
+        prefix_params.extend(scope_params)
+        clauses.append(
+            "value_hash IN (SELECT hash FROM lineage_closure)")
+        clauses.append(f"value_hash NOT IN ({seed_marks})")
+        params.extend(seeds)
+        return prefix, prefix_params
+
+    def _lineage_seed_hashes(self, key: str) -> List[str]:
+        """Resolve a clause key: an artifact id maps to its value hash(es);
+        anything unknown is taken to be a value hash already."""
+        rows = self._connection.execute(
+            "SELECT DISTINCT value_hash FROM artifacts WHERE id = ?",
+            (key,)).fetchall()
+        return [row[0] for row in rows] if rows else [key]
+
     def _value_matches_column(self, field: str, op: str,
                               value: Any) -> bool:
         """True when SQLite compares ``value`` to this column exactly as
@@ -543,11 +657,17 @@ class RelationalStore(ProvenanceStore):
                 return
             for values in batch:
                 row = dict(zip(columns, values))
+                # fast-path the overwhelmingly common empty encodings —
+                # a json.loads per row shows up in large result streams
                 if entity == "executions":
-                    row["parameters"] = json.loads(row["parameters"])
+                    encoded = row["parameters"]
+                    row["parameters"] = ({} if encoded == "{}"
+                                         else json.loads(encoded))
                 elif entity == "artifacts":
-                    row["also_produced_by"] = sorted(
-                        json.loads(row["also_produced_by"]))
+                    encoded = row["also_produced_by"]
+                    row["also_produced_by"] = (
+                        [] if encoded == "[]"
+                        else sorted(json.loads(encoded)))
                 elif entity == "annotations":
                     row["value"] = json.loads(row["value"])
                 yield row

@@ -22,9 +22,10 @@ from repro.core.prospective import ProspectiveProvenance
 from repro.core.retrospective import (DataArtifact, ModuleExecution,
                                       PortBinding, WorkflowRun)
 from repro.storage.base import ProvenanceStore, RunSummary, StoreError
-from repro.storage.query import (Filter, ProvQuery, ResultCursor,
-                                 apply_filters, apply_ordering, apply_window,
-                                 project_rows)
+from repro.storage.lineage import LineageIndex
+from repro.storage.query import (Filter, LineageClause, ProvQuery,
+                                 ResultCursor, apply_filters,
+                                 apply_ordering, apply_window, project_rows)
 
 __all__ = ["Triple", "TripleStore", "TripleProvenanceStore",
            "run_to_triples", "run_from_triples", "PROV"]
@@ -330,12 +331,18 @@ class TripleProvenanceStore(ProvenanceStore):
 
     def __init__(self, triples: Optional[TripleStore] = None) -> None:
         self.triples = triples if triples is not None else TripleStore()
+        # cross-run derivation index: built lazily from the triples on the
+        # first lineage query (the store may be constructed around an
+        # already-populated TripleStore), then maintained incrementally
+        self._lineage: Optional[LineageIndex] = None
 
     # -- runs -----------------------------------------------------------
     def save_run(self, run: WorkflowRun) -> None:
         if (run.id, PROV.TYPE, PROV.RUN) in self.triples:
             self._remove_run_triples(run.id)
         self.triples.add_all(iter(run_to_triples(run)))
+        if self._lineage is not None:
+            self._lineage.add_run(run)
 
     def has_run(self, run_id: str) -> bool:
         return (run_id, PROV.TYPE, PROV.RUN) in self.triples
@@ -359,6 +366,8 @@ class TripleProvenanceStore(ProvenanceStore):
         if (run_id, PROV.TYPE, PROV.RUN) not in self.triples:
             return False
         self._remove_run_triples(run_id)
+        if self._lineage is not None:
+            self._lineage.remove_run(run_id)
         return True
 
     def _remove_run_triples(self, run_id: str) -> None:
@@ -465,6 +474,12 @@ class TripleProvenanceStore(ProvenanceStore):
         """
         marker, predicates = self._SELECT_PREDICATES[query.entity]
         candidates = set(self.triples.subjects(PROV.TYPE, marker))
+        if query.lineage is not None:
+            narrowed: set = set()
+            for value_hash in self._lineage_hashes(query.lineage):
+                narrowed |= set(self.triples.subjects(PROV.VALUE_HASH,
+                                                      value_hash))
+            candidates &= narrowed
         residual: List[Filter] = []
         for filt in query.filters:
             # id fast paths require string values — subjects are strings,
@@ -504,6 +519,48 @@ class TripleProvenanceStore(ProvenanceStore):
         ordered = apply_ordering(matched, query)
         windowed = apply_window(ordered, query)
         return ResultCursor(project_rows(windowed, query.fields))
+
+    def _lineage_hashes(self, clause: LineageClause) -> Set[str]:
+        """Closure hashes for one clause, from the adjacency index."""
+        value_hash = self.triples.one(clause.key, PROV.VALUE_HASH)
+        seeds = {value_hash} if value_hash is not None else {clause.key}
+        return self._lineage_index().closure(
+            seeds, direction=clause.direction,
+            max_depth=clause.max_depth, within_runs=clause.within_runs)
+
+    def _lineage_index(self) -> LineageIndex:
+        """The derivation index, (re)built from the triples on demand."""
+        if self._lineage is None:
+            index = LineageIndex()
+            for run_id in self.triples.subjects(PROV.TYPE, PROV.RUN):
+                index.add_edge_tuples(run_id,
+                                      self._edges_from_triples(run_id))
+            self._lineage = index
+        return self._lineage
+
+    def _edges_from_triples(self, run_id: str
+                            ) -> List[Tuple[str, str, str]]:
+        """One run's (derived, source, execution) hash edges, decoded from
+        its ``used`` / ``wasGeneratedBy`` triples — the run itself is
+        never re-assembled."""
+        edges: List[Tuple[str, str, str]] = []
+        for execution_id in self.triples.subjects(PROV.IN_RUN, run_id):
+            if self.triples.one(execution_id, PROV.TYPE) != PROV.EXECUTION:
+                continue
+            if self.triples.one(execution_id,
+                                PROV.STATUS) not in ("ok", "cached"):
+                continue
+            sources = [self.triples.one(artifact_id, PROV.VALUE_HASH)
+                       for artifact_id
+                       in self.triples.objects(execution_id, PROV.USED)]
+            for artifact_id in self.triples.subjects(PROV.GENERATED_BY,
+                                                     execution_id):
+                derived = self.triples.one(artifact_id, PROV.VALUE_HASH)
+                if derived is None:
+                    continue
+                edges.extend((derived, source, execution_id)
+                             for source in sources if source is not None)
+        return edges
 
     def _subject_row(self, entity: str, predicates: Dict[str, str],
                      subject: str) -> Dict[str, Any]:

@@ -8,8 +8,8 @@ from repro.workloads.domains import (build_enviro_workflow, build_fig2_pair,
                                      build_vis_workflow, domain_corpus)
 from repro.workloads.generators import (chain_workflow, random_edit_session,
                                         random_workflow, wide_workflow)
-from repro.workloads.traces import (clone_run, domain_run_corpus,
-                                    synthetic_corpus)
+from repro.workloads.traces import (clone_run, derivation_chain_corpus,
+                                    domain_run_corpus, synthetic_corpus)
 
 __all__ = [
     "CHALLENGE_QUERIES", "ChallengeSession", "build_fmri_workflow",
@@ -17,5 +17,6 @@ __all__ = [
     "build_vis_workflow", "domain_corpus",
     "chain_workflow", "random_edit_session", "random_workflow",
     "wide_workflow",
-    "clone_run", "domain_run_corpus", "synthetic_corpus",
+    "clone_run", "derivation_chain_corpus", "domain_run_corpus",
+    "synthetic_corpus",
 ]

@@ -16,7 +16,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.core.annotations import AnnotationStore
-from repro.core.causality import causality_graph, upstream_executions
+from repro.core.causality import (cached_causality_graph,
+                                  upstream_executions)
 from repro.core.manager import ProvenanceManager
 from repro.core.retrospective import WorkflowRun
 from repro.evolution.diff import diff_workflows
@@ -158,7 +159,8 @@ class ChallengeSession:
     def q2(self) -> Dict[str, List[str]]:
         """History of Atlas X Graphic, cut at (and including) softmean."""
         full = self.q1()
-        graph = causality_graph(self.run, include_derivations=False)
+        graph = cached_causality_graph(self.run,
+                                       include_derivations=False)
         softmean_exec = self.run.execution_for_module(
             self._module_id("softmean"))
         before_softmean = graph.reachable(
@@ -173,7 +175,8 @@ class ChallengeSession:
 
     def q3(self) -> List[Dict[str, Any]]:
         """Stage 3-5 executions (softmean, slicer, convert) behind Atlas X."""
-        graph = causality_graph(self.run, include_derivations=False)
+        graph = cached_causality_graph(self.run,
+                                       include_derivations=False)
         executions = upstream_executions(graph, self.atlas_x_graphic())
         rows = []
         for execution_id in sorted(executions):
@@ -211,7 +214,8 @@ class ChallengeSession:
 
     def q6(self) -> List[str]:
         """softmean outputs preceded (transitively) by align_warp m=12."""
-        graph = causality_graph(self.run, include_derivations=False)
+        graph = cached_causality_graph(self.run,
+                                       include_derivations=False)
         results = []
         for execution in self.run.executions:
             if execution.module_type != "Softmean":

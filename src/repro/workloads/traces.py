@@ -10,7 +10,8 @@ from repro.core.retrospective import WorkflowRun
 from repro.workloads.domains import domain_corpus
 from repro.workloads.generators import random_workflow
 
-__all__ = ["clone_run", "synthetic_corpus", "domain_run_corpus"]
+__all__ = ["clone_run", "derivation_chain_corpus", "synthetic_corpus",
+           "domain_run_corpus"]
 
 
 def clone_run(run: WorkflowRun, suffix: str,
@@ -30,6 +31,98 @@ def clone_run(run: WorkflowRun, suffix: str,
     data = json.loads(text)
     data.update(overrides)
     return WorkflowRun.from_dict(data)
+
+
+def derivation_chain_corpus(runs: int = 300, *, steps: int = 3,
+                            sides: int = 1,
+                            seed: int = 0) -> List[WorkflowRun]:
+    """Multi-run derivation chains: the substrate for lineage benchmarks.
+
+    Run ``k`` ingests external bytes whose content hash equals run
+    ``k-1``'s final product hash — exactly the shared-``value_hash``
+    situation that lets cross-run lineage join runs — then derives
+    ``steps`` successive products (each step also emitting ``sides``
+    dead-end side products).  Ancestry of the *last* run's product
+    therefore spans the entire corpus, and descendancy of the *first*
+    run's input does too.
+
+    Runs are built directly as retrospective records (no engine
+    execution), so corpora of hundreds of runs are cheap to generate; the
+    records are fully well-formed and round-trip through every backend.
+    """
+    corpus: List[WorkflowRun] = []
+    for k in range(runs):
+        run_id = f"chain-{seed}-{k:04d}"
+        artifacts = {}
+        executions = []
+
+        def artifact(name: str, value_hash: str, created_by: str,
+                     role: str) -> str:
+            artifact_id = f"art-{run_id}-{name}"
+            artifacts[artifact_id] = {
+                "id": artifact_id, "value_hash": value_hash,
+                "type_name": "Bytes", "created_by": created_by,
+                "role": role, "size_hint": 64}
+            return artifact_id
+
+        # the cross-run link: this run's raw input IS run k-1's product
+        previous = artifact("input", f"link-{seed}-{k:04d}", "", "")
+        for j in range(steps):
+            execution_id = f"exec-{run_id}-{j}"
+            derived_hash = (f"link-{seed}-{k + 1:04d}" if j == steps - 1
+                            else f"mid-{seed}-{k:04d}-{j}")
+            outputs = [{"port": "out",
+                        "artifact_id": artifact(f"out{j}", derived_hash,
+                                                execution_id, "out")}]
+            for s in range(sides):
+                outputs.append({
+                    "port": f"side{s}",
+                    "artifact_id": artifact(
+                        f"side{j}-{s}", f"side-{seed}-{k:04d}-{j}-{s}",
+                        execution_id, f"side{s}")})
+            executions.append({
+                "id": execution_id, "module_id": f"mod-{j}",
+                "module_type": "DeriveStep", "module_name": f"step{j}",
+                "status": "ok", "parameters": {"step": j},
+                "inputs": [{"port": "value", "artifact_id": previous}],
+                "outputs": outputs,
+                "started": 1000.0 + k + j * 0.01,
+                "finished": 1000.0 + k + j * 0.01 + 0.005})
+            previous = outputs[0]["artifact_id"]
+        # environment and spec shaped like genuinely captured records —
+        # their parse cost is what a load-and-traverse ancestry query
+        # actually pays per run
+        environment = {
+            "platform": "synthetic-linux-x86_64", "python": "3.12.0",
+            "hostname": f"node-{k % 16:02d}", "user": "bench",
+            "processor": "x86_64", "cores": 8, "memory_gb": 64,
+            "packages": {f"lib{n}": f"{n}.{k % 9}.0" for n in range(24)},
+            "variables": {"OMP_NUM_THREADS": "8", "LANG": "C.UTF-8",
+                          "PATH": "/usr/local/bin:/usr/bin:/bin",
+                          "VIRTUAL_ENV": "/opt/envs/bench"},
+        }
+        spec = {
+            "name": "derivation-chain", "version": 1,
+            "modules": {f"mod-{j}": {"type": "DeriveStep", "name":
+                                     f"step{j}", "parameters": {"step": j}}
+                        for j in range(steps)},
+            "connections": [{"source": f"mod-{j}", "source_port": "out",
+                             "target": f"mod-{j + 1}",
+                             "target_port": "value"}
+                            for j in range(steps - 1)],
+        }
+        corpus.append(WorkflowRun.from_dict({
+            "id": run_id, "workflow_id": f"wf-chain-{seed}",
+            "workflow_name": "derivation-chain",
+            "workflow_signature": f"sig-chain-{seed}",
+            "status": "ok", "started": 1000.0 + k,
+            "finished": 1000.0 + k + 0.9,
+            "environment": environment,
+            "workflow_spec": spec,
+            "executions": executions, "artifacts": artifacts,
+            "tags": {"corpus": "derivation-chain", "index": k},
+        }))
+    return corpus
 
 
 def synthetic_corpus(runs: int = 20, *, modules: int = 15,

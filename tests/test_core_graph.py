@@ -110,6 +110,27 @@ class TestSubgraphAndExport:
         assert sub.node_count == 3
         assert sub.edge_count == 2  # d->b, b->a
 
+    def test_subgraph_keeps_parallel_edges_and_attrs(self):
+        graph = ProvGraph()
+        graph.add_node("x", "a")
+        graph.add_node("y", "a")
+        graph.add_node("z", "a")
+        graph.add_edge("x", "y", "used", port="p1")
+        graph.add_edge("x", "y", "used", port="p2")
+        graph.add_edge("x", "z", "used")
+        sub = graph.subgraph(["x", "y"])
+        assert sub.edge_count == 2
+        assert sorted(e.attr("port") for e in sub.out_edges("x")) == \
+            ["p1", "p2"]
+
+    def test_topological_breaks_ties_on_smallest_id(self):
+        graph = ProvGraph()
+        for node in ("c", "a", "b", "root"):
+            graph.add_node(node, "n")
+        for node in ("c", "a", "b"):
+            graph.add_edge("root", node, "l")
+        assert graph.topological_order() == ["root", "a", "b", "c"]
+
     def test_to_networkx(self):
         nx_graph = diamond().to_networkx()
         assert nx_graph.number_of_nodes() == 4

@@ -108,6 +108,18 @@ class TestCaptureJournal:
         assert capture.run_by_id(run.id) is run
         assert capture.run_by_id("run-nope") is None
 
+    def test_size_hint_estimates_large_values(self):
+        from repro.core.capture import _SIZE_HINT_CAP, _size_hint
+        assert _size_hint(None) == 0
+        assert _size_hint("abc") == len(repr("abc"))
+        assert _size_hint([1, 2, 3]) == len(repr([1, 2, 3]))
+        big_text = "x" * (_SIZE_HINT_CAP + 1)
+        assert _size_hint(big_text) == len(big_text) + 2
+        big_list = list(range(_SIZE_HINT_CAP + 1))
+        # estimated from the length — never reprs the whole container
+        assert _size_hint(big_list) == len(big_list) * 8
+        assert _size_hint(12345) == len(repr(12345))
+
 
 class TestCausality:
     def test_graph_shape(self, fig1_run):

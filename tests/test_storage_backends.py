@@ -275,3 +275,15 @@ class TestArtifactValueStores:
         assert not store.discard(value_hash)
         with pytest.raises(KeyError):
             store.get(value_hash)
+
+    def test_file_store_hashes_parity_with_memory(self, tmp_path):
+        memory = ArtifactValueStore()
+        disk = FileArtifactValueStore(tmp_path / "vals")
+        for value in ("alpha", [1, 2, 3], {"k": 9}, 3.5):
+            assert memory.put(value) == disk.put(value)
+        assert list(disk.hashes()) == list(memory.hashes())
+        assert len(disk) == len(memory) == 4
+        first = next(iter(memory.hashes()))
+        disk.discard(first)
+        memory.discard(first)
+        assert list(disk.hashes()) == list(memory.hashes())

@@ -135,7 +135,49 @@ QUERY_CATALOG = [
     ("runs-id-in-huge", lambda c: ProvQuery.runs()
      .where_op("id", "in",
                [c[0].id] + [f"bogus-{i}" for i in range(2000)])),
+    # lineage operators: transitive ancestry joined across runs on shared
+    # content hashes, answered from each backend's lineage index (the
+    # relational path is a single recursive CTE) — never by loading runs
+    ("lineage-upstream", lambda c: ProvQuery.artifacts()
+     .upstream_of(_final_hash(c))),
+    ("lineage-upstream-depth1", lambda c: ProvQuery.artifacts()
+     .upstream_of(_final_hash(c), max_depth=1)),
+    ("lineage-downstream", lambda c: ProvQuery.artifacts()
+     .downstream_of(_volume_hash(c))),
+    ("lineage-downstream-depth2", lambda c: ProvQuery.artifacts()
+     .downstream_of(_volume_hash(c), max_depth=2)),
+    ("lineage-artifact-id-seed", lambda c: ProvQuery.artifacts()
+     .upstream_of(c[2].final_artifacts()[0].id)),
+    ("lineage-run-scoped", lambda c: ProvQuery.artifacts()
+     .downstream_of(_volume_hash(c), within_runs=[c[0].id, c[2].id])),
+    ("lineage-run-scoped-empty", lambda c: ProvQuery.artifacts()
+     .downstream_of(_volume_hash(c), within_runs=[])),
+    ("lineage-unknown-seed", lambda c: ProvQuery.artifacts()
+     .upstream_of("no-such-hash-or-id")),
+    ("lineage-composed", lambda c: ProvQuery.artifacts()
+     .upstream_of(_final_hash(c)).where(run_id=c[1].id)
+     .order_by("-size_hint", "id").limit(3)),
+    ("lineage-projected-paged", lambda c: ProvQuery.artifacts()
+     .downstream_of(_volume_hash(c)).order_by("run_id", "id")
+     .project("run_id", "id", "value_hash").page(2, 4)),
 ]
+
+
+def _final_hash(corpus):
+    """Hash of a *derived* final product of the base run (shared by every
+    clone) — one whose creating execution consumed inputs, so it has a
+    non-empty ancestry."""
+    run = corpus[0]
+    for artifact in run.final_artifacts():
+        if run.execution(artifact.created_by).inputs:
+            return artifact.value_hash
+    raise AssertionError("corpus has no derived final artifact")
+
+
+def _volume_hash(corpus):
+    """Hash of the consumed volume artifact (an upstream interior node)."""
+    run = corpus[0]
+    return run.artifacts[run.executions[1].inputs[0].artifact_id].value_hash
 
 
 @pytest.mark.parametrize("backend", BACKENDS)
@@ -367,6 +409,183 @@ class TestBulkLoadRuns:
         reversed_ids = list(reversed(ids))
         assert ([run.id for run in store.load_runs(reversed_ids)]
                 == reversed_ids)
+
+
+#: lineage query shapes reused by the consistency tests below.
+LINEAGE_QUERIES = [name for name, _ in QUERY_CATALOG
+                   if name.startswith("lineage-")]
+
+
+def _lineage_catalog(corpus):
+    return [build(corpus) for name, build in QUERY_CATALOG
+            if name.startswith("lineage-")]
+
+
+def _assert_lineage_parity(store, corpus):
+    for query in _lineage_catalog(corpus):
+        assert store.select(query).all() == \
+            ProvenanceStore.select(store, query).all()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestLineageIndexConsistency:
+    """The edge index must track every mutation path of the store."""
+
+    def test_consistent_after_bulk_ingest(self, backend, tmp_path, corpus):
+        store = make_store(backend, tmp_path, corpus)
+        _assert_lineage_parity(store, corpus)
+
+    def test_consistent_after_resave_without_delete(self, backend,
+                                                    tmp_path, corpus):
+        store = make_store(backend, tmp_path, corpus)
+        store.select(_lineage_catalog(corpus)[0]).all()  # warm any caches
+        assert store.save_runs(corpus[:3]) == 3  # overwrite in place
+        store.save_run(corpus[4])
+        _assert_lineage_parity(store, corpus)
+
+    def test_consistent_after_delete(self, backend, tmp_path, corpus):
+        store = make_store(backend, tmp_path, corpus)
+        assert store.delete_run(corpus[3].id)
+        _assert_lineage_parity(store, corpus)
+        store.save_run(corpus[3])  # and after restoring it
+        _assert_lineage_parity(store, corpus)
+
+    def test_save_after_warm_query_is_visible(self, backend, tmp_path,
+                                              corpus):
+        store = make_store(backend, tmp_path, corpus)
+        query = ProvQuery.artifacts().upstream_of(_final_hash(corpus))
+        before = store.select(query).all()
+        extra = clone_run(corpus[0], "warm")
+        store.save_run(extra)
+        after = store.select(query).all()
+        assert len(after) > len(before)
+        assert after == ProvenanceStore.select(store, query).all()
+
+
+class TestRelationalLineagePersistence:
+    def test_index_survives_reopen(self, tmp_path, corpus):
+        path = str(tmp_path / "lineage.db")
+        with RelationalStore(path) as store:
+            store.save_runs(corpus)
+            expected = store.select(
+                ProvQuery.artifacts()
+                .upstream_of(_final_hash(corpus))).all()
+        reopened = RelationalStore(path)
+        _assert_lineage_parity(reopened, corpus)
+        assert reopened.select(
+            ProvQuery.artifacts()
+            .upstream_of(_final_hash(corpus))).all() == expected
+
+    def test_backfill_from_pre_index_database(self, tmp_path, corpus,
+                                              monkeypatch):
+        # simulate a database written before the lineage table existed
+        path = str(tmp_path / "legacy.db")
+        store = RelationalStore(path)
+        store.save_runs(corpus)
+        expected = [ProvenanceStore.select(store, query).all()
+                    for query in _lineage_catalog(corpus)]
+        store._connection.execute("DELETE FROM lineage")
+        store._connection.commit()
+        store.close()
+        healed = RelationalStore(path)
+        monkeypatch.setattr(
+            healed, "load_run",
+            lambda run_id: pytest.fail("backfill must stay inside SQL"))
+        native = [healed.select(query).all()
+                  for query in _lineage_catalog(corpus)]
+        assert native == expected
+
+    def test_ancestry_without_load_run_single_statement(self, tmp_path,
+                                                        corpus,
+                                                        monkeypatch):
+        store = make_store("relational", tmp_path, corpus)
+        monkeypatch.setattr(
+            store, "load_run",
+            lambda run_id: pytest.fail("ancestry must not load runs"))
+        executed = []
+        store._connection.set_trace_callback(executed.append)
+        try:
+            rows = store.select(ProvQuery.artifacts()
+                                .upstream_of(_final_hash(corpus))).all()
+        finally:
+            store._connection.set_trace_callback(None)
+        assert rows
+        recursive = [sql for sql in executed if "WITH RECURSIVE" in sql]
+        assert len(recursive) == 1, \
+            "transitive ancestry should be one recursive CTE statement"
+
+
+class TestDocumentLineageSidecar:
+    def test_pre_lineage_index_self_heals(self, tmp_path, corpus):
+        store = make_store("documents", tmp_path, corpus)
+        store.select(ProvQuery.runs()).all()
+        store.close()
+        # strip the lineage edges, as an index written by an older
+        # version would be
+        index_path = store.root / "index" / "summaries.json"
+        stale = json.loads(index_path.read_text())
+        for entry in stale.values():
+            entry.pop("lineage", None)
+        index_path.write_text(json.dumps(stale, sort_keys=True))
+        healed = DocumentStore(tmp_path / "docs")
+        _assert_lineage_parity(healed, corpus)
+
+    def test_lineage_answered_from_sidecar_not_documents(self, tmp_path,
+                                                         corpus,
+                                                         monkeypatch):
+        store = make_store("documents", tmp_path, corpus)
+        store.select(ProvQuery.runs()).all()  # index warm
+        import repro.storage.documents as documents_module
+        monkeypatch.setattr(
+            documents_module.WorkflowRun, "from_dict",
+            classmethod(lambda cls, data: pytest.fail(
+                "lineage must be answered from the sidecar index")))
+        rows = store.select(ProvQuery.artifacts()
+                            .upstream_of(_final_hash(corpus))).all()
+        assert rows
+
+
+class TestLineageValidation:
+    def test_lineage_only_on_artifacts(self):
+        with pytest.raises(QueryError):
+            ProvQuery.runs().upstream_of("h")
+        with pytest.raises(QueryError):
+            ProvQuery.executions().downstream_of("h")
+
+    def test_single_clause_per_query(self):
+        query = ProvQuery.artifacts().upstream_of("h")
+        with pytest.raises(QueryError):
+            query.downstream_of("h2")
+
+    def test_bad_clause_arguments(self):
+        with pytest.raises(QueryError):
+            ProvQuery.artifacts().upstream_of("")
+        with pytest.raises(QueryError):
+            ProvQuery.artifacts().upstream_of("h", max_depth=0)
+        with pytest.raises(QueryError):
+            ProvQuery.artifacts().upstream_of("h", max_depth=True)
+
+    def test_clause_is_immutable_refinement(self):
+        base = ProvQuery.artifacts()
+        refined = base.upstream_of("h", max_depth=2)
+        assert base.lineage is None
+        assert refined.lineage is not None
+        assert refined.lineage.max_depth == 2
+        assert "upstream_of" in repr(refined)
+
+
+class TestManagerLineage:
+    def test_manager_lineage_both_directions(self, tmp_path, corpus):
+        manager = ProvenanceManager(store=make_store("relational",
+                                                     tmp_path, corpus))
+        up = manager.lineage(_final_hash(corpus))
+        assert up
+        assert up == sorted(up, key=lambda r: (r["run_id"], r["id"]))
+        down = manager.lineage(_volume_hash(corpus), direction="down",
+                               max_depth=1)
+        assert down
+        with pytest.raises(ValueError):
+            manager.lineage("h", direction="sideways")
 
 
 class TestResultCursor:
