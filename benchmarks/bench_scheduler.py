@@ -1,22 +1,37 @@
 """E13 — ready-set scheduler: parallel speedup and partial re-execution.
 
-Regenerates: the §2.3 "smart rerun" opportunity measured two ways.  On a
-wide sleep-bound DAG (modules block and release the GIL, standing in for
-I/O- or service-bound stages) the thread-pool backend must deliver >=2x
-wall-clock speedup at ``workers=4`` over the deterministic serial backend.
-And after a single-module parameter change, a provenance-driven replay must
-execute exactly that module's downstream cone — asserted on execution
-counts, not timing — while serving everything else from the stored
-derivation record.
+Regenerates: the §2.3 "smart rerun" opportunity measured four ways.
+
+* On a wide *sleep-bound* DAG (modules block and release the GIL,
+  standing in for I/O- or service-bound stages) the thread-pool backend
+  must deliver >=2x wall-clock speedup at ``workers=4`` over the
+  deterministic serial backend.
+* On a wide *CPU-bound* DAG (pure-Python hashing/arithmetic loops that
+  hold the GIL) the thread pool shows ~1x — and the process-pool backend
+  must deliver >=2x at ``workers=4`` on a multi-core host (the assertion
+  skips on single-core machines, where no backend can).
+* A rerun against a *warm persistent result cache* — a fresh cache
+  instance over the same file, as a fresh process would build — must be
+  >=5x faster than the cold run, executing zero modules.
+* After a single-module parameter change, a provenance-driven replay must
+  execute exactly that module's downstream cone — asserted on execution
+  counts, not timing — while serving everything else from the stored
+  derivation record.
+
+When the ``BENCH_JSON`` environment variable names a file, the measured
+numbers are dumped there so CI can archive a ``BENCH_*.json`` trajectory
+across builds.
 """
 
+import json
+import os
 import time
 
 import pytest
 
 from benchmarks.conftest import report_row
 from repro.core import ProvenanceManager
-from repro.workflow import Executor
+from repro.workflow import Executor, PersistentResultCache
 from repro.workloads import wide_workflow
 from tests.conftest import build_fig1_workflow, module_by_name
 
@@ -24,6 +39,22 @@ from tests.conftest import build_fig1_workflow, module_by_name
 BRANCHES = 8
 DEPTH = 2
 SLEEP = 0.04
+#: CPU-bound variant: SpinCompute busy-loop units per stage (~60-100ms of
+#: pure-Python arithmetic that never releases the GIL).
+CPU_WORK = 1_200_000
+
+_results = {}
+
+
+def _record(**fields) -> None:
+    """Accumulate measurements; mirror them to $BENCH_JSON when set."""
+    _results.update(fields)
+    path = os.environ.get("BENCH_JSON")
+    if path:
+        payload = {"experiment": "E13-scheduler",
+                   "branches": BRANCHES, "depth": DEPTH, **_results}
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
 
 
 def _timed(fn):
@@ -50,9 +81,91 @@ def test_parallel_speedup(registry):
                serial_s=round(serial_seconds, 3),
                workers4_s=round(parallel_seconds, 3),
                speedup=round(speedup, 2))
+    _record(sleep_serial_s=round(serial_seconds, 3),
+            sleep_thread4_s=round(parallel_seconds, 3),
+            sleep_thread_speedup=round(speedup, 2))
     assert speedup >= 2.0, (
         f"expected >=2x speedup with workers=4, got {speedup:.2f}x "
         f"({serial_seconds:.3f}s serial vs {parallel_seconds:.3f}s)")
+
+
+def test_process_pool_cpu_speedup(registry):
+    """workers=4 processes beat serial >=2x on pure-Python CPU work.
+
+    The same workload through the thread pool stays ~1x (the GIL
+    serializes it) — reported alongside for the comparison row.  All
+    three backends must agree on every module status; the speedup
+    assertion needs real cores and skips on single-core hosts.
+    """
+    workflow = wide_workflow(branches=BRANCHES, depth=DEPTH, work=CPU_WORK)
+    executor = Executor(registry)
+    serial_result, serial_seconds = _timed(
+        lambda: executor.execute(workflow))
+    thread_result, thread_seconds = _timed(
+        lambda: executor.execute(workflow, workers=4))
+    process_result, process_seconds = _timed(
+        lambda: executor.execute(workflow, workers=4, backend="process"))
+    statuses = lambda result: {m: r.status  # noqa: E731
+                               for m, r in result.results.items()}
+    assert statuses(serial_result) == statuses(thread_result) \
+        == statuses(process_result)
+    thread_speedup = serial_seconds / thread_seconds
+    process_speedup = serial_seconds / process_seconds
+    report_row("E13", op="cpu-dag", modules=BRANCHES * DEPTH + 1,
+               serial_s=round(serial_seconds, 3),
+               thread4_s=round(thread_seconds, 3),
+               thread_speedup=round(thread_speedup, 2),
+               process4_s=round(process_seconds, 3),
+               process_speedup=round(process_speedup, 2),
+               cores=os.cpu_count())
+    _record(cpu_serial_s=round(serial_seconds, 3),
+            cpu_thread4_s=round(thread_seconds, 3),
+            cpu_thread_speedup=round(thread_speedup, 2),
+            cpu_process4_s=round(process_seconds, 3),
+            cpu_process_speedup=round(process_speedup, 2),
+            cores=os.cpu_count())
+    if (os.cpu_count() or 1) < 4:
+        # 4 workers on 2-3 cores cap below the asserted bar before
+        # spawn/pickling overhead; statuses are already verified identical
+        pytest.skip("process-pool >=2x assert needs >=4 cores")
+    assert process_speedup >= 2.0, (
+        f"expected >=2x process-pool speedup with workers=4, got "
+        f"{process_speedup:.2f}x ({serial_seconds:.3f}s serial vs "
+        f"{process_seconds:.3f}s; thread pool: {thread_seconds:.3f}s)")
+
+
+def test_warm_persistent_cache_rerun_speedup(registry, tmp_path):
+    """A fresh-process rerun against a warm persistent cache is >=5x.
+
+    The warm executor holds a *new* PersistentResultCache instance over
+    the same file — exactly what a fresh OS process would construct — and
+    must re-execute nothing.
+    """
+    path = str(tmp_path / "memo.db")
+    workflow = wide_workflow(branches=BRANCHES, depth=DEPTH,
+                             work=CPU_WORK // 4)
+    cold_executor = Executor(registry, cache=PersistentResultCache(path))
+    cold_result, cold_seconds = _timed(
+        lambda: cold_executor.execute(workflow))
+    assert cold_result.status == "ok"
+    warm_executor = Executor(registry, cache=PersistentResultCache(path))
+    warm_result, warm_seconds = _timed(
+        lambda: warm_executor.execute(workflow))
+    assert all(module_result.status == "cached"
+               for module_result in warm_result.results.values())
+    assert warm_result.executed_modules() == []
+    speedup = cold_seconds / warm_seconds
+    report_row("E13", op="warm-persistent-cache",
+               modules=BRANCHES * DEPTH + 1,
+               cold_s=round(cold_seconds, 3),
+               warm_s=round(warm_seconds, 4),
+               speedup=round(speedup, 1))
+    _record(cache_cold_s=round(cold_seconds, 3),
+            cache_warm_s=round(warm_seconds, 4),
+            cache_speedup=round(speedup, 1))
+    assert speedup >= 5.0, (
+        f"expected >=5x warm-persistent-cache speedup, got {speedup:.1f}x "
+        f"({cold_seconds:.3f}s cold vs {warm_seconds:.4f}s warm)")
 
 
 @pytest.mark.parametrize("workers", [1, 2, 4, 8])

@@ -103,6 +103,7 @@ def partial_rerun(run: WorkflowRun, registry: ModuleRegistry, *,
                      parameter_overrides=parameter_overrides,
                      reuse=plan.reuse_records, bypass_cache=plan.stale,
                      tags={"replay_of": run.id,
+                           "derived_from_run": run.id,
                            "replay_stale": len(plan.stale),
                            "replay_reused": len(plan.reused)})
     return capture.last_run(), plan

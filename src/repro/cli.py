@@ -4,6 +4,8 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
 
     python -m repro demo            # run the Figure 1 pipeline, print report
     python -m repro demo --workers 4        # same, parallel scheduler
+    python -m repro demo --workers 4 --backend process
+                                    # same, process-pool scheduler (CPU-bound)
     python -m repro recipe          # print the Figure 1 prospective recipe
     python -m repro challenge       # run the First Provenance Challenge
     python -m repro challenge2      # run the Second (multi-system) Challenge
@@ -13,6 +15,8 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
                                     # ProvQuery select over stored runs
     python -m repro rerun --level 55 --workers 4
                                     # provenance-driven partial re-execution
+    python -m repro rerun --chain 3 # replay-of-replay: record a 3-deep
+                                    # derived_from_run chain and print it
     python -m repro lineage --demo 3           # cross-run ancestry of a
                                     # demo product, from the lineage index
     python -m repro lineage <hash> --down --depth 2
@@ -31,7 +35,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.analytics import run_report
     from repro.core import ProvenanceManager
     from repro.workloads import build_vis_workflow
-    manager = ProvenanceManager(workers=args.workers)
+    manager = ProvenanceManager(workers=args.workers, backend=args.backend,
+                                cache_path=args.cache or None)
     run = manager.run(build_vis_workflow(size=args.size))
     print(run_report(run))
     return 0 if run.status == "ok" else 1
@@ -40,7 +45,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 def _cmd_rerun(args: argparse.Namespace) -> int:
     from repro.core import ProvenanceManager
     from repro.workloads import build_vis_workflow
-    manager = ProvenanceManager(workers=args.workers)
+    manager = ProvenanceManager(workers=args.workers, backend=args.backend)
     workflow = build_vis_workflow(size=args.size)
     original = manager.run(workflow)
     print(f"original run {original.id}: "
@@ -60,6 +65,15 @@ def _cmd_rerun(args: argparse.Namespace) -> int:
     rendered = ", ".join(f"{count} {status}"
                          for status, count in sorted(statuses.items()))
     print(f"replay run {new_run.id}: {rendered}")
+    # replay-of-replay: each further rerun replays the previous rerun,
+    # extending the derived_from_run chain in the lineage index
+    for _ in range(max(0, args.chain - 1)):
+        new_run, _ = manager.rerun(new_run.id)
+    if args.chain > 1:
+        chain = manager.lineage(new_run.id)
+        hops = " <- ".join(row["id"] for row in chain + [
+            {"id": new_run.id}])
+        print(f"replay chain ({len(chain)} derived_from_run hops): {hops}")
     return 0 if new_run.status == "ok" else 1
 
 
@@ -191,6 +205,15 @@ def _cmd_lineage(args: argparse.Namespace) -> int:
     direction = "down" if args.down else "up"
     rows = manager.lineage(key, direction=direction,
                            max_depth=args.depth or None)
+    if rows and "value_hash" not in rows[0]:
+        # run-chain rows (the key named a stored run)
+        shown = [{"run_id": row["id"], "workflow": row["workflow_name"],
+                  "status": row["status"]} for row in rows]
+        print(ascii_table(shown))
+        arrow = ("derived from" if direction == "up"
+                 else "derived into")
+        print(f"{key} {arrow} a replay chain of {len(rows)} runs")
+        return 0
     shown = [{"run_id": row["run_id"], "id": row["id"],
               "type": row["type_name"],
               "value_hash": row["value_hash"][:16]} for row in rows]
@@ -217,6 +240,15 @@ def build_parser() -> argparse.ArgumentParser:
                       help="volume edge length")
     demo.add_argument("--workers", type=int, default=None,
                       help="scheduler parallelism (default: serial)")
+    demo.add_argument("--backend", choices=["serial", "thread", "process"],
+                      default=None,
+                      help="worker pool kind: threads (default) for "
+                           "blocking work, processes for CPU-bound "
+                           "modules")
+    demo.add_argument("--cache", default="",
+                      help="path of a persistent result-cache database; "
+                           "repeated demos then reuse results across "
+                           "process restarts")
     demo.set_defaults(handler=_cmd_demo)
 
     rerun = subparsers.add_parser(
@@ -229,6 +261,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="new isosurface level for the replay")
     rerun.add_argument("--workers", type=int, default=None,
                        help="scheduler parallelism (default: serial)")
+    rerun.add_argument("--backend", choices=["serial", "thread", "process"],
+                       default=None,
+                       help="worker pool kind for the replay")
+    rerun.add_argument("--chain", type=int, default=1,
+                       help="rerun the rerun N-1 more times and print the "
+                            "recorded derived_from_run chain")
     rerun.set_defaults(handler=_cmd_rerun)
 
     recipe = subparsers.add_parser(

@@ -21,7 +21,8 @@ from repro.core.prospective import ProspectiveProvenance
 from repro.core.replay import ReplayPlan, compute_replay_plan
 from repro.core.retrospective import WorkflowRun
 from repro.storage.query import ProvQuery, ResultCursor
-from repro.workflow.cache import ResultCache
+from repro.workflow.cache import (CacheStore, PersistentResultCache,
+                                  ResultCache)
 from repro.workflow.engine import Executor, RunResult
 from repro.workflow.registry import ModuleRegistry
 from repro.workflow.serialization import workflow_from_dict
@@ -37,17 +38,33 @@ class ProvenanceManager:
         registry: module registry (defaults to the standard libraries).
         store: provenance storage backend (defaults to an in-memory store).
         use_cache: enable intermediate-result caching in the engine.
+        cache: an explicit :class:`~repro.workflow.cache.CacheStore` to
+            memoize against (overrides ``use_cache``/``cache_path``).
+        cache_path: path of a
+            :class:`~repro.workflow.cache.PersistentResultCache` database;
+            results then survive process boundaries and restarts, so a
+            fresh process rerunning an unchanged workflow recomputes
+            nothing.
         keep_values: retain artifact values on captured runs (required for
             partial re-execution to reuse recorded results).
         workers: default engine parallelism — ``None``/``1`` executes
             serially in deterministic order, ``N > 1`` runs independent
-            branches on a thread pool.
+            branches on a worker pool.
+        backend: worker-pool kind — ``"thread"`` (default) for blocking /
+            GIL-releasing modules, ``"process"`` for pure-Python CPU-bound
+            modules (requires an importable ``registry_provider``).
+        registry_provider: ``"module:callable"`` spec process workers use
+            to rebuild the registry (defaults to the standard libraries).
     """
 
     def __init__(self, *, registry: Optional[ModuleRegistry] = None,
                  store: Optional[Any] = None, use_cache: bool = True,
+                 cache: Optional[CacheStore] = None,
+                 cache_path: Optional[str] = None,
                  keep_values: bool = True,
-                 workers: Optional[int] = None) -> None:
+                 workers: Optional[int] = None,
+                 backend: Optional[str] = None,
+                 registry_provider: Optional[str] = None) -> None:
         if registry is None:
             from repro.workflow.modules import standard_registry
             registry = standard_registry()
@@ -57,11 +74,18 @@ class ProvenanceManager:
         self.registry = registry
         self.store = store
         self.annotations = AnnotationStore()
-        self.cache = ResultCache() if use_cache else None
+        if cache is not None:
+            self.cache: Optional[CacheStore] = cache
+        elif cache_path is not None:
+            self.cache = PersistentResultCache(cache_path)
+        else:
+            self.cache = ResultCache() if use_cache else None
         self.capture = ProvenanceCapture(registry=registry, store=store,
                                          keep_values=keep_values)
         self.executor = Executor(registry, cache=self.cache,
-                                 listeners=[self.capture], workers=workers)
+                                 listeners=[self.capture], workers=workers,
+                                 backend=backend,
+                                 registry_provider=registry_provider)
         #: Raw engine result of the most recent :meth:`run` (None before
         #: the first run, instead of raising AttributeError on access).
         self.last_engine_result: Optional[RunResult] = None
@@ -86,18 +110,20 @@ class ProvenanceManager:
             parameter_overrides: Optional[
                 Mapping[str, Mapping[str, Any]]] = None,
             tags: Optional[Mapping[str, Any]] = None,
-            workers: Optional[int] = None) -> WorkflowRun:
+            workers: Optional[int] = None,
+            backend: Optional[str] = None) -> WorkflowRun:
         """Execute ``workflow``, capture and store its provenance.
 
         Returns the captured :class:`WorkflowRun`; the raw engine result is
-        available as :attr:`last_engine_result`.  ``workers`` overrides the
-        manager's default parallelism for this run only.
+        available as :attr:`last_engine_result`.  ``workers`` and
+        ``backend`` override the manager's defaults for this run only.
         """
         self.store.save_workflow(
             ProspectiveProvenance.from_workflow(workflow, self.registry))
         result = self.executor.execute(workflow, inputs=inputs,
                                        parameter_overrides=parameter_overrides,
-                                       tags=tags, workers=workers)
+                                       tags=tags, workers=workers,
+                                       backend=backend)
         self.last_engine_result = result
         return self.capture.last_run()
 
@@ -136,7 +162,8 @@ class ProvenanceManager:
                   Mapping[str, Mapping[str, Any]]] = None,
               invalidated_hashes: Any = (),
               force: Any = (),
-              workers: Optional[int] = None
+              workers: Optional[int] = None,
+              backend: Optional[str] = None
               ) -> Tuple[WorkflowRun, ReplayPlan]:
         """Partially re-execute a stored run; only the stale cone computes.
 
@@ -144,7 +171,12 @@ class ProvenanceManager:
         retrospective provenance and the change description; modules outside
         the stale frontier are replayed as ``"cached"`` executions that
         point at the original execution ids.  The new run is captured and
-        stored like any other.  Returns ``(new_run, plan)``.
+        stored like any other, and carries a ``derived_from_run`` tag
+        naming the run it replays — rerunning a run that is itself a rerun
+        therefore builds a *replay chain*, recorded hop by hop in the
+        cross-run lineage index and queryable via :meth:`lineage` (pass a
+        run id) or ProvQL ``LINEAGE OF <run-id>``.  Returns
+        ``(new_run, plan)``.
 
         With no change description at all, every recorded module is reused
         — a provenance integrity check that re-derives the run record
@@ -167,8 +199,9 @@ class ProvenanceManager:
             plan.workflow, inputs=plan.external_inputs,
             parameter_overrides=parameter_overrides,
             reuse=plan.reuse_records, bypass_cache=plan.stale,
-            workers=workers,
+            workers=workers, backend=backend,
             tags={"replay_of": plan.original_run,
+                  "derived_from_run": plan.original_run,
                   "replay_stale": len(plan.stale),
                   "replay_reused": len(plan.reused)})
         self.last_engine_result = result
@@ -224,14 +257,42 @@ class ProvenanceManager:
                 max_depth: Optional[int] = None,
                 within_runs: Optional[List[str]] = None
                 ) -> List[Dict[str, Any]]:
-        """Cross-run ancestry of a value hash (or artifact id).
+        """Cross-run ancestry of a value hash, artifact id, or run.
 
         ``direction="up"`` returns the artifacts the given one was
         transitively derived from, ``"down"`` everything derived from it —
         in *any* stored run, joined on content hashes through the store's
         lineage index (no run is deserialized by index-backed stores).
         Rows are canonical artifact dicts sorted by (run_id, id).
+
+        When ``key`` is a stored run id (or the explicit ``run:<id>``
+        form), the walk follows *replay-chain* edges instead: ``"up"``
+        returns the runs this one transitively derives from (its
+        ``derived_from_run`` ancestry), ``"down"`` every rerun derived
+        from it.  Rows are then canonical run dicts ordered by
+        (started, id).
         """
+        run_key = None
+        if key.startswith("run:"):
+            run_key = key
+        elif self.store.has_run(key):
+            run_key = f"run:{key}"
+        if run_key is not None:
+            if direction not in ("up", "upstream", "down", "downstream"):
+                raise ValueError(f"direction must be 'up' or 'down', "
+                                 f"not {direction!r}")
+            closure = self.store.lineage_closure(
+                run_key,
+                direction="up" if direction in ("up", "upstream")
+                else "down",
+                max_depth=max_depth, within_runs=within_runs)
+            run_ids = sorted(node[len("run:"):] for node in closure
+                             if node.startswith("run:"))
+            if not run_ids:
+                return []
+            return self.store.select(
+                ProvQuery.runs().where_op("id", "in", run_ids)
+                .order_by("started", "id")).all()
         query = ProvQuery.artifacts()
         if direction in ("up", "upstream"):
             query = query.upstream_of(key, max_depth=max_depth,

@@ -51,6 +51,9 @@ class ReplayPlan:
         external_inputs: values to inject for unconnected input ports —
             the caller's changed inputs plus every original external input
             recovered from the stored run's retained values.
+        derived_from_run: the run *the original run itself* replays ("" for
+            a first-generation run) — executing this plan therefore
+            extends a replay chain one hop past that ancestry.
     """
 
     original_run: str
@@ -60,6 +63,7 @@ class ReplayPlan:
     reasons: Dict[str, str] = field(default_factory=dict)
     reuse_records: Dict[str, ReusedModule] = field(default_factory=dict)
     external_inputs: Dict[InputKey, Any] = field(default_factory=dict)
+    derived_from_run: str = ""
 
     def is_full_replay(self) -> bool:
         """True when nothing could be reused."""
@@ -68,9 +72,11 @@ class ReplayPlan:
     def summary(self) -> str:
         """One-line description of the planned work."""
         total = len(self.workflow.modules)
+        chain = (f" (extends replay chain of {self.derived_from_run})"
+                 if self.derived_from_run else "")
         return (f"replay of {self.original_run}: "
                 f"{len(self.stale)}/{total} modules re-execute, "
-                f"{len(self.reused)} reused from provenance")
+                f"{len(self.reused)} reused from provenance{chain}")
 
 
 def compute_replay_plan(run: WorkflowRun, *,
@@ -193,10 +199,13 @@ def compute_replay_plan(run: WorkflowRun, *,
 
     stale = sorted(reasons)
     reused = sorted(reuse_records)
+    parent = (run.tags or {}).get("derived_from_run", "")
     return ReplayPlan(original_run=run.id, workflow=workflow, stale=stale,
                       reused=reused, reasons=reasons,
                       reuse_records=reuse_records,
-                      external_inputs=external_inputs)
+                      external_inputs=external_inputs,
+                      derived_from_run=parent
+                      if isinstance(parent, str) else "")
 
 
 def _reused_record(run: WorkflowRun,

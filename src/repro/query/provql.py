@@ -424,16 +424,60 @@ def _artifact_row_from_select(row: Dict[str, Any],
     }
 
 
+def _creators_for(store, art_rows: List[Dict[str, Any]]
+                  ) -> Dict[Tuple[str, str], Tuple[str, str]]:
+    """Resolve creating executions for artifact rows via one pushed-down
+    executions select (no run is deserialized)."""
+    from repro.storage.query import ProvQuery
+
+    creator_ids = sorted({row["created_by"] for row in art_rows
+                          if row["created_by"]})
+    if not creator_ids:
+        return {}
+    exec_query = ProvQuery.executions().project(
+        "id", "run_id", "module_type", "module_name")
+    if len(creator_ids) <= 500:
+        # selective query: fetch only the referenced creators (the
+        # id-in filter pushes down); past ~500 ids a full projected
+        # scan is cheaper than a giant IN list
+        exec_query = exec_query.where_op("id", "in", creator_ids)
+    return {(row["run_id"], row["id"]): (row["module_type"],
+                                         row["module_name"])
+            for row in store.select(exec_query)}
+
+
+def _closure_artifact_rows(query: Query, store, direction: str
+                           ) -> List[Dict[str, Any]]:
+    """Cross-run closure rows for UPSTREAM/DOWNSTREAM, via the store's
+    lineage index (ProvQuery lineage clause), creators resolved."""
+    from repro.storage.query import ProvQuery
+
+    base = ProvQuery.artifacts()
+    base = (base.upstream_of(query.subject) if direction == "up"
+            else base.downstream_of(query.subject))
+    pushed, residual = _compile_conditions(query, base, _ART_FIELDS,
+                                           allow_params=False)
+    art_rows = store.select(pushed.order_by("run_id", "id")).all()
+    creators = _creators_for(store, art_rows)
+    rows = [_artifact_row_from_select(row, creators) for row in art_rows]
+    return _apply_conditions(rows, tuple(residual))
+
+
 def evaluate_on_store(query: Query, store) -> Any:
     """Evaluate a parsed query across every run in ``store``.
 
     EXECUTIONS and ARTIFACTS queries push their conditions into the
     backend via :meth:`ProvenanceStore.select` (artifact ``creator.*``
     fields are resolved through a second pushed-down executions select, so
-    no run is ever deserialized); PRODUCTS and INPUTS need whole-run
-    structure and fall back to loading each run.  Lineage commands
-    (UPSTREAM/DOWNSTREAM/LINEAGE/PATHS) are run-scoped — use
-    :func:`execute` with one run.
+    no run is ever deserialized).  UPSTREAM OF / DOWNSTREAM OF traverse
+    the store's *cross-run* lineage index — the subject is a value hash or
+    artifact id, and the closure joins every stored run on shared content
+    hashes, exactly like ``ProvQuery.artifacts().upstream_of(...)``.
+    LINEAGE OF returns both directions at once; given a stored *run id*
+    it instead walks the replay chain (``derived_from_run`` hops) and
+    returns the run ancestry/descendancy.  PRODUCTS and INPUTS need
+    whole-run structure and fall back to loading each run.  PATHS remains
+    run-scoped — use :func:`execute` with one run.
     """
     from repro.storage.query import ProvQuery
 
@@ -446,22 +490,45 @@ def evaluate_on_store(query: Query, store) -> Any:
         pushed, residual = _compile_conditions(
             query, ProvQuery.artifacts(), _ART_FIELDS, allow_params=False)
         art_rows = store.select(pushed).all()
-        creator_ids = sorted({row["created_by"] for row in art_rows
-                              if row["created_by"]})
-        exec_query = ProvQuery.executions().project(
-            "id", "run_id", "module_type", "module_name")
-        if creator_ids and len(creator_ids) <= 500:
-            # selective query: fetch only the referenced creators (the
-            # id-in filter pushes down); past ~500 ids a full projected
-            # scan is cheaper than a giant IN list
-            exec_query = exec_query.where_op("id", "in", creator_ids)
-        creators = {
-            (row["run_id"], row["id"]): (row["module_type"],
-                                         row["module_name"])
-            for row in store.select(exec_query)} if creator_ids else {}
+        creators = _creators_for(store, art_rows)
         rows = [_artifact_row_from_select(row, creators)
                 for row in art_rows]
         result = _apply_conditions(rows, tuple(residual))
+    elif query.command in ("UPSTREAM", "DOWNSTREAM"):
+        direction = "up" if query.command == "UPSTREAM" else "down"
+        result = _closure_artifact_rows(query, store, direction)
+    elif query.command == "LINEAGE":
+        if store.has_run(query.subject):
+            derived_from = store.lineage_closure(f"run:{query.subject}",
+                                                 direction="up")
+            derives = store.lineage_closure(f"run:{query.subject}",
+                                            direction="down")
+            result = {
+                "run": query.subject,
+                "derived_from": sorted(node[len("run:"):]
+                                       for node in derived_from
+                                       if node.startswith("run:")),
+                "derives": sorted(node[len("run:"):] for node in derives
+                                  if node.startswith("run:")),
+            }
+            if query.count:
+                return (len(result["derived_from"])
+                        + len(result["derives"]))
+            return result
+        from repro.storage.query import ProvQuery as _PQ
+        up_rows = store.select(
+            _PQ.artifacts().upstream_of(query.subject)).all()
+        down_rows = store.select(
+            _PQ.artifacts().downstream_of(query.subject)).all()
+        closure = up_rows + down_rows
+        result = {
+            "artifact": query.subject,
+            "artifacts": sorted({row["id"] for row in closure}),
+            # the executions that materialized the closure artifacts —
+            # the cross-run analogue of the per-run LINEAGE execution set
+            "executions": sorted({row["created_by"] for row in closure
+                                  if row["created_by"]}),
+        }
     elif query.command in ("PRODUCTS", "INPUTS"):
         per_run = Query(command=query.command,
                         conditions=query.conditions)
@@ -473,6 +540,9 @@ def evaluate_on_store(query: Query, store) -> Any:
             f"{query.command} is run-scoped; evaluate it against a single "
             "run with execute()")
     if query.count:
+        if isinstance(result, dict):
+            return (len(result.get("artifacts", ()))
+                    + len(result.get("executions", ())))
         return len(result)
     return result
 

@@ -13,8 +13,10 @@ from repro.storage.artifacts import ArtifactValueStore, FileArtifactValueStore
 from repro.storage.base import (ProvenanceStore, RunSummary, StoreError,
                                 generic_lineage_hashes)
 from repro.storage.documents import DocumentStore
-from repro.storage.lineage import (LineageEdge, LineageIndex, hash_closure,
-                                   lineage_edges)
+from repro.storage.lineage import (DERIVED_FROM_RUN, LineageEdge,
+                                   LineageIndex, RUN_NODE_PREFIX,
+                                   hash_closure, lineage_edges,
+                                   run_id_from_node, run_node)
 from repro.storage.memory import MemoryStore
 from repro.storage.query import (Filter, LineageClause, ProvQuery,
                                  QueryError, ResultCursor)
@@ -27,7 +29,8 @@ __all__ = [
     "ProvenanceStore", "RunSummary", "StoreError",
     "generic_lineage_hashes",
     "Filter", "LineageClause", "ProvQuery", "QueryError", "ResultCursor",
-    "LineageEdge", "LineageIndex", "hash_closure", "lineage_edges",
+    "DERIVED_FROM_RUN", "LineageEdge", "LineageIndex", "RUN_NODE_PREFIX",
+    "hash_closure", "lineage_edges", "run_id_from_node", "run_node",
     "DocumentStore", "MemoryStore", "RelationalStore",
     "PROV", "TripleProvenanceStore", "TripleStore",
     "run_from_triples", "run_to_triples",

@@ -175,6 +175,26 @@ class ProvenanceStore(ABC):
     def all_annotations(self) -> List[Annotation]:
         """Every stored annotation, sorted by id."""
 
+    # -- lineage closure ---------------------------------------------------
+    def lineage_closure(self, key: str, *, direction: str = "up",
+                        max_depth: Optional[int] = None,
+                        within_runs: Optional[Iterable[str]] = None
+                        ) -> frozenset:
+        """Transitive lineage closure of ``key`` as a set of graph nodes.
+
+        ``key`` is a value hash, an artifact id (resolved to its hash
+        before traversal), or a run-level node (``run:<run-id>`` — see
+        :func:`repro.storage.lineage.run_node`) for walking replay
+        chains.  The result contains content hashes and/or ``run:``
+        nodes reachable in at most ``max_depth`` hops, seeds excluded.
+
+        This generic implementation delegates to the load-and-traverse
+        oracle; backends override it to answer from their native index
+        (the same one :meth:`select` lineage clauses use).
+        """
+        return generic_lineage_hashes(
+            self, LineageClause(direction, key, max_depth, within_runs))
+
     # -- unified query entry point ----------------------------------------
     def select(self, query: ProvQuery) -> ResultCursor:
         """Evaluate a :class:`ProvQuery`; returns a lazy result cursor.

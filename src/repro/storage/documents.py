@@ -319,6 +319,14 @@ class DocumentStore(ProvenanceStore):
                              max_depth=clause.max_depth,
                              within_runs=clause.within_runs)
 
+    def lineage_closure(self, key: str, *, direction: str = "up",
+                        max_depth: Optional[int] = None,
+                        within_runs: Optional[Iterable[str]] = None
+                        ) -> frozenset:
+        """Closure from the sidecar's cached derivation edges."""
+        return frozenset(self._lineage_hashes(
+            LineageClause(direction, key, max_depth, within_runs)))
+
     def _lineage_view(self) -> Tuple[LineageIndex, Dict[str, set]]:
         """The adjacency index plus an id→hashes seed-resolution map.
 

@@ -29,7 +29,34 @@ from __future__ import annotations
 from typing import (Dict, Iterable, List, NamedTuple, Optional, Sequence,
                     Set, Tuple)
 
-__all__ = ["LineageEdge", "LineageIndex", "hash_closure", "lineage_edges"]
+__all__ = ["LineageEdge", "LineageIndex", "hash_closure", "lineage_edges",
+           "RUN_NODE_PREFIX", "DERIVED_FROM_RUN", "run_node",
+           "run_id_from_node"]
+
+#: Namespace prefix of run-level nodes in the lineage graph.  Artifact
+#: nodes are content hashes; a *run* participates in the graph as the
+#: synthetic node ``run:<run-id>`` so that replay chains (a rerun derived
+#: from a stored run, possibly itself a rerun) index and traverse exactly
+#: like hash-level derivations.  The namespaces never collide: content
+#: hashes are hex digests and never start with ``run:``.
+RUN_NODE_PREFIX = "run:"
+
+#: The ``execution_id`` marker carried by run-derivation edges, and the
+#: run tag that declares the link (set by ``manager.rerun`` /
+#: ``apps.reproduce.partial_rerun``).
+DERIVED_FROM_RUN = "derived_from_run"
+
+
+def run_node(run_id: str) -> str:
+    """Lineage-graph node for a run id."""
+    return f"{RUN_NODE_PREFIX}{run_id}"
+
+
+def run_id_from_node(node: str) -> Optional[str]:
+    """Run id of a run-level lineage node, or None for artifact nodes."""
+    if node.startswith(RUN_NODE_PREFIX):
+        return node[len(RUN_NODE_PREFIX):]
+    return None
 
 
 class LineageEdge(NamedTuple):
@@ -43,14 +70,20 @@ class LineageEdge(NamedTuple):
 
 
 def lineage_edges(run) -> List[LineageEdge]:
-    """Hash-level derivation edges of one run, deduplicated and sorted.
+    """Derivation edges of one run, deduplicated and sorted.
 
-    Every succeeded (ok or cached) execution contributes one edge per
-    (output, input) artifact pair, from the derived value hash to the
-    source value hash.  Content hashes are stable across runs, so these
-    edges compose into cross-run derivation chains wherever two runs
+    Every succeeded (ok or cached) execution contributes one hash-level
+    edge per (output, input) artifact pair, from the derived value hash to
+    the source value hash.  Content hashes are stable across runs, so
+    these edges compose into cross-run derivation chains wherever two runs
     share bytes.  Bindings that reference no recorded artifact (possible
     in externally ingested provenance) are skipped.
+
+    A run carrying a ``derived_from_run`` tag (a replay of a stored run)
+    additionally contributes one *run-level* edge ``run:<id> ->
+    run:<parent-id>`` so replay-of-replay chains are first-class index
+    content: k nested reruns yield k hops walkable with the same closure
+    machinery as hash ancestry.
     """
     edges: Set[LineageEdge] = set()
     for execution in run.executions:
@@ -66,6 +99,10 @@ def lineage_edges(run) -> List[LineageEdge]:
                     continue
                 edges.add(LineageEdge(derived.value_hash, source.value_hash,
                                       run.id, execution.id))
+    parent = (run.tags or {}).get(DERIVED_FROM_RUN)
+    if isinstance(parent, str) and parent:
+        edges.add(LineageEdge(run_node(run.id), run_node(parent),
+                              run.id, DERIVED_FROM_RUN))
     return sorted(edges)
 
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Set
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set
 
 from repro.core.annotations import Annotation
 from repro.core.prospective import ProspectiveProvenance
@@ -108,6 +108,14 @@ class MemoryStore(ProvenanceStore):
         return self._lineage.closure(seeds, direction=clause.direction,
                                      max_depth=clause.max_depth,
                                      within_runs=clause.within_runs)
+
+    def lineage_closure(self, key: str, *, direction: str = "up",
+                        max_depth: Optional[int] = None,
+                        within_runs: Optional[Iterable[str]] = None
+                        ) -> frozenset:
+        """Closure from the incrementally-maintained adjacency index."""
+        return frozenset(self._lineage_hashes(
+            LineageClause(direction, key, max_depth, within_runs)))
 
     def _scan(self, entity: str) -> Iterator[Dict[str, Any]]:
         if entity == "annotations":

@@ -25,7 +25,8 @@ from repro.core.prospective import ProspectiveProvenance
 from repro.core.retrospective import (DataArtifact, ModuleExecution,
                                       PortBinding, WorkflowRun)
 from repro.storage.base import ProvenanceStore, RunSummary, StoreError
-from repro.storage.lineage import lineage_edges
+from repro.storage.lineage import (DERIVED_FROM_RUN, lineage_edges,
+                                   run_node)
 from repro.storage.query import (Filter, LineageClause, ProvQuery,
                                  ResultCursor, apply_filters, apply_window,
                                  project_rows)
@@ -153,8 +154,11 @@ class RelationalStore(ProvenanceStore):
         """Index runs stored before the lineage table existed.
 
         Pre-index databases reopened by this version hold runs but an
-        empty ``lineage`` table; the edges are reconstructed entirely in
-        SQL from bindings and artifacts — no run is deserialized.
+        empty ``lineage`` table; the hash-level edges are reconstructed
+        entirely in SQL from bindings and artifacts — no run is
+        deserialized.  Run-level replay-chain edges are reconstructed
+        from the ``tags`` column alone (one narrow scan, still no run
+        deserialization).
         """
         populated = self._connection.execute(
             "SELECT EXISTS(SELECT 1 FROM runs),"
@@ -175,6 +179,18 @@ class RelationalStore(ProvenanceStore):
             " JOIN artifacts source ON source.id = ib.artifact_id"
             "  AND source.run_id = e.run_id"
             " WHERE e.status IN ('ok', 'cached')")
+        chain_rows = []
+        for run_id, tags_text in self._connection.execute(
+                "SELECT id, tags FROM runs"
+                " WHERE tags LIKE '%derived_from_run%'").fetchall():
+            parent = json.loads(tags_text).get(DERIVED_FROM_RUN)
+            if isinstance(parent, str) and parent:
+                chain_rows.append((run_node(run_id), run_node(parent),
+                                   run_id, DERIVED_FROM_RUN))
+        if chain_rows:
+            self._connection.executemany(
+                "INSERT OR IGNORE INTO lineage VALUES (?,?,?,?)",
+                chain_rows)
         self._connection.commit()
 
     # -- runs -----------------------------------------------------------
@@ -626,6 +642,25 @@ class RelationalStore(ProvenanceStore):
         clauses.append(f"value_hash NOT IN ({seed_marks})")
         params.extend(seeds)
         return prefix, prefix_params
+
+    def lineage_closure(self, key: str, *, direction: str = "up",
+                        max_depth: Optional[int] = None,
+                        within_runs: Optional[Iterable[str]] = None
+                        ) -> frozenset:
+        """Transitive closure of one seed as a single recursive CTE.
+
+        Same compilation as a ``select`` lineage clause, but the closure
+        node set itself is the answer — the entry point for run-level
+        replay-chain walks (``run:<id>`` seeds), where no artifact row
+        carries the matching hash.
+        """
+        clause = LineageClause(direction, key, max_depth, within_runs)
+        prefix, prefix_params = self._compile_lineage(clause, [], [])
+        rows = self._connection.execute(
+            f"{prefix}SELECT hash FROM lineage_closure",
+            tuple(prefix_params)).fetchall()
+        seeds = set(self._lineage_seed_hashes(clause.key))
+        return frozenset(row[0] for row in rows) - seeds
 
     def _lineage_seed_hashes(self, key: str) -> List[str]:
         """Resolve a clause key: an artifact id maps to its value hash(es);

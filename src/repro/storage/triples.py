@@ -15,14 +15,15 @@ This module provides:
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.core.annotations import Annotation
 from repro.core.prospective import ProspectiveProvenance
 from repro.core.retrospective import (DataArtifact, ModuleExecution,
                                       PortBinding, WorkflowRun)
 from repro.storage.base import ProvenanceStore, RunSummary, StoreError
-from repro.storage.lineage import LineageIndex
+from repro.storage.lineage import (DERIVED_FROM_RUN, LineageIndex,
+                                   run_node)
 from repro.storage.query import (Filter, LineageClause, ProvQuery,
                                  ResultCursor, apply_filters,
                                  apply_ordering, apply_window, project_rows)
@@ -528,6 +529,14 @@ class TripleProvenanceStore(ProvenanceStore):
             seeds, direction=clause.direction,
             max_depth=clause.max_depth, within_runs=clause.within_runs)
 
+    def lineage_closure(self, key: str, *, direction: str = "up",
+                        max_depth: Optional[int] = None,
+                        within_runs: Optional[Iterable[str]] = None
+                        ) -> frozenset:
+        """Closure from the triples-derived adjacency index."""
+        return frozenset(self._lineage_hashes(
+            LineageClause(direction, key, max_depth, within_runs)))
+
     def _lineage_index(self) -> LineageIndex:
         """The derivation index, (re)built from the triples on demand."""
         if self._lineage is None:
@@ -542,8 +551,15 @@ class TripleProvenanceStore(ProvenanceStore):
                             ) -> List[Tuple[str, str, str]]:
         """One run's (derived, source, execution) hash edges, decoded from
         its ``used`` / ``wasGeneratedBy`` triples — the run itself is
-        never re-assembled."""
+        never re-assembled.  A ``derived_from_run`` tag (replay chains)
+        contributes the matching run-level edge, decoded from the run's
+        tags triple alone."""
         edges: List[Tuple[str, str, str]] = []
+        tags = json.loads(self.triples.one(run_id, PROV.TAGS, "{}"))
+        parent = tags.get(DERIVED_FROM_RUN)
+        if isinstance(parent, str) and parent:
+            edges.append((run_node(run_id), run_node(parent),
+                          DERIVED_FROM_RUN))
         for execution_id in self.triples.subjects(PROV.IN_RUN, run_id):
             if self.triples.one(execution_id, PROV.TYPE) != PROV.EXECUTION:
                 continue

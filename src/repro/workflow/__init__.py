@@ -6,11 +6,13 @@ under a dataflow model, with static validation, intermediate-result caching,
 and an observer API through which provenance is captured.
 """
 
-from repro.workflow.cache import CacheEntry, CacheStats, ResultCache
+from repro.workflow.cache import (CacheEntry, CacheStats, CacheStore,
+                                  PersistentResultCache, ResultCache)
 from repro.workflow.engine import (ExecutionListener, Executor, ModuleResult,
                                    ReusedModule, RunResult, ValueRecord)
 from repro.workflow.environment import capture_environment, environment_diff
-from repro.workflow.scheduler import (ExecutionBackend, ReadySetScheduler,
+from repro.workflow.scheduler import (BACKEND_KINDS, ExecutionBackend,
+                                      ProcessPoolBackend, ReadySetScheduler,
                                       SerialBackend, ThreadPoolBackend)
 from repro.workflow.errors import (CycleError, ExecutionError, ModuleFailure,
                                    RegistryError, SpecError,
@@ -29,12 +31,13 @@ from repro.workflow.validation import (ValidationIssue, check_workflow,
                                        validate_workflow)
 
 __all__ = [
-    "CacheEntry", "CacheStats", "ResultCache",
+    "CacheEntry", "CacheStats", "CacheStore", "PersistentResultCache",
+    "ResultCache",
     "ExecutionListener", "Executor", "ModuleResult", "ReusedModule",
     "RunResult", "ValueRecord",
     "capture_environment", "environment_diff",
-    "ExecutionBackend", "ReadySetScheduler", "SerialBackend",
-    "ThreadPoolBackend",
+    "BACKEND_KINDS", "ExecutionBackend", "ProcessPoolBackend",
+    "ReadySetScheduler", "SerialBackend", "ThreadPoolBackend",
     "CycleError", "ExecutionError", "ModuleFailure", "RegistryError",
     "SpecError", "TypeMismatchError", "ValidationError", "WorkflowError",
     "ModuleContext", "ModuleDefinition", "ModuleRegistry", "ParameterSpec",

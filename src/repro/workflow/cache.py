@@ -7,19 +7,33 @@ type and version, its resolved parameters, and the content hashes of every
 input value — exactly the causal signature of the computation.  A cache hit
 is recorded in retrospective provenance as a cached execution, preserving the
 derivation record while skipping the work.
+
+The cache is a *pluggable store*: the engine talks to the tiny
+:class:`CacheStore` interface and ships two implementations —
+
+* :class:`ResultCache` — the in-memory thread-safe LRU (the default);
+* :class:`PersistentResultCache` — a SQLite-backed store (WAL journal,
+  per-operation transactions) that survives process boundaries and
+  restarts, so a rerun in a *fresh* process can still reuse every result
+  whose causal signature is unchanged.  Concurrent readers and writers —
+  including separate OS processes sharing one cache file — are safe; a
+  corrupted or truncated cache file degrades to clean misses (the cache is
+  an accelerator, never a source of truth).
 """
 
 from __future__ import annotations
 
+import pickle
+import sqlite3
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Union
 
 from repro.identity import canonical_json, content_hash
 
-__all__ = ["CacheKey", "CacheEntry", "CacheStats", "ResultCache",
-           "module_cache_key"]
+__all__ = ["CacheKey", "CacheEntry", "CacheStats", "CacheStore",
+           "ResultCache", "PersistentResultCache", "module_cache_key"]
 
 CacheKey = str
 
@@ -71,7 +85,40 @@ def module_cache_key(type_name: str, version: str,
     return content_hash(payload.encode("utf-8"))
 
 
-class ResultCache:
+class CacheStore:
+    """Interface the engine memoizes against (see :class:`ResultCache`).
+
+    Implementations must be safe for concurrent use from one process (the
+    engine may run ``workers=N``) and must *never raise* out of
+    :meth:`get`/:meth:`put` for storage-level problems — a broken cache
+    degrades to misses, it does not fail the workflow.  ``stats`` counts
+    every lookup the same way on every implementation, so hit-rate
+    accounting is backend-independent.
+    """
+
+    stats: CacheStats
+
+    def get(self, key: CacheKey) -> Optional[CacheEntry]:
+        """Return the entry for ``key`` (refreshing recency) or None."""
+        raise NotImplementedError
+
+    def put(self, key: CacheKey, entry: CacheEntry) -> None:
+        """Store ``entry`` under ``key`` (evicting when over capacity)."""
+        raise NotImplementedError
+
+    def invalidate(self, key: CacheKey) -> bool:
+        """Drop ``key``; return True when it was present."""
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are retained)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources (no-op by default)."""
+
+
+class ResultCache(CacheStore):
     """Thread-safe LRU cache of module results keyed by causal signature.
 
     All operations take an internal lock, so one cache instance may serve
@@ -126,3 +173,221 @@ class ResultCache:
     def __contains__(self, key: CacheKey) -> bool:
         with self._lock:
             return key in self._entries
+
+
+_CACHE_SCHEMA = """
+CREATE TABLE IF NOT EXISTS entries (
+    key TEXT PRIMARY KEY,
+    payload BLOB NOT NULL,
+    source_execution TEXT NOT NULL,
+    -- monotone recency sequence (not wall time: sub-ms puts must still
+    -- order deterministically for LRU parity with ResultCache)
+    seq INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_entries_seq ON entries(seq);
+"""
+
+
+class PersistentResultCache(CacheStore):
+    """SQLite-backed result cache shared across processes and restarts.
+
+    Entries are ``(key, pickled (outputs, output_hashes), source
+    execution)`` rows; recency is a monotone sequence number so LRU
+    eviction matches :class:`ResultCache` exactly for the same operation
+    order.  The database runs in WAL mode with per-operation transactions
+    — the same discipline as the relational provenance backend — so
+    concurrent writers (threads *or* separate processes pointing at the
+    same path) never corrupt the file.
+
+    Failure semantics: a cache is an accelerator.  Any storage-level
+    problem — corrupted file, truncated mid-write, unpicklable value —
+    degrades to a miss (and, for file-level corruption, a best-effort
+    reset of the cache file); no cache operation ever raises into the
+    engine.
+
+    Args:
+        path: cache database file (created if missing).
+        max_entries: maximum number of entries kept (None = unbounded).
+    """
+
+    def __init__(self, path: Union[str, "Any"],
+                 max_entries: Optional[int] = None) -> None:
+        self.path = str(path)
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._lock = threading.RLock()
+        self._connection: Optional[sqlite3.Connection] = None
+        try:
+            self._connect()
+        except sqlite3.Error:
+            self._reset_file()
+
+    # -- connection management -----------------------------------------
+    def _connect(self) -> None:
+        self._connection = sqlite3.connect(self.path, timeout=30.0,
+                                           check_same_thread=False)
+        self._connection.execute("PRAGMA journal_mode = WAL")
+        self._connection.execute("PRAGMA synchronous = NORMAL")
+        self._connection.executescript(_CACHE_SCHEMA)
+        self._connection.commit()
+
+    def _reset_file(self) -> None:
+        """Best-effort recovery from an unreadable database file.
+
+        The file (plus WAL sidecars) is removed and recreated empty; when
+        even that fails — e.g. a read-only directory — the cache keeps a
+        ``None`` connection and every operation degrades to a miss/no-op.
+        """
+        import os
+        if self._connection is not None:
+            try:
+                self._connection.close()
+            except sqlite3.Error:
+                pass
+            self._connection = None
+        for suffix in ("", "-wal", "-shm"):
+            try:
+                os.unlink(self.path + suffix)
+            except OSError:
+                pass
+        try:
+            self._connect()
+        except sqlite3.Error:
+            self._connection = None
+
+    def close(self) -> None:
+        """Close the database connection (idempotent)."""
+        with self._lock:
+            if self._connection is not None:
+                try:
+                    self._connection.close()
+                except sqlite3.Error:
+                    pass
+                self._connection = None
+
+    def _next_seq(self, cursor: sqlite3.Cursor) -> int:
+        row = cursor.execute(
+            "SELECT COALESCE(MAX(seq), 0) + 1 FROM entries").fetchone()
+        return int(row[0])
+
+    # -- CacheStore -----------------------------------------------------
+    def get(self, key: CacheKey) -> Optional[CacheEntry]:
+        """Entry for ``key`` or None; storage errors count as misses."""
+        with self._lock:
+            row = None
+            if self._connection is not None:
+                try:
+                    row = self._connection.execute(
+                        "SELECT payload, source_execution FROM entries"
+                        " WHERE key = ?", (key,)).fetchone()
+                except sqlite3.Error:
+                    self._reset_file()
+            if row is None:
+                self.stats.misses += 1
+                return None
+            try:
+                outputs, output_hashes = pickle.loads(row[0])
+            except Exception:
+                # partial write or foreign bytes: drop the entry, miss
+                self.stats.misses += 1
+                self.invalidate(key)
+                return None
+            try:
+                with self._connection:
+                    self._connection.execute(
+                        "UPDATE entries SET seq = ? WHERE key = ?",
+                        (self._next_seq(self._connection.cursor()), key))
+            except sqlite3.Error:
+                pass  # recency refresh is best-effort
+            self.stats.hits += 1
+            return CacheEntry(outputs=dict(outputs),
+                              output_hashes=dict(output_hashes),
+                              source_execution=row[1])
+
+    def put(self, key: CacheKey, entry: CacheEntry) -> None:
+        """Persist ``entry``; unpicklable values are silently skipped."""
+        try:
+            payload = pickle.dumps(
+                (dict(entry.outputs), dict(entry.output_hashes)),
+                protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return
+        with self._lock:
+            if self._connection is None:
+                return
+            try:
+                with self._connection:
+                    cursor = self._connection.cursor()
+                    cursor.execute(
+                        "INSERT OR REPLACE INTO entries VALUES (?,?,?,?)",
+                        (key, payload, entry.source_execution,
+                         self._next_seq(cursor)))
+                    if self.max_entries is not None:
+                        count = cursor.execute(
+                            "SELECT COUNT(*) FROM entries").fetchone()[0]
+                        excess = count - self.max_entries
+                        if excess > 0:
+                            cursor.execute(
+                                "DELETE FROM entries WHERE key IN"
+                                " (SELECT key FROM entries"
+                                "  ORDER BY seq ASC, key ASC LIMIT ?)",
+                                (excess,))
+                            self.stats.evictions += cursor.rowcount
+            except sqlite3.Error:
+                self._reset_file()
+
+    def invalidate(self, key: CacheKey) -> bool:
+        """Drop ``key``; return True when it was present."""
+        with self._lock:
+            if self._connection is None:
+                return False
+            try:
+                with self._connection:
+                    cursor = self._connection.execute(
+                        "DELETE FROM entries WHERE key = ?", (key,))
+                    return cursor.rowcount > 0
+            except sqlite3.Error:
+                self._reset_file()
+                return False
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are retained)."""
+        with self._lock:
+            if self._connection is None:
+                return
+            try:
+                with self._connection:
+                    self._connection.execute("DELETE FROM entries")
+            except sqlite3.Error:
+                self._reset_file()
+
+    def __len__(self) -> int:
+        with self._lock:
+            if self._connection is None:
+                return 0
+            try:
+                row = self._connection.execute(
+                    "SELECT COUNT(*) FROM entries").fetchone()
+            except sqlite3.Error:
+                self._reset_file()
+                return 0
+            return int(row[0])
+
+    def __contains__(self, key: CacheKey) -> bool:
+        with self._lock:
+            if self._connection is None:
+                return False
+            try:
+                row = self._connection.execute(
+                    "SELECT 1 FROM entries WHERE key = ? LIMIT 1",
+                    (key,)).fetchone()
+            except sqlite3.Error:
+                self._reset_file()
+                return False
+            return row is not None
+
+    def __enter__(self) -> "PersistentResultCache":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

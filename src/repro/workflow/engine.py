@@ -30,16 +30,19 @@ from __future__ import annotations
 import threading
 import time
 import traceback
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.identity import hash_value, new_id
-from repro.workflow.cache import (CacheEntry, ResultCache, module_cache_key)
+from repro.workflow.cache import (CacheEntry, CacheStore, ResultCache,
+                                  module_cache_key)
 from repro.workflow.environment import capture_environment
 from repro.workflow.errors import ExecutionError
 from repro.workflow.registry import ModuleContext, ModuleRegistry
 from repro.workflow.scheduler import (ReadySetScheduler, SerialBackend,
                                       make_backend)
+from repro.workflow.serialization import (DEFAULT_REGISTRY_PROVIDER,
+                                          ProcessJob)
 from repro.workflow.spec import Module, Workflow
 from repro.workflow.validation import check_workflow
 
@@ -86,6 +89,17 @@ class ReusedModule:
     source_execution: str = ""
     parameters: Dict[str, Any] = field(default_factory=dict)
     cache_key: str = ""
+
+
+@dataclass(frozen=True)
+class _PendingProcessJob:
+    """Coordinator-side state of one module executing out of process."""
+
+    module: Module
+    definition: Any
+    parameters: Dict[str, Any]
+    inputs: Dict[str, ValueRecord]
+    cache_key: str
 
 
 @dataclass
@@ -220,22 +234,40 @@ class Executor:
             belonging to reused modules) are allowed.
         workers: default execution parallelism.  ``None``/``0``/``1`` run
             serially in deterministic topological order; ``N > 1`` runs
-            ready modules on a pool of N threads.  Overridable per
+            ready modules on a pool of N workers.  Overridable per
             :meth:`execute` call.
+        backend: where the worker pool lives — ``"thread"`` (the default
+            when ``workers > 1``; best for blocking or GIL-releasing
+            modules) or ``"process"`` (worker processes; pure-Python
+            CPU-bound modules scale past the GIL).  Process workers
+            rebuild module behaviour from ``registry_provider``, so module
+            definitions must be reachable through an importable provider
+            and values must be picklable; hashing, caching and provenance
+            capture stay in this process, so all backends record
+            identical provenance.
+        registry_provider: ``"module:callable"`` spec that worker
+            processes call to rebuild the module registry (defaults to the
+            standard library registry).  Only consulted by the process
+            backend.
     """
 
     def __init__(self, registry: ModuleRegistry, *,
-                 cache: Optional[ResultCache] = None,
+                 cache: Optional[CacheStore] = None,
                  listeners: Iterable[ExecutionListener] = (),
                  clock: Callable[[], float] = time.time,
                  validate: bool = True,
-                 workers: Optional[int] = None) -> None:
+                 workers: Optional[int] = None,
+                 backend: Optional[str] = None,
+                 registry_provider: Optional[str] = None) -> None:
         self.registry = registry
         self.cache = cache
         self.listeners: List[ExecutionListener] = list(listeners)
         self.clock = clock
         self.validate = validate
         self.workers = workers
+        self.backend = backend
+        self.registry_provider = (registry_provider
+                                  or DEFAULT_REGISTRY_PROVIDER)
         self._environment: Optional[Dict[str, Any]] = None
         self._listener_lock = threading.Lock()
 
@@ -270,7 +302,8 @@ class Executor:
                 tags: Optional[Mapping[str, Any]] = None,
                 reuse: Optional[Mapping[str, ReusedModule]] = None,
                 bypass_cache: Iterable[str] = (),
-                workers: Optional[int] = None) -> RunResult:
+                workers: Optional[int] = None,
+                backend: Optional[str] = None) -> RunResult:
         """Run ``workflow`` and return the complete :class:`RunResult`.
 
         Args:
@@ -286,6 +319,8 @@ class Executor:
                 their memo-cache lookup is skipped (the fresh result still
                 refreshes the cache).  Used by forced replays.
             workers: per-call override of the executor's parallelism.
+            backend: per-call override of the executor's backend kind
+                (``"serial"``, ``"thread"`` or ``"process"``).
         """
         external = {key: ValueRecord.of(value)
                     for key, value in (inputs or {}).items()}
@@ -310,7 +345,8 @@ class Executor:
         results = self._run_scheduled(
             run_id, workflow, external, overrides, reused,
             set(bypass_cache),
-            workers if workers is not None else self.workers)
+            workers if workers is not None else self.workers,
+            backend if backend is not None else self.backend)
 
         finished = self.clock()
         status = ("failed" if any(r.status == "failed"
@@ -330,21 +366,32 @@ class Executor:
                        overrides: Mapping[str, Dict[str, Any]],
                        reused: Mapping[str, ReusedModule],
                        bypass_cache: set,
-                       workers: Optional[int]) -> Dict[str, ModuleResult]:
+                       workers: Optional[int],
+                       backend_kind: Optional[str]
+                       ) -> Dict[str, ModuleResult]:
         scheduler = ReadySetScheduler(workflow)
-        backend = make_backend(workers)
+        backend = make_backend(workers, backend_kind)
         # Serial runs pop one ready module at a time, which reproduces the
         # canonical Kahn order exactly (execution timestamps then follow
         # run.order, as the historical sequential engine guaranteed);
         # parallel runs dispatch whole ready batches for concurrency.
         one_at_a_time = isinstance(backend, SerialBackend)
         results: Dict[str, ModuleResult] = {}
+        # per-module state a process job needs back in this process to be
+        # converted into a ModuleResult (definition, inputs, cache key)
+        pending: Dict[str, _PendingProcessJob] = {}
 
         def settle(module_id: str, result: ModuleResult) -> None:
             results[module_id] = result
             self._notify("on_module_finish", run_id,
                          workflow.modules[module_id], result)
             scheduler.resolve(module_id)
+
+        def harvest(module_id: str, completion: Any) -> None:
+            if backend.out_of_process:
+                completion = self._result_from_outcome(
+                    pending.pop(module_id), completion)
+            settle(module_id, completion)
 
         try:
             while not scheduler.finished():
@@ -353,20 +400,20 @@ class Executor:
                         raise ExecutionError(
                             "scheduler stalled with unresolved modules: "
                             f"{scheduler.unresolved()}")
-                    for module_id, result in backend.wait():
-                        settle(module_id, result)
+                    for module_id, completion in backend.wait():
+                        harvest(module_id, completion)
                     continue
                 ready = ([scheduler.pop_ready()] if one_at_a_time
                          else scheduler.take_ready())
                 for module_id in ready:
                     self._dispatch(run_id, workflow, module_id, results,
                                    external, overrides, reused,
-                                   bypass_cache, backend, settle)
+                                   bypass_cache, backend, settle, pending)
                     # Harvest promptly: with the serial backend this keeps
                     # the legacy start/finish interleaving (and frees the
                     # completed job's memory before the next submission).
-                    for done_id, result in backend.poll():
-                        settle(done_id, result)
+                    for done_id, completion in backend.poll():
+                        harvest(done_id, completion)
         finally:
             backend.shutdown()
         return results
@@ -377,7 +424,7 @@ class Executor:
                   overrides: Mapping[str, Dict[str, Any]],
                   reused: Mapping[str, ReusedModule],
                   bypass_cache: set,
-                  backend, settle) -> None:
+                  backend, settle, pending) -> None:
         """Decide what a ready module does: skip, reuse, or compute."""
         module = workflow.modules[module_id]
         definition = self.registry.get(module.type_name)
@@ -411,9 +458,108 @@ class Executor:
             return
 
         self._notify("on_module_start", run_id, module, parameters)
+        consult_cache = module_id not in bypass_cache
+        if backend.out_of_process:
+            hit = self._dispatch_process(module, definition, parameters,
+                                         input_records, consult_cache,
+                                         backend, pending)
+            if hit is not None:
+                settle(module_id, hit)
+            return
         backend.submit(module_id, self._make_job(
             module, definition, parameters, input_records,
-            consult_cache=module_id not in bypass_cache))
+            consult_cache=consult_cache))
+
+    def _dispatch_process(self, module: Module, definition,
+                          parameters: Dict[str, Any],
+                          input_records: Dict[str, ValueRecord],
+                          consult_cache: bool, backend,
+                          pending) -> Optional[ModuleResult]:
+        """Submit one module to a process backend; returns a ready result
+        instead when the memo cache already holds it.
+
+        The cache is consulted (and later refreshed) in the coordinating
+        process — worker processes never see the cache, so one persistent
+        cache file can serve any number of runs without cross-process
+        locking inside the engine.
+        """
+        input_hashes = {port: record.value_hash
+                        for port, record in input_records.items()}
+        cache_key = module_cache_key(definition.type_name,
+                                     definition.version, parameters,
+                                     input_hashes)
+        if (consult_cache and self.cache is not None
+                and definition.deterministic):
+            entry = self.cache.get(cache_key)
+            if entry is not None:
+                now = self.clock()
+                return ModuleResult(
+                    module_id=module.id, execution_id=new_id("exec"),
+                    status="cached", parameters=parameters,
+                    inputs=input_records,
+                    outputs={port: ValueRecord(entry.outputs[port],
+                                               entry.output_hashes[port])
+                             for port in entry.outputs},
+                    started=now, finished=now, cache_key=cache_key,
+                    cached_from=entry.source_execution)
+        pending[module.id] = _PendingProcessJob(
+            module=module, definition=definition, parameters=parameters,
+            inputs=input_records, cache_key=cache_key)
+        backend.submit(module.id, ProcessJob(
+            module_id=module.id, module_name=module.name,
+            type_name=definition.type_name, parameters=parameters,
+            inputs={port: record.value
+                    for port, record in input_records.items()},
+            registry_provider=self.registry_provider))
+        return None
+
+    def _result_from_outcome(self, job: "_PendingProcessJob",
+                             outcome) -> ModuleResult:
+        """Convert a worker-process outcome into a :class:`ModuleResult`.
+
+        Output values are hashed and checked against the declared ports
+        here, in the coordinating process, so the recorded provenance
+        (hashes, statuses, cache entries) is byte-identical to an
+        in-process execution of the same module.
+
+        Workers stamp timestamps with wall-clock time; when the executor
+        runs under an *injected* clock (deterministic tests), those
+        stamps are replaced with coordinator-clock readings so every
+        backend records timestamps from the same time base.
+        """
+        if self.clock is not time.time:
+            now = self.clock()
+            outcome = replace(outcome, started=now, finished=now)
+        if outcome.status != "ok":
+            return ModuleResult(
+                module_id=job.module.id, execution_id=new_id("exec"),
+                status="failed", parameters=job.parameters,
+                inputs=job.inputs, started=outcome.started,
+                finished=outcome.finished, cache_key=job.cache_key,
+                error=outcome.error)
+        try:
+            outputs = self._check_outputs(job.definition, outcome.outputs)
+        except Exception as exc:
+            return ModuleResult(
+                module_id=job.module.id, execution_id=new_id("exec"),
+                status="failed", parameters=job.parameters,
+                inputs=job.inputs, started=outcome.started,
+                finished=outcome.finished, cache_key=job.cache_key,
+                error=f"{type(exc).__name__}: {exc}")
+        execution_id = new_id("exec")
+        records = {port: ValueRecord.of(value)
+                   for port, value in outputs.items()}
+        result = ModuleResult(
+            module_id=job.module.id, execution_id=execution_id,
+            status="ok", parameters=job.parameters, inputs=job.inputs,
+            outputs=records, started=outcome.started,
+            finished=outcome.finished, cache_key=job.cache_key)
+        if self.cache is not None and job.definition.deterministic:
+            self.cache.put(job.cache_key, CacheEntry(
+                outputs=dict(outputs),
+                output_hashes={p: r.value_hash for p, r in records.items()},
+                source_execution=execution_id))
+        return result
 
     def _make_job(self, module: Module, definition,
                   parameters: Dict[str, Any],

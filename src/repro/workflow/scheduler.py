@@ -19,21 +19,31 @@ module provides the two halves of that architecture for the engine:
   :class:`SerialBackend` executes each job synchronously at submission (the
   deterministic default, equivalent to the old topological loop);
   :class:`ThreadPoolBackend` fans jobs out to a ``ThreadPoolExecutor`` so
-  independent branches overlap.  Both expose the same tiny submit/poll/wait
-  surface, so the engine's coordination loop is backend-agnostic.
+  independent branches overlap; :class:`ProcessPoolBackend` ships jobs to a
+  ``ProcessPoolExecutor`` so pure-Python CPU-bound modules scale past the
+  GIL.  All three expose the same tiny submit/poll/wait surface, so the
+  engine's coordination loop is backend-agnostic.
 
-Jobs handed to a backend must never raise: the engine wraps module
-computation so that failures come back as ordinary failed results.
+In-process backends receive callables and must never see them raise: the
+engine wraps module computation so failures come back as ordinary failed
+results.  The process backend instead receives picklable
+:class:`~repro.workflow.serialization.ProcessJob` payloads (its
+``out_of_process`` flag tells the engine which contract applies) and
+returns :class:`~repro.workflow.serialization.ProcessOutcome` records;
+worker crashes and unpicklable results are converted to failed outcomes at
+harvest, never raised into the scheduling loop.
 """
 
 from __future__ import annotations
 
 import bisect
-from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor
+from concurrent.futures import (FIRST_COMPLETED, Future,
+                                ProcessPoolExecutor, ThreadPoolExecutor)
 from concurrent.futures import wait as futures_wait
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.workflow.errors import ExecutionError
+from repro.workflow.serialization import ProcessOutcome, execute_process_job
 from repro.workflow.spec import Workflow
 
 __all__ = [
@@ -41,6 +51,8 @@ __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "ThreadPoolBackend",
+    "ProcessPoolBackend",
+    "BACKEND_KINDS",
     "make_backend",
 ]
 
@@ -136,7 +148,15 @@ class ExecutionBackend:
     :meth:`wait` (blocks until at least one job completes).  Implementations
     must preserve nothing about ordering — the engine's scheduler state is
     the single source of truth.
+
+    ``out_of_process`` declares the submission contract: False (the
+    default) means jobs are in-process callables returning results
+    directly; True means jobs are picklable payloads and completions are
+    raw outcomes the engine converts back into results.
     """
+
+    #: True when jobs cross a process boundary (see class docstring).
+    out_of_process: bool = False
 
     def submit(self, module_id: str, job: Job) -> None:
         """Accept one job for execution."""
@@ -227,12 +247,102 @@ class ThreadPoolBackend(ExecutionBackend):
         self._pool.shutdown(wait=True)
 
 
-def make_backend(workers: Optional[int]) -> ExecutionBackend:
-    """Build the execution backend for a worker count.
+class ProcessPoolBackend(ExecutionBackend):
+    """Ships jobs to worker processes so CPU-bound modules bypass the GIL.
 
-    ``None``, ``0`` and ``1`` select the deterministic serial backend;
-    anything larger selects a thread pool of that size.
+    Jobs are :class:`~repro.workflow.serialization.ProcessJob` payloads
+    (the engine builds them; compute closures never cross the boundary)
+    and completions are
+    :class:`~repro.workflow.serialization.ProcessOutcome` records.  A
+    worker that dies, or a result that cannot be pickled back, surfaces as
+    a failed outcome at harvest — the coordination loop never sees an
+    exception.  Suited to pure-Python CPU loops (hashing, numerics);
+    values must be picklable, and module behaviour must be reachable
+    through an importable registry provider.
     """
-    if workers is None or workers <= 1:
+
+    out_of_process = True
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ExecutionError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._pool = ProcessPoolExecutor(max_workers=workers)
+        self._futures: Dict[Future, str] = {}
+        # outcomes synthesized without a future — submissions refused by
+        # a broken pool (a worker died); harvested exactly like the rest
+        self._stillborn: List[Tuple[str, Any]] = []
+
+    def submit(self, module_id: str, job: Any) -> None:
+        """Accept one picklable :class:`ProcessJob` payload.
+
+        A pool whose worker died refuses further submissions
+        (``BrokenProcessPool``); the refusal is recorded as a failed
+        outcome for this module rather than raised, so the scheduling
+        loop keeps draining and the run records every module.
+        """
+        try:
+            future = self._pool.submit(execute_process_job, job)
+        except Exception as exc:  # broken pool, unpicklable payload
+            self._stillborn.append((module_id, ProcessOutcome(
+                status="failed",
+                error=f"{type(exc).__name__}: {exc}")))
+            return
+        self._futures[future] = module_id
+
+    def _harvest(self, futures: List[Future]) -> List[Tuple[str, Any]]:
+        completed, self._stillborn = self._stillborn, []
+        for future in futures:
+            module_id = self._futures.pop(future)
+            try:
+                outcome = future.result()
+            except Exception as exc:  # worker death, unpicklable result
+                outcome = ProcessOutcome(
+                    status="failed",
+                    error=f"{type(exc).__name__}: {exc}")
+            completed.append((module_id, outcome))
+        return completed
+
+    def poll(self) -> List[Tuple[str, Any]]:
+        return self._harvest([f for f in list(self._futures) if f.done()])
+
+    def wait(self) -> List[Tuple[str, Any]]:
+        if not self._futures and not self._stillborn:
+            raise ExecutionError(
+                "process backend has no outstanding work to wait for")
+        if not self._futures:
+            return self._harvest([])
+        done, _ = futures_wait(list(self._futures),
+                               return_when=FIRST_COMPLETED)
+        return self._harvest(list(done))
+
+    def outstanding(self) -> int:
+        return len(self._futures) + len(self._stillborn)
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+#: Backend kinds accepted by :func:`make_backend` and the ``backend=``
+#: knob on Executor / ProvenanceManager / the CLI.
+BACKEND_KINDS = ("serial", "thread", "process")
+
+
+def make_backend(workers: Optional[int],
+                 kind: Optional[str] = None) -> ExecutionBackend:
+    """Build the execution backend for a worker count and kind.
+
+    ``None``, ``0`` and ``1`` workers select the deterministic serial
+    backend regardless of kind; anything larger selects a pool of that
+    size — threads by default (best for blocking/GIL-releasing work) or
+    processes with ``kind="process"`` (best for pure-Python CPU work).
+    """
+    if kind is not None and kind not in BACKEND_KINDS:
+        raise ExecutionError(
+            f"unknown execution backend {kind!r}; "
+            f"expected one of {list(BACKEND_KINDS)}")
+    if kind == "serial" or workers is None or workers <= 1:
         return SerialBackend()
+    if kind == "process":
+        return ProcessPoolBackend(workers)
     return ThreadPoolBackend(workers)

@@ -1,18 +1,31 @@
-"""JSON (de)serialization of workflow specifications.
+"""Serialization of workflow specifications and process-pool jobs.
 
 Prospective provenance must outlive the process that created it; workflows
 round-trip to plain JSON dictionaries here.  Behaviour is not serialized —
 a specification references module definitions by type name, and rehydrating
 an executable workflow requires a registry providing those types (exactly how
 workflow systems ship "packages" of modules separately from workflows).
+
+The same principle powers the process-pool execution backend: a
+:class:`ProcessJob` ships a module *reference* (type name + resolved
+parameters + input values + a registry provider spec) to a worker process,
+which rehydrates the registry once per process and runs the compute
+function there; the :class:`ProcessOutcome` carries raw outputs and timing
+back.  Hashing, provenance capture and caching stay in the coordinating
+process, so serial, thread and process runs record identical provenance.
 """
 
 from __future__ import annotations
 
+import importlib
 import json
+import time
+import traceback
+from dataclasses import dataclass, field
 from typing import Any, Dict, IO
 
 from repro.workflow.errors import SpecError
+from repro.workflow.registry import ModuleContext, ModuleRegistry
 from repro.workflow.spec import Connection, Module, Workflow
 
 __all__ = [
@@ -22,6 +35,11 @@ __all__ = [
     "load_workflow",
     "dumps_workflow",
     "loads_workflow",
+    "DEFAULT_REGISTRY_PROVIDER",
+    "ProcessJob",
+    "ProcessOutcome",
+    "resolve_registry_provider",
+    "execute_process_job",
 ]
 
 FORMAT_VERSION = 1
@@ -102,3 +120,113 @@ def dump_workflow(workflow: Workflow, stream: IO[str]) -> None:
 def load_workflow(stream: IO[str]) -> Workflow:
     """Read a workflow from an open text stream containing JSON."""
     return loads_workflow(stream.read())
+
+
+# ----------------------------------------------------------------------
+# process-pool job wire format
+# ----------------------------------------------------------------------
+#: Registry provider used when an executor does not name its own: the
+#: ``"module:callable"`` spec of the standard library registry.
+DEFAULT_REGISTRY_PROVIDER = "repro.workflow.modules:standard_registry"
+
+
+@dataclass(frozen=True)
+class ProcessJob:
+    """One module execution shipped to a worker process.
+
+    Everything a worker needs is either plain picklable data (parameters,
+    input values) or an importable reference (the registry provider, the
+    module type name) — compute callables themselves are often closures
+    and never cross the process boundary.
+
+    Attributes:
+        module_id: workflow module instance id (round-tripped for
+            bookkeeping; the worker does not interpret it).
+        module_name: user-facing module name, surfaced to the compute
+            context exactly as in-process execution would.
+        type_name: module definition to look up in the worker's registry.
+        parameters: fully resolved parameter values.
+        inputs: input-port name to (picklable) input value.
+        registry_provider: ``"module:callable"`` spec producing the
+            :class:`~repro.workflow.registry.ModuleRegistry` in the worker.
+    """
+
+    module_id: str
+    module_name: str
+    type_name: str
+    parameters: Dict[str, Any] = field(default_factory=dict)
+    inputs: Dict[str, Any] = field(default_factory=dict)
+    registry_provider: str = DEFAULT_REGISTRY_PROVIDER
+
+
+@dataclass(frozen=True)
+class ProcessOutcome:
+    """What a worker process sends back for one :class:`ProcessJob`.
+
+    ``status`` is ``"ok"`` or ``"failed"``; outputs are the *raw* values
+    returned by the compute function — the coordinating process hashes
+    them, checks them against the declared output ports, and memoizes
+    them, exactly as it would for in-process execution.
+    """
+
+    status: str
+    outputs: Dict[str, Any] = field(default_factory=dict)
+    started: float = 0.0
+    finished: float = 0.0
+    error: str = ""
+
+
+#: Worker-process registry cache: provider spec -> built registry.  One
+#: registry is built per (worker process, provider) and reused for every
+#: job that names it.
+_WORKER_REGISTRIES: Dict[str, ModuleRegistry] = {}
+
+
+def resolve_registry_provider(provider: str) -> ModuleRegistry:
+    """Import and invoke a ``"module:callable"`` registry provider.
+
+    Results are cached per process; raises ``ValueError`` on a malformed
+    spec and lets import/attribute errors propagate (the caller converts
+    them into a failed outcome).
+    """
+    registry = _WORKER_REGISTRIES.get(provider)
+    if registry is not None:
+        return registry
+    module_name, separator, attribute = provider.partition(":")
+    if not separator or not module_name or not attribute:
+        raise ValueError(
+            f"registry provider must be 'module:callable', got {provider!r}")
+    factory = getattr(importlib.import_module(module_name), attribute)
+    registry = factory()
+    if not isinstance(registry, ModuleRegistry):
+        raise ValueError(
+            f"registry provider {provider!r} returned {type(registry)!r}, "
+            "not a ModuleRegistry")
+    _WORKER_REGISTRIES[provider] = registry
+    return registry
+
+
+def execute_process_job(job: ProcessJob) -> ProcessOutcome:
+    """Run one :class:`ProcessJob` (worker-process side); never raises.
+
+    This is the top-level entry point a process pool invokes: it must be
+    importable by worker processes under any start method (fork or spawn)
+    and must always return an outcome — failures come back as
+    ``status="failed"`` with the same error formatting the in-process
+    engine records.
+    """
+    started = time.time()
+    try:
+        registry = resolve_registry_provider(job.registry_provider)
+        definition = registry.get(job.type_name)
+        context = ModuleContext(inputs=job.inputs,
+                                parameters=job.parameters,
+                                module_name=job.module_name)
+        outputs = dict(definition.compute(context))
+    except Exception as exc:
+        return ProcessOutcome(
+            status="failed", started=started, finished=time.time(),
+            error=f"{type(exc).__name__}: {exc}\n"
+                  f"{traceback.format_exc(limit=3)}")
+    return ProcessOutcome(status="ok", outputs=outputs, started=started,
+                          finished=time.time())

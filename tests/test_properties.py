@@ -8,12 +8,18 @@ Invariants covered:
 * the Datalog engine agrees with a naive reference evaluator;
 * the triple store returns exactly what was inserted, under any mix of
   insertion orders and pattern shapes;
-* ZOOM user views always partition the workflow and stay acyclic.
+* ZOOM user views always partition the workflow and stay acyclic;
+* an arbitrary DAG rerun against a persistent result cache (fresh cache
+  instance, as a fresh process would build) re-executes zero modules;
+* a replay chain of depth k yields exactly k ``derived_from_run`` hops
+  in the lineage index, on all four storage backends.
 """
 
 from __future__ import annotations
 
 import string
+import tempfile
+from pathlib import Path
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -274,6 +280,77 @@ class TestTripleStoreProperties:
             store.discard(*triple)
         assert len(store) == 0
         assert store.match() == []
+
+
+# ----------------------------------------------------------------------
+# persistent cache and replay chains
+# ----------------------------------------------------------------------
+class TestPersistentCacheProperties:
+    @given(modules=st.integers(min_value=5, max_value=14),
+           width=st.integers(min_value=2, max_value=5),
+           seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_second_run_of_arbitrary_dag_executes_nothing(self, modules,
+                                                          width, seed):
+        from repro.core import ProvenanceManager
+        from repro.workloads import random_workflow
+
+        workflow = random_workflow(modules=modules, width=width,
+                                   seed=seed, work=3)
+        with tempfile.TemporaryDirectory() as root:
+            path = str(Path(root) / "memo.db")
+            first = ProvenanceManager(cache_path=path)
+            run = first.run(workflow)
+            assert run.status == "ok"
+            # a fresh manager with a fresh cache instance over the same
+            # file — the in-process stand-in for a fresh OS process
+            second = ProvenanceManager(cache_path=path)
+            rerun = second.run(workflow)
+            assert rerun.status == "ok"
+            assert second.last_engine_result.executed_modules() == []
+            assert all(execution.status == "cached"
+                       for execution in rerun.executions)
+            # reused outputs hash identically to the originals
+            assert sorted(a.value_hash for a in rerun.artifacts.values()) \
+                == sorted(a.value_hash for a in run.artifacts.values())
+
+
+class TestReplayChainProperties:
+    @given(depth=st.integers(min_value=1, max_value=4),
+           backend=st.sampled_from(["memory", "relational", "triples",
+                                    "documents"]))
+    @settings(max_examples=10, deadline=None)
+    def test_chain_of_depth_k_has_k_hops_everywhere(self, depth, backend):
+        from repro.core import ProvenanceManager
+        from repro.storage import (DocumentStore, MemoryStore,
+                                   ProvenanceStore, RelationalStore,
+                                   TripleProvenanceStore, run_node)
+        from tests.conftest import build_chain_workflow
+
+        with tempfile.TemporaryDirectory() as root:
+            store = {
+                "memory": lambda: MemoryStore(),
+                "relational": lambda: RelationalStore(),
+                "triples": lambda: TripleProvenanceStore(),
+                "documents": lambda: DocumentStore(Path(root) / "docs"),
+            }[backend]()
+            manager = ProvenanceManager(store=store)
+            run = manager.run(build_chain_workflow(length=2, work=2))
+            chain = [run.id]
+            for _ in range(depth):
+                rerun, plan = manager.rerun(chain[-1])
+                assert plan.original_run == chain[-1]
+                chain.append(rerun.id)
+            closure = store.lineage_closure(run_node(chain[-1]),
+                                            direction="up")
+            assert closure == frozenset(run_node(run_id)
+                                        for run_id in chain[:-1])
+            # parity with the load-and-traverse oracle
+            assert closure == ProvenanceStore.lineage_closure(
+                store, run_node(chain[-1]), direction="up")
+            # and the manager surfaces the same chain as run rows
+            rows = manager.lineage(chain[-1])
+            assert [row["id"] for row in rows] == chain[:-1]
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,239 @@
+"""Persistent result cache: durability, concurrency, corruption recovery.
+
+The cache is an accelerator, never a source of truth — every failure mode
+(corrupted file, truncated entry, unpicklable value, concurrent writers)
+must degrade to clean misses, and the statistics contract must match the
+in-memory :class:`ResultCache` operation for operation.
+"""
+
+import os
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.workflow.cache import (CacheEntry, PersistentResultCache,
+                                  ResultCache)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def entry(tag: str) -> CacheEntry:
+    return CacheEntry(outputs={"out": tag},
+                      output_hashes={"out": f"hash-{tag}"},
+                      source_execution=f"exec-{tag}")
+
+
+class TestPersistentBasics:
+    def test_put_get_roundtrip(self, tmp_path):
+        cache = PersistentResultCache(tmp_path / "c.db")
+        cache.put("k", entry("x"))
+        got = cache.get("k")
+        assert got.outputs == {"out": "x"}
+        assert got.output_hashes == {"out": "hash-x"}
+        assert got.source_execution == "exec-x"
+        assert "k" in cache and len(cache) == 1
+
+    def test_miss_counts(self, tmp_path):
+        cache = PersistentResultCache(tmp_path / "c.db")
+        assert cache.get("absent") is None
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.0
+
+    def test_invalidate_and_clear(self, tmp_path):
+        cache = PersistentResultCache(tmp_path / "c.db")
+        cache.put("k", entry("x"))
+        assert cache.invalidate("k")
+        assert not cache.invalidate("k")
+        cache.put("a", entry("a"))
+        cache.put("b", entry("b"))
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_survives_reopen(self, tmp_path):
+        path = tmp_path / "c.db"
+        first = PersistentResultCache(path)
+        first.put("k", entry("x"))
+        first.close()
+        second = PersistentResultCache(path)
+        assert second.get("k").outputs == {"out": "x"}
+        assert second.stats.hits == 1
+
+    def test_unpicklable_value_is_skipped_not_fatal(self, tmp_path):
+        cache = PersistentResultCache(tmp_path / "c.db")
+        cache.put("bad", CacheEntry(outputs={"out": lambda: None},
+                                    output_hashes={"out": "h"}))
+        assert "bad" not in cache
+        cache.put("good", entry("g"))
+        assert cache.get("good") is not None
+
+    def test_lru_eviction_by_recency(self, tmp_path):
+        cache = PersistentResultCache(tmp_path / "c.db", max_entries=2)
+        cache.put("a", entry("a"))
+        cache.put("b", entry("b"))
+        cache.get("a")             # refresh a; b is now LRU
+        cache.put("c", entry("c"))
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.stats.evictions == 1
+
+
+class TestStatsParityWithInMemory:
+    """The same operation sequence must produce identical statistics and
+    the identical surviving key set on both cache implementations."""
+
+    SEQUENCE = [
+        ("put", "a"), ("put", "b"), ("get", "a"), ("get", "missing"),
+        ("put", "c"), ("get", "b"), ("put", "d"), ("get", "c"),
+        ("put", "a"), ("get", "d"), ("get", "a"), ("invalidate", "b"),
+        ("get", "b"), ("put", "e"), ("put", "f"), ("get", "e"),
+    ]
+
+    def _drive(self, cache):
+        for op, key in self.SEQUENCE:
+            if op == "put":
+                cache.put(key, entry(key))
+            elif op == "get":
+                cache.get(key)
+            else:
+                cache.invalidate(key)
+        return (cache.stats.hits, cache.stats.misses,
+                cache.stats.evictions,
+                sorted(key for key in "abcdef" if key in cache))
+
+    @pytest.mark.parametrize("cap", [None, 3, 2])
+    def test_parity(self, tmp_path, cap):
+        memory = self._drive(ResultCache(max_entries=cap))
+        persistent = self._drive(PersistentResultCache(
+            tmp_path / f"cap-{cap}.db", max_entries=cap))
+        assert persistent == memory
+
+
+class TestCorruptionRecovery:
+    def test_garbage_file_degrades_to_empty_cache(self, tmp_path):
+        path = tmp_path / "c.db"
+        path.write_bytes(b"this is not a sqlite database at all")
+        cache = PersistentResultCache(path)
+        assert cache.get("k") is None          # clean miss, no crash
+        assert cache.stats.misses == 1
+        cache.put("k", entry("x"))             # and the file self-heals
+        assert cache.get("k").outputs == {"out": "x"}
+
+    def test_truncated_database_is_a_clean_miss(self, tmp_path):
+        path = tmp_path / "c.db"
+        writer = PersistentResultCache(path)
+        for index in range(50):
+            writer.put(f"k{index}", entry(str(index)))
+        writer.close()
+        size = path.stat().st_size
+        with open(path, "r+b") as handle:     # chop the file mid-entry
+            handle.truncate(size // 2)
+        reopened = PersistentResultCache(path)
+        for index in range(50):
+            assert reopened.get(f"k{index}") is None
+        assert reopened.stats.misses == 50
+        reopened.put("fresh", entry("f"))
+        assert reopened.get("fresh") is not None
+
+    def test_partial_payload_bytes_are_a_miss(self, tmp_path):
+        import sqlite3
+        path = tmp_path / "c.db"
+        cache = PersistentResultCache(path)
+        cache.put("k", entry("x"))
+        # overwrite the pickled payload with a torn prefix, as an
+        # interrupted writer on a non-transactional filesystem would
+        connection = sqlite3.connect(str(path))
+        connection.execute("UPDATE entries SET payload = ?",
+                           (b"\x80\x05only-half",))
+        connection.commit()
+        connection.close()
+        assert cache.get("k") is None
+        assert cache.stats.misses == 1
+        assert "k" not in cache               # the torn entry is dropped
+
+
+class TestConcurrentWriters:
+    def test_threads_hammering_one_instance(self, tmp_path):
+        cache = PersistentResultCache(tmp_path / "c.db", max_entries=64)
+        errors = []
+
+        def hammer(worker: int):
+            try:
+                for index in range(120):
+                    key = f"k{(worker * 31 + index) % 96}"
+                    cache.put(key, entry(key))
+                    cache.get(key)
+                    cache.get(f"k{index % 96}")
+                    len(cache)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(worker,))
+                   for worker in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 64
+        assert cache.stats.lookups == cache.stats.hits + cache.stats.misses
+
+    def test_two_instances_share_one_file(self, tmp_path):
+        path = tmp_path / "c.db"
+        first = PersistentResultCache(path)
+        second = PersistentResultCache(path)
+        errors = []
+
+        def hammer(cache, offset):
+            try:
+                for index in range(80):
+                    cache.put(f"k{(index + offset) % 50}",
+                              entry(str(index)))
+                    cache.get(f"k{index % 50}")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(cache, offset))
+                   for cache, offset in ((first, 0), (second, 25))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(first) == len(second) == 50
+
+
+class TestFreshProcessReuse:
+    """The acceptance scenario: a run in one OS process, a rerun in
+    another, zero recomputation in between."""
+
+    CHILD_SCRIPT = """
+import sys
+from repro.core import ProvenanceManager
+from tests.conftest import build_fig1_workflow
+
+manager = ProvenanceManager(cache_path=sys.argv[1])
+run = manager.run(build_fig1_workflow(size=8))
+assert run.status == "ok"
+print(len(manager.last_engine_result.executed_modules()))
+"""
+
+    def test_second_process_executes_zero_modules(self, tmp_path):
+        path = str(tmp_path / "cross.db")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (os.path.join(REPO_ROOT, "src")
+                             + os.pathsep + REPO_ROOT
+                             + os.pathsep + env.get("PYTHONPATH", ""))
+        # first process: cold cache, every module computes
+        first = subprocess.run(
+            [sys.executable, "-c", self.CHILD_SCRIPT, path],
+            capture_output=True, text=True, env=env, cwd=REPO_ROOT)
+        assert first.returncode == 0, first.stderr
+        assert first.stdout.strip() == "5"
+        # second process: warm persistent cache, zero modules compute
+        second = subprocess.run(
+            [sys.executable, "-c", self.CHILD_SCRIPT, path],
+            capture_output=True, text=True, env=env, cwd=REPO_ROOT)
+        assert second.returncode == 0, second.stderr
+        assert second.stdout.strip() == "0"

@@ -10,9 +10,11 @@ from repro.core import (ProvenanceCapture, ProvenanceManager, ReplayError,
                         compute_replay_plan)
 from repro.apps import partial_rerun, replay_invalidated
 from repro.workflow import (CacheEntry, ExecutionError, Executor, Module,
-                            ResultCache, Workflow)
-from repro.workflow.scheduler import (ReadySetScheduler, SerialBackend,
-                                      ThreadPoolBackend, make_backend)
+                            PersistentResultCache, ResultCache, Workflow)
+from repro.workflow.scheduler import (ProcessPoolBackend, ReadySetScheduler,
+                                      SerialBackend, ThreadPoolBackend,
+                                      make_backend)
+from repro.workflow.serialization import ProcessJob
 from repro.workloads import random_workflow, wide_workflow
 from tests.conftest import (build_chain_workflow, build_fig1_workflow,
                             module_by_name)
@@ -85,9 +87,93 @@ class TestBackends:
         assert isinstance(backend, ThreadPoolBackend)
         backend.shutdown()
 
+    def test_make_backend_kind_selects(self):
+        assert isinstance(make_backend(4, "serial"), SerialBackend)
+        assert isinstance(make_backend(None, "process"), SerialBackend)
+        backend = make_backend(2, "process")
+        try:
+            assert isinstance(backend, ProcessPoolBackend)
+            assert backend.out_of_process
+        finally:
+            backend.shutdown()
+        thread = make_backend(2, "thread")
+        assert isinstance(thread, ThreadPoolBackend)
+        assert not thread.out_of_process
+        thread.shutdown()
+
+    def test_make_backend_rejects_unknown_kind(self):
+        with pytest.raises(ExecutionError):
+            make_backend(4, "quantum")
+
     def test_workers_must_be_positive(self):
         with pytest.raises(ExecutionError):
             ThreadPoolBackend(0)
+        with pytest.raises(ExecutionError):
+            ProcessPoolBackend(0)
+
+    def test_process_backend_runs_jobs(self):
+        backend = ProcessPoolBackend(2)
+        try:
+            for index in range(4):
+                backend.submit(f"m{index}", ProcessJob(
+                    module_id=f"m{index}", module_name="scale",
+                    type_name="Scale",
+                    parameters={"factor": float(index)},
+                    inputs={"value": 10.0}))
+            harvested = {}
+            while backend.outstanding():
+                harvested.update(dict(backend.wait()))
+        finally:
+            backend.shutdown()
+        assert {m: o.status for m, o in harvested.items()} == \
+            {f"m{i}": "ok" for i in range(4)}
+        assert harvested["m3"].outputs == {"result": 30.0}
+
+    def test_broken_pool_refuses_without_raising(self):
+        # killing every worker breaks the pool; later submissions must
+        # surface as failed outcomes at harvest, never as exceptions in
+        # the scheduling loop
+        backend = ProcessPoolBackend(1)
+        try:
+            backend.submit("warm", ProcessJob(
+                module_id="warm", module_name="c", type_name="Constant",
+                parameters={"value": 1.0}))
+            while backend.outstanding():
+                backend.wait()
+            for process in backend._pool._processes.values():
+                process.kill()
+                process.join()
+            harvested = {}
+            for index in range(3):
+                backend.submit(f"m{index}", ProcessJob(
+                    module_id=f"m{index}", module_name="c",
+                    type_name="Constant", parameters={"value": 1.0}))
+            while backend.outstanding():
+                harvested.update(dict(backend.wait()))
+        finally:
+            backend.shutdown()
+        assert set(harvested) == {"m0", "m1", "m2"}
+        assert all(outcome.status == "failed"
+                   for outcome in harvested.values())
+
+    def test_process_backend_failures_come_back_as_outcomes(self):
+        backend = ProcessPoolBackend(1)
+        try:
+            backend.submit("bad-type", ProcessJob(
+                module_id="bad-type", module_name="x",
+                type_name="NoSuchModule"))
+            backend.submit("bad-provider", ProcessJob(
+                module_id="bad-provider", module_name="x",
+                type_name="Scale",
+                registry_provider="no.such.module:factory"))
+            harvested = {}
+            while backend.outstanding():
+                harvested.update(dict(backend.wait()))
+        finally:
+            backend.shutdown()
+        assert harvested["bad-type"].status == "failed"
+        assert "NoSuchModule" in harvested["bad-type"].error
+        assert harvested["bad-provider"].status == "failed"
 
     def test_serial_wait_without_work_rejected(self):
         with pytest.raises(ExecutionError):
@@ -201,6 +287,178 @@ class TestSerialParallelDeterminism:
         second = executor.execute(workflow)
         assert all(r.status == "cached"
                    for r in second.results.values())
+
+
+#: (label, executor kwargs) for the serial / thread / process matrix.
+BACKEND_MATRIX = [
+    ("serial", {}),
+    ("thread", {"workers": 4}),
+    ("process", {"workers": 2, "backend": "process"}),
+]
+
+#: Workload generators the matrix runs: a wide fan-out (sleep-bound and
+#: CPU-bound variants), a linear derivation chain (the executable shape of
+#: the derivation_chain_corpus lineage workload), and a random layered DAG.
+MATRIX_WORKLOADS = [
+    ("wide-sleep", lambda: wide_workflow(branches=5, depth=2, sleep=0.002)),
+    ("wide-cpu", lambda: wide_workflow(branches=5, depth=2, work=200)),
+    ("derivation-chain", lambda: build_chain_workflow(length=4, work=10)),
+    ("random-dag", lambda: random_workflow(modules=14, width=4, seed=11,
+                                           work=10)),
+]
+
+
+class TestBackendDeterminismMatrix:
+    """Serial, thread and process runs of one workflow must produce
+    byte-identical retrospective provenance: statuses, output hashes,
+    balanced listener events, and ``executions.seq`` reload order."""
+
+    def _run_all(self, registry, build):
+        workflow = build()
+        outcomes = {}
+        for label, kwargs in BACKEND_MATRIX:
+            capture = ProvenanceCapture(registry=registry)
+            executor = Executor(registry, listeners=[capture], **kwargs)
+            result = executor.execute(workflow)
+            outcomes[label] = (workflow, result, capture)
+        return outcomes
+
+    @pytest.mark.parametrize("name,build", MATRIX_WORKLOADS,
+                             ids=[n for n, _ in MATRIX_WORKLOADS])
+    def test_statuses_and_hashes_identical(self, registry, name, build):
+        outcomes = self._run_all(registry, build)
+        fingerprints = {label: _engine_fingerprint(result)
+                        for label, (_, result, _) in outcomes.items()}
+        assert fingerprints["serial"] == fingerprints["thread"]
+        assert fingerprints["serial"] == fingerprints["process"]
+        orders = {label: result.order
+                  for label, (_, result, _) in outcomes.items()}
+        assert orders["serial"] == orders["thread"] == orders["process"]
+
+    @pytest.mark.parametrize("name,build", MATRIX_WORKLOADS,
+                             ids=[n for n, _ in MATRIX_WORKLOADS])
+    def test_captured_provenance_identical(self, registry, name, build):
+        outcomes = self._run_all(registry, build)
+        prints = {label: _provenance_fingerprint(capture.last_run())
+                  for label, (_, _, capture) in outcomes.items()}
+        assert prints["serial"] == prints["thread"] == prints["process"]
+
+    def test_listener_events_balanced_and_identical(self, registry):
+        workflow = wide_workflow(branches=5, depth=2, work=50)
+        journals = {}
+        for label, kwargs in BACKEND_MATRIX:
+            capture = ProvenanceCapture(registry=registry)
+            executor = Executor(registry, listeners=[capture], **kwargs)
+            result = executor.execute(workflow)
+            journal = capture.normalized_journal(result.run_id)
+            kinds = [event for event, _, _ in journal]
+            assert kinds.count("module-start") == len(workflow.modules)
+            assert kinds.count("module-finish") == len(workflow.modules)
+            journals[label] = journal
+        assert journals["serial"] == journals["thread"]
+        assert journals["serial"] == journals["process"]
+
+    def test_executions_seq_reload_order_identical(self, registry,
+                                                   tmp_path):
+        from repro.storage import RelationalStore
+        workflow = wide_workflow(branches=5, depth=2, work=50)
+        reloaded_orders = {}
+        for label, kwargs in BACKEND_MATRIX:
+            store = RelationalStore(
+                str(tmp_path / f"{label}.db"))
+            capture = ProvenanceCapture(registry=registry, store=store)
+            executor = Executor(registry, listeners=[capture], **kwargs)
+            result = executor.execute(workflow)
+            loaded = store.load_run(result.run_id)
+            assert [e.module_id for e in loaded.executions] == result.order
+            reloaded_orders[label] = [e.module_id
+                                      for e in loaded.executions]
+        assert (reloaded_orders["serial"] == reloaded_orders["thread"]
+                == reloaded_orders["process"])
+
+    def test_process_failure_propagation_parity(self, registry):
+        workflow = build_diamond_workflow(fail_left=True)
+        serial = Executor(registry).execute(workflow)
+        process = Executor(registry, workers=2,
+                           backend="process").execute(workflow)
+        assert _engine_fingerprint(serial) == _engine_fingerprint(process)
+        names = {workflow.modules[m].name: r.status
+                 for m, r in process.results.items()}
+        assert names == {"src": "ok", "left": "failed",
+                         "right": "ok", "join": "skipped"}
+
+    def test_process_run_memoizes_in_coordinator_cache(self, registry):
+        cache = ResultCache()
+        executor = Executor(registry, cache=cache, workers=2,
+                            backend="process")
+        workflow = wide_workflow(branches=4, depth=2, work=50)
+        first = executor.execute(workflow)
+        # stages repeat their branch's causal signature (SpinCompute
+        # passes the value through), so the first run already mixes ok
+        # and cached — every module of the second run must be cached
+        assert first.executed_modules()
+        second = executor.execute(workflow)
+        assert all(r.status == "cached" for r in second.results.values())
+        # the cached run's hashes match the computed run's exactly
+        assert _engine_fingerprint(first)[1] == \
+            _engine_fingerprint(second)[1]
+
+    def test_process_unpicklable_output_fails_cleanly(self, registry):
+        # a module whose output cannot cross the process boundary must
+        # come back as an ordinary failed result, not an exception
+        workflow = Workflow("unpicklable")
+        module = workflow.add_module(Module(
+            "BuildTable", name="t",
+            parameters={"columns": {"a": [1, 2]}}))
+        result = Executor(registry, workers=2,
+                          backend="process").execute(workflow)
+        assert result.results[module.id].status == "ok"  # tables pickle
+        bad = Workflow("unpicklable-param")
+        bad_module = bad.add_module(Module(
+            "Constant", name="c", parameters={"value": lambda: None}))
+        outcome = Executor(registry, workers=2, backend="process",
+                           validate=False).execute(bad)
+        assert outcome.results[bad_module.id].status == "failed"
+        assert outcome.status == "failed"
+
+
+class TestPersistentCacheWithEngine:
+    def test_fresh_executor_reuses_persistent_results(self, registry,
+                                                      tmp_path):
+        path = str(tmp_path / "memo.db")
+        workflow = build_fig1_workflow(size=8)
+        first = Executor(registry,
+                         cache=PersistentResultCache(path)).execute(workflow)
+        assert all(r.status == "ok" for r in first.results.values())
+        # a brand-new cache instance (as a fresh process would build)
+        second = Executor(registry,
+                          cache=PersistentResultCache(path)).execute(
+                              workflow)
+        assert all(r.status == "cached"
+                   for r in second.results.values())
+        assert _engine_fingerprint(first)[1] == \
+            _engine_fingerprint(second)[1]
+
+    def test_persistent_cache_serves_process_backend(self, registry,
+                                                     tmp_path):
+        path = str(tmp_path / "memo.db")
+        workflow = wide_workflow(branches=4, depth=2, work=50)
+        Executor(registry,
+                 cache=PersistentResultCache(path)).execute(workflow)
+        warm = Executor(registry, cache=PersistentResultCache(path),
+                        workers=2, backend="process").execute(workflow)
+        assert all(r.status == "cached" for r in warm.results.values())
+
+    def test_manager_cache_path_round_trip(self, tmp_path):
+        path = str(tmp_path / "memo.db")
+        first = ProvenanceManager(cache_path=path)
+        workflow = build_fig1_workflow(size=8)
+        first.run(workflow)
+        assert first.cache_stats()["hits"] == 0
+        second = ProvenanceManager(cache_path=path)
+        second.run(build_fig1_workflow(size=8))
+        assert second.last_engine_result.executed_modules() == []
+        assert second.cache_stats()["hits"] == len(workflow.modules)
 
 
 class TestExecutorEnvironmentCache:

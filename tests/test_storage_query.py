@@ -154,6 +154,8 @@ QUERY_CATALOG = [
      .downstream_of(_volume_hash(c), within_runs=[])),
     ("lineage-unknown-seed", lambda c: ProvQuery.artifacts()
      .upstream_of("no-such-hash-or-id")),
+    ("lineage-run-node-miss", lambda c: ProvQuery.artifacts()
+     .upstream_of("run:absent-run")),
     ("lineage-composed", lambda c: ProvQuery.artifacts()
      .upstream_of(_final_hash(c)).where(run_id=c[1].id)
      .order_by("-size_hint", "id").limit(3)),
@@ -462,6 +464,130 @@ class TestLineageIndexConsistency:
         assert after == ProvenanceStore.select(store, query).all()
 
 
+@pytest.fixture(scope="module")
+def chain_corpus(corpus):
+    """Four structurally identical runs forming a 3-hop replay chain.
+
+    ``g1`` replays ``g0``, ``g2`` replays ``g1``, ``g3`` replays ``g2`` —
+    exactly the tag trail ``manager.rerun`` leaves behind on
+    replay-of-replay, synthesized here so every backend ingests one."""
+    generations = [clone_run(corpus[0], "g0")]
+    for number in (1, 2, 3):
+        generations.append(clone_run(
+            corpus[0], f"g{number}",
+            tags={"replay_of": generations[-1].id,
+                  "derived_from_run": generations[-1].id}))
+    return generations
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestReplayChainLineage:
+    """replay chains are lineage-index content on every backend."""
+
+    def test_chain_of_depth_k_yields_k_hops(self, backend, tmp_path,
+                                            chain_corpus):
+        store = make_store(backend, tmp_path, chain_corpus)
+        g0, g1, g2, g3 = [run.id for run in chain_corpus]
+        up = store.lineage_closure(f"run:{g3}", direction="up")
+        assert up == frozenset({f"run:{g0}", f"run:{g1}", f"run:{g2}"})
+        down = store.lineage_closure(f"run:{g0}", direction="down")
+        assert down == frozenset({f"run:{g1}", f"run:{g2}", f"run:{g3}"})
+
+    def test_native_closure_matches_generic_oracle(self, backend,
+                                                   tmp_path, chain_corpus):
+        store = make_store(backend, tmp_path, chain_corpus)
+        tip = f"run:{chain_corpus[-1].id}"
+        for direction in ("up", "down"):
+            for depth in (None, 1, 2):
+                native = store.lineage_closure(tip, direction=direction,
+                                               max_depth=depth)
+                oracle = ProvenanceStore.lineage_closure(
+                    store, tip, direction=direction, max_depth=depth)
+                assert native == oracle
+
+    def test_depth_bound_counts_run_hops(self, backend, tmp_path,
+                                         chain_corpus):
+        store = make_store(backend, tmp_path, chain_corpus)
+        tip = chain_corpus[-1].id
+        assert store.lineage_closure(f"run:{tip}", direction="up",
+                                     max_depth=1) == \
+            frozenset({f"run:{chain_corpus[-2].id}"})
+
+    def test_deleting_a_generation_breaks_the_chain(self, backend,
+                                                    tmp_path,
+                                                    chain_corpus):
+        store = make_store(backend, tmp_path, chain_corpus)
+        g0, g1, g2, g3 = [run.id for run in chain_corpus]
+        assert store.delete_run(g2)
+        up = store.lineage_closure(f"run:{g3}", direction="up")
+        # g3's own edge still names g2 as parent, but the walk cannot
+        # continue past the deleted generation's contribution
+        assert up == frozenset({f"run:{g2}"})
+        store.save_run(chain_corpus[2])
+        assert store.lineage_closure(f"run:{g3}", direction="up") == \
+            frozenset({f"run:{g0}", f"run:{g1}", f"run:{g2}"})
+
+    def test_run_chain_stays_out_of_artifact_queries(self, backend,
+                                                     tmp_path,
+                                                     chain_corpus):
+        # run-level nodes share the index with hash-level edges but can
+        # never leak into artifact ancestry: the namespaces are disjoint
+        store = make_store(backend, tmp_path, chain_corpus)
+        rows = store.select(ProvQuery.artifacts()
+                            .upstream_of(_final_hash(chain_corpus))).all()
+        assert rows
+        assert all(not row["value_hash"].startswith("run:")
+                   for row in rows)
+
+    def test_manager_lineage_returns_run_rows(self, backend, tmp_path,
+                                              chain_corpus):
+        manager = ProvenanceManager(
+            store=make_store(backend, tmp_path, chain_corpus))
+        chain = manager.lineage(chain_corpus[-1].id)
+        assert [row["id"] for row in chain] == \
+            [run.id for run in chain_corpus[:-1]]
+        assert all("workflow_name" in row for row in chain)
+        derived = manager.lineage(chain_corpus[0].id, direction="down")
+        assert [row["id"] for row in derived] == \
+            [run.id for run in chain_corpus[1:]]
+
+    def test_provql_lineage_of_run_walks_chain(self, backend, tmp_path,
+                                               chain_corpus):
+        from repro.query.provql import execute_on_store
+        store = make_store(backend, tmp_path, chain_corpus)
+        g2 = chain_corpus[2].id
+        result = execute_on_store(f"LINEAGE OF '{g2}'", store)
+        assert result["run"] == g2
+        assert result["derived_from"] == sorted(
+            run.id for run in chain_corpus[:2])
+        assert result["derives"] == [chain_corpus[3].id]
+        assert execute_on_store(f"COUNT LINEAGE OF '{g2}'", store) == 3
+
+
+class TestRelationalReplayChainPersistence:
+    def test_chain_survives_reopen_and_backfill(self, tmp_path,
+                                                chain_corpus):
+        path = str(tmp_path / "chain.db")
+        with RelationalStore(path) as store:
+            store.save_runs(chain_corpus)
+            expected = store.lineage_closure(
+                f"run:{chain_corpus[-1].id}", direction="up")
+        assert len(expected) == 3
+        reopened = RelationalStore(path)
+        assert reopened.lineage_closure(
+            f"run:{chain_corpus[-1].id}", direction="up") == expected
+        # simulate a pre-chain-index database: edges vanish, backfill
+        # reconstructs them (hash edges in SQL, run edges from tags)
+        reopened._connection.execute("DELETE FROM lineage")
+        reopened._connection.commit()
+        reopened.close()
+        healed = RelationalStore(path)
+        assert healed.lineage_closure(
+            f"run:{chain_corpus[-1].id}", direction="up") == expected
+        assert healed.select(ProvQuery.artifacts().upstream_of(
+            _final_hash(chain_corpus))).all()
+
+
 class TestRelationalLineagePersistence:
     def test_index_survives_reopen(self, tmp_path, corpus):
         path = str(tmp_path / "lineage.db")
@@ -755,11 +881,58 @@ class TestStoreLevelQueryLanguages:
         assert [r["id"] for r in execute_on_store(text, store)] == \
             [r["id"] for r in per_run]
 
-    def test_provql_lineage_requires_single_run(self, tmp_path, corpus):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_provql_upstream_matches_select_lineage(self, backend,
+                                                    tmp_path, corpus):
+        from repro.query.provql import execute_on_store
+        store = make_store(backend, tmp_path, corpus)
+        key = _final_hash(corpus)
+        rows = execute_on_store(f"UPSTREAM OF '{key}'", store)
+        reference = store.select(
+            ProvQuery.artifacts().upstream_of(key)
+            .order_by("run_id", "id")).all()
+        assert [row["id"] for row in rows] == \
+            [row["id"] for row in reference]
+        assert rows and all(row["hash"] != key for row in rows)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_provql_downstream_matches_select_lineage(self, backend,
+                                                      tmp_path, corpus):
+        from repro.query.provql import execute_on_store
+        store = make_store(backend, tmp_path, corpus)
+        key = _volume_hash(corpus)
+        rows = execute_on_store(f"DOWNSTREAM OF '{key}'", store)
+        reference = store.select(
+            ProvQuery.artifacts().downstream_of(key)
+            .order_by("run_id", "id")).all()
+        assert [row["id"] for row in rows] == \
+            [row["id"] for row in reference]
+
+    def test_provql_lineage_commands_push_down(self, tmp_path, corpus,
+                                               monkeypatch):
+        from repro.query.provql import execute_on_store
+        store = make_store("relational", tmp_path, corpus)
+        monkeypatch.setattr(
+            store, "load_run",
+            lambda run_id: pytest.fail("cross-run lineage must answer "
+                                       "from the index"))
+        rows = execute_on_store(
+            f"UPSTREAM OF '{_final_hash(corpus)}' WHERE size > 0", store)
+        assert rows
+        lineage = execute_on_store(
+            f"LINEAGE OF '{_final_hash(corpus)}'", store)
+        assert lineage["artifacts"] and lineage["executions"]
+        count = execute_on_store(
+            f"COUNT LINEAGE OF '{_final_hash(corpus)}'", store)
+        assert count == (len(lineage["artifacts"])
+                         + len(lineage["executions"]))
+
+    def test_provql_paths_still_requires_single_run(self, tmp_path,
+                                                    corpus):
         from repro.query.provql import ProvQLError, execute_on_store
         store = make_store("memory", tmp_path, corpus)
         with pytest.raises(ProvQLError):
-            execute_on_store("LINEAGE OF art-x", store)
+            execute_on_store("PATHS FROM a TO b", store)
 
     def test_datalog_store_to_facts_filters_runs(self, tmp_path, corpus):
         from repro.query.facts import store_to_facts
