@@ -17,6 +17,14 @@ Regenerates: the §2.3 "smart rerun" opportunity measured four ways.
   execute exactly that module's downstream cone — asserted on execution
   counts, not timing — while serving everything else from the stored
   derivation record.
+* Resource governance: under sustained churn a byte-bounded persistent
+  cache must keep its stored payload within ``max_bytes`` after every
+  put (and the closed database file within one entry plus fixed SQLite
+  overhead of the budget); two concurrent runs sharing one cache file
+  must compute each distinct causal signature exactly once on all three
+  backends while recording byte-identical provenance; and a multi-MB
+  payload must round-trip through ``backend="process"`` via spill files
+  with hashes identical to the serial run.
 
 When the ``BENCH_JSON`` environment variable names a file, the measured
 numbers are dumped there so CI can archive a ``BENCH_*.json`` trajectory
@@ -31,7 +39,9 @@ import pytest
 
 from benchmarks.conftest import report_row
 from repro.core import ProvenanceManager
-from repro.workflow import Executor, PersistentResultCache
+from repro.workflow import (Executor, Module, PersistentResultCache,
+                            Workflow)
+from repro.workflow.cache import CacheEntry
 from repro.workloads import wide_workflow
 from tests.conftest import build_fig1_workflow, module_by_name
 
@@ -178,6 +188,113 @@ def test_scheduler_scaling(benchmark, registry, workers):
     assert result.status == "ok"
     report_row("E13", op="scaling", workers=workers,
                modules=BRANCHES * DEPTH + 1)
+
+
+#: Byte-budget churn bench: payload size and budget sized so SQLite page
+#: overhead is small relative to the budget.
+CHURN_BUDGET = 1 << 20
+CHURN_PAYLOAD = 128 * 1024
+CHURN_PUTS = 64
+
+
+def test_cache_byte_budget_bounds_file_under_churn(tmp_path):
+    """Sustained churn never pushes the cache past its byte budget.
+
+    The invariant is asserted on stored payload bytes after *every* put
+    (the budget is exact there) and, once closed, on the database file
+    itself, which must stay within the budget plus one entry and fixed
+    SQLite overhead — eviction with ``auto_vacuum`` returns pages, so
+    the file tracks content instead of high-water marks.
+    """
+    path = tmp_path / "budget.db"
+    cache = PersistentResultCache(path, max_entries=None,
+                                  max_bytes=CHURN_BUDGET)
+    start = time.perf_counter()
+    for index in range(CHURN_PUTS):
+        cache.put(f"k{index}", CacheEntry(
+            outputs={"out": ("%04d" % index) * (CHURN_PAYLOAD // 4)},
+            output_hashes={"out": f"hash-{index}"},
+            source_execution=f"exec-{index}"))
+        assert cache.total_bytes() <= CHURN_BUDGET
+    churn_seconds = time.perf_counter() - start
+    evictions = cache.stats.evictions
+    assert evictions > 0
+    cache.close()
+    file_size = path.stat().st_size
+    overhead_allowance = CHURN_PAYLOAD + 64 * 1024
+    report_row("E13", op="byte-budget-churn", puts=CHURN_PUTS,
+               budget=CHURN_BUDGET, file_size=file_size,
+               evictions=evictions, churn_s=round(churn_seconds, 3))
+    _record(budget_bytes=CHURN_BUDGET, budget_file_size=file_size,
+            budget_evictions=evictions,
+            budget_churn_s=round(churn_seconds, 3))
+    assert file_size <= CHURN_BUDGET + overhead_allowance, (
+        f"cache file grew past its byte budget: {file_size} bytes "
+        f"vs {CHURN_BUDGET} budget (+{overhead_allowance} allowance)")
+
+
+def test_concurrent_runs_share_cache_compute_once(registry, tmp_path):
+    """Two concurrent runs on one cache file, on every backend: each
+    distinct causal signature computes exactly once across both runs,
+    and both record byte-identical provenance (asserted by the same
+    harness the scheduler tests and hypothesis property use)."""
+    from tests.conftest import (assert_each_key_computed_once,
+                                run_pair_sharing_cache)
+    for kind, kwargs in (("serial", {}),
+                         ("thread", {"workers": 4}),
+                         ("process", {"workers": 2,
+                                      "backend": "process"})):
+        path = str(tmp_path / f"shared-{kind}.db")
+        workflow = wide_workflow(branches=4, depth=2, work=80_000)
+        start = time.perf_counter()
+        runs = run_pair_sharing_cache(
+            registry, lambda: PersistentResultCache(path), workflow,
+            **kwargs)
+        seconds = time.perf_counter() - start
+        assert_each_key_computed_once(runs)
+        keys = {r.cache_key for run in runs
+                for r in run.results.values()}
+        computed_total = sum(
+            1 for run in runs for r in run.results.values()
+            if r.status == "ok")
+        report_row("E13", op="lease-exactly-once", backend=kind,
+                   distinct_keys=len(keys), computed=computed_total,
+                   runs=2, seconds=round(seconds, 3))
+        _record(**{f"lease_{kind}_keys": len(keys),
+                   f"lease_{kind}_computed": computed_total,
+                   f"lease_{kind}_s": round(seconds, 3)})
+
+
+#: Large-payload bench: a 4 MB artifact crossing the process boundary.
+PAYLOAD_BYTES = 4 * 1024 * 1024
+
+
+def test_large_payload_roundtrip_via_spill(registry):
+    """A multi-MB artifact round-trips through the process backend as a
+    spill-file reference with hashes identical to the serial run."""
+    workflow = Workflow("payload")
+    blob = workflow.add_module(Module("MakeBlob", name="blob",
+                                      parameters={"size": PAYLOAD_BYTES}))
+    passthrough = workflow.add_module(Module("Identity", name="pass"))
+    workflow.connect(blob.id, "value", passthrough.id, "value")
+    executor = Executor(registry, payload_spill_threshold=256 * 1024)
+    serial_result, serial_seconds = _timed(
+        lambda: executor.execute(workflow))
+    process_result, process_seconds = _timed(
+        lambda: executor.execute(workflow, workers=2, backend="process"))
+    assert serial_result.status == process_result.status == "ok"
+    fingerprints = [
+        {m: {p: r.value_hash for p, r in res.outputs.items()}
+         for m, res in result.results.items()}
+        for result in (serial_result, process_result)]
+    assert fingerprints[0] == fingerprints[1]
+    report_row("E13", op="large-payload-spill",
+               payload_mb=PAYLOAD_BYTES // (1024 * 1024),
+               serial_s=round(serial_seconds, 3),
+               process_s=round(process_seconds, 3))
+    _record(payload_mb=PAYLOAD_BYTES // (1024 * 1024),
+            payload_serial_s=round(serial_seconds, 3),
+            payload_process_s=round(process_seconds, 3))
 
 
 def test_partial_rerun_executes_only_stale_cone():

@@ -36,7 +36,9 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.core import ProvenanceManager
     from repro.workloads import build_vis_workflow
     manager = ProvenanceManager(workers=args.workers, backend=args.backend,
-                                cache_path=args.cache or None)
+                                cache_path=args.cache or None,
+                                cache_max_bytes=args.cache_max_bytes
+                                or None)
     run = manager.run(build_vis_workflow(size=args.size))
     print(run_report(run))
     return 0 if run.status == "ok" else 1
@@ -249,6 +251,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="path of a persistent result-cache database; "
                            "repeated demos then reuse results across "
                            "process restarts")
+    demo.add_argument("--cache-max-bytes", type=int, default=0,
+                      help="total payload-byte budget for the result "
+                           "cache (LRU eviction past it; 0 = unbounded)")
     demo.set_defaults(handler=_cmd_demo)
 
     rerun = subparsers.add_parser(

@@ -66,7 +66,13 @@ def _size_hint(value: Any) -> int:
         return 0
     if isinstance(value, (str, bytes, bytearray)):
         length = len(value)
-        return length + 2 if length > _SIZE_HINT_CAP else len(repr(value))
+        if length <= _SIZE_HINT_CAP:
+            return len(repr(value))
+        if isinstance(value, str):
+            return length + 2           # the surrounding quotes
+        if isinstance(value, bytes):
+            return length + 3           # b'...'
+        return length + 14              # bytearray(b'...')
     try:
         length = len(value)
     except TypeError:

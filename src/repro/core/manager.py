@@ -44,7 +44,17 @@ class ProvenanceManager:
             :class:`~repro.workflow.cache.PersistentResultCache` database;
             results then survive process boundaries and restarts, so a
             fresh process rerunning an unchanged workflow recomputes
-            nothing.
+            nothing — and concurrent managers pointing at one file
+            coordinate through its compute leases, so N simultaneous
+            runs compute each distinct module at most once.
+        cache_max_bytes: total payload-byte budget for the cache this
+            manager builds (LRU eviction past it; ignored when an
+            explicit ``cache`` object is passed — budget that store
+            directly).
+        payload_spill_threshold: pickle size (bytes) above which
+            process-backend job values travel as spill-file references
+            instead of through the executor pipe (None = 1 MiB default,
+            0 disables).
         keep_values: retain artifact values on captured runs (required for
             partial re-execution to reuse recorded results).
         workers: default engine parallelism — ``None``/``1`` executes
@@ -61,10 +71,12 @@ class ProvenanceManager:
                  store: Optional[Any] = None, use_cache: bool = True,
                  cache: Optional[CacheStore] = None,
                  cache_path: Optional[str] = None,
+                 cache_max_bytes: Optional[int] = None,
                  keep_values: bool = True,
                  workers: Optional[int] = None,
                  backend: Optional[str] = None,
-                 registry_provider: Optional[str] = None) -> None:
+                 registry_provider: Optional[str] = None,
+                 payload_spill_threshold: Optional[int] = None) -> None:
         if registry is None:
             from repro.workflow.modules import standard_registry
             registry = standard_registry()
@@ -77,15 +89,18 @@ class ProvenanceManager:
         if cache is not None:
             self.cache: Optional[CacheStore] = cache
         elif cache_path is not None:
-            self.cache = PersistentResultCache(cache_path)
+            self.cache = PersistentResultCache(cache_path,
+                                               max_bytes=cache_max_bytes)
         else:
-            self.cache = ResultCache() if use_cache else None
+            self.cache = (ResultCache(max_bytes=cache_max_bytes)
+                          if use_cache else None)
         self.capture = ProvenanceCapture(registry=registry, store=store,
                                          keep_values=keep_values)
-        self.executor = Executor(registry, cache=self.cache,
-                                 listeners=[self.capture], workers=workers,
-                                 backend=backend,
-                                 registry_provider=registry_provider)
+        self.executor = Executor(
+            registry, cache=self.cache, listeners=[self.capture],
+            workers=workers, backend=backend,
+            registry_provider=registry_provider,
+            payload_spill_threshold=payload_spill_threshold)
         #: Raw engine result of the most recent :meth:`run` (None before
         #: the first run, instead of raising AttributeError on access).
         self.last_engine_result: Optional[RunResult] = None
@@ -342,9 +357,12 @@ class ProvenanceManager:
 
     # -- statistics ---------------------------------------------------------
     def cache_stats(self) -> Dict[str, Any]:
-        """Cache hit/miss counters (zeros when caching is disabled)."""
+        """Cache hit/miss/eviction counters (zeros when disabled)."""
         if self.cache is None:
-            return {"hits": 0, "misses": 0, "hit_rate": 0.0}
+            return {"hits": 0, "misses": 0, "hit_rate": 0.0,
+                    "evictions": 0, "invalidations": 0}
         return {"hits": self.cache.stats.hits,
                 "misses": self.cache.stats.misses,
-                "hit_rate": self.cache.stats.hit_rate}
+                "hit_rate": self.cache.stats.hit_rate,
+                "evictions": self.cache.stats.evictions,
+                "invalidations": self.cache.stats.invalidations}

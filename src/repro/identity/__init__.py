@@ -44,6 +44,7 @@ KNOWN_KINDS = (
     "acct",     # OPM account
     "rel",      # database relation
     "tup",      # database tuple
+    "lease",    # compute-lease claim on a result-cache key
 )
 
 

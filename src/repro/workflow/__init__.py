@@ -6,7 +6,8 @@ under a dataflow model, with static validation, intermediate-result caching,
 and an observer API through which provenance is captured.
 """
 
-from repro.workflow.cache import (CacheEntry, CacheStats, CacheStore,
+from repro.workflow.cache import (DEFAULT_LEASE_TTL, DEFAULT_MAX_ENTRIES,
+                                  CacheEntry, CacheStats, CacheStore,
                                   PersistentResultCache, ResultCache)
 from repro.workflow.engine import (ExecutionListener, Executor, ModuleResult,
                                    ReusedModule, RunResult, ValueRecord)
@@ -20,8 +21,10 @@ from repro.workflow.errors import (CycleError, ExecutionError, ModuleFailure,
                                    WorkflowError)
 from repro.workflow.registry import (ModuleContext, ModuleDefinition,
                                      ModuleRegistry, ParameterSpec, PortSpec)
-from repro.workflow.serialization import (dump_workflow, dumps_workflow,
-                                          load_workflow, loads_workflow,
+from repro.workflow.serialization import (DEFAULT_SPILL_THRESHOLD,
+                                          SpilledValue, dump_workflow,
+                                          dumps_workflow, load_workflow,
+                                          loads_workflow,
                                           workflow_from_dict,
                                           workflow_to_dict)
 from repro.workflow.spec import Connection, Module, Workflow
@@ -31,6 +34,7 @@ from repro.workflow.validation import (ValidationIssue, check_workflow,
                                        validate_workflow)
 
 __all__ = [
+    "DEFAULT_LEASE_TTL", "DEFAULT_MAX_ENTRIES",
     "CacheEntry", "CacheStats", "CacheStore", "PersistentResultCache",
     "ResultCache",
     "ExecutionListener", "Executor", "ModuleResult", "ReusedModule",
@@ -42,6 +46,7 @@ __all__ = [
     "SpecError", "TypeMismatchError", "ValidationError", "WorkflowError",
     "ModuleContext", "ModuleDefinition", "ModuleRegistry", "ParameterSpec",
     "PortSpec",
+    "DEFAULT_SPILL_THRESHOLD", "SpilledValue",
     "dump_workflow", "dumps_workflow", "load_workflow", "loads_workflow",
     "workflow_from_dict", "workflow_to_dict",
     "Connection", "Module", "Workflow",

@@ -19,6 +19,17 @@ The cache is a *pluggable store*: the engine talks to the tiny
   including separate OS processes sharing one cache file — are safe; a
   corrupted or truncated cache file degrades to clean misses (the cache is
   an accelerator, never a source of truth).
+
+Both stores are *resource-governed*: capacity can be bounded by entry
+count (``max_entries``) and by total stored payload bytes (``max_bytes``),
+each enforced with LRU eviction over the same recency order, so the two
+implementations evict the identical key set for the identical operation
+sequence.  Both also implement *compute leases* — a per-key claim a run
+takes out before computing a missing result, so N concurrent runs sharing
+one cache (threads on a :class:`ResultCache`, OS processes on one
+:class:`PersistentResultCache` file) compute each distinct causal
+signature at most once; the losers wait and replay the winner's published
+entry as a cache hit.
 """
 
 from __future__ import annotations
@@ -26,16 +37,29 @@ from __future__ import annotations
 import pickle
 import sqlite3
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Optional, Union
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.identity import canonical_json, content_hash
 
 __all__ = ["CacheKey", "CacheEntry", "CacheStats", "CacheStore",
-           "ResultCache", "PersistentResultCache", "module_cache_key"]
+           "ResultCache", "PersistentResultCache", "module_cache_key",
+           "DEFAULT_MAX_ENTRIES", "DEFAULT_LEASE_TTL"]
 
 CacheKey = str
+
+#: Default entry budget shared by both cache implementations.  Finite on
+#: purpose: a cache that grows without bound is a resource leak, and the
+#: persistent store additionally leaks *disk* across process lifetimes —
+#: pass ``max_entries=None`` explicitly to opt into unbounded growth.
+DEFAULT_MAX_ENTRIES = 1024
+
+#: How long a compute lease lives (seconds) before waiters may steal it.
+#: Generous by design: a lease only expires when its holder died mid-
+#: compute, and a premature expiry merely costs one duplicate computation.
+DEFAULT_LEASE_TTL = 60.0
 
 
 @dataclass
@@ -55,11 +79,19 @@ class CacheEntry:
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters for a cache instance."""
+    """Hit/miss/eviction counters for a cache instance.
+
+    ``evictions`` counts entries dropped by *capacity* pressure (entry or
+    byte budget); ``invalidations`` counts entries dropped *explicitly*
+    via :meth:`CacheStore.invalidate` or :meth:`CacheStore.clear`.  Both
+    cache implementations count every field identically for the same
+    operation sequence, so accounting never drifts between backends.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    invalidations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -85,6 +117,21 @@ def module_cache_key(type_name: str, version: str,
     return content_hash(payload.encode("utf-8"))
 
 
+def _entry_payload(entry: CacheEntry) -> Optional[bytes]:
+    """Pickle an entry's payload exactly as the persistent store would.
+
+    Both implementations size entries from this byte string, so byte
+    budgets account identically regardless of backend.  Returns None for
+    unpicklable values.
+    """
+    try:
+        return pickle.dumps(
+            (dict(entry.outputs), dict(entry.output_hashes)),
+            protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        return None
+
+
 class CacheStore:
     """Interface the engine memoizes against (see :class:`ResultCache`).
 
@@ -94,9 +141,19 @@ class CacheStore:
     degrades to misses, it does not fail the workflow.  ``stats`` counts
     every lookup the same way on every implementation, so hit-rate
     accounting is backend-independent.
+
+    Stores that set ``supports_leases`` additionally implement the
+    compute-lease protocol (:meth:`acquire_lease`, :meth:`release_lease`,
+    :meth:`wait_for_entry`, plus ``in``-membership) used by the engine to
+    guarantee each distinct cache key is computed at most once across
+    concurrent runs.  The defaults below make leases a no-op: every caller
+    is told to compute, which is exactly the pre-lease behaviour.
     """
 
     stats: CacheStats
+
+    #: True when the store implements real compute leases.
+    supports_leases: bool = False
 
     def get(self, key: CacheKey) -> Optional[CacheEntry]:
         """Return the entry for ``key`` (refreshing recency) or None."""
@@ -114,6 +171,24 @@ class CacheStore:
         """Drop every entry (statistics are retained)."""
         raise NotImplementedError
 
+    def total_bytes(self) -> int:
+        """Total stored payload bytes (0 when unknown)."""
+        return 0
+
+    def acquire_lease(self, key: CacheKey, owner: str,
+                      ttl: Optional[float] = None) -> bool:
+        """Claim the right to compute ``key``; True when granted."""
+        return True
+
+    def release_lease(self, key: CacheKey, owner: str) -> None:
+        """Give up a lease previously granted to ``owner`` (idempotent)."""
+
+    def wait_for_entry(self, key: CacheKey,
+                       timeout: Optional[float] = None,
+                       poll: float = 0.005) -> Optional[CacheEntry]:
+        """Wait for another holder to publish ``key``; None when it won't."""
+        return None
+
     def close(self) -> None:
         """Release resources (no-op by default)."""
 
@@ -123,16 +198,32 @@ class ResultCache(CacheStore):
 
     All operations take an internal lock, so one cache instance may serve
     a parallel (``workers=N``) run — or several concurrent runs — without
-    corrupting the LRU order or the statistics.
+    corrupting the LRU order or the statistics.  Compute leases are
+    in-process claims (a dict under the same lock), so concurrent runs
+    sharing the instance compute each distinct key once.
 
     Args:
         max_entries: maximum number of entries kept (None = unbounded).
+        max_bytes: maximum total *pickled payload* bytes kept (None =
+            unbounded).  Sizes are measured on the identical byte string
+            the persistent store would write, so both backends evict the
+            same keys under the same budget; an entry larger than the
+            whole budget is not stored at all.  Values that cannot be
+            pickled are still cached (this is an in-memory store) but
+            count zero bytes toward the budget.
     """
 
-    def __init__(self, max_entries: Optional[int] = 1024) -> None:
+    supports_leases = True
+
+    def __init__(self, max_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
+                 max_bytes: Optional[int] = None) -> None:
         self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self.stats = CacheStats()
         self._entries: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
+        self._sizes: Dict[CacheKey, int] = {}
+        self._bytes = 0
+        self._leases: Dict[CacheKey, Tuple[str, float]] = {}
         self._lock = threading.RLock()
 
     def get(self, key: CacheKey) -> Optional[CacheEntry]:
@@ -147,24 +238,105 @@ class ResultCache(CacheStore):
             return entry
 
     def put(self, key: CacheKey, entry: CacheEntry) -> None:
-        """Store ``entry`` under ``key``, evicting the LRU entry if full."""
+        """Store ``entry`` under ``key``, evicting LRU entries when the
+        entry count or byte budget is exceeded."""
+        size = 0
+        if self.max_bytes is not None:
+            payload = _entry_payload(entry)
+            size = len(payload) if payload is not None else 0
+            if size > self.max_bytes:
+                return  # larger than the whole budget: never stored
         with self._lock:
+            self._bytes -= self._sizes.pop(key, 0)
             self._entries[key] = entry
             self._entries.move_to_end(key)
+            if self.max_bytes is not None:
+                self._sizes[key] = size
+                self._bytes += size
             if self.max_entries is not None:
                 while len(self._entries) > self.max_entries:
-                    self._entries.popitem(last=False)
-                    self.stats.evictions += 1
+                    self._evict_oldest()
+            if self.max_bytes is not None:
+                while self._bytes > self.max_bytes:
+                    self._evict_oldest()
+
+    def _evict_oldest(self) -> None:
+        old_key, _ = self._entries.popitem(last=False)
+        self._bytes -= self._sizes.pop(old_key, 0)
+        self.stats.evictions += 1
 
     def invalidate(self, key: CacheKey) -> bool:
         """Drop ``key``; return True when it was present."""
         with self._lock:
-            return self._entries.pop(key, None) is not None
+            present = self._entries.pop(key, None) is not None
+            if present:
+                self._bytes -= self._sizes.pop(key, 0)
+                self.stats.invalidations += 1
+            return present
 
     def clear(self) -> None:
         """Drop every entry (statistics are retained)."""
         with self._lock:
+            self.stats.invalidations += len(self._entries)
             self._entries.clear()
+            self._sizes.clear()
+            self._bytes = 0
+
+    def total_bytes(self) -> int:
+        """Total pickled payload bytes currently stored.
+
+        Tracked incrementally when ``max_bytes`` is set; measured on
+        demand otherwise (sizing every put would tax the unbounded hot
+        path for a number nobody asked for).
+        """
+        with self._lock:
+            if self.max_bytes is not None:
+                return self._bytes
+            total = 0
+            for entry in self._entries.values():
+                payload = _entry_payload(entry)
+                total += len(payload) if payload is not None else 0
+            return total
+
+    # -- compute leases -------------------------------------------------
+    def acquire_lease(self, key: CacheKey, owner: str,
+                      ttl: Optional[float] = None) -> bool:
+        """Claim ``key`` for computation; re-acquiring refreshes the TTL."""
+        ttl = DEFAULT_LEASE_TTL if ttl is None else ttl
+        now = time.monotonic()
+        with self._lock:
+            held = self._leases.get(key)
+            if held is not None and held[0] != owner and held[1] > now:
+                return False
+            self._leases[key] = (owner, now + ttl)
+            return True
+
+    def release_lease(self, key: CacheKey, owner: str) -> None:
+        """Drop the lease on ``key`` if ``owner`` still holds it."""
+        with self._lock:
+            held = self._leases.get(key)
+            if held is not None and held[0] == owner:
+                del self._leases[key]
+
+    def _lease_live(self, key: CacheKey) -> bool:
+        with self._lock:
+            held = self._leases.get(key)
+            return held is not None and held[1] > time.monotonic()
+
+    def wait_for_entry(self, key: CacheKey,
+                       timeout: Optional[float] = None,
+                       poll: float = 0.005) -> Optional[CacheEntry]:
+        """Poll until the lease holder publishes ``key`` (counted as a
+        hit) or the lease dies/expires without an entry (None)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if key in self:
+                return self.get(key)
+            if not self._lease_live(key):
+                return None
+            if deadline is not None and time.monotonic() >= deadline:
+                return None
+            time.sleep(poll)
 
     def __len__(self) -> int:
         with self._lock:
@@ -185,6 +357,11 @@ CREATE TABLE IF NOT EXISTS entries (
     seq INTEGER NOT NULL
 );
 CREATE INDEX IF NOT EXISTS idx_entries_seq ON entries(seq);
+CREATE TABLE IF NOT EXISTS leases (
+    key TEXT PRIMARY KEY,
+    owner TEXT NOT NULL,
+    expires REAL NOT NULL
+);
 """
 
 
@@ -197,23 +374,42 @@ class PersistentResultCache(CacheStore):
     order.  The database runs in WAL mode with per-operation transactions
     — the same discipline as the relational provenance backend — so
     concurrent writers (threads *or* separate processes pointing at the
-    same path) never corrupt the file.
+    same path) never corrupt the file.  ``auto_vacuum`` is enabled on
+    databases this class creates, so evictions return pages to the
+    filesystem and the file size tracks the byte budget under churn.
+
+    Compute leases are rows in a ``leases`` table claimed with an atomic
+    insert, so *separate OS processes* sharing one cache file coordinate
+    who computes each key — the coordinator-side half of cross-run reuse.
 
     Failure semantics: a cache is an accelerator.  Any storage-level
     problem — corrupted file, truncated mid-write, unpicklable value —
     degrades to a miss (and, for file-level corruption, a best-effort
     reset of the cache file); no cache operation ever raises into the
-    engine.
+    engine.  A broken store grants every lease, degrading to uncoordinated
+    (pre-lease) computation.
 
     Args:
         path: cache database file (created if missing).
-        max_entries: maximum number of entries kept (None = unbounded).
+        max_entries: maximum number of entries kept.  Finite by default
+            (:data:`DEFAULT_MAX_ENTRIES`, matching :class:`ResultCache`):
+            this store outlives processes, so an unbounded default would
+            silently grow the file on disk forever — pass ``None`` to opt
+            into unbounded growth deliberately.
+        max_bytes: maximum total payload bytes kept (None = unbounded),
+            tracked as ``length(payload)`` in SQL and enforced with the
+            same LRU order as ``max_entries``; an entry larger than the
+            whole budget is not stored at all.
     """
 
+    supports_leases = True
+
     def __init__(self, path: Union[str, "Any"],
-                 max_entries: Optional[int] = None) -> None:
+                 max_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
+                 max_bytes: Optional[int] = None) -> None:
         self.path = str(path)
         self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self.stats = CacheStats()
         self._lock = threading.RLock()
         self._connection: Optional[sqlite3.Connection] = None
@@ -226,6 +422,10 @@ class PersistentResultCache(CacheStore):
     def _connect(self) -> None:
         self._connection = sqlite3.connect(self.path, timeout=30.0,
                                            check_same_thread=False)
+        # must precede table creation to take effect on fresh databases;
+        # a no-op on existing ones (best effort — size-bound guarantees
+        # then hold for payload bytes, not the on-disk file)
+        self._connection.execute("PRAGMA auto_vacuum = FULL")
         self._connection.execute("PRAGMA journal_mode = WAL")
         self._connection.execute("PRAGMA synchronous = NORMAL")
         self._connection.executescript(_CACHE_SCHEMA)
@@ -290,7 +490,7 @@ class PersistentResultCache(CacheStore):
             except Exception:
                 # partial write or foreign bytes: drop the entry, miss
                 self.stats.misses += 1
-                self.invalidate(key)
+                self._drop_corrupt(key)
                 return None
             try:
                 with self._connection:
@@ -304,14 +504,27 @@ class PersistentResultCache(CacheStore):
                               output_hashes=dict(output_hashes),
                               source_execution=row[1])
 
+    def _drop_corrupt(self, key: CacheKey) -> None:
+        """Delete a torn entry without counting an invalidation (the
+        caller already counted the miss; there was never a valid entry)."""
+        with self._lock:
+            if self._connection is None:
+                return
+            try:
+                with self._connection:
+                    self._connection.execute(
+                        "DELETE FROM entries WHERE key = ?", (key,))
+            except sqlite3.Error:
+                self._reset_file()
+
     def put(self, key: CacheKey, entry: CacheEntry) -> None:
-        """Persist ``entry``; unpicklable values are silently skipped."""
-        try:
-            payload = pickle.dumps(
-                (dict(entry.outputs), dict(entry.output_hashes)),
-                protocol=pickle.HIGHEST_PROTOCOL)
-        except Exception:
+        """Persist ``entry``; unpicklable or over-budget values are
+        silently skipped, capacity overflow evicts in LRU order."""
+        payload = _entry_payload(entry)
+        if payload is None:
             return
+        if self.max_bytes is not None and len(payload) > self.max_bytes:
+            return  # larger than the whole budget: never stored
         with self._lock:
             if self._connection is None:
                 return
@@ -322,19 +535,49 @@ class PersistentResultCache(CacheStore):
                         "INSERT OR REPLACE INTO entries VALUES (?,?,?,?)",
                         (key, payload, entry.source_execution,
                          self._next_seq(cursor)))
-                    if self.max_entries is not None:
-                        count = cursor.execute(
-                            "SELECT COUNT(*) FROM entries").fetchone()[0]
-                        excess = count - self.max_entries
-                        if excess > 0:
-                            cursor.execute(
-                                "DELETE FROM entries WHERE key IN"
-                                " (SELECT key FROM entries"
-                                "  ORDER BY seq ASC, key ASC LIMIT ?)",
-                                (excess,))
-                            self.stats.evictions += cursor.rowcount
+                    self._evict_over_budget(cursor)
             except sqlite3.Error:
                 self._reset_file()
+
+    def _evict_over_budget(self, cursor: sqlite3.Cursor) -> None:
+        """Drop LRU entries until both capacity budgets are satisfied.
+
+        Runs inside the caller's transaction.  The freshly-written row
+        carries the highest seq, so it is visited last and survives any
+        legal budget (oversize entries were rejected before the write).
+        """
+        if self.max_entries is None and self.max_bytes is None:
+            return
+        count, total = cursor.execute(
+            "SELECT COUNT(*), COALESCE(SUM(LENGTH(payload)), 0)"
+            " FROM entries").fetchone()
+        excess = (count - self.max_entries
+                  if self.max_entries is not None else 0)
+        if excess <= 0 and (self.max_bytes is None
+                            or total <= self.max_bytes):
+            return
+        if self.max_bytes is None:
+            # entry budget only: no need to visit sizes row by row
+            cursor.execute(
+                "DELETE FROM entries WHERE key IN"
+                " (SELECT key FROM entries"
+                "  ORDER BY seq ASC, key ASC LIMIT ?)", (excess,))
+            self.stats.evictions += cursor.rowcount
+            return
+        drop: List[str] = []
+        for old_key, size in cursor.execute(
+                "SELECT key, LENGTH(payload) FROM entries"
+                " ORDER BY seq ASC, key ASC").fetchall():
+            if len(drop) >= excess and (self.max_bytes is None
+                                        or total <= self.max_bytes):
+                break
+            drop.append(old_key)
+            total -= size
+        if drop:
+            cursor.execute(
+                "DELETE FROM entries WHERE key IN (%s)"
+                % ",".join("?" * len(drop)), drop)
+            self.stats.evictions += cursor.rowcount
 
     def invalidate(self, key: CacheKey) -> bool:
         """Drop ``key``; return True when it was present."""
@@ -345,7 +588,10 @@ class PersistentResultCache(CacheStore):
                 with self._connection:
                     cursor = self._connection.execute(
                         "DELETE FROM entries WHERE key = ?", (key,))
-                    return cursor.rowcount > 0
+                    if cursor.rowcount > 0:
+                        self.stats.invalidations += 1
+                        return True
+                    return False
             except sqlite3.Error:
                 self._reset_file()
                 return False
@@ -357,9 +603,101 @@ class PersistentResultCache(CacheStore):
                 return
             try:
                 with self._connection:
-                    self._connection.execute("DELETE FROM entries")
+                    cursor = self._connection.execute(
+                        "DELETE FROM entries")
+                    self.stats.invalidations += max(0, cursor.rowcount)
             except sqlite3.Error:
                 self._reset_file()
+
+    def total_bytes(self) -> int:
+        """Total payload bytes currently stored (``SUM(length(payload))``)."""
+        with self._lock:
+            if self._connection is None:
+                return 0
+            try:
+                row = self._connection.execute(
+                    "SELECT COALESCE(SUM(LENGTH(payload)), 0)"
+                    " FROM entries").fetchone()
+            except sqlite3.Error:
+                self._reset_file()
+                return 0
+            return int(row[0])
+
+    # -- compute leases -------------------------------------------------
+    def acquire_lease(self, key: CacheKey, owner: str,
+                      ttl: Optional[float] = None) -> bool:
+        """Atomically claim ``key`` across processes sharing this file.
+
+        Expired leases are reaped first, so a crashed holder blocks
+        waiters for at most the TTL; re-acquiring refreshes the expiry.
+        A broken store grants the lease (no coordination beats no cache).
+        """
+        ttl = DEFAULT_LEASE_TTL if ttl is None else ttl
+        now = time.time()
+        with self._lock:
+            if self._connection is None:
+                return True
+            try:
+                with self._connection:
+                    self._connection.execute(
+                        "DELETE FROM leases WHERE key = ? AND expires <= ?",
+                        (key, now))
+                    cursor = self._connection.execute(
+                        "INSERT OR IGNORE INTO leases VALUES (?,?,?)",
+                        (key, owner, now + ttl))
+                    if cursor.rowcount > 0:
+                        return True
+                    row = self._connection.execute(
+                        "SELECT owner FROM leases WHERE key = ?",
+                        (key,)).fetchone()
+                    if row is not None and row[0] == owner:
+                        self._connection.execute(
+                            "UPDATE leases SET expires = ? WHERE key = ?",
+                            (now + ttl, key))
+                        return True
+                    return False
+            except sqlite3.Error:
+                return True
+
+    def release_lease(self, key: CacheKey, owner: str) -> None:
+        """Drop the lease on ``key`` if ``owner`` still holds it."""
+        with self._lock:
+            if self._connection is None:
+                return
+            try:
+                with self._connection:
+                    self._connection.execute(
+                        "DELETE FROM leases WHERE key = ? AND owner = ?",
+                        (key, owner))
+            except sqlite3.Error:
+                pass
+
+    def _lease_live(self, key: CacheKey) -> bool:
+        with self._lock:
+            if self._connection is None:
+                return False
+            try:
+                row = self._connection.execute(
+                    "SELECT expires FROM leases WHERE key = ?",
+                    (key,)).fetchone()
+            except sqlite3.Error:
+                return False
+            return row is not None and float(row[0]) > time.time()
+
+    def wait_for_entry(self, key: CacheKey,
+                       timeout: Optional[float] = None,
+                       poll: float = 0.01) -> Optional[CacheEntry]:
+        """Poll until the lease holder publishes ``key`` (counted as a
+        hit) or the lease dies/expires without an entry (None)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if key in self:
+                return self.get(key)
+            if not self._lease_live(key):
+                return None
+            if deadline is not None and time.monotonic() >= deadline:
+                return None
+            time.sleep(poll)
 
     def __len__(self) -> int:
         with self._lock:

@@ -27,6 +27,8 @@ history stays intact while only the stale frontier does real work (see
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 import threading
 import time
 import traceback
@@ -34,7 +36,8 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.identity import hash_value, new_id
-from repro.workflow.cache import (CacheEntry, CacheStore, ResultCache,
+from repro.workflow.cache import (DEFAULT_LEASE_TTL, CacheEntry,
+                                  CacheStore, ResultCache,
                                   module_cache_key)
 from repro.workflow.environment import capture_environment
 from repro.workflow.errors import ExecutionError
@@ -42,7 +45,9 @@ from repro.workflow.registry import ModuleContext, ModuleRegistry
 from repro.workflow.scheduler import (ReadySetScheduler, SerialBackend,
                                       make_backend)
 from repro.workflow.serialization import (DEFAULT_REGISTRY_PROVIDER,
-                                          ProcessJob)
+                                          DEFAULT_SPILL_THRESHOLD,
+                                          ProcessJob, maybe_spill,
+                                          resolve_spilled)
 from repro.workflow.spec import Module, Workflow
 from repro.workflow.validation import check_workflow
 
@@ -58,6 +63,11 @@ __all__ = [
 
 #: External input bindings are keyed by (module_id, port_name).
 InputKey = Tuple[str, str]
+
+#: How often the executor's heartbeat refreshes held compute leases.
+#: Well under the TTL, so a lease only ever expires when its holding
+#: process actually died (taking the heartbeat with it).
+_HEARTBEAT_INTERVAL = DEFAULT_LEASE_TTL / 4.0
 
 
 @dataclass(frozen=True)
@@ -100,6 +110,9 @@ class _PendingProcessJob:
     parameters: Dict[str, Any]
     inputs: Dict[str, ValueRecord]
     cache_key: str
+    #: lease token held on ``cache_key`` while the worker computes;
+    #: released at harvest ("" when no lease was taken).
+    lease_owner: str = ""
 
 
 @dataclass
@@ -249,6 +262,24 @@ class Executor:
             processes call to rebuild the module registry (defaults to the
             standard library registry).  Only consulted by the process
             backend.
+        payload_spill_threshold: pickle size (bytes) above which process-
+            job values travel as spill-file references instead of through
+            the executor pipe (see
+            :class:`~repro.workflow.serialization.SpilledValue`), bounding
+            coordinator memory on wide fan-outs of large artifacts.
+            ``None`` selects the default
+            (:data:`~repro.workflow.serialization.DEFAULT_SPILL_THRESHOLD`,
+            1 MiB); ``0`` disables spilling.  Only consulted by the
+            process backend.
+
+    When the cache implements compute leases
+    (:attr:`~repro.workflow.cache.CacheStore.supports_leases`), a miss on
+    a deterministic module first claims a per-key lease, so concurrent
+    runs sharing one cache — worker threads here, or separate OS
+    processes on one :class:`~repro.workflow.cache.PersistentResultCache`
+    file — compute each distinct causal signature exactly once; the
+    losers wait and record the winner's published result as an ordinary
+    ``"cached"`` execution with identical output hashes.
     """
 
     def __init__(self, registry: ModuleRegistry, *,
@@ -258,7 +289,8 @@ class Executor:
                  validate: bool = True,
                  workers: Optional[int] = None,
                  backend: Optional[str] = None,
-                 registry_provider: Optional[str] = None) -> None:
+                 registry_provider: Optional[str] = None,
+                 payload_spill_threshold: Optional[int] = None) -> None:
         self.registry = registry
         self.cache = cache
         self.listeners: List[ExecutionListener] = list(listeners)
@@ -268,8 +300,53 @@ class Executor:
         self.backend = backend
         self.registry_provider = (registry_provider
                                   or DEFAULT_REGISTRY_PROVIDER)
+        self.payload_spill_threshold = (
+            DEFAULT_SPILL_THRESHOLD if payload_spill_threshold is None
+            else payload_spill_threshold)
         self._environment: Optional[Dict[str, Any]] = None
         self._listener_lock = threading.Lock()
+        # leases currently held by this executor's runs, refreshed by a
+        # lazily-started heartbeat so long computations are never stolen
+        self._held_leases: Dict[Tuple[str, str], CacheStore] = {}
+        self._lease_lock = threading.Lock()
+        self._heartbeat: Optional[threading.Thread] = None
+
+    # -- lease bookkeeping ------------------------------------------------
+    def _register_lease(self, cache: CacheStore, cache_key: str,
+                        owner: str) -> None:
+        """Track a held lease and make sure the heartbeat is running."""
+        with self._lease_lock:
+            self._held_leases[(cache_key, owner)] = cache
+            if self._heartbeat is None:
+                self._heartbeat = threading.Thread(
+                    target=self._heartbeat_loop,
+                    name="repro-lease-heartbeat", daemon=True)
+                self._heartbeat.start()
+
+    def _release_lease(self, cache: CacheStore, cache_key: str,
+                       owner: str) -> None:
+        """Stop refreshing and give up one held lease."""
+        with self._lease_lock:
+            self._held_leases.pop((cache_key, owner), None)
+        cache.release_lease(cache_key, owner)
+
+    def _heartbeat_loop(self) -> None:  # pragma: no cover - timing loop
+        """Refresh every held lease well inside its TTL, forever.
+
+        Re-acquiring one's own lease extends the expiry on both cache
+        implementations, so a lease only lapses when the whole process
+        (and with it this daemon thread) died mid-compute — exactly the
+        case waiters are meant to steal.
+        """
+        while True:
+            time.sleep(_HEARTBEAT_INTERVAL)
+            with self._lease_lock:
+                held = list(self._held_leases.items())
+            for (cache_key, owner), cache in held:
+                try:
+                    cache.acquire_lease(cache_key, owner)
+                except Exception:
+                    pass  # a broken cache already grants every lease
 
     def add_listener(self, listener: ExecutionListener) -> None:
         """Attach an additional execution listener."""
@@ -380,6 +457,11 @@ class Executor:
         # per-module state a process job needs back in this process to be
         # converted into a ModuleResult (definition, inputs, cache key)
         pending: Dict[str, _PendingProcessJob] = {}
+        # large process-job values spill here instead of the executor
+        # pipe; the whole directory is torn down with the run
+        spill_dir = ""
+        if backend.out_of_process and self.payload_spill_threshold > 0:
+            spill_dir = tempfile.mkdtemp(prefix="repro-spill-")
 
         def settle(module_id: str, result: ModuleResult) -> None:
             results[module_id] = result
@@ -392,6 +474,14 @@ class Executor:
                 completion = self._result_from_outcome(
                     pending.pop(module_id), completion)
             settle(module_id, completion)
+
+        def drain() -> None:
+            # harvest whatever is done right now without blocking — also
+            # called while a dispatch waits on another run's cache lease,
+            # so our own completions keep publishing (no two runs can
+            # deadlock waiting on each other's unharvested results)
+            for done_id, completion in backend.poll():
+                harvest(done_id, completion)
 
         try:
             while not scheduler.finished():
@@ -408,14 +498,23 @@ class Executor:
                 for module_id in ready:
                     self._dispatch(run_id, workflow, module_id, results,
                                    external, overrides, reused,
-                                   bypass_cache, backend, settle, pending)
+                                   bypass_cache, backend, settle, pending,
+                                   drain, spill_dir)
                     # Harvest promptly: with the serial backend this keeps
                     # the legacy start/finish interleaving (and frees the
                     # completed job's memory before the next submission).
-                    for done_id, completion in backend.poll():
-                        harvest(done_id, completion)
+                    drain()
         finally:
             backend.shutdown()
+            # an abnormal unwind (listener exception, interrupt) can
+            # leave harvested-never jobs in pending; give their leases
+            # back now instead of making waiters ride out the TTL
+            for job in pending.values():
+                if job.lease_owner and self.cache is not None:
+                    self._release_lease(self.cache, job.cache_key,
+                                        job.lease_owner)
+            if spill_dir:
+                shutil.rmtree(spill_dir, ignore_errors=True)
         return results
 
     def _dispatch(self, run_id: str, workflow: Workflow, module_id: str,
@@ -424,7 +523,7 @@ class Executor:
                   overrides: Mapping[str, Dict[str, Any]],
                   reused: Mapping[str, ReusedModule],
                   bypass_cache: set,
-                  backend, settle, pending) -> None:
+                  backend, settle, pending, drain, spill_dir) -> None:
         """Decide what a ready module does: skip, reuse, or compute."""
         module = workflow.modules[module_id]
         definition = self.registry.get(module.type_name)
@@ -462,7 +561,8 @@ class Executor:
         if backend.out_of_process:
             hit = self._dispatch_process(module, definition, parameters,
                                          input_records, consult_cache,
-                                         backend, pending)
+                                         backend, pending, drain,
+                                         spill_dir)
             if hit is not None:
                 settle(module_id, hit)
             return
@@ -470,47 +570,99 @@ class Executor:
             module, definition, parameters, input_records,
             consult_cache=consult_cache))
 
+    def _cached_result(self, module_id: str, parameters: Dict[str, Any],
+                       input_records: Dict[str, ValueRecord],
+                       cache_key: str, entry: CacheEntry) -> ModuleResult:
+        """A ``"cached"`` result replaying a published cache entry."""
+        now = self.clock()
+        return ModuleResult(
+            module_id=module_id, execution_id=new_id("exec"),
+            status="cached", parameters=parameters,
+            inputs=input_records,
+            outputs={port: ValueRecord(entry.outputs[port],
+                                       entry.output_hashes[port])
+                     for port in entry.outputs},
+            started=now, finished=now, cache_key=cache_key,
+            cached_from=entry.source_execution)
+
+    def _lease_or_wait(self, cache_key: str,
+                       drain: Optional[Callable[[], None]] = None):
+        """Claim the right to compute ``cache_key``, or wait it out.
+
+        Returns ``("compute", owner)`` when this caller holds the lease
+        and must compute (then release), or ``("cached", entry)`` when a
+        concurrent holder published the result first.  With ``drain``
+        given (the process-backend path, where this runs on the
+        coordinating thread), waiting is sliced so our own completed jobs
+        keep harvesting — two runs waiting on each other's keys always
+        make progress.
+        """
+        cache = self.cache
+        owner = new_id("lease")
+        while True:
+            if cache.acquire_lease(cache_key, owner):
+                if cache_key in cache:
+                    # published between our miss and the acquire
+                    entry = cache.get(cache_key)
+                    cache.release_lease(cache_key, owner)
+                    if entry is not None:
+                        return "cached", entry
+                    continue
+                self._register_lease(cache, cache_key, owner)
+                return "compute", owner
+            entry = cache.wait_for_entry(
+                cache_key, timeout=0.05 if drain is not None else None)
+            if entry is not None:
+                return "cached", entry
+            if drain is not None:
+                drain()
+
     def _dispatch_process(self, module: Module, definition,
                           parameters: Dict[str, Any],
                           input_records: Dict[str, ValueRecord],
                           consult_cache: bool, backend,
-                          pending) -> Optional[ModuleResult]:
+                          pending, drain,
+                          spill_dir: str) -> Optional[ModuleResult]:
         """Submit one module to a process backend; returns a ready result
-        instead when the memo cache already holds it.
+        instead when the memo cache already holds it (or a concurrent
+        lease-holding run publishes it while we wait).
 
         The cache is consulted (and later refreshed) in the coordinating
-        process — worker processes never see the cache, so one persistent
-        cache file can serve any number of runs without cross-process
-        locking inside the engine.
+        process — worker processes never see the cache; concurrent *runs*
+        sharing one persistent cache file coordinate through its lease
+        table, all on their own coordinating threads.
         """
         input_hashes = {port: record.value_hash
                         for port, record in input_records.items()}
         cache_key = module_cache_key(definition.type_name,
                                      definition.version, parameters,
                                      input_hashes)
+        lease_owner = ""
         if (consult_cache and self.cache is not None
                 and definition.deterministic):
             entry = self.cache.get(cache_key)
             if entry is not None:
-                now = self.clock()
-                return ModuleResult(
-                    module_id=module.id, execution_id=new_id("exec"),
-                    status="cached", parameters=parameters,
-                    inputs=input_records,
-                    outputs={port: ValueRecord(entry.outputs[port],
-                                               entry.output_hashes[port])
-                             for port in entry.outputs},
-                    started=now, finished=now, cache_key=cache_key,
-                    cached_from=entry.source_execution)
+                return self._cached_result(module.id, parameters,
+                                           input_records, cache_key, entry)
+            if self.cache.supports_leases:
+                verdict, token = self._lease_or_wait(cache_key, drain)
+                if verdict == "cached":
+                    return self._cached_result(module.id, parameters,
+                                               input_records, cache_key,
+                                               token)
+                lease_owner = token
         pending[module.id] = _PendingProcessJob(
             module=module, definition=definition, parameters=parameters,
-            inputs=input_records, cache_key=cache_key)
+            inputs=input_records, cache_key=cache_key,
+            lease_owner=lease_owner)
+        threshold = self.payload_spill_threshold if spill_dir else 0
         backend.submit(module.id, ProcessJob(
             module_id=module.id, module_name=module.name,
             type_name=definition.type_name, parameters=parameters,
-            inputs={port: record.value
+            inputs={port: maybe_spill(record.value, threshold, spill_dir)
                     for port, record in input_records.items()},
-            registry_provider=self.registry_provider))
+            registry_provider=self.registry_provider,
+            spill_dir=spill_dir, spill_threshold=threshold))
         return None
 
     def _result_from_outcome(self, job: "_PendingProcessJob",
@@ -526,40 +678,51 @@ class Executor:
         runs under an *injected* clock (deterministic tests), those
         stamps are replaced with coordinator-clock readings so every
         backend records timestamps from the same time base.
+
+        The memo-cache entry is published *before* the module's compute
+        lease (if any) is released, so concurrent runs waiting on the
+        lease always find the result.
         """
-        if self.clock is not time.time:
-            now = self.clock()
-            outcome = replace(outcome, started=now, finished=now)
-        if outcome.status != "ok":
-            return ModuleResult(
-                module_id=job.module.id, execution_id=new_id("exec"),
-                status="failed", parameters=job.parameters,
-                inputs=job.inputs, started=outcome.started,
-                finished=outcome.finished, cache_key=job.cache_key,
-                error=outcome.error)
         try:
-            outputs = self._check_outputs(job.definition, outcome.outputs)
-        except Exception as exc:
-            return ModuleResult(
-                module_id=job.module.id, execution_id=new_id("exec"),
-                status="failed", parameters=job.parameters,
-                inputs=job.inputs, started=outcome.started,
-                finished=outcome.finished, cache_key=job.cache_key,
-                error=f"{type(exc).__name__}: {exc}")
-        execution_id = new_id("exec")
-        records = {port: ValueRecord.of(value)
-                   for port, value in outputs.items()}
-        result = ModuleResult(
-            module_id=job.module.id, execution_id=execution_id,
-            status="ok", parameters=job.parameters, inputs=job.inputs,
-            outputs=records, started=outcome.started,
-            finished=outcome.finished, cache_key=job.cache_key)
-        if self.cache is not None and job.definition.deterministic:
-            self.cache.put(job.cache_key, CacheEntry(
-                outputs=dict(outputs),
-                output_hashes={p: r.value_hash for p, r in records.items()},
-                source_execution=execution_id))
-        return result
+            if self.clock is not time.time:
+                now = self.clock()
+                outcome = replace(outcome, started=now, finished=now)
+            if outcome.status != "ok":
+                return ModuleResult(
+                    module_id=job.module.id, execution_id=new_id("exec"),
+                    status="failed", parameters=job.parameters,
+                    inputs=job.inputs, started=outcome.started,
+                    finished=outcome.finished, cache_key=job.cache_key,
+                    error=outcome.error)
+            try:
+                outputs = self._check_outputs(
+                    job.definition, resolve_spilled(outcome.outputs))
+            except Exception as exc:
+                return ModuleResult(
+                    module_id=job.module.id, execution_id=new_id("exec"),
+                    status="failed", parameters=job.parameters,
+                    inputs=job.inputs, started=outcome.started,
+                    finished=outcome.finished, cache_key=job.cache_key,
+                    error=f"{type(exc).__name__}: {exc}")
+            execution_id = new_id("exec")
+            records = {port: ValueRecord.of(value)
+                       for port, value in outputs.items()}
+            result = ModuleResult(
+                module_id=job.module.id, execution_id=execution_id,
+                status="ok", parameters=job.parameters, inputs=job.inputs,
+                outputs=records, started=outcome.started,
+                finished=outcome.finished, cache_key=job.cache_key)
+            if self.cache is not None and job.definition.deterministic:
+                self.cache.put(job.cache_key, CacheEntry(
+                    outputs=dict(outputs),
+                    output_hashes={p: r.value_hash
+                                   for p, r in records.items()},
+                    source_execution=execution_id))
+            return result
+        finally:
+            if job.lease_owner and self.cache is not None:
+                self._release_lease(self.cache, job.cache_key,
+                                    job.lease_owner)
 
     def _make_job(self, module: Module, definition,
                   parameters: Dict[str, Any],
@@ -619,57 +782,71 @@ class Executor:
                         parameters: Dict[str, Any],
                         input_records: Dict[str, ValueRecord],
                         consult_cache: bool = True) -> ModuleResult:
-        """Run one module (worker-thread side): cache check, compute, memo."""
+        """Run one module (worker-thread side): cache check, compute, memo.
+
+        On a miss against a lease-capable cache, a per-key compute lease
+        is claimed first; losing the claim means another thread or run is
+        already computing this exact causal signature, so this module
+        waits and replays the published entry as a ``"cached"`` result
+        instead of duplicating the work.  Lease holders never wait on
+        other leases (they go straight to compute), so waiting cannot
+        deadlock.
+        """
         input_hashes = {port: record.value_hash
                         for port, record in input_records.items()}
         cache_key = module_cache_key(definition.type_name,
                                      definition.version, parameters,
                                      input_hashes)
+        lease_owner = ""
         if (consult_cache and self.cache is not None
                 and definition.deterministic):
             entry = self.cache.get(cache_key)
             if entry is not None:
-                now = self.clock()
-                return ModuleResult(
-                    module_id=module.id, execution_id=new_id("exec"),
-                    status="cached", parameters=parameters,
-                    inputs=input_records,
-                    outputs={port: ValueRecord(entry.outputs[port],
-                                               entry.output_hashes[port])
-                             for port in entry.outputs},
-                    started=now, finished=now, cache_key=cache_key,
-                    cached_from=entry.source_execution)
-
-        started = self.clock()
-        execution_id = new_id("exec")
-        context = ModuleContext(
-            inputs={port: record.value
-                    for port, record in input_records.items()},
-            parameters=parameters, module_name=module.name)
+                return self._cached_result(module.id, parameters,
+                                           input_records, cache_key, entry)
+            if self.cache.supports_leases:
+                verdict, token = self._lease_or_wait(cache_key)
+                if verdict == "cached":
+                    return self._cached_result(module.id, parameters,
+                                               input_records, cache_key,
+                                               token)
+                lease_owner = token
         try:
-            raw_outputs = definition.compute(context)
-            outputs = self._check_outputs(definition, raw_outputs)
-        except Exception as exc:
-            return ModuleResult(
-                module_id=module.id, execution_id=execution_id,
-                status="failed", parameters=parameters,
-                inputs=input_records, started=started,
-                finished=self.clock(), cache_key=cache_key,
-                error=f"{type(exc).__name__}: {exc}\n"
-                      f"{traceback.format_exc(limit=3)}")
+            started = self.clock()
+            execution_id = new_id("exec")
+            context = ModuleContext(
+                inputs={port: record.value
+                        for port, record in input_records.items()},
+                parameters=parameters, module_name=module.name)
+            try:
+                raw_outputs = definition.compute(context)
+                outputs = self._check_outputs(definition, raw_outputs)
+            except Exception as exc:
+                return ModuleResult(
+                    module_id=module.id, execution_id=execution_id,
+                    status="failed", parameters=parameters,
+                    inputs=input_records, started=started,
+                    finished=self.clock(), cache_key=cache_key,
+                    error=f"{type(exc).__name__}: {exc}\n"
+                          f"{traceback.format_exc(limit=3)}")
 
-        records = {port: ValueRecord.of(value)
-                   for port, value in outputs.items()}
-        result = ModuleResult(
-            module_id=module.id, execution_id=execution_id, status="ok",
-            parameters=parameters, inputs=input_records, outputs=records,
-            started=started, finished=self.clock(), cache_key=cache_key)
-        if self.cache is not None and definition.deterministic:
-            self.cache.put(cache_key, CacheEntry(
-                outputs=dict(outputs),
-                output_hashes={p: r.value_hash for p, r in records.items()},
-                source_execution=execution_id))
-        return result
+            records = {port: ValueRecord.of(value)
+                       for port, value in outputs.items()}
+            result = ModuleResult(
+                module_id=module.id, execution_id=execution_id,
+                status="ok", parameters=parameters, inputs=input_records,
+                outputs=records, started=started, finished=self.clock(),
+                cache_key=cache_key)
+            if self.cache is not None and definition.deterministic:
+                self.cache.put(cache_key, CacheEntry(
+                    outputs=dict(outputs),
+                    output_hashes={p: r.value_hash
+                                   for p, r in records.items()},
+                    source_execution=execution_id))
+            return result
+        finally:
+            if lease_owner:
+                self._release_lease(self.cache, cache_key, lease_owner)
 
     def _gather_inputs(self, workflow: Workflow, module: Module,
                        results: Dict[str, ModuleResult],

@@ -244,6 +244,22 @@ def register(registry: ModuleRegistry) -> None:
 
     _make_optional(registry, "Sleep", ("value",))
 
+    @registry.define("MakeBlob", outputs=[("value", "Bytes")],
+                     params=[("size", 1024), ("seed", 0)],
+                     category="synthetic")
+    def make_blob(ctx):
+        """Deterministic bytes of a configurable size.
+
+        The substrate for large-payload transfer tests and benchmarks:
+        multi-megabyte values that hash identically across runs without
+        holding real data files.
+        """
+        size = int(ctx.param("size"))
+        seed = int(ctx.param("seed"))
+        pattern = bytes((index + seed) % 256 for index in range(256))
+        repeats = size // len(pattern) + 1
+        return {"value": (pattern * repeats)[:size]}
+
     @registry.define("RandomNumber", outputs=[("value", "Float")],
                      params=[("low", 0.0), ("high", 1.0)],
                      category="synthetic", deterministic=False)

@@ -31,7 +31,11 @@ results.  The process backend instead receives picklable
 ``out_of_process`` flag tells the engine which contract applies) and
 returns :class:`~repro.workflow.serialization.ProcessOutcome` records;
 worker crashes and unpicklable results are converted to failed outcomes at
-harvest, never raised into the scheduling loop.
+harvest, never raised into the scheduling loop.  Values above the job's
+spill threshold cross the boundary as
+:class:`~repro.workflow.serialization.SpilledValue` file references
+rather than in-pipe pickles, so the futures queued here stay small no
+matter how large the artifacts are.
 """
 
 from __future__ import annotations
@@ -258,7 +262,9 @@ class ProcessPoolBackend(ExecutionBackend):
     a failed outcome at harvest — the coordination loop never sees an
     exception.  Suited to pure-Python CPU loops (hashing, numerics);
     values must be picklable, and module behaviour must be reachable
-    through an importable registry provider.
+    through an importable registry provider.  Large values arrive and
+    leave as spill-file references (see the module docstring), keeping
+    the executor pipe and this backend's future map byte-light.
     """
 
     out_of_process = True

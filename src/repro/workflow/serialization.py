@@ -13,16 +13,27 @@ which rehydrates the registry once per process and runs the compute
 function there; the :class:`ProcessOutcome` carries raw outputs and timing
 back.  Hashing, provenance capture and caching stay in the coordinating
 process, so serial, thread and process runs record identical provenance.
+
+Large values do not travel through the executor pipe at all: any input or
+output whose pickle exceeds the job's *spill threshold* is written (in
+chunks) to a file under a coordinator-managed spill directory, and a tiny
+:class:`SpilledValue` reference is shipped instead.  Both sides resolve
+references transparently, so a wide fan-out of multi-megabyte artifacts
+costs the coordinator one file handle per value instead of N concurrent
+multi-MB pickles buffered in executor queues.
 """
 
 from __future__ import annotations
 
 import importlib
 import json
+import os
+import pickle
+import tempfile
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Any, Dict, IO
+from typing import Any, Dict, IO, Mapping
 
 from repro.workflow.errors import SpecError
 from repro.workflow.registry import ModuleContext, ModuleRegistry
@@ -36,8 +47,13 @@ __all__ = [
     "dumps_workflow",
     "loads_workflow",
     "DEFAULT_REGISTRY_PROVIDER",
+    "DEFAULT_SPILL_THRESHOLD",
     "ProcessJob",
     "ProcessOutcome",
+    "SpilledValue",
+    "maybe_spill",
+    "load_spilled",
+    "resolve_spilled",
     "resolve_registry_provider",
     "execute_process_job",
 ]
@@ -129,6 +145,78 @@ def load_workflow(stream: IO[str]) -> Workflow:
 #: ``"module:callable"`` spec of the standard library registry.
 DEFAULT_REGISTRY_PROVIDER = "repro.workflow.modules:standard_registry"
 
+#: Default pickle-size threshold (bytes) above which process-job values
+#: spill to a file instead of travelling through the executor pipe.
+DEFAULT_SPILL_THRESHOLD = 1 << 20
+
+#: Chunk size for spill-file writes: large pickles stream to disk in
+#: bounded slices instead of one monolithic write.
+SPILL_CHUNK = 256 * 1024
+
+
+@dataclass(frozen=True)
+class SpilledValue:
+    """Reference to a pickled value parked in a spill file.
+
+    Shipped through the executor pipe in place of the value itself;
+    either side resolves it with :func:`load_spilled`.  The file lives in
+    the run's coordinator-managed spill directory and is deleted with it
+    when the run finishes.
+
+    Attributes:
+        path: spill file holding exactly one pickled value.
+        length: pickled size in bytes (diagnostic; the pickle stream is
+            self-delimiting).
+    """
+
+    path: str
+    length: int
+
+
+def _spill_bytes(data: bytes, directory: str) -> SpilledValue:
+    descriptor, path = tempfile.mkstemp(prefix="value-", suffix=".pkl",
+                                        dir=directory)
+    with os.fdopen(descriptor, "wb") as handle:
+        view = memoryview(data)
+        for start in range(0, len(view), SPILL_CHUNK):
+            handle.write(view[start:start + SPILL_CHUNK])
+    return SpilledValue(path=path, length=len(data))
+
+
+def maybe_spill(value: Any, threshold: int, directory: str) -> Any:
+    """Spill ``value`` to ``directory`` when its pickle beats ``threshold``.
+
+    Returns the value unchanged when spilling is disabled (no directory /
+    non-positive threshold), the value is small, the value is unpicklable
+    (the executor pipe will surface that as the usual failed submission),
+    or the spill write itself fails — spilling is an optimization, never
+    a new failure mode.
+    """
+    if not directory or threshold <= 0:
+        return value
+    try:
+        data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        return value
+    if len(data) <= threshold:
+        return value
+    try:
+        return _spill_bytes(data, directory)
+    except OSError:
+        return value
+
+
+def load_spilled(reference: SpilledValue) -> Any:
+    """Read back one value spilled by :func:`maybe_spill` (streaming)."""
+    with open(reference.path, "rb") as handle:
+        return pickle.load(handle)
+
+
+def resolve_spilled(mapping: Mapping[str, Any]) -> Dict[str, Any]:
+    """Replace every :class:`SpilledValue` in ``mapping`` with its value."""
+    return {key: load_spilled(value) if isinstance(value, SpilledValue)
+            else value for key, value in mapping.items()}
+
 
 @dataclass(frozen=True)
 class ProcessJob:
@@ -146,9 +234,14 @@ class ProcessJob:
             context exactly as in-process execution would.
         type_name: module definition to look up in the worker's registry.
         parameters: fully resolved parameter values.
-        inputs: input-port name to (picklable) input value.
+        inputs: input-port name to (picklable) input value — possibly a
+            :class:`SpilledValue` reference the worker resolves.
         registry_provider: ``"module:callable"`` spec producing the
             :class:`~repro.workflow.registry.ModuleRegistry` in the worker.
+        spill_dir: coordinator-managed directory for large-value spill
+            files ("" disables spilling for this job).
+        spill_threshold: pickle size (bytes) above which the worker spills
+            output values back through ``spill_dir`` instead of the pipe.
     """
 
     module_id: str
@@ -157,6 +250,8 @@ class ProcessJob:
     parameters: Dict[str, Any] = field(default_factory=dict)
     inputs: Dict[str, Any] = field(default_factory=dict)
     registry_provider: str = DEFAULT_REGISTRY_PROVIDER
+    spill_dir: str = ""
+    spill_threshold: int = 0
 
 
 @dataclass(frozen=True)
@@ -166,7 +261,9 @@ class ProcessOutcome:
     ``status`` is ``"ok"`` or ``"failed"``; outputs are the *raw* values
     returned by the compute function — the coordinating process hashes
     them, checks them against the declared output ports, and memoizes
-    them, exactly as it would for in-process execution.
+    them, exactly as it would for in-process execution.  Values above the
+    job's spill threshold come back as :class:`SpilledValue` references
+    the coordinator resolves before hashing.
     """
 
     status: str
@@ -219,10 +316,14 @@ def execute_process_job(job: ProcessJob) -> ProcessOutcome:
     try:
         registry = resolve_registry_provider(job.registry_provider)
         definition = registry.get(job.type_name)
-        context = ModuleContext(inputs=job.inputs,
+        context = ModuleContext(inputs=resolve_spilled(job.inputs),
                                 parameters=job.parameters,
                                 module_name=job.module_name)
         outputs = dict(definition.compute(context))
+        if job.spill_dir and job.spill_threshold > 0:
+            outputs = {port: maybe_spill(value, job.spill_threshold,
+                                         job.spill_dir)
+                       for port, value in outputs.items()}
     except Exception as exc:
         return ProcessOutcome(
             status="failed", started=started, finished=time.time(),

@@ -65,6 +65,58 @@ def build_chain_workflow(length: int = 4, work: int = 10) -> Workflow:
     return workflow
 
 
+def run_pair_sharing_cache(registry, make_cache, workflow,
+                           **execute_kwargs):
+    """Run ``workflow`` twice concurrently, each run on its own executor
+    with its own ``make_cache()`` store (typically both over one
+    persistent file, or one shared in-memory instance).
+
+    The shared harness for the lease exactly-once invariant — used by
+    the scheduler tests, the hypothesis property, and the scheduler
+    benchmark, so the contract is asserted identically everywhere.
+    """
+    import threading
+
+    results, errors = [], []
+
+    def one_run():
+        try:
+            executor = Executor(registry, cache=make_cache())
+            results.append(executor.execute(workflow, **execute_kwargs))
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=one_run) for _ in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors, errors
+    return results
+
+
+def assert_each_key_computed_once(runs):
+    """Assert the cross-run exactly-once + provenance-parity invariant.
+
+    Every module in every run finished ``ok`` or ``cached``; each
+    distinct cache key has exactly one ``ok`` (computed) result across
+    all runs; and all runs recorded identical output hashes per module.
+    """
+    computed, keys = {}, set()
+    for run in runs:
+        for result in run.results.values():
+            assert result.status in ("ok", "cached"), result.error
+            keys.add(result.cache_key)
+            if result.status == "ok":
+                computed[result.cache_key] = \
+                    computed.get(result.cache_key, 0) + 1
+    assert computed == {key: 1 for key in keys}
+    fingerprints = [
+        {m: {p: r.value_hash for p, r in res.outputs.items()}
+         for m, res in run.results.items()} for run in runs]
+    assert all(fp == fingerprints[0] for fp in fingerprints[1:])
+
+
 def module_by_name(workflow: Workflow, name: str) -> Module:
     """Find a module instance by its user-facing name."""
     for module in workflow.modules.values():

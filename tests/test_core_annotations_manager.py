@@ -102,7 +102,8 @@ class TestProvenanceManager:
         second = manager.run(workflow)
         assert all(e.status == "ok" for e in second.executions)
         assert manager.cache_stats() == {"hits": 0, "misses": 0,
-                                         "hit_rate": 0.0}
+                                         "hit_rate": 0.0, "evictions": 0,
+                                         "invalidations": 0}
 
     def test_runs_listing_ordered(self, manager):
         workflow = build_fig1_workflow(size=8)

@@ -120,6 +120,25 @@ class TestCaptureJournal:
         assert _size_hint(big_list) == len(big_list) * 8
         assert _size_hint(12345) == len(repr(12345))
 
+    def test_size_hint_bytes_estimate_matches_exact_at_cap(self):
+        """Regression: the estimate for large bytes/bytearray values must
+        include the repr affixes (``b'...'`` / ``bytearray(b'...')``), so
+        estimated and exact sizes agree across the cap boundary for
+        escape-free payloads."""
+        from repro.core.capture import _SIZE_HINT_CAP, _size_hint
+        for make in (str, lambda s: s.encode(), lambda s: bytearray(
+                s.encode())):
+            at_cap = make("x" * _SIZE_HINT_CAP)          # exact repr
+            over_cap = make("x" * (_SIZE_HINT_CAP + 1))  # estimated
+            assert _size_hint(at_cap) == len(repr(at_cap))
+            assert _size_hint(over_cap) == _size_hint(at_cap) + 1, \
+                type(at_cap).__name__
+        # sanity: the affixes really differ per type
+        assert _size_hint(b"x" * (_SIZE_HINT_CAP + 1)) \
+            == _SIZE_HINT_CAP + 4
+        assert _size_hint(bytearray(_SIZE_HINT_CAP + 1)) \
+            == _SIZE_HINT_CAP + 15
+
 
 class TestCausality:
     def test_graph_shape(self, fig1_run):

@@ -314,6 +314,30 @@ class TestPersistentCacheProperties:
             assert sorted(a.value_hash for a in rerun.artifacts.values()) \
                 == sorted(a.value_hash for a in run.artifacts.values())
 
+    @given(modules=st.integers(min_value=5, max_value=12),
+           width=st.integers(min_value=2, max_value=4),
+           seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=6, deadline=None)
+    def test_concurrent_runs_compute_each_key_exactly_once(
+            self, modules, width, seed):
+        """Two concurrent runs on one cache file: the lease protocol
+        makes each distinct causal signature compute exactly once across
+        both runs, with identical recorded hashes."""
+        from repro.workflow import PersistentResultCache
+        from repro.workflow.modules import standard_registry
+        from repro.workloads import random_workflow
+        from tests.conftest import (assert_each_key_computed_once,
+                                    run_pair_sharing_cache)
+
+        workflow = random_workflow(modules=modules, width=width,
+                                   seed=seed, work=2000)
+        registry = standard_registry()
+        with tempfile.TemporaryDirectory() as root:
+            path = str(Path(root) / "shared.db")
+            runs = run_pair_sharing_cache(
+                registry, lambda: PersistentResultCache(path), workflow)
+            assert_each_key_computed_once(runs)
+
 
 class TestReplayChainProperties:
     @given(depth=st.integers(min_value=1, max_value=4),

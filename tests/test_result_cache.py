@@ -81,13 +81,17 @@ class TestPersistentBasics:
 
 class TestStatsParityWithInMemory:
     """The same operation sequence must produce identical statistics and
-    the identical surviving key set on both cache implementations."""
+    the identical surviving key set on both cache implementations —
+    including explicit-drop accounting (``invalidations`` from
+    invalidate/clear, distinct from capacity ``evictions``)."""
 
     SEQUENCE = [
         ("put", "a"), ("put", "b"), ("get", "a"), ("get", "missing"),
         ("put", "c"), ("get", "b"), ("put", "d"), ("get", "c"),
         ("put", "a"), ("get", "d"), ("get", "a"), ("invalidate", "b"),
         ("get", "b"), ("put", "e"), ("put", "f"), ("get", "e"),
+        ("invalidate", "missing"), ("clear", ""), ("put", "a"),
+        ("get", "a"), ("put", "b"), ("invalidate", "a"),
     ]
 
     def _drive(self, cache):
@@ -96,10 +100,12 @@ class TestStatsParityWithInMemory:
                 cache.put(key, entry(key))
             elif op == "get":
                 cache.get(key)
+            elif op == "clear":
+                cache.clear()
             else:
                 cache.invalidate(key)
         return (cache.stats.hits, cache.stats.misses,
-                cache.stats.evictions,
+                cache.stats.evictions, cache.stats.invalidations,
                 sorted(key for key in "abcdef" if key in cache))
 
     @pytest.mark.parametrize("cap", [None, 3, 2])
@@ -108,6 +114,198 @@ class TestStatsParityWithInMemory:
         persistent = self._drive(PersistentResultCache(
             tmp_path / f"cap-{cap}.db", max_entries=cap))
         assert persistent == memory
+
+    @pytest.mark.parametrize("byte_cap", [None, 90, 160])
+    def test_parity_under_byte_budget(self, tmp_path, byte_cap):
+        memory = self._drive(ResultCache(max_entries=None,
+                                         max_bytes=byte_cap))
+        persistent = self._drive(PersistentResultCache(
+            tmp_path / f"bytes-{byte_cap}.db", max_entries=None,
+            max_bytes=byte_cap))
+        assert persistent == memory
+        if byte_cap is not None:
+            assert memory[2] > 0  # the budget actually evicted something
+
+    def test_byte_totals_agree_across_stores(self, tmp_path):
+        memory = ResultCache(max_entries=None, max_bytes=10_000)
+        persistent = PersistentResultCache(tmp_path / "totals.db",
+                                           max_entries=None,
+                                           max_bytes=10_000)
+        for index in range(8):
+            for cache in (memory, persistent):
+                cache.put(f"k{index}", entry(f"tag-{index:04d}"))
+        assert memory.total_bytes() == persistent.total_bytes() > 0
+
+
+class TestByteBudget:
+    """max_bytes evicts by stored payload size in LRU order."""
+
+    def big_entry(self, tag: str, payload_chars: int) -> CacheEntry:
+        return CacheEntry(outputs={"out": tag * payload_chars},
+                          output_hashes={"out": f"hash-{tag}"},
+                          source_execution=f"exec-{tag}")
+
+    @pytest.mark.parametrize("make", [
+        lambda tmp_path, **kw: ResultCache(max_entries=None, **kw),
+        lambda tmp_path, **kw: PersistentResultCache(
+            tmp_path / "b.db", max_entries=None, **kw),
+    ], ids=["memory", "persistent"])
+    def test_total_never_exceeds_budget(self, tmp_path, make):
+        budget = 4096
+        cache = make(tmp_path, max_bytes=budget)
+        for index in range(40):
+            cache.put(f"k{index}", self.big_entry(chr(97 + index % 26),
+                                                  400))
+            assert cache.total_bytes() <= budget
+        assert cache.stats.evictions > 0
+        assert len(cache) < 40
+
+    @pytest.mark.parametrize("make", [
+        lambda tmp_path, **kw: ResultCache(max_entries=None, **kw),
+        lambda tmp_path, **kw: PersistentResultCache(
+            tmp_path / "b.db", max_entries=None, **kw),
+    ], ids=["memory", "persistent"])
+    def test_eviction_follows_recency(self, tmp_path, make):
+        cache = make(tmp_path, max_bytes=3000)
+        cache.put("a", self.big_entry("a", 1000))
+        cache.put("b", self.big_entry("b", 1000))
+        cache.get("a")                       # refresh a; b is now LRU
+        cache.put("c", self.big_entry("c", 1000))
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+
+    @pytest.mark.parametrize("make", [
+        lambda tmp_path, **kw: ResultCache(max_entries=None, **kw),
+        lambda tmp_path, **kw: PersistentResultCache(
+            tmp_path / "b.db", max_entries=None, **kw),
+    ], ids=["memory", "persistent"])
+    def test_oversize_entry_never_stored(self, tmp_path, make):
+        cache = make(tmp_path, max_bytes=512)
+        cache.put("small", entry("s"))
+        cache.put("huge", self.big_entry("h", 4096))
+        assert "huge" not in cache
+        assert "small" in cache              # and nothing was evicted
+        assert cache.stats.evictions == 0
+
+    def test_entry_and_byte_budgets_compose(self, tmp_path):
+        cache = PersistentResultCache(tmp_path / "both.db",
+                                      max_entries=3, max_bytes=100_000)
+        for index in range(6):
+            cache.put(f"k{index}", entry(str(index)))
+        assert len(cache) == 3
+        assert cache.stats.evictions == 3
+
+    def test_persistent_default_budget_is_finite(self, tmp_path):
+        from repro.workflow.cache import DEFAULT_MAX_ENTRIES
+        cache = PersistentResultCache(tmp_path / "d.db")
+        assert cache.max_entries == DEFAULT_MAX_ENTRIES
+        assert ResultCache().max_entries == DEFAULT_MAX_ENTRIES
+
+    def test_file_size_tracks_budget_under_churn(self, tmp_path):
+        """auto_vacuum returns evicted pages: the file cannot grow
+        without bound while the payload budget is respected."""
+        path = tmp_path / "churn.db"
+        budget = 64 * 1024
+        cache = PersistentResultCache(path, max_entries=None,
+                                      max_bytes=budget)
+        for index in range(120):
+            cache.put(f"k{index}", self.big_entry("x", 8 * 1024))
+            assert cache.total_bytes() <= budget
+        cache.close()                        # checkpoints the WAL
+        size = path.stat().st_size
+        assert size <= budget + 8 * 1024 + 64 * 1024, size
+
+
+class TestComputeLeases:
+    """Per-key compute leases: the cross-run exactly-once substrate."""
+
+    @pytest.mark.parametrize("make", [
+        lambda tmp_path: ResultCache(),
+        lambda tmp_path: PersistentResultCache(tmp_path / "l.db"),
+    ], ids=["memory", "persistent"])
+    def test_second_owner_is_refused(self, tmp_path, make):
+        cache = make(tmp_path)
+        assert cache.supports_leases
+        assert cache.acquire_lease("k", "alice")
+        assert not cache.acquire_lease("k", "bob")
+        cache.release_lease("k", "alice")
+        assert cache.acquire_lease("k", "bob")
+
+    @pytest.mark.parametrize("make", [
+        lambda tmp_path: ResultCache(),
+        lambda tmp_path: PersistentResultCache(tmp_path / "l.db"),
+    ], ids=["memory", "persistent"])
+    def test_reacquire_refreshes_own_lease(self, tmp_path, make):
+        cache = make(tmp_path)
+        assert cache.acquire_lease("k", "alice")
+        assert cache.acquire_lease("k", "alice")
+
+    @pytest.mark.parametrize("make", [
+        lambda tmp_path: ResultCache(),
+        lambda tmp_path: PersistentResultCache(tmp_path / "l.db"),
+    ], ids=["memory", "persistent"])
+    def test_expired_lease_is_stolen(self, tmp_path, make):
+        cache = make(tmp_path)
+        assert cache.acquire_lease("k", "alice", ttl=0.0)
+        assert cache.acquire_lease("k", "bob")
+
+    @pytest.mark.parametrize("make", [
+        lambda tmp_path: ResultCache(),
+        lambda tmp_path: PersistentResultCache(tmp_path / "l.db"),
+    ], ids=["memory", "persistent"])
+    def test_release_by_non_owner_is_ignored(self, tmp_path, make):
+        cache = make(tmp_path)
+        assert cache.acquire_lease("k", "alice")
+        cache.release_lease("k", "bob")
+        assert not cache.acquire_lease("k", "carol")
+
+    @pytest.mark.parametrize("make", [
+        lambda tmp_path: ResultCache(),
+        lambda tmp_path: PersistentResultCache(tmp_path / "l.db"),
+    ], ids=["memory", "persistent"])
+    def test_wait_sees_published_entry_as_hit(self, tmp_path, make):
+        cache = make(tmp_path)
+        assert cache.acquire_lease("k", "alice")
+
+        def publish():
+            cache.put("k", entry("x"))
+            cache.release_lease("k", "alice")
+
+        timer = threading.Timer(0.05, publish)
+        timer.start()
+        try:
+            got = cache.wait_for_entry("k", timeout=5.0)
+        finally:
+            timer.join()
+        assert got is not None and got.outputs == {"out": "x"}
+        assert cache.stats.hits == 1
+
+    @pytest.mark.parametrize("make", [
+        lambda tmp_path: ResultCache(),
+        lambda tmp_path: PersistentResultCache(tmp_path / "l.db"),
+    ], ids=["memory", "persistent"])
+    def test_wait_returns_none_when_lease_dies_empty(self, tmp_path,
+                                                     make):
+        cache = make(tmp_path)
+        assert cache.acquire_lease("k", "alice")
+        timer = threading.Timer(
+            0.05, lambda: cache.release_lease("k", "alice"))
+        timer.start()
+        try:
+            assert cache.wait_for_entry("k", timeout=5.0) is None
+        finally:
+            timer.join()
+
+    def test_leases_coordinate_across_instances(self, tmp_path):
+        path = tmp_path / "shared.db"
+        first = PersistentResultCache(path)
+        second = PersistentResultCache(path)
+        assert first.acquire_lease("k", "run-1")
+        assert not second.acquire_lease("k", "run-2")
+        first.put("k", entry("x"))
+        first.release_lease("k", "run-1")
+        got = second.wait_for_entry("k", timeout=5.0)
+        assert got is not None and got.source_execution == "exec-x"
 
 
 class TestCorruptionRecovery:

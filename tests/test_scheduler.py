@@ -16,8 +16,9 @@ from repro.workflow.scheduler import (ProcessPoolBackend, ReadySetScheduler,
                                       make_backend)
 from repro.workflow.serialization import ProcessJob
 from repro.workloads import random_workflow, wide_workflow
-from tests.conftest import (build_chain_workflow, build_fig1_workflow,
-                            module_by_name)
+from tests.conftest import (assert_each_key_computed_once,
+                            build_chain_workflow, build_fig1_workflow,
+                            module_by_name, run_pair_sharing_cache)
 
 
 def build_diamond_workflow(fail_left: bool = False) -> Workflow:
@@ -459,6 +460,163 @@ class TestPersistentCacheWithEngine:
         second.run(build_fig1_workflow(size=8))
         assert second.last_engine_result.executed_modules() == []
         assert second.cache_stats()["hits"] == len(workflow.modules)
+
+
+class TestCacheLeasesWithEngine:
+    """Concurrent runs sharing one cache compute each distinct causal
+    signature exactly once (the winners), while the losers replay the
+    published entry as ``"cached"`` executions with identical hashes."""
+
+    @pytest.mark.parametrize("name,kwargs", BACKEND_MATRIX)
+    def test_shared_file_runs_compute_each_key_once(self, registry,
+                                                    tmp_path, name,
+                                                    kwargs):
+        path = str(tmp_path / "shared.db")
+        workflow = wide_workflow(branches=3, depth=2, work=60_000)
+        runs = run_pair_sharing_cache(
+            registry, lambda: PersistentResultCache(path), workflow,
+            **kwargs)
+        assert_each_key_computed_once(runs)
+
+    def test_shared_in_memory_cache_runs_compute_each_key_once(
+            self, registry):
+        cache = ResultCache()
+        workflow = wide_workflow(branches=3, depth=2, work=60_000)
+        runs = run_pair_sharing_cache(registry, lambda: cache, workflow,
+                                      workers=2)
+        assert_each_key_computed_once(runs)
+
+    def test_duplicate_signatures_within_one_parallel_run(self, registry):
+        """Two identical modules in one ready batch: one computes, the
+        other replays it — same statuses a serial run records."""
+        workflow = Workflow("twins")
+        source = workflow.add_module(Module("Constant", name="src",
+                                            parameters={"value": 7.0}))
+        for index in range(2):
+            twin = workflow.add_module(Module("SpinCompute",
+                                              name=f"twin{index}",
+                                              parameters={"work": 40_000}))
+            workflow.connect(source.id, "value", twin.id, "value")
+        result = Executor(registry, cache=ResultCache()).execute(
+            workflow, workers=2)
+        statuses = sorted(r.status for r in result.results.values()
+                          if r.module_id != source.id)
+        assert statuses == ["cached", "ok"]
+
+    def test_heartbeat_outlives_short_lease_ttl(self, registry,
+                                                monkeypatch):
+        """A held lease is refreshed by the executor heartbeat, so slow
+        computations are never stolen mid-compute by a waiter."""
+        import time as time_module
+
+        import repro.workflow.engine as engine_module
+        monkeypatch.setattr(engine_module, "_HEARTBEAT_INTERVAL", 0.02)
+        cache = ResultCache()
+        executor = Executor(registry, cache=cache)
+        assert cache.acquire_lease("k", "holder", ttl=0.1)
+        executor._register_lease(cache, "k", "holder")
+        time_module.sleep(0.5)   # >> the 0.1s TTL seeded above
+        assert not cache.acquire_lease("k", "rival")
+        executor._release_lease(cache, "k", "holder")
+        assert cache.acquire_lease("k", "rival")
+
+    def test_lease_losers_record_cached_from_winner(self, registry,
+                                                    tmp_path):
+        path = str(tmp_path / "prov.db")
+        workflow = build_chain_workflow(length=3, work=40_000)
+        runs = run_pair_sharing_cache(
+            registry, lambda: PersistentResultCache(path), workflow)
+        by_key = {}
+        for run in runs:
+            for result in run.results.values():
+                if result.status == "ok":
+                    by_key[result.cache_key] = result.execution_id
+        for run in runs:
+            for result in run.results.values():
+                if result.status == "cached":
+                    assert result.cached_from == by_key[result.cache_key]
+
+
+class TestPayloadSpill:
+    """Large process-job values travel as spill-file references."""
+
+    @staticmethod
+    def blob_workflow(size: int) -> Workflow:
+        workflow = Workflow("blob")
+        blob = workflow.add_module(Module("MakeBlob", name="blob",
+                                          parameters={"size": size}))
+        passthrough = workflow.add_module(Module("Identity", name="pass"))
+        workflow.connect(blob.id, "value", passthrough.id, "value")
+        return workflow
+
+    def test_multi_mb_payload_roundtrip(self, registry):
+        workflow = self.blob_workflow(3_000_000)
+        executor = Executor(registry, payload_spill_threshold=64 * 1024)
+        serial = executor.execute(workflow)
+        process = executor.execute(workflow, workers=2, backend="process")
+        assert process.status == "ok"
+        assert {m: r.status for m, r in serial.results.items()} \
+            == {m: r.status for m, r in process.results.items()}
+        assert {m: {p: r.value_hash for p, r in res.outputs.items()}
+                for m, res in serial.results.items()} \
+            == {m: {p: r.value_hash for p, r in res.outputs.items()}
+                for m, res in process.results.items()}
+        final = next(iter(process.results[m] for m in process.results
+                          if process.workflow.modules[m].name == "pass"))
+        assert len(final.outputs["value"].value) == 3_000_000
+
+    def test_spill_files_cleaned_after_run(self, registry, tmp_path,
+                                           monkeypatch):
+        import tempfile as real_tempfile
+
+        import repro.workflow.engine as engine_module
+        created = []
+        original = real_tempfile.mkdtemp
+
+        def tracking_mkdtemp(*args, **kwargs):
+            kwargs["dir"] = str(tmp_path)
+            path = original(*args, **kwargs)
+            created.append(path)
+            return path
+
+        monkeypatch.setattr(engine_module.tempfile, "mkdtemp",
+                            tracking_mkdtemp)
+        workflow = self.blob_workflow(2_000_000)
+        result = Executor(registry,
+                          payload_spill_threshold=32 * 1024).execute(
+            workflow, workers=2, backend="process")
+        assert result.status == "ok"
+        assert created, "spill directory was never created"
+        import os
+        assert not any(os.path.exists(path) for path in created)
+
+    def test_zero_threshold_disables_spilling(self, registry,
+                                              monkeypatch):
+        import repro.workflow.engine as engine_module
+
+        def forbidden_mkdtemp(*args, **kwargs):  # pragma: no cover
+            raise AssertionError("spill dir created despite threshold=0")
+
+        monkeypatch.setattr(engine_module.tempfile, "mkdtemp",
+                            forbidden_mkdtemp)
+        workflow = self.blob_workflow(200_000)
+        result = Executor(registry, payload_spill_threshold=0).execute(
+            workflow, workers=2, backend="process")
+        assert result.status == "ok"
+
+    def test_in_process_backends_never_spill(self, registry,
+                                             monkeypatch):
+        import repro.workflow.engine as engine_module
+
+        def forbidden_mkdtemp(*args, **kwargs):  # pragma: no cover
+            raise AssertionError("in-process run created a spill dir")
+
+        monkeypatch.setattr(engine_module.tempfile, "mkdtemp",
+                            forbidden_mkdtemp)
+        workflow = self.blob_workflow(2_000_000)
+        assert Executor(registry).execute(workflow).status == "ok"
+        assert Executor(registry).execute(workflow,
+                                          workers=2).status == "ok"
 
 
 class TestExecutorEnvironmentCache:

@@ -1,4 +1,7 @@
-"""Tests for the result cache and workflow JSON serialization."""
+"""Tests for the result cache, workflow JSON serialization, and the
+process-job spill-value wire format."""
+
+import os
 
 import pytest
 
@@ -6,6 +9,8 @@ from repro.workflow import (Module, SpecError, Workflow, dumps_workflow,
                             loads_workflow, workflow_from_dict,
                             workflow_to_dict)
 from repro.workflow.cache import CacheEntry, ResultCache, module_cache_key
+from repro.workflow.serialization import (SpilledValue, load_spilled,
+                                          maybe_spill, resolve_spilled)
 from tests.conftest import build_fig1_workflow
 
 
@@ -76,6 +81,56 @@ class TestResultCache:
 
     def test_hit_rate_zero_when_untouched(self):
         assert ResultCache().stats.hit_rate == 0.0
+
+    def test_byte_budget_evicts_lru(self):
+        cache = ResultCache(max_entries=None, max_bytes=2000)
+        for index in range(40):
+            cache.put(f"k{index}", CacheEntry(
+                outputs={"out": "x" * 200},
+                output_hashes={"out": f"h{index}"}))
+            assert cache.total_bytes() <= 2000
+        assert cache.stats.evictions > 0
+        assert f"k39" in cache and "k0" not in cache
+
+    def test_invalidate_and_clear_count_invalidations(self):
+        cache = ResultCache()
+        cache.put("a", self.entry("a"))
+        cache.put("b", self.entry("b"))
+        assert cache.invalidate("a")
+        assert cache.stats.invalidations == 1
+        cache.clear()
+        assert cache.stats.invalidations == 2
+        assert cache.stats.evictions == 0
+
+
+class TestSpilledValues:
+    def test_small_values_stay_inline(self, tmp_path):
+        assert maybe_spill(42, 1024, str(tmp_path)) == 42
+        assert maybe_spill("tiny", 1024, str(tmp_path)) == "tiny"
+        assert os.listdir(tmp_path) == []
+
+    def test_large_value_spills_and_loads_back(self, tmp_path):
+        value = {"blob": b"\x07" * 500_000, "label": "volume"}
+        reference = maybe_spill(value, 1024, str(tmp_path))
+        assert isinstance(reference, SpilledValue)
+        assert os.path.getsize(reference.path) == reference.length
+        assert load_spilled(reference) == value
+
+    def test_resolve_spilled_mixed_mapping(self, tmp_path):
+        big = list(range(50_000))
+        mapping = {"small": 1, "big": maybe_spill(big, 64, str(tmp_path))}
+        assert isinstance(mapping["big"], SpilledValue)
+        assert resolve_spilled(mapping) == {"small": 1, "big": big}
+
+    def test_disabled_spilling_is_identity(self, tmp_path):
+        big = b"x" * 100_000
+        assert maybe_spill(big, 0, str(tmp_path)) is big
+        assert maybe_spill(big, 1024, "") is big
+
+    def test_unpicklable_value_stays_inline(self, tmp_path):
+        value = lambda: None  # noqa: E731
+        assert maybe_spill(value, 1, str(tmp_path)) is value
+        assert os.listdir(tmp_path) == []
 
 
 class TestSerialization:
