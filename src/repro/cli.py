@@ -38,9 +38,36 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     manager = ProvenanceManager(workers=args.workers, backend=args.backend,
                                 cache_path=args.cache or None,
                                 cache_max_bytes=args.cache_max_bytes
-                                or None)
+                                or None,
+                                capture_queue=args.capture_queue,
+                                capture_policy=args.capture_policy)
     run = manager.run(build_vis_workflow(size=args.size))
+    manager.close()
     print(run_report(run))
+    return 0 if run.status == "ok" else 1
+
+
+def _cmd_observe(args: argparse.Namespace) -> int:
+    from repro.workflow.modules.observed import ObservedProcessSession
+    store = None
+    if args.store:
+        from repro.storage.relational import RelationalStore
+        store = RelationalStore(args.store)
+    session = ObservedProcessSession(
+        name=args.name, store=store,
+        stream_batch=args.stream_batch or None)
+    execution = session.observe(args.argv, reads=args.read,
+                                writes=args.write)
+    run = session.finish()
+    print(f"observed run {run.id}: {execution.module_name} "
+          f"-> {execution.status}"
+          + (f" ({execution.error})" if execution.error else ""))
+    for binding in (*execution.inputs, *execution.outputs):
+        artifact = run.artifacts[binding.artifact_id]
+        print(f"  {binding.port:24s} {artifact.value_hash[:16]} "
+              f"({artifact.size_hint} bytes)")
+    if store is not None:
+        print(f"saved to {args.store}")
     return 0 if run.status == "ok" else 1
 
 
@@ -254,7 +281,39 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--cache-max-bytes", type=int, default=0,
                       help="total payload-byte budget for the result "
                            "cache (LRU eviction past it; 0 = unbounded)")
+    demo.add_argument("--capture-queue", type=int, default=0,
+                      help="batched-capture queue size (0 = synchronous "
+                           "capture on the engine thread)")
+    demo.add_argument("--capture-policy",
+                      choices=["block", "drop-detail", "sample"],
+                      default="block",
+                      help="back-pressure policy when the capture queue "
+                           "fills (drop-detail/sample thin journal "
+                           "detail only; executions are never lost)")
     demo.set_defaults(handler=_cmd_demo)
+
+    observe = subparsers.add_parser(
+        "observe", help="run one shell command and record it as an "
+                        "observed-process provenance run")
+    observe.add_argument("argv", nargs="+",
+                         help="command and arguments to observe")
+    observe.add_argument("--read", action="append", default=[],
+                         metavar="PATH",
+                         help="declare a file the command reads "
+                              "(repeatable; digested as an input artifact)")
+    observe.add_argument("--write", action="append", default=[],
+                         metavar="PATH",
+                         help="declare a file the command writes "
+                              "(repeatable; digested as an output artifact)")
+    observe.add_argument("--name", default="cli",
+                         help="session name recorded on the run")
+    observe.add_argument("--store", default="",
+                         help="path of a relational store to save the "
+                              "run into")
+    observe.add_argument("--stream-batch", type=int, default=0,
+                         help="stream executions to the store every N "
+                              "commands (0 = one save at the end)")
+    observe.set_defaults(handler=_cmd_observe)
 
     rerun = subparsers.add_parser(
         "rerun", help="demonstrate provenance-driven partial "

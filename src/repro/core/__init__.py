@@ -7,8 +7,9 @@ causality inference, user-defined annotations, capture mechanisms, and the
 
 from repro.core.annotations import (ANNOTATABLE_KINDS, Annotation,
                                     AnnotationStore)
-from repro.core.capture import (CaptureEvent, ProvenanceCapture,
-                                ScriptCapture, run_from_result)
+from repro.core.capture import (CAPTURE_POLICIES, CaptureEvent, CaptureStats,
+                                ProvenanceCapture, ScriptCapture,
+                                run_from_result, stream_run_to_store)
 from repro.core.causality import (artifacts_affected_by,
                                   cached_causality_graph, causality_graph,
                                   clear_causality_cache, data_dependencies,
@@ -25,7 +26,9 @@ from repro.core.xmlprov import run_from_xml, run_to_xml
 
 __all__ = [
     "ANNOTATABLE_KINDS", "Annotation", "AnnotationStore",
-    "CaptureEvent", "ProvenanceCapture", "ScriptCapture", "run_from_result",
+    "CAPTURE_POLICIES", "CaptureEvent", "CaptureStats",
+    "ProvenanceCapture", "ScriptCapture", "run_from_result",
+    "stream_run_to_store",
     "artifacts_affected_by", "cached_causality_graph", "causality_graph",
     "clear_causality_cache", "data_dependencies",
     "derivation_paths", "downstream_artifacts", "downstream_executions",

@@ -10,7 +10,16 @@ Two mechanisms are implemented:
   :class:`~repro.workflow.engine.ExecutionListener`; attached to an
   :class:`~repro.workflow.engine.Executor` it converts every run into a
   :class:`~repro.core.retrospective.WorkflowRun`, keeping a streaming event
-  journal along the way (the "detailed log").
+  journal along the way (the "detailed log").  Capture runs either
+  *synchronously* (all bookkeeping on the engine's coordinating thread — the
+  historical behaviour) or *batched* behind a bounded queue: the engine
+  thread only enqueues lightweight tuples and a background drainer thread
+  owns journal materialization, run conversion and store writes, so at high
+  module rates the engine's hot path pays an enqueue instead of the full
+  capture cost.  When producers outrun the drainer, an explicit
+  back-pressure policy decides what happens (see
+  :data:`CAPTURE_POLICIES`); :meth:`ProvenanceCapture.flush` provides the
+  barrier that makes deferred capture observably complete.
 * :class:`ScriptCapture` — API capture for ad-hoc code (the paper's Perl
   scripts).  Wrapping a plain Python function records each call as a
   one-execution run, so script-based and workflow-based derivations share
@@ -19,6 +28,8 @@ Two mechanisms are implemented:
 
 from __future__ import annotations
 
+import itertools
+import queue
 import threading
 import time
 from collections import deque
@@ -35,19 +46,52 @@ from repro.workflow.environment import capture_environment
 from repro.workflow.registry import ModuleRegistry
 from repro.workflow.spec import Module, Workflow
 
-__all__ = ["CaptureEvent", "ProvenanceCapture", "ScriptCapture",
-           "run_from_result"]
+__all__ = ["CaptureEvent", "CaptureStats", "CAPTURE_POLICIES",
+           "ProvenanceCapture", "ScriptCapture", "run_from_result",
+           "stream_run_to_store"]
+
+#: Back-pressure policies for batched capture, applied when the bounded
+#: queue is full:
+#:
+#: * ``"block"`` — the producer waits for queue space.  Nothing is ever
+#:   lost; engine throughput degrades to drainer throughput.
+#: * ``"drop-detail"`` — module-level journal events (``module-start`` /
+#:   ``module-finish``) are dropped and counted; run lifecycle events and
+#:   run materialization still block, so executions and bindings are never
+#:   lost — only journal detail.
+#: * ``"sample"`` — only every Nth module-level event is enqueued at all
+#:   (N = ``sample_every``), thinning journal detail at the source; run
+#:   lifecycle events and run materialization always block.
+CAPTURE_POLICIES = ("block", "drop-detail", "sample")
 
 
 @dataclass(frozen=True)
 class CaptureEvent:
-    """One entry in the streaming capture journal."""
+    """One entry in the streaming capture journal.
+
+    ``seq`` is a monotonic per-capture sequence number assigned at event
+    creation; it — not the wall-clock ``at`` stamp — defines journal order.
+    Wall-clock time can repeat within a burst and can move backwards under
+    clock adjustment, so ``at`` is unreliable as an ordering key.
+    """
 
     at: float
     event: str
     run_id: str
     subject: str = ""
     detail: str = ""
+    seq: int = 0
+
+
+@dataclass
+class CaptureStats:
+    """Counters describing one capture's traffic (batched mode)."""
+
+    events: int = 0          #: journal events accepted for materialization
+    dropped: int = 0         #: events discarded by the drop-detail policy
+    sampled_out: int = 0     #: events thinned at the source by sampling
+    runs: int = 0            #: run materializations enqueued/performed
+    max_queue_depth: int = 0  #: high-water mark of the bounded queue
 
 
 #: Beyond this many characters/items, ``repr`` is estimated, not computed.
@@ -188,6 +232,58 @@ def _port_type_lookup(workflow: Workflow,
     return lookup
 
 
+def stream_run_to_store(run: WorkflowRun, store: Any, *,
+                        batch: int = 256) -> None:
+    """Persist ``run`` through the store's streaming-ingest API.
+
+    Executions (with the artifacts their bindings reference) are fed to a
+    :meth:`~repro.storage.base.ProvenanceStore.save_run_stream` writer and
+    flushed every ``batch`` executions, so backends with native streaming
+    (the relational store) commit bounded per-batch transactions instead of
+    one monolithic run-sized write.  Stores without the streaming API fall
+    back to a plain ``save_run``.
+    """
+    opener = getattr(store, "save_run_stream", None)
+    if opener is None or batch <= 0:
+        store.save_run(run)
+        return
+    writer = opener(run)
+    try:
+        sent = 0
+        added = set()
+        for execution in run.executions:
+            for binding in itertools.chain(execution.inputs,
+                                           execution.outputs):
+                artifact = run.artifacts.get(binding.artifact_id)
+                if artifact is None or artifact.id in added:
+                    continue
+                added.add(artifact.id)
+                writer.add_artifact(artifact,
+                                    value=run.values.get(artifact.id),
+                                    has_value=artifact.id in run.values)
+            writer.add_execution(execution)
+            sent += 1
+            if sent % batch == 0:
+                writer.flush()
+        # artifacts never referenced by a binding (externally ingested
+        # provenance can carry them) still belong to the run record
+        for artifact in run.artifacts.values():
+            if artifact.id not in added:
+                writer.add_artifact(artifact,
+                                    value=run.values.get(artifact.id),
+                                    has_value=artifact.id in run.values)
+        writer.finish(status=run.status, finished=run.finished,
+                      tags=run.tags)
+    except BaseException:
+        writer.abort()
+        raise
+
+
+#: Queue item tags for the batched pipeline (tuples stay tiny on purpose:
+#: the engine thread builds them, the drainer unpacks them).
+_EVENT, _RUN, _STOP = 0, 1, 2
+
+
 class ProvenanceCapture(ExecutionListener):
     """Engine instrumentation that records every run it observes.
 
@@ -195,53 +291,209 @@ class ProvenanceCapture(ExecutionListener):
     appended to :attr:`runs` and optionally saved to a provenance store (any
     object with a ``save_run(run)`` method).
 
+    Args:
+        registry: module registry used to type artifact ports.
+        store: provenance store finished runs are saved to.
+        keep_values: retain artifact values on captured runs.
+        journal_limit: journal retention bound (a deque ``maxlen``).
+        queue_size: ``0`` (default) captures synchronously on the engine
+            thread; ``> 0`` switches to the *batched* pipeline — a bounded
+            queue of this many items drained by a background thread that
+            owns journal materialization, run conversion
+            (:func:`run_from_result`) and store writes.  The engine's hot
+            path then only builds a small tuple and enqueues it.
+        policy: back-pressure policy when the queue is full — one of
+            :data:`CAPTURE_POLICIES`.  Whatever the policy, executions,
+            bindings and runs are never lost; only journal *detail* may be
+            thinned or dropped.
+        sample_every: with ``policy="sample"``, keep one in this many
+            module-level events.
+        stream_batch: when set, store saves go through
+            :func:`stream_run_to_store` with this batch size — executions
+            flush to the backend incrementally (per-batch transactions on
+            the relational store) instead of as one monolithic write.
+
     Thread-safety: the engine dispatches listener events from its
     coordinating thread, but one capture instance may be shared between
     executors (or executors driven from different threads), so journal and
-    run bookkeeping are guarded by a lock.  Within one run the converted
-    provenance is deterministic regardless of execution parallelism — the
-    execution list follows the workflow's canonical topological order, not
-    wall-clock completion order — and :meth:`normalized_journal` gives a
-    timing-independent view of the event stream for comparisons.
+    run bookkeeping are guarded by a lock; in batched mode the drainer
+    thread is the only store writer, which also serializes saves.  Within
+    one run the converted provenance is deterministic regardless of
+    execution parallelism or capture mode — the execution list follows the
+    workflow's canonical topological order, not wall-clock completion
+    order — and :meth:`normalized_journal` gives a timing-independent view
+    of the event stream for comparisons.
+
+    Deferred completeness: in batched mode :meth:`last_run`,
+    :meth:`run_by_id` and :meth:`normalized_journal` call :meth:`flush`
+    first, so readers always observe a complete journal and run list;
+    call :meth:`flush` directly before touching :attr:`runs` or
+    :attr:`journal` raw.
     """
 
     def __init__(self, *, registry: Optional[ModuleRegistry] = None,
                  store: Optional[Any] = None, keep_values: bool = True,
-                 journal_limit: int = 10_000) -> None:
+                 journal_limit: int = 10_000,
+                 queue_size: int = 0,
+                 policy: str = "block",
+                 sample_every: int = 8,
+                 stream_batch: Optional[int] = None) -> None:
+        if policy not in CAPTURE_POLICIES:
+            raise ValueError(f"unknown capture policy: {policy!r} "
+                             f"(expected one of {CAPTURE_POLICIES})")
+        if queue_size < 0:
+            raise ValueError("queue_size must be >= 0")
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
         self.registry = registry
         self.store = store
         self.keep_values = keep_values
+        self.policy = policy
+        self.sample_every = sample_every
+        self.stream_batch = stream_batch
+        self.stats = CaptureStats()
         self.runs: List[WorkflowRun] = []
         # bounded deque: appends beyond the limit evict the oldest entry
         # in O(1) instead of an O(n) slice-delete per overflow
         self.journal: Deque[CaptureEvent] = deque(maxlen=journal_limit)
         self._runs_by_id: Dict[str, WorkflowRun] = {}
         self._lock = threading.Lock()
+        # next(counter) is atomic under CPython, so the hot path takes no
+        # lock to stamp an event's sequence number
+        self._seq = itertools.count(1)
+        self._sample_tick = itertools.count()
+        self._queue: Optional[queue.Queue] = (
+            queue.Queue(maxsize=queue_size) if queue_size else None)
+        self._drainer: Optional[threading.Thread] = None
+        self._drainer_error: Optional[BaseException] = None
+        self._closed = False
+        #: test seam: seconds the drainer sleeps per item, simulating a
+        #: slow materialization sink for back-pressure tests
+        self.drain_delay = 0.0
 
     @property
     def journal_limit(self) -> int:
         """The journal's retention bound (the deque's maxlen)."""
         return self.journal.maxlen
 
+    @property
+    def batched(self) -> bool:
+        """True when this capture defers work to the drainer thread."""
+        return self._queue is not None and not self._closed
+
     # -- ExecutionListener ------------------------------------------------
     def on_run_start(self, run_id: str, workflow: Workflow,
                      environment: Dict[str, Any],
                      tags: Dict[str, Any]) -> None:
-        self._journal(CaptureEvent(time.time(), "run-start", run_id,
-                                   subject=workflow.id,
-                                   detail=workflow.name))
+        self._submit_event("run-start", run_id, workflow.id, workflow.name,
+                           detail_level=False)
 
     def on_module_start(self, run_id: str, module: Module,
                         parameters: Dict[str, Any]) -> None:
-        self._journal(CaptureEvent(time.time(), "module-start", run_id,
-                                   subject=module.id, detail=module.name))
+        self._submit_event("module-start", run_id, module.id, module.name,
+                           detail_level=True)
 
     def on_module_finish(self, run_id: str, module: Module,
                          result: ModuleResult) -> None:
-        self._journal(CaptureEvent(time.time(), "module-finish", run_id,
-                                   subject=module.id, detail=result.status))
+        self._submit_event("module-finish", run_id, module.id,
+                           result.status, detail_level=True)
 
     def on_run_finish(self, result: RunResult) -> None:
+        self.stats.runs += 1
+        if self.batched:
+            # the engine thread hands off the raw RunResult; conversion
+            # and the store write happen on the drainer.  Run completions
+            # always block — back-pressure may thin the journal, never
+            # the provenance record itself.
+            self._enqueue((_RUN, result), block=True)
+        else:
+            self._materialize_run(result)
+        self._submit_event("run-finish", result.run_id, "", result.status,
+                           detail_level=False)
+
+    # -- hot path ----------------------------------------------------------
+    def _submit_event(self, kind: str, run_id: str, subject: str,
+                      detail: str, *, detail_level: bool) -> None:
+        """Record one journal event, honouring mode and policy.
+
+        ``detail_level`` marks module-granularity events — the ones
+        back-pressure policies are allowed to thin.  Run lifecycle events
+        always survive.
+        """
+        if self.batched and detail_level:
+            if (self.policy == "sample"
+                    and next(self._sample_tick) % self.sample_every):
+                self.stats.sampled_out += 1
+                return
+            if self.policy == "drop-detail":
+                item = (_EVENT, next(self._seq), time.time(), kind,
+                        run_id, subject, detail)
+                try:
+                    self._enqueue(item, block=False)
+                except queue.Full:
+                    self.stats.dropped += 1
+                return
+        event = (_EVENT, next(self._seq), time.time(), kind, run_id,
+                 subject, detail)
+        if self.batched:
+            self._enqueue(event, block=True)
+        else:
+            self.stats.events += 1
+            self._journal(CaptureEvent(event[2], kind, run_id,
+                                       subject=subject, detail=detail,
+                                       seq=event[1]))
+
+    def _enqueue(self, item: Tuple, *, block: bool) -> None:
+        """Put one item on the bounded queue.
+
+        The drainer starts lazily on the first *contended* put (queue
+        full) or at the next flush/close barrier, not on the first
+        event: while the queue has room the producer runs free of
+        drainer GIL and context-switch interference, which is what
+        keeps the batched hot path cheap on busy or few-core hosts.
+        """
+        try:
+            self._queue.put_nowait(item)
+        except queue.Full:
+            self._ensure_drainer()
+            if not block:
+                raise
+            self._queue.put(item)
+        depth = self._queue.qsize()
+        if depth > self.stats.max_queue_depth:
+            self.stats.max_queue_depth = depth
+
+    def _ensure_drainer(self) -> None:
+        with self._lock:
+            if self._drainer is None:
+                self._drainer = threading.Thread(
+                    target=self._drain_loop, name="repro-capture-drainer",
+                    daemon=True)
+                self._drainer.start()
+
+    # -- drainer side ------------------------------------------------------
+    def _drain_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item[0] == _STOP:
+                    return
+                if self.drain_delay:
+                    time.sleep(self.drain_delay)
+                if item[0] == _EVENT:
+                    _, seq, at, kind, run_id, subject, detail = item
+                    self.stats.events += 1
+                    self._journal(CaptureEvent(at, kind, run_id,
+                                               subject=subject,
+                                               detail=detail, seq=seq))
+                else:
+                    self._materialize_run(item[1])
+            except BaseException as exc:  # surfaced on the next flush()
+                self._drainer_error = exc
+            finally:
+                self._queue.task_done()
+
+    def _materialize_run(self, result: RunResult) -> None:
         run = run_from_result(result, registry=self.registry,
                               keep_values=self.keep_values)
         with self._lock:
@@ -251,19 +503,75 @@ class ProvenanceCapture(ExecutionListener):
             self.runs.append(run)
             self._runs_by_id[run.id] = run
             if self.store is not None:
-                self.store.save_run(run)
-        self._journal(CaptureEvent(time.time(), "run-finish", result.run_id,
-                                   detail=result.status))
+                if self.stream_batch:
+                    stream_run_to_store(run, self.store,
+                                        batch=self.stream_batch)
+                else:
+                    self.store.save_run(run)
+
+    # -- completeness barriers ---------------------------------------------
+    def flush(self) -> None:
+        """Block until every enqueued event and run is materialized.
+
+        A no-op for synchronous captures.  Re-raises the first exception
+        the drainer hit (e.g. a failing store write), so deferred errors
+        are not silently swallowed.
+        """
+        if self._queue is not None:
+            if self._queue.unfinished_tasks:
+                self._ensure_drainer()
+            self._queue.join()
+        error, self._drainer_error = self._drainer_error, None
+        if error is not None:
+            raise error
+
+    def close(self) -> None:
+        """Flush, stop the drainer, and fall back to synchronous capture.
+
+        Idempotent; events recorded after ``close()`` are processed inline
+        on the calling thread, so a closed capture keeps working.
+        """
+        if self._queue is not None and (self._drainer is not None
+                                        or self._queue.unfinished_tasks):
+            self._ensure_drainer()
+            self._queue.join()
+            self._queue.put((_STOP,))
+            self._drainer.join()
+            self._drainer = None
+        self._closed = True
+        error, self._drainer_error = self._drainer_error, None
+        if error is not None:
+            raise error
+
+    def __enter__(self) -> "ProvenanceCapture":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     # -- access ------------------------------------------------------------
     def last_run(self) -> WorkflowRun:
         """The most recently captured run (IndexError when none)."""
+        self.flush()
         return self.runs[-1]
 
     def run_by_id(self, run_id: str) -> Optional[WorkflowRun]:
         """A captured run by id, or None — an O(1) index lookup."""
+        self.flush()
         with self._lock:
             return self._runs_by_id.get(run_id)
+
+    def journal_for_run(self, run_id: str) -> List[CaptureEvent]:
+        """One run's journal events in capture order (sorted by ``seq``).
+
+        Sequence numbers — not wall-clock ``at`` stamps — define order, so
+        the result is stable under clock adjustment and identical-timestamp
+        bursts.
+        """
+        self.flush()
+        with self._lock:
+            events = [e for e in self.journal if e.run_id == run_id]
+        return sorted(events, key=lambda e: e.seq)
 
     def normalized_journal(self, run_id: str) -> List[Tuple[str, str, str]]:
         """One run's events as (event, subject, detail), timing-normalized.
@@ -274,6 +582,7 @@ class ProvenanceCapture(ExecutionListener):
         """
         order = {"run-start": 0, "module-start": 1, "module-finish": 2,
                  "run-finish": 3}
+        self.flush()
         with self._lock:
             events = [e for e in self.journal if e.run_id == run_id]
         return sorted(

@@ -57,6 +57,20 @@ class ProvenanceManager:
             0 disables).
         keep_values: retain artifact values on captured runs (required for
             partial re-execution to reuse recorded results).
+        capture_queue: ``0`` (default) captures provenance synchronously
+            on the engine thread; ``> 0`` switches
+            :class:`~repro.core.capture.ProvenanceCapture` to the batched
+            pipeline — a bounded queue of this many items drained by a
+            background thread — so high-rate runs pay an enqueue, not the
+            full journal/materialization cost, per event.
+        capture_policy: back-pressure policy for a full capture queue —
+            ``"block"`` (lossless), ``"drop-detail"`` or ``"sample"``
+            (both thin journal detail only; executions are never lost).
+        stream_batch: when set, captured runs are persisted through the
+            store's streaming-ingest API
+            (:meth:`~repro.storage.base.ProvenanceStore.save_run_stream`),
+            flushing executions every ``stream_batch`` instead of one
+            monolithic run-sized write.
         workers: default engine parallelism — ``None``/``1`` executes
             serially in deterministic order, ``N > 1`` runs independent
             branches on a worker pool.
@@ -76,7 +90,10 @@ class ProvenanceManager:
                  workers: Optional[int] = None,
                  backend: Optional[str] = None,
                  registry_provider: Optional[str] = None,
-                 payload_spill_threshold: Optional[int] = None) -> None:
+                 payload_spill_threshold: Optional[int] = None,
+                 capture_queue: int = 0,
+                 capture_policy: str = "block",
+                 stream_batch: Optional[int] = None) -> None:
         if registry is None:
             from repro.workflow.modules import standard_registry
             registry = standard_registry()
@@ -95,7 +112,10 @@ class ProvenanceManager:
             self.cache = (ResultCache(max_bytes=cache_max_bytes)
                           if use_cache else None)
         self.capture = ProvenanceCapture(registry=registry, store=store,
-                                         keep_values=keep_values)
+                                         keep_values=keep_values,
+                                         queue_size=capture_queue,
+                                         policy=capture_policy,
+                                         stream_batch=stream_batch)
         self.executor = Executor(
             registry, cache=self.cache, listeners=[self.capture],
             workers=workers, backend=backend,
@@ -366,3 +386,14 @@ class ProvenanceManager:
                 "hit_rate": self.cache.stats.hit_rate,
                 "evictions": self.cache.stats.evictions,
                 "invalidations": self.cache.stats.invalidations}
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self) -> None:
+        """Drain and stop the capture pipeline (no-op in sync mode)."""
+        self.capture.close()
+
+    def __enter__(self) -> "ProvenanceManager":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

@@ -40,6 +40,7 @@ from repro.storage.query import (LineageClause, ProvQuery, ResultCursor,
                                  restrict_to_hashes, run_row)
 
 __all__ = ["ProvenanceStore", "StoreError", "RunSummary",
+           "RunStreamWriter", "BufferedRunStream",
            "generic_lineage_hashes"]
 
 
@@ -93,6 +94,129 @@ class RunSummary:
                 f"{self.workflow_name!r}, status={self.status!r})")
 
 
+class RunStreamWriter(ABC):
+    """Incremental ingest handle for one run (see ``save_run_stream``).
+
+    Protocol: ``add_artifact``/``add_execution`` any number of times with
+    ``flush()`` wherever a durability point is wanted, then exactly one of
+    ``finish()`` (the run becomes loadable) or ``abort()`` (no trace of the
+    run remains).  Writers are single-run and single-use; methods must be
+    called from one thread at a time.
+    """
+
+    @abstractmethod
+    def add_artifact(self, artifact: Any, *, value: Any = None,
+                     has_value: Optional[bool] = None) -> None:
+        """Stage one :class:`~repro.core.retrospective.DataArtifact`.
+
+        ``value`` is the retained Python value, when there is one;
+        ``has_value`` disambiguates a retained value of ``None`` from no
+        value at all (default: ``value is not None``).  Re-adding an
+        artifact id replaces the earlier record (last write wins) — the
+        escape hatch for metadata that evolves mid-stream, e.g. an
+        ``also_produced_by`` list growing as later executions reproduce
+        the same content hash.
+        """
+
+    @abstractmethod
+    def add_execution(self, execution: Any) -> None:
+        """Stage one execution; stream order defines execution order."""
+
+    @abstractmethod
+    def flush(self) -> None:
+        """Make everything staged so far durable (native backends commit a
+        transaction here; buffering fallbacks just count the call)."""
+
+    @abstractmethod
+    def finish(self, *, status: Optional[str] = None,
+               finished: Optional[float] = None,
+               tags: Optional[Dict[str, Any]] = None) -> str:
+        """Seal the run (overriding header status/finished/tags when
+        given) and return its id.  After this the run is loadable."""
+
+    @abstractmethod
+    def abort(self) -> None:
+        """Discard the stream, removing any partially ingested state."""
+
+    def __enter__(self) -> "RunStreamWriter":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if exc_type is None:
+            self.finish()
+        else:
+            self.abort()
+
+
+class BufferedRunStream(RunStreamWriter):
+    """Generic :class:`RunStreamWriter`: buffer, then one ``save_run``.
+
+    Backends without native incremental ingest (memory/triples/documents)
+    get streaming-API *compatibility* from this class — the run is
+    assembled in memory and written whole on :meth:`finish`.  ``flushes``
+    counts flush calls so tests can assert batching behaviour uniformly
+    across backends.
+    """
+
+    def __init__(self, store: "ProvenanceStore", header: WorkflowRun) -> None:
+        self._store = store
+        self._header = header
+        self._executions: List[Any] = []
+        self._artifacts: Dict[str, Any] = {}
+        self._values: Dict[str, Any] = {}
+        self._done = False
+        self.flushes = 0
+
+    def _check_open(self) -> None:
+        if self._done:
+            raise StoreError("run stream already finished or aborted")
+
+    def add_artifact(self, artifact: Any, *, value: Any = None,
+                     has_value: Optional[bool] = None) -> None:
+        self._check_open()
+        self._artifacts[artifact.id] = artifact
+        if has_value is None:
+            has_value = value is not None
+        if has_value:
+            self._values[artifact.id] = value
+
+    def add_execution(self, execution: Any) -> None:
+        self._check_open()
+        self._executions.append(execution)
+
+    def flush(self) -> None:
+        self._check_open()
+        self.flushes += 1
+
+    def finish(self, *, status: Optional[str] = None,
+               finished: Optional[float] = None,
+               tags: Optional[Dict[str, Any]] = None) -> str:
+        self._check_open()
+        self._done = True
+        header = self._header
+        run = WorkflowRun(
+            id=header.id, workflow_id=header.workflow_id,
+            workflow_name=header.workflow_name,
+            workflow_signature=header.workflow_signature,
+            status=status if status is not None else header.status,
+            started=header.started,
+            finished=finished if finished is not None else header.finished,
+            environment=header.environment,
+            workflow_spec=header.workflow_spec,
+            executions=self._executions,
+            artifacts=self._artifacts,
+            tags=dict(tags) if tags is not None else dict(header.tags),
+            values=self._values)
+        self._store.save_run(run)
+        return run.id
+
+    def abort(self) -> None:
+        self._done = True
+        self._executions = []
+        self._artifacts = {}
+        self._values = {}
+
+
 class ProvenanceStore(ABC):
     """Abstract persistent home for runs, workflows and annotations."""
 
@@ -100,6 +224,20 @@ class ProvenanceStore(ABC):
     @abstractmethod
     def save_run(self, run: WorkflowRun) -> None:
         """Persist one run (overwrites an existing run with the same id)."""
+
+    def save_run_stream(self, header: WorkflowRun) -> RunStreamWriter:
+        """Open an incremental-ingest stream for one run.
+
+        ``header`` carries the run's identity and metadata (id, workflow,
+        status, timestamps, environment, spec); its ``executions`` /
+        ``artifacts`` / ``values`` are ignored — they arrive through the
+        returned :class:`RunStreamWriter`.  Backends with native
+        incremental ingest override this (the relational store commits one
+        transaction per ``flush``, bounding peak ingest memory); this
+        generic implementation buffers and delegates to :meth:`save_run`
+        on ``finish``.
+        """
+        return BufferedRunStream(self, header)
 
     @abstractmethod
     def load_run(self, run_id: str) -> WorkflowRun:

@@ -24,7 +24,8 @@ from repro.core.annotations import Annotation
 from repro.core.prospective import ProspectiveProvenance
 from repro.core.retrospective import (DataArtifact, ModuleExecution,
                                       PortBinding, WorkflowRun)
-from repro.storage.base import ProvenanceStore, RunSummary, StoreError
+from repro.storage.base import (ProvenanceStore, RunStreamWriter,
+                                RunSummary, StoreError)
 from repro.storage.lineage import (DERIVED_FROM_RUN, lineage_edges,
                                    run_node)
 from repro.storage.query import (Filter, LineageClause, ProvQuery,
@@ -144,7 +145,12 @@ class RelationalStore(ProvenanceStore):
                  store_values: bool = False) -> None:
         self.path = path
         self.store_values = store_values
-        self._connection = sqlite3.connect(path)
+        # check_same_thread=False: batched capture materializes runs on a
+        # background drainer thread while the store was constructed on the
+        # caller's thread.  Cross-thread use is serialized by callers (the
+        # drainer is the sole writer during a stream; capture holds its
+        # lock around store writes), which is the pattern sqlite3 supports.
+        self._connection = sqlite3.connect(path, check_same_thread=False)
         self._connection.execute("PRAGMA foreign_keys = ON")
         self._connection.executescript(_SCHEMA)
         self._annotation_seq = self._current_annotation_seq()
@@ -198,6 +204,19 @@ class RelationalStore(ProvenanceStore):
         cursor = self._connection.cursor()
         self._write_run(cursor, run)
         self._connection.commit()
+
+    def save_run_stream(self, header: WorkflowRun) -> RunStreamWriter:
+        """Native incremental ingest: one transaction per ``flush``.
+
+        The run header row is committed immediately (replacing any stored
+        run with the same id); executions and artifacts accumulate in
+        Python until ``flush`` writes and commits them as one bounded
+        transaction, so ingesting a 10k-execution run never builds a
+        10k-row statement buffer or a run-sized transaction.  ``finish``
+        seals the header (status/finished/tags) and ``abort`` deletes the
+        partial run, cascading away every flushed batch.
+        """
+        return _RelationalRunStream(self, header)
 
     def save_runs(self, runs: Iterable[WorkflowRun]) -> int:
         """Bulk ingest: every run inserted inside a single transaction."""
@@ -721,3 +740,158 @@ class RelationalStore(ProvenanceStore):
 
     def close(self) -> None:
         self._connection.close()
+
+
+class _RelationalRunStream(RunStreamWriter):
+    """Per-batch-transaction ingest stream for :class:`RelationalStore`.
+
+    Staged executions/artifacts live in Python lists between flushes; each
+    ``flush`` inserts and commits them, continuing the run's ``seq``
+    numbering across batches so a streamed run reloads in exactly the
+    order it was streamed (identical to a monolithic ``save_run``).
+    Hash-level lineage edges are derived incrementally from the artifacts
+    seen so far instead of requiring the whole run in memory.
+    """
+
+    def __init__(self, store: RelationalStore, header: WorkflowRun) -> None:
+        self._store = store
+        self._header = header
+        self._seq = 0
+        self._pending_execs: List[ModuleExecution] = []
+        self._pending_arts: Dict[str, Tuple[DataArtifact, Any, bool]] = {}
+        self._art_hashes: Dict[str, str] = {}
+        self._done = False
+        self.flushes = 0
+        cursor = store._connection.cursor()
+        cursor.execute("DELETE FROM artifact_values WHERE run_id = ?",
+                       (header.id,))
+        cursor.execute("DELETE FROM runs WHERE id = ?", (header.id,))
+        cursor.execute(
+            "INSERT INTO runs (id, workflow_id, workflow_name, signature,"
+            " status, started, finished, environment, spec, tags)"
+            " VALUES (?,?,?,?,?,?,?,?,?,?)",
+            (header.id, header.workflow_id, header.workflow_name,
+             header.workflow_signature, header.status, header.started,
+             header.finished, json.dumps(header.environment),
+             json.dumps(header.workflow_spec), json.dumps(header.tags)))
+        store._connection.commit()
+
+    def _check_open(self) -> None:
+        if self._done:
+            raise StoreError("run stream already finished or aborted")
+
+    def add_artifact(self, artifact: Any, *, value: Any = None,
+                     has_value: Optional[bool] = None) -> None:
+        self._check_open()
+        self._art_hashes[artifact.id] = artifact.value_hash
+        if has_value is None:
+            has_value = value is not None
+        # keyed by id: a re-add (metadata evolving mid-stream) replaces
+        # the staged record, and INSERT OR REPLACE updates a row an
+        # earlier flush already committed
+        self._pending_arts[artifact.id] = (artifact, value, bool(has_value))
+
+    def add_execution(self, execution: Any) -> None:
+        self._check_open()
+        self._pending_execs.append(execution)
+
+    def flush(self) -> None:
+        self._check_open()
+        self.flushes += 1
+        if not self._pending_execs and not self._pending_arts:
+            return
+        run_id = self._header.id
+        cursor = self._store._connection.cursor()
+        edges: List[Tuple[str, str, str, str]] = []
+        for execution in self._pending_execs:
+            cursor.execute(
+                "INSERT INTO executions (id, run_id, module_id, module_type,"
+                " module_name, status, parameters, started, finished, error,"
+                " cache_key, cached_from, seq)"
+                " VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?)",
+                (execution.id, run_id, execution.module_id,
+                 execution.module_type, execution.module_name,
+                 execution.status, json.dumps(execution.parameters),
+                 execution.started, execution.finished, execution.error,
+                 execution.cache_key, execution.cached_from, self._seq))
+            self._seq += 1
+            for binding in execution.inputs:
+                cursor.execute(
+                    "INSERT INTO bindings VALUES (?,?,?,?,?)",
+                    (execution.id, run_id, "in", binding.port,
+                     binding.artifact_id))
+            for binding in execution.outputs:
+                cursor.execute(
+                    "INSERT INTO bindings VALUES (?,?,?,?,?)",
+                    (execution.id, run_id, "out", binding.port,
+                     binding.artifact_id))
+            if execution.succeeded():
+                hashes = self._art_hashes
+                for out_binding in execution.outputs:
+                    derived = hashes.get(out_binding.artifact_id)
+                    if derived is None:
+                        continue
+                    for in_binding in execution.inputs:
+                        source = hashes.get(in_binding.artifact_id)
+                        if source is not None:
+                            edges.append((derived, source, run_id,
+                                          execution.id))
+        for artifact, value, has_value in self._pending_arts.values():
+            cursor.execute(
+                "INSERT OR REPLACE INTO artifacts VALUES (?,?,?,?,?,?,?,?)",
+                (artifact.id, run_id, artifact.value_hash,
+                 artifact.type_name, artifact.created_by, artifact.role,
+                 json.dumps(artifact.also_produced_by), artifact.size_hint))
+            if self._store.store_values and has_value:
+                try:
+                    blob = pickle.dumps(value)
+                except Exception:
+                    continue
+                cursor.execute(
+                    "INSERT OR REPLACE INTO artifact_values VALUES (?,?,?)",
+                    (artifact.id, run_id, blob))
+        if edges:
+            cursor.executemany(
+                "INSERT OR IGNORE INTO lineage VALUES (?,?,?,?)", edges)
+        self._store._connection.commit()
+        self._pending_execs = []
+        self._pending_arts = {}
+
+    def finish(self, *, status: Optional[str] = None,
+               finished: Optional[float] = None,
+               tags: Optional[Dict[str, Any]] = None) -> str:
+        self.flush()
+        self._done = True
+        header = self._header
+        final_tags = dict(tags) if tags is not None else dict(header.tags)
+        cursor = self._store._connection.cursor()
+        cursor.execute(
+            "UPDATE runs SET status = ?, finished = ?, tags = ?"
+            " WHERE id = ?",
+            (status if status is not None else header.status,
+             finished if finished is not None else header.finished,
+             json.dumps(final_tags), header.id))
+        parent = final_tags.get(DERIVED_FROM_RUN)
+        if isinstance(parent, str) and parent:
+            cursor.execute(
+                "INSERT OR IGNORE INTO lineage VALUES (?,?,?,?)",
+                (run_node(header.id), run_node(parent), header.id,
+                 DERIVED_FROM_RUN))
+        self._store._connection.commit()
+        return header.id
+
+    def abort(self) -> None:
+        if self._done:
+            return
+        self._done = True
+        self._pending_execs = []
+        self._pending_arts = {}
+        connection = self._store._connection
+        connection.rollback()
+        cursor = connection.cursor()
+        cursor.execute("DELETE FROM artifact_values WHERE run_id = ?",
+                       (self._header.id,))
+        cursor.execute("DELETE FROM bindings WHERE run_id = ?",
+                       (self._header.id,))
+        cursor.execute("DELETE FROM runs WHERE id = ?", (self._header.id,))
+        connection.commit()

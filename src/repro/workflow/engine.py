@@ -294,6 +294,7 @@ class Executor:
         self.registry = registry
         self.cache = cache
         self.listeners: List[ExecutionListener] = list(listeners)
+        self._rebuild_dispatch()
         self.clock = clock
         self.validate = validate
         self.workers = workers
@@ -351,6 +352,37 @@ class Executor:
     def add_listener(self, listener: ExecutionListener) -> None:
         """Attach an additional execution listener."""
         self.listeners.append(listener)
+        self._rebuild_dispatch()
+
+    #: every listener event the engine can emit.
+    _EVENTS = ("on_run_start", "on_module_start", "on_module_finish",
+               "on_run_finish")
+
+    def _rebuild_dispatch(self) -> None:
+        """Precompute per-event bound-method lists for :meth:`_notify`.
+
+        Listener dispatch sits on the engine's hot path (two events per
+        module); resolving ``getattr`` per event and calling inherited
+        no-op stubs is measurable at high module rates.  Methods that are
+        exactly the :class:`ExecutionListener` base stubs are filtered out
+        here, once, so executors with no listeners (or listeners that only
+        care about run boundaries) skip those events entirely.  Mutating
+        :attr:`listeners` directly requires calling this again —
+        :meth:`add_listener` does.
+        """
+        table: Dict[str, Tuple[Callable[..., None], ...]] = {}
+        for name in self._EVENTS:
+            stub = getattr(ExecutionListener, name)
+            bound = []
+            for listener in self.listeners:
+                method = getattr(listener, name, None)
+                if method is None:
+                    continue
+                if getattr(method, "__func__", method) is stub:
+                    continue
+                bound.append(method)
+            table[name] = tuple(bound)
+        self._dispatch_table = table
 
     # -- environment ------------------------------------------------------
     def environment(self) -> Dict[str, Any]:
@@ -890,12 +922,17 @@ class Executor:
         return dict(raw_outputs)
 
     def _notify(self, event: str, *args: Any) -> None:
-        """Dispatch one event to every listener, serialized under a lock.
+        """Dispatch one event to every interested listener, serialized.
 
         Dispatch always happens on the coordinating thread; the lock only
         guards against two *runs* of a shared executor notifying
-        concurrently from different caller threads.
+        concurrently from different caller threads.  The precomputed
+        dispatch table (see :meth:`_rebuild_dispatch`) makes the
+        no-listener case lock-free and skips base-class no-op stubs.
         """
+        methods = self._dispatch_table[event]
+        if not methods:
+            return
         with self._listener_lock:
-            for listener in self.listeners:
-                getattr(listener, event)(*args)
+            for method in methods:
+                method(*args)

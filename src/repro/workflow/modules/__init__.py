@@ -14,13 +14,16 @@ library here registers a coherent set of module definitions:
   alignment, consensus.
 * :mod:`repro.workflow.modules.enviro` — sensor ingest, cleaning,
   interpolation, AR(1) forecasting.
+* :mod:`repro.workflow.modules.observed` — arbitrary shell commands
+  observed as modules (PROBE-style process capture in pure Python).
 """
 
-from repro.workflow.modules import (basic, enviro, genomics, imaging, vis)
+from repro.workflow.modules import (basic, enviro, genomics, imaging,
+                                    observed, vis)
 from repro.workflow.registry import ModuleRegistry
 
 __all__ = ["standard_registry", "basic", "vis", "imaging", "genomics",
-           "enviro"]
+           "enviro", "observed"]
 
 
 def standard_registry() -> ModuleRegistry:
@@ -31,4 +34,5 @@ def standard_registry() -> ModuleRegistry:
     imaging.register(registry)
     genomics.register(registry)
     enviro.register(registry)
+    observed.register(registry)
     return registry

@@ -1,0 +1,350 @@
+"""Observed-process capture: arbitrary shell commands as modules.
+
+Cuevas-Vicenttín et al. (PAPERS.md) name low-overhead capture of
+script/process-level runs a core research opportunity; PROBE-style system
+capture records what a process *actually touched*.  This module reproduces
+that workload shape in pure Python, at declared- rather than
+syscall-fidelity: a command's argv, environment, exit code, stdout/stderr
+digests and its *declared* file reads/writes become ordinary provenance
+artifacts, so observed processes flow through exactly the same stores,
+queries and lineage machinery as workflow modules.
+
+Two entry points:
+
+* ``register`` adds an ``ObservedCommand`` module type, so a shell command
+  can sit inside a normal workflow DAG (its declared reads/writes become
+  port values other modules can consume).
+* :class:`ObservedProcessSession` records a *sequence* of commands as one
+  :class:`~repro.core.retrospective.WorkflowRun` — one execution per
+  command, artifacts deduplicated by content hash — optionally streamed
+  incrementally to a store through ``save_run_stream`` so a long session
+  never materializes run-sized state in the store's ingest path.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.retrospective import (DataArtifact, ModuleExecution,
+                                      PortBinding, WorkflowRun)
+from repro.identity import content_hash, hash_value, new_id
+from repro.workflow.environment import capture_environment
+from repro.workflow.registry import ModuleRegistry
+
+__all__ = ["register", "ObservedProcessSession", "run_observed",
+           "file_digest"]
+
+#: Files are digested in bounded chunks; a declared multi-gigabyte write
+#: must not buffer whole in memory just to be hashed.
+_DIGEST_CHUNK = 1 << 20
+
+
+def file_digest(path: str) -> Tuple[str, int]:
+    """(content hash, byte size) of a file, chunked; missing files get a
+    path-scoped sentinel hash so two absent files never alias in lineage."""
+    import hashlib
+    try:
+        digest = hashlib.sha256()
+        size = 0
+        with open(path, "rb") as handle:
+            while True:
+                chunk = handle.read(_DIGEST_CHUNK)
+                if not chunk:
+                    break
+                digest.update(chunk)
+                size += len(chunk)
+        return digest.hexdigest(), size
+    except OSError:
+        return hash_value(("missing-file", str(path))), 0
+
+
+def run_observed(argv: Sequence[str], *, env: Optional[Dict[str, str]] = None,
+                 cwd: Optional[str] = None, stdin: str = "",
+                 timeout: Optional[float] = None,
+                 shell: bool = False) -> Dict[str, Any]:
+    """Run one command, returning the observation record.
+
+    The record carries exit code, stdout/stderr bytes and wall-clock
+    bounds; a non-zero exit is an observation, not an exception (the
+    process *was* observed) — only spawn failures and timeouts raise.
+    """
+    started = time.time()
+    merged_env = None
+    if env is not None:
+        merged_env = dict(os.environ)
+        merged_env.update({str(k): str(v) for k, v in env.items()})
+    completed = subprocess.run(
+        list(argv) if not shell else " ".join(argv),
+        input=stdin.encode() if stdin else None,
+        capture_output=True, env=merged_env, cwd=cwd or None,
+        timeout=timeout, shell=shell)
+    return {"argv": list(argv), "exit_code": completed.returncode,
+            "stdout": completed.stdout, "stderr": completed.stderr,
+            "started": started, "finished": time.time()}
+
+
+def register(registry: ModuleRegistry) -> None:
+    """Register the observed-process library into ``registry``."""
+
+    @registry.define("ObservedCommand",
+                     outputs=[("exit_code", "Number"),
+                              ("stdout_digest", "String"),
+                              ("stderr_digest", "String"),
+                              ("writes", "Any")],
+                     params=[("argv", []), ("env", {}), ("stdin", ""),
+                             ("cwd", ""), ("timeout", 0.0),
+                             ("reads", []), ("writes", [])],
+                     category="observed", deterministic=False)
+    def observed_command(ctx):
+        """Run a shell command and observe it as provenance.
+
+        ``reads``/``writes`` declare the files the command touches; their
+        digests appear in the output record (``writes`` output maps path to
+        content hash after the command ran).  Non-deterministic by design:
+        observed processes are never memoized from cache.
+        """
+        argv = [str(part) for part in ctx.param("argv")]
+        if not argv:
+            raise ValueError("ObservedCommand: empty argv")
+        timeout = float(ctx.param("timeout") or 0.0) or None
+        record = run_observed(
+            argv, env=dict(ctx.param("env") or {}) or None,
+            cwd=str(ctx.param("cwd") or "") or None,
+            stdin=str(ctx.param("stdin") or ""), timeout=timeout)
+        digests = {str(path): file_digest(str(path))[0]
+                   for path in ctx.param("writes")}
+        return {"exit_code": record["exit_code"],
+                "stdout_digest": content_hash(record["stdout"]),
+                "stderr_digest": content_hash(record["stderr"]),
+                "writes": digests}
+
+
+class ObservedProcessSession:
+    """Record a sequence of observed commands as one provenance run.
+
+    Each :meth:`observe` call spawns the command and appends one
+    :class:`~repro.core.retrospective.ModuleExecution`: argv, environment
+    overrides and declared read files become input artifacts; exit code,
+    stdout/stderr digests and declared written files become output
+    artifacts.  Artifacts are deduplicated by content hash within the
+    session (a file read back unchanged is the *same* artifact, so lineage
+    chains compose across commands).
+
+    With ``store`` and ``stream_batch`` set, completed executions are
+    streamed through the store's incremental-ingest API every
+    ``stream_batch`` commands; otherwise the run is saved whole on
+    :meth:`finish`.
+
+    >>> session = ObservedProcessSession(name="demo")
+    >>> _ = session.observe(["python", "-c", "print('hi')"])
+    >>> run = session.finish()
+    >>> run.executions[0].module_type
+    'observed:python'
+    """
+
+    def __init__(self, *, name: str = "observed",
+                 store: Optional[Any] = None,
+                 stream_batch: Optional[int] = None,
+                 keep_output: bool = False) -> None:
+        self.store = store
+        self.stream_batch = stream_batch
+        self.keep_output = keep_output
+        started = time.time()
+        self.run = WorkflowRun(
+            id=new_id("run"), workflow_id=new_id("wf"),
+            workflow_name=f"observed:{name}", workflow_signature="",
+            status="running", started=started, finished=started,
+            environment=capture_environment(),
+            tags={"capture": "observed"})
+        self._by_hash: Dict[str, DataArtifact] = {}
+        self._writer: Optional[Any] = None
+        self._streamed_artifacts: set = set()
+        self._unstreamed = 0
+        self._finished = False
+        if store is not None and stream_batch:
+            opener = getattr(store, "save_run_stream", None)
+            if opener is not None:
+                self._writer = opener(self.run)
+
+    # -- artifact bookkeeping -------------------------------------------
+    def _artifact(self, value_hash: str, *, type_name: str, created_by: str,
+                  role: str, size_hint: int,
+                  value: Any = None, has_value: bool = False) -> str:
+        existing = self._by_hash.get(value_hash)
+        if existing is not None:
+            if created_by and existing.created_by != created_by:
+                if created_by not in existing.also_produced_by:
+                    existing.also_produced_by.append(created_by)
+                    # metadata changed after a possible stream flush;
+                    # re-stream so the stored row matches
+                    self._streamed_artifacts.discard(existing.id)
+            return existing.id
+        artifact = DataArtifact(
+            id=new_id("art"), value_hash=value_hash, type_name=type_name,
+            created_by=created_by, role=role, size_hint=size_hint)
+        self._by_hash[value_hash] = artifact
+        self.run.artifacts[artifact.id] = artifact
+        if has_value:
+            self.run.values[artifact.id] = value
+        return artifact.id
+
+    # -- observation ----------------------------------------------------
+    def observe(self, argv: Sequence[str], *,
+                reads: Iterable[str] = (), writes: Iterable[str] = (),
+                env: Optional[Dict[str, str]] = None,
+                cwd: Optional[str] = None, stdin: str = "",
+                timeout: Optional[float] = None,
+                shell: bool = False) -> ModuleExecution:
+        """Run ``argv`` and record it; returns the execution record.
+
+        Spawn failures and timeouts are recorded as a ``"failed"``
+        execution (with the error message) and re-raised after recording —
+        the observation is never lost to the exception.
+        """
+        if self._finished:
+            raise RuntimeError("observed session already finished")
+        argv = [str(part) for part in argv]
+        name = os.path.basename(argv[0]) if argv else "sh"
+        execution_id = new_id("exec")
+        inputs: List[PortBinding] = []
+        inputs.append(PortBinding(port="argv", artifact_id=self._artifact(
+            hash_value(tuple(argv)), type_name="String", created_by="",
+            role="argv", size_hint=sum(len(a) for a in argv),
+            value=list(argv), has_value=True)))
+        if env:
+            pairs = tuple(sorted((str(k), str(v)) for k, v in env.items()))
+            inputs.append(PortBinding(port="env", artifact_id=self._artifact(
+                hash_value(pairs), type_name="Any", created_by="",
+                role="env", size_hint=len(pairs),
+                value=dict(pairs), has_value=True)))
+        for path in reads:
+            digest, size = file_digest(str(path))
+            inputs.append(PortBinding(
+                port=f"read:{path}", artifact_id=self._artifact(
+                    digest, type_name="FilePath", created_by="",
+                    role="file-read", size_hint=size)))
+        error = ""
+        status = "ok"
+        record: Optional[Dict[str, Any]] = None
+        failure: Optional[BaseException] = None
+        started = time.time()
+        try:
+            record = run_observed(argv, env=env, cwd=cwd, stdin=stdin,
+                                  timeout=timeout, shell=shell)
+        except (OSError, subprocess.SubprocessError) as exc:
+            status = "failed"
+            error = f"{type(exc).__name__}: {exc}"
+            failure = exc
+        outputs: List[PortBinding] = []
+        finished = time.time()
+        if record is not None:
+            started = record["started"]
+            finished = record["finished"]
+            if record["exit_code"] != 0:
+                status = "failed"
+                error = f"exit code {record['exit_code']}"
+            outputs.append(PortBinding(
+                port="exit_code", artifact_id=self._artifact(
+                    hash_value(record["exit_code"]), type_name="Number",
+                    created_by=execution_id, role="exit-code", size_hint=1,
+                    value=record["exit_code"], has_value=True)))
+            for stream_name in ("stdout", "stderr"):
+                data = record[stream_name]
+                outputs.append(PortBinding(
+                    port=stream_name, artifact_id=self._artifact(
+                        content_hash(data), type_name="String",
+                        created_by=execution_id, role=stream_name,
+                        size_hint=len(data),
+                        value=(data.decode("utf-8", "replace")
+                               if self.keep_output else None),
+                        has_value=self.keep_output)))
+            for path in writes:
+                digest, size = file_digest(str(path))
+                outputs.append(PortBinding(
+                    port=f"write:{path}", artifact_id=self._artifact(
+                        digest, type_name="FilePath", created_by=execution_id,
+                        role="file-write", size_hint=size)))
+        # canonical binding order is by port name (what every store
+        # round-trips), so keep the in-memory record in the same order
+        inputs.sort(key=lambda binding: binding.port)
+        outputs.sort(key=lambda binding: binding.port)
+        execution = ModuleExecution(
+            id=execution_id, module_id=new_id("mod"),
+            module_type=f"observed:{name}", module_name=name,
+            status=status,
+            parameters={"argv": list(argv), "cwd": cwd or "",
+                        "env": dict(env or {})},
+            inputs=inputs, outputs=outputs,
+            started=started, finished=finished, error=error)
+        self.run.executions.append(execution)
+        self._unstreamed += 1
+        if (self._writer is not None and self.stream_batch
+                and self._unstreamed >= self.stream_batch):
+            self._stream_pending()
+        if failure is not None:
+            raise failure
+        return execution
+
+    def _stream_pending(self) -> None:
+        """Push executions recorded since the last flush to the writer."""
+        writer = self._writer
+        assert writer is not None
+        pending = (self.run.executions[-self._unstreamed:]
+                   if self._unstreamed else [])
+        for execution in pending:
+            for binding in (*execution.inputs, *execution.outputs):
+                artifact = self.run.artifacts.get(binding.artifact_id)
+                if artifact is None or artifact.id in self._streamed_artifacts:
+                    continue
+                self._streamed_artifacts.add(artifact.id)
+                writer.add_artifact(
+                    artifact, value=self.run.values.get(artifact.id),
+                    has_value=artifact.id in self.run.values)
+            writer.add_execution(execution)
+        writer.flush()
+        self._unstreamed = 0
+
+    # -- lifecycle ------------------------------------------------------
+    def finish(self, status: Optional[str] = None) -> WorkflowRun:
+        """Seal the session and return (and persist) its run.
+
+        ``status`` defaults to ``"ok"`` when every command exited zero,
+        ``"failed"`` otherwise.
+        """
+        if self._finished:
+            return self.run
+        self._finished = True
+        if status is None:
+            status = ("ok" if all(e.status == "ok"
+                                  for e in self.run.executions)
+                      else "failed")
+        self.run.status = status
+        self.run.finished = time.time()
+        if self._writer is not None:
+            self._stream_pending()
+            self._writer.finish(status=self.run.status,
+                                finished=self.run.finished,
+                                tags=self.run.tags)
+        elif self.store is not None:
+            self.store.save_run(self.run)
+        return self.run
+
+    def abort(self) -> None:
+        """Discard the session (removes any partially streamed state)."""
+        if self._finished:
+            return
+        self._finished = True
+        if self._writer is not None:
+            self._writer.abort()
+
+    def __enter__(self) -> "ObservedProcessSession":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if exc_type is None:
+            self.finish()
+        else:
+            self.abort()

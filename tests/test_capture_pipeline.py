@@ -1,0 +1,455 @@
+"""Batched capture pipeline: sync/batched parity, back-pressure policies,
+streaming ingest, and the observed-process workload.
+
+The contract under test: batched capture is an *optimization of when* the
+journal and the run are materialized — never of *what* is recorded.  A
+batched capture must produce byte-identical provenance to the synchronous
+path on every scheduler backend; the ``block`` policy must never lose
+anything; ``drop-detail``/``sample`` may thin module-level journal detail
+but never executions or bindings.
+"""
+
+import json
+import sys
+import time
+
+import pytest
+
+from repro.core import (CAPTURE_POLICIES, ProvenanceCapture,
+                        ProvenanceManager, run_from_result,
+                        stream_run_to_store)
+from repro.core.capture import CaptureEvent
+from repro.storage.base import BufferedRunStream, StoreError
+from repro.storage.documents import DocumentStore
+from repro.storage.memory import MemoryStore
+from repro.storage.relational import RelationalStore
+from repro.storage.triples import TripleProvenanceStore
+from repro.workflow import Executor
+from repro.workflow.modules.observed import (ObservedProcessSession,
+                                             file_digest)
+from repro.workloads import random_workflow, wide_workflow
+from tests.conftest import build_chain_workflow
+
+#: (label, executor kwargs) — the PR-4 determinism matrix.
+BACKEND_MATRIX = [
+    ("serial", {}),
+    ("thread", {"workers": 4}),
+    ("process", {"workers": 2, "backend": "process"}),
+]
+
+
+def _normalized_dict(run):
+    """``run.to_dict()`` as canonical JSON with artifact ids renamed in
+    first-seen order — the byte-identical comparison form (artifact ids
+    are the only freshly generated component of a materialized run)."""
+    rename = {}
+    for execution in run.executions:
+        for binding in (*execution.inputs, *execution.outputs):
+            rename.setdefault(binding.artifact_id, f"art-{len(rename):06d}")
+    for artifact_id in run.artifacts:
+        rename.setdefault(artifact_id, f"art-{len(rename):06d}")
+    text = json.dumps(run.to_dict(), sort_keys=True)
+    for old, new in rename.items():
+        text = text.replace(old, new)
+    return text
+
+
+def _provenance_fingerprint(run):
+    """Timing/id-independent digest of a captured WorkflowRun."""
+    executions = [(e.module_id, e.status,
+                   sorted((b.port, run.artifacts[b.artifact_id].value_hash)
+                          for b in e.inputs),
+                   sorted((b.port, run.artifacts[b.artifact_id].value_hash)
+                          for b in e.outputs))
+                  for e in run.executions]
+    return (run.status, executions,
+            sorted(a.value_hash for a in run.artifacts.values()))
+
+
+class TestBatchedSyncParity:
+    def test_same_engine_run_byte_identical(self, registry):
+        """Sync and batched captures attached to the same executor see the
+        same events and must materialize byte-identical runs."""
+        sync = ProvenanceCapture(registry=registry)
+        batched = ProvenanceCapture(registry=registry, queue_size=256)
+        executor = Executor(registry, listeners=[sync, batched])
+        result = executor.execute(build_chain_workflow(length=5, work=5))
+        with batched:
+            assert (_normalized_dict(sync.last_run())
+                    == _normalized_dict(batched.last_run()))
+            assert (sync.normalized_journal(result.run_id)
+                    == batched.normalized_journal(result.run_id))
+
+    @pytest.mark.parametrize("label,kwargs", BACKEND_MATRIX,
+                             ids=[label for label, _ in BACKEND_MATRIX])
+    def test_matrix_backend_parity(self, registry, label, kwargs):
+        workflow = wide_workflow(branches=4, depth=2, work=20)
+        prints = {}
+        for mode, queue_size in (("sync", 0), ("batched", 128)):
+            capture = ProvenanceCapture(registry=registry,
+                                        queue_size=queue_size)
+            with capture:
+                executor = Executor(registry, listeners=[capture],
+                                    **kwargs)
+                executor.execute(workflow)
+                prints[mode] = _provenance_fingerprint(capture.last_run())
+        assert prints["sync"] == prints["batched"]
+
+    def test_multiple_runs_all_captured(self, registry):
+        capture = ProvenanceCapture(registry=registry, queue_size=16)
+        with capture:
+            executor = Executor(registry, listeners=[capture])
+            for _ in range(3):
+                executor.execute(build_chain_workflow(length=2, work=1))
+            capture.flush()
+            assert len(capture.runs) == 3
+            assert capture.stats.runs == 3
+
+    def test_close_idempotent_and_reverts_to_sync(self, registry):
+        capture = ProvenanceCapture(registry=registry, queue_size=16)
+        executor = Executor(registry, listeners=[capture])
+        executor.execute(build_chain_workflow(length=2, work=1))
+        capture.close()
+        capture.close()
+        assert not capture.batched
+        # post-close events are processed inline (sync mode)
+        executor.execute(build_chain_workflow(length=2, work=1))
+        assert len(capture.runs) == 2
+
+
+class TestBackPressure:
+    def test_policy_validation(self, registry):
+        with pytest.raises(ValueError):
+            ProvenanceCapture(registry=registry, policy="bogus")
+        with pytest.raises(ValueError):
+            ProvenanceCapture(registry=registry, queue_size=-1)
+        assert set(CAPTURE_POLICIES) == {"block", "drop-detail", "sample"}
+
+    def test_block_never_loses_anything(self, registry):
+        """A one-slot queue with a slow drainer forces back-pressure on
+        every event; with ``block`` the journal still ends complete."""
+        capture = ProvenanceCapture(registry=registry, queue_size=1)
+        capture.drain_delay = 0.001
+        workflow = build_chain_workflow(length=5, work=1)
+        with capture:
+            result = Executor(registry,
+                              listeners=[capture]).execute(workflow)
+            capture.flush()
+            journal = capture.normalized_journal(result.run_id)
+            kinds = [event for event, _, _ in journal]
+            assert kinds.count("module-start") == len(workflow.modules)
+            assert kinds.count("module-finish") == len(workflow.modules)
+            assert capture.stats.dropped == 0
+            assert capture.stats.sampled_out == 0
+            assert len(capture.last_run().executions) == \
+                len(workflow.modules)
+
+    def test_drop_detail_thins_journal_not_executions(self, registry):
+        capture = ProvenanceCapture(registry=registry, queue_size=1,
+                                    policy="drop-detail")
+        capture.drain_delay = 0.002
+        workflow = build_chain_workflow(length=8, work=1)
+        with capture:
+            result = Executor(registry,
+                              listeners=[capture]).execute(workflow)
+            capture.flush()
+            # detail was dropped under pressure...
+            assert capture.stats.dropped > 0
+            journal = capture.normalized_journal(result.run_id)
+            kinds = [event for event, _, _ in journal]
+            assert kinds.count("module-start") < len(workflow.modules)
+            # ...but run lifecycle events and every execution survive
+            assert kinds.count("run-start") == 1
+            assert kinds.count("run-finish") == 1
+            run = capture.last_run()
+            assert len(run.executions) == len(workflow.modules)
+            assert all(e.inputs or e.outputs for e in run.executions)
+
+    def test_sample_thins_at_source(self, registry):
+        capture = ProvenanceCapture(registry=registry, queue_size=64,
+                                    policy="sample", sample_every=4)
+        workflow = build_chain_workflow(length=10, work=1)
+        with capture:
+            result = Executor(registry,
+                              listeners=[capture]).execute(workflow)
+            capture.flush()
+            assert capture.stats.sampled_out > 0
+            journal = capture.normalized_journal(result.run_id)
+            kinds = [event for event, _, _ in journal]
+            module_events = (kinds.count("module-start")
+                             + kinds.count("module-finish"))
+            # 1-in-4 sampling keeps roughly a quarter of 2N module events
+            assert module_events <= len(workflow.modules)
+            assert kinds.count("run-start") == 1
+            assert kinds.count("run-finish") == 1
+            # bindings/executions are never sampled away
+            run = capture.last_run()
+            assert len(run.executions) == len(workflow.modules)
+            assert _provenance_fingerprint(run)[0] == "ok"
+
+    def test_drainer_error_surfaces_on_flush(self, registry):
+        capture = ProvenanceCapture(registry=registry, queue_size=8)
+        capture.store = object()  # save_run missing -> drainer AttributeError
+        executor = Executor(registry, listeners=[capture])
+        executor.execute(build_chain_workflow(length=2, work=1))
+        with pytest.raises(AttributeError):
+            capture.flush()
+        capture.close()
+
+
+class TestJournalOrdering:
+    def test_seq_defines_order_under_constant_clock(self, registry,
+                                                    monkeypatch):
+        """Wall-clock ties (or reversals) must not scramble the journal:
+        ``seq`` is the ordering key."""
+        capture = ProvenanceCapture(registry=registry)
+        frozen = time.time()
+        monkeypatch.setattr("repro.core.capture.time",
+                            type("T", (), {"time": staticmethod(
+                                lambda: frozen)}))
+        executor = Executor(registry, listeners=[capture])
+        result = executor.execute(build_chain_workflow(length=4, work=1))
+        events = capture.journal_for_run(result.run_id)
+        seqs = [event.seq for event in events]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+        assert all(event.at == frozen for event in events)
+        assert events[0].event == "run-start"
+        assert events[-1].event == "run-finish"
+
+    def test_seq_monotonic_across_runs(self, registry):
+        capture = ProvenanceCapture(registry=registry)
+        executor = Executor(registry, listeners=[capture])
+        first = executor.execute(build_chain_workflow(length=2, work=1))
+        second = executor.execute(build_chain_workflow(length=2, work=1))
+        first_seqs = [e.seq for e in capture.journal_for_run(first.run_id)]
+        second_seqs = [e.seq
+                       for e in capture.journal_for_run(second.run_id)]
+        assert max(first_seqs) < min(second_seqs)
+
+    def test_capture_event_default_seq(self):
+        event = CaptureEvent(at=1.0, event="x", run_id="r")
+        assert event.seq == 0
+
+
+def _captured_run(registry, store=None, **capture_kwargs):
+    capture = ProvenanceCapture(registry=registry, store=store,
+                                **capture_kwargs)
+    executor = Executor(registry, listeners=[capture])
+    executor.execute(random_workflow(modules=12, width=4, seed=5, work=2))
+    run = capture.last_run()
+    capture.close()
+    return run
+
+
+class TestStreamingIngest:
+    def _stores(self, tmp_path):
+        return [("memory", MemoryStore()),
+                ("relational", RelationalStore(store_values=True)),
+                ("triples", TripleProvenanceStore()),
+                ("documents", DocumentStore(tmp_path / "docs"))]
+
+    def test_stream_matches_save_run_on_all_backends(self, registry,
+                                                     tmp_path):
+        """Streamed ingest reloads exactly what a monolithic save_run
+        reloads, on every backend (backends with lossy round-trips are
+        held to their own save_run as the reference)."""
+        run = _captured_run(registry)
+        references = dict(self._stores(tmp_path / "ref"))
+        for label, store in self._stores(tmp_path / "stream"):
+            references[label].save_run(run)
+            stream_run_to_store(run, store, batch=3)
+            assert (store.load_run(run.id).to_dict()
+                    == references[label].load_run(run.id).to_dict()), label
+
+    def test_relational_reloads_identical_with_values(self, registry):
+        store = RelationalStore(store_values=True)
+        run = _captured_run(registry, store=store, queue_size=32,
+                            stream_batch=2)
+        reloaded = store.load_run(run.id)
+        assert reloaded.to_dict() == run.to_dict()
+        assert reloaded.values == run.values
+
+    def test_relational_streams_in_batches(self, registry):
+        """Executions become visible batch by batch: peak ingest state is
+        bounded by the batch size, not the run size."""
+        run = _captured_run(registry)
+        store = RelationalStore()
+        writer = store.save_run_stream(run)
+        # header row is visible immediately, with zero executions
+        assert store.has_run(run.id)
+        assert store.load_run(run.id).executions == []
+        batch = run.executions[:4]
+        for execution in batch:
+            for binding in (*execution.inputs, *execution.outputs):
+                artifact = run.artifacts[binding.artifact_id]
+                writer.add_artifact(artifact)
+            writer.add_execution(execution)
+        writer.flush()
+        assert len(store.load_run(run.id).executions) == 4
+        for execution in run.executions[4:]:
+            for binding in (*execution.inputs, *execution.outputs):
+                writer.add_artifact(run.artifacts[binding.artifact_id])
+            writer.add_execution(execution)
+        writer.finish(status=run.status, finished=run.finished,
+                      tags=run.tags)
+        assert writer.flushes >= 1
+        reloaded = store.load_run(run.id)
+        assert [e.id for e in reloaded.executions] == \
+            [e.id for e in run.executions]
+        assert reloaded.status == run.status
+
+    def test_relational_stream_lineage_parity(self, registry):
+        """Incrementally derived lineage edges match the whole-run path."""
+        run = _captured_run(registry)
+        streamed = RelationalStore()
+        stream_run_to_store(run, streamed, batch=2)
+        monolithic = RelationalStore()
+        monolithic.save_run(run)
+        for artifact in run.artifacts.values():
+            assert (streamed.lineage_closure(artifact.id)
+                    == monolithic.lineage_closure(artifact.id))
+
+    def test_abort_removes_partial_run(self, registry):
+        run = _captured_run(registry)
+        for store in (RelationalStore(), MemoryStore()):
+            writer = store.save_run_stream(run)
+            writer.add_execution(run.executions[0])
+            writer.flush()
+            writer.abort()
+            assert not store.has_run(run.id)
+            with pytest.raises(StoreError):
+                writer.add_execution(run.executions[0])
+
+    def test_buffered_stream_counts_flushes(self, registry):
+        run = _captured_run(registry)
+        store = MemoryStore()
+        writer = store.save_run_stream(run)
+        assert isinstance(writer, BufferedRunStream)
+        stream_run_to_store(run, store, batch=2)
+        assert store.load_run(run.id).to_dict() == run.to_dict()
+
+    def test_context_manager_finish_and_abort(self, registry):
+        run = _captured_run(registry)
+        store = RelationalStore()
+        with store.save_run_stream(run) as writer:
+            for execution in run.executions:
+                for binding in (*execution.inputs, *execution.outputs):
+                    writer.add_artifact(run.artifacts[binding.artifact_id])
+                writer.add_execution(execution)
+        assert store.has_run(run.id)
+        other = MemoryStore()
+        with pytest.raises(RuntimeError):
+            with other.save_run_stream(run):
+                raise RuntimeError("boom")
+        assert not other.has_run(run.id)
+
+    def test_manager_stream_batch_end_to_end(self, registry):
+        store = RelationalStore(store_values=True)
+        with ProvenanceManager(registry=registry, store=store,
+                               capture_queue=64,
+                               stream_batch=3) as manager:
+            run = manager.run(random_workflow(modules=10, seed=9, work=2))
+        assert store.load_run(run.id).to_dict() == run.to_dict()
+
+
+class TestObservedProcess:
+    def test_observe_records_command(self, tmp_path):
+        out = tmp_path / "out.txt"
+        session = ObservedProcessSession(name="t")
+        execution = session.observe(
+            [sys.executable, "-c", f"open(r'{out}', 'w').write('data')"],
+            writes=[str(out)])
+        run = session.finish()
+        assert run.status == "ok"
+        assert execution.status == "ok"
+        ports = {binding.port for binding in execution.outputs}
+        assert {"exit_code", "stdout", "stderr",
+                f"write:{out}"} <= ports
+        digest, size = file_digest(str(out))
+        write_binding = next(b for b in execution.outputs
+                             if b.port.startswith("write:"))
+        assert run.artifacts[write_binding.artifact_id].value_hash == digest
+        assert size == 4
+
+    def test_read_write_chain_dedups_by_hash(self, tmp_path):
+        path = tmp_path / "f.txt"
+        session = ObservedProcessSession(name="chain")
+        session.observe(
+            [sys.executable, "-c", f"open(r'{path}', 'w').write('x')"],
+            writes=[str(path)])
+        session.observe(
+            [sys.executable, "-c", f"print(open(r'{path}').read())"],
+            reads=[str(path)])
+        run = session.finish()
+        writer = next(b for b in run.executions[0].outputs
+                      if b.port.startswith("write:"))
+        reader = next(b for b in run.executions[1].inputs
+                      if b.port.startswith("read:"))
+        assert writer.artifact_id == reader.artifact_id
+
+    def test_nonzero_exit_recorded_as_failed(self):
+        session = ObservedProcessSession(name="fail")
+        execution = session.observe(
+            [sys.executable, "-c", "raise SystemExit(7)"])
+        run = session.finish()
+        assert execution.status == "failed"
+        assert "exit code 7" in execution.error
+        assert run.status == "failed"
+
+    def test_spawn_failure_recorded_then_raised(self):
+        session = ObservedProcessSession(name="boom")
+        with pytest.raises(OSError):
+            session.observe(["/nonexistent/never-a-binary"])
+        run = session.finish()
+        assert run.executions[0].status == "failed"
+        assert run.executions[0].error
+
+    def test_session_streams_to_relational(self, tmp_path):
+        store = RelationalStore()
+        session = ObservedProcessSession(name="stream", store=store,
+                                         stream_batch=1)
+        for index in range(3):
+            session.observe([sys.executable, "-c",
+                             f"print({index})"])
+        run = session.finish()
+        assert store.load_run(run.id).to_dict() == run.to_dict()
+
+    def test_session_abort_removes_streamed_state(self):
+        store = RelationalStore()
+        session = ObservedProcessSession(name="gone", store=store,
+                                         stream_batch=1)
+        session.observe([sys.executable, "-c", "print(1)"])
+        session.abort()
+        assert not store.has_run(session.run.id)
+
+    def test_missing_declared_file_gets_sentinel_digest(self, tmp_path):
+        missing = tmp_path / "never-written.txt"
+        digest_a, size = file_digest(str(missing))
+        digest_b, _ = file_digest(str(tmp_path / "other-missing.txt"))
+        assert size == 0
+        assert digest_a != digest_b  # path-scoped: absent files never alias
+
+    def test_observed_command_module_in_workflow(self, registry):
+        manager = ProvenanceManager(registry=registry)
+        workflow = manager.new_workflow("obs")
+        manager.add_module(workflow, "ObservedCommand",
+                           parameters={"argv": [sys.executable, "-c",
+                                                "print('out')"]})
+        run = manager.run(workflow)
+        assert run.status == "ok"
+        execution = run.executions[0]
+        assert execution.module_type == "ObservedCommand"
+        ports = {binding.port for binding in execution.outputs}
+        assert {"exit_code", "stdout_digest", "stderr_digest",
+                "writes"} <= ports
+
+    def test_observed_command_not_memoized(self, registry):
+        assert registry.get("ObservedCommand").deterministic is False
+
+    def test_cli_observe(self, capsys):
+        from repro.cli import main
+        code = main(["observe", "--", sys.executable, "-c", "print('x')"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "observed run" in captured.out
