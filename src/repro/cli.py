@@ -20,6 +20,10 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
     python -m repro lineage --demo 3           # cross-run ancestry of a
                                     # demo product, from the lineage index
     python -m repro lineage <hash> --down --depth 2
+    python -m repro fsck prov.db --cache cache.db --repair
+                                    # detect & repair crash damage
+    python -m repro fsck prov.db --resume run.json
+                                    # finish an interrupted ingest
 """
 
 from __future__ import annotations
@@ -35,12 +39,18 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.analytics import run_report
     from repro.core import ProvenanceManager
     from repro.workloads import build_vis_workflow
+    retry = None
+    if args.retries > 1 or args.module_timeout > 0:
+        from repro.workflow.faults import RetryPolicy
+        retry = RetryPolicy(max_attempts=max(1, args.retries),
+                            timeout=args.module_timeout or None)
     manager = ProvenanceManager(workers=args.workers, backend=args.backend,
                                 cache_path=args.cache or None,
                                 cache_max_bytes=args.cache_max_bytes
                                 or None,
                                 capture_queue=args.capture_queue,
-                                capture_policy=args.capture_policy)
+                                capture_policy=args.capture_policy,
+                                retry=retry)
     run = manager.run(build_vis_workflow(size=args.size))
     manager.close()
     print(run_report(run))
@@ -104,6 +114,36 @@ def _cmd_rerun(args: argparse.Namespace) -> int:
             {"id": new_run.id}])
         print(f"replay chain ({len(chain)} derived_from_run hops): {hops}")
     return 0 if new_run.status == "ok" else 1
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    import json
+    from repro.storage.fsck import fsck_cache, fsck_store, resume_run
+    store = None
+    if args.path:
+        if args.store_backend == "documents":
+            from repro.storage.documents import DocumentStore
+            store = DocumentStore(args.path)
+        else:
+            from repro.storage.relational import RelationalStore
+            store = RelationalStore(args.path)
+    issues = []
+    if store is not None and args.resume:
+        from repro.core.retrospective import WorkflowRun
+        with open(args.resume) as handle:
+            run = WorkflowRun.from_dict(json.load(handle))
+        run_id = resume_run(store, run)
+        print(f"resumed run {run_id}: ingest completed "
+              f"({len(run.executions)} executions stored)")
+    if store is not None:
+        issues.extend(fsck_store(store, repair=args.repair))
+    if args.cache:
+        issues.extend(fsck_cache(args.cache, repair=args.repair))
+    for issue in issues:
+        print(issue)
+    if not issues:
+        print("clean: no issues found")
+    return 1 if any(not issue.repaired for issue in issues) else 0
 
 
 def _cmd_recipe(args: argparse.Namespace) -> int:
@@ -290,6 +330,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="back-pressure policy when the capture queue "
                            "fills (drop-detail/sample thin journal "
                            "detail only; executions are never lost)")
+    demo.add_argument("--retries", type=int, default=1,
+                      help="attempts per module (1 = no retry); failed "
+                           "attempts are recorded in provenance")
+    demo.add_argument("--module-timeout", type=float, default=0.0,
+                      help="per-module attempt timeout in seconds "
+                           "(0 = unlimited); deadline-killed on the "
+                           "process backend, cooperative elsewhere")
     demo.set_defaults(handler=_cmd_demo)
 
     observe = subparsers.add_parser(
@@ -332,6 +379,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="rerun the rerun N-1 more times and print the "
                             "recorded derived_from_run chain")
     rerun.set_defaults(handler=_cmd_rerun)
+
+    fsck = subparsers.add_parser(
+        "fsck", help="detect (and repair) crash damage in a provenance "
+                     "store and/or a persistent result cache")
+    fsck.add_argument("path", nargs="?", default="",
+                      help="provenance store path (sqlite file or "
+                           "document directory)")
+    fsck.add_argument("--store-backend",
+                      choices=["relational", "documents"],
+                      default="relational",
+                      help="which backend the store path holds")
+    fsck.add_argument("--cache", default="",
+                      help="persistent result-cache database to check "
+                           "for torn payloads and expired leases")
+    fsck.add_argument("--repair", action="store_true",
+                      help="fix what was found: mark partial runs "
+                           "interrupted, sweep stale journals, delete "
+                           "torn entries")
+    fsck.add_argument("--resume", default="",
+                      help="JSON export of the interrupted run "
+                           "(run.to_dict()); re-attach its stream and "
+                           "ingest the missing tail before checking")
+    fsck.set_defaults(handler=_cmd_fsck)
 
     recipe = subparsers.add_parser(
         "recipe", help="print the Figure 1 prospective recipe")

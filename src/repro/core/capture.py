@@ -28,10 +28,12 @@ Two mechanisms are implemented:
 
 from __future__ import annotations
 
+import atexit
 import itertools
 import queue
 import threading
 import time
+import weakref
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
@@ -42,6 +44,7 @@ from repro.core.retrospective import (DataArtifact, ModuleExecution,
 from repro.identity import hash_value, new_id
 from repro.workflow.engine import (ExecutionListener, ModuleResult,
                                    RunResult)
+from repro.workflow.faults import FaultInjected, FaultPlan, HardCrash
 from repro.workflow.environment import capture_environment
 from repro.workflow.registry import ModuleRegistry
 from repro.workflow.spec import Module, Workflow
@@ -182,6 +185,25 @@ def run_from_result(result: RunResult, *,
                                        type_name, "", "")
             in_bindings.append(PortBinding(port=port,
                                            artifact_id=artifact_id))
+        # retried modules: every failed attempt is first-class provenance,
+        # attempt-tagged, bound to the same input artifacts, emitting no
+        # artifacts of its own — so a retried run is identical to the
+        # fault-free run modulo these attempt executions
+        for failed in getattr(module_result, "attempts", ()):
+            executions.append(ModuleExecution(
+                id=failed.execution_id,
+                module_id=module_id,
+                module_type=module.type_name,
+                module_name=module.name,
+                status=failed.status,
+                parameters=dict(failed.parameters),
+                inputs=list(in_bindings),
+                outputs=[],
+                started=failed.started,
+                finished=failed.finished,
+                error=failed.error,
+                cache_key=failed.cache_key,
+                attempt=failed.attempt))
         executions.append(ModuleExecution(
             id=module_result.execution_id,
             module_id=module_id,
@@ -233,7 +255,8 @@ def _port_type_lookup(workflow: Workflow,
 
 
 def stream_run_to_store(run: WorkflowRun, store: Any, *,
-                        batch: int = 256) -> None:
+                        batch: int = 256,
+                        fault_plan: Optional[FaultPlan] = None) -> None:
     """Persist ``run`` through the store's streaming-ingest API.
 
     Executions (with the artifacts their bindings reference) are fed to a
@@ -242,6 +265,12 @@ def stream_run_to_store(run: WorkflowRun, store: Any, *,
     (the relational store) commit bounded per-batch transactions instead of
     one monolithic run-sized write.  Stores without the streaming API fall
     back to a plain ``save_run``.
+
+    ``fault_plan`` seam: after the Nth successful flush the plan may
+    raise :class:`~repro.workflow.faults.HardCrash`, simulating a
+    coordinator death mid-ingest.  A hard crash deliberately bypasses
+    ``writer.abort()`` — the partial run stays in the store exactly as a
+    real crash would leave it, for ``repro fsck`` to detect and repair.
     """
     opener = getattr(store, "save_run_stream", None)
     if opener is None or batch <= 0:
@@ -265,6 +294,12 @@ def stream_run_to_store(run: WorkflowRun, store: Any, *,
             sent += 1
             if sent % batch == 0:
                 writer.flush()
+                if fault_plan is not None:
+                    spec = fault_plan.draw("stream-flush", run.id)
+                    if spec is not None and spec.kind == "crash":
+                        raise HardCrash(
+                            f"injected coordinator crash after stream "
+                            f"flush of {run.id}")
         # artifacts never referenced by a binding (externally ingested
         # provenance can carry them) still belong to the run record
         for artifact in run.artifacts.values():
@@ -274,14 +309,29 @@ def stream_run_to_store(run: WorkflowRun, store: Any, *,
                                     has_value=artifact.id in run.values)
         writer.finish(status=run.status, finished=run.finished,
                       tags=run.tags)
-    except BaseException:
-        writer.abort()
+    except BaseException as exc:
+        if not isinstance(exc, HardCrash):
+            writer.abort()
         raise
 
 
 #: Queue item tags for the batched pipeline (tuples stay tiny on purpose:
 #: the engine thread builds them, the drainer unpacks them).
 _EVENT, _RUN, _STOP = 0, 1, 2
+
+#: Live batched captures, flushed at interpreter exit: the drainer is a
+#: daemon thread, so without this hook an exit that skipped ``close()``
+#: would silently drop queued tail journal events and run writes.
+_LIVE_CAPTURES: "weakref.WeakSet" = weakref.WeakSet()
+
+
+@atexit.register
+def _flush_live_captures() -> None:  # pragma: no cover - exit hook
+    for capture in list(_LIVE_CAPTURES):
+        try:
+            capture.close()
+        except Exception:
+            pass  # exit-time best effort; the store may already be gone
 
 
 class ProvenanceCapture(ExecutionListener):
@@ -312,6 +362,10 @@ class ProvenanceCapture(ExecutionListener):
             :func:`stream_run_to_store` with this batch size — executions
             flush to the backend incrementally (per-batch transactions on
             the relational store) instead of as one monolithic write.
+        fault_plan: optional :class:`~repro.workflow.faults.FaultPlan`
+            injecting deterministic faults at capture seams (drainer
+            crash during run materialization, coordinator crash between
+            stream flushes) — for recovery tests and drills.
 
     Thread-safety: the engine dispatches listener events from its
     coordinating thread, but one capture instance may be shared between
@@ -337,7 +391,8 @@ class ProvenanceCapture(ExecutionListener):
                  queue_size: int = 0,
                  policy: str = "block",
                  sample_every: int = 8,
-                 stream_batch: Optional[int] = None) -> None:
+                 stream_batch: Optional[int] = None,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
         if policy not in CAPTURE_POLICIES:
             raise ValueError(f"unknown capture policy: {policy!r} "
                              f"(expected one of {CAPTURE_POLICIES})")
@@ -351,6 +406,7 @@ class ProvenanceCapture(ExecutionListener):
         self.policy = policy
         self.sample_every = sample_every
         self.stream_batch = stream_batch
+        self.fault_plan = fault_plan
         self.stats = CaptureStats()
         self.runs: List[WorkflowRun] = []
         # bounded deque: appends beyond the limit evict the oldest entry
@@ -370,6 +426,8 @@ class ProvenanceCapture(ExecutionListener):
         #: test seam: seconds the drainer sleeps per item, simulating a
         #: slow materialization sink for back-pressure tests
         self.drain_delay = 0.0
+        if self._queue is not None:
+            _LIVE_CAPTURES.add(self)
 
     @property
     def journal_limit(self) -> int:
@@ -405,7 +463,7 @@ class ProvenanceCapture(ExecutionListener):
             # and the store write happen on the drainer.  Run completions
             # always block — back-pressure may thin the journal, never
             # the provenance record itself.
-            self._enqueue((_RUN, result), block=True)
+            self._enqueue((_RUN, result, 1), block=True)
         else:
             self._materialize_run(result)
         self._submit_event("run-finish", result.run_id, "", result.status,
@@ -487,25 +545,50 @@ class ProvenanceCapture(ExecutionListener):
                                                subject=subject,
                                                detail=detail, seq=seq))
                 else:
-                    self._materialize_run(item[1])
+                    tries = item[2] if len(item) > 2 else 1
+                    try:
+                        self._materialize_run(item[1])
+                    except BaseException:
+                        if tries >= 2:
+                            raise
+                        # supervised drainer: one re-enqueue before the
+                        # failure surfaces at the next flush() barrier —
+                        # a transiently failing store write doesn't lose
+                        # the run record.  put_nowait: the drainer must
+                        # never block on its own queue.
+                        try:
+                            self._queue.put_nowait(
+                                (_RUN, item[1], tries + 1))
+                        except queue.Full:
+                            raise
             except BaseException as exc:  # surfaced on the next flush()
                 self._drainer_error = exc
             finally:
                 self._queue.task_done()
 
     def _materialize_run(self, result: RunResult) -> None:
+        if self.fault_plan is not None:
+            spec = self.fault_plan.draw("drainer", result.run_id)
+            if spec is not None:
+                raise FaultInjected(
+                    f"injected drainer crash materializing {result.run_id}")
         run = run_from_result(result, registry=self.registry,
                               keep_values=self.keep_values)
         with self._lock:
             # the store write stays under the capture lock: backends are
             # not themselves thread-safe (e.g. sqlite3 connections), so a
             # shared capture must serialize saves from concurrent runs
+            if run.id in self._runs_by_id:
+                # a supervised retry whose first try died *after* the
+                # bookkeeping — don't double-append
+                self.runs = [r for r in self.runs if r.id != run.id]
             self.runs.append(run)
             self._runs_by_id[run.id] = run
             if self.store is not None:
                 if self.stream_batch:
                     stream_run_to_store(run, self.store,
-                                        batch=self.stream_batch)
+                                        batch=self.stream_batch,
+                                        fault_plan=self.fault_plan)
                 else:
                     self.store.save_run(run)
 
@@ -528,9 +611,12 @@ class ProvenanceCapture(ExecutionListener):
     def close(self) -> None:
         """Flush, stop the drainer, and fall back to synchronous capture.
 
-        Idempotent; events recorded after ``close()`` are processed inline
-        on the calling thread, so a closed capture keeps working.
+        Idempotent — a second (or atexit-time) ``close()`` returns
+        immediately.  Events recorded after ``close()`` are processed
+        inline on the calling thread, so a closed capture keeps working.
         """
+        if self._closed:
+            return
         if self._queue is not None and (self._drainer is not None
                                         or self._queue.unfinished_tasks):
             self._ensure_drainer()
@@ -539,6 +625,7 @@ class ProvenanceCapture(ExecutionListener):
             self._drainer.join()
             self._drainer = None
         self._closed = True
+        _LIVE_CAPTURES.discard(self)
         error, self._drainer_error = self._drainer_error, None
         if error is not None:
             raise error

@@ -71,6 +71,15 @@ class ProvenanceManager:
             (:meth:`~repro.storage.base.ProvenanceStore.save_run_stream`),
             flushing executions every ``stream_batch`` instead of one
             monolithic run-sized write.
+        retry: retry configuration for module attempts — one
+            :class:`~repro.workflow.faults.RetryPolicy` applied to every
+            module, or a mapping of module type name to policy with a
+            ``"*"`` wildcard fallback (None = single attempt, no
+            timeout).
+        fault_plan: deterministic fault-injection schedule
+            (:class:`~repro.workflow.faults.FaultPlan`) threaded through
+            the engine, capture and cache seams; used by the fault
+            test-suite and recovery benchmarks.
         workers: default engine parallelism — ``None``/``1`` executes
             serially in deterministic order, ``N > 1`` runs independent
             branches on a worker pool.
@@ -93,7 +102,9 @@ class ProvenanceManager:
                  payload_spill_threshold: Optional[int] = None,
                  capture_queue: int = 0,
                  capture_policy: str = "block",
-                 stream_batch: Optional[int] = None) -> None:
+                 stream_batch: Optional[int] = None,
+                 retry: Any = None,
+                 fault_plan: Optional[Any] = None) -> None:
         if registry is None:
             from repro.workflow.modules import standard_registry
             registry = standard_registry()
@@ -107,7 +118,8 @@ class ProvenanceManager:
             self.cache: Optional[CacheStore] = cache
         elif cache_path is not None:
             self.cache = PersistentResultCache(cache_path,
-                                               max_bytes=cache_max_bytes)
+                                               max_bytes=cache_max_bytes,
+                                               fault_plan=fault_plan)
         else:
             self.cache = (ResultCache(max_bytes=cache_max_bytes)
                           if use_cache else None)
@@ -115,12 +127,14 @@ class ProvenanceManager:
                                          keep_values=keep_values,
                                          queue_size=capture_queue,
                                          policy=capture_policy,
-                                         stream_batch=stream_batch)
+                                         stream_batch=stream_batch,
+                                         fault_plan=fault_plan)
         self.executor = Executor(
             registry, cache=self.cache, listeners=[self.capture],
             workers=workers, backend=backend,
             registry_provider=registry_provider,
-            payload_spill_threshold=payload_spill_threshold)
+            payload_spill_threshold=payload_spill_threshold,
+            retry=retry, fault_plan=fault_plan)
         #: Raw engine result of the most recent :meth:`run` (None before
         #: the first run, instead of raising AttributeError on access).
         self.last_engine_result: Optional[RunResult] = None

@@ -112,6 +112,9 @@ class ModuleExecution:
     error: str = ""
     cache_key: str = ""
     cached_from: str = ""
+    #: 0 for the final (only) execution of a module; N >= 1 tags the
+    #: Nth failed attempt that preceded a retried module's final one.
+    attempt: int = 0
 
     @property
     def duration(self) -> float:
@@ -148,6 +151,7 @@ class ModuleExecution:
             "error": self.error,
             "cache_key": self.cache_key,
             "cached_from": self.cached_from,
+            "attempt": self.attempt,
         }
 
     @classmethod
@@ -167,7 +171,8 @@ class ModuleExecution:
             finished=data.get("finished", 0.0),
             error=data.get("error", ""),
             cache_key=data.get("cache_key", ""),
-            cached_from=data.get("cached_from", ""))
+            cached_from=data.get("cached_from", ""),
+            attempt=data.get("attempt", 0))
 
 
 @dataclass

@@ -13,6 +13,8 @@ from repro.storage.artifacts import ArtifactValueStore, FileArtifactValueStore
 from repro.storage.base import (ProvenanceStore, RunSummary, StoreError,
                                 generic_lineage_hashes)
 from repro.storage.documents import DocumentStore
+from repro.storage.fsck import (INTERRUPTED_STATUS, FsckIssue, fsck_cache,
+                                fsck_store, resume_run)
 from repro.storage.lineage import (DERIVED_FROM_RUN, LineageEdge,
                                    LineageIndex, RUN_NODE_PREFIX,
                                    hash_closure, lineage_edges,
@@ -31,6 +33,8 @@ __all__ = [
     "Filter", "LineageClause", "ProvQuery", "QueryError", "ResultCursor",
     "DERIVED_FROM_RUN", "LineageEdge", "LineageIndex", "RUN_NODE_PREFIX",
     "hash_closure", "lineage_edges", "run_id_from_node", "run_node",
+    "INTERRUPTED_STATUS", "FsckIssue", "fsck_cache", "fsck_store",
+    "resume_run",
     "DocumentStore", "MemoryStore", "RelationalStore",
     "PROV", "TripleProvenanceStore", "TripleStore",
     "run_from_triples", "run_to_triples",

@@ -102,7 +102,14 @@ class RunStreamWriter(ABC):
     ``finish()`` (the run becomes loadable) or ``abort()`` (no trace of the
     run remains).  Writers are single-run and single-use; methods must be
     called from one thread at a time.
+
+    ``already_ingested`` names execution ids that survived a previous,
+    interrupted stream of the same run: non-empty only on writers obtained
+    from ``resume_run_stream`` on backends with native journaled ingest.
+    A resuming feeder skips those executions and streams only the tail.
     """
+
+    already_ingested: frozenset = frozenset()
 
     @abstractmethod
     def add_artifact(self, artifact: Any, *, value: Any = None,
@@ -238,6 +245,19 @@ class ProvenanceStore(ABC):
         on ``finish``.
         """
         return BufferedRunStream(self, header)
+
+    def resume_run_stream(self, run_id: str) -> RunStreamWriter:
+        """Re-attach a stream writer to an interrupted run ingest.
+
+        Backends with journaled native ingest (the relational store)
+        override this to continue at the last committed batch, exposing
+        the surviving execution ids through ``already_ingested``.  This
+        generic fallback has nothing durable to continue from — buffering
+        backends persist only on ``finish`` — so it opens a fresh buffered
+        stream over the stored header and the caller re-feeds the whole
+        run.  Raises :class:`StoreError` when the run is unknown.
+        """
+        return BufferedRunStream(self, self.load_run(run_id))
 
     @abstractmethod
     def load_run(self, run_id: str) -> WorkflowRun:

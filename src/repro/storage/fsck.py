@@ -1,0 +1,257 @@
+"""Crash-consistency checking and repair (the ``repro fsck`` command).
+
+A provenance store is only trustworthy if an interrupted ingest cannot
+masquerade as a finished run.  The streaming writers leave a precise
+crash signature — a run whose status is still ``running``, paired (on
+the relational backend) with a ``stream_state`` journal row — and this
+module turns that signature into three operations:
+
+* :func:`fsck_store` — scan a store for partial runs, stale stream
+  journals, and dangling lineage edges; optionally repair in place
+  (partial runs are marked ``interrupted`` so queries stop treating
+  them as live).
+* :func:`fsck_cache` — scan a :class:`PersistentResultCache` database
+  for torn (undecodable) payloads and expired compute leases.
+* :func:`resume_run` — re-attach a stream writer to an interrupted
+  run and stream the missing tail from an authoritative copy of the
+  run (e.g. the crashed process's sidecar export), committing exactly
+  the executions the crash lost.
+
+Every check works on all four backends; the journal- and edge-level
+checks use the relational store's native tables when available and
+degrade to the status-only check elsewhere (buffering backends persist
+nothing mid-stream, so a crash leaves either a whole run or no run).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sqlite3
+import time
+from dataclasses import dataclass
+from typing import Any, List
+
+from repro.core.retrospective import WorkflowRun
+from repro.storage.base import ProvenanceStore, StoreError
+from repro.storage.lineage import DERIVED_FROM_RUN
+
+__all__ = ["FsckIssue", "INTERRUPTED_STATUS", "fsck_store", "fsck_cache",
+           "resume_run"]
+
+#: Status stamped onto partial runs by a repair pass: distinguishable
+#: from both live ingests (``running``) and real outcomes (``ok`` /
+#: ``failed``), so downstream tooling can filter or re-run them.
+INTERRUPTED_STATUS = "interrupted"
+
+
+@dataclass
+class FsckIssue:
+    """One problem found by a check pass.
+
+    ``kind`` is one of ``partial-run``, ``stale-stream-journal``,
+    ``dangling-lineage``, ``torn-cache-entry``, ``expired-lease``,
+    ``unreadable-cache``; ``repaired`` is True only when a repair pass
+    actually fixed the issue.
+    """
+
+    kind: str
+    subject: str
+    detail: str = ""
+    repaired: bool = False
+
+    def __str__(self) -> str:
+        state = "repaired" if self.repaired else "found"
+        text = f"[{state}] {self.kind}: {self.subject}"
+        return f"{text} ({self.detail})" if self.detail else text
+
+
+def fsck_store(store: ProvenanceStore,
+               repair: bool = False) -> List[FsckIssue]:
+    """Check ``store`` for crash damage; repair in place when asked.
+
+    Detects runs stuck in status ``running`` (an ingest that never
+    reached ``finish``), stream-journal rows without a matching live
+    ingest, and lineage edges whose recording execution no longer
+    exists.  Repair marks partial runs :data:`INTERRUPTED_STATUS`
+    (which also clears their journal rows) and deletes the orphans.
+    """
+    issues: List[FsckIssue] = []
+    journals = {}
+    stream_states = getattr(store, "stream_states", None)
+    if callable(stream_states):
+        for run_id, epoch, committed_seq, flushes in stream_states():
+            journals[run_id] = (epoch, committed_seq, flushes)
+    for summary in store.list_runs():
+        if summary.status != "running":
+            continue
+        journal = journals.pop(summary.run_id, None)
+        if journal is None:
+            detail = "ingest never finished; no stream journal"
+        else:
+            detail = (f"stream epoch {journal[0]}: {journal[1]} "
+                      f"execution(s) committed over {journal[2]} flush(es)")
+        issue = FsckIssue("partial-run", summary.run_id, detail)
+        if repair:
+            _mark_interrupted(store, summary.run_id)
+            issue.repaired = True
+        issues.append(issue)
+    # journal rows whose run finished (or vanished) are leftovers of a
+    # crash between the sealing UPDATE and the journal DELETE — harmless
+    # but misleading, so they are reported and swept
+    for run_id in sorted(journals):
+        issue = FsckIssue("stale-stream-journal", run_id,
+                          f"stream epoch {journals[run_id][0]}")
+        if repair:
+            _clear_journal(store, run_id)
+            issue.repaired = True
+        issues.append(issue)
+    issues.extend(_fsck_lineage(store, repair))
+    return issues
+
+
+def _mark_interrupted(store: ProvenanceStore, run_id: str) -> None:
+    """Round-trip the run with status ``interrupted``.
+
+    ``save_run`` replaces the stored run wholesale on every backend; on
+    the relational store the replacement also cascades away the stream
+    journal row, so one code path repairs all four backends.
+    """
+    run = store.load_run(run_id)
+    run.status = INTERRUPTED_STATUS
+    store.save_run(run)
+
+
+def _clear_journal(store: ProvenanceStore, run_id: str) -> None:
+    connection = getattr(store, "_connection", None)
+    if connection is None:
+        return
+    connection.execute("DELETE FROM stream_state WHERE run_id = ?",
+                       (run_id,))
+    connection.commit()
+
+
+def _fsck_lineage(store: ProvenanceStore,
+                  repair: bool) -> List[FsckIssue]:
+    """Relational-only: edges recorded by executions that do not exist.
+
+    Buffering backends rebuild their lineage index from whole runs, so
+    they cannot hold a dangling edge; the relational edge table is
+    written incrementally and checked directly.
+    """
+    from repro.storage.relational import RelationalStore
+    if not isinstance(store, RelationalStore):
+        return []
+    connection = store._connection
+    rows = connection.execute(
+        "SELECT derived_hash, source_hash, run_id, execution_id"
+        " FROM lineage"
+        " WHERE execution_id != ?"
+        "  AND execution_id NOT IN (SELECT id FROM executions)"
+        " ORDER BY run_id, execution_id",
+        (DERIVED_FROM_RUN,)).fetchall()
+    issues = []
+    for derived, source, run_id, execution_id in rows:
+        issue = FsckIssue(
+            "dangling-lineage", execution_id,
+            f"edge {source[:12]}.. -> {derived[:12]}.. in run {run_id}")
+        if repair:
+            connection.execute(
+                "DELETE FROM lineage WHERE derived_hash = ?"
+                " AND source_hash = ? AND run_id = ? AND execution_id = ?",
+                (derived, source, run_id, execution_id))
+            issue.repaired = True
+        issues.append(issue)
+    if repair and rows:
+        connection.commit()
+    return issues
+
+
+def fsck_cache(path: Any, repair: bool = False) -> List[FsckIssue]:
+    """Check a persistent result cache file for torn state.
+
+    Every payload is test-unpickled — a truncated or foreign blob is a
+    torn write (the reader already degrades it to a miss; repair
+    deletes the row so it stops being rescanned).  Compute leases past
+    their expiry are reported too: they belong to holders that died
+    mid-computation.
+    """
+    issues: List[FsckIssue] = []
+    if not os.path.exists(str(path)):
+        issues.append(FsckIssue("unreadable-cache", str(path),
+                                "no such file"))
+        return issues
+    try:
+        connection = sqlite3.connect(str(path))
+        rows = connection.execute(
+            "SELECT key, payload FROM entries ORDER BY key").fetchall()
+        leases = connection.execute(
+            "SELECT key, owner, expires FROM leases ORDER BY key").fetchall()
+    except sqlite3.Error as exc:
+        issues.append(FsckIssue("unreadable-cache", str(path),
+                                f"{type(exc).__name__}: {exc}"))
+        return issues
+    torn = []
+    for key, payload in rows:
+        try:
+            pickle.loads(payload)
+        except Exception:
+            torn.append((key, len(payload)))
+    for key, size in torn:
+        issue = FsckIssue("torn-cache-entry", key,
+                          f"undecodable {size}-byte payload")
+        if repair:
+            connection.execute("DELETE FROM entries WHERE key = ?", (key,))
+            issue.repaired = True
+        issues.append(issue)
+    now = time.time()
+    for key, owner, expires in leases:
+        if expires >= now:
+            continue
+        issue = FsckIssue("expired-lease", key,
+                          f"held by {owner}, expired "
+                          f"{now - expires:.0f}s ago")
+        if repair:
+            connection.execute("DELETE FROM leases WHERE key = ?", (key,))
+            issue.repaired = True
+        issues.append(issue)
+    if repair and issues:
+        connection.commit()
+    connection.close()
+    return issues
+
+
+def resume_run(store: ProvenanceStore, run: WorkflowRun, *,
+               batch: int = 256) -> str:
+    """Complete an interrupted ingest of ``run`` into ``store``.
+
+    ``run`` is the authoritative full record (typically the crashed
+    process's sidecar export).  On journaled backends the writer
+    re-attaches at the last committed batch and only the missing tail
+    is streamed; elsewhere the whole run is re-fed.  Either way the
+    stored run ends byte-equivalent to an uninterrupted ingest.
+    """
+    try:
+        writer = store.resume_run_stream(run.id)
+    except StoreError:
+        writer = store.save_run_stream(run)
+    already = writer.already_ingested
+    try:
+        for artifact in run.artifacts.values():
+            has_value = artifact.id in run.values
+            writer.add_artifact(artifact, value=run.values.get(artifact.id),
+                                has_value=has_value)
+        pending = 0
+        for execution in run.executions:
+            if execution.id in already:
+                continue
+            writer.add_execution(execution)
+            pending += 1
+            if pending >= batch:
+                writer.flush()
+                pending = 0
+        return writer.finish(status=run.status, finished=run.finished,
+                             tags=run.tags)
+    except BaseException:
+        writer.abort()
+        raise

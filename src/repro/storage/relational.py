@@ -18,6 +18,7 @@ from __future__ import annotations
 import json
 import pickle
 import sqlite3
+import time
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.annotations import Annotation
@@ -63,7 +64,9 @@ CREATE TABLE IF NOT EXISTS executions (
     -- position in the run's canonical (topological) execution list;
     -- parallel runs finish out of timestamp order, so started is not a
     -- faithful reload key
-    seq INTEGER NOT NULL DEFAULT 0
+    seq INTEGER NOT NULL DEFAULT 0,
+    -- 0 for the final record; N >= 1 for a retried attempt's failure
+    attempt INTEGER NOT NULL DEFAULT 0
 );
 CREATE TABLE IF NOT EXISTS bindings (
     execution_id TEXT NOT NULL REFERENCES executions(id) ON DELETE CASCADE,
@@ -104,6 +107,16 @@ CREATE TABLE IF NOT EXISTS workflows (
     signature TEXT NOT NULL,
     spec TEXT NOT NULL,
     interfaces TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS stream_state (
+    -- journal of in-flight run streams: a row here paired with a runs row
+    -- whose status is 'running' marks an interrupted (crashed) ingest;
+    -- finish()/abort() remove the row, so a clean close leaves no trace
+    run_id TEXT PRIMARY KEY REFERENCES runs(id) ON DELETE CASCADE,
+    epoch INTEGER NOT NULL,
+    committed_seq INTEGER NOT NULL,
+    flushes INTEGER NOT NULL,
+    updated REAL NOT NULL
 );
 CREATE TABLE IF NOT EXISTS annotations (
     id TEXT PRIMARY KEY,
@@ -153,8 +166,25 @@ class RelationalStore(ProvenanceStore):
         self._connection = sqlite3.connect(path, check_same_thread=False)
         self._connection.execute("PRAGMA foreign_keys = ON")
         self._connection.executescript(_SCHEMA)
+        self._migrate_schema()
         self._annotation_seq = self._current_annotation_seq()
         self._backfill_lineage()
+
+    def _migrate_schema(self) -> None:
+        """Upgrade databases created before newer columns existed.
+
+        ``CREATE TABLE IF NOT EXISTS`` never alters an existing table, so
+        reopening an old database needs an explicit column check; the
+        DEFAULT keeps historical executions valid (attempt 0 = final
+        record, matching their pre-retry semantics).
+        """
+        columns = {row[1] for row in self._connection.execute(
+            "PRAGMA table_info(executions)").fetchall()}
+        if "attempt" not in columns:
+            self._connection.execute(
+                "ALTER TABLE executions"
+                " ADD COLUMN attempt INTEGER NOT NULL DEFAULT 0")
+            self._connection.commit()
 
     def _backfill_lineage(self) -> None:
         """Index runs stored before the lineage table existed.
@@ -218,6 +248,39 @@ class RelationalStore(ProvenanceStore):
         """
         return _RelationalRunStream(self, header)
 
+    def resume_run_stream(self, run_id: str) -> RunStreamWriter:
+        """Re-attach a stream writer to an interrupted ingest.
+
+        The returned writer continues at the last committed batch: its
+        ``already_ingested`` frozenset names the execution ids that
+        survived the crash, so a resuming feeder can skip them and stream
+        only the tail.  Raises :class:`StoreError` when the run has no
+        stream journal (it either finished cleanly or never streamed).
+        """
+        row = self._connection.execute(
+            "SELECT id, workflow_id, workflow_name, signature, status,"
+            " started, finished, environment, spec, tags FROM runs"
+            " WHERE id = ?", (run_id,)).fetchone()
+        if row is None:
+            raise StoreError(f"no such run: {run_id}")
+        header = WorkflowRun(
+            id=row[0], workflow_id=row[1], workflow_name=row[2],
+            workflow_signature=row[3], status=row[4], started=row[5],
+            finished=row[6], environment=json.loads(row[7]),
+            workflow_spec=json.loads(row[8]), executions=[],
+            artifacts={}, tags=json.loads(row[9]), values={})
+        return _RelationalRunStream(self, header, resume=True)
+
+    def stream_states(self) -> List[Tuple[str, int, int, int]]:
+        """Journal rows of in-flight (or crashed) streams.
+
+        Returns ``(run_id, epoch, committed_seq, flushes)`` tuples; a row
+        surviving past its writer's lifetime marks an interrupted ingest.
+        """
+        return [tuple(row) for row in self._connection.execute(
+            "SELECT run_id, epoch, committed_seq, flushes FROM stream_state"
+            " ORDER BY run_id").fetchall()]
+
     def save_runs(self, runs: Iterable[WorkflowRun]) -> int:
         """Bulk ingest: every run inserted inside a single transaction."""
         cursor = self._connection.cursor()
@@ -246,13 +309,14 @@ class RelationalStore(ProvenanceStore):
             cursor.execute(
                 "INSERT INTO executions (id, run_id, module_id, module_type,"
                 " module_name, status, parameters, started, finished, error,"
-                " cache_key, cached_from, seq)"
-                " VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?)",
+                " cache_key, cached_from, seq, attempt)"
+                " VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
                 (execution.id, run.id, execution.module_id,
                  execution.module_type, execution.module_name,
                  execution.status, json.dumps(execution.parameters),
                  execution.started, execution.finished, execution.error,
-                 execution.cache_key, execution.cached_from, seq))
+                 execution.cache_key, execution.cached_from, seq,
+                 execution.attempt))
             for binding in execution.inputs:
                 cursor.execute(
                     "INSERT INTO bindings VALUES (?,?,?,?,?)",
@@ -301,7 +365,7 @@ class RelationalStore(ProvenanceStore):
         exec_rows = cursor.execute(
             "SELECT id, module_id, module_type, module_name, status,"
             " parameters, started, finished, error, cache_key,"
-            " cached_from FROM executions WHERE run_id = ?"
+            " cached_from, attempt FROM executions WHERE run_id = ?"
             " ORDER BY seq, started, id", (run_id,)).fetchall()
         for exec_row in exec_rows:
             inputs, outputs = [], []
@@ -317,7 +381,8 @@ class RelationalStore(ProvenanceStore):
                 status=exec_row[4], parameters=json.loads(exec_row[5]),
                 inputs=inputs, outputs=outputs, started=exec_row[6],
                 finished=exec_row[7], error=exec_row[8],
-                cache_key=exec_row[9], cached_from=exec_row[10]))
+                cache_key=exec_row[9], cached_from=exec_row[10],
+                attempt=exec_row[11]))
         artifacts = {}
         art_rows = cursor.execute(
             "SELECT id, value_hash, type_name, created_by, role,"
@@ -393,7 +458,8 @@ class RelationalStore(ProvenanceStore):
         for row in cursor.execute(
                 "SELECT id, run_id, module_id, module_type, module_name,"
                 " status, parameters, started, finished, error, cache_key,"
-                f" cached_from FROM executions WHERE run_id IN ({marks})"
+                f" cached_from, attempt FROM executions"
+                f" WHERE run_id IN ({marks})"
                 " ORDER BY seq, started, id", chunk).fetchall():
             inputs, outputs = bindings.get(row[0], ([], []))
             loaded[row[1]].executions.append(ModuleExecution(
@@ -401,7 +467,8 @@ class RelationalStore(ProvenanceStore):
                 module_name=row[4], status=row[5],
                 parameters=json.loads(row[6]), inputs=inputs,
                 outputs=outputs, started=row[7], finished=row[8],
-                error=row[9], cache_key=row[10], cached_from=row[11]))
+                error=row[9], cache_key=row[10], cached_from=row[11],
+                attempt=row[12]))
         for row in cursor.execute(
                 "SELECT id, run_id, value_hash, type_name, created_by,"
                 " role, also_produced_by, size_hint FROM artifacts"
@@ -753,7 +820,8 @@ class _RelationalRunStream(RunStreamWriter):
     seen so far instead of requiring the whole run in memory.
     """
 
-    def __init__(self, store: RelationalStore, header: WorkflowRun) -> None:
+    def __init__(self, store: RelationalStore, header: WorkflowRun,
+                 resume: bool = False) -> None:
         self._store = store
         self._header = header
         self._seq = 0
@@ -761,20 +829,69 @@ class _RelationalRunStream(RunStreamWriter):
         self._pending_arts: Dict[str, Tuple[DataArtifact, Any, bool]] = {}
         self._art_hashes: Dict[str, str] = {}
         self._done = False
+        self._prior_flushes = 0
         self.flushes = 0
+        self.epoch = 1
+        self.already_ingested: frozenset = frozenset()
         cursor = store._connection.cursor()
+        if resume:
+            self._attach(cursor)
+            return
+        prior = cursor.execute(
+            "SELECT epoch FROM stream_state WHERE run_id = ?",
+            (header.id,)).fetchone()
+        if prior is not None:
+            self.epoch = int(prior[0]) + 1
         cursor.execute("DELETE FROM artifact_values WHERE run_id = ?",
                        (header.id,))
         cursor.execute("DELETE FROM runs WHERE id = ?", (header.id,))
+        # the header lands with status 'running' regardless of what the
+        # in-memory run says: paired with its stream_state journal row,
+        # that is the crash signature fsck looks for.  finish() seals the
+        # real status and removes the journal row atomically.
         cursor.execute(
             "INSERT INTO runs (id, workflow_id, workflow_name, signature,"
             " status, started, finished, environment, spec, tags)"
             " VALUES (?,?,?,?,?,?,?,?,?,?)",
             (header.id, header.workflow_id, header.workflow_name,
-             header.workflow_signature, header.status, header.started,
+             header.workflow_signature, "running", header.started,
              header.finished, json.dumps(header.environment),
              json.dumps(header.workflow_spec), json.dumps(header.tags)))
+        cursor.execute(
+            "INSERT INTO stream_state VALUES (?,?,?,?,?)",
+            (header.id, self.epoch, 0, 0, time.time()))
         store._connection.commit()
+
+    def _attach(self, cursor: sqlite3.Cursor) -> None:
+        """Re-attach to an interrupted stream at its last committed batch."""
+        run_id = self._header.id
+        state = cursor.execute(
+            "SELECT epoch, committed_seq, flushes FROM stream_state"
+            " WHERE run_id = ?", (run_id,)).fetchone()
+        if state is None:
+            raise StoreError(
+                f"run {run_id} has no interrupted stream to resume")
+        self.epoch = int(state[0]) + 1
+        self._seq = int(state[1])
+        self._prior_flushes = int(state[2])
+        # everything at or past the committed watermark was torn mid-batch:
+        # drop it so the resumed feed re-ingests those executions cleanly
+        for torn_id, in cursor.execute(
+                "SELECT id FROM executions WHERE run_id = ? AND seq >= ?",
+                (run_id, self._seq)).fetchall():
+            cursor.execute("DELETE FROM executions WHERE id = ?", (torn_id,))
+        self.already_ingested = frozenset(
+            row[0] for row in cursor.execute(
+                "SELECT id FROM executions WHERE run_id = ?",
+                (run_id,)).fetchall())
+        for art_id, value_hash in cursor.execute(
+                "SELECT id, value_hash FROM artifacts WHERE run_id = ?",
+                (run_id,)).fetchall():
+            self._art_hashes[art_id] = value_hash
+        cursor.execute(
+            "UPDATE stream_state SET epoch = ?, updated = ?"
+            " WHERE run_id = ?", (self.epoch, time.time(), run_id))
+        self._store._connection.commit()
 
     def _check_open(self) -> None:
         if self._done:
@@ -807,13 +924,14 @@ class _RelationalRunStream(RunStreamWriter):
             cursor.execute(
                 "INSERT INTO executions (id, run_id, module_id, module_type,"
                 " module_name, status, parameters, started, finished, error,"
-                " cache_key, cached_from, seq)"
-                " VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?)",
+                " cache_key, cached_from, seq, attempt)"
+                " VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
                 (execution.id, run_id, execution.module_id,
                  execution.module_type, execution.module_name,
                  execution.status, json.dumps(execution.parameters),
                  execution.started, execution.finished, execution.error,
-                 execution.cache_key, execution.cached_from, self._seq))
+                 execution.cache_key, execution.cached_from, self._seq,
+                 execution.attempt))
             self._seq += 1
             for binding in execution.inputs:
                 cursor.execute(
@@ -853,6 +971,13 @@ class _RelationalRunStream(RunStreamWriter):
         if edges:
             cursor.executemany(
                 "INSERT OR IGNORE INTO lineage VALUES (?,?,?,?)", edges)
+        # journal advance rides in the batch transaction, so the committed
+        # watermark and the committed rows can never disagree on disk
+        cursor.execute(
+            "UPDATE stream_state SET committed_seq = ?, flushes = ?,"
+            " updated = ? WHERE run_id = ?",
+            (self._seq, self._prior_flushes + self.flushes, time.time(),
+             run_id))
         self._store._connection.commit()
         self._pending_execs = []
         self._pending_arts = {}
@@ -871,6 +996,8 @@ class _RelationalRunStream(RunStreamWriter):
             (status if status is not None else header.status,
              finished if finished is not None else header.finished,
              json.dumps(final_tags), header.id))
+        cursor.execute("DELETE FROM stream_state WHERE run_id = ?",
+                       (header.id,))
         parent = final_tags.get(DERIVED_FROM_RUN)
         if isinstance(parent, str) and parent:
             cursor.execute(

@@ -59,6 +59,7 @@ class PROV:
     ERROR = "prov:error"
     CACHE_KEY = "prov:cacheKey"
     CACHED_FROM = "prov:cachedFrom"
+    ATTEMPT = "prov:attempt"
     USED = "prov:used"
     GENERATED_BY = "prov:wasGeneratedBy"
     EXEC_REF = "prov:execution"
@@ -231,6 +232,10 @@ def run_to_triples(run: WorkflowRun) -> List[Triple]:
             (execution.id, PROV.CACHE_KEY, execution.cache_key),
             (execution.id, PROV.CACHED_FROM, execution.cached_from),
         ])
+        if execution.attempt:
+            # only retried attempts carry the predicate; final records
+            # (attempt 0) stay triple-identical to pre-retry encodings
+            triples.append((execution.id, PROV.ATTEMPT, execution.attempt))
         for direction, bindings in (("in", execution.inputs),
                                     ("out", execution.outputs)):
             for binding in bindings:
@@ -294,7 +299,8 @@ def run_from_triples(store: TripleStore, run_id: str) -> WorkflowRun:
             finished=store.one(execution_id, PROV.FINISHED, 0.0),
             error=store.one(execution_id, PROV.ERROR, ""),
             cache_key=store.one(execution_id, PROV.CACHE_KEY, ""),
-            cached_from=store.one(execution_id, PROV.CACHED_FROM, "")))
+            cached_from=store.one(execution_id, PROV.CACHED_FROM, ""),
+            attempt=store.one(execution_id, PROV.ATTEMPT, 0)))
     executions.sort(key=lambda e: (e.started, e.id))
     artifacts: Dict[str, DataArtifact] = {}
     for artifact_id in store.subjects(PROV.IN_RUN, run_id):

@@ -12,6 +12,8 @@ from repro.workflow.cache import (DEFAULT_LEASE_TTL, DEFAULT_MAX_ENTRIES,
 from repro.workflow.engine import (ExecutionListener, Executor, ModuleResult,
                                    ReusedModule, RunResult, ValueRecord)
 from repro.workflow.environment import capture_environment, environment_diff
+from repro.workflow.faults import (FaultInjected, FaultPlan, FaultSpec,
+                                   HardCrash, RetryPolicy, resolve_retry)
 from repro.workflow.scheduler import (BACKEND_KINDS, ExecutionBackend,
                                       ProcessPoolBackend, ReadySetScheduler,
                                       SerialBackend, ThreadPoolBackend)
@@ -40,6 +42,8 @@ __all__ = [
     "ExecutionListener", "Executor", "ModuleResult", "ReusedModule",
     "RunResult", "ValueRecord",
     "capture_environment", "environment_diff",
+    "FaultInjected", "FaultPlan", "FaultSpec", "HardCrash", "RetryPolicy",
+    "resolve_retry",
     "BACKEND_KINDS", "ExecutionBackend", "ProcessPoolBackend",
     "ReadySetScheduler", "SerialBackend", "ThreadPoolBackend",
     "CycleError", "ExecutionError", "ModuleFailure", "RegistryError",

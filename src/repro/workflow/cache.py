@@ -406,10 +406,12 @@ class PersistentResultCache(CacheStore):
 
     def __init__(self, path: Union[str, "Any"],
                  max_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
-                 max_bytes: Optional[int] = None) -> None:
+                 max_bytes: Optional[int] = None,
+                 fault_plan: Optional[Any] = None) -> None:
         self.path = str(path)
         self.max_entries = max_entries
         self.max_bytes = max_bytes
+        self.fault_plan = fault_plan
         self.stats = CacheStats()
         self._lock = threading.RLock()
         self._connection: Optional[sqlite3.Connection] = None
@@ -523,6 +525,13 @@ class PersistentResultCache(CacheStore):
         payload = _entry_payload(entry)
         if payload is None:
             return
+        if self.fault_plan is not None:
+            spec = self.fault_plan.draw("cache-put", key)
+            if spec is not None and spec.kind == "tear":
+                # simulate a torn write: persist a truncated payload, the
+                # exact on-disk state of a writer killed mid-INSERT; get()
+                # recovers by treating it as a miss and dropping the row
+                payload = payload[:int(spec.detail or 8)]
         if self.max_bytes is not None and len(payload) > self.max_bytes:
             return  # larger than the whole budget: never stored
         with self._lock:

@@ -41,6 +41,8 @@ from repro.workflow.cache import (DEFAULT_LEASE_TTL, CacheEntry,
                                   module_cache_key)
 from repro.workflow.environment import capture_environment
 from repro.workflow.errors import ExecutionError
+from repro.workflow.faults import (FaultInjected, FaultPlan, RetryPolicy,
+                                   resolve_retry)
 from repro.workflow.registry import ModuleContext, ModuleRegistry
 from repro.workflow.scheduler import (ReadySetScheduler, SerialBackend,
                                       make_backend)
@@ -101,9 +103,14 @@ class ReusedModule:
     cache_key: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass
 class _PendingProcessJob:
-    """Coordinator-side state of one module executing out of process."""
+    """Coordinator-side state of one module executing out of process.
+
+    Mutable: retries update the attempt counter, accumulated failed
+    attempts, worker-loss count and per-attempt deadline in place while
+    the module stays pending.
+    """
 
     module: Module
     definition: Any
@@ -111,8 +118,22 @@ class _PendingProcessJob:
     inputs: Dict[str, ValueRecord]
     cache_key: str
     #: lease token held on ``cache_key`` while the worker computes;
-    #: released at harvest ("" when no lease was taken).
+    #: released when the module settles ("" when no lease was taken).
     lease_owner: str = ""
+    #: the picklable payload, kept for re-dispatch on retry.
+    job: Optional[ProcessJob] = None
+    #: effective retry policy for this module's type.
+    policy: RetryPolicy = field(default_factory=RetryPolicy)
+    #: 1-based attempt currently in flight.
+    attempt: int = 1
+    #: failed attempts recorded so far (attempt-tagged ModuleResults).
+    failures: List["ModuleResult"] = field(default_factory=list)
+    #: monotonic deadline of the in-flight attempt (None = no timeout).
+    deadline: Optional[float] = None
+    #: times this module's job was lost to a dead/restarted worker.
+    worker_losses: int = 0
+    #: set when the engine deadline-killed the in-flight attempt.
+    timed_out: bool = False
 
 
 @dataclass
@@ -136,6 +157,12 @@ class ModuleResult:
     error: str = ""
     cache_key: str = ""
     cached_from: str = ""
+    #: 0 for a module's final result; N >= 1 tags the Nth failed
+    #: attempt that preceded a retried module's final result.
+    attempt: int = 0
+    #: failed attempts (attempt-tagged results) that preceded this
+    #: final result; empty for fault-free modules.
+    attempts: List["ModuleResult"] = field(default_factory=list)
 
     @property
     def duration(self) -> float:
@@ -271,6 +298,19 @@ class Executor:
             (:data:`~repro.workflow.serialization.DEFAULT_SPILL_THRESHOLD`,
             1 MiB); ``0`` disables spilling.  Only consulted by the
             process backend.
+        retry: how failed module attempts are retried — ``None`` (no
+            retries, the default), one
+            :class:`~repro.workflow.faults.RetryPolicy` for every
+            module, or a mapping of module *type name* to policy with an
+            optional ``"*"`` wildcard fallback.  Every failed attempt is
+            recorded in the run's provenance tagged ``attempt=N``; only
+            the final result emits artifacts.  A policy ``timeout`` is
+            enforced by deadline-kill (pool restart) on the process
+            backend and cooperatively on serial/thread backends.
+        fault_plan: optional
+            :class:`~repro.workflow.faults.FaultPlan` injecting
+            deterministic faults at engine seams (module failure/hang,
+            worker kill, lease steal) — for tests and recovery drills.
 
     When the cache implements compute leases
     (:attr:`~repro.workflow.cache.CacheStore.supports_leases`), a miss on
@@ -290,9 +330,13 @@ class Executor:
                  workers: Optional[int] = None,
                  backend: Optional[str] = None,
                  registry_provider: Optional[str] = None,
-                 payload_spill_threshold: Optional[int] = None) -> None:
+                 payload_spill_threshold: Optional[int] = None,
+                 retry=None,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
         self.registry = registry
         self.cache = cache
+        self.retry = retry
+        self.fault_plan = fault_plan
         self.listeners: List[ExecutionListener] = list(listeners)
         self._rebuild_dispatch()
         self.clock = clock
@@ -311,6 +355,7 @@ class Executor:
         self._held_leases: Dict[Tuple[str, str], CacheStore] = {}
         self._lease_lock = threading.Lock()
         self._heartbeat: Optional[threading.Thread] = None
+        self._heartbeat_stop = threading.Event()
 
     # -- lease bookkeeping ------------------------------------------------
     def _register_lease(self, cache: CacheStore, cache_key: str,
@@ -318,7 +363,8 @@ class Executor:
         """Track a held lease and make sure the heartbeat is running."""
         with self._lease_lock:
             self._held_leases[(cache_key, owner)] = cache
-            if self._heartbeat is None:
+            if self._heartbeat is None or not self._heartbeat.is_alive():
+                self._heartbeat_stop.clear()
                 self._heartbeat = threading.Thread(
                     target=self._heartbeat_loop,
                     name="repro-lease-heartbeat", daemon=True)
@@ -329,19 +375,30 @@ class Executor:
         """Stop refreshing and give up one held lease."""
         with self._lease_lock:
             self._held_leases.pop((cache_key, owner), None)
+            if not self._held_leases:
+                # wake the heartbeat so it exits now instead of lingering
+                # a full interval past the run — no leaked threads when
+                # the run unwinds (normally or not)
+                self._heartbeat_stop.set()
         cache.release_lease(cache_key, owner)
 
     def _heartbeat_loop(self) -> None:  # pragma: no cover - timing loop
-        """Refresh every held lease well inside its TTL, forever.
+        """Refresh every held lease well inside its TTL while any is held.
 
         Re-acquiring one's own lease extends the expiry on both cache
         implementations, so a lease only lapses when the whole process
-        (and with it this daemon thread) died mid-compute — exactly the
-        case waiters are meant to steal.
+        (and with it this thread) died mid-compute — exactly the case
+        waiters are meant to steal.  The thread terminates as soon as
+        the last held lease is released; a later run restarts it.
         """
         while True:
-            time.sleep(_HEARTBEAT_INTERVAL)
+            self._heartbeat_stop.wait(_HEARTBEAT_INTERVAL)
             with self._lease_lock:
+                if not self._held_leases:
+                    self._heartbeat = None
+                    self._heartbeat_stop.clear()
+                    return
+                self._heartbeat_stop.clear()
                 held = list(self._held_leases.items())
             for (cache_key, owner), cache in held:
                 try:
@@ -503,8 +560,12 @@ class Executor:
 
         def harvest(module_id: str, completion: Any) -> None:
             if backend.out_of_process:
-                completion = self._result_from_outcome(
-                    pending.pop(module_id), completion)
+                converted = self._process_attempt(
+                    pending[module_id], completion, backend)
+                if converted is None:
+                    return  # re-dispatched for another attempt
+                pending.pop(module_id)
+                completion = converted
             settle(module_id, completion)
 
         def drain() -> None:
@@ -522,8 +583,13 @@ class Executor:
                         raise ExecutionError(
                             "scheduler stalled with unresolved modules: "
                             f"{scheduler.unresolved()}")
-                    for module_id, completion in backend.wait():
+                    slack = (self._deadline_slack(pending)
+                             if backend.out_of_process else None)
+                    for module_id, completion in backend.wait(
+                            timeout=slack):
                         harvest(module_id, completion)
+                    if backend.out_of_process:
+                        self._enforce_deadlines(pending, backend, harvest)
                     continue
                 ready = ([scheduler.pop_ready()] if one_at_a_time
                          else scheduler.take_ready())
@@ -683,19 +749,150 @@ class Executor:
                                                input_records, cache_key,
                                                token)
                 lease_owner = token
-        pending[module.id] = _PendingProcessJob(
+                self._maybe_steal_lease(cache_key, lease_owner)
+        pend = _PendingProcessJob(
             module=module, definition=definition, parameters=parameters,
             inputs=input_records, cache_key=cache_key,
-            lease_owner=lease_owner)
+            lease_owner=lease_owner,
+            policy=resolve_retry(self.retry, definition.type_name))
         threshold = self.payload_spill_threshold if spill_dir else 0
-        backend.submit(module.id, ProcessJob(
+        pend.job = ProcessJob(
             module_id=module.id, module_name=module.name,
             type_name=definition.type_name, parameters=parameters,
             inputs={port: maybe_spill(record.value, threshold, spill_dir)
                     for port, record in input_records.items()},
             registry_provider=self.registry_provider,
-            spill_dir=spill_dir, spill_threshold=threshold))
+            spill_dir=spill_dir, spill_threshold=threshold)
+        pending[module.id] = pend
+        self._submit_process(backend, pend)
         return None
+
+    def _submit_process(self, backend, pend: "_PendingProcessJob") -> None:
+        """(Re)submit one pending process job, stamping any planned
+        fault for this attempt and arming the attempt's deadline."""
+        inject = ""
+        if self.fault_plan is not None:
+            spec = self.fault_plan.draw("module", pend.module.id)
+            if spec is not None:
+                if spec.kind == "hang":
+                    inject = f"hang:{spec.detail}"
+                else:  # "fail" and "kill" map directly to worker stamps
+                    inject = spec.kind
+        pend.job = replace(pend.job, inject=inject)
+        if pend.policy.timeout is not None:
+            pend.deadline = time.monotonic() + pend.policy.timeout
+        backend.submit(pend.module.id, pend.job)
+
+    def _process_attempt(self, pend: "_PendingProcessJob", outcome,
+                         backend) -> Optional["ModuleResult"]:
+        """Judge one harvested process outcome: settle or retry.
+
+        Returns the final :class:`ModuleResult` (with accumulated
+        attempt-tagged failures attached) when the module settles, or
+        ``None`` after recording a failed attempt and re-dispatching.
+
+        Worker-loss bookkeeping is separate from the plain-failure
+        budget: a job lost to a dying worker (or a deadline-kill pool
+        restart that caught it in flight) is re-dispatched up to
+        ``max(policy.max_attempts, 2)`` times even under a no-retry
+        policy, so innocent in-flight victims of a poison neighbour
+        survive; a module that keeps killing its worker past that bound
+        is quarantined (settled failed, lease released, downstream
+        skipped by the ordinary graph propagation).
+        """
+        policy = pend.policy
+        worker_lost = bool(getattr(outcome, "worker_lost", False))
+        if outcome.status == "ok" and not pend.timed_out:
+            result = self._result_from_outcome(pend, outcome)
+            result.attempts = pend.failures
+            return result
+        if pend.timed_out:
+            error = (f"ModuleTimeout: exceeded {policy.timeout}s "
+                     "(deadline-kill)")
+            pend.timed_out = False
+            retryable = pend.attempt < policy.max_attempts
+        elif worker_lost:
+            pend.worker_losses += 1
+            allowed = max(policy.max_attempts, 2)
+            retryable = (pend.worker_losses < allowed
+                         and not getattr(backend, "_dead", False))
+            error = outcome.error
+            if not retryable:
+                error = (f"poison module quarantined after losing its "
+                         f"worker {pend.worker_losses} time(s): "
+                         f"{outcome.error}")
+        else:
+            error = outcome.error
+            retryable = pend.attempt < policy.max_attempts
+        if not retryable:
+            final = self._result_from_outcome(
+                pend, replace(outcome, status="failed", error=error))
+            final.attempts = pend.failures
+            return final
+        pend.failures.append(self._attempt_result(pend, outcome, error))
+        delay = policy.delay(pend.module.id, pend.attempt)
+        pend.attempt += 1
+        if delay > 0:
+            time.sleep(delay)
+        self._submit_process(backend, pend)
+        return None
+
+    def _attempt_result(self, pend: "_PendingProcessJob", outcome,
+                        error: str) -> "ModuleResult":
+        """An attempt-tagged failed result for one retried attempt."""
+        if self.clock is not time.time:
+            started = finished = self.clock()
+        else:
+            started = outcome.started or self.clock()
+            finished = outcome.finished or started
+        return ModuleResult(
+            module_id=pend.module.id, execution_id=new_id("exec"),
+            status="failed", parameters=pend.parameters,
+            inputs=pend.inputs, started=started, finished=finished,
+            cache_key=pend.cache_key, error=error,
+            attempt=len(pend.failures) + 1)
+
+    @staticmethod
+    def _deadline_slack(pending: Dict[str, "_PendingProcessJob"]
+                        ) -> Optional[float]:
+        """Seconds until the earliest in-flight deadline (None if no
+        pending job carries one) — the wait timeout that keeps hung
+        workers from stalling the coordination loop."""
+        deadlines = [pend.deadline for pend in pending.values()
+                     if pend.deadline is not None and not pend.timed_out]
+        if not deadlines:
+            return None
+        return max(0.05, min(deadlines) - time.monotonic())
+
+    def _enforce_deadlines(self, pending: Dict[str, "_PendingProcessJob"],
+                           backend, harvest) -> None:
+        """Deadline-kill: mark overdue jobs timed out and restart the
+        pool; every in-flight job comes back worker-lost and is routed
+        through :meth:`_process_attempt` (timeout attempt for the
+        overdue ones, free re-dispatch for the innocent victims)."""
+        now = time.monotonic()
+        overdue = [pend for pend in pending.values()
+                   if pend.deadline is not None and now >= pend.deadline
+                   and not pend.timed_out]
+        if not overdue:
+            return
+        for pend in overdue:
+            pend.timed_out = True
+        restart = getattr(backend, "restart", None)
+        if restart is None:
+            return
+        for module_id, outcome in restart():
+            harvest(module_id, outcome)
+
+    def _maybe_steal_lease(self, cache_key: str, lease_owner: str) -> None:
+        """Fault seam: simulate another process stealing our compute
+        lease (TTL expiry + takeover) right after acquisition."""
+        if self.fault_plan is None or not lease_owner:
+            return
+        spec = self.fault_plan.draw("lease", cache_key)
+        if spec is not None and spec.kind == "steal":
+            self.cache.release_lease(cache_key, lease_owner)
+            self.cache.acquire_lease(cache_key, f"thief-{lease_owner}")
 
     def _result_from_outcome(self, job: "_PendingProcessJob",
                              outcome) -> ModuleResult:
@@ -761,11 +958,13 @@ class Executor:
                   input_records: Dict[str, ValueRecord],
                   consult_cache: bool = True):
         """A backend job computing one module; never raises."""
+        policy = resolve_retry(self.retry, definition.type_name)
+
         def job() -> ModuleResult:
             try:
-                return self._compute_module(module, definition, parameters,
-                                            input_records,
-                                            consult_cache=consult_cache)
+                return self._compute_with_retry(
+                    module, definition, parameters, input_records, policy,
+                    consult_cache=consult_cache)
             except Exception as exc:  # defensive: job must not raise
                 now = self.clock()
                 return ModuleResult(
@@ -774,6 +973,37 @@ class Executor:
                     inputs=input_records, started=now, finished=now,
                     error=f"{type(exc).__name__}: {exc}")
         return job
+
+    def _compute_with_retry(self, module: Module, definition,
+                            parameters: Dict[str, Any],
+                            input_records: Dict[str, ValueRecord],
+                            policy: RetryPolicy,
+                            consult_cache: bool = True) -> ModuleResult:
+        """Retry loop around :meth:`_compute_module` (in-process path).
+
+        Each failed attempt (except the last, which is the module's
+        final result) is attempt-tagged and accumulated on the final
+        result's ``attempts`` — provenance records every try, artifacts
+        only come from the final success.
+        """
+        failures: List[ModuleResult] = []
+        attempt = 1
+        while True:
+            deadline = (time.monotonic() + policy.timeout
+                        if policy.timeout is not None else None)
+            result = self._compute_module(module, definition, parameters,
+                                          input_records,
+                                          consult_cache=consult_cache,
+                                          deadline=deadline)
+            if result.status != "failed" or attempt >= policy.max_attempts:
+                result.attempts = failures
+                return result
+            result.attempt = len(failures) + 1
+            failures.append(result)
+            delay = policy.delay(module.id, attempt)
+            attempt += 1
+            if delay > 0:
+                time.sleep(delay)
 
     # ------------------------------------------------------------------
     def _validate(self, workflow: Workflow,
@@ -813,7 +1043,8 @@ class Executor:
     def _compute_module(self, module: Module, definition,
                         parameters: Dict[str, Any],
                         input_records: Dict[str, ValueRecord],
-                        consult_cache: bool = True) -> ModuleResult:
+                        consult_cache: bool = True,
+                        deadline: Optional[float] = None) -> ModuleResult:
         """Run one module (worker-thread side): cache check, compute, memo.
 
         On a miss against a lease-capable cache, a per-key compute lease
@@ -843,14 +1074,25 @@ class Executor:
                                                input_records, cache_key,
                                                token)
                 lease_owner = token
+                self._maybe_steal_lease(cache_key, lease_owner)
         try:
             started = self.clock()
             execution_id = new_id("exec")
             context = ModuleContext(
                 inputs={port: record.value
                         for port, record in input_records.items()},
-                parameters=parameters, module_name=module.name)
+                parameters=parameters, module_name=module.name,
+                deadline=deadline)
             try:
+                if self.fault_plan is not None:
+                    spec = self.fault_plan.draw("module", module.id)
+                    if spec is not None:
+                        if spec.kind == "hang":
+                            time.sleep(spec.detail)
+                        else:  # "fail"; "kill" degrades to fail in-process
+                            raise FaultInjected(
+                                f"injected {spec.kind} fault for "
+                                f"{module.id}")
                 raw_outputs = definition.compute(context)
                 outputs = self._check_outputs(definition, raw_outputs)
             except Exception as exc:
@@ -861,6 +1103,15 @@ class Executor:
                     finished=self.clock(), cache_key=cache_key,
                     error=f"{type(exc).__name__}: {exc}\n"
                           f"{traceback.format_exc(limit=3)}")
+            if deadline is not None and time.monotonic() > deadline:
+                # overdue success counts as a timeout: no artifacts, no
+                # cache publication — the retry (if any) recomputes
+                return ModuleResult(
+                    module_id=module.id, execution_id=execution_id,
+                    status="failed", parameters=parameters,
+                    inputs=input_records, started=started,
+                    finished=self.clock(), cache_key=cache_key,
+                    error="ModuleTimeout: cooperative deadline exceeded")
 
             records = {port: ValueRecord.of(value)
                        for port, value in outputs.items()}

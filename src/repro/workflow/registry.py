@@ -10,6 +10,7 @@ and retrospective provenance).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
@@ -78,14 +79,36 @@ class ParameterSpec:
 
 
 class ModuleContext:
-    """Everything a compute function may consult: inputs and parameters."""
+    """Everything a compute function may consult: inputs and parameters.
+
+    ``deadline`` (a ``time.monotonic`` instant, or None) carries the
+    cooperative per-attempt timeout of the executor's retry policy:
+    long-running compute functions may call :meth:`check_deadline`
+    inside their loops to fail fast instead of riding out the work.
+    """
 
     def __init__(self, inputs: Mapping[str, Any],
                  parameters: Mapping[str, Any],
-                 module_name: str = "") -> None:
+                 module_name: str = "",
+                 deadline: Optional[float] = None) -> None:
         self._inputs = dict(inputs)
         self._parameters = dict(parameters)
         self.module_name = module_name
+        self.deadline = deadline
+
+    def remaining_time(self) -> Optional[float]:
+        """Seconds left before this attempt's deadline (None = no limit)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - time.monotonic()
+
+    def check_deadline(self) -> None:
+        """Raise ``TimeoutError`` when this attempt's deadline passed."""
+        remaining = self.remaining_time()
+        if remaining is not None and remaining <= 0:
+            raise TimeoutError(
+                f"ModuleTimeout: cooperative deadline exceeded in "
+                f"{self.module_name or 'module'}")
 
     def input(self, name: str, default: Any = None) -> Any:
         """Value received on input port ``name`` (default if unconnected)."""

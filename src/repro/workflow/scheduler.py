@@ -41,7 +41,7 @@ matter how large the artifacts are.
 from __future__ import annotations
 
 import bisect
-from concurrent.futures import (FIRST_COMPLETED, Future,
+from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor, Future,
                                 ProcessPoolExecutor, ThreadPoolExecutor)
 from concurrent.futures import wait as futures_wait
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -170,8 +170,12 @@ class ExecutionBackend:
         """Completions available right now (possibly empty); non-blocking."""
         raise NotImplementedError
 
-    def wait(self) -> List[Tuple[str, Any]]:
-        """Block until at least one completion is available, return all."""
+    def wait(self, timeout: Optional[float] = None
+             ) -> List[Tuple[str, Any]]:
+        """Block until a completion is available (or ``timeout`` seconds
+        elapse), return all completions harvested — possibly empty after
+        a timeout.  The engine passes a timeout when module deadlines
+        are pending so hung jobs cannot stall the coordination loop."""
         raise NotImplementedError
 
     def outstanding(self) -> int:
@@ -200,7 +204,8 @@ class SerialBackend(ExecutionBackend):
         completed, self._completed = self._completed, []
         return completed
 
-    def wait(self) -> List[Tuple[str, Any]]:
+    def wait(self, timeout: Optional[float] = None
+             ) -> List[Tuple[str, Any]]:
         if not self._completed:
             raise ExecutionError(
                 "serial backend has no outstanding work to wait for")
@@ -236,11 +241,12 @@ class ThreadPoolBackend(ExecutionBackend):
     def poll(self) -> List[Tuple[str, Any]]:
         return self._harvest([f for f in list(self._futures) if f.done()])
 
-    def wait(self) -> List[Tuple[str, Any]]:
+    def wait(self, timeout: Optional[float] = None
+             ) -> List[Tuple[str, Any]]:
         if not self._futures:
             raise ExecutionError(
                 "thread backend has no outstanding work to wait for")
-        done, _ = futures_wait(list(self._futures),
+        done, _ = futures_wait(list(self._futures), timeout=timeout,
                                return_when=FIRST_COMPLETED)
         return self._harvest(list(done))
 
@@ -269,27 +275,114 @@ class ProcessPoolBackend(ExecutionBackend):
 
     out_of_process = True
 
-    def __init__(self, workers: int) -> None:
+    def __init__(self, workers: int, max_restarts: int = 3) -> None:
         if workers < 1:
             raise ExecutionError(f"workers must be >= 1, got {workers}")
         self.workers = workers
-        self._pool = ProcessPoolExecutor(max_workers=workers)
+        #: Worker-crash pool recreations allowed before failing fast.
+        #: Deadline-kill restarts (:meth:`restart`) are policy-driven
+        #: and do not charge this budget.
+        self.max_restarts = max_restarts
+        self.restarts = 0
+        self._dead = False
+        self._pool: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
+            max_workers=workers)
         self._futures: Dict[Future, str] = {}
         # outcomes synthesized without a future — submissions refused by
-        # a broken pool (a worker died); harvested exactly like the rest
+        # a dead pool, or in-flight jobs lost to a worker crash / forced
+        # restart; harvested exactly like the rest
         self._stillborn: List[Tuple[str, Any]] = []
+
+    # -- supervision ------------------------------------------------------
+
+    def _dispose_pool(self) -> None:
+        """Tear the current pool down without waiting on hung workers."""
+        if self._pool is None:
+            return
+        processes = getattr(self._pool, "_processes", None)
+        if isinstance(processes, dict):
+            for process in list(processes.values()):
+                try:
+                    process.terminate()
+                except Exception:
+                    pass
+        try:
+            self._pool.shutdown(wait=False)
+        except Exception:
+            pass
+        self._pool = None
+
+    def _abandon_in_flight(self) -> None:
+        """Turn every in-flight job into a worker-lost stillborn outcome
+        (the engine re-dispatches them against the fresh pool)."""
+        for module_id in self._futures.values():
+            self._stillborn.append((module_id, ProcessOutcome(
+                status="failed", worker_lost=True,
+                error="worker process died before the job reported back")))
+        self._futures.clear()
+
+    def _recreate(self, charge: bool = True) -> bool:
+        """Replace the pool; False when the restart budget is spent."""
+        if self._dead:
+            return False
+        if charge:
+            if self.restarts >= self.max_restarts:
+                self._dead = True
+                self._dispose_pool()
+                return False
+            self.restarts += 1
+        self._dispose_pool()
+        self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return True
+
+    def restart(self) -> List[Tuple[str, Any]]:
+        """Force-replace the pool (deadline-kill of hung workers).
+
+        Returns worker-lost completions for every in-flight job so the
+        engine can blame/retry them.  Does not charge the crash restart
+        budget — killing past-deadline workers is policy, not failure.
+        """
+        self._abandon_in_flight()
+        lost, self._stillborn = self._stillborn, []
+        self._recreate(charge=False)
+        return lost
+
+    # -- submit / harvest -------------------------------------------------
 
     def submit(self, module_id: str, job: Any) -> None:
         """Accept one picklable :class:`ProcessJob` payload.
 
         A pool whose worker died refuses further submissions
-        (``BrokenProcessPool``); the refusal is recorded as a failed
-        outcome for this module rather than raised, so the scheduling
-        loop keeps draining and the run records every module.
+        (``BrokenProcessPool``): the pool is recreated (bounded by
+        ``max_restarts``) and the submission retried against the fresh
+        pool; in-flight jobs on the broken pool surface as worker-lost
+        outcomes.  Once the restart budget is spent the backend fails
+        fast — every further submission becomes a terminal failed
+        outcome, never a submission to a dead executor.
         """
+        if self._dead or self._pool is None:
+            self._stillborn.append((module_id, ProcessOutcome(
+                status="failed",
+                error="process pool broken and restart budget exhausted")))
+            return
         try:
             future = self._pool.submit(execute_process_job, job)
-        except Exception as exc:  # broken pool, unpicklable payload
+        except BrokenExecutor:
+            self._abandon_in_flight()
+            if not self._recreate():
+                self._stillborn.append((module_id, ProcessOutcome(
+                    status="failed",
+                    error="process pool broken and restart budget "
+                          "exhausted")))
+                return
+            try:
+                future = self._pool.submit(execute_process_job, job)
+            except Exception as exc:
+                self._stillborn.append((module_id, ProcessOutcome(
+                    status="failed",
+                    error=f"{type(exc).__name__}: {exc}")))
+                return
+        except Exception as exc:  # unpicklable payload
             self._stillborn.append((module_id, ProcessOutcome(
                 status="failed",
                 error=f"{type(exc).__name__}: {exc}")))
@@ -298,27 +391,42 @@ class ProcessPoolBackend(ExecutionBackend):
 
     def _harvest(self, futures: List[Future]) -> List[Tuple[str, Any]]:
         completed, self._stillborn = self._stillborn, []
+        broken = False
         for future in futures:
             module_id = self._futures.pop(future)
             try:
                 outcome = future.result()
-            except Exception as exc:  # worker death, unpicklable result
+            except BrokenExecutor as exc:  # worker death
+                broken = True
+                outcome = ProcessOutcome(
+                    status="failed", worker_lost=True,
+                    error=f"{type(exc).__name__}: {exc}")
+            except Exception as exc:  # unpicklable result
                 outcome = ProcessOutcome(
                     status="failed",
                     error=f"{type(exc).__name__}: {exc}")
             completed.append((module_id, outcome))
+        if broken:
+            # every other in-flight job is doomed on a broken pool:
+            # surface them as worker-lost now and recreate the pool so
+            # re-dispatches land on live workers
+            self._abandon_in_flight()
+            completed.extend(self._stillborn)
+            self._stillborn = []
+            self._recreate()
         return completed
 
     def poll(self) -> List[Tuple[str, Any]]:
         return self._harvest([f for f in list(self._futures) if f.done()])
 
-    def wait(self) -> List[Tuple[str, Any]]:
+    def wait(self, timeout: Optional[float] = None
+             ) -> List[Tuple[str, Any]]:
         if not self._futures and not self._stillborn:
             raise ExecutionError(
                 "process backend has no outstanding work to wait for")
         if not self._futures:
             return self._harvest([])
-        done, _ = futures_wait(list(self._futures),
+        done, _ = futures_wait(list(self._futures), timeout=timeout,
                                return_when=FIRST_COMPLETED)
         return self._harvest(list(done))
 
@@ -326,7 +434,9 @@ class ProcessPoolBackend(ExecutionBackend):
         return len(self._futures) + len(self._stillborn)
 
     def shutdown(self) -> None:
-        self._pool.shutdown(wait=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
 
 
 #: Backend kinds accepted by :func:`make_backend` and the ``backend=``

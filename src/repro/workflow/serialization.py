@@ -242,6 +242,12 @@ class ProcessJob:
             files ("" disables spilling for this job).
         spill_threshold: pickle size (bytes) above which the worker spills
             output values back through ``spill_dir`` instead of the pipe.
+        inject: fault-injection stamp applied worker-side before compute
+            ("" = none): ``"fail"`` returns a failed outcome, ``"kill"``
+            calls ``os._exit`` (simulating a worker crash), and
+            ``"hang:<seconds>"`` sleeps before computing (pairs with
+            retry timeouts).  Stamped by the coordinator's
+            :class:`~repro.workflow.faults.FaultPlan` seam.
     """
 
     module_id: str
@@ -252,6 +258,7 @@ class ProcessJob:
     registry_provider: str = DEFAULT_REGISTRY_PROVIDER
     spill_dir: str = ""
     spill_threshold: int = 0
+    inject: str = ""
 
 
 @dataclass(frozen=True)
@@ -264,6 +271,11 @@ class ProcessOutcome:
     them, exactly as it would for in-process execution.  Values above the
     job's spill threshold come back as :class:`SpilledValue` references
     the coordinator resolves before hashing.
+
+    ``worker_lost`` marks outcomes synthesized by the backend when the
+    worker process died (or the pool was force-restarted) before the job
+    could report back — the engine treats those as retryable attempts,
+    distinct from a module that computed and failed.
     """
 
     status: str
@@ -271,6 +283,7 @@ class ProcessOutcome:
     started: float = 0.0
     finished: float = 0.0
     error: str = ""
+    worker_lost: bool = False
 
 
 #: Worker-process registry cache: provider spec -> built registry.  One
@@ -303,6 +316,16 @@ def resolve_registry_provider(provider: str) -> ModuleRegistry:
     return registry
 
 
+def _apply_injection(inject: str) -> None:
+    """Honor a :class:`ProcessJob` fault stamp (worker-process side)."""
+    if inject == "kill":
+        os._exit(1)  # simulated worker crash: no cleanup, no outcome
+    if inject == "fail":
+        raise RuntimeError("injected worker fault")
+    if inject.startswith("hang:"):
+        time.sleep(float(inject.split(":", 1)[1]))
+
+
 def execute_process_job(job: ProcessJob) -> ProcessOutcome:
     """Run one :class:`ProcessJob` (worker-process side); never raises.
 
@@ -314,6 +337,8 @@ def execute_process_job(job: ProcessJob) -> ProcessOutcome:
     """
     started = time.time()
     try:
+        if job.inject:
+            _apply_injection(job.inject)
         registry = resolve_registry_provider(job.registry_provider)
         definition = registry.get(job.type_name)
         context = ModuleContext(inputs=resolve_spilled(job.inputs),

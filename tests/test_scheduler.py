@@ -130,10 +130,11 @@ class TestBackends:
             {f"m{i}": "ok" for i in range(4)}
         assert harvested["m3"].outputs == {"result": 30.0}
 
-    def test_broken_pool_refuses_without_raising(self):
-        # killing every worker breaks the pool; later submissions must
-        # surface as failed outcomes at harvest, never as exceptions in
-        # the scheduling loop
+    def test_broken_pool_recreates_and_recovers(self):
+        # killing every worker breaks the pool; the supervisor must
+        # recreate it (bounded) so later submissions run on fresh
+        # workers — never submitted to the dead executor, never raised
+        # into the scheduling loop
         backend = ProcessPoolBackend(1)
         try:
             backend.submit("warm", ProcessJob(
@@ -151,11 +152,46 @@ class TestBackends:
                     type_name="Constant", parameters={"value": 1.0}))
             while backend.outstanding():
                 harvested.update(dict(backend.wait()))
+            # jobs caught on the broken pool surface as worker-lost (the
+            # engine re-dispatches those); the pool itself must be fresh
+            lost = {m for m, o in harvested.items() if o.status != "ok"}
+            assert all(harvested[m].worker_lost for m in lost)
+            for module_id in lost:
+                backend.submit(module_id, ProcessJob(
+                    module_id=module_id, module_name="c",
+                    type_name="Constant", parameters={"value": 1.0}))
+            while backend.outstanding():
+                harvested.update(dict(backend.wait()))
         finally:
             backend.shutdown()
         assert set(harvested) == {"m0", "m1", "m2"}
-        assert all(outcome.status == "failed"
+        assert all(outcome.status == "ok"
                    for outcome in harvested.values())
+        assert backend.restarts >= 1
+
+    def test_broken_pool_fails_fast_once_restarts_exhausted(self):
+        backend = ProcessPoolBackend(1, max_restarts=0)
+        try:
+            backend.submit("boom", ProcessJob(
+                module_id="boom", module_name="c", type_name="Constant",
+                parameters={"value": 1.0}, inject="kill"))
+            harvested = {}
+            while backend.outstanding():
+                harvested.update(dict(backend.wait()))
+            # restart budget is 0: the backend is dead and must refuse
+            # further submissions with terminal failures, immediately
+            backend.submit("after", ProcessJob(
+                module_id="after", module_name="c", type_name="Constant",
+                parameters={"value": 1.0}))
+            while backend.outstanding():
+                harvested.update(dict(backend.wait()))
+        finally:
+            backend.shutdown()
+        assert harvested["boom"].status == "failed"
+        assert harvested["boom"].worker_lost
+        assert harvested["after"].status == "failed"
+        assert not harvested["after"].worker_lost
+        assert "restart budget exhausted" in harvested["after"].error
 
     def test_process_backend_failures_come_back_as_outcomes(self):
         backend = ProcessPoolBackend(1)
