@@ -24,6 +24,11 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
                                     # detect & repair crash damage
     python -m repro fsck prov.db --resume run.json
                                     # finish an interrupted ingest
+    python -m repro serve --root ./prov --shards 4 --port 7643
+                                    # share the store with many clients
+    python -m repro observe --server 127.0.0.1:7643 -- make all
+    python -m repro runs --server 127.0.0.1:7643 --demo 2
+    python -m repro lineage --server 127.0.0.1:7643 --demo 2
 """
 
 from __future__ import annotations
@@ -57,10 +62,32 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0 if run.status == "ok" else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ProvenanceService, ShardedProvenanceStore
+    store = ShardedProvenanceStore.open(
+        args.root, shards=args.shards, store_values=args.store_values,
+        scatter_workers=args.shards)
+    service = ProvenanceService(store, host=args.host, port=args.port,
+                                read_pool=args.read_pool,
+                                close_store=True)
+    print(f"serving {args.root} ({args.shards} shard(s)) "
+          f"on {service.host}:{service.port}", flush=True)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
+    return 0
+
+
 def _cmd_observe(args: argparse.Namespace) -> int:
     from repro.workflow.modules.observed import ObservedProcessSession
     store = None
-    if args.store:
+    if args.server:
+        from repro.service import ProvenanceClient
+        store = ProvenanceClient.connect(args.server)
+    elif args.store:
         from repro.storage.relational import RelationalStore
         store = RelationalStore(args.store)
     session = ObservedProcessSession(
@@ -77,7 +104,8 @@ def _cmd_observe(args: argparse.Namespace) -> int:
         print(f"  {binding.port:24s} {artifact.value_hash[:16]} "
               f"({artifact.size_hint} bytes)")
     if store is not None:
-        print(f"saved to {args.store}")
+        print(f"saved to {args.server or args.store}")
+        store.close()
     return 0 if run.status == "ok" else 1
 
 
@@ -212,7 +240,7 @@ def _cmd_runs(args: argparse.Namespace) -> int:
     from repro.storage import ProvQuery, QueryError
     from repro.workloads import build_vis_workflow
 
-    manager = ProvenanceManager()
+    manager = ProvenanceManager(store=_server_store(args))
     for index in range(args.demo):
         manager.run(build_vis_workflow(size=8 + 2 * index))
     queries = {
@@ -240,12 +268,21 @@ def _cmd_runs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _server_store(args: argparse.Namespace):
+    """A ProvenanceClient when ``--server host:port`` was given, else
+    None (the manager then uses its default in-memory store)."""
+    if not getattr(args, "server", ""):
+        return None
+    from repro.service import ProvenanceClient
+    return ProvenanceClient.connect(args.server)
+
+
 def _cmd_lineage(args: argparse.Namespace) -> int:
     from repro.analytics import ascii_table
     from repro.core import ProvenanceManager
     from repro.workloads import build_vis_workflow
 
-    manager = ProvenanceManager()
+    manager = ProvenanceManager(store=_server_store(args))
     last = None
     for _ in range(args.demo):
         # identical parameters on purpose: repeated runs share content
@@ -339,6 +376,25 @@ def build_parser() -> argparse.ArgumentParser:
                            "process backend, cooperative elsewhere")
     demo.set_defaults(handler=_cmd_demo)
 
+    serve = subparsers.add_parser(
+        "serve", help="serve a sharded provenance store to concurrent "
+                      "clients over a local socket")
+    serve.add_argument("--root", required=True,
+                       help="directory of the sharded store "
+                            "(<root>/shard-NN.db; created if missing)")
+    serve.add_argument("--shards", type=int, default=4,
+                       help="shard count (must match an existing root)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="address to bind")
+    serve.add_argument("--port", type=int, default=7643,
+                       help="port to bind (0 = ephemeral)")
+    serve.add_argument("--read-pool", type=int, default=2,
+                       help="pooled read-only shard connections serving "
+                            "queries concurrently with ingest")
+    serve.add_argument("--store-values", action="store_true",
+                       help="retain pickled artifact values in the shards")
+    serve.set_defaults(handler=_cmd_serve)
+
     observe = subparsers.add_parser(
         "observe", help="run one shell command and record it as an "
                         "observed-process provenance run")
@@ -360,6 +416,9 @@ def build_parser() -> argparse.ArgumentParser:
     observe.add_argument("--stream-batch", type=int, default=0,
                          help="stream executions to the store every N "
                               "commands (0 = one save at the end)")
+    observe.add_argument("--server", default="",
+                         help="host:port of a running `repro serve`; the "
+                              "run is ingested there instead of --store")
     observe.set_defaults(handler=_cmd_observe)
 
     rerun = subparsers.add_parser(
@@ -443,6 +502,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="page size (0 = unlimited)")
     runs.add_argument("--offset", type=int, default=0,
                       help="rows to skip")
+    runs.add_argument("--server", default="",
+                      help="host:port of a running `repro serve`; demo "
+                           "runs are ingested there and the select is "
+                           "answered by the service")
     runs.set_defaults(handler=_cmd_runs)
 
     lineage = subparsers.add_parser(
@@ -461,6 +524,9 @@ def build_parser() -> argparse.ArgumentParser:
     lineage.add_argument("--depth", type=int, default=0,
                          help="bound the traversal in derivation hops "
                               "(0 = unbounded)")
+    lineage.add_argument("--server", default="",
+                         help="host:port of a running `repro serve`; the "
+                              "closure is answered by the service")
     lineage.set_defaults(handler=_cmd_lineage)
     return parser
 

@@ -459,6 +459,11 @@ class ProvenanceCapture(ExecutionListener):
     def on_run_finish(self, result: RunResult) -> None:
         self.stats.runs += 1
         if self.batched:
+            # a store write that already failed on the drainer must fail
+            # the producer *here*, at the next run hand-off — not linger
+            # until some eventual flush() while callers keep submitting
+            # runs that can no longer be persisted
+            self._raise_drainer_error()
             # the engine thread hands off the raw RunResult; conversion
             # and the store write happen on the drainer.  Run completions
             # always block — back-pressure may thin the journal, never
@@ -593,6 +598,12 @@ class ProvenanceCapture(ExecutionListener):
                     self.store.save_run(run)
 
     # -- completeness barriers ---------------------------------------------
+    def _raise_drainer_error(self) -> None:
+        """Re-raise (and clear) a pending drainer-side failure."""
+        error, self._drainer_error = self._drainer_error, None
+        if error is not None:
+            raise error
+
     def flush(self) -> None:
         """Block until every enqueued event and run is materialized.
 
@@ -604,9 +615,7 @@ class ProvenanceCapture(ExecutionListener):
             if self._queue.unfinished_tasks:
                 self._ensure_drainer()
             self._queue.join()
-        error, self._drainer_error = self._drainer_error, None
-        if error is not None:
-            raise error
+        self._raise_drainer_error()
 
     def close(self) -> None:
         """Flush, stop the drainer, and fall back to synchronous capture.
@@ -626,9 +635,7 @@ class ProvenanceCapture(ExecutionListener):
             self._drainer = None
         self._closed = True
         _LIVE_CAPTURES.discard(self)
-        error, self._drainer_error = self._drainer_error, None
-        if error is not None:
-            raise error
+        self._raise_drainer_error()
 
     def __enter__(self) -> "ProvenanceCapture":
         return self

@@ -1,0 +1,33 @@
+"""Provenance as a service: sharded store, socket server, client.
+
+The paper frames provenance management as shared infrastructure that many
+consumers — scientists, dashboards, reproducibility tools — query and feed
+concurrently.  This package turns the in-process storage layer into that
+infrastructure:
+
+* :class:`ShardedProvenanceStore` — partitions runs by run-id hash across
+  N child stores (one sqlite file each, via :meth:`.open`) behind the full
+  :class:`~repro.storage.base.ProvenanceStore` contract: scatter-gather
+  ``select`` (a lazy k-way merge of per-shard cursors), cross-shard
+  ``lineage_closure`` fan-out, routed streaming ingest.
+* :class:`ProvenanceService` — a thread-per-connection server speaking a
+  line-delimited JSON protocol on a local socket, with read/write path
+  separation (a pool of read-only shard connections serves queries while
+  per-shard write locks serialize ingest) and back-pressured bulk ingest
+  reusing the streaming writer + resumable journal.
+* :class:`ProvenanceClient` — a :class:`ProvenanceStore` implementation
+  over that protocol, so everything downstream (CLI, apps, dashboards)
+  becomes a client without code changes.
+"""
+
+from repro.service.client import ProvenanceClient, ServiceError
+from repro.service.protocol import (PROTOCOL_VERSION, read_message,
+                                    write_message)
+from repro.service.server import ProvenanceService
+from repro.service.sharded import ShardedProvenanceStore, shard_of
+
+__all__ = [
+    "ShardedProvenanceStore", "shard_of",
+    "ProvenanceService", "ProvenanceClient", "ServiceError",
+    "PROTOCOL_VERSION", "read_message", "write_message",
+]

@@ -1,0 +1,306 @@
+"""Socket client implementing the full :class:`ProvenanceStore` contract.
+
+:class:`ProvenanceClient` speaks the line-delimited JSON protocol of
+:mod:`repro.service.protocol` to a :class:`ProvenanceService`, so any
+code written against the store interface — the CLI, the query layer,
+capture sessions — talks to the shared server by swapping its store for
+a client.  Differences from an in-process store, all inherent to the
+wire:
+
+* Artifact *values* do not travel; the protocol is metadata-only, like
+  ``WorkflowRun.to_dict``.  ``load_run(...).values`` is always empty.
+* ``select`` materializes the response rows before returning (one frame
+  per request); the returned :class:`ResultCursor` is lazy only over the
+  already-received list.
+* :meth:`save_run_stream` returns a writer that batches items and ships
+  each batch as one ``stream_add`` request, blocking on the server's
+  flushed acknowledgement — the client inherits the server's
+  back-pressure instead of buffering unboundedly.
+
+One client owns one socket; a lock serializes requests, so a client may
+be shared between threads but concurrent callers queue.  Open one client
+per worker for real parallelism.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.annotations import Annotation
+from repro.core.prospective import ProspectiveProvenance
+from repro.core.retrospective import WorkflowRun
+from repro.service.protocol import (PROTOCOL_VERSION, ProtocolError,
+                                    read_message, write_message)
+from repro.storage.base import (ProvenanceStore, RunStreamWriter,
+                                RunSummary, StoreError)
+from repro.storage.query import ProvQuery, QueryError, ResultCursor
+
+__all__ = ["ProvenanceClient", "ServiceError", "parse_address"]
+
+#: Runs per ``save_runs`` request frame — bounds message size, not
+#: semantics; the server still commits each request's group per shard.
+_SAVE_RUNS_CHUNK = 200
+
+
+class ServiceError(StoreError):
+    """A failure at the service layer: connection loss, protocol
+    violations, or a server-side error that is not a plain StoreError."""
+
+    def __init__(self, message: str, kind: str = "ServiceError") -> None:
+        super().__init__(message)
+        self.kind = kind
+
+
+def parse_address(spec: str) -> Tuple[str, int]:
+    """``"host:port"`` (or bare ``"port"``, implying localhost) →
+    ``(host, port)``."""
+    host, sep, port = spec.rpartition(":")
+    if not sep:
+        host, port = "127.0.0.1", spec
+    try:
+        return (host or "127.0.0.1", int(port))
+    except ValueError:
+        raise ServiceError(f"invalid server address {spec!r} "
+                           "(expected host:port)") from None
+
+
+class ProvenanceClient(ProvenanceStore):
+    """A :class:`ProvenanceStore` whose backend is a remote service."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 timeout: Optional[float] = 60.0,
+                 stream_batch: int = 256) -> None:
+        self.host = host
+        self.port = port
+        self.stream_batch = stream_batch
+        self._lock = threading.Lock()
+        self._request_ids = 0
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    @classmethod
+    def connect(cls, spec: str, **kwargs: Any) -> "ProvenanceClient":
+        """Build a client from a ``host:port`` address string."""
+        host, port = parse_address(spec)
+        return cls(host, port, **kwargs)
+
+    # -- transport --------------------------------------------------------
+    def _rpc(self, op: str, **params: Any) -> Dict[str, Any]:
+        with self._lock:
+            self._request_ids += 1
+            request_id = self._request_ids
+            try:
+                write_message(self._file,
+                              dict(params, id=request_id, op=op))
+                response = read_message(self._file)
+            except ProtocolError as exc:
+                raise ServiceError(str(exc), kind="ProtocolError") from None
+            except (OSError, ValueError) as exc:
+                raise ServiceError(
+                    f"connection to {self.host}:{self.port} lost during "
+                    f"{op!r}: {exc}", kind="ConnectionError") from None
+        if response is None:
+            raise ServiceError(
+                f"server closed the connection during {op!r}",
+                kind="ConnectionError")
+        if response.get("id") not in (request_id, None):
+            raise ServiceError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {request_id!r}", kind="ProtocolError")
+        if not response.get("ok"):
+            kind = response.get("kind", "ServiceError")
+            error = response.get("error", "unknown server error")
+            if kind == "StoreError":
+                raise StoreError(error)
+            if kind == "QueryError":
+                raise QueryError(error)
+            raise ServiceError(error, kind=kind)
+        return response.get("result", {})
+
+    def ping(self) -> Dict[str, Any]:
+        """Round-trip health check; returns the server's protocol
+        version and shard count (raises on version mismatch)."""
+        result = self._rpc("ping")
+        if result.get("protocol") != PROTOCOL_VERSION:
+            raise ServiceError(
+                f"protocol mismatch: server speaks "
+                f"{result.get('protocol')}, client {PROTOCOL_VERSION}",
+                kind="ProtocolError")
+        return result
+
+    def stats(self) -> Dict[str, Any]:
+        """Server-side counters (requests, errors, streams, pool size)."""
+        return self._rpc("stats")
+
+    # -- runs -------------------------------------------------------------
+    def save_run(self, run: WorkflowRun) -> None:
+        self._rpc("save_run", run=run.to_dict())
+
+    def save_runs(self, runs: Iterable[WorkflowRun]) -> int:
+        saved = 0
+        chunk: List[Dict[str, Any]] = []
+        for run in runs:
+            chunk.append(run.to_dict())
+            if len(chunk) >= _SAVE_RUNS_CHUNK:
+                saved += self._rpc("save_runs", runs=chunk)["saved"]
+                chunk = []
+        if chunk:
+            saved += self._rpc("save_runs", runs=chunk)["saved"]
+        return saved
+
+    def load_run(self, run_id: str) -> WorkflowRun:
+        return WorkflowRun.from_dict(
+            self._rpc("load_run", run_id=run_id)["run"])
+
+    def load_runs(self, run_ids: Optional[Iterable[str]] = None
+                  ) -> List[WorkflowRun]:
+        ids = list(run_ids) if run_ids is not None else None
+        result = self._rpc("load_runs", run_ids=ids)
+        return [WorkflowRun.from_dict(data) for data in result["runs"]]
+
+    def list_runs(self) -> List[RunSummary]:
+        result = self._rpc("list_runs")
+        return [RunSummary(entry["run_id"], entry["workflow_id"],
+                           entry["workflow_name"], entry["status"],
+                           entry["started"], entry["finished"])
+                for entry in result["runs"]]
+
+    def has_run(self, run_id: str) -> bool:
+        return self._rpc("has_run", run_id=run_id)["has_run"]
+
+    def delete_run(self, run_id: str) -> bool:
+        return self._rpc("delete_run", run_id=run_id)["deleted"]
+
+    # -- ingest streams ---------------------------------------------------
+    def save_run_stream(self, header: WorkflowRun) -> RunStreamWriter:
+        result = self._rpc("stream_begin", header=header.to_dict())
+        return _ClientRunStream(self, result["stream"],
+                                result["already_ingested"])
+
+    def resume_run_stream(self, run_id: str) -> RunStreamWriter:
+        result = self._rpc("stream_begin", resume=True, run_id=run_id)
+        return _ClientRunStream(self, result["stream"],
+                                result["already_ingested"])
+
+    # -- workflows --------------------------------------------------------
+    def save_workflow(self, prospective: ProspectiveProvenance) -> None:
+        self._rpc("save_workflow", workflow=prospective.to_dict())
+
+    def load_workflow(self, workflow_id: str) -> ProspectiveProvenance:
+        return ProspectiveProvenance.from_dict(
+            self._rpc("load_workflow", workflow_id=workflow_id)["workflow"])
+
+    def list_workflows(self) -> List[str]:
+        return self._rpc("list_workflows")["workflows"]
+
+    # -- annotations ------------------------------------------------------
+    def save_annotation(self, annotation: Annotation) -> None:
+        self._rpc("save_annotation", annotation=annotation.to_dict())
+
+    def annotations_for(self, target_kind: str,
+                        target_id: str) -> List[Annotation]:
+        result = self._rpc("annotations_for", target_kind=target_kind,
+                           target_id=target_id)
+        return [Annotation.from_dict(data)
+                for data in result["annotations"]]
+
+    def all_annotations(self) -> List[Annotation]:
+        return [Annotation.from_dict(data)
+                for data in self._rpc("all_annotations")["annotations"]]
+
+    # -- lineage + select -------------------------------------------------
+    def lineage_closure(self, key: str, *, direction: str = "up",
+                        max_depth: Optional[int] = None,
+                        within_runs: Optional[Iterable[str]] = None
+                        ) -> frozenset:
+        result = self._rpc(
+            "lineage", key=key, direction=direction, max_depth=max_depth,
+            within_runs=(list(within_runs)
+                         if within_runs is not None else None))
+        return frozenset(result["nodes"])
+
+    def select(self, query: ProvQuery) -> ResultCursor:
+        rows = self._rpc("select", query=query.to_dict())["rows"]
+        return ResultCursor(iter(rows))
+
+    # -- lifecycle --------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            for closeable in (self._file, self._sock):
+                try:
+                    closeable.close()
+                except OSError:
+                    pass
+
+    def __repr__(self) -> str:
+        return f"ProvenanceClient({self.host}:{self.port})"
+
+
+class _ClientRunStream(RunStreamWriter):
+    """Client half of one ingest stream.
+
+    Items buffer locally and ship as one ``stream_add`` per
+    ``stream_batch`` items (or per explicit :meth:`flush`); each shipped
+    batch blocks until the server has flushed it durably, which is the
+    protocol's back-pressure.  Values passed to :meth:`add_artifact` are
+    dropped (metadata-only wire).
+    """
+
+    def __init__(self, client: ProvenanceClient, stream_id: str,
+                 already_ingested: Iterable[str]) -> None:
+        self._client = client
+        self._stream_id = stream_id
+        self._items: List[Any] = []
+        self._done = False
+        self.already_ingested = frozenset(already_ingested)
+
+    def _check_open(self) -> None:
+        if self._done:
+            raise StoreError("run stream already finished or aborted")
+
+    def _ship(self) -> None:
+        if not self._items:
+            return
+        items, self._items = self._items, []
+        self._client._rpc("stream_add", stream=self._stream_id,
+                          items=items)
+
+    def add_artifact(self, artifact: Any, *, value: Any = None,
+                     has_value: Optional[bool] = None) -> None:
+        self._check_open()
+        self._items.append(["artifact", artifact.to_dict()])
+        if len(self._items) >= self._client.stream_batch:
+            self._ship()
+
+    def add_execution(self, execution: Any) -> None:
+        self._check_open()
+        self._items.append(["execution", execution.to_dict()])
+        if len(self._items) >= self._client.stream_batch:
+            self._ship()
+
+    def flush(self) -> None:
+        self._check_open()
+        self._ship()
+
+    def finish(self, *, status: Optional[str] = None,
+               finished: Optional[float] = None,
+               tags: Optional[Dict[str, Any]] = None) -> str:
+        self._check_open()
+        self._ship()
+        self._done = True
+        result = self._client._rpc(
+            "stream_finish", stream=self._stream_id, status=status,
+            finished=finished, tags=tags)
+        return result["run_id"]
+
+    def abort(self) -> None:
+        if self._done:
+            return
+        self._done = True
+        self._items = []
+        try:
+            self._client._rpc("stream_abort", stream=self._stream_id)
+        except ServiceError:
+            pass  # connection already gone: the server aborts it for us

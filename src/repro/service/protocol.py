@@ -1,0 +1,82 @@
+"""Line-delimited JSON wire protocol for the provenance service.
+
+One request or response per ``\\n``-terminated line, each a single JSON
+object.  Requests carry a client-chosen ``id`` (echoed back), an ``op``
+name and op-specific parameters; responses carry ``ok`` plus either a
+``result`` object or ``error``/``kind`` text:
+
+.. code-block:: text
+
+    -> {"id": 7, "op": "select", "query": {"entity": "runs", ...}}
+    <- {"id": 7, "ok": true, "result": {"rows": [...]}}
+    -> {"id": 8, "op": "load_run", "run_id": "nope"}
+    <- {"id": 8, "ok": false, "kind": "StoreError", "error": "no such..."}
+
+The payload vocabulary is the model layer's existing ``to_dict`` /
+``from_dict`` forms (runs, executions, artifacts, annotations,
+prospective snapshots) plus :meth:`ProvQuery.to_dict` for query specs —
+nothing on the wire exists only on the wire.  Artifact *values* are not
+transported: the protocol is metadata-only, like ``to_dict`` itself;
+value retention stays a store-side concern.
+
+Bulk ingest is a stream of ops (``stream_begin`` → ``stream_add``\\* →
+``stream_finish``/``stream_abort``) mapping 1:1 onto the store layer's
+:class:`~repro.storage.base.RunStreamWriter`; every ``stream_add`` is
+acknowledged only after the server's per-batch ``flush`` committed, so
+a client can never run ahead of durability — that round trip *is* the
+back-pressure.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+__all__ = ["PROTOCOL_VERSION", "MAX_LINE_BYTES", "ProtocolError",
+           "read_message", "write_message"]
+
+#: Bumped on incompatible wire changes; exchanged in ``ping``.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame.  A 2048-item ``stream_add`` batch of
+#: ordinary executions is ~2 MB; 64 MB leaves two orders of magnitude of
+#: headroom while still bounding what one client can make the server
+#: buffer.
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(Exception):
+    """A malformed, oversized or truncated frame."""
+
+
+def write_message(stream: Any, message: Dict[str, Any]) -> None:
+    """Serialize one message onto a binary stream and flush it."""
+    data = json.dumps(message, separators=(",", ":"),
+                      ensure_ascii=False).encode("utf-8")
+    if len(data) + 1 > MAX_LINE_BYTES:
+        raise ProtocolError(f"message of {len(data)} bytes exceeds the "
+                            f"{MAX_LINE_BYTES}-byte frame limit")
+    stream.write(data + b"\n")
+    stream.flush()
+
+
+def read_message(stream: Any) -> Optional[Dict[str, Any]]:
+    """Read one message; ``None`` on a clean EOF (peer closed).
+
+    Raises :class:`ProtocolError` on an oversized frame, a frame that is
+    not a JSON object, or an EOF in the middle of a line.
+    """
+    line = stream.readline(MAX_LINE_BYTES + 1)
+    if not line:
+        return None
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError("frame exceeds the line-size limit")
+    if not line.endswith(b"\n"):
+        raise ProtocolError("connection closed mid-frame")
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("frame must be a JSON object")
+    return message

@@ -123,6 +123,9 @@ def _mark_interrupted(store: ProvenanceStore, run_id: str) -> None:
 
 
 def _clear_journal(store: ProvenanceStore, run_id: str) -> None:
+    shard_for = getattr(store, "shard_for", None)
+    if callable(shard_for):
+        store = shard_for(run_id)
     connection = getattr(store, "_connection", None)
     if connection is None:
         return
@@ -137,9 +140,16 @@ def _fsck_lineage(store: ProvenanceStore,
 
     Buffering backends rebuild their lineage index from whole runs, so
     they cannot hold a dangling edge; the relational edge table is
-    written incrementally and checked directly.
+    written incrementally and checked directly.  A sharded store is
+    checked shard by shard — each shard file carries its own edge table.
     """
     from repro.storage.relational import RelationalStore
+    shards = getattr(store, "shards", None)
+    if isinstance(shards, list):
+        issues: List[FsckIssue] = []
+        for shard in shards:
+            issues.extend(_fsck_lineage(shard, repair))
+        return issues
     if not isinstance(store, RelationalStore):
         return []
     connection = store._connection

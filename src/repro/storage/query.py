@@ -156,6 +156,20 @@ class LineageClause:
         self.within_runs = (tuple(within_runs)
                             if within_runs is not None else None)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (the service wire format)."""
+        return {"direction": self.direction, "key": self.key,
+                "max_depth": self.max_depth,
+                "within_runs": (list(self.within_runs)
+                                if self.within_runs is not None else None)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "LineageClause":
+        """Rebuild from :meth:`to_dict` output (QueryError when invalid)."""
+        return cls(data["direction"], data["key"],
+                   max_depth=data.get("max_depth"),
+                   within_runs=data.get("within_runs"))
+
     def __repr__(self) -> str:
         parts = [f"{self.direction}stream_of({self.key!r}"]
         if self.max_depth is not None:
@@ -348,6 +362,59 @@ class ProvQuery:
         if field not in ENTITIES[self.entity]:
             raise QueryError(
                 f"unknown field {field!r} for entity {self.entity!r}")
+
+    # -- wire form (used by the provenance service) ---------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe plain-dict form of the whole query spec.
+
+        ``in``-operator values become lists (the only filter values that
+        may arrive as sets/tuples); everything else in a query is already
+        scalar, so ``from_dict(to_dict(q))`` evaluates identically to
+        ``q`` on every backend.
+        """
+        filters = []
+        for filt in self.filters:
+            value = filt.value
+            if filt.op == "in" and isinstance(value, (set, frozenset,
+                                                      tuple)):
+                value = sorted(value) if isinstance(
+                    value, (set, frozenset)) else list(value)
+            filters.append({"field": filt.field, "op": filt.op,
+                            "value": value})
+        return {"entity": self.entity, "filters": filters,
+                "order": list(self.order), "limit": self.limit_count,
+                "offset": self.offset_count,
+                "fields": list(self.fields) if self.fields is not None
+                else None,
+                "lineage": (self.lineage.to_dict()
+                            if self.lineage is not None else None)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ProvQuery":
+        """Rebuild a query from :meth:`to_dict` output.
+
+        Raises :class:`QueryError` on malformed specs — unknown entity,
+        field or operator — exactly as the builder API would, so a
+        service can validate client-supplied queries by construction.
+        """
+        if not isinstance(data, dict):
+            raise QueryError("query spec must be a mapping")
+        filters = []
+        for spec in data.get("filters", ()):
+            if not isinstance(spec, dict):
+                raise QueryError("filter spec must be a mapping")
+            filters.append(Filter(spec.get("field", ""),
+                                  spec.get("op", "eq"), spec.get("value")))
+        lineage_data = data.get("lineage")
+        lineage = (LineageClause.from_dict(lineage_data)
+                   if lineage_data is not None else None)
+        return cls(data.get("entity", ""), filters=filters,
+                   order=tuple(data.get("order", ())),
+                   limit_count=data.get("limit"),
+                   offset_count=data.get("offset", 0),
+                   fields=(tuple(data["fields"])
+                           if data.get("fields") is not None else None),
+                   lineage=lineage)
 
     def _replace(self, **changes: Any) -> "ProvQuery":
         state = {"entity": self.entity, "filters": self.filters,

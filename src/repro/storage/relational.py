@@ -917,6 +917,23 @@ class _RelationalRunStream(RunStreamWriter):
         self.flushes += 1
         if not self._pending_execs and not self._pending_arts:
             return
+        batch_start = self._seq
+        try:
+            self._flush_batch()
+        except BaseException:
+            # a mid-batch failure must not leave half the batch sitting in
+            # the open transaction — a later finish() would commit torn
+            # state.  Roll back, restore the seq watermark, keep the staged
+            # items: the batch commits whole or not at all, and the caller
+            # may retry the same flush.
+            self._store._connection.rollback()
+            self._seq = batch_start
+            raise
+        self._pending_execs = []
+        self._pending_arts = {}
+
+    def _flush_batch(self) -> None:
+        """Insert the staged batch and advance the journal, one commit."""
         run_id = self._header.id
         cursor = self._store._connection.cursor()
         edges: List[Tuple[str, str, str, str]] = []
@@ -979,8 +996,6 @@ class _RelationalRunStream(RunStreamWriter):
             (self._seq, self._prior_flushes + self.flushes, time.time(),
              run_id))
         self._store._connection.commit()
-        self._pending_execs = []
-        self._pending_arts = {}
 
     def finish(self, *, status: Optional[str] = None,
                finished: Optional[float] = None,

@@ -117,8 +117,9 @@ class FaultSpec:
     """One scripted fault.
 
     ``site`` names the seam (``"module"``, ``"worker"``, ``"drainer"``,
-    ``"stream-flush"``, ``"cache-put"``, ``"lease"``); ``key`` is the
-    seam-specific subject (module id, run id, cache key) or ``"*"``;
+    ``"stream-flush"``, ``"cache-put"``, ``"lease"``, ``"shard-commit"``,
+    ``"service-request"``); ``key`` is the seam-specific subject (module
+    id, run id, cache key, shard, protocol op) or ``"*"``;
     ``attempts`` are the 1-based occurrence counts at which the fault
     fires; ``kind`` selects the failure mode at that seam; ``detail``
     carries a kind-specific payload (hang seconds, tear byte offset).
@@ -214,6 +215,32 @@ class FaultPlan:
         """Another owner grabs the compute lease after we acquire it."""
         return self.add(FaultSpec("lease", key,
                                   _as_attempts(attempts), "steal"))
+
+    def crash_shard_commit(self, shard_index: int,
+                           attempts: Union[int, Tuple[int, ...],
+                                           List[int]] = 1) -> "FaultPlan":
+        """Sharded bulk ingest hard-crashes just before committing the
+        given shard, leaving lower-indexed shards durably committed and
+        the rest untouched — the partial state fsck must repair."""
+        return self.add(FaultSpec("shard-commit", f"shard-{shard_index}",
+                                  _as_attempts(attempts), "crash"))
+
+    def drop_connection(self, op: str = "*",
+                        attempts: Union[int, Tuple[int, ...], List[int]] = 1
+                        ) -> "FaultPlan":
+        """Provenance service kills the client connection instead of
+        answering the Nth request of the given op — the server must then
+        abort that connection's open ingest streams."""
+        return self.add(FaultSpec("service-request", op,
+                                  _as_attempts(attempts), "drop"))
+
+    def fail_request(self, op: str = "*",
+                     attempts: Union[int, Tuple[int, ...], List[int]] = 1
+                     ) -> "FaultPlan":
+        """Provenance service answers the Nth request of the given op
+        with an injected error response (connection stays up)."""
+        return self.add(FaultSpec("service-request", op,
+                                  _as_attempts(attempts), "fail"))
 
     # -- seam API ---------------------------------------------------------
 

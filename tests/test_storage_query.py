@@ -15,11 +15,15 @@ from repro.core import Annotation, ProvenanceCapture, ProvenanceManager
 from repro.storage import (DocumentStore, MemoryStore, ProvQuery,
                            ProvenanceStore, QueryError, RelationalStore,
                            ResultCursor, StoreError, TripleProvenanceStore)
+from repro.service import ShardedProvenanceStore
 from repro.workflow import Executor
 from repro.workloads import clone_run
 from tests.conftest import build_fig1_workflow
 
-BACKENDS = ["memory", "relational", "triples", "documents"]
+#: "sharded" is the service layer's run-id-hash partitioned store (three
+#: relational shards); it must satisfy the whole contract, so it joins
+#: every parametrized parity case unchanged.
+BACKENDS = ["memory", "relational", "triples", "documents", "sharded"]
 
 
 @pytest.fixture(scope="module")
@@ -61,6 +65,8 @@ def make_store(name, tmp_path, corpus):
         "relational": lambda: RelationalStore(),
         "triples": lambda: TripleProvenanceStore(),
         "documents": lambda: DocumentStore(tmp_path / "docs"),
+        "sharded": lambda: ShardedProvenanceStore(
+            [RelationalStore() for _ in range(3)]),
     }[name]()
     store.save_runs(corpus)
     for annotation in ANNOTATIONS:
