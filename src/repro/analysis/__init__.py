@@ -1,0 +1,35 @@
+"""Static analysis of workflows, stored provenance, and conformance.
+
+Davidson & Freire list "analyzing and verifying workflow specifications"
+among the opportunities provenance opens; this package is that
+correctness layer — a lint-style rule engine with one catalog of stable
+diagnostic codes spanning three analyzer families:
+
+* :func:`lint_workflow` — prospective: is this specification safe and
+  sensible to run (beyond hard validation: dead modules, duplicate
+  producers, replay hazards, unenforceable policies)?
+* :func:`lint_store` — retrospective: is this provenance store
+  internally consistent (crash signatures, broken references, attempt
+  gaps, missing replay parents)?
+* :func:`check_conformance` — the bridge: is this recorded run a legal
+  instance of that specification?
+
+Surfaced on the command line as ``repro lint``; the legacy
+``repro.workflow.validation`` API is a strict-mode view over the same
+catalog.
+"""
+
+from repro.analysis.conformance import check_conformance
+from repro.analysis.diagnostics import (Diagnostic, LintConfig, Rule,
+                                        all_rules, render_json, render_text,
+                                        rule_for)
+from repro.analysis.store import lint_run_record, lint_store
+from repro.analysis.workflow import legacy_diagnostics, lint_workflow
+
+__all__ = [
+    "Diagnostic", "LintConfig", "Rule", "all_rules", "rule_for",
+    "render_json", "render_text",
+    "legacy_diagnostics", "lint_workflow",
+    "lint_run_record", "lint_store",
+    "check_conformance",
+]

@@ -1,0 +1,180 @@
+"""Prospective/retrospective conformance: did the run obey its spec?
+
+The paper's two provenance halves meet here: given a prospective
+:class:`~repro.workflow.spec.Workflow` and a retrospective
+:class:`~repro.core.retrospective.WorkflowRun`, verify the run is a
+legal instance of the spec —
+
+* the run's recorded signature matches the spec (E130);
+* every execution maps to a spec module (E131);
+* artifacts flowed along declared ports and declared connections: an
+  input port fed by a spec connection must carry exactly the artifact
+  its source execution produced (E132);
+* no spec module is silently missing from a completed run — skipped and
+  failed modules leave records, absence means tampering or loss (E133).
+
+Runs captured outside the workflow engine (observed processes) carry no
+spec and vacuously conform.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.diagnostics import (Diagnostic, LintConfig, finding,
+                                        register_rule)
+from repro.core.retrospective import ModuleExecution, WorkflowRun
+from repro.workflow.registry import ModuleRegistry
+from repro.workflow.serialization import workflow_from_dict
+from repro.workflow.spec import Workflow
+
+__all__ = ["check_conformance"]
+
+register_rule("E130", "signature-mismatch", "error", "conformance",
+              "run's recorded workflow signature differs from the spec")
+register_rule("E131", "rogue-execution", "error", "conformance",
+              "execution references a module absent from the spec")
+register_rule("E132", "rebound-port", "error", "conformance",
+              "binding contradicts the spec's declared ports or dataflow")
+register_rule("E133", "silent-skip", "error", "conformance",
+              "spec module left no execution record in a completed run")
+
+
+def check_conformance(run: WorkflowRun, *,
+                      workflow: Optional[Workflow] = None,
+                      registry: Optional[ModuleRegistry] = None,
+                      config: Optional[LintConfig] = None
+                      ) -> List[Diagnostic]:
+    """Verify ``run`` is a legal instance of ``workflow``.
+
+    When ``workflow`` is omitted the spec snapshot recorded on the run
+    itself is used; a run without a snapshot (observed process capture)
+    conforms vacuously.  ``registry`` additionally enables declared-port
+    checking on every binding.
+    """
+    if workflow is None:
+        if not run.workflow_spec:
+            return []
+        workflow = workflow_from_dict(run.workflow_spec)
+    where = f"run {run.id} vs workflow {workflow.name!r}"
+    diagnostics: List[Diagnostic] = []
+
+    # E130: structural identity of what ran vs. what was specified
+    if run.workflow_signature and workflow.signature() \
+            != run.workflow_signature:
+        diagnostics.append(finding(
+            "E130",
+            f"run records workflow signature "
+            f"{run.workflow_signature[:12]}.. but the spec hashes to "
+            f"{workflow.signature()[:12]}..", subject=run.id,
+            location=where,
+            hint="the spec or the run was edited after capture; "
+                 "re-derive one from the other"))
+
+    # E131: every execution must map to a spec module
+    for execution in run.executions:
+        if execution.module_id not in workflow.modules:
+            diagnostics.append(finding(
+                "E131",
+                f"execution {execution.id} ran module "
+                f"{execution.module_id!r} ({execution.module_type}), "
+                "which the spec does not contain",
+                subject=execution.id, location=where,
+                hint="the run was tampered with or belongs to a "
+                     "different workflow version"))
+
+    finals = _final_executions(run)
+    diagnostics.extend(_check_bindings(run, workflow, registry, finals,
+                                       where))
+
+    # E133: completed runs must account for every spec module
+    if run.status == "ok":
+        recorded = {execution.module_id for execution in run.executions}
+        for module_id in sorted(set(workflow.modules) - recorded):
+            module = workflow.modules[module_id]
+            diagnostics.append(finding(
+                "E133",
+                f"spec module {module.name!r} ({module_id}) left no "
+                "execution record although the run completed",
+                subject=module_id, location=where,
+                hint="even skipped modules leave records; the run "
+                     "record lost an execution"))
+    if config is not None:
+        diagnostics = config.apply(diagnostics)
+    return diagnostics
+
+
+def _final_executions(run: WorkflowRun) -> Dict[str, ModuleExecution]:
+    """The final (attempt == 0) execution per spec module."""
+    finals: Dict[str, ModuleExecution] = {}
+    for execution in run.executions:
+        if execution.attempt == 0:
+            finals.setdefault(execution.module_id, execution)
+    return finals
+
+
+def _check_bindings(run: WorkflowRun, workflow: Workflow,
+                    registry: Optional[ModuleRegistry],
+                    finals: Dict[str, ModuleExecution],
+                    where: str) -> List[Diagnostic]:
+    """E132: ports must be declared and carry the spec's dataflow.
+
+    Two independent obligations: (a) with a registry, every bound port
+    must exist on the module's declared interface; (b) for every spec
+    connection whose endpoint executions succeeded, the artifact on the
+    target input port must be exactly the artifact the source execution
+    produced on its output port — a different artifact means the port
+    was rebound after capture.
+    """
+    diagnostics: List[Diagnostic] = []
+    if registry is not None:
+        for execution in run.executions:
+            module = workflow.modules.get(execution.module_id)
+            if module is None or module.type_name not in registry:
+                continue
+            definition = registry.get(module.type_name)
+            for binding in execution.inputs:
+                if definition.input_port(binding.port) is None:
+                    diagnostics.append(finding(
+                        "E132",
+                        f"execution {execution.id} bound undeclared "
+                        f"input port {module.name}.{binding.port!r}",
+                        subject=execution.id, location=where))
+            for binding in execution.outputs:
+                if definition.output_port(binding.port) is None:
+                    diagnostics.append(finding(
+                        "E132",
+                        f"execution {execution.id} bound undeclared "
+                        f"output port {module.name}.{binding.port!r}",
+                        subject=execution.id, location=where))
+
+    for connection in workflow.connections.values():
+        source = finals.get(connection.source_module)
+        target = finals.get(connection.target_module)
+        if source is None or target is None:
+            continue
+        if not source.succeeded() or not target.succeeded():
+            continue
+        produced = _bound_artifact(source.outputs, connection.source_port)
+        consumed = _bound_artifact(target.inputs, connection.target_port)
+        if produced is None or consumed is None:
+            continue
+        if produced != consumed:
+            src = workflow.modules[connection.source_module]
+            dst = workflow.modules[connection.target_module]
+            diagnostics.append(finding(
+                "E132",
+                f"spec wires {src.name}.{connection.source_port} -> "
+                f"{dst.name}.{connection.target_port}, but the run "
+                f"carries {consumed!r} where the source produced "
+                f"{produced!r}", subject=target.id, location=where,
+                hint="the binding was rewritten after capture; the run "
+                     "is not an instance of this spec"))
+    return diagnostics
+
+
+def _bound_artifact(bindings, port: str) -> Optional[str]:
+    for binding in bindings:
+        if binding.port == port:
+            return binding.artifact_id
+    return None

@@ -1,0 +1,193 @@
+"""Rule-engine core of the static-analysis subsystem.
+
+One catalog of :class:`Rule` objects spans the three analyzer families
+(workflow, store, conformance).  Every finding is a :class:`Diagnostic`
+carrying a *stable* machine code — ``E1xx`` for errors, ``W0xx`` for
+warnings — so downstream tooling (CI gates, ``--select``/``--ignore``
+filters, dashboards) can key on codes that survive message rewording.
+
+The rule *name* doubles as the legacy :mod:`repro.workflow.validation`
+issue code for the rules that predate this package, which is what lets
+``check_workflow`` remain a thin view over this catalog.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["Diagnostic", "Rule", "LintConfig", "all_rules", "rule_for",
+           "register_rule", "finding", "render_text", "render_json"]
+
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One entry in the diagnostic catalog.
+
+    Attributes:
+        code: stable machine code (``E101``, ``W003``, ...).
+        name: kebab-case rule name; for pre-existing validation rules
+            this is exactly the legacy ``ValidationIssue.code`` string.
+        severity: default severity of findings (``error``/``warning``).
+        family: analyzer family — ``workflow``, ``store`` or
+            ``conformance``.
+        doc: one-line description for ``--help`` and the README table.
+    """
+
+    code: str
+    name: str
+    severity: str
+    family: str
+    doc: str = ""
+
+
+_CATALOG: Dict[str, Rule] = {}
+
+
+def register_rule(code: str, name: str, severity: str, family: str,
+                  doc: str = "") -> Rule:
+    """Add one rule to the catalog (codes must be unique)."""
+    if severity not in SEVERITIES:
+        raise ValueError(f"severity must be one of {SEVERITIES}")
+    if code in _CATALOG:
+        raise ValueError(f"duplicate diagnostic code: {code}")
+    rule = Rule(code=code, name=name, severity=severity, family=family,
+                doc=doc)
+    _CATALOG[code] = rule
+    return rule
+
+
+def all_rules(family: Optional[str] = None) -> List[Rule]:
+    """The full catalog (optionally one family), sorted by code."""
+    rules = [r for r in _CATALOG.values()
+             if family is None or r.family == family]
+    return sorted(rules, key=lambda r: r.code)
+
+
+def rule_for(code: str) -> Rule:
+    """Catalog entry for ``code`` (KeyError when unknown)."""
+    return _CATALOG[code]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule violated at a specific place.
+
+    Attributes:
+        code: the rule's stable code.
+        rule: the rule name (``unknown-module-type``, ``attempt-gap``...).
+        severity: ``error`` or ``warning``.
+        message: human-readable explanation.
+        subject: id of the offending entity (module, connection, run,
+            execution or artifact id; "" for global findings).
+        location: human locus — which workflow / store / run the subject
+            lives in.
+        hint: a one-line fix suggestion ("" when there is no obvious fix).
+    """
+
+    code: str
+    rule: str
+    severity: str
+    message: str
+    subject: str = ""
+    location: str = ""
+    hint: str = ""
+
+    def is_error(self) -> bool:
+        """True when this finding should fail a strict gate."""
+        return self.severity == "error"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (the ``--format json`` row schema)."""
+        return {
+            "code": self.code,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "subject": self.subject,
+            "location": self.location,
+            "hint": self.hint,
+        }
+
+    def render(self) -> str:
+        """One text-report line."""
+        where = f" [{self.location}]" if self.location else ""
+        tail = f" (fix: {self.hint})" if self.hint else ""
+        subject = f" {self.subject}:" if self.subject else ""
+        return (f"{self.code} {self.rule}{where}{subject} "
+                f"{self.message}{tail}")
+
+
+def finding(code: str, message: str, *, subject: str = "",
+            location: str = "", hint: str = "") -> Diagnostic:
+    """Build a :class:`Diagnostic` from its catalog entry."""
+    rule = rule_for(code)
+    return Diagnostic(code=rule.code, rule=rule.name,
+                      severity=rule.severity, message=message,
+                      subject=subject, location=location, hint=hint)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Which rules are enabled, flake8-style.
+
+    ``select`` and ``ignore`` hold code *prefixes*: ``E1`` matches every
+    error rule, ``W02`` the store warnings, ``E124`` one rule.  An empty
+    ``select`` enables everything; ``ignore`` is applied on top and wins
+    on the longer (more specific) prefix, so ``--select E --ignore E12``
+    and ``--ignore E --select E124`` both do what they read as.
+    """
+
+    select: Tuple[str, ...] = ()
+    ignore: Tuple[str, ...] = ()
+
+    @classmethod
+    def from_codes(cls, select: str = "", ignore: str = "") -> "LintConfig":
+        """Parse comma-separated ``--select`` / ``--ignore`` values."""
+        def split(text: str) -> Tuple[str, ...]:
+            return tuple(p.strip().upper() for p in text.split(",")
+                         if p.strip())
+        return cls(select=split(select), ignore=split(ignore))
+
+    def enabled(self, code: str) -> bool:
+        """True when findings with ``code`` should be reported."""
+        def longest(prefixes: Tuple[str, ...]) -> int:
+            matches = [len(p) for p in prefixes if code.startswith(p)]
+            return max(matches) if matches else -1
+        selected = longest(self.select) if self.select else 0
+        ignored = longest(self.ignore)
+        if selected < 0:
+            return False
+        return selected >= ignored
+
+    def apply(self, diagnostics: Iterable[Diagnostic]) -> List[Diagnostic]:
+        """Filter ``diagnostics`` down to the enabled rules."""
+        return [d for d in diagnostics if self.enabled(d.code)]
+
+
+def render_text(diagnostics: List[Diagnostic]) -> str:
+    """Human-readable multi-line report (lint-style)."""
+    if not diagnostics:
+        return "clean: no findings"
+    lines = [d.render() for d in diagnostics]
+    errors = sum(1 for d in diagnostics if d.is_error())
+    warnings = len(diagnostics) - errors
+    lines.append(f"{len(diagnostics)} finding(s): "
+                 f"{errors} error(s), {warnings} warning(s)")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: List[Diagnostic]) -> str:
+    """Machine-readable report: diagnostics plus a summary block."""
+    errors = sum(1 for d in diagnostics if d.is_error())
+    return json.dumps({
+        "diagnostics": [d.to_dict() for d in diagnostics],
+        "summary": {
+            "findings": len(diagnostics),
+            "errors": errors,
+            "warnings": len(diagnostics) - errors,
+        },
+    }, indent=2, sort_keys=True)

@@ -1,0 +1,168 @@
+"""Stored-provenance lint: the retrospective-record rule family.
+
+Read-only analysis over any :class:`~repro.storage.base.ProvenanceStore`
+— the four in-process backends, a :class:`ShardedProvenanceStore`, or a
+:class:`ProvenanceClient` speaking to a remote service.  Two layers:
+
+* **store-level** findings reuse the shared integrity walk of
+  :mod:`repro.storage.integrity` (the same detection fsck repairs):
+  partial runs, stale stream journals, dangling lineage edges;
+* **record-level** findings inspect each stored run: artifacts claiming
+  a producer that does not exist, bindings referencing missing
+  artifacts, unreferenced artifacts, retry-attempt sequences with gaps,
+  and ``derived_from_run`` parents absent from the store.
+
+Runs still in status ``running`` are skipped by the record-level rules:
+a mid-stream run legitimately holds half its executions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.diagnostics import (Diagnostic, LintConfig, finding,
+                                        register_rule)
+from repro.core.retrospective import WorkflowRun
+from repro.storage.base import ProvenanceStore, StoreError
+from repro.storage.integrity import scan_store
+from repro.storage.lineage import DERIVED_FROM_RUN
+
+__all__ = ["lint_store", "lint_run_record"]
+
+register_rule("E121", "dangling-lineage", "error", "store",
+              "lineage edge recorded by an execution that does not exist")
+register_rule("E122", "missing-producer", "error", "store",
+              "artifact names a creating execution absent from its run")
+register_rule("E123", "missing-artifact", "error", "store",
+              "execution binding references an artifact absent from its run")
+register_rule("E124", "attempt-gap", "error", "store",
+              "retry-attempt sequence of a module is not contiguous")
+register_rule("E125", "missing-parent-run", "error", "store",
+              "derived_from_run names a run absent from the store")
+register_rule("W021", "orphan-artifact", "warning", "store",
+              "produced artifact is referenced by no execution binding")
+register_rule("W022", "partial-run", "warning", "store",
+              "run is stuck in status 'running': its ingest never finished")
+register_rule("W023", "stale-stream-journal", "warning", "store",
+              "stream journal row left behind by a finished or vanished run")
+
+#: integrity-walk kind -> diagnostic code
+_INTEGRITY_CODES = {
+    "partial-run": "W022",
+    "stale-stream-journal": "W023",
+    "dangling-lineage": "E121",
+}
+
+_INTEGRITY_HINTS = {
+    "partial-run": "run `repro fsck --repair` to mark it interrupted, or "
+                   "`--resume` it from a sidecar export",
+    "stale-stream-journal": "run `repro fsck --repair` to sweep it",
+    "dangling-lineage": "run `repro fsck --repair` to delete the edge",
+}
+
+
+def lint_store(store: ProvenanceStore, *,
+               config: Optional[LintConfig] = None,
+               location: str = "") -> List[Diagnostic]:
+    """Every finding in ``store``; read-only on any backend."""
+    where = location or "store"
+    diagnostics: List[Diagnostic] = []
+    for found in scan_store(store):
+        diagnostics.append(finding(
+            _INTEGRITY_CODES[found.kind], found.detail or found.kind,
+            subject=found.subject, location=where,
+            hint=_INTEGRITY_HINTS[found.kind]))
+    summaries = [s for s in store.list_runs() if s.status != "running"]
+    for run in store.load_runs([s.run_id for s in summaries]):
+        diagnostics.extend(lint_run_record(run, store=store,
+                                           location=where))
+    if config is not None:
+        diagnostics = config.apply(diagnostics)
+    return diagnostics
+
+
+def lint_run_record(run: WorkflowRun, *,
+                    store: Optional[ProvenanceStore] = None,
+                    location: str = "") -> List[Diagnostic]:
+    """Record-level findings for one run (E122–E125, W021).
+
+    ``store`` enables the cross-run check (E125); without it only the
+    run-local invariants are verified.
+    """
+    where = f"{location or 'store'}, run {run.id}"
+    diagnostics: List[Diagnostic] = []
+    execution_ids = {execution.id for execution in run.executions}
+
+    # E122: artifacts claiming a producer that is not on record
+    for artifact_id in sorted(run.artifacts):
+        artifact = run.artifacts[artifact_id]
+        for producer in [artifact.created_by, *artifact.also_produced_by]:
+            if producer and producer not in execution_ids:
+                diagnostics.append(finding(
+                    "E122",
+                    f"artifact {artifact_id} claims producer "
+                    f"{producer!r}, which is not an execution of this run",
+                    subject=artifact_id, location=where,
+                    hint="the run record was truncated or hand-edited; "
+                         "re-ingest it from an authoritative export"))
+
+    # E123: bindings referencing artifacts that are not on record
+    referenced = set()
+    for execution in run.executions:
+        for binding in (*execution.inputs, *execution.outputs):
+            referenced.add(binding.artifact_id)
+            if binding.artifact_id not in run.artifacts:
+                diagnostics.append(finding(
+                    "E123",
+                    f"execution {execution.id} binds port "
+                    f"{binding.port!r} to missing artifact "
+                    f"{binding.artifact_id!r}",
+                    subject=execution.id, location=where,
+                    hint="re-ingest the run from an authoritative export"))
+
+    # W021: produced artifacts no binding ever mentions
+    for artifact_id in sorted(run.artifacts):
+        artifact = run.artifacts[artifact_id]
+        if artifact.is_external() or artifact_id in referenced:
+            continue
+        diagnostics.append(finding(
+            "W021",
+            f"artifact {artifact_id} (hash "
+            f"{artifact.value_hash[:12]}..) is referenced by no "
+            "execution binding", subject=artifact_id, location=where,
+            hint="delete the orphan record or restore the execution "
+                 "that produced it"))
+
+    # E124: failed-attempt sequences must be contiguous from 1
+    attempts = {}
+    for execution in run.executions:
+        if execution.attempt >= 1:
+            attempts.setdefault(execution.module_id, []).append(
+                execution.attempt)
+    for module_id in sorted(attempts):
+        sequence = sorted(attempts[module_id])
+        expected = list(range(1, len(sequence) + 1))
+        if sequence != expected:
+            diagnostics.append(finding(
+                "E124",
+                f"module {module_id} records attempts {sequence}, "
+                f"expected the contiguous sequence {expected}",
+                subject=module_id, location=where,
+                hint="an attempt record was lost or duplicated during "
+                     "ingest; re-ingest the run"))
+
+    # E125: the replay parent must exist wherever the run is stored
+    parent = (run.tags or {}).get(DERIVED_FROM_RUN)
+    if store is not None and isinstance(parent, str) and parent:
+        try:
+            present = store.has_run(parent)
+        except StoreError:
+            present = False
+        if not present:
+            diagnostics.append(finding(
+                "E125",
+                f"run derives from {parent!r}, which is absent from "
+                "the store", subject=run.id, location=where,
+                hint="ingest the parent run or drop the "
+                     "derived_from_run tag"))
+    return diagnostics

@@ -1,0 +1,481 @@
+"""Workflow static analysis: the prospective-provenance rule family.
+
+Two tiers share one catalog:
+
+* the **legacy** rules (E101–E109, W001) are exactly what
+  :func:`repro.workflow.validation.check_workflow` has always enforced —
+  unknown types, bad ports/parameters, unbound mandatory inputs, cycles;
+  :func:`legacy_diagnostics` runs only these, and ``check_workflow`` is
+  now a thin view over it (the rule *name* is the legacy issue code);
+* the **extended** rules (W002–W008) catch specification smells that are
+  legal to execute but waste compute or diverge under replay: dead
+  modules, duplicate producers, unbound typed parameters, interface
+  drift against a prospective snapshot, non-deterministic modules
+  feeding cached cones, and retry/timeout policies the configured
+  backend cannot actually enforce.
+
+:func:`lint_workflow` runs both tiers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.diagnostics import (Diagnostic, LintConfig, finding,
+                                        register_rule)
+from repro.identity import canonical_json
+from repro.workflow.errors import CycleError
+from repro.workflow.faults import RetryConfig, resolve_retry
+from repro.workflow.registry import ModuleRegistry
+from repro.workflow.spec import Workflow
+
+__all__ = ["legacy_diagnostics", "lint_workflow"]
+
+# -- catalog: legacy validation rules (names are the legacy issue codes) --
+register_rule("E101", "unknown-module-type", "error", "workflow",
+              "module references a type absent from the registry")
+register_rule("E102", "unknown-parameter", "error", "workflow",
+              "module overrides a parameter its type does not declare")
+register_rule("E103", "bad-parameter-value", "error", "workflow",
+              "parameter override has the wrong kind for its declaration")
+register_rule("E104", "dangling-connection", "error", "workflow",
+              "connection references a module missing from the workflow")
+register_rule("E105", "unknown-output-port", "error", "workflow",
+              "connection leaves a port its source type does not declare")
+register_rule("E106", "unknown-input-port", "error", "workflow",
+              "connection enters a port its target type does not declare")
+register_rule("E107", "type-mismatch", "error", "workflow",
+              "connected ports have incompatible types")
+register_rule("E108", "unbound-input", "error", "workflow",
+              "mandatory input port is not connected")
+register_rule("E109", "cycle", "error", "workflow",
+              "workflow graph contains a cycle")
+register_rule("W001", "implicit-downcast", "warning", "workflow",
+              "Any-typed output feeds a typed input; checked at runtime")
+
+# -- catalog: extended static-analysis rules ------------------------------
+register_rule("W002", "disconnected-module", "warning", "workflow",
+              "module participates in no connection (dead in a dataflow)")
+register_rule("W003", "duplicate-producer", "warning", "workflow",
+              "two modules compute the identical artifact (same type, "
+              "parameters and upstream cone)")
+register_rule("W004", "unbound-parameter", "warning", "workflow",
+              "typed parameter has neither a default nor an override")
+register_rule("W005", "interface-drift", "warning", "workflow",
+              "registry definition no longer matches the prospective "
+              "snapshot the workflow was recorded against")
+register_rule("W006", "nondeterministic-producer", "warning", "workflow",
+              "deterministic=False module feeds deterministic consumers; "
+              "cached/replayed downstream results may diverge")
+register_rule("W007", "uncooperative-timeout", "warning", "workflow",
+              "retry timeout is only enforced cooperatively on the "
+              "configured backend")
+register_rule("W008", "timeout-without-retry", "warning", "workflow",
+              "retry timeout set with max_attempts=1: a timed-out module "
+              "fails the run with no retry budget")
+
+
+def legacy_diagnostics(workflow: Workflow,
+                       registry: ModuleRegistry) -> List[Diagnostic]:
+    """The pre-analysis validation rules (E101–E109, W001) only.
+
+    This is the exact rule set :func:`repro.workflow.validation
+    .check_workflow` enforces; it exists so the legacy API can stay a
+    thin adapter over the one catalog.
+    """
+    diagnostics: List[Diagnostic] = []
+    diagnostics.extend(_check_modules(workflow, registry))
+    diagnostics.extend(_check_connections(workflow, registry))
+    diagnostics.extend(_check_mandatory_inputs(workflow, registry))
+    diagnostics.extend(_check_acyclicity(workflow))
+    return diagnostics
+
+
+def lint_workflow(workflow: Workflow, registry: ModuleRegistry, *,
+                  retry: RetryConfig = None,
+                  backend: Optional[str] = None,
+                  prospective: Optional[Any] = None,
+                  config: Optional[LintConfig] = None) -> List[Diagnostic]:
+    """Every workflow finding: legacy validation plus the extended rules.
+
+    ``retry``/``backend`` describe the intended execution context and
+    gate the policy rules (W007/W008); ``prospective`` is an optional
+    :class:`~repro.core.prospective.ProspectiveProvenance` snapshot to
+    diff the live registry against (W005).
+    """
+    diagnostics = legacy_diagnostics(workflow, registry)
+    diagnostics.extend(_check_disconnected(workflow))
+    diagnostics.extend(_check_duplicate_producers(workflow, registry))
+    diagnostics.extend(_check_unbound_parameters(workflow, registry))
+    if prospective is not None:
+        diagnostics.extend(_check_interface_drift(
+            workflow, registry, prospective))
+    diagnostics.extend(_check_nondeterministic_cone(workflow, registry))
+    if retry is not None:
+        diagnostics.extend(_check_retry_policies(
+            workflow, registry, retry, backend))
+    if config is not None:
+        diagnostics = config.apply(diagnostics)
+    return diagnostics
+
+
+# ----------------------------------------------------------------------
+# legacy tier
+# ----------------------------------------------------------------------
+def _check_modules(workflow: Workflow,
+                   registry: ModuleRegistry) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    for module in workflow.modules.values():
+        if module.type_name not in registry:
+            diagnostics.append(finding(
+                "E101",
+                f"module {module.name!r} has unknown type "
+                f"{module.type_name!r}", subject=module.id,
+                hint="register the type or fix the spelling"))
+            continue
+        definition = registry.get(module.type_name)
+        for name, value in module.parameters.items():
+            spec = definition.parameter(name)
+            if spec is None:
+                diagnostics.append(finding(
+                    "E102",
+                    f"module {module.name!r} sets unknown parameter "
+                    f"{name!r}", subject=module.id,
+                    hint="remove the override or declare the parameter"))
+            elif not spec.accepts(value):
+                diagnostics.append(finding(
+                    "E103",
+                    f"module {module.name!r} parameter {name!r} expects "
+                    f"{spec.kind}, got {value!r}", subject=module.id))
+    return diagnostics
+
+
+def _check_connections(workflow: Workflow,
+                       registry: ModuleRegistry) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    for connection in workflow.connections.values():
+        source = workflow.modules.get(connection.source_module)
+        target = workflow.modules.get(connection.target_module)
+        if source is None or target is None:
+            diagnostics.append(finding(
+                "E104",
+                f"connection {connection.id} references a missing module",
+                subject=connection.id,
+                hint="remove the connection or restore the module"))
+            continue
+        if source.type_name not in registry or target.type_name not in registry:
+            continue  # already reported as unknown-module-type
+        source_def = registry.get(source.type_name)
+        target_def = registry.get(target.type_name)
+        out_port = source_def.output_port(connection.source_port)
+        in_port = target_def.input_port(connection.target_port)
+        if out_port is None:
+            diagnostics.append(finding(
+                "E105",
+                f"{source.name!r} has no output port "
+                f"{connection.source_port!r}", subject=connection.id))
+        if in_port is None:
+            diagnostics.append(finding(
+                "E106",
+                f"{target.name!r} has no input port "
+                f"{connection.target_port!r}", subject=connection.id))
+        if out_port is not None and in_port is not None:
+            compatible = registry.types.is_subtype(out_port.type_name,
+                                                   in_port.type_name)
+            if not compatible and out_port.type_name == "Any":
+                # dynamic downcast: an Any-typed source may carry anything,
+                # so flag it as a warning rather than rejecting the workflow
+                diagnostics.append(finding(
+                    "W001",
+                    f"connection {source.name}.{out_port.name} (Any) to "
+                    f"{target.name}.{in_port.name} ({in_port.type_name}) "
+                    "is checked only at runtime", subject=connection.id))
+            elif not compatible:
+                diagnostics.append(finding(
+                    "E107",
+                    f"cannot connect {source.name}.{out_port.name} "
+                    f"({out_port.type_name}) to {target.name}.{in_port.name} "
+                    f"({in_port.type_name})", subject=connection.id))
+    return diagnostics
+
+
+def _check_mandatory_inputs(workflow: Workflow,
+                            registry: ModuleRegistry) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    bound = {(c.target_module, c.target_port)
+             for c in workflow.connections.values()}
+    for module in workflow.modules.values():
+        if module.type_name not in registry:
+            continue
+        definition = registry.get(module.type_name)
+        for port in definition.input_ports:
+            if not port.optional and (module.id, port.name) not in bound:
+                diagnostics.append(finding(
+                    "E108",
+                    f"mandatory input {module.name}.{port.name} is not "
+                    "connected", subject=module.id,
+                    hint="connect the port or bind it externally"))
+    return diagnostics
+
+
+def _check_acyclicity(workflow: Workflow) -> List[Diagnostic]:
+    # a dangling connection (already reported as E104) makes the graph
+    # walk raise KeyError before cycles are even decidable — skip
+    if any(c.source_module not in workflow.modules
+           or c.target_module not in workflow.modules
+           for c in workflow.connections.values()):
+        return []
+    try:
+        workflow.topological_order()
+    except CycleError as exc:
+        return [finding("E109", str(exc))]
+    return []
+
+
+# ----------------------------------------------------------------------
+# extended tier
+# ----------------------------------------------------------------------
+def _check_disconnected(workflow: Workflow) -> List[Diagnostic]:
+    """W002: modules no connection touches, in a connected workflow.
+
+    A single-module workflow is a legitimate degenerate pipeline, so the
+    rule only fires once the workflow has at least one connection (i.e.
+    it *is* a dataflow and this module is outside it).
+    """
+    if not workflow.connections:
+        return []
+    connected = set()
+    for connection in workflow.connections.values():
+        connected.update(connection.endpoints())
+    diagnostics = []
+    for module_id in sorted(set(workflow.modules) - connected):
+        module = workflow.modules[module_id]
+        diagnostics.append(finding(
+            "W002",
+            f"module {module.name!r} participates in no connection; it "
+            "can never contribute to a data product", subject=module_id,
+            hint="connect it or remove it from the workflow"))
+    return diagnostics
+
+
+def _producer_signature(workflow: Workflow, registry: ModuleRegistry,
+                        module_id: str,
+                        memo: Dict[str, Optional[str]]) -> Optional[str]:
+    """Structural signature of the computation rooted at ``module_id``.
+
+    Two modules with equal signatures — same type, same resolved
+    parameters, and structurally identical upstream cones wired to the
+    same ports — compute identical artifacts under deterministic
+    semantics.  Returns None (never equal) for unknown types,
+    non-deterministic modules, and cyclic cones.
+    """
+    if module_id in memo:
+        return memo[module_id]
+    memo[module_id] = None  # cycle guard: a revisit means a cycle
+    module = workflow.modules[module_id]
+    if module.type_name not in registry:
+        return None
+    definition = registry.get(module.type_name)
+    if not definition.deterministic:
+        return None
+    upstream = []
+    for connection in workflow.incoming(module_id):
+        if connection.source_module not in workflow.modules:
+            return None
+        source_sig = _producer_signature(workflow, registry,
+                                         connection.source_module, memo)
+        if source_sig is None:
+            return None
+        upstream.append([connection.target_port, connection.source_port,
+                         source_sig])
+    signature = canonical_json({
+        "type": module.type_name,
+        "version": definition.version,
+        "parameters": definition.resolve_parameters(module.parameters),
+        "upstream": sorted(upstream),
+    })
+    memo[module_id] = signature
+    return signature
+
+
+def _check_duplicate_producers(workflow: Workflow,
+                               registry: ModuleRegistry) -> List[Diagnostic]:
+    """W003: two modules whose whole upstream cones are identical."""
+    memo: Dict[str, Optional[str]] = {}
+    producers: Dict[str, str] = {}
+    diagnostics = []
+    for module_id in sorted(workflow.modules):
+        signature = _producer_signature(workflow, registry, module_id, memo)
+        if signature is None:
+            continue
+        first = producers.get(signature)
+        if first is None:
+            producers[signature] = module_id
+            continue
+        original = workflow.modules[first]
+        duplicate = workflow.modules[module_id]
+        diagnostics.append(finding(
+            "W003",
+            f"module {duplicate.name!r} duplicates {original.name!r}: same "
+            "type, parameters and upstream cone produce the same artifact",
+            subject=module_id,
+            hint="reuse the existing module's outputs (or rely on the "
+                 "result cache and accept the redundant node)"))
+    return diagnostics
+
+
+def _check_unbound_parameters(workflow: Workflow,
+                              registry: ModuleRegistry) -> List[Diagnostic]:
+    """W004: typed parameters that resolve to None at compute time.
+
+    A ``kind='json'`` parameter legitimately defaults to None (anything
+    goes, including null), so the rule is restricted to typed parameters
+    — where None can never satisfy ``accepts`` and the compute function
+    will see a value outside its declared domain.
+    """
+    diagnostics = []
+    for module_id in sorted(workflow.modules):
+        module = workflow.modules[module_id]
+        if module.type_name not in registry:
+            continue
+        definition = registry.get(module.type_name)
+        for spec in definition.parameters:
+            if spec.kind == "json":
+                continue
+            resolved = module.parameters.get(spec.name, spec.default)
+            if resolved is None:
+                diagnostics.append(finding(
+                    "W004",
+                    f"typed parameter {module.name}.{spec.name} "
+                    f"({spec.kind}) has no default and no override; the "
+                    "module will compute with None", subject=module_id,
+                    hint=f"set a {spec.kind} override on the instance or "
+                         "declare a default"))
+    return diagnostics
+
+
+def _check_interface_drift(workflow: Workflow, registry: ModuleRegistry,
+                           prospective: Any) -> List[Diagnostic]:
+    """W005: live registry disagrees with the recorded snapshot.
+
+    ``prospective.interfaces`` froze each module type's version, ports
+    and determinism at recording time; a drifted registry means a rerun
+    of this workflow is not the experiment the snapshot describes.
+    """
+    interfaces = getattr(prospective, "interfaces", None) or {}
+    diagnostics = []
+    seen = set()
+    for module_id in sorted(workflow.modules):
+        module = workflow.modules[module_id]
+        snapshot = interfaces.get(module.type_name)
+        if snapshot is None or module.type_name in seen:
+            continue
+        seen.add(module.type_name)
+        if module.type_name not in registry:
+            diagnostics.append(finding(
+                "W005",
+                f"type {module.type_name!r} was snapshotted but is no "
+                "longer registered", subject=module_id,
+                hint="re-register the module library the snapshot used"))
+            continue
+        definition = registry.get(module.type_name)
+        drifts = []
+        if snapshot.get("version") != definition.version:
+            drifts.append(f"version {snapshot.get('version')!r} -> "
+                          f"{definition.version!r}")
+        snap_outputs = {(p["name"], p["type"])
+                        for p in snapshot.get("outputs", [])}
+        live_outputs = {(p.name, p.type_name)
+                        for p in definition.output_ports}
+        if snap_outputs != live_outputs:
+            drifts.append("declared outputs changed")
+        snap_inputs = {(p["name"], p["type"], bool(p.get("optional")))
+                       for p in snapshot.get("inputs", [])}
+        live_inputs = {(p.name, p.type_name, p.optional)
+                       for p in definition.input_ports}
+        if snap_inputs != live_inputs:
+            drifts.append("declared inputs changed")
+        if bool(snapshot.get("deterministic", True)) \
+                != definition.deterministic:
+            drifts.append("determinism changed")
+        if drifts:
+            diagnostics.append(finding(
+                "W005",
+                f"type {module.type_name!r} drifted from its prospective "
+                f"snapshot: {', '.join(drifts)}", subject=module_id,
+                hint="bump the module version and re-record the workflow"))
+    return diagnostics
+
+
+def _check_nondeterministic_cone(workflow: Workflow,
+                                 registry: ModuleRegistry
+                                 ) -> List[Diagnostic]:
+    """W006: a deterministic=False module feeding deterministic work.
+
+    Downstream deterministic modules are cached and replayed by causal
+    signature; when their inputs come from a non-deterministic producer,
+    a replay can silently reuse results derived from *different* random
+    draws — the replay-divergence hazard the cache/lease machinery
+    cannot see.
+    """
+    diagnostics = []
+    for module_id in sorted(workflow.modules):
+        module = workflow.modules[module_id]
+        if module.type_name not in registry:
+            continue
+        if registry.get(module.type_name).deterministic:
+            continue
+        consumers = [
+            successor for successor in workflow.successors(module_id)
+            if workflow.modules[successor].type_name in registry
+            and registry.get(
+                workflow.modules[successor].type_name).deterministic]
+        if consumers:
+            names = ", ".join(
+                repr(workflow.modules[c].name) for c in consumers)
+            diagnostics.append(finding(
+                "W006",
+                f"non-deterministic module {module.name!r} feeds "
+                f"deterministic consumer(s) {names}; cached replays of "
+                "the cone may diverge from a fresh execution",
+                subject=module_id,
+                hint="seed the module (deterministic=True) or exclude "
+                     "the cone from result caching"))
+    return diagnostics
+
+
+#: Backends on which a retry timeout is a cooperative deadline (checked
+#: at module boundaries / via ModuleContext.check_deadline) rather than
+#: an enforced kill.  ``None`` means the executor default (serial).
+_COOPERATIVE_BACKENDS = (None, "serial", "thread")
+
+
+def _check_retry_policies(workflow: Workflow, registry: ModuleRegistry,
+                          retry: RetryConfig,
+                          backend: Optional[str]) -> List[Diagnostic]:
+    """W007/W008: per-module policy vs. the configured backend."""
+    diagnostics = []
+    for module_id in sorted(workflow.modules):
+        module = workflow.modules[module_id]
+        policy = resolve_retry(retry, module.type_name)
+        if policy.timeout is None:
+            continue
+        if backend in _COOPERATIVE_BACKENDS:
+            shown = backend or "serial"
+            diagnostics.append(finding(
+                "W007",
+                f"timeout {policy.timeout}s on {module.name!r} is only "
+                f"cooperative on the {shown!r} backend: a module that "
+                "never checks its deadline rides out the hang",
+                subject=module_id,
+                hint="use backend='process' for deadline kills, or call "
+                     "ctx.check_deadline() inside the module loop"))
+        if policy.max_attempts <= 1:
+            diagnostics.append(finding(
+                "W008",
+                f"timeout {policy.timeout}s on {module.name!r} with "
+                "max_attempts=1: a timeout fails the run immediately "
+                "with no retry budget", subject=module_id,
+                hint="raise max_attempts so a timed-out attempt can be "
+                     "retried"))
+    return diagnostics

@@ -24,6 +24,9 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
                                     # detect & repair crash damage
     python -m repro fsck prov.db --resume run.json
                                     # finish an interrupted ingest
+    python -m repro lint --examples # static-analyze the example workflows
+    python -m repro lint --store prov.db --run <id> --format json
+                                    # lint stored provenance + conformance
     python -m repro serve --root ./prov --shards 4 --port 7643
                                     # share the store with many clients
     python -m repro observe --server 127.0.0.1:7643 -- make all
@@ -172,6 +175,120 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
     if not issues:
         print("clean: no issues found")
     return 1 if any(not issue.repaired for issue in issues) else 0
+
+
+def _example_workflows():
+    """The built-in example workflows, name -> Workflow."""
+    from repro.workloads import (build_enviro_workflow, build_fig2_pair,
+                                 build_fmri_workflow, build_genomics_workflow,
+                                 build_vis_workflow, chain_workflow,
+                                 wide_workflow)
+    fig2_before, fig2_after = build_fig2_pair()
+    return {
+        "figure1-visualization": build_vis_workflow(),
+        "figure2-before": fig2_before,
+        "figure2-after": fig2_after,
+        "fmri-challenge": build_fmri_workflow(),
+        "genomics": build_genomics_workflow(),
+        "environmental": build_enviro_workflow(),
+        "chain": chain_workflow(6),
+        "wide": wide_workflow(),
+    }
+
+
+def _lint_open_store(args: argparse.Namespace):
+    """The store named by --store/--server (None when neither given)."""
+    if args.server:
+        from repro.service import ProvenanceClient
+        return ProvenanceClient.connect(args.server)
+    if not args.store:
+        return None
+    if args.store_backend == "documents":
+        from repro.storage.documents import DocumentStore
+        return DocumentStore(args.store)
+    if args.store_backend == "sharded":
+        from repro.service import ShardedProvenanceStore
+        return ShardedProvenanceStore.open(args.store, shards=args.shards)
+    from repro.storage.relational import RelationalStore
+    return RelationalStore(args.store)
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Static analysis: workflows, stored provenance, conformance.
+
+    Exit codes are lint-style: 0 clean, 1 findings reported, 2 usage or
+    load error.
+    """
+    import dataclasses
+    import json
+    from repro.analysis import (LintConfig, check_conformance, lint_store,
+                                lint_workflow, render_json, render_text)
+    from repro.storage import StoreError
+    from repro.workflow.modules import standard_registry
+    from repro.workflow.serialization import load_workflow
+
+    config = LintConfig.from_codes(args.select, args.ignore)
+    registry = standard_registry()
+    retry = None
+    if args.retries > 1 or args.module_timeout > 0:
+        from repro.workflow.faults import RetryPolicy
+        retry = RetryPolicy(max_attempts=max(1, args.retries),
+                            timeout=args.module_timeout or None)
+    diagnostics = []
+    targets = []
+    try:
+        for path in args.workflow:
+            with open(path) as handle:
+                targets.append((path, load_workflow(handle)))
+    except (OSError, ValueError, KeyError) as error:
+        print(f"cannot load workflow: {error}", file=sys.stderr)
+        return 2
+    if args.examples:
+        targets.extend(_example_workflows().items())
+    for name, workflow in targets:
+        for diagnostic in lint_workflow(workflow, registry, retry=retry,
+                                        backend=args.backend,
+                                        config=config):
+            if not diagnostic.location:
+                diagnostic = dataclasses.replace(
+                    diagnostic, location=f"workflow {name}")
+            diagnostics.append(diagnostic)
+    store = None
+    try:
+        store = _lint_open_store(args)
+    except (StoreError, OSError) as error:
+        print(f"cannot open store: {error}", file=sys.stderr)
+        return 2
+    if args.run and store is None:
+        print("--run requires --store or --server", file=sys.stderr)
+        return 2
+    try:
+        if store is not None:
+            location = args.server or args.store
+            diagnostics.extend(lint_store(store, config=config,
+                                          location=location))
+            for run_id in args.run:
+                try:
+                    run = store.load_run(run_id)
+                except StoreError as error:
+                    print(f"cannot load run: {error}", file=sys.stderr)
+                    return 2
+                workflow = targets[0][1] if targets else None
+                diagnostics.extend(check_conformance(
+                    run, workflow=workflow, registry=registry,
+                    config=config))
+    finally:
+        if store is not None and hasattr(store, "close"):
+            store.close()
+    report = (render_json(diagnostics) if args.format == "json"
+              else render_text(diagnostics))
+    print(report)
+    if args.output:
+        payload = report if args.format == "json" else json.dumps(
+            {"diagnostics": [d.to_dict() for d in diagnostics]}, indent=2)
+        with open(args.output, "w") as handle:
+            handle.write(payload + "\n")
+    return 1 if diagnostics else 0
 
 
 def _cmd_recipe(args: argparse.Namespace) -> int:
@@ -461,6 +578,52 @@ def build_parser() -> argparse.ArgumentParser:
                            "(run.to_dict()); re-attach its stream and "
                            "ingest the missing tail before checking")
     fsck.set_defaults(handler=_cmd_fsck)
+
+    lint = subparsers.add_parser(
+        "lint", help="static analysis: lint workflow specs, stored "
+                     "provenance, and run-vs-spec conformance "
+                     "(exit 0 clean / 1 findings / 2 error)")
+    lint.add_argument("--workflow", action="append", default=[],
+                      metavar="PATH",
+                      help="workflow JSON file to analyze (repeatable)")
+    lint.add_argument("--examples", action="store_true",
+                      help="lint every built-in example workflow")
+    lint.add_argument("--store", default="",
+                      help="provenance store path to lint read-only")
+    lint.add_argument("--store-backend",
+                      choices=["relational", "documents", "sharded"],
+                      default="relational",
+                      help="which backend the store path holds")
+    lint.add_argument("--shards", type=int, default=4,
+                      help="shard count for --store-backend sharded")
+    lint.add_argument("--server", default="",
+                      help="host:port of a running `repro serve`; the "
+                           "store is linted over the wire")
+    lint.add_argument("--run", action="append", default=[], metavar="ID",
+                      help="stored run to conformance-check against its "
+                           "recorded spec (or the first --workflow); "
+                           "repeatable")
+    lint.add_argument("--format", choices=["text", "json"], default="text",
+                      help="report format")
+    lint.add_argument("--output", default="", metavar="PATH",
+                      help="also write the JSON diagnostics to a file "
+                           "(for CI artifacts)")
+    lint.add_argument("--select", default="",
+                      help="comma-separated code prefixes to enable "
+                           "(default: all; e.g. E1,W00)")
+    lint.add_argument("--ignore", default="",
+                      help="comma-separated code prefixes to disable")
+    lint.add_argument("--retries", type=int, default=1,
+                      help="intended attempts per module; enables the "
+                           "retry-policy rules")
+    lint.add_argument("--module-timeout", type=float, default=0.0,
+                      help="intended per-attempt timeout in seconds; "
+                           "enables the timeout-policy rules")
+    lint.add_argument("--backend", choices=["serial", "thread", "process"],
+                      default=None,
+                      help="intended execution backend for the policy "
+                           "rules")
+    lint.set_defaults(handler=_cmd_lint)
 
     recipe = subparsers.add_parser(
         "recipe", help="print the Figure 1 prospective recipe")

@@ -18,12 +18,10 @@ splits the read and write paths:
 **No torn reads.**  Every open ingest stream registers its run id as
 *in flight*; read operations mask in-flight runs (an extra ``ne`` filter
 on ``select``, filtered listings, ``StoreError``/``False`` on point
-lookups) until ``stream_finish`` commits and deregisters — at which point
-the run appears atomically, in ingest order: a run is acknowledged
-durable to its writer strictly before it becomes visible to any reader.
-The one documented exception is ``lineage``: closures may transiently
-traverse edges of a mid-stream run (content hashes are global), but the
-rows of such a run are still never returned.
+lookups, and lineage closures restricted to the edges of committed runs)
+until ``stream_finish`` commits and deregisters — at which point the run
+appears atomically, in ingest order: a run is acknowledged durable to
+its writer strictly before it becomes visible to any reader.
 
 **Back-pressure.**  Each ``stream_add`` batch is flushed (one shard
 transaction) before it is acknowledged, so a client can never buffer more
@@ -408,11 +406,22 @@ class ProvenanceService:
 
     def _op_lineage(self, message: Dict[str, Any], streams: Any
                     ) -> Dict[str, Any]:
+        within_runs = message.get("within_runs")
+        inflight = self._inflight_ids()
         with self._read_view() as store:
+            if inflight:
+                # mask in-flight runs exactly like the row queries do:
+                # restrict the traversal to edges recorded by committed
+                # runs, so a mid-stream ingest contributes nothing until
+                # its `finish` makes the whole run visible atomically
+                allowed = {s.run_id for s in store.list_runs()} - inflight
+                if within_runs is not None:
+                    allowed &= set(within_runs)
+                within_runs = sorted(allowed)
             nodes = store.lineage_closure(
                 message["key"], direction=message.get("direction", "up"),
                 max_depth=message.get("max_depth"),
-                within_runs=message.get("within_runs"))
+                within_runs=within_runs)
         return {"nodes": sorted(nodes)}
 
     def _op_list_runs(self, message: Dict[str, Any], streams: Any

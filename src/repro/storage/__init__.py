@@ -15,6 +15,7 @@ from repro.storage.base import (ProvenanceStore, RunSummary, StoreError,
 from repro.storage.documents import DocumentStore
 from repro.storage.fsck import (INTERRUPTED_STATUS, FsckIssue, fsck_cache,
                                 fsck_store, resume_run)
+from repro.storage.integrity import IntegrityFinding, scan_store
 from repro.storage.lineage import (DERIVED_FROM_RUN, LineageEdge,
                                    LineageIndex, RUN_NODE_PREFIX,
                                    hash_closure, lineage_edges,
@@ -35,6 +36,7 @@ __all__ = [
     "hash_closure", "lineage_edges", "run_id_from_node", "run_node",
     "INTERRUPTED_STATUS", "FsckIssue", "fsck_cache", "fsck_store",
     "resume_run",
+    "IntegrityFinding", "scan_store",
     "DocumentStore", "MemoryStore", "RelationalStore",
     "PROV", "TripleProvenanceStore", "TripleStore",
     "run_from_triples", "run_to_triples",

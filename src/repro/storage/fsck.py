@@ -34,7 +34,7 @@ from typing import Any, List
 
 from repro.core.retrospective import WorkflowRun
 from repro.storage.base import ProvenanceStore, StoreError
-from repro.storage.lineage import DERIVED_FROM_RUN
+from repro.storage.integrity import scan_store
 
 __all__ = ["FsckIssue", "INTERRUPTED_STATUS", "fsck_store", "fsck_cache",
            "resume_run"]
@@ -70,43 +70,26 @@ def fsck_store(store: ProvenanceStore,
                repair: bool = False) -> List[FsckIssue]:
     """Check ``store`` for crash damage; repair in place when asked.
 
-    Detects runs stuck in status ``running`` (an ingest that never
-    reached ``finish``), stream-journal rows without a matching live
-    ingest, and lineage edges whose recording execution no longer
-    exists.  Repair marks partial runs :data:`INTERRUPTED_STATUS`
+    Detection is the shared read-only walk of
+    :func:`repro.storage.integrity.scan_store` (the same facts `repro
+    lint` reports as diagnostics): runs stuck in status ``running`` (an
+    ingest that never reached ``finish``), stream-journal rows without a
+    matching live ingest, and lineage edges whose recording execution no
+    longer exists.  Repair marks partial runs :data:`INTERRUPTED_STATUS`
     (which also clears their journal rows) and deletes the orphans.
     """
     issues: List[FsckIssue] = []
-    journals = {}
-    stream_states = getattr(store, "stream_states", None)
-    if callable(stream_states):
-        for run_id, epoch, committed_seq, flushes in stream_states():
-            journals[run_id] = (epoch, committed_seq, flushes)
-    for summary in store.list_runs():
-        if summary.status != "running":
-            continue
-        journal = journals.pop(summary.run_id, None)
-        if journal is None:
-            detail = "ingest never finished; no stream journal"
-        else:
-            detail = (f"stream epoch {journal[0]}: {journal[1]} "
-                      f"execution(s) committed over {journal[2]} flush(es)")
-        issue = FsckIssue("partial-run", summary.run_id, detail)
+    for found in scan_store(store):
+        issue = FsckIssue(found.kind, found.subject, found.detail)
         if repair:
-            _mark_interrupted(store, summary.run_id)
+            if found.kind == "partial-run":
+                _mark_interrupted(store, found.subject)
+            elif found.kind == "stale-stream-journal":
+                _clear_journal(store, found.subject)
+            elif found.kind == "dangling-lineage":
+                _delete_edge(store, found.edge)
             issue.repaired = True
         issues.append(issue)
-    # journal rows whose run finished (or vanished) are leftovers of a
-    # crash between the sealing UPDATE and the journal DELETE — harmless
-    # but misleading, so they are reported and swept
-    for run_id in sorted(journals):
-        issue = FsckIssue("stale-stream-journal", run_id,
-                          f"stream epoch {journals[run_id][0]}")
-        if repair:
-            _clear_journal(store, run_id)
-            issue.repaired = True
-        issues.append(issue)
-    issues.extend(_fsck_lineage(store, repair))
     return issues
 
 
@@ -134,47 +117,24 @@ def _clear_journal(store: ProvenanceStore, run_id: str) -> None:
     connection.commit()
 
 
-def _fsck_lineage(store: ProvenanceStore,
-                  repair: bool) -> List[FsckIssue]:
-    """Relational-only: edges recorded by executions that do not exist.
+def _delete_edge(store: ProvenanceStore, edge) -> None:
+    """Delete one dangling lineage row (in the shard that holds it).
 
-    Buffering backends rebuild their lineage index from whole runs, so
-    they cannot hold a dangling edge; the relational edge table is
-    written incrementally and checked directly.  A sharded store is
-    checked shard by shard — each shard file carries its own edge table.
+    Edges are routed to shards by run id exactly like the stream writer
+    that recorded them, so ``shard_for`` finds the owning file.
     """
-    from repro.storage.relational import RelationalStore
-    shards = getattr(store, "shards", None)
-    if isinstance(shards, list):
-        issues: List[FsckIssue] = []
-        for shard in shards:
-            issues.extend(_fsck_lineage(shard, repair))
-        return issues
-    if not isinstance(store, RelationalStore):
-        return []
-    connection = store._connection
-    rows = connection.execute(
-        "SELECT derived_hash, source_hash, run_id, execution_id"
-        " FROM lineage"
-        " WHERE execution_id != ?"
-        "  AND execution_id NOT IN (SELECT id FROM executions)"
-        " ORDER BY run_id, execution_id",
-        (DERIVED_FROM_RUN,)).fetchall()
-    issues = []
-    for derived, source, run_id, execution_id in rows:
-        issue = FsckIssue(
-            "dangling-lineage", execution_id,
-            f"edge {source[:12]}.. -> {derived[:12]}.. in run {run_id}")
-        if repair:
-            connection.execute(
-                "DELETE FROM lineage WHERE derived_hash = ?"
-                " AND source_hash = ? AND run_id = ? AND execution_id = ?",
-                (derived, source, run_id, execution_id))
-            issue.repaired = True
-        issues.append(issue)
-    if repair and rows:
-        connection.commit()
-    return issues
+    derived, source, run_id, execution_id = edge
+    shard_for = getattr(store, "shard_for", None)
+    if callable(shard_for):
+        store = shard_for(run_id)
+    connection = getattr(store, "_connection", None)
+    if connection is None:
+        return
+    connection.execute(
+        "DELETE FROM lineage WHERE derived_hash = ?"
+        " AND source_hash = ? AND run_id = ? AND execution_id = ?",
+        (derived, source, run_id, execution_id))
+    connection.commit()
 
 
 def fsck_cache(path: Any, repair: bool = False) -> List[FsckIssue]:

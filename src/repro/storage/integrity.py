@@ -1,0 +1,131 @@
+"""Read-only crash-signature detection shared by fsck and `repro lint`.
+
+The detection half of :mod:`repro.storage.fsck` — which runs never
+finished, which stream journals are stale, which lineage edges dangle —
+is pure inspection and is useful to more than the repair tool: the
+static-analysis subsystem reports the same facts as diagnostics.  This
+module holds that walk once; ``fsck_store`` maps findings to repairable
+:class:`~repro.storage.fsck.FsckIssue` objects and
+:func:`repro.analysis.store.lint_store` maps them to diagnostics.
+
+Everything here is read-only: no connection is written through, no run
+is re-saved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.storage.base import ProvenanceStore
+from repro.storage.lineage import DERIVED_FROM_RUN
+
+__all__ = ["IntegrityFinding", "stream_journals", "partial_run_findings",
+           "stale_journal_findings", "dangling_edge_findings", "scan_store"]
+
+
+@dataclass(frozen=True)
+class IntegrityFinding:
+    """One store-level crash signature.
+
+    ``kind`` is ``partial-run``, ``stale-stream-journal`` or
+    ``dangling-lineage``; ``edge`` carries the raw
+    ``(derived_hash, source_hash, run_id, execution_id)`` row for
+    dangling-lineage findings so a repair pass can delete exactly it.
+    """
+
+    kind: str
+    subject: str
+    detail: str = ""
+    edge: Optional[Tuple[str, str, str, str]] = None
+
+
+def stream_journals(store: ProvenanceStore
+                    ) -> Dict[str, Tuple[int, int, int]]:
+    """Stream-journal rows by run id: ``(epoch, committed_seq, flushes)``.
+
+    Empty on backends without a journal (buffering stores persist
+    nothing mid-stream) and on remote clients that do not expose it.
+    """
+    journals: Dict[str, Tuple[int, int, int]] = {}
+    states = getattr(store, "stream_states", None)
+    if callable(states):
+        for run_id, epoch, committed_seq, flushes in states():
+            journals[run_id] = (epoch, committed_seq, flushes)
+    return journals
+
+
+def partial_run_findings(store: ProvenanceStore,
+                         journals: Dict[str, Tuple[int, int, int]]
+                         ) -> List[IntegrityFinding]:
+    """Runs stuck in status ``running``: ingests that never finished.
+
+    Consumes matched entries out of ``journals`` so the leftovers are
+    exactly the stale-journal candidates.
+    """
+    findings: List[IntegrityFinding] = []
+    for summary in store.list_runs():
+        if summary.status != "running":
+            continue
+        journal = journals.pop(summary.run_id, None)
+        if journal is None:
+            detail = "ingest never finished; no stream journal"
+        else:
+            detail = (f"stream epoch {journal[0]}: {journal[1]} "
+                      f"execution(s) committed over {journal[2]} flush(es)")
+        findings.append(IntegrityFinding("partial-run", summary.run_id,
+                                         detail))
+    return findings
+
+
+def stale_journal_findings(journals: Dict[str, Tuple[int, int, int]]
+                           ) -> List[IntegrityFinding]:
+    """Journal rows whose run finished or vanished.
+
+    A leftover of a crash between the sealing UPDATE and the journal
+    DELETE — harmless but misleading.
+    """
+    return [IntegrityFinding("stale-stream-journal", run_id,
+                             f"stream epoch {journals[run_id][0]}")
+            for run_id in sorted(journals)]
+
+
+def dangling_edge_findings(store: ProvenanceStore
+                           ) -> List[IntegrityFinding]:
+    """Relational-only: edges recorded by executions that do not exist.
+
+    Buffering backends rebuild their lineage index from whole runs, so
+    they cannot hold a dangling edge; the relational edge table is
+    written incrementally and checked directly.  A sharded store is
+    checked shard by shard — each shard file carries its own edge table.
+    """
+    from repro.storage.relational import RelationalStore
+    shards = getattr(store, "shards", None)
+    if isinstance(shards, list):
+        findings: List[IntegrityFinding] = []
+        for shard in shards:
+            findings.extend(dangling_edge_findings(shard))
+        return findings
+    if not isinstance(store, RelationalStore):
+        return []
+    rows = store._connection.execute(
+        "SELECT derived_hash, source_hash, run_id, execution_id"
+        " FROM lineage"
+        " WHERE execution_id != ?"
+        "  AND execution_id NOT IN (SELECT id FROM executions)"
+        " ORDER BY run_id, execution_id",
+        (DERIVED_FROM_RUN,)).fetchall()
+    return [IntegrityFinding(
+        "dangling-lineage", execution_id,
+        f"edge {source[:12]}.. -> {derived[:12]}.. in run {run_id}",
+        edge=(derived, source, run_id, execution_id))
+        for derived, source, run_id, execution_id in rows]
+
+
+def scan_store(store: ProvenanceStore) -> List[IntegrityFinding]:
+    """The full detection pass, in stable report order."""
+    journals = stream_journals(store)
+    findings = partial_run_findings(store, journals)
+    findings.extend(stale_journal_findings(journals))
+    findings.extend(dangling_edge_findings(store))
+    return findings

@@ -4,6 +4,13 @@ Validation is the workflow analogue of type checking a program.  It catches,
 before execution: references to unknown module types, connections to
 non-existent ports, port-type mismatches, unconnected mandatory inputs,
 ill-typed parameter overrides, unknown parameters, and cycles.
+
+Since the static-analysis subsystem landed, this module is a *strict-mode
+view* over the one rule catalog in :mod:`repro.analysis`: the rules here
+are the legacy tier (codes E101–E109/W001 in the catalog, reported under
+their historical names — ``unknown-module-type``, ``cycle``, ...), and
+``repro lint`` runs the same checks plus the advisory tiers.  The analysis
+package is imported lazily so the executor's import graph stays acyclic.
 """
 
 from __future__ import annotations
@@ -11,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from repro.workflow.errors import CycleError, ValidationError
+from repro.workflow.errors import ValidationError
 from repro.workflow.registry import ModuleRegistry
 from repro.workflow.spec import Workflow
 
@@ -41,13 +48,18 @@ class ValidationIssue:
 
 def check_workflow(workflow: Workflow,
                    registry: ModuleRegistry) -> List[ValidationIssue]:
-    """Return every issue found in ``workflow`` (empty list when clean)."""
-    issues: List[ValidationIssue] = []
-    issues.extend(_check_modules(workflow, registry))
-    issues.extend(_check_connections(workflow, registry))
-    issues.extend(_check_mandatory_inputs(workflow, registry))
-    issues.extend(_check_acyclicity(workflow))
-    return issues
+    """Return every issue found in ``workflow`` (empty list when clean).
+
+    Runs exactly the legacy rule tier of the analysis catalog; the
+    ``code`` on each issue is the diagnostic's rule name, unchanged
+    since before the catalog existed.
+    """
+    from repro.analysis.workflow import legacy_diagnostics
+    return [ValidationIssue(severity=diagnostic.severity,
+                            code=diagnostic.rule,
+                            message=diagnostic.message,
+                            subject=diagnostic.subject)
+            for diagnostic in legacy_diagnostics(workflow, registry)]
 
 
 def validate_workflow(workflow: Workflow, registry: ModuleRegistry) -> None:
@@ -57,103 +69,3 @@ def validate_workflow(workflow: Workflow, registry: ModuleRegistry) -> None:
         summary = "; ".join(f"[{i.code}] {i.message}" for i in errors)
         raise ValidationError(
             f"workflow {workflow.name!r} failed validation: {summary}")
-
-
-def _check_modules(workflow: Workflow,
-                   registry: ModuleRegistry) -> List[ValidationIssue]:
-    issues: List[ValidationIssue] = []
-    for module in workflow.modules.values():
-        if module.type_name not in registry:
-            issues.append(ValidationIssue(
-                "error", "unknown-module-type",
-                f"module {module.name!r} has unknown type "
-                f"{module.type_name!r}", module.id))
-            continue
-        definition = registry.get(module.type_name)
-        for name, value in module.parameters.items():
-            spec = definition.parameter(name)
-            if spec is None:
-                issues.append(ValidationIssue(
-                    "error", "unknown-parameter",
-                    f"module {module.name!r} sets unknown parameter "
-                    f"{name!r}", module.id))
-            elif not spec.accepts(value):
-                issues.append(ValidationIssue(
-                    "error", "bad-parameter-value",
-                    f"module {module.name!r} parameter {name!r} expects "
-                    f"{spec.kind}, got {value!r}", module.id))
-    return issues
-
-
-def _check_connections(workflow: Workflow,
-                       registry: ModuleRegistry) -> List[ValidationIssue]:
-    issues: List[ValidationIssue] = []
-    for connection in workflow.connections.values():
-        source = workflow.modules.get(connection.source_module)
-        target = workflow.modules.get(connection.target_module)
-        if source is None or target is None:
-            issues.append(ValidationIssue(
-                "error", "dangling-connection",
-                f"connection {connection.id} references a missing module",
-                connection.id))
-            continue
-        if source.type_name not in registry or target.type_name not in registry:
-            continue  # already reported as unknown-module-type
-        source_def = registry.get(source.type_name)
-        target_def = registry.get(target.type_name)
-        out_port = source_def.output_port(connection.source_port)
-        in_port = target_def.input_port(connection.target_port)
-        if out_port is None:
-            issues.append(ValidationIssue(
-                "error", "unknown-output-port",
-                f"{source.name!r} has no output port "
-                f"{connection.source_port!r}", connection.id))
-        if in_port is None:
-            issues.append(ValidationIssue(
-                "error", "unknown-input-port",
-                f"{target.name!r} has no input port "
-                f"{connection.target_port!r}", connection.id))
-        if out_port is not None and in_port is not None:
-            compatible = registry.types.is_subtype(out_port.type_name,
-                                                   in_port.type_name)
-            if not compatible and out_port.type_name == "Any":
-                # dynamic downcast: an Any-typed source may carry anything,
-                # so flag it as a warning rather than rejecting the workflow
-                issues.append(ValidationIssue(
-                    "warning", "implicit-downcast",
-                    f"connection {source.name}.{out_port.name} (Any) to "
-                    f"{target.name}.{in_port.name} ({in_port.type_name}) "
-                    "is checked only at runtime", connection.id))
-            elif not compatible:
-                issues.append(ValidationIssue(
-                    "error", "type-mismatch",
-                    f"cannot connect {source.name}.{out_port.name} "
-                    f"({out_port.type_name}) to {target.name}.{in_port.name} "
-                    f"({in_port.type_name})", connection.id))
-    return issues
-
-
-def _check_mandatory_inputs(workflow: Workflow,
-                            registry: ModuleRegistry) -> List[ValidationIssue]:
-    issues: List[ValidationIssue] = []
-    bound = {(c.target_module, c.target_port)
-             for c in workflow.connections.values()}
-    for module in workflow.modules.values():
-        if module.type_name not in registry:
-            continue
-        definition = registry.get(module.type_name)
-        for port in definition.input_ports:
-            if not port.optional and (module.id, port.name) not in bound:
-                issues.append(ValidationIssue(
-                    "error", "unbound-input",
-                    f"mandatory input {module.name}.{port.name} is not "
-                    "connected", module.id))
-    return issues
-
-
-def _check_acyclicity(workflow: Workflow) -> List[ValidationIssue]:
-    try:
-        workflow.topological_order()
-    except CycleError as exc:
-        return [ValidationIssue("error", "cycle", str(exc))]
-    return []

@@ -1,0 +1,754 @@
+"""Seeded-defect catalog for the static-analysis subsystem.
+
+Every diagnostic code in the ``repro.analysis`` catalog gets one fixture
+that *plants exactly that defect* and asserts the rule fires — workflow
+rules (E101–E109, W001–W008), stored-provenance rules (E121–E125,
+W021–W023) and conformance rules (E130–E133).  The complement is the
+zero-false-positive half: ``repro lint`` must report nothing on every
+built-in example workflow and on freshly built stores across all four
+backends, the sharded store, and a live ``ProvenanceClient``.
+
+The legacy ``check_workflow`` API is asserted to be a strict view over
+the same catalog (same findings, historical issue codes).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import (LintConfig, all_rules, check_conformance,
+                            lint_run_record, lint_store, lint_workflow,
+                            render_json, render_text, rule_for)
+from repro.cli import main
+from repro.core import ProvenanceCapture
+from repro.core.prospective import ProspectiveProvenance
+from repro.core.retrospective import DataArtifact, ModuleExecution, PortBinding
+from repro.service import (ProvenanceClient, ProvenanceService,
+                           ShardedProvenanceStore)
+from repro.storage import (DocumentStore, MemoryStore, RelationalStore,
+                           TripleProvenanceStore)
+from repro.storage.lineage import DERIVED_FROM_RUN
+from repro.workflow import Executor, Module, Workflow
+from repro.workflow.faults import RetryPolicy
+from repro.workflow.registry import (ModuleDefinition, ModuleRegistry,
+                                     ParameterSpec, PortSpec)
+from repro.workflow.serialization import dump_workflow
+from repro.workflow.validation import check_workflow
+from repro.workloads import clone_run
+from tests.conftest import build_fig1_workflow, module_by_name
+
+BACKENDS = ["memory", "relational", "triples", "documents"]
+
+#: The complete catalog this suite seeds defects for.  A new rule must be
+#: registered here *and* get a seeded-defect test below, or this fails.
+EXPECTED_CODES = {
+    # workflow: legacy validation tier
+    "E101", "E102", "E103", "E104", "E105", "E106", "E107", "E108",
+    "E109", "W001",
+    # workflow: extended static analysis
+    "W002", "W003", "W004", "W005", "W006", "W007", "W008",
+    # stored provenance
+    "E121", "E122", "E123", "E124", "E125", "W021", "W022", "W023",
+    # conformance
+    "E130", "E131", "E132", "E133",
+}
+
+
+def codes(diagnostics):
+    """The multiset of codes as a sorted list (order-insensitive compare)."""
+    return sorted(d.code for d in diagnostics)
+
+
+def captured_fig1_run(registry, **execute_kwargs):
+    """One clean Figure-1 run, captured without retained values."""
+    capture = ProvenanceCapture(registry=registry, keep_values=False)
+    executor = Executor(registry, listeners=[capture])
+    executor.execute(build_fig1_workflow(size=6, level=80.0),
+                     **execute_kwargs)
+    return capture.last_run()
+
+
+def typed_registry():
+    """A tiny registry with a typed, default-less parameter (for E103/W004)."""
+    registry = ModuleRegistry()
+    registry.register(ModuleDefinition(
+        type_name="TypedSource",
+        compute=lambda ctx: {"value": ctx.param("count")},
+        output_ports=(PortSpec("value", "Number"),),
+        parameters=(ParameterSpec("count", default=None, kind="int"),)))
+    return registry
+
+
+def make_backend(name, root):
+    root.mkdir(parents=True, exist_ok=True)
+    return {
+        "memory": lambda: MemoryStore(),
+        "relational": lambda: RelationalStore(str(root / "prov.db")),
+        "triples": lambda: TripleProvenanceStore(),
+        "documents": lambda: DocumentStore(root / "docs"),
+    }[name]()
+
+
+# ----------------------------------------------------------------------
+# the catalog itself
+# ----------------------------------------------------------------------
+class TestCatalog:
+    def test_catalog_is_exactly_the_expected_set(self):
+        assert {r.code for r in all_rules()} == EXPECTED_CODES
+
+    def test_families_partition_the_catalog(self):
+        families = {r.family for r in all_rules()}
+        assert families == {"workflow", "store", "conformance"}
+        assert {r.code for r in all_rules("workflow")} \
+            == {c for c in EXPECTED_CODES if c[1] in "01"
+                and c not in ("E121", "E122", "E123", "E124", "E125",
+                              "W021", "W022", "W023")} \
+            - {"E130", "E131", "E132", "E133"}
+
+    def test_severity_follows_the_code_prefix(self):
+        for rule in all_rules():
+            expected = "error" if rule.code.startswith("E") else "warning"
+            assert rule.severity == expected, rule
+
+    def test_rule_names_are_unique(self):
+        names = [r.name for r in all_rules()]
+        assert len(names) == len(set(names))
+
+    def test_rule_for_unknown_code_raises(self):
+        with pytest.raises(KeyError):
+            rule_for("E999")
+
+
+class TestLintConfig:
+    def test_empty_config_enables_everything(self):
+        config = LintConfig()
+        assert config.enabled("E101") and config.enabled("W023")
+
+    def test_select_narrows_and_ignore_wins_on_longer_prefix(self):
+        config = LintConfig.from_codes(select="E", ignore="E12")
+        assert config.enabled("E101")
+        assert not config.enabled("E121")
+        assert not config.enabled("W002")
+
+    def test_specific_select_overrides_broad_ignore(self):
+        config = LintConfig.from_codes(select="E124", ignore="E")
+        assert config.enabled("E124")
+        assert not config.enabled("E123")
+
+    def test_apply_filters_diagnostics(self, registry):
+        workflow = Workflow("broken")
+        workflow.add_module(Module("NoSuchType"))
+        everything = lint_workflow(workflow, registry)
+        nothing = lint_workflow(workflow, registry,
+                                config=LintConfig.from_codes(ignore="E101"))
+        assert codes(everything) == ["E101"] and nothing == []
+
+
+# ----------------------------------------------------------------------
+# workflow rules: one seeded defect per code
+# ----------------------------------------------------------------------
+class TestWorkflowDefects:
+    def test_e101_unknown_module_type(self, registry):
+        workflow = Workflow("wf")
+        workflow.add_module(Module("Frobnicate"))
+        assert codes(lint_workflow(workflow, registry)) == ["E101"]
+
+    def test_e102_unknown_parameter(self, registry):
+        workflow = Workflow("wf")
+        workflow.add_module(Module("Constant",
+                                   parameters={"vlaue": 3}))
+        assert codes(lint_workflow(workflow, registry)) == ["E102"]
+
+    def test_e103_bad_parameter_value(self):
+        registry = typed_registry()
+        workflow = Workflow("wf")
+        workflow.add_module(Module("TypedSource",
+                                   parameters={"count": "three"}))
+        assert codes(lint_workflow(workflow, registry)) == ["E103"]
+
+    def test_e104_dangling_connection(self, registry):
+        workflow = Workflow("wf")
+        source = workflow.add_module(Module("Constant"))
+        target = workflow.add_module(Module("Identity"))
+        workflow.connect(source.id, "value", target.id, "value")
+        # bypass the mutator guards: delete the module out from under
+        # the connection, the referential defect validation must catch
+        del workflow.modules[target.id]
+        assert codes(lint_workflow(workflow, registry)) == ["E104"]
+
+    def test_e105_unknown_output_port(self, registry):
+        workflow = Workflow("wf")
+        source = workflow.add_module(Module("Constant"))
+        target = workflow.add_module(Module("Identity"))
+        workflow.connect(source.id, "valeu", target.id, "value")
+        assert codes(lint_workflow(workflow, registry)) == ["E105"]
+
+    def test_e106_unknown_input_port(self, registry):
+        workflow = Workflow("wf")
+        source = workflow.add_module(Module("Constant"))
+        target = workflow.add_module(Module("Identity"))
+        workflow.connect(source.id, "value", target.id, "valeu")
+        assert codes(lint_workflow(workflow, registry)) == ["E106"]
+
+    def test_e107_type_mismatch(self, registry):
+        workflow = Workflow("wf")
+        source = workflow.add_module(Module("StringConstant"))
+        target = workflow.add_module(Module("Scale"))
+        workflow.connect(source.id, "value", target.id, "value")
+        assert codes(lint_workflow(workflow, registry)) == ["E107"]
+
+    def test_e108_unbound_mandatory_input(self, registry):
+        workflow = Workflow("wf")
+        workflow.add_module(Module("Scale"))
+        assert codes(lint_workflow(workflow, registry)) == ["E108"]
+
+    def test_e109_cycle(self, registry):
+        workflow = Workflow("wf")
+        first = workflow.add_module(Module("Identity", name="a"))
+        second = workflow.add_module(Module("Identity", name="b"))
+        workflow.connect(first.id, "value", second.id, "value")
+        workflow.connect(second.id, "value", first.id, "value")
+        assert codes(lint_workflow(workflow, registry)) == ["E109"]
+
+    def test_w001_implicit_downcast(self, registry):
+        workflow = Workflow("wf")
+        source = workflow.add_module(Module("Constant",
+                                            parameters={"value": 2.0}))
+        target = workflow.add_module(Module("Scale"))
+        workflow.connect(source.id, "value", target.id, "value")
+        assert codes(lint_workflow(workflow, registry)) == ["W001"]
+
+    def test_w002_disconnected_module(self, registry):
+        workflow = Workflow("wf")
+        source = workflow.add_module(Module("Constant",
+                                            parameters={"value": 1}))
+        target = workflow.add_module(Module("Identity"))
+        workflow.connect(source.id, "value", target.id, "value")
+        dead = workflow.add_module(Module("Identity", name="dead"))
+        found = lint_workflow(workflow, registry)
+        assert codes(found) == ["W002"]
+        assert found[0].subject == dead.id
+
+    def test_w002_not_fired_for_single_module_workflow(self, registry):
+        workflow = Workflow("wf")
+        workflow.add_module(Module("Constant", parameters={"value": 1}))
+        assert lint_workflow(workflow, registry) == []
+
+    def test_w003_duplicate_producer(self, registry):
+        workflow = build_fig1_workflow()
+        load = module_by_name(workflow, "load")
+        twin = workflow.add_module(Module("LoadVolume", name="load-twin",
+                                          parameters=dict(load.parameters)))
+        hist2 = workflow.add_module(Module("ComputeHistogram", name="h2"))
+        workflow.connect(twin.id, "volume", hist2.id, "volume")
+        found = lint_workflow(workflow, registry)
+        # the twin cone duplicates both the loader and the histogram
+        assert codes(found) == ["W003", "W003"]
+
+    def test_w003_different_parameters_are_not_duplicates(self, registry):
+        workflow = Workflow("wf")
+        workflow.add_module(Module("NumberConstant", name="a",
+                                   parameters={"value": 1.0}))
+        workflow.add_module(Module("NumberConstant", name="b",
+                                   parameters={"value": 2.0}))
+        assert lint_workflow(workflow, registry) == []
+
+    def test_w004_unbound_typed_parameter(self):
+        registry = typed_registry()
+        workflow = Workflow("wf")
+        workflow.add_module(Module("TypedSource"))
+        assert codes(lint_workflow(workflow, registry)) == ["W004"]
+
+    def test_w004_override_silences_it(self):
+        registry = typed_registry()
+        workflow = Workflow("wf")
+        workflow.add_module(Module("TypedSource", parameters={"count": 3}))
+        assert lint_workflow(workflow, registry) == []
+
+    def test_w005_interface_drift(self, registry):
+        workflow = build_fig1_workflow()
+        snapshot = ProspectiveProvenance.from_workflow(workflow, registry)
+        drifted = ModuleRegistry()
+        for type_name in registry.type_names():
+            definition = registry.get(type_name)
+            if type_name == "LoadVolume":
+                import dataclasses
+                definition = dataclasses.replace(definition, version="9.9")
+            drifted.register(definition)
+        found = lint_workflow(workflow, drifted, prospective=snapshot)
+        assert codes(found) == ["W005"]
+        assert "version" in found[0].message
+
+    def test_w005_missing_snapshotted_type(self, registry):
+        workflow = Workflow("wf")
+        workflow.add_module(Module("Constant", parameters={"value": 1}))
+        snapshot = ProspectiveProvenance.from_workflow(workflow, registry)
+        empty = ModuleRegistry()
+        found = lint_workflow(workflow, empty, prospective=snapshot)
+        assert codes(found) == ["E101", "W005"]
+
+    def test_w005_clean_when_registry_matches_snapshot(self, registry):
+        workflow = build_fig1_workflow()
+        snapshot = ProspectiveProvenance.from_workflow(workflow, registry)
+        assert lint_workflow(workflow, registry,
+                             prospective=snapshot) == []
+
+    def test_w006_nondeterministic_producer_feeds_cached_cone(
+            self, registry):
+        workflow = Workflow("wf")
+        noise = workflow.add_module(Module("RandomNumber"))
+        scale = workflow.add_module(Module("Scale"))
+        workflow.connect(noise.id, "value", scale.id, "value")
+        found = lint_workflow(workflow, registry)
+        assert codes(found) == ["W006"]
+        assert found[0].subject == noise.id
+
+    def test_w006_not_fired_for_sink_only_nondeterminism(self, registry):
+        workflow = Workflow("wf")
+        source = workflow.add_module(Module("NumberConstant", name="src",
+                                            parameters={"value": 1.0}))
+        sink = workflow.add_module(Module("Identity"))
+        workflow.connect(source.id, "value", sink.id, "value")
+        noise = workflow.add_module(Module("RandomNumber"))
+        del noise  # disconnected nondeterministic module: W002, not W006
+        assert codes(lint_workflow(workflow, registry)) == ["W002"]
+
+    def test_w007_cooperative_timeout_on_thread_backend(self, registry):
+        workflow = Workflow("wf")
+        workflow.add_module(Module("Constant", parameters={"value": 1}))
+        retry = RetryPolicy(max_attempts=2, timeout=5.0)
+        found = lint_workflow(workflow, registry, retry=retry,
+                              backend="thread")
+        assert codes(found) == ["W007"]
+        assert lint_workflow(workflow, registry, retry=retry,
+                             backend="process") == []
+
+    def test_w008_timeout_without_retry_budget(self, registry):
+        workflow = Workflow("wf")
+        workflow.add_module(Module("Constant", parameters={"value": 1}))
+        retry = RetryPolicy(max_attempts=1, timeout=5.0)
+        found = lint_workflow(workflow, registry, retry=retry,
+                              backend="process")
+        assert codes(found) == ["W008"]
+
+    def test_retry_rules_silent_without_timeout(self, registry):
+        workflow = Workflow("wf")
+        workflow.add_module(Module("Constant", parameters={"value": 1}))
+        assert lint_workflow(workflow, registry,
+                             retry=RetryPolicy(max_attempts=3),
+                             backend="thread") == []
+
+
+class TestLegacyValidationView:
+    """check_workflow stays a strict-mode view over the one catalog."""
+
+    def test_same_findings_under_historical_codes(self, registry):
+        workflow = Workflow("wf")
+        workflow.add_module(Module("Frobnicate"))
+        source = workflow.add_module(Module("Constant"))
+        target = workflow.add_module(Module("Scale"))
+        workflow.connect(source.id, "value", target.id, "value")
+        issues = check_workflow(workflow, registry)
+        assert sorted(i.code for i in issues) \
+            == ["implicit-downcast", "unknown-module-type"]
+        diagnostics = lint_workflow(workflow, registry,
+                                    config=LintConfig.from_codes(
+                                        select="E10,W001"))
+        assert sorted(d.rule for d in diagnostics) \
+            == sorted(i.code for i in issues)
+        assert sorted(d.message for d in diagnostics) \
+            == sorted(i.message for i in issues)
+
+    def test_extended_rules_stay_out_of_validation(self, registry):
+        workflow = Workflow("wf")
+        source = workflow.add_module(Module("Constant",
+                                            parameters={"value": 1}))
+        target = workflow.add_module(Module("Identity"))
+        workflow.connect(source.id, "value", target.id, "value")
+        workflow.add_module(Module("Identity", name="dead"))
+        assert check_workflow(workflow, registry) == []
+        assert codes(lint_workflow(workflow, registry)) == ["W002"]
+
+
+# ----------------------------------------------------------------------
+# store rules: one seeded defect per code
+# ----------------------------------------------------------------------
+class TestStoreDefects:
+    def test_e121_dangling_lineage_edge(self, registry, tmp_path):
+        store = RelationalStore(str(tmp_path / "prov.db"))
+        run = captured_fig1_run(registry)
+        store.save_run(run)
+        store._connection.execute(
+            "INSERT INTO lineage VALUES (?, ?, ?, ?)",
+            ("deadbeef" * 8, "cafebabe" * 8, run.id, "exec-gone"))
+        store._connection.commit()
+        found = lint_store(store)
+        assert codes(found) == ["E121"]
+        assert found[0].subject == "exec-gone"
+        store.close()
+
+    def test_e122_missing_producer(self, registry):
+        run = captured_fig1_run(registry)
+        artifact_id = next(iter(run.artifacts))
+        run.artifacts[artifact_id].created_by = "exec-vanished"
+        found = lint_run_record(run)
+        assert "E122" in codes(found)
+        assert any(d.subject == artifact_id for d in found
+                   if d.code == "E122")
+
+    def test_e123_binding_to_missing_artifact(self, registry):
+        run = captured_fig1_run(registry)
+        run.executions[0].inputs.append(
+            PortBinding(port="ghost", artifact_id="art-gone"))
+        found = lint_run_record(run)
+        assert codes(found) == ["E123"]
+
+    def test_e124_attempt_gap(self, registry):
+        run = captured_fig1_run(registry)
+        final = run.executions[0]
+        # a lone attempt=2 record: attempt 1 was lost in ingest
+        run.executions.append(ModuleExecution(
+            id="exec-retry", module_id=final.module_id,
+            module_type=final.module_type, module_name=final.module_name,
+            status="failed", inputs=list(final.inputs), attempt=2))
+        found = lint_run_record(run)
+        assert codes(found) == ["E124"]
+        assert found[0].subject == final.module_id
+
+    def test_contiguous_attempts_are_clean(self, registry):
+        run = captured_fig1_run(registry)
+        final = run.executions[0]
+        run.executions.append(ModuleExecution(
+            id="exec-retry", module_id=final.module_id,
+            module_type=final.module_type, module_name=final.module_name,
+            status="failed", inputs=list(final.inputs), attempt=1))
+        assert lint_run_record(run) == []
+
+    def test_e125_missing_parent_run(self, registry):
+        store = MemoryStore()
+        run = captured_fig1_run(registry)
+        run.tags[DERIVED_FROM_RUN] = "run-that-never-was"
+        store.save_run(run)
+        found = lint_store(store)
+        assert codes(found) == ["E125"]
+
+    def test_e125_clean_when_parent_present(self, registry):
+        store = MemoryStore()
+        parent = captured_fig1_run(registry)
+        child = clone_run(parent, "child")
+        child.tags[DERIVED_FROM_RUN] = parent.id
+        store.save_run(parent)
+        store.save_run(child)
+        assert lint_store(store) == []
+
+    def test_w021_orphan_artifact(self, registry):
+        run = captured_fig1_run(registry)
+        producer = run.executions[0]
+        run.artifacts["art-orphan"] = DataArtifact(
+            id="art-orphan", value_hash="ab" * 32,
+            created_by=producer.id, role="debris")
+        found = lint_run_record(run)
+        assert codes(found) == ["W021"]
+        assert found[0].subject == "art-orphan"
+
+    def test_w022_partial_run(self, registry):
+        store = MemoryStore()
+        run = captured_fig1_run(registry)
+        run.status = "running"
+        store.save_run(run)
+        found = lint_store(store)
+        assert codes(found) == ["W022"]
+        assert found[0].subject == run.id
+
+    def test_w023_stale_stream_journal(self, registry, tmp_path):
+        store = RelationalStore(str(tmp_path / "prov.db"))
+        run = captured_fig1_run(registry)
+        store.save_run(run)
+        import time
+        store._connection.execute(
+            "INSERT INTO stream_state VALUES (?, 3, 5, 2, ?)",
+            (run.id, time.time()))
+        store._connection.commit()
+        found = lint_store(store)
+        assert codes(found) == ["W023"]
+        store.close()
+
+    def test_running_runs_skip_record_level_rules(self, registry):
+        """A mid-stream run legitimately holds half its executions."""
+        store = MemoryStore()
+        run = captured_fig1_run(registry)
+        run.status = "running"
+        run.executions[0].inputs.append(
+            PortBinding(port="ghost", artifact_id="art-gone"))
+        store.save_run(run)
+        assert codes(lint_store(store)) == ["W022"]  # no E123
+
+
+# ----------------------------------------------------------------------
+# conformance rules: tampered runs vs. untampered reloads
+# ----------------------------------------------------------------------
+class TestConformanceDefects:
+    @pytest.fixture()
+    def fig1(self, registry):
+        workflow = build_fig1_workflow()
+        capture = ProvenanceCapture(registry=registry, keep_values=False)
+        Executor(registry, listeners=[capture]).execute(workflow)
+        return workflow, capture.last_run()
+
+    def test_untampered_run_conforms(self, registry, fig1):
+        workflow, run = fig1
+        assert check_conformance(run, workflow=workflow,
+                                 registry=registry) == []
+
+    def test_untampered_reload_conforms_via_recorded_spec(
+            self, registry, fig1, tmp_path):
+        _, run = fig1
+        store = RelationalStore(str(tmp_path / "prov.db"))
+        store.save_run(run)
+        reloaded = store.load_run(run.id)
+        assert check_conformance(reloaded, registry=registry) == []
+        store.close()
+
+    def test_observed_run_without_spec_conforms_vacuously(self, registry,
+                                                          fig1):
+        _, run = fig1
+        run.workflow_spec = {}
+        assert check_conformance(run, registry=registry) == []
+
+    def test_e130_signature_mismatch(self, registry, fig1):
+        workflow, run = fig1
+        run.workflow_signature = "0" * 64
+        found = check_conformance(run, workflow=workflow,
+                                  registry=registry)
+        assert codes(found) == ["E130"]
+
+    def test_e131_rogue_execution(self, registry, fig1):
+        workflow, run = fig1
+        ghost = run.executions[0]
+        run.executions.append(ModuleExecution(
+            id="exec-rogue", module_id="mod-injected",
+            module_type=ghost.module_type, module_name="injected",
+            status="ok"))
+        found = check_conformance(run, workflow=workflow,
+                                  registry=registry)
+        # the injected module also counts as an extra module the spec
+        # does not contain; status stays ok so E133 must not fire
+        assert codes(found) == ["E131"]
+
+    def test_e132_rebound_port(self, registry, fig1):
+        workflow, run = fig1
+        hist = module_by_name(workflow, "hist")
+        execution = run.execution_for_module(hist.id)
+        other = run.execution_for_module(
+            module_by_name(workflow, "iso").id)
+        rebound = [PortBinding(port=b.port,
+                               artifact_id=other.outputs[0].artifact_id)
+                   if b.port == "volume" else b for b in execution.inputs]
+        execution.inputs = rebound
+        found = check_conformance(run, workflow=workflow,
+                                  registry=registry)
+        assert codes(found) == ["E132"]
+        assert "rewritten after capture" in found[0].hint
+
+    def test_e132_undeclared_port(self, registry, fig1):
+        workflow, run = fig1
+        execution = run.executions[0]
+        execution.outputs.append(PortBinding(
+            port="sidechannel",
+            artifact_id=execution.outputs[0].artifact_id))
+        found = check_conformance(run, workflow=workflow,
+                                  registry=registry)
+        assert codes(found) == ["E132"]
+        assert "undeclared" in found[0].message
+
+    def test_e133_silent_skip(self, registry, fig1):
+        workflow, run = fig1
+        dropped = module_by_name(workflow, "render_mesh")
+        run.executions = [e for e in run.executions
+                          if e.module_id != dropped.id]
+        found = check_conformance(run, workflow=workflow,
+                                  registry=registry)
+        assert codes(found) == ["E133", "W021"] or codes(found) == ["E133"]
+        assert any(d.code == "E133" and d.subject == dropped.id
+                   for d in found)
+
+    def test_e133_not_fired_for_failed_run(self, registry, fig1):
+        workflow, run = fig1
+        run.status = "failed"
+        run.executions = run.executions[:2]
+        found = check_conformance(run, workflow=workflow)
+        assert "E133" not in codes(found)
+
+
+# ----------------------------------------------------------------------
+# zero false positives: examples and clean stores
+# ----------------------------------------------------------------------
+class TestZeroFalsePositives:
+    def test_every_example_workflow_is_clean(self, registry):
+        from repro.cli import _example_workflows
+        for name, workflow in _example_workflows().items():
+            found = lint_workflow(workflow, registry)
+            assert found == [], (name, [d.render() for d in found])
+
+    def test_cli_lint_examples_exits_clean(self, capsys):
+        assert main(["lint", "--examples"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_fresh_backend_store_is_clean(self, backend, registry,
+                                          tmp_path):
+        store = make_backend(backend, tmp_path / backend)
+        base = captured_fig1_run(registry)
+        store.save_runs([base, clone_run(base, "c1"),
+                         clone_run(base, "c2", status="failed")])
+        assert lint_store(store) == []
+        if hasattr(store, "close"):
+            store.close()
+
+    def test_fresh_sharded_store_is_clean(self, registry, tmp_path):
+        store = ShardedProvenanceStore.open(tmp_path / "prov", shards=3)
+        base = captured_fig1_run(registry)
+        store.save_runs([base, clone_run(base, "c1"),
+                         clone_run(base, "c2")])
+        assert lint_store(store) == []
+        store.close()
+
+    def test_store_via_client_is_clean_and_lintable(self, registry,
+                                                    tmp_path):
+        sharded = ShardedProvenanceStore.open(tmp_path / "prov", shards=3)
+        server = ProvenanceService(sharded, close_store=True).start()
+        try:
+            client = ProvenanceClient(server.host, server.port)
+            base = captured_fig1_run(registry)
+            client.save_runs([base, clone_run(base, "c1")])
+            assert lint_store(client) == []
+            client.close()
+        finally:
+            server.close()
+
+    def test_seeded_defect_is_visible_over_the_wire(self, registry,
+                                                    tmp_path):
+        """The read-only walk reports remote defects, not just local."""
+        sharded = ShardedProvenanceStore.open(tmp_path / "prov", shards=2)
+        run = captured_fig1_run(registry)
+        run.tags[DERIVED_FROM_RUN] = "run-that-never-was"
+        sharded.save_run(run)
+        server = ProvenanceService(sharded, close_store=True).start()
+        try:
+            client = ProvenanceClient(server.host, server.port)
+            assert codes(lint_store(client)) == ["E125"]
+            client.close()
+        finally:
+            server.close()
+
+
+# ----------------------------------------------------------------------
+# reporters and the CLI surface
+# ----------------------------------------------------------------------
+class TestReportersAndCli:
+    def test_render_text_clean_and_dirty(self, registry):
+        assert render_text([]) == "clean: no findings"
+        workflow = Workflow("wf")
+        workflow.add_module(Module("Frobnicate"))
+        report = render_text(lint_workflow(workflow, registry))
+        assert "E101" in report and "1 error(s)" in report
+
+    def test_render_json_schema(self, registry):
+        workflow = Workflow("wf")
+        workflow.add_module(Module("Frobnicate"))
+        payload = json.loads(render_json(lint_workflow(workflow, registry)))
+        assert payload["summary"] == {"findings": 1, "errors": 1,
+                                      "warnings": 0}
+        row = payload["diagnostics"][0]
+        assert row["code"] == "E101" and row["rule"] == "unknown-module-type"
+        assert set(row) == {"code", "rule", "severity", "message",
+                            "subject", "location", "hint"}
+
+    def test_cli_findings_exit_one_and_json_artifact(self, registry,
+                                                     tmp_path, capsys):
+        workflow = Workflow("broken")
+        workflow.add_module(Module("Frobnicate"))
+        spec = tmp_path / "broken.json"
+        with open(spec, "w") as handle:
+            dump_workflow(workflow, handle)
+        artifact = tmp_path / "diag.json"
+        assert main(["lint", "--workflow", str(spec), "--format", "json",
+                     "--output", str(artifact)]) == 1
+        printed = json.loads(capsys.readouterr().out)
+        assert printed["summary"]["errors"] == 1
+        saved = json.loads(artifact.read_text())
+        assert saved["diagnostics"][0]["code"] == "E101"
+        assert "workflow" in saved["diagnostics"][0]["location"]
+
+    def test_cli_select_ignore_flip_the_exit_code(self, registry,
+                                                  tmp_path, capsys):
+        workflow = Workflow("warny")
+        source = workflow.add_module(Module("Constant",
+                                            parameters={"value": 1}))
+        target = workflow.add_module(Module("Identity"))
+        workflow.connect(source.id, "value", target.id, "value")
+        workflow.add_module(Module("Identity", name="dead"))
+        spec = tmp_path / "warny.json"
+        with open(spec, "w") as handle:
+            dump_workflow(workflow, handle)
+        assert main(["lint", "--workflow", str(spec)]) == 1
+        capsys.readouterr()
+        assert main(["lint", "--workflow", str(spec),
+                     "--ignore", "W002"]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--workflow", str(spec),
+                     "--select", "E"]) == 0
+
+    def test_cli_load_error_exits_two(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        assert main(["lint", "--workflow", missing]) == 2
+        assert "cannot load workflow" in capsys.readouterr().err
+
+    def test_cli_run_requires_store(self, capsys):
+        assert main(["lint", "--run", "some-run"]) == 2
+        assert "--run requires" in capsys.readouterr().err
+
+    def test_cli_store_lint_and_conformance(self, registry, tmp_path,
+                                            capsys):
+        db = str(tmp_path / "prov.db")
+        store = RelationalStore(db)
+        run = captured_fig1_run(registry)
+        store.save_run(run)
+        store.close()
+        assert main(["lint", "--store", db, "--run", run.id]) == 0
+        capsys.readouterr()
+        # tamper: inject a rogue execution, re-save, expect findings
+        store = RelationalStore(db)
+        tampered = store.load_run(run.id)
+        ghost = tampered.executions[0]
+        tampered.executions.append(ModuleExecution(
+            id="exec-rogue", module_id="mod-injected",
+            module_type=ghost.module_type, module_name="injected",
+            status="ok", inputs=list(ghost.inputs)))
+        store.delete_run(run.id)
+        store.save_run(tampered)
+        store.close()
+        assert main(["lint", "--store", db, "--run", run.id]) == 1
+        out = capsys.readouterr().out
+        assert "E131" in out
+
+    def test_cli_missing_run_exits_two(self, registry, tmp_path, capsys):
+        db = str(tmp_path / "prov.db")
+        store = RelationalStore(db)
+        store.save_run(captured_fig1_run(registry))
+        store.close()
+        assert main(["lint", "--store", db, "--run", "run-missing"]) == 2
+        assert "cannot load run" in capsys.readouterr().err
+
+    def test_cli_lint_over_the_wire(self, registry, tmp_path, capsys):
+        sharded = ShardedProvenanceStore.open(tmp_path / "prov", shards=2)
+        sharded.save_run(captured_fig1_run(registry))
+        server = ProvenanceService(sharded, close_store=True).start()
+        try:
+            address = f"{server.host}:{server.port}"
+            assert main(["lint", "--server", address]) == 0
+            assert "clean" in capsys.readouterr().out
+        finally:
+            server.close()

@@ -397,6 +397,53 @@ class TestMixedTrafficStress:
             ingest.close()
             observe.close()
 
+    def test_inflight_run_is_invisible_to_lineage(self, service, corpus):
+        """Closures must mask mid-stream runs like row queries do."""
+        run = clone_run(corpus[0], "inflight-lineage")
+        key = run.final_artifacts()[0].value_hash
+        ingest, observe = connect(service), connect(service)
+        try:
+            writer = ingest.save_run_stream(run)
+            for artifact in run.artifacts.values():
+                writer.add_artifact(artifact)
+            for execution in run.executions:
+                writer.add_execution(execution)
+            writer.flush()  # edges durable on the shard — but in flight
+            assert observe.lineage_closure(key) == frozenset()
+            assert observe.lineage_closure(
+                key, direction="down", max_depth=1) == frozenset()
+            assert observe.lineage_closure(
+                key, within_runs=[run.id]) == frozenset()
+            writer.finish(status=run.status, finished=run.finished,
+                          tags=run.tags)
+            local = MemoryStore()
+            local.save_run(run)
+            assert (observe.lineage_closure(key)
+                    == local.lineage_closure(key))
+            assert (observe.lineage_closure(key, within_runs=[run.id])
+                    == local.lineage_closure(key, within_runs=[run.id]))
+        finally:
+            ingest.close()
+            observe.close()
+
+    def test_committed_lineage_stays_visible_during_other_stream(
+            self, service, corpus):
+        """Masking one in-flight run must not hide committed edges."""
+        committed = clone_run(corpus[0], "committed-lineage")
+        key = committed.final_artifacts()[0].value_hash
+        ingest, observe = connect(service), connect(service)
+        try:
+            observe.save_run(committed)
+            expected = observe.lineage_closure(key)
+            assert expected  # the committed run contributes real edges
+            writer = ingest.save_run_stream(
+                clone_run(corpus[0], "inflight-other"))
+            assert observe.lineage_closure(key) == expected
+            writer.abort()
+        finally:
+            ingest.close()
+            observe.close()
+
     def test_concurrent_stream_of_same_run_refused(self, service, corpus):
         run = clone_run(corpus[0], "dup")
         first, second = connect(service), connect(service)

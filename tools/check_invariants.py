@@ -1,0 +1,180 @@
+#!/usr/bin/env python
+"""Repo-invariant checker: structural rules the test suite cannot see.
+
+Three checks, all stdlib ``ast`` — no third-party dependencies:
+
+1. **sqlite3 containment** — ``sqlite3.connect`` may appear only in the
+   storage layer (``src/repro/storage/``) and the persistent result
+   cache (``src/repro/workflow/cache.py``).  Everything else must go
+   through a store object, or connection lifecycle/WAL settings drift.
+2. **no naive clocks** — ``datetime.now()`` / ``datetime.utcnow()`` /
+   ``datetime.today()`` without a timezone are forbidden; the codebase
+   timestamps with ``time.time()`` epochs and ``time.monotonic()``
+   deadlines, and a naive wall-clock sneaking in breaks replay parity
+   across timezones.
+3. **fault-seam coverage** — every seam string registered by the
+   ``FaultPlan`` builders in ``workflow/faults.py`` must be exercised
+   by at least one test, either by naming the seam string or by calling
+   a builder that targets it.  A seam nobody injects through is a
+   crash-recovery path nobody tests.
+
+Exit codes: 0 clean, 1 violations found, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, List, Set, Tuple
+
+#: Directories/files allowed to call sqlite3.connect directly,
+#: relative to the repo root.
+SQLITE_ALLOWED = ("src/repro/storage/", "src/repro/workflow/cache.py")
+
+NAIVE_CLOCK_CALLS = {"now", "utcnow", "today"}
+
+
+def iter_python_files(root: Path) -> Iterator[Path]:
+    yield from sorted(root.rglob("*.py"))
+
+
+def parse(path: Path) -> ast.AST:
+    return ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+
+
+# ----------------------------------------------------------------------
+# check 1: sqlite3.connect containment
+# ----------------------------------------------------------------------
+def check_sqlite_containment(repo: Path, src: Path) -> List[str]:
+    violations = []
+    for path in iter_python_files(src):
+        relative = path.relative_to(repo).as_posix()
+        if any(relative.startswith(allowed) or relative == allowed
+               for allowed in SQLITE_ALLOWED):
+            continue
+        for node in ast.walk(parse(path)):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "connect"
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "sqlite3"):
+                violations.append(
+                    f"{relative}:{node.lineno}: sqlite3.connect outside "
+                    "the storage layer — open stores via "
+                    "repro.storage instead")
+    return violations
+
+
+# ----------------------------------------------------------------------
+# check 2: naive wall clocks
+# ----------------------------------------------------------------------
+def _is_datetime_chain(node: ast.AST) -> bool:
+    """True for ``datetime`` / ``datetime.datetime`` attribute chains."""
+    if isinstance(node, ast.Name):
+        return node.id == "datetime"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "datetime" and _is_datetime_chain(node.value)
+    return False
+
+
+def check_naive_clocks(repo: Path, src: Path) -> List[str]:
+    violations = []
+    for path in iter_python_files(src):
+        relative = path.relative_to(repo).as_posix()
+        for node in ast.walk(parse(path)):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in NAIVE_CLOCK_CALLS
+                    and _is_datetime_chain(node.func.value)):
+                continue
+            has_tz = bool(node.args) or any(
+                kw.arg in (None, "tz") for kw in node.keywords)
+            if node.func.attr != "now" or not has_tz:
+                violations.append(
+                    f"{relative}:{node.lineno}: naive "
+                    f"datetime.{node.func.attr}() — use time.time() "
+                    "epochs or pass an explicit timezone")
+    return violations
+
+
+# ----------------------------------------------------------------------
+# check 3: fault-seam coverage in tests
+# ----------------------------------------------------------------------
+def fault_seams(faults_path: Path) -> Dict[str, Set[str]]:
+    """Seam string -> FaultPlan builder method names that target it.
+
+    Derived from the source of truth: every ``FaultSpec("<site>", ...)``
+    literal constructed inside a ``FaultPlan`` method registers that
+    method as a way to exercise the site.
+    """
+    tree = parse(faults_path)
+    seams: Dict[str, Set[str]] = {}
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.ClassDef) and node.name == "FaultPlan"):
+            continue
+        for method in node.body:
+            if not isinstance(method, ast.FunctionDef):
+                continue
+            for call in ast.walk(method):
+                if (isinstance(call, ast.Call)
+                        and isinstance(call.func, ast.Name)
+                        and call.func.id == "FaultSpec"
+                        and call.args
+                        and isinstance(call.args[0], ast.Constant)
+                        and isinstance(call.args[0].value, str)):
+                    seams.setdefault(call.args[0].value,
+                                     set()).add(method.name)
+    return seams
+
+
+def check_seam_coverage(repo: Path, tests: Path) -> List[str]:
+    faults_path = repo / "src" / "repro" / "workflow" / "faults.py"
+    seams = fault_seams(faults_path)
+    if not seams:
+        return [f"{faults_path}: found no FaultSpec seams to check"]
+    corpus = "\n".join(path.read_text(encoding="utf-8")
+                       for path in iter_python_files(tests))
+    violations = []
+    for site in sorted(seams):
+        mentions = (f'"{site}"' in corpus or f"'{site}'" in corpus
+                    or any(f"{builder}(" in corpus
+                           for builder in seams[site]))
+        if not mentions:
+            builders = ", ".join(sorted(seams[site]))
+            violations.append(
+                f"fault seam {site!r} is exercised by no test "
+                f"(expected a use of: {builders})")
+    return violations
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="check repo-wide structural invariants")
+    parser.add_argument("--repo", default=".",
+                        help="repository root (default: cwd)")
+    args = parser.parse_args(argv)
+    repo = Path(args.repo).resolve()
+    src = repo / "src"
+    tests = repo / "tests"
+    if not src.is_dir() or not tests.is_dir():
+        print(f"not a repo root (no src/ and tests/): {repo}",
+              file=sys.stderr)
+        return 2
+    violations = []
+    violations.extend(check_sqlite_containment(repo, src))
+    violations.extend(check_naive_clocks(repo, src))
+    violations.extend(check_seam_coverage(repo, tests))
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"{len(violations)} invariant violation(s)")
+        return 1
+    print("invariants hold: sqlite3 containment, no naive clocks, "
+          "fault-seam coverage")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
